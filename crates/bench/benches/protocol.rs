@@ -1,0 +1,273 @@
+//! Criterion benchmarks for the Drivolution protocol paths: the Table 3
+//! bootstrap, Table 4 renewals, and the Sample-code-1/2 matchmaking.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
+use drivolution_core::matching::{self, MatchMode};
+use drivolution_core::pack::{pack_driver, pack_driver_padded};
+use drivolution_core::{
+    ApiName, BinaryFormat, ClientIdentity, DriverId, DriverImage, DriverQuery, DriverRecord,
+    DriverVersion, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod,
+    DRIVOLUTION_PORT,
+};
+use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
+use driverkit::{ConnectProps, DbUrl};
+use minidb::wire::DbServer;
+use minidb::MiniDb;
+use netsim::{Addr, Network};
+
+struct Rig {
+    net: Network,
+    srv: Arc<DrivolutionServer>,
+    url: DbUrl,
+}
+
+fn rig(method: TransferMethod, driver_padding: usize) -> Rig {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let srv = attach_in_database(
+        &net,
+        db,
+        Addr::new("db1", DRIVOLUTION_PORT),
+        ServerConfig {
+            default_transfer: method,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let image = DriverImage::new("bench-driver", DriverVersion::new(1, 0, 0), 1);
+    srv.install_driver(&DriverRecord::new(
+        DriverId(1),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver_padded(BinaryFormat::Djar, &image, driver_padding),
+    ))
+    .unwrap();
+    Rig {
+        net,
+        srv,
+        url: "rdbc:minidb://db1:5432/orders".parse().unwrap(),
+    }
+}
+
+/// Table 3: the full cold bootstrap (request → offer → file → decode →
+/// load → connect), by driver size and transfer method.
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootstrap");
+    g.sample_size(20);
+    for (label, method, padding) in [
+        ("plain-64KiB", TransferMethod::Plain, 64 * 1024),
+        ("checksum-64KiB", TransferMethod::Checksum, 64 * 1024),
+        ("sealed-64KiB", TransferMethod::Sealed, 64 * 1024),
+        ("sealed-1MiB", TransferMethod::Sealed, 1024 * 1024),
+    ] {
+        let r = rig(method, padding);
+        let props = ConnectProps::user("admin", "admin");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let boot = Bootloader::new(
+                    &r.net,
+                    Addr::new("bench-app", 1),
+                    BootloaderConfig::same_host().trusting(r.srv.certificate()),
+                );
+                let conn = boot.connect(&r.url, &props).unwrap();
+                drop(conn);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table 4: lease renewal (same driver) and upgrade paths.
+fn bench_renewal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("renewal");
+    g.sample_size(20);
+
+    // Same-driver renewal: one protocol roundtrip, no file.
+    let r = rig(TransferMethod::Checksum, 4 * 1024);
+    r.srv
+        .add_rule(
+            &PermissionRule::any(DriverId(1))
+                .with_lease_ms(10_000)
+                .with_transfer(TransferMethod::Any)
+                .with_policies(RenewPolicy::Renew, ExpirationPolicy::AfterCommit),
+        )
+        .unwrap();
+    let boot = Bootloader::new(
+        &r.net,
+        Addr::new("bench-app", 1),
+        BootloaderConfig::same_host().trusting(r.srv.certificate()),
+    );
+    boot.connect(&r.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    g.bench_function("renew-same-driver", |b| {
+        b.iter(|| {
+            r.net.clock().advance_ms(10_000);
+            assert_eq!(boot.poll(), PollOutcome::Renewed);
+        });
+    });
+
+    // Upgrade path: alternate the fleet between v1 and v2 rules so every
+    // iteration downloads and hot-swaps a driver.
+    let r = rig(TransferMethod::Checksum, 4 * 1024);
+    let image2 = DriverImage::new("bench-driver", DriverVersion::new(2, 0, 0), 1);
+    r.srv
+        .install_driver(&DriverRecord::new(
+            DriverId(2),
+            ApiName::rdbc(),
+            BinaryFormat::Djar,
+            pack_driver(BinaryFormat::Djar, &image2),
+        ))
+        .unwrap();
+    let route_to = |id: i64| {
+        let _ = r.srv.store().remove_permissions(DriverId(1));
+        let _ = r.srv.store().remove_permissions(DriverId(2));
+        r.srv
+            .add_rule(
+                &PermissionRule::any(DriverId(id))
+                    .with_lease_ms(10_000)
+                    .with_transfer(TransferMethod::Any)
+                    .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+            )
+            .unwrap();
+    };
+    route_to(1);
+    let boot = Bootloader::new(
+        &r.net,
+        Addr::new("bench-app2", 1),
+        BootloaderConfig::same_host().trusting(r.srv.certificate()),
+    );
+    boot.connect(&r.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    let mut flip = 2i64;
+    g.bench_function("renew-upgrade", |b| {
+        b.iter(|| {
+            route_to(flip);
+            r.net.clock().advance_ms(10_000);
+            assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+            flip = 3 - flip; // 2 ↔ 1
+        });
+    });
+    g.finish();
+}
+
+/// Sample code 1–2: matchmaking cost by catalog size, SQL vs in-memory.
+fn bench_matchmaking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchmaking");
+    g.sample_size(20);
+    for &n_drivers in &[10usize, 100] {
+        // Shared store with n drivers and per-user rules.
+        let db = Arc::new(MiniDb::new("store"));
+        let store =
+            drivolution_server::DriverStore::new(Box::new(drivolution_server::EmbeddedExec::new(db)));
+        store.install_schema().unwrap();
+        let mut records = Vec::new();
+        let mut rules = Vec::new();
+        for i in 0..n_drivers {
+            let image = DriverImage::new(format!("d{i}"), DriverVersion::new(i as i32, 0, 0), 1);
+            let rec = DriverRecord::new(
+                DriverId(i as i64 + 1),
+                ApiName::rdbc(),
+                BinaryFormat::Djar,
+                pack_driver(BinaryFormat::Djar, &image),
+            )
+            .with_platform(if i % 2 == 0 { "linux-%" } else { "windows-%" });
+            store.add_driver(&rec).unwrap();
+            let rule = PermissionRule::any(DriverId(i as i64 + 1)).for_user(format!("app{i}%"));
+            store.add_permission(&rule).unwrap();
+            records.push(rec);
+            rules.push(rule);
+        }
+        // An even-index user: its granted driver carries the linux
+        // platform pattern and therefore matches this client.
+        let q = DriverQuery::new(
+            ClientIdentity::new(format!("app{}x", n_drivers / 2 & !1), "10.0.0.1", "orders"),
+            "RDBC",
+            "linux-x86_64",
+        );
+        g.bench_function(BenchmarkId::new("sql", n_drivers), |b| {
+            b.iter(|| {
+                let permitted = store.permitted_driver_ids(&q.identity).unwrap();
+                let matching = store.matching_drivers(&q).unwrap();
+                let hit = matching
+                    .into_iter()
+                    .find(|r| permitted.iter().any(|(id, _)| *id == r.id));
+                assert!(hit.is_some());
+            });
+        });
+        g.bench_function(BenchmarkId::new("memory", n_drivers), |b| {
+            b.iter(|| {
+                let m = matching::find_driver(&records, &rules, &q, 0, MatchMode::FirstMatch);
+                assert!(m.is_ok());
+            });
+        });
+        // Ablation: the paper's first-match rule vs preference ranking
+        // (§4.1.1 "this list can be further sorted with client
+        // preferences").
+        g.bench_function(BenchmarkId::new("memory-ranked", n_drivers), |b| {
+            b.iter(|| {
+                let m = matching::find_driver(&records, &rules, &q, 0, MatchMode::Ranked);
+                assert!(m.is_ok());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// §5.4.1: on-demand driver assembly — customizing a fat driver image to
+/// a client's exact feature set, per container format.
+fn bench_assembly(c: &mut Criterion) {
+    use drivolution_core::image::Extension;
+    use drivolution_core::pack::unpack_driver;
+    use drivolution_server::Assembler;
+
+    let mut g = c.benchmark_group("assembly");
+    g.sample_size(30);
+    let assembler = Assembler::new();
+    for locale in ["fr_FR", "de_DE", "ja_JP", "pt_BR"] {
+        assembler.register(Extension::Nls {
+            locale: locale.to_string(),
+        });
+    }
+    assembler.register(Extension::Gis);
+    assembler.register(Extension::Kerberos {
+        realm_secret: "realm".into(),
+    });
+    let mut fat = DriverImage::new("fat", DriverVersion::new(1, 0, 0), 2);
+    for locale in ["fr_FR", "de_DE", "ja_JP", "pt_BR"] {
+        fat.extensions.push(Extension::Nls {
+            locale: locale.to_string(),
+        });
+    }
+    fat.extensions.push(Extension::Gis);
+    let options = vec![
+        ("locale".to_string(), "fr_FR".to_string()),
+        ("kerberos".to_string(), "true".to_string()),
+    ];
+    for fmt in [BinaryFormat::Djar, BinaryFormat::Dzip] {
+        let packed = pack_driver(fmt, &fat);
+        g.bench_function(BenchmarkId::new("customize-repack", fmt.as_str()), |b| {
+            b.iter(|| {
+                let image = unpack_driver(fmt, packed.clone()).unwrap();
+                let custom = assembler.customize(&image, &options).unwrap();
+                let out = pack_driver(fmt, &custom);
+                assert!(out.len() < packed.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bootstrap,
+    bench_renewal,
+    bench_matchmaking,
+    bench_assembly
+);
+criterion_main!(benches);

@@ -1,0 +1,669 @@
+//! The Drivolution bootloader (paper §3.1.1): a tiny interceptor that
+//! downloads the right driver from a Drivolution server at `connect`
+//! time, tracks its lease, and hot-swaps driver versions transparently.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use netsim::{Addr, Clock, Network, Pipe};
+
+use driverkit::{
+    ConnectProps, DbUrl, DkError, DkResult, Driver, DriverRegistry, DriverVm, Namespace,
+    NamespaceId,
+};
+use drivolution_core::proto::{DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution_core::{
+    transfer, DriverImage, DriverVersion, DrvError, DrvNotice, Lease, LeaseState,
+};
+
+use crate::config::{BootloaderConfig, ServerLocator};
+use crate::managed::ManagedConnection;
+use crate::tracker::ConnectionTracker;
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BootStats {
+    /// Driver files downloaded (bootstrap + upgrades + extensions).
+    pub downloads: u64,
+    /// Same-driver lease renewals.
+    pub renewals: u64,
+    /// Driver upgrades applied.
+    pub upgrades: u64,
+    /// Revocations applied.
+    pub revocations: u64,
+    /// Renewal attempts that failed at the network level (driver kept).
+    pub failed_renewals: u64,
+    /// Extension packages fetched lazily.
+    pub extension_fetches: u64,
+}
+
+/// Outcome of one maintenance pass ([`Bootloader::poll`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// Nothing to do: no driver loaded or lease still valid.
+    Idle,
+    /// Lease renewed for the same driver.
+    Renewed,
+    /// A new driver version was installed.
+    Upgraded {
+        /// Previous version.
+        from: DriverVersion,
+        /// New version.
+        to: DriverVersion,
+    },
+    /// The driver was revoked; new connections are blocked.
+    Revoked,
+    /// Renewal failed at the network level; current driver kept
+    /// ("the bootloader keeps its current implementation until the
+    /// Drivolution server is restarted", §4.1.3).
+    KeptAfterFailure,
+}
+
+struct BootState {
+    server: Option<Addr>,
+    pipe: Option<Pipe>,
+    revoked: bool,
+    last_url: Option<DbUrl>,
+    last_props: Option<ConnectProps>,
+}
+
+/// The client-side bootloader. One per application; create with
+/// [`Bootloader::new`] and keep behind the returned [`Arc`].
+pub struct Bootloader {
+    net: Network,
+    local: Addr,
+    config: BootloaderConfig,
+    vm: DriverVm,
+    registry: DriverRegistry,
+    tracker: ConnectionTracker,
+    clock: Clock,
+    state: Mutex<BootState>,
+    stats: Mutex<BootStats>,
+}
+
+impl std::fmt::Debug for Bootloader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bootloader")
+            .field("local", &self.local)
+            .field("loaded", &self.registry.len())
+            .finish()
+    }
+}
+
+impl Bootloader {
+    /// Creates a bootloader for an application at `local`.
+    pub fn new(net: &Network, local: Addr, config: BootloaderConfig) -> Arc<Self> {
+        let vm = DriverVm::new(net.clone(), local.clone());
+        Arc::new(Bootloader {
+            net: net.clone(),
+            local,
+            config,
+            vm,
+            registry: DriverRegistry::new(),
+            tracker: ConnectionTracker::new(),
+            clock: net.clock().clone(),
+            state: Mutex::new(BootState {
+                server: None,
+                pipe: None,
+                revoked: false,
+                last_url: None,
+                last_props: None,
+            }),
+            stats: Mutex::new(BootStats::default()),
+        })
+    }
+
+    /// The driver VM, exposed so middleware can register extra flavor
+    /// factories (the cluster driver).
+    pub fn vm(&self) -> &DriverVm {
+        &self.vm
+    }
+
+    /// The namespace registry (diagnostics).
+    pub fn registry(&self) -> &DriverRegistry {
+        &self.registry
+    }
+
+    /// The connection tracker (diagnostics).
+    pub fn tracker(&self) -> &ConnectionTracker {
+        &self.tracker
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BootStats {
+        *self.stats.lock()
+    }
+
+    /// Version of the driver serving new connections, if any.
+    pub fn active_version(&self) -> Option<DriverVersion> {
+        self.registry.active().map(|ns| ns.image.version)
+    }
+
+    /// Whether the driver was revoked (new connections are refused).
+    pub fn is_revoked(&self) -> bool {
+        self.state.lock().revoked
+    }
+
+    /// Lease state of the active driver at the current clock.
+    pub fn lease_state(&self) -> Option<LeaseState> {
+        self.registry
+            .active()
+            .map(|ns| ns.lease.state(self.clock.now_ms()))
+    }
+
+    // --- the intercepted connect (§3.1.1) -------------------------------
+
+    /// Opens a connection, transparently downloading/renewing/upgrading
+    /// the driver first. This is the single API call the bootloader
+    /// intercepts.
+    ///
+    /// # Errors
+    ///
+    /// Drivolution errors (no driver, permission, revoked) as
+    /// [`DkError::Drv`]; driver connect errors as returned by the driver.
+    pub fn connect(
+        self: &Arc<Self>,
+        url: &DbUrl,
+        props: &ConnectProps,
+    ) -> DkResult<ManagedConnection> {
+        // Remember identity for renewals, then run lease maintenance.
+        {
+            let mut st = self.state.lock();
+            st.last_url = Some(url.clone());
+            st.last_props = Some(props.clone());
+        }
+        let _ = self.poll();
+        if self.state.lock().revoked {
+            return Err(DkError::Drv(DrvError::Policy(
+                "driver revoked and no replacement available; new connections are blocked".into(),
+            )));
+        }
+        let ns = match self.registry.active() {
+            Some(ns) => ns,
+            None => self.bootstrap(url, props)?,
+        };
+        let merged = self.merge_props(&ns, props);
+        let inner = ns.driver.connect(url, &merged)?;
+        let state = self.tracker.register(inner, ns.id);
+        Ok(ManagedConnection::new(state, Arc::clone(self)))
+    }
+
+    fn merge_props(&self, ns: &Namespace, props: &ConnectProps) -> ConnectProps {
+        let mut merged = props.clone();
+        for (k, v) in &ns.image.default_options {
+            merged
+                .options
+                .entry(k.clone())
+                .or_insert_with(|| v.clone());
+        }
+        // Server-enforced options override application settings (§3.3:
+        // options "can be given to instruct the bootloader to enforce
+        // particular settings at driver loading time").
+        for (k, v) in &ns.options {
+            if k == "locale" {
+                merged.locale = Some(v.clone());
+            }
+            merged.options.insert(k.clone(), v.clone());
+        }
+        merged
+    }
+
+    // --- server interaction ---------------------------------------------
+
+    fn build_request(&self, kind: RequestKind, url: &DbUrl, props: &ConnectProps) -> DrvRequest {
+        DrvRequest {
+            kind,
+            database: url.database().to_string(),
+            user: props.user.clone(),
+            password: Some(props.password.clone()),
+            api_name: self.config.api_name.clone(),
+            api_version: self.config.api_version,
+            client_platform: self.config.client_platform.clone(),
+            preferred_format: self.config.preferred_format,
+            preferred_version: self.config.preferred_version,
+            transfer_method: self.config.transfer_method,
+            options: {
+                let mut opts = self.config.request_options.clone();
+                if let Some(l) = &props.locale {
+                    if !opts.iter().any(|(k, _)| k == "locale") {
+                        opts.push(("locale".to_string(), l.clone()));
+                    }
+                }
+                opts
+            },
+        }
+    }
+
+    fn candidate_servers(&self, url: &DbUrl) -> DkResult<Vec<Addr>> {
+        match &self.config.locator {
+            ServerLocator::Fixed(list) => Ok(list.clone()),
+            ServerLocator::SameHost { port } => Ok(url
+                .hosts()
+                .iter()
+                .map(|h| h.with_port(*port))
+                .collect()),
+            ServerLocator::Discover { port } => {
+                // DRIVOLUTION_DISCOVER: broadcast, collect offers, then
+                // unicast to an answering server (§3.1).
+                let st = self.state.lock();
+                let req = self.build_request(
+                    RequestKind::Bootstrap,
+                    url,
+                    st.last_props.as_ref().unwrap_or(&ConnectProps::default()),
+                );
+                drop(st);
+                let replies = self
+                    .net
+                    .broadcast(&self.local, *port, DrvMsg::Discover(req).encode());
+                let mut servers = Vec::new();
+                for (addr, raw) in replies {
+                    if let Ok(DrvMsg::Offer(_)) = DrvMsg::decode(raw) {
+                        servers.push(addr);
+                    }
+                }
+                if servers.is_empty() {
+                    return Err(DkError::Drv(DrvError::Net(format!(
+                        "no drivolution server answered discovery on port {port}"
+                    ))));
+                }
+                Ok(servers)
+            }
+        }
+    }
+
+    /// Sends `msg` to the first reachable candidate server. Network-level
+    /// failures try the next server (controller failover, §5.3.2);
+    /// application-level errors are authoritative and returned.
+    fn exchange(&self, url: &DbUrl, msg: DrvMsg) -> DkResult<(Addr, DrvMsg)> {
+        let preferred: Vec<Addr> = {
+            let st = self.state.lock();
+            st.server.iter().cloned().collect()
+        };
+        let mut candidates = preferred;
+        for s in self.candidate_servers(url)? {
+            if !candidates.contains(&s) {
+                candidates.push(s);
+            }
+        }
+        let mut last_net_err = None;
+        for server in candidates {
+            match self.net.request(&self.local, &server, msg.encode()) {
+                Ok(raw) => {
+                    let reply = DrvMsg::decode(raw).map_err(DkError::Drv)?;
+                    return Ok((server, reply));
+                }
+                Err(e) => last_net_err = Some(e),
+            }
+        }
+        Err(DkError::Drv(DrvError::Net(format!(
+            "no drivolution server reachable: {}",
+            last_net_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no candidates".to_string())
+        ))))
+    }
+
+    fn download(&self, server: &Addr, offer: &DrvOffer) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+        let raw = self.net.request(
+            &self.local,
+            server,
+            DrvMsg::FileRequest {
+                location: offer.location.clone(),
+                transfer_method: offer.transfer_method,
+            }
+            .encode(),
+        );
+        let reply = DrvMsg::decode(raw.map_err(|e| DkError::Drv(DrvError::Net(e.to_string())))?)
+            .map_err(DkError::Drv)?;
+        let payload = match reply {
+            DrvMsg::FileData { payload } => payload,
+            DrvMsg::Error { code, message } => {
+                return Err(DkError::Drv(code.into_error(message)))
+            }
+            other => {
+                return Err(DkError::Drv(DrvError::Codec(format!(
+                    "unexpected file reply {other:?}"
+                ))))
+            }
+        };
+        let bytes = transfer::unwrap(
+            offer.transfer_method,
+            payload,
+            &self.config.channel_trust,
+        )
+        .map_err(DkError::Drv)?;
+        // The "separate trusted wrapper" verifying signatures (§3.1).
+        if let Some(trust) = &self.config.signature_trust {
+            let sig = offer.signature.as_ref().ok_or_else(|| {
+                DkError::Drv(DrvError::SignatureInvalid(
+                    "server offered an unsigned driver but signatures are required".into(),
+                ))
+            })?;
+            trust.verify(&bytes, sig).map_err(DkError::Drv)?;
+        }
+        self.stats.lock().downloads += 1;
+        let (image, driver) = self.vm.load(offer.format, bytes)?;
+        Ok((image, driver))
+    }
+
+    fn lease_of(&self, offer: &DrvOffer) -> DkResult<Lease> {
+        Lease::grant(
+            offer.driver_id,
+            self.clock.now_ms(),
+            offer.lease_ms,
+            offer.renew_policy,
+            offer.expiration_policy,
+        )
+        .map_err(DkError::Drv)
+    }
+
+    fn install_offer(&self, server: &Addr, offer: &DrvOffer) -> DkResult<NamespaceId> {
+        let (image, driver) = self.download(server, offer)?;
+        let lease = self.lease_of(offer)?;
+        let ns = self
+            .registry
+            .load(driver, image, offer.driver_id, lease, offer.options.clone());
+        Ok(ns)
+    }
+
+    /// Performs the cold bootstrap (Table 3): request → offer → file →
+    /// decode → load.
+    ///
+    /// # Errors
+    ///
+    /// Server errors, transfer failures, signature/certificate rejections.
+    pub fn bootstrap(&self, url: &DbUrl, props: &ConnectProps) -> DkResult<Namespace> {
+        let req = self.build_request(RequestKind::Bootstrap, url, props);
+        let (server, reply) = self.exchange(url, DrvMsg::Request(req))?;
+        let offer = match reply {
+            DrvMsg::Offer(o) => o,
+            DrvMsg::Error { code, message } => {
+                return Err(DkError::Drv(code.into_error(message)))
+            }
+            other => {
+                return Err(DkError::Drv(DrvError::Codec(format!(
+                    "unexpected bootstrap reply {other:?}"
+                ))))
+            }
+        };
+        let ns_id = self.install_offer(&server, &offer)?;
+        self.registry.activate(ns_id)?;
+        {
+            let mut st = self.state.lock();
+            st.server = Some(server.clone());
+            st.revoked = false;
+            if self.config.open_notify_channel && st.pipe.is_none() {
+                if let Ok(pipe) = self.net.connect_pipe(&self.local, &server) {
+                    st.pipe = Some(pipe);
+                }
+            }
+        }
+        self.registry
+            .get(ns_id)
+            .ok_or_else(|| DkError::Closed("namespace vanished".into()))
+    }
+
+    // --- lease maintenance (Table 4) ------------------------------------
+
+    /// Drains pushed notices and runs the lease state machine once.
+    /// Applications that are never stopped call this from a timer thread
+    /// or rely on it running at each `connect` (§3.4.2: bootloaders "can
+    /// wait lazily for an application call to trigger the check").
+    pub fn poll(self: &Arc<Self>) -> PollOutcome {
+        let mut force_renew = false;
+        {
+            let mut st = self.state.lock();
+            if let Some(pipe) = &st.pipe {
+                while let Ok(Some(raw)) = pipe.try_recv() {
+                    if let Ok(notice) = DrvNotice::decode(raw) {
+                        let ours = st
+                            .last_url
+                            .as_ref()
+                            .map(|u| u.database() == notice_database(&notice))
+                            .unwrap_or(false);
+                        if ours {
+                            force_renew = true;
+                        }
+                    }
+                }
+                if !pipe.is_open() {
+                    st.pipe = None;
+                }
+            }
+        }
+        let Some(ns) = self.registry.active() else {
+            return PollOutcome::Idle;
+        };
+        let lease_state = ns.lease.state(self.clock.now_ms());
+        if !force_renew && lease_state == LeaseState::Valid {
+            return PollOutcome::Idle;
+        }
+        self.renew(&ns)
+    }
+
+    fn renew(self: &Arc<Self>, ns: &Namespace) -> PollOutcome {
+        let (url, props) = {
+            let st = self.state.lock();
+            match (st.last_url.clone(), st.last_props.clone()) {
+                (Some(u), Some(p)) => (u, p),
+                _ => return PollOutcome::Idle,
+            }
+        };
+        let req = self.build_request(
+            RequestKind::Renewal {
+                current: ns.driver_id,
+            },
+            &url,
+            &props,
+        );
+        match self.exchange(&url, DrvMsg::Request(req)) {
+            Ok((server, DrvMsg::Offer(offer))) if offer.same_driver => {
+                // RENEW: keep the driver, restart the lease window.
+                if let Ok(lease) = self.lease_of(&offer) {
+                    let _ = self.registry.set_lease(ns.id, lease);
+                }
+                self.state.lock().server = Some(server);
+                self.stats.lock().renewals += 1;
+                PollOutcome::Renewed
+            }
+            Ok((server, DrvMsg::Offer(offer))) => {
+                // UPGRADE: download, switch new connects, transition old
+                // connections per the offer's expiration policy, unload.
+                let from = ns.image.version;
+                match self.install_offer(&server, &offer) {
+                    Ok(new_ns) => {
+                        let to = self
+                            .registry
+                            .get(new_ns)
+                            .map(|n| n.image.version)
+                            .unwrap_or_default();
+                        if self.registry.activate(new_ns).is_err() {
+                            return PollOutcome::KeptAfterFailure;
+                        }
+                        self.state.lock().server = Some(server);
+                        self.tracker.apply_policy(
+                            ns.id,
+                            offer.expiration_policy,
+                            "driver upgraded by drivolution server",
+                        );
+                        self.maybe_unload(ns.id);
+                        self.stats.lock().upgrades += 1;
+                        PollOutcome::Upgraded { from, to }
+                    }
+                    Err(_) => {
+                        self.stats.lock().failed_renewals += 1;
+                        PollOutcome::KeptAfterFailure
+                    }
+                }
+            }
+            Ok((_server, DrvMsg::Error { .. })) => {
+                // REVOKE (or no driver anymore): block new connections and
+                // transition existing ones per the *current* lease policy.
+                self.apply_revoke(ns);
+                PollOutcome::Revoked
+            }
+            _ => {
+                // Network failure or nonsense: keep the current driver.
+                self.stats.lock().failed_renewals += 1;
+                PollOutcome::KeptAfterFailure
+            }
+        }
+    }
+
+    fn apply_revoke(&self, ns: &Namespace) {
+        {
+            let mut st = self.state.lock();
+            st.revoked = true;
+        }
+        self.registry.retire(ns.id);
+        self.tracker.apply_policy(
+            ns.id,
+            ns.lease.expiration_policy(),
+            "driver revoked and no replacement available",
+        );
+        self.maybe_unload(ns.id);
+        self.stats.lock().revocations += 1;
+    }
+
+    /// Unloads `ns` if it is retired and drained.
+    pub(crate) fn maybe_unload(&self, ns: NamespaceId) {
+        self.tracker.prune();
+        if let Some(n) = self.registry.get(ns) {
+            if n.retired && self.tracker.drained(ns) {
+                let _ = self.registry.unload(ns);
+            }
+        }
+    }
+
+    // --- extensions (§5.4.1) and licenses (§5.4.2) -----------------------
+
+    /// Fetches an extension package for the active driver and switches to
+    /// the enriched driver.
+    ///
+    /// # Errors
+    ///
+    /// Server errors (unknown package) and transfer failures.
+    pub fn fetch_extension(self: &Arc<Self>, name: &str) -> DkResult<()> {
+        let ns = self
+            .registry
+            .active()
+            .ok_or_else(|| DkError::Closed("no active driver".into()))?;
+        let (url, props) = {
+            let st = self.state.lock();
+            (
+                st.last_url.clone().ok_or_else(|| {
+                    DkError::Closed("no connection context for extension fetch".into())
+                })?,
+                st.last_props.clone().unwrap_or_default(),
+            )
+        };
+        let req = self.build_request(
+            RequestKind::Extension {
+                base: ns.driver_id,
+                name: name.to_string(),
+            },
+            &url,
+            &props,
+        );
+        let (server, reply) = self.exchange(&url, DrvMsg::Request(req))?;
+        let offer = match reply {
+            DrvMsg::Offer(o) => o,
+            DrvMsg::Error { code, message } => {
+                return Err(DkError::Drv(code.into_error(message)))
+            }
+            other => {
+                return Err(DkError::Drv(DrvError::Codec(format!(
+                    "unexpected extension reply {other:?}"
+                ))))
+            }
+        };
+        let new_ns = self.install_offer(&server, &offer)?;
+        self.registry.activate(new_ns)?;
+        // Old connections keep working (extension fetch is additive).
+        self.stats.lock().extension_fetches += 1;
+        Ok(())
+    }
+
+    /// Whether lazy extension fetch is enabled.
+    pub(crate) fn lazy_extensions(&self) -> bool {
+        self.config.lazy_extension_fetch
+    }
+
+    /// Reconnects a managed connection on the (possibly new) active
+    /// driver; used by lazy extension fetch.
+    pub(crate) fn reconnect(
+        &self,
+    ) -> DkResult<(Box<dyn driverkit::Connection>, NamespaceId)> {
+        let ns = self
+            .registry
+            .active()
+            .ok_or_else(|| DkError::Closed("no active driver".into()))?;
+        let (url, props) = {
+            let st = self.state.lock();
+            (
+                st.last_url
+                    .clone()
+                    .ok_or_else(|| DkError::Closed("no connection context".into()))?,
+                st.last_props.clone().unwrap_or_default(),
+            )
+        };
+        let merged = self.merge_props(&ns, &props);
+        let inner = ns.driver.connect(&url, &merged)?;
+        Ok((inner, ns.id))
+    }
+
+    /// Gives the driver lease back to the server (license return, §5.4.2)
+    /// and unloads the driver locally.
+    ///
+    /// # Errors
+    ///
+    /// Network failures reaching the server.
+    pub fn release_driver(self: &Arc<Self>) -> DkResult<()> {
+        let Some(ns) = self.registry.active() else {
+            return Ok(());
+        };
+        let (url, props) = {
+            let st = self.state.lock();
+            (
+                st.last_url
+                    .clone()
+                    .ok_or_else(|| DkError::Closed("no connection context".into()))?,
+                st.last_props.clone().unwrap_or_default(),
+            )
+        };
+        let (_server, reply) = self.exchange(
+            &url,
+            DrvMsg::Release {
+                database: url.database().to_string(),
+                user: props.user.clone(),
+                driver: ns.driver_id,
+            },
+        )?;
+        if !matches!(reply, DrvMsg::ReleaseOk) {
+            return Err(DkError::Drv(DrvError::Codec(format!(
+                "unexpected release reply {reply:?}"
+            ))));
+        }
+        self.registry.retire(ns.id);
+        self.tracker
+            .apply_policy(ns.id, drivolution_core::ExpirationPolicy::Immediate, "driver released");
+        self.maybe_unload(ns.id);
+        Ok(())
+    }
+
+    /// Closes the dedicated channel (simulating application shutdown so
+    /// the server-side failure detector fires).
+    pub fn drop_notify_channel(&self) {
+        let mut st = self.state.lock();
+        if let Some(pipe) = st.pipe.take() {
+            pipe.close();
+        }
+    }
+}
+
+fn notice_database(notice: &DrvNotice) -> &str {
+    match notice {
+        DrvNotice::DriverAvailable { database } | DrvNotice::DriverRevoked { database } => database,
+    }
+}

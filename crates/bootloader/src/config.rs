@@ -1,0 +1,189 @@
+//! Bootloader configuration.
+
+use netsim::Addr;
+
+use drivolution_core::{
+    ApiVersion, BinaryFormat, ChannelTrust, DriverVersion, TransferMethod, TrustStore,
+    DRIVOLUTION_PORT,
+};
+
+/// How the bootloader finds a Drivolution server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerLocator {
+    /// A fixed list of trusted servers, tried in order (the dual-URL
+    /// configuration of §5.3.1, and multi-controller failover of §5.3.2).
+    Fixed(Vec<Addr>),
+    /// Derive the server from the connection URL's host on the given port
+    /// (in-database Drivolution, Figure 1/3).
+    SameHost {
+        /// The Drivolution service port on the database host.
+        port: u16,
+    },
+    /// Broadcast `DRIVOLUTION_DISCOVER` on the given port and pick the
+    /// first answering server (the DHCP-like mode of §3.1).
+    Discover {
+        /// Port Drivolution servers listen on.
+        port: u16,
+    },
+}
+
+/// Bootloader configuration — everything installed once per client
+/// machine in step 2 of the Drivolution lifecycle (§3.2).
+#[derive(Clone, Debug)]
+pub struct BootloaderConfig {
+    /// Server location strategy.
+    pub locator: ServerLocator,
+    /// API name requested from servers.
+    pub api_name: String,
+    /// Optional API version constraint.
+    pub api_version: Option<ApiVersion>,
+    /// Client platform string sent in requests.
+    pub client_platform: String,
+    /// Optional preferred binary format.
+    pub preferred_format: Option<BinaryFormat>,
+    /// Optional preferred driver version.
+    pub preferred_version: Option<DriverVersion>,
+    /// Transfer method the bootloader insists on (`Any` = server choice).
+    pub transfer_method: TransferMethod,
+    /// Pinned certificates for sealed transfers.
+    pub channel_trust: ChannelTrust,
+    /// When set, offers must carry a signature verifiable by this store
+    /// ("a separate trusted wrapper in the bootloader verifies
+    /// signatures", §3.1).
+    pub signature_trust: Option<TrustStore>,
+    /// Static request options (extensions encoded in the URL, §5.4.1).
+    pub request_options: Vec<(String, String)>,
+    /// Open a dedicated notification channel to the server (§3.2).
+    pub open_notify_channel: bool,
+    /// Fetch missing extension packages on demand (the trapped
+    /// ClassNotFound path of §5.4.1).
+    pub lazy_extension_fetch: bool,
+}
+
+impl BootloaderConfig {
+    /// Configuration pointing at fixed Drivolution servers.
+    pub fn fixed(servers: Vec<Addr>) -> Self {
+        BootloaderConfig {
+            locator: ServerLocator::Fixed(servers),
+            ..BootloaderConfig::base()
+        }
+    }
+
+    /// Configuration deriving the server from the database host
+    /// (in-database Drivolution on the conventional port).
+    pub fn same_host() -> Self {
+        BootloaderConfig {
+            locator: ServerLocator::SameHost {
+                port: DRIVOLUTION_PORT,
+            },
+            ..BootloaderConfig::base()
+        }
+    }
+
+    /// Configuration using broadcast discovery on the conventional port.
+    pub fn discover() -> Self {
+        BootloaderConfig {
+            locator: ServerLocator::Discover {
+                port: DRIVOLUTION_PORT,
+            },
+            ..BootloaderConfig::base()
+        }
+    }
+
+    fn base() -> Self {
+        BootloaderConfig {
+            locator: ServerLocator::Discover {
+                port: DRIVOLUTION_PORT,
+            },
+            api_name: "RDBC".to_string(),
+            api_version: None,
+            client_platform: "rust-sim-x86_64".to_string(),
+            preferred_format: None,
+            preferred_version: None,
+            transfer_method: TransferMethod::Any,
+            channel_trust: ChannelTrust::new(),
+            signature_trust: None,
+            request_options: Vec::new(),
+            open_notify_channel: false,
+            lazy_extension_fetch: false,
+        }
+    }
+
+    /// Pins a server certificate for sealed transfers.
+    pub fn trusting(mut self, cert: &drivolution_core::Certificate) -> Self {
+        self.channel_trust.pin(cert);
+        self
+    }
+
+    /// Requires signed drivers verifiable by `store`.
+    pub fn requiring_signatures(mut self, store: TrustStore) -> Self {
+        self.signature_trust = Some(store);
+        self
+    }
+
+    /// Adds a static request option.
+    pub fn with_request_option(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.request_options.push((key.into(), value.into()));
+        self
+    }
+
+    /// Enables the dedicated notification channel.
+    pub fn with_notify_channel(mut self) -> Self {
+        self.open_notify_channel = true;
+        self
+    }
+
+    /// Enables lazy extension fetching.
+    pub fn with_lazy_extensions(mut self) -> Self {
+        self.lazy_extension_fetch = true;
+        self
+    }
+
+    /// Sets the platform string.
+    pub fn on_platform(mut self, platform: impl Into<String>) -> Self {
+        self.client_platform = platform.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivolution_core::Certificate;
+
+    #[test]
+    fn constructors_pick_locators() {
+        assert!(matches!(
+            BootloaderConfig::fixed(vec![Addr::new("s", 1)]).locator,
+            ServerLocator::Fixed(_)
+        ));
+        assert_eq!(
+            BootloaderConfig::same_host().locator,
+            ServerLocator::SameHost {
+                port: DRIVOLUTION_PORT
+            }
+        );
+        assert_eq!(
+            BootloaderConfig::discover().locator,
+            ServerLocator::Discover {
+                port: DRIVOLUTION_PORT
+            }
+        );
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cert = Certificate::issue("drv", 1);
+        let c = BootloaderConfig::same_host()
+            .trusting(&cert)
+            .with_request_option("locale", "fr_FR")
+            .with_notify_channel()
+            .with_lazy_extensions()
+            .on_platform("jre-1.5");
+        assert!(c.channel_trust.trusts(&cert));
+        assert_eq!(c.request_options.len(), 1);
+        assert!(c.open_notify_channel);
+        assert!(c.lazy_extension_fetch);
+        assert_eq!(c.client_platform, "jre-1.5");
+    }
+}

@@ -1,0 +1,169 @@
+//! Managed connections: what the application receives from
+//! [`Bootloader::connect`]. The application uses them exactly like any
+//! RDBC connection; the bootloader retains enough control to enforce
+//! expiration policies and to fetch missing extensions lazily.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use driverkit::{Connection, DkError, DkResult};
+use minidb::{Params, QueryResult};
+
+use crate::bootloader::Bootloader;
+use crate::tracker::TrackedConn;
+
+/// A connection managed by the bootloader.
+pub struct ManagedConnection {
+    state: Arc<Mutex<TrackedConn>>,
+    bootloader: Arc<Bootloader>,
+}
+
+impl std::fmt::Debug for ManagedConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedConnection")
+            .field("open", &self.is_open())
+            .finish()
+    }
+}
+
+impl ManagedConnection {
+    pub(crate) fn new(state: Arc<Mutex<TrackedConn>>, bootloader: Arc<Bootloader>) -> Self {
+        ManagedConnection { state, bootloader }
+    }
+
+    fn closed_err(reason: &Option<String>) -> DkError {
+        match reason {
+            Some(r) => DkError::Closed(r.clone()),
+            None => DkError::Closed("connection is closed".into()),
+        }
+    }
+
+    fn with_inner<R>(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Connection>) -> DkResult<R>,
+    ) -> DkResult<R> {
+        let mut st = self.state.lock();
+        match st.inner.as_mut() {
+            Some(c) => f(c),
+            None => Err(Self::closed_err(&st.revoked_reason)),
+        }
+    }
+
+    fn finish_txn(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Connection>) -> DkResult<()>,
+    ) -> DkResult<()> {
+        let (result, close_now, ns) = {
+            let mut st = self.state.lock();
+            let Some(c) = st.inner.as_mut() else {
+                return Err(Self::closed_err(&st.revoked_reason));
+            };
+            let r = f(c);
+            let close_now = r.is_ok() && st.close_after_commit;
+            if close_now {
+                st.force_close("driver upgraded; connection closed after commit (AFTER_COMMIT)");
+            }
+            (r, close_now, st.ns)
+        };
+        if close_now {
+            self.bootloader.maybe_unload(ns);
+        }
+        result
+    }
+}
+
+impl Connection for ManagedConnection {
+    fn execute(&mut self, sql: &str) -> DkResult<QueryResult> {
+        self.with_inner(|c| c.execute(sql))
+    }
+
+    fn execute_params(&mut self, sql: &str, params: &Params) -> DkResult<QueryResult> {
+        self.with_inner(|c| c.execute_params(sql, params))
+    }
+
+    fn begin(&mut self) -> DkResult<()> {
+        self.with_inner(|c| c.begin())
+    }
+
+    /// Commits; if an `AFTER_COMMIT` upgrade is pending, the connection is
+    /// closed right after the commit succeeds (Table 4:
+    /// `close_active_connections_after_commit`).
+    fn commit(&mut self) -> DkResult<()> {
+        self.finish_txn(|c| c.commit())
+    }
+
+    fn rollback(&mut self) -> DkResult<()> {
+        self.finish_txn(|c| c.rollback())
+    }
+
+    fn in_transaction(&self) -> bool {
+        self.state
+            .lock()
+            .inner
+            .as_ref()
+            .map(|c| c.in_transaction())
+            .unwrap_or(false)
+    }
+
+    fn is_open(&self) -> bool {
+        self.state
+            .lock()
+            .inner
+            .as_ref()
+            .map(|c| c.is_open())
+            .unwrap_or(false)
+    }
+
+    fn close(&mut self) -> DkResult<()> {
+        let ns = {
+            let mut st = self.state.lock();
+            if let Some(mut c) = st.inner.take() {
+                c.close()?;
+            }
+            st.ns
+        };
+        self.bootloader.maybe_unload(ns);
+        Ok(())
+    }
+
+    /// GIS query with lazy extension fetch: on the first
+    /// extension-missing failure the bootloader downloads the GIS package
+    /// (§5.4.1), this connection transparently reconnects on the enriched
+    /// driver, and the query is retried once.
+    fn geo_query(&mut self, wkt: &str) -> DkResult<QueryResult> {
+        let first = self.with_inner(|c| c.geo_query(wkt));
+        match first {
+            Err(DkError::ExtensionMissing(name)) if self.bootloader.lazy_extensions() => {
+                self.bootloader.fetch_extension(&name)?;
+                let (new_inner, new_ns) = self.bootloader.reconnect()?;
+                let old_ns = {
+                    let mut st = self.state.lock();
+                    let old_ns = st.ns;
+                    if let Some(mut old) = st.inner.replace(new_inner) {
+                        let _ = old.close();
+                    }
+                    st.ns = new_ns;
+                    old_ns
+                };
+                self.bootloader.maybe_unload(old_ns);
+                self.with_inner(|c| c.geo_query(wkt))
+            }
+            other => other,
+        }
+    }
+
+    fn localized_message(&self, key: &str) -> DkResult<String> {
+        let st = self.state.lock();
+        match st.inner.as_ref() {
+            Some(c) => c.localized_message(key),
+            None => Err(Self::closed_err(&st.revoked_reason)),
+        }
+    }
+}
+
+impl Drop for ManagedConnection {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}

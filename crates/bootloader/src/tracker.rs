@@ -1,0 +1,253 @@
+//! Connection tracking and expiration-policy enforcement.
+//!
+//! The bootloader owns every connection it hands to the application so it
+//! can apply the paper's expiration policies (§3.4.2):
+//!
+//! * `AFTER_CLOSE` — connections stay on the old driver until the
+//!   application closes them;
+//! * `AFTER_COMMIT` — idle connections close immediately, in-transaction
+//!   connections close right after their COMMIT/ROLLBACK;
+//! * `IMMEDIATE` — all connections are terminated at once.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use driverkit::{Connection, NamespaceId};
+use drivolution_core::ExpirationPolicy;
+
+/// Shared state of one managed connection.
+pub(crate) struct TrackedConn {
+    pub inner: Option<Box<dyn Connection>>,
+    pub ns: NamespaceId,
+    pub close_after_commit: bool,
+    pub revoked_reason: Option<String>,
+}
+
+impl TrackedConn {
+    pub(crate) fn force_close(&mut self, reason: &str) {
+        if let Some(mut c) = self.inner.take() {
+            let _ = c.close();
+        }
+        if self.revoked_reason.is_none() {
+            self.revoked_reason = Some(reason.to_string());
+        }
+    }
+}
+
+/// Registry of live managed connections, grouped by driver namespace.
+#[derive(Default)]
+pub struct ConnectionTracker {
+    conns: Mutex<Vec<Arc<Mutex<TrackedConn>>>>,
+}
+
+impl std::fmt::Debug for ConnectionTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectionTracker")
+            .field("tracked", &self.conns.lock().len())
+            .finish()
+    }
+}
+
+impl ConnectionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ConnectionTracker::default()
+    }
+
+    pub(crate) fn register(
+        &self,
+        inner: Box<dyn Connection>,
+        ns: NamespaceId,
+    ) -> Arc<Mutex<TrackedConn>> {
+        let state = Arc::new(Mutex::new(TrackedConn {
+            inner: Some(inner),
+            ns,
+            close_after_commit: false,
+            revoked_reason: None,
+        }));
+        self.conns.lock().push(state.clone());
+        state
+    }
+
+    /// Applies an expiration policy to every live connection of `ns`.
+    /// Returns how many connections were closed right away.
+    pub fn apply_policy(&self, ns: NamespaceId, policy: ExpirationPolicy, reason: &str) -> usize {
+        let conns = self.conns.lock().clone();
+        let mut closed = 0;
+        for state in conns {
+            let mut st = state.lock();
+            if st.ns != ns || st.inner.is_none() {
+                continue;
+            }
+            match policy {
+                ExpirationPolicy::AfterClose => {
+                    // Nothing: the application closes at its own pace.
+                }
+                ExpirationPolicy::AfterCommit => {
+                    let in_txn = st
+                        .inner
+                        .as_ref()
+                        .map(|c| c.in_transaction())
+                        .unwrap_or(false);
+                    if in_txn {
+                        st.close_after_commit = true;
+                    } else {
+                        st.force_close(reason);
+                        closed += 1;
+                    }
+                }
+                ExpirationPolicy::Immediate => {
+                    st.force_close(reason);
+                    closed += 1;
+                }
+            }
+        }
+        self.prune();
+        closed
+    }
+
+    /// Number of live connections on `ns`.
+    pub fn live_count(&self, ns: NamespaceId) -> usize {
+        self.conns
+            .lock()
+            .iter()
+            .filter(|s| {
+                let st = s.lock();
+                st.ns == ns && st.inner.is_some()
+            })
+            .count()
+    }
+
+    /// Total live connections across namespaces.
+    pub fn total_live(&self) -> usize {
+        self.conns
+            .lock()
+            .iter()
+            .filter(|s| s.lock().inner.is_some())
+            .count()
+    }
+
+    /// Whether `ns` has no live connections left (safe to unload).
+    pub fn drained(&self, ns: NamespaceId) -> bool {
+        self.live_count(ns) == 0
+    }
+
+    /// Drops tracking entries for closed connections.
+    pub fn prune(&self) {
+        self.conns.lock().retain(|s| s.lock().inner.is_some());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use driverkit::{DkError, DkResult};
+    use minidb::{Params, QueryResult};
+
+    /// An in-memory connection good enough for policy tests.
+    struct FakeConn {
+        open: bool,
+        txn: bool,
+    }
+
+    impl Connection for FakeConn {
+        fn execute(&mut self, _sql: &str) -> DkResult<QueryResult> {
+            Ok(QueryResult::Affected(0))
+        }
+        fn execute_params(&mut self, _sql: &str, _p: &Params) -> DkResult<QueryResult> {
+            Ok(QueryResult::Affected(0))
+        }
+        fn begin(&mut self) -> DkResult<()> {
+            self.txn = true;
+            Ok(())
+        }
+        fn commit(&mut self) -> DkResult<()> {
+            self.txn = false;
+            Ok(())
+        }
+        fn rollback(&mut self) -> DkResult<()> {
+            self.txn = false;
+            Ok(())
+        }
+        fn in_transaction(&self) -> bool {
+            self.txn
+        }
+        fn is_open(&self) -> bool {
+            self.open
+        }
+        fn close(&mut self) -> DkResult<()> {
+            self.open = false;
+            Ok(())
+        }
+        fn geo_query(&mut self, _wkt: &str) -> DkResult<QueryResult> {
+            Err(DkError::ExtensionMissing("gis".into()))
+        }
+        fn localized_message(&self, _key: &str) -> DkResult<String> {
+            Ok(String::new())
+        }
+    }
+
+    fn conn(txn: bool) -> Box<dyn Connection> {
+        Box::new(FakeConn { open: true, txn })
+    }
+
+    const NS1: NamespaceId = NamespaceId(1);
+    const NS2: NamespaceId = NamespaceId(2);
+
+    #[test]
+    fn immediate_closes_everything_on_the_namespace() {
+        let t = ConnectionTracker::new();
+        t.register(conn(false), NS1);
+        t.register(conn(true), NS1);
+        t.register(conn(false), NS2);
+        let closed = t.apply_policy(NS1, ExpirationPolicy::Immediate, "upgrade");
+        assert_eq!(closed, 2);
+        assert!(t.drained(NS1));
+        assert_eq!(t.live_count(NS2), 1);
+    }
+
+    #[test]
+    fn after_commit_spares_open_transactions() {
+        let t = ConnectionTracker::new();
+        let idle = t.register(conn(false), NS1);
+        let busy = t.register(conn(true), NS1);
+        let closed = t.apply_policy(NS1, ExpirationPolicy::AfterCommit, "upgrade");
+        assert_eq!(closed, 1);
+        assert!(idle.lock().inner.is_none());
+        let busy_guard = busy.lock();
+        assert!(busy_guard.inner.is_some());
+        assert!(busy_guard.close_after_commit);
+        drop(busy_guard);
+        assert!(!t.drained(NS1));
+    }
+
+    #[test]
+    fn after_close_touches_nothing() {
+        let t = ConnectionTracker::new();
+        t.register(conn(false), NS1);
+        t.register(conn(true), NS1);
+        let closed = t.apply_policy(NS1, ExpirationPolicy::AfterClose, "upgrade");
+        assert_eq!(closed, 0);
+        assert_eq!(t.live_count(NS1), 2);
+    }
+
+    #[test]
+    fn prune_drops_closed_entries() {
+        let t = ConnectionTracker::new();
+        let a = t.register(conn(false), NS1);
+        a.lock().force_close("test");
+        t.prune();
+        assert_eq!(t.total_live(), 0);
+        assert!(t.drained(NS1));
+    }
+
+    #[test]
+    fn force_close_keeps_first_reason() {
+        let t = ConnectionTracker::new();
+        let a = t.register(conn(false), NS1);
+        a.lock().force_close("first");
+        a.lock().force_close("second");
+        assert_eq!(a.lock().revoked_reason.as_deref(), Some("first"));
+    }
+}

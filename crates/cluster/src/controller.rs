@@ -1,0 +1,337 @@
+//! The cluster controller: terminates the cluster protocol for clients,
+//! replicates writes over its backends (and the group), and optionally
+//! embeds a Drivolution server (§5.3.2, Figure 6).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use netsim::{Addr, NetError, Network, Service};
+
+use driverkit::DkError;
+use drivolution_core::{DrvResult, DRIVOLUTION_PORT};
+use drivolution_server::{DriverStore, DrivolutionServer, EmbeddedExec, ServerConfig};
+use minidb::wire::proto::{err_code, ClientMsg, ServerMsg};
+use minidb::{DbError, MiniDb, QueryResult};
+
+use crate::group::Group;
+use crate::proto::ClusterFrame;
+use crate::vdb::{is_read, VirtualDb};
+
+struct CtrlSession {
+    in_txn: bool,
+    txn_buffer: Vec<String>,
+}
+
+/// A Sequoia-like controller.
+pub struct Controller {
+    id: u32,
+    addr: Addr,
+    net: Network,
+    vdb: Arc<VirtualDb>,
+    max_proto: u16,
+    running: AtomicBool,
+    sessions: Mutex<HashMap<u64, CtrlSession>>,
+    next_session: AtomicU64,
+    group: Mutex<Option<Arc<Group>>>,
+    drivolution: Mutex<Option<Arc<DrivolutionServer>>>,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("running", &self.is_running())
+            .finish()
+    }
+}
+
+impl Controller {
+    /// Creates a controller and binds its client service at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn launch(
+        net: &Network,
+        id: u32,
+        addr: Addr,
+        vdb: VirtualDb,
+        max_proto: u16,
+    ) -> DrvResult<Arc<Self>> {
+        let ctrl = Arc::new(Controller {
+            id,
+            addr: addr.clone(),
+            net: net.clone(),
+            vdb: Arc::new(vdb),
+            max_proto,
+            running: AtomicBool::new(true),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            group: Mutex::new(None),
+            drivolution: Mutex::new(None),
+        });
+        net.bind_arc(addr, ctrl.clone())?;
+        Ok(ctrl)
+    }
+
+    /// Controller id (unique within a group).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Client service address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// The controller's virtual database.
+    pub fn vdb(&self) -> &Arc<VirtualDb> {
+        &self.vdb
+    }
+
+    /// Highest cluster protocol version this controller accepts.
+    pub fn max_proto(&self) -> u16 {
+        self.max_proto
+    }
+
+    /// Whether the controller is serving.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_group(&self, group: Arc<Group>) {
+        *self.group.lock() = Some(group);
+    }
+
+    /// The embedded Drivolution server, if one was attached.
+    pub fn drivolution(&self) -> Option<Arc<DrivolutionServer>> {
+        self.drivolution.lock().clone()
+    }
+
+    /// Embeds a Drivolution server in this controller (Figure 6), bound
+    /// on the controller host's Drivolution port. Admin events replicate
+    /// through the controller group.
+    ///
+    /// # Errors
+    ///
+    /// Schema or bind failures.
+    pub fn embed_drivolution(
+        self: &Arc<Self>,
+        config: ServerConfig,
+    ) -> DrvResult<Arc<DrivolutionServer>> {
+        let store_db = Arc::new(MiniDb::with_clock(
+            format!("ctrl{}-drv-store", self.id),
+            self.net.clock().clone(),
+        ));
+        let store = DriverStore::new(Box::new(EmbeddedExec::new(store_db)));
+        store.install_schema()?;
+        let server = Arc::new(DrivolutionServer::new(
+            self.addr.host().to_string(),
+            store,
+            self.net.clock().clone(),
+            config,
+        ));
+        self.net
+            .bind_arc(self.addr.with_port(DRIVOLUTION_PORT), server.clone())?;
+        *self.drivolution.lock() = Some(server.clone());
+        // Replicate admin events to the other controllers' servers.
+        let me = Arc::downgrade(self);
+        server.subscribe(Arc::new(move |event| {
+            if let Some(ctrl) = me.upgrade() {
+                let group = ctrl.group.lock().clone();
+                if let Some(g) = group {
+                    g.replicate_admin(ctrl.id, event);
+                }
+            }
+        }));
+        Ok(server)
+    }
+
+    /// Stops serving: the client port and the embedded Drivolution port
+    /// are unbound and all sessions are dropped (a controller restart for
+    /// a rolling upgrade, §5.3.1).
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.net.unbind(&self.addr);
+        if self.drivolution.lock().is_some() {
+            self.net.unbind(&self.addr.with_port(DRIVOLUTION_PORT));
+        }
+        self.sessions.lock().clear();
+    }
+
+    /// Restarts a stopped controller.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(self: &Arc<Self>) -> DrvResult<()> {
+        if self.is_running() {
+            return Ok(());
+        }
+        self.net.bind_arc(self.addr.clone(), self.clone())?;
+        if let Some(drv) = self.drivolution.lock().clone() {
+            self.net
+                .bind_arc(self.addr.with_port(DRIVOLUTION_PORT), drv)?;
+        }
+        self.running.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn write_path(&self, sql: &str) -> Result<QueryResult, DkError> {
+        let group = self.group.lock().clone();
+        match group {
+            Some(g) => g.ordered_write(self, sql),
+            None => self.vdb.execute_write(sql),
+        }
+    }
+
+    fn handle(&self, msg: ClientMsg) -> ServerMsg {
+        match self.try_handle(msg) {
+            Ok(m) => m,
+            Err(e) => ServerMsg::Error {
+                code: err_code(&e),
+                msg: e.to_string(),
+            },
+        }
+    }
+
+    fn dk_to_db(e: DkError) -> DbError {
+        match e {
+            DkError::Db(db) => db,
+            other => DbError::Session(other.to_string()),
+        }
+    }
+
+    fn try_handle(&self, msg: ClientMsg) -> Result<ServerMsg, DbError> {
+        match msg {
+            ClientMsg::Hello { database, .. } => {
+                if database != self.vdb.name() {
+                    return Err(DbError::NoSuchDatabase(database));
+                }
+                let session = self.next_session.fetch_add(1, Ordering::SeqCst);
+                self.sessions.lock().insert(
+                    session,
+                    CtrlSession {
+                        in_txn: false,
+                        txn_buffer: Vec::new(),
+                    },
+                );
+                Ok(ServerMsg::HelloOk { session })
+            }
+            ClientMsg::Query { session, sql } => {
+                let mut sessions = self.sessions.lock();
+                let s = sessions
+                    .get_mut(&session)
+                    .ok_or_else(|| DbError::Session(format!("unknown session {session}")))?;
+                let head: String = sql
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect::<String>()
+                    .to_ascii_uppercase();
+                match head.as_str() {
+                    "BEGIN" | "START" => {
+                        if s.in_txn {
+                            return Err(DbError::Txn("transaction already open".into()));
+                        }
+                        s.in_txn = true;
+                        Ok(ServerMsg::Affected(0))
+                    }
+                    "ROLLBACK" => {
+                        if !s.in_txn {
+                            return Err(DbError::Txn("no open transaction".into()));
+                        }
+                        s.in_txn = false;
+                        s.txn_buffer.clear();
+                        Ok(ServerMsg::Affected(0))
+                    }
+                    "COMMIT" => {
+                        if !s.in_txn {
+                            return Err(DbError::Txn("no open transaction".into()));
+                        }
+                        s.in_txn = false;
+                        let stmts = std::mem::take(&mut s.txn_buffer);
+                        drop(sessions);
+                        for stmt in stmts {
+                            self.write_path(&stmt).map_err(Self::dk_to_db)?;
+                        }
+                        Ok(ServerMsg::Affected(0))
+                    }
+                    _ if is_read(&sql) => {
+                        drop(sessions);
+                        let r = self.vdb.execute_read(&sql).map_err(Self::dk_to_db)?;
+                        Ok(match r {
+                            QueryResult::Rows(rs) => ServerMsg::Rows(rs),
+                            QueryResult::Affected(n) => ServerMsg::Affected(n),
+                        })
+                    }
+                    _ => {
+                        if s.in_txn {
+                            // Buffered until COMMIT (controller-level
+                            // atomicity; see crate docs for the
+                            // read-your-writes caveat).
+                            s.txn_buffer.push(sql);
+                            Ok(ServerMsg::Affected(0))
+                        } else {
+                            drop(sessions);
+                            let r = self.write_path(&sql).map_err(Self::dk_to_db)?;
+                            Ok(match r {
+                                QueryResult::Rows(rs) => ServerMsg::Rows(rs),
+                                QueryResult::Affected(n) => ServerMsg::Affected(n),
+                            })
+                        }
+                    }
+                }
+            }
+            ClientMsg::QueryParams { .. } => Err(DbError::Protocol(
+                "parameterized statements are not part of the cluster protocol".into(),
+            )),
+            ClientMsg::ChallengeAnswer { .. } => Err(DbError::Protocol(
+                "challenge auth is not part of the cluster protocol".into(),
+            )),
+            ClientMsg::Ping { session } => {
+                if self.sessions.lock().contains_key(&session) {
+                    Ok(ServerMsg::Pong)
+                } else {
+                    Err(DbError::Session(format!("unknown session {session}")))
+                }
+            }
+            ClientMsg::Close { session } => {
+                self.sessions.lock().remove(&session);
+                Ok(ServerMsg::Closed)
+            }
+        }
+    }
+}
+
+impl Service for Controller {
+    fn call(&self, _from: &Addr, request: Bytes) -> Result<Bytes, NetError> {
+        if !self.is_running() {
+            return Err(NetError::Refused(format!(
+                "controller {} is stopped",
+                self.id
+            )));
+        }
+        let frame = ClusterFrame::decode(request)
+            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        if frame.version > self.max_proto {
+            // Version mismatch detected at the protocol layer (§5.3.1).
+            let reply = ServerMsg::Error {
+                code: err_code(&DbError::Protocol(String::new())),
+                msg: format!(
+                    "cluster protocol v{} not supported (controller speaks <= v{})",
+                    frame.version, self.max_proto
+                ),
+            };
+            return Ok(reply.encode());
+        }
+        let msg = ClientMsg::decode(frame.inner)
+            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        Ok(self.handle(msg).encode())
+    }
+}

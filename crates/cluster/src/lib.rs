@@ -1,0 +1,42 @@
+//! # cluster — Sequoia-like database replication middleware
+//!
+//! The substrate for the paper's §5.3 case studies: controllers give
+//! applications "the illusion that they are conversing with a single
+//! database" while replicating writes across `minidb` backends.
+//!
+//! * [`VirtualDb`] — full replication (write broadcast, read load
+//!   balancing) with a recovery log and checkpointed backend
+//!   disable/enable for maintenance and backend driver upgrades;
+//! * [`Controller`] — terminates the versioned cluster protocol
+//!   ([`proto`]), buffers transactions, can be stopped/restarted for
+//!   rolling upgrades, and can embed a replicated Drivolution server
+//!   (Figure 6);
+//! * [`Group`] — total-order write replication and driver-table
+//!   replication between controllers (see the substitution note in
+//!   [`group`]);
+//! * [`ClusterDriver`] — the client-side Sequoia driver: multi-host URLs,
+//!   load balancing, transparent failover, and backward-compatible
+//!   protocol negotiation; registered with the driver VM through
+//!   [`ClusterDriverFactory`].
+//!
+//! Known modelling simplification: statements inside an explicit
+//! transaction are buffered on the controller and applied atomically at
+//! COMMIT, so in-transaction reads see pre-transaction state. None of the
+//! paper's scenarios depend on in-transaction read-your-writes through
+//! the middleware.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod controller;
+pub mod driver;
+pub mod group;
+pub mod proto;
+pub mod vdb;
+
+pub use backend::{Backend, ConnFactory};
+pub use controller::Controller;
+pub use driver::{cluster_image, ClusterDriver, ClusterDriverFactory};
+pub use group::Group;
+pub use proto::{ClusterFrame, CLUSTER_V1, CLUSTER_V2};
+pub use vdb::{is_read, VirtualDb};

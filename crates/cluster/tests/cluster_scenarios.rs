@@ -1,0 +1,287 @@
+//! Cluster scenarios from the paper's §5.3: replicated controllers,
+//! driver failover, rolling upgrades, and embedded Drivolution servers.
+
+use std::sync::Arc;
+
+use cluster::{cluster_image, Backend, ClusterDriver, Controller, Group, VirtualDb, CLUSTER_V1, CLUSTER_V2};
+use driverkit::{legacy_driver, ConnectProps, DbUrl, DkError, Driver};
+use drivolution_core::pack::pack_driver;
+use drivolution_core::{
+    ApiName, BinaryFormat, DriverId, DriverRecord, DriverVersion, PermissionRule,
+};
+use drivolution_server::ServerConfig;
+use minidb::wire::DbServer;
+use minidb::{MiniDb, Value};
+use netsim::{Addr, Network};
+
+/// Builds a controller with `n` backends on hosts
+/// `replica<ctrl_id>0..n`, all holding table `t`.
+fn controller_with_backends(
+    net: &Network,
+    id: u32,
+    n: usize,
+) -> (Arc<Controller>, Vec<Arc<MiniDb>>) {
+    let mut dbs = Vec::new();
+    let mut backends = Vec::new();
+    for i in 0..n {
+        let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
+        {
+            let mut s = db.admin_session();
+            db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+                .unwrap();
+        }
+        let host = format!("replica{id}{i}");
+        let addr = Addr::new(host.clone(), 5432);
+        net.bind_arc(addr.clone(), Arc::new(DbServer::new(db.clone())))
+            .unwrap();
+        let drv = legacy_driver(net, &Addr::new(format!("controller{id}"), 1), 2).unwrap();
+        backends.push(Backend::with_driver(
+            host,
+            drv,
+            DbUrl::direct(addr, "vdb"),
+            ConnectProps::user("admin", "admin"),
+        ));
+        dbs.push(db);
+    }
+    let ctrl = Controller::launch(
+        net,
+        id,
+        Addr::new(format!("controller{id}"), 25322),
+        VirtualDb::new("vdb", backends),
+        CLUSTER_V2,
+    )
+    .unwrap();
+    (ctrl, dbs)
+}
+
+fn cluster_url() -> DbUrl {
+    DbUrl::cluster(
+        vec![
+            Addr::new("controller1", 25322),
+            Addr::new("controller2", 25322),
+        ],
+        "vdb",
+    )
+}
+
+fn client_driver(net: &Network, proto: u16) -> ClusterDriver {
+    ClusterDriver::new(
+        cluster_image("sequoia-driver", DriverVersion::new(proto as i32, 0, 0), proto),
+        net.clone(),
+        Addr::new("app", 1),
+    )
+    .unwrap()
+}
+
+fn two_controller_cluster(net: &Network) -> (Arc<Controller>, Arc<Controller>, Vec<Arc<MiniDb>>) {
+    let (c1, mut dbs1) = controller_with_backends(net, 1, 2);
+    let (c2, dbs2) = controller_with_backends(net, 2, 2);
+    let group = Group::new("cluster");
+    group.join(&c1);
+    group.join(&c2);
+    dbs1.extend(dbs2);
+    (c1, c2, dbs1)
+}
+
+#[test]
+fn writes_replicate_across_controllers_and_backends() {
+    let net = Network::new();
+    let (_c1, _c2, dbs) = two_controller_cluster(&net);
+    let d = client_driver(&net, CLUSTER_V2);
+    let mut conn = d
+        .connect(&cluster_url(), &ConnectProps::user("app", "pw"))
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+    // All four backends across both controllers got the write.
+    for db in &dbs {
+        assert_eq!(db.table_len("t").unwrap(), 1);
+    }
+    let rs = conn
+        .execute("SELECT count(*) FROM t")
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::BigInt(1));
+}
+
+#[test]
+fn transactions_apply_atomically_on_commit() {
+    let net = Network::new();
+    let (_c1, _c2, dbs) = two_controller_cluster(&net);
+    let d = client_driver(&net, CLUSTER_V2);
+    let mut conn = d
+        .connect(&cluster_url(), &ConnectProps::user("app", "pw"))
+        .unwrap();
+    conn.begin().unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+    conn.execute("INSERT INTO t VALUES (2, 'b')").unwrap();
+    // Nothing visible before commit.
+    assert_eq!(dbs[0].table_len("t").unwrap(), 0);
+    conn.commit().unwrap();
+    for db in &dbs {
+        assert_eq!(db.table_len("t").unwrap(), 2);
+    }
+    // Rollback discards.
+    conn.begin().unwrap();
+    conn.execute("INSERT INTO t VALUES (3, 'c')").unwrap();
+    conn.rollback().unwrap();
+    assert_eq!(dbs[0].table_len("t").unwrap(), 2);
+}
+
+#[test]
+fn driver_fails_over_when_a_controller_stops() {
+    let net = Network::new();
+    let (c1, c2, dbs) = two_controller_cluster(&net);
+    let d = client_driver(&net, CLUSTER_V2);
+    let mut conn = d
+        .connect(&cluster_url(), &ConnectProps::user("app", "pw"))
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'before')").unwrap();
+
+    // Rolling restart: stop controller 1; the driver transparently fails
+    // over mid-session (§5.3.1: "drivers are also capable of automatic
+    // failover").
+    c1.stop();
+    conn.execute("INSERT INTO t VALUES (2, 'during')").unwrap();
+    // Only c2's backends received the write while c1 was down.
+    assert_eq!(dbs[2].table_len("t").unwrap(), 2);
+    c1.start().unwrap();
+    conn.execute("INSERT INTO t VALUES (3, 'after')").unwrap();
+    // c1's backends lag (they were not group members while down — resync
+    // at the backend level is exercised in the vdb tests).
+    assert_eq!(dbs[2].table_len("t").unwrap(), 3);
+    let _ = c2;
+}
+
+#[test]
+fn stopping_both_controllers_is_an_outage() {
+    let net = Network::new();
+    let (c1, c2, _dbs) = two_controller_cluster(&net);
+    let d = client_driver(&net, CLUSTER_V2);
+    let mut conn = d
+        .connect(&cluster_url(), &ConnectProps::user("app", "pw"))
+        .unwrap();
+    c1.stop();
+    c2.stop();
+    let e = conn.execute("SELECT 1").unwrap_err();
+    assert!(matches!(e, DkError::NoHostAvailable(_)));
+}
+
+#[test]
+fn newer_driver_negotiates_down_to_older_controller() {
+    let net = Network::new();
+    // Controller only speaks v1.
+    let (_ctrl, _dbs) = {
+        let mut dbs = Vec::new();
+        let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
+        {
+            let mut s = db.admin_session();
+            db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+                .unwrap();
+        }
+        net.bind_arc(Addr::new("replica10", 5432), Arc::new(DbServer::new(db.clone())))
+            .unwrap();
+        let drv = legacy_driver(&net, &Addr::new("controller1", 1), 2).unwrap();
+        let backend = Backend::with_driver(
+            "replica10",
+            drv,
+            DbUrl::direct(Addr::new("replica10", 5432), "vdb"),
+            ConnectProps::user("admin", "admin"),
+        );
+        dbs.push(db);
+        (
+            Controller::launch(
+                &net,
+                1,
+                Addr::new("controller1", 25322),
+                VirtualDb::new("vdb", vec![backend]),
+                CLUSTER_V1,
+            )
+            .unwrap(),
+            dbs,
+        )
+    };
+    // A v2 driver connects anyway ("drivers are backward compatible with
+    // older controllers").
+    let d = client_driver(&net, CLUSTER_V2);
+    let url = DbUrl::cluster(vec![Addr::new("controller1", 25322)], "vdb");
+    let mut conn = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+}
+
+#[test]
+fn embedded_drivolution_servers_replicate_driver_tables() {
+    let net = Network::new();
+    let (c1, c2, _dbs) = two_controller_cluster(&net);
+    let s1 = c1.embed_drivolution(ServerConfig::default()).unwrap();
+    let s2 = c2.embed_drivolution(ServerConfig::default()).unwrap();
+
+    // Install once on controller 1 — "it is instantly replicated to other
+    // Drivolution servers. Therefore, all client applications can be
+    // upgraded no matter which server they are connected to." (§5.3.2)
+    let image = cluster_image("sequoia-driver", DriverVersion::new(1, 0, 0), 1);
+    let record = DriverRecord::new(
+        DriverId(1),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver(BinaryFormat::Djar, &image),
+    );
+    s1.install_driver(&record).unwrap();
+    s1.add_rule(&PermissionRule::any(DriverId(1))).unwrap();
+
+    assert_eq!(s2.store().records().unwrap().len(), 1);
+    assert_eq!(s2.store().rules().unwrap().len(), 1);
+    assert_eq!(s2.store().records().unwrap()[0], record);
+
+    // Expiry replicates too.
+    s1.expire_driver(DriverId(1)).unwrap();
+    let who = drivolution_core::ClientIdentity::new("u", "h", "vdb");
+    assert!(s2.store().permitted_driver_ids(&who).unwrap().is_empty());
+}
+
+#[test]
+fn backend_driver_upgrade_around_checkpoint() {
+    let net = Network::new();
+    let (c1, dbs) = controller_with_backends(&net, 1, 2);
+    let d = client_driver(&net, CLUSTER_V2);
+    let url = DbUrl::cluster(vec![Addr::new("controller1", 25322)], "vdb");
+    let mut conn = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+
+    // Take replica10 out, upgrade its driver (v1 → v2), keep traffic
+    // flowing, re-enable and resync (§5.3.1 "good practice" flow).
+    c1.vdb().disable_backend("replica10").unwrap();
+    conn.execute("INSERT INTO t VALUES (2, 'b')").unwrap();
+    let new_driver = legacy_driver(&net, &Addr::new("controller1", 1), 2).unwrap();
+    c1.vdb()
+        .with_backend("replica10", |b| {
+            let url = b.url().clone();
+            let props = ConnectProps::user("admin", "admin");
+            b.set_factory(Arc::new(move || new_driver.connect(&url, &props)));
+        })
+        .unwrap();
+    let replayed = c1.vdb().enable_backend("replica10").unwrap();
+    assert_eq!(replayed, 1);
+    assert_eq!(dbs[0].table_len("t").unwrap(), 2);
+    conn.execute("INSERT INTO t VALUES (3, 'c')").unwrap();
+    assert_eq!(dbs[0].table_len("t").unwrap(), 3);
+    assert_eq!(dbs[1].table_len("t").unwrap(), 3);
+}
+
+#[test]
+fn load_balancing_spreads_sessions_across_controllers() {
+    let net = Network::new();
+    let (_c1, _c2, _dbs) = two_controller_cluster(&net);
+    let d = client_driver(&net, CLUSTER_V2);
+    let mut conns = Vec::new();
+    for _ in 0..8 {
+        conns.push(
+            d.connect(&cluster_url(), &ConnectProps::user("app", "pw"))
+                .unwrap(),
+        );
+    }
+    let s = net.stats();
+    let to_c1 = s.for_addr(&Addr::new("controller1", 25322)).requests;
+    let to_c2 = s.for_addr(&Addr::new("controller2", 25322)).requests;
+    assert!(to_c1 > 0 && to_c2 > 0, "c1={to_c1} c2={to_c2}");
+}

@@ -1,0 +1,202 @@
+//! Driver identity and metadata — the in-memory form of the paper's
+//! Table 1 (`information_schema.drivers`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use bytes::Bytes;
+
+use crate::error::DrvError;
+use crate::version::{ApiVersion, DriverVersion};
+
+/// Primary key of a driver row (Table 1, `driver_id`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DriverId(pub i64);
+
+impl fmt::Display for DriverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "driver#{}", self.0)
+    }
+}
+
+/// A database API family name (Table 1, `api_name`): `JDBC`, `ODBC`, or —
+/// for this workspace's native API — `RDBC`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ApiName(String);
+
+impl ApiName {
+    /// The workspace's native API (the JDBC analog implemented by
+    /// `driverkit`).
+    pub fn rdbc() -> Self {
+        ApiName("RDBC".to_string())
+    }
+
+    /// Creates an API name (stored uppercase; matching is
+    /// case-insensitive).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ApiName(name.as_ref().to_ascii_uppercase())
+    }
+
+    /// The canonical (uppercase) name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ApiName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for ApiName {
+    type Err = DrvError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(DrvError::Codec("empty API name".into()));
+        }
+        Ok(ApiName::new(s))
+    }
+}
+
+/// Container format of the driver binary (Table 1, `binary_format`; the
+/// paper's examples are `JAR` and `ZIP`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BinaryFormat {
+    /// Drivolution JAR-like container (manifest-first layout).
+    #[default]
+    Djar,
+    /// Drivolution ZIP-like container (trailing-directory layout).
+    Dzip,
+}
+
+impl BinaryFormat {
+    /// Canonical format name as stored in the `binary_format` column.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinaryFormat::Djar => "djar",
+            BinaryFormat::Dzip => "dzip",
+        }
+    }
+
+    /// Parses a `binary_format` column value.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::BadPackage`] for unknown formats.
+    pub fn parse(s: &str) -> Result<Self, DrvError> {
+        match s.to_ascii_lowercase().as_str() {
+            "djar" | "jar" => Ok(BinaryFormat::Djar),
+            "dzip" | "zip" => Ok(BinaryFormat::Dzip),
+            other => Err(DrvError::BadPackage(format!("unknown binary format {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for BinaryFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One row of the paper's Table 1: driver metadata plus the binary code.
+///
+/// `platform = None` and wildcarded version components mean "all
+/// platforms/versions supported", exactly as the paper specifies for NULL
+/// column values. The `platform` string participates in SQL-LIKE matching
+/// (`%`/`_` wildcards).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriverRecord {
+    /// Primary key.
+    pub id: DriverId,
+    /// Supported API.
+    pub api_name: ApiName,
+    /// Supported API version (wildcards allowed).
+    pub api_version: ApiVersion,
+    /// Supported platform pattern; `None` = all platforms.
+    pub platform: Option<String>,
+    /// Driver version; `None` when the vendor does not version the binary.
+    pub version: Option<DriverVersion>,
+    /// Container format of `binary`.
+    pub format: BinaryFormat,
+    /// The driver binary code (a packed container, see [`crate::pack`]).
+    pub binary: Bytes,
+}
+
+impl DriverRecord {
+    /// Creates a record supporting all platforms and API versions.
+    pub fn new(id: DriverId, api_name: ApiName, format: BinaryFormat, binary: Bytes) -> Self {
+        DriverRecord {
+            id,
+            api_name,
+            api_version: ApiVersion::any(),
+            platform: None,
+            version: None,
+            format,
+            binary,
+        }
+    }
+
+    /// Restricts the record to an API version pattern.
+    pub fn with_api_version(mut self, v: ApiVersion) -> Self {
+        self.api_version = v;
+        self
+    }
+
+    /// Restricts the record to a platform pattern (SQL LIKE syntax).
+    pub fn with_platform(mut self, platform: impl Into<String>) -> Self {
+        self.platform = Some(platform.into());
+        self
+    }
+
+    /// Sets the driver version.
+    pub fn with_version(mut self, v: DriverVersion) -> Self {
+        self.version = Some(v);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_names_normalize() {
+        assert_eq!(ApiName::new("jdbc"), ApiName::new("JDBC"));
+        assert_eq!(ApiName::rdbc().as_str(), "RDBC");
+        assert!("".parse::<ApiName>().is_err());
+        assert_eq!("odbc".parse::<ApiName>().unwrap().to_string(), "ODBC");
+    }
+
+    #[test]
+    fn binary_formats_parse() {
+        assert_eq!(BinaryFormat::parse("JAR").unwrap(), BinaryFormat::Djar);
+        assert_eq!(BinaryFormat::parse("dzip").unwrap(), BinaryFormat::Dzip);
+        assert!(BinaryFormat::parse("tar").is_err());
+        assert_eq!(BinaryFormat::Djar.to_string(), "djar");
+    }
+
+    #[test]
+    fn record_builder_defaults_are_wildcards() {
+        let r = DriverRecord::new(
+            DriverId(1),
+            ApiName::rdbc(),
+            BinaryFormat::Djar,
+            Bytes::new(),
+        );
+        assert_eq!(r.api_version, ApiVersion::any());
+        assert_eq!(r.platform, None);
+        assert_eq!(r.version, None);
+        let r = r
+            .with_platform("linux-%")
+            .with_version(DriverVersion::new(1, 0, 0))
+            .with_api_version(ApiVersion::major_only(3));
+        assert_eq!(r.platform.as_deref(), Some("linux-%"));
+    }
+
+    #[test]
+    fn driver_id_displays() {
+        assert_eq!(DriverId(7).to_string(), "driver#7");
+    }
+}

@@ -1,0 +1,56 @@
+//! Content digests — the workspace's stand-in for cryptographic hashes.
+//!
+//! FNV-1a is used everywhere a real system would use SHA-256. This is a
+//! deliberate, documented simulation (see DESIGN.md): the reproduction
+//! models *where* integrity and trust checks happen, not their
+//! cryptographic strength.
+
+/// FNV-1a 64-bit digest of `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of several byte strings, order-sensitive and
+/// concatenation-ambiguity-free (each part is length-prefixed).
+pub fn fnv1a64_parts(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in (part.len() as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for b in *part {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(fnv1a64(b"driver"), fnv1a64(b"driver"));
+        assert_ne!(fnv1a64(b"driver"), fnv1a64(b"Driver"));
+        assert_ne!(fnv1a64(b""), 0);
+    }
+
+    #[test]
+    fn parts_are_unambiguous() {
+        // ("ab","c") must differ from ("a","bc").
+        assert_ne!(
+            fnv1a64_parts(&[b"ab", b"c"]),
+            fnv1a64_parts(&[b"a", b"bc"])
+        );
+        // And from the flat concatenation.
+        assert_ne!(fnv1a64_parts(&[b"abc"]), fnv1a64(b"abc"));
+    }
+}

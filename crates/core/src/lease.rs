@@ -1,0 +1,212 @@
+//! Driver leases — the DHCP-like validity mechanism of §3.1/§3.2.
+//!
+//! A [`Lease`] binds a downloaded driver to a validity window and the
+//! policies to apply when it ends. The [`LeaseState`] machine is what the
+//! bootloader consults on every tick: `Valid` → use the driver;
+//! `RenewDue` → contact the Drivolution server; `Expired` → apply the
+//! expiration policy.
+
+use std::fmt;
+
+use crate::descriptor::DriverId;
+use crate::error::{DrvError, DrvResult};
+use crate::policy::{ExpirationPolicy, RenewPolicy};
+
+/// Observable lease state at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Within the validity window; no action needed.
+    Valid,
+    /// Within the renewal margin before expiry: the bootloader should
+    /// contact the server now (paper: "the bootloader contacts the
+    /// Drivolution Server to either renew its lease or get a new version").
+    RenewDue,
+    /// Past the expiry instant.
+    Expired,
+}
+
+/// A granted driver lease.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lease {
+    driver: DriverId,
+    granted_at_ms: u64,
+    lease_ms: u64,
+    renew_margin_ms: u64,
+    renew_policy: RenewPolicy,
+    expiration_policy: ExpirationPolicy,
+}
+
+impl Lease {
+    /// Creates a lease granted at `granted_at_ms` lasting `lease_ms`.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Policy`] when `lease_ms` is zero.
+    pub fn grant(
+        driver: DriverId,
+        granted_at_ms: u64,
+        lease_ms: u64,
+        renew_policy: RenewPolicy,
+        expiration_policy: ExpirationPolicy,
+    ) -> DrvResult<Lease> {
+        if lease_ms == 0 {
+            return Err(DrvError::Policy("lease time must be positive".into()));
+        }
+        // DHCP renews at ~50% of the lease by default; we renew in the
+        // final 10% so short test leases stay mostly Valid.
+        let renew_margin_ms = (lease_ms / 10).max(1);
+        Ok(Lease {
+            driver,
+            granted_at_ms,
+            lease_ms,
+            renew_margin_ms,
+            renew_policy,
+            expiration_policy,
+        })
+    }
+
+    /// The leased driver.
+    pub fn driver(&self) -> DriverId {
+        self.driver
+    }
+
+    /// Lease duration in milliseconds.
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// Instant the lease was granted.
+    pub fn granted_at_ms(&self) -> u64 {
+        self.granted_at_ms
+    }
+
+    /// Absolute expiry instant.
+    pub fn expires_at_ms(&self) -> u64 {
+        self.granted_at_ms.saturating_add(self.lease_ms)
+    }
+
+    /// The renewal policy attached by the server.
+    pub fn renew_policy(&self) -> RenewPolicy {
+        self.renew_policy
+    }
+
+    /// The expiration policy attached by the server.
+    pub fn expiration_policy(&self) -> ExpirationPolicy {
+        self.expiration_policy
+    }
+
+    /// Milliseconds of validity remaining at `now_ms` (zero when expired).
+    pub fn remaining_ms(&self, now_ms: u64) -> u64 {
+        self.expires_at_ms().saturating_sub(now_ms)
+    }
+
+    /// The lease state at `now_ms`.
+    pub fn state(&self, now_ms: u64) -> LeaseState {
+        if now_ms >= self.expires_at_ms() {
+            LeaseState::Expired
+        } else if self.remaining_ms(now_ms) <= self.renew_margin_ms {
+            LeaseState::RenewDue
+        } else {
+            LeaseState::Valid
+        }
+    }
+
+    /// Returns a fresh lease with the same terms granted at `now_ms` —
+    /// the server's `RENEW` answer.
+    pub fn renewed(&self, now_ms: u64) -> Lease {
+        Lease {
+            granted_at_ms: now_ms,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Lease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lease({} for {}ms from {}, {}/{})",
+            self.driver, self.lease_ms, self.granted_at_ms, self.renew_policy, self.expiration_policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lease() -> Lease {
+        Lease::grant(
+            DriverId(1),
+            1_000,
+            10_000,
+            RenewPolicy::Renew,
+            ExpirationPolicy::AfterCommit,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_lease_rejected() {
+        assert!(Lease::grant(
+            DriverId(1),
+            0,
+            0,
+            RenewPolicy::Renew,
+            ExpirationPolicy::AfterClose
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn state_progression() {
+        let l = lease();
+        assert_eq!(l.state(1_000), LeaseState::Valid);
+        assert_eq!(l.state(5_000), LeaseState::Valid);
+        // Final 10% (last 1000ms): renewal due.
+        assert_eq!(l.state(10_000), LeaseState::RenewDue);
+        assert_eq!(l.state(10_999), LeaseState::RenewDue);
+        assert_eq!(l.state(11_000), LeaseState::Expired);
+        assert_eq!(l.state(999_999), LeaseState::Expired);
+    }
+
+    #[test]
+    fn remaining_saturates() {
+        let l = lease();
+        assert_eq!(l.remaining_ms(1_000), 10_000);
+        assert_eq!(l.remaining_ms(11_000), 0);
+        assert_eq!(l.remaining_ms(999_999), 0);
+    }
+
+    #[test]
+    fn renewal_restarts_the_window() {
+        let l = lease();
+        let r = l.renewed(10_500);
+        assert_eq!(r.state(10_500), LeaseState::Valid);
+        assert_eq!(r.expires_at_ms(), 20_500);
+        assert_eq!(r.driver(), l.driver());
+        assert_eq!(r.lease_ms(), l.lease_ms());
+    }
+
+    #[test]
+    fn tiny_lease_has_margin_of_one() {
+        let l = Lease::grant(
+            DriverId(1),
+            0,
+            5,
+            RenewPolicy::Upgrade,
+            ExpirationPolicy::Immediate,
+        )
+        .unwrap();
+        assert_eq!(l.state(0), LeaseState::Valid);
+        assert_eq!(l.state(4), LeaseState::RenewDue);
+        assert_eq!(l.state(5), LeaseState::Expired);
+    }
+
+    #[test]
+    fn display_mentions_policies() {
+        let s = lease().to_string();
+        assert!(s.contains("RENEW"));
+        assert!(s.contains("AFTER_COMMIT"));
+    }
+}

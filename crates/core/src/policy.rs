@@ -1,0 +1,235 @@
+//! Lease renewal and expiration policies (paper Table 2 and §3.3/§3.4.2).
+
+use std::fmt;
+
+use crate::error::{DrvError, DrvResult};
+
+/// What the bootloader does when a lease needs renewal (Table 2,
+/// `renew_policy`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RenewPolicy {
+    /// Continue using the same driver with a fresh lease.
+    #[default]
+    Renew,
+    /// Download and switch to a new driver version.
+    Upgrade,
+    /// Stop using the current driver even though no replacement exists.
+    Revoke,
+}
+
+impl RenewPolicy {
+    /// The integer encoding of Table 2 (`0: RENEW, 1: UPGRADE, 2: REVOKE`).
+    pub fn code(self) -> i32 {
+        match self {
+            RenewPolicy::Renew => 0,
+            RenewPolicy::Upgrade => 1,
+            RenewPolicy::Revoke => 2,
+        }
+    }
+
+    /// Decodes the Table 2 integer encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] for unknown codes.
+    pub fn from_code(code: i32) -> DrvResult<Self> {
+        match code {
+            0 => Ok(RenewPolicy::Renew),
+            1 => Ok(RenewPolicy::Upgrade),
+            2 => Ok(RenewPolicy::Revoke),
+            other => Err(DrvError::Codec(format!("unknown renew policy {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for RenewPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RenewPolicy::Renew => "RENEW",
+            RenewPolicy::Upgrade => "UPGRADE",
+            RenewPolicy::Revoke => "REVOKE",
+        })
+    }
+}
+
+/// When existing connections must transition off the old driver (Table 2,
+/// `expiration_policy`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExpirationPolicy {
+    /// Wait until the application explicitly closes each connection.
+    #[default]
+    AfterClose,
+    /// Close connections as soon as they are idle or their current
+    /// transaction commits.
+    AfterCommit,
+    /// Terminate all connections immediately.
+    Immediate,
+}
+
+impl ExpirationPolicy {
+    /// The integer encoding of Table 2
+    /// (`0: AFTER_CLOSE, 1: AFTER_COMMIT, 2: IMMEDIATE`).
+    pub fn code(self) -> i32 {
+        match self {
+            ExpirationPolicy::AfterClose => 0,
+            ExpirationPolicy::AfterCommit => 1,
+            ExpirationPolicy::Immediate => 2,
+        }
+    }
+
+    /// Decodes the Table 2 integer encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] for unknown codes.
+    pub fn from_code(code: i32) -> DrvResult<Self> {
+        match code {
+            0 => Ok(ExpirationPolicy::AfterClose),
+            1 => Ok(ExpirationPolicy::AfterCommit),
+            2 => Ok(ExpirationPolicy::Immediate),
+            other => Err(DrvError::Codec(format!(
+                "unknown expiration policy {other}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ExpirationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExpirationPolicy::AfterClose => "AFTER_CLOSE",
+            ExpirationPolicy::AfterCommit => "AFTER_COMMIT",
+            ExpirationPolicy::Immediate => "IMMEDIATE",
+        })
+    }
+}
+
+/// How the driver binary is transferred (Table 2, `transfer_method`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TransferMethod {
+    /// Any method the bootloader and server both support.
+    Any,
+    /// Raw bytes, no integrity protection ("FTP-like").
+    Plain,
+    /// Bytes with an integrity checksum.
+    Checksum,
+    /// Sealed channel: certificate-verified, tamper-evident
+    /// (the paper's "encrypted authenticated SSL channel").
+    #[default]
+    Sealed,
+}
+
+impl TransferMethod {
+    /// The integer encoding of Table 2 (`-1: ANY, >=0: protocol id`).
+    pub fn code(self) -> i32 {
+        match self {
+            TransferMethod::Any => -1,
+            TransferMethod::Plain => 0,
+            TransferMethod::Checksum => 1,
+            TransferMethod::Sealed => 2,
+        }
+    }
+
+    /// Decodes the Table 2 integer encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] for unknown codes.
+    pub fn from_code(code: i32) -> DrvResult<Self> {
+        match code {
+            -1 => Ok(TransferMethod::Any),
+            0 => Ok(TransferMethod::Plain),
+            1 => Ok(TransferMethod::Checksum),
+            2 => Ok(TransferMethod::Sealed),
+            other => Err(DrvError::Codec(format!("unknown transfer method {other}"))),
+        }
+    }
+
+    /// Resolves `Any` against a server preference, keeping concrete
+    /// methods as-is.
+    pub fn resolve(self, server_default: TransferMethod) -> TransferMethod {
+        match self {
+            TransferMethod::Any => server_default,
+            m => m,
+        }
+    }
+}
+
+impl fmt::Display for TransferMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferMethod::Any => "ANY",
+            TransferMethod::Plain => "PLAIN",
+            TransferMethod::Checksum => "CHECKSUM",
+            TransferMethod::Sealed => "SEALED",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renew_policy_codes_match_table_2() {
+        assert_eq!(RenewPolicy::Renew.code(), 0);
+        assert_eq!(RenewPolicy::Upgrade.code(), 1);
+        assert_eq!(RenewPolicy::Revoke.code(), 2);
+        for p in [RenewPolicy::Renew, RenewPolicy::Upgrade, RenewPolicy::Revoke] {
+            assert_eq!(RenewPolicy::from_code(p.code()).unwrap(), p);
+        }
+        assert!(RenewPolicy::from_code(7).is_err());
+    }
+
+    #[test]
+    fn expiration_policy_codes_match_table_2() {
+        assert_eq!(ExpirationPolicy::AfterClose.code(), 0);
+        assert_eq!(ExpirationPolicy::AfterCommit.code(), 1);
+        assert_eq!(ExpirationPolicy::Immediate.code(), 2);
+        for p in [
+            ExpirationPolicy::AfterClose,
+            ExpirationPolicy::AfterCommit,
+            ExpirationPolicy::Immediate,
+        ] {
+            assert_eq!(ExpirationPolicy::from_code(p.code()).unwrap(), p);
+        }
+        assert!(ExpirationPolicy::from_code(-1).is_err());
+    }
+
+    #[test]
+    fn transfer_method_any_resolves() {
+        assert_eq!(TransferMethod::Any.code(), -1);
+        assert_eq!(
+            TransferMethod::Any.resolve(TransferMethod::Sealed),
+            TransferMethod::Sealed
+        );
+        assert_eq!(
+            TransferMethod::Plain.resolve(TransferMethod::Sealed),
+            TransferMethod::Plain
+        );
+        for m in [
+            TransferMethod::Any,
+            TransferMethod::Plain,
+            TransferMethod::Checksum,
+            TransferMethod::Sealed,
+        ] {
+            assert_eq!(TransferMethod::from_code(m.code()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn defaults_favor_safety() {
+        // The paper: "In its default configuration, Drivolution uses
+        // encrypted authenticated SSL channels."
+        assert_eq!(TransferMethod::default(), TransferMethod::Sealed);
+        assert_eq!(ExpirationPolicy::default(), ExpirationPolicy::AfterClose);
+        assert_eq!(RenewPolicy::default(), RenewPolicy::Renew);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(RenewPolicy::Upgrade.to_string(), "UPGRADE");
+        assert_eq!(ExpirationPolicy::AfterCommit.to_string(), "AFTER_COMMIT");
+        assert_eq!(TransferMethod::Sealed.to_string(), "SEALED");
+    }
+}

@@ -1,0 +1,675 @@
+//! The Drivolution bootstrap and renewal protocol (paper §3.4, Tables 3–4).
+//!
+//! Message vocabulary:
+//!
+//! * [`DrvMsg::Request`] — `DRIVOLUTION_REQUEST` (unicast);
+//! * [`DrvMsg::Discover`] — `DRIVOLUTION_DISCOVER` (broadcast, DHCP-like);
+//! * [`DrvMsg::Offer`] — `DRIVOLUTION_OFFER`;
+//! * [`DrvMsg::Error`] — `DRIVOLUTION_ERROR` with a plain-text detail;
+//! * [`DrvMsg::FileRequest`] / [`DrvMsg::FileData`] — the driver file
+//!   transfer;
+//! * [`DrvMsg::Release`] — lease give-back, used by the license-server
+//!   case study (§5.4.2).
+//!
+//! Push notifications over dedicated channels (§3.2) use [`DrvNotice`].
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use netsim::codec::{
+    get_bytes, get_i64, get_opt_str, get_str, get_u16, get_u64, get_u8, put_bytes, put_opt_str,
+    put_str,
+};
+
+use crate::descriptor::{BinaryFormat, DriverId};
+use crate::error::{DrvError, DrvResult};
+use crate::policy::{ExpirationPolicy, RenewPolicy, TransferMethod};
+use crate::sign::Signature;
+use crate::version::{ApiVersion, DriverVersion};
+
+/// Conventional port Drivolution servers listen on (like DHCP's 67).
+pub const DRIVOLUTION_PORT: u16 = 1070;
+
+/// Why the client is asking for a driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// First download (cold bootstrap).
+    Bootstrap,
+    /// Lease renewal for a driver the client already runs.
+    Renewal {
+        /// The currently loaded driver.
+        current: DriverId,
+    },
+    /// Lazy fetch of an extension package for a loaded driver
+    /// (paper §5.4.1, the `ClassNotFoundException` path).
+    Extension {
+        /// The loaded base driver.
+        base: DriverId,
+        /// Stable extension name (e.g. `gis`, `nls-fr_FR`).
+        name: String,
+    },
+}
+
+/// `DRIVOLUTION_REQUEST` payload (§3.4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrvRequest {
+    /// Request kind (bootstrap / renewal / extension fetch).
+    pub kind: RequestKind,
+    /// Name of the database to be accessed.
+    pub database: String,
+    /// User name (optional credentials may accompany it).
+    pub user: String,
+    /// Optional password for servers that authenticate downloads.
+    pub password: Option<String>,
+    /// API name (e.g. `RDBC`, `JDBC`, `ODBC`).
+    pub api_name: String,
+    /// Optional API version.
+    pub api_version: Option<ApiVersion>,
+    /// Client platform (e.g. `jre-1.5`, `linux-x86_64`).
+    pub client_platform: String,
+    /// Optional preferred binary format.
+    pub preferred_format: Option<BinaryFormat>,
+    /// Optional preferred driver version.
+    pub preferred_version: Option<DriverVersion>,
+    /// Transfer methods the bootloader is willing to use.
+    pub transfer_method: TransferMethod,
+    /// Client options, e.g. required extensions encoded in the connection
+    /// URL (`locale=fr_FR`, `gis=true`; paper §5.4.1).
+    pub options: Vec<(String, String)>,
+}
+
+impl DrvRequest {
+    /// Creates a bootstrap request with no preferences.
+    pub fn bootstrap(
+        database: impl Into<String>,
+        user: impl Into<String>,
+        api_name: impl Into<String>,
+        client_platform: impl Into<String>,
+    ) -> Self {
+        DrvRequest {
+            kind: RequestKind::Bootstrap,
+            database: database.into(),
+            user: user.into(),
+            password: None,
+            api_name: api_name.into(),
+            api_version: None,
+            client_platform: client_platform.into(),
+            preferred_format: None,
+            preferred_version: None,
+            transfer_method: TransferMethod::Any,
+            options: Vec::new(),
+        }
+    }
+
+    /// Returns a request option by key.
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// `DRIVOLUTION_OFFER` payload (§3.4.1): lease terms, driver location and
+/// format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrvOffer {
+    /// The offered driver.
+    pub driver_id: DriverId,
+    /// Its version, if recorded.
+    pub driver_version: Option<DriverVersion>,
+    /// `true` when this is a renewal of the driver the client already has:
+    /// "a DRIVOLUTION_OFFER without data file instructs the bootloader to
+    /// continue to use the same driver" (Table 4).
+    pub same_driver: bool,
+    /// Lease duration in milliseconds.
+    pub lease_ms: u64,
+    /// Renewal policy for this lease.
+    pub renew_policy: RenewPolicy,
+    /// Expiration policy for this lease.
+    pub expiration_policy: ExpirationPolicy,
+    /// Container format of the driver file.
+    pub format: BinaryFormat,
+    /// Opaque location token for `FILE_REQUEST`.
+    pub location: String,
+    /// Driver file size in bytes.
+    pub size: u64,
+    /// Transfer method the server will use.
+    pub transfer_method: TransferMethod,
+    /// Options the bootloader must pass to the driver at load time
+    /// (Table 2 `driver_options`).
+    pub options: Vec<(String, String)>,
+    /// Optional code signature over the driver file.
+    pub signature: Option<Signature>,
+}
+
+/// Stable `DRIVOLUTION_ERROR` codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrvErrCode {
+    /// "invalid database".
+    InvalidDatabase,
+    /// "no driver for specified API/platform".
+    NoMatchingDriver,
+    /// Client not permitted.
+    PermissionDenied,
+    /// Lease cannot be renewed and no replacement exists (REVOKE path).
+    NoDriverAvailable,
+    /// Anything else.
+    Internal,
+}
+
+impl DrvErrCode {
+    fn code(self) -> u16 {
+        match self {
+            DrvErrCode::InvalidDatabase => 1,
+            DrvErrCode::NoMatchingDriver => 2,
+            DrvErrCode::PermissionDenied => 3,
+            DrvErrCode::NoDriverAvailable => 4,
+            DrvErrCode::Internal => 5,
+        }
+    }
+
+    fn from_code(c: u16) -> Self {
+        match c {
+            1 => DrvErrCode::InvalidDatabase,
+            2 => DrvErrCode::NoMatchingDriver,
+            3 => DrvErrCode::PermissionDenied,
+            4 => DrvErrCode::NoDriverAvailable,
+            _ => DrvErrCode::Internal,
+        }
+    }
+
+    /// Maps a protocol error into the crate error type.
+    pub fn into_error(self, message: String) -> DrvError {
+        match self {
+            DrvErrCode::InvalidDatabase => DrvError::InvalidDatabase(message),
+            DrvErrCode::NoMatchingDriver => DrvError::NoMatchingDriver(message),
+            DrvErrCode::PermissionDenied => DrvError::PermissionDenied(message),
+            DrvErrCode::NoDriverAvailable => DrvError::LeaseExpired(message),
+            DrvErrCode::Internal => DrvError::Internal(message),
+        }
+    }
+
+    /// Classifies a server-side error for the wire.
+    pub fn classify(e: &DrvError) -> DrvErrCode {
+        match e {
+            DrvError::InvalidDatabase(_) => DrvErrCode::InvalidDatabase,
+            DrvError::NoMatchingDriver(_) => DrvErrCode::NoMatchingDriver,
+            DrvError::PermissionDenied(_) => DrvErrCode::PermissionDenied,
+            DrvError::LeaseExpired(_) => DrvErrCode::NoDriverAvailable,
+            _ => DrvErrCode::Internal,
+        }
+    }
+}
+
+/// A Drivolution protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DrvMsg {
+    /// Unicast `DRIVOLUTION_REQUEST`.
+    Request(DrvRequest),
+    /// Broadcast `DRIVOLUTION_DISCOVER` (same payload; servers that can
+    /// serve it answer with offers).
+    Discover(DrvRequest),
+    /// `DRIVOLUTION_OFFER`.
+    Offer(DrvOffer),
+    /// `DRIVOLUTION_ERROR` with an "optional detailed error message in
+    /// plain text".
+    Error {
+        /// Error class.
+        code: DrvErrCode,
+        /// Plain-text detail.
+        message: String,
+    },
+    /// `FILE_REQUEST(driver_file)`.
+    FileRequest {
+        /// Location token from the offer.
+        location: String,
+        /// Transfer method to use.
+        transfer_method: TransferMethod,
+    },
+    /// `FILE_DATA(binary_code)` — payload is transfer-wrapped (see
+    /// [`crate::transfer`]).
+    FileData {
+        /// Wrapped driver bytes.
+        payload: Bytes,
+    },
+    /// Lease give-back (license server, §5.4.2).
+    Release {
+        /// Database whose driver is returned.
+        database: String,
+        /// Releasing user.
+        user: String,
+        /// The returned driver.
+        driver: DriverId,
+    },
+    /// Acknowledgement of a release.
+    ReleaseOk,
+}
+
+fn put_req(b: &mut BytesMut, r: &DrvRequest) {
+    match &r.kind {
+        RequestKind::Bootstrap => b.put_u8(0),
+        RequestKind::Renewal { current } => {
+            b.put_u8(1);
+            b.put_i64_le(current.0);
+        }
+        RequestKind::Extension { base, name } => {
+            b.put_u8(2);
+            b.put_i64_le(base.0);
+            put_str(b, name);
+        }
+    }
+    put_str(b, &r.database);
+    put_str(b, &r.user);
+    put_opt_str(b, r.password.as_deref());
+    put_str(b, &r.api_name);
+    put_opt_str(b, r.api_version.map(|v| v.to_string()).as_deref());
+    put_str(b, &r.client_platform);
+    put_opt_str(b, r.preferred_format.map(|f| f.to_string()).as_deref());
+    put_opt_str(b, r.preferred_version.map(|v| v.to_string()).as_deref());
+    b.put_i8(r.transfer_method.code() as i8);
+    b.put_u16_le(r.options.len() as u16);
+    for (k, v) in &r.options {
+        put_str(b, k);
+        put_str(b, v);
+    }
+}
+
+fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
+    let kind = match get_u8(buf, "request kind")? {
+        0 => RequestKind::Bootstrap,
+        1 => RequestKind::Renewal {
+            current: DriverId(get_i64(buf, "current driver")?),
+        },
+        2 => RequestKind::Extension {
+            base: DriverId(get_i64(buf, "base driver")?),
+            name: get_str(buf, "extension name")?,
+        },
+        t => return Err(DrvError::Codec(format!("unknown request kind {t}"))),
+    };
+    let database = get_str(buf, "database")?;
+    let user = get_str(buf, "user")?;
+    let password = get_opt_str(buf, "password")?;
+    let api_name = get_str(buf, "api name")?;
+    let api_version = get_opt_str(buf, "api version")?
+        .map(|s| s.parse::<ApiVersion>())
+        .transpose()?;
+    let client_platform = get_str(buf, "client platform")?;
+    let preferred_format = get_opt_str(buf, "preferred format")?
+        .map(|s| BinaryFormat::parse(&s))
+        .transpose()?;
+    let preferred_version = get_opt_str(buf, "preferred version")?
+        .map(|s| s.parse::<DriverVersion>())
+        .transpose()?;
+    let transfer_method = TransferMethod::from_code(i32::from(get_u8(buf, "transfer")? as i8))?;
+    let n_opt = get_u16(buf, "request options")?;
+    let mut options = Vec::with_capacity(n_opt as usize);
+    for _ in 0..n_opt {
+        let k = get_str(buf, "option key")?;
+        let v = get_str(buf, "option value")?;
+        options.push((k, v));
+    }
+    Ok(DrvRequest {
+        kind,
+        database,
+        user,
+        password,
+        api_name,
+        api_version,
+        client_platform,
+        preferred_format,
+        preferred_version,
+        transfer_method,
+        options,
+    })
+}
+
+fn put_offer(b: &mut BytesMut, o: &DrvOffer) {
+    b.put_i64_le(o.driver_id.0);
+    put_opt_str(b, o.driver_version.map(|v| v.to_string()).as_deref());
+    b.put_u8(u8::from(o.same_driver));
+    b.put_u64_le(o.lease_ms);
+    b.put_u8(o.renew_policy.code() as u8);
+    b.put_u8(o.expiration_policy.code() as u8);
+    put_str(b, o.format.as_str());
+    put_str(b, &o.location);
+    b.put_u64_le(o.size);
+    b.put_i8(o.transfer_method.code() as i8);
+    b.put_u16_le(o.options.len() as u16);
+    for (k, v) in &o.options {
+        put_str(b, k);
+        put_str(b, v);
+    }
+    match &o.signature {
+        Some(s) => {
+            b.put_u8(1);
+            b.put_slice(&s.encode());
+        }
+        None => b.put_u8(0),
+    }
+}
+
+fn get_offer(buf: &mut Bytes) -> DrvResult<DrvOffer> {
+    let driver_id = DriverId(get_i64(buf, "driver id")?);
+    let driver_version = get_opt_str(buf, "driver version")?
+        .map(|s| s.parse::<DriverVersion>())
+        .transpose()?;
+    let same_driver = get_u8(buf, "same driver")? != 0;
+    let lease_ms = get_u64(buf, "lease ms")?;
+    let renew_policy = RenewPolicy::from_code(i32::from(get_u8(buf, "renew policy")?))?;
+    let expiration_policy = ExpirationPolicy::from_code(i32::from(get_u8(buf, "exp policy")?))?;
+    let format = BinaryFormat::parse(&get_str(buf, "format")?)?;
+    let location = get_str(buf, "location")?;
+    let size = get_u64(buf, "size")?;
+    let transfer_method = TransferMethod::from_code(i32::from(get_u8(buf, "transfer")? as i8))?;
+    let n_opt = get_u16(buf, "option count")?;
+    let mut options = Vec::with_capacity(n_opt as usize);
+    for _ in 0..n_opt {
+        let k = get_str(buf, "option key")?;
+        let v = get_str(buf, "option value")?;
+        options.push((k, v));
+    }
+    let signature = match get_u8(buf, "signature presence")? {
+        0 => None,
+        1 => {
+            if buf.len() < 16 {
+                return Err(DrvError::Codec("truncated signature".into()));
+            }
+            let sig_bytes = buf.split_to(16);
+            Some(Signature::decode(sig_bytes)?)
+        }
+        t => return Err(DrvError::Codec(format!("bad signature presence {t}"))),
+    };
+    Ok(DrvOffer {
+        driver_id,
+        driver_version,
+        same_driver,
+        lease_ms,
+        renew_policy,
+        expiration_policy,
+        format,
+        location,
+        size,
+        transfer_method,
+        options,
+        signature,
+    })
+}
+
+impl DrvMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            DrvMsg::Request(r) => {
+                b.put_u8(0);
+                put_req(&mut b, r);
+            }
+            DrvMsg::Discover(r) => {
+                b.put_u8(1);
+                put_req(&mut b, r);
+            }
+            DrvMsg::Offer(o) => {
+                b.put_u8(2);
+                put_offer(&mut b, o);
+            }
+            DrvMsg::Error { code, message } => {
+                b.put_u8(3);
+                b.put_u16_le(code.code());
+                put_str(&mut b, message);
+            }
+            DrvMsg::FileRequest {
+                location,
+                transfer_method,
+            } => {
+                b.put_u8(4);
+                put_str(&mut b, location);
+                b.put_i8(transfer_method.code() as i8);
+            }
+            DrvMsg::FileData { payload } => {
+                b.put_u8(5);
+                put_bytes(&mut b, payload);
+            }
+            DrvMsg::Release {
+                database,
+                user,
+                driver,
+            } => {
+                b.put_u8(6);
+                put_str(&mut b, database);
+                put_str(&mut b, user);
+                b.put_i64_le(driver.0);
+            }
+            DrvMsg::ReleaseOk => b.put_u8(7),
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a message.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] on malformed frames.
+    pub fn decode(mut buf: Bytes) -> DrvResult<Self> {
+        match get_u8(&mut buf, "drv msg tag")? {
+            0 => Ok(DrvMsg::Request(get_req(&mut buf)?)),
+            1 => Ok(DrvMsg::Discover(get_req(&mut buf)?)),
+            2 => Ok(DrvMsg::Offer(get_offer(&mut buf)?)),
+            3 => Ok(DrvMsg::Error {
+                code: DrvErrCode::from_code(get_u16(&mut buf, "error code")?),
+                message: get_str(&mut buf, "error message")?,
+            }),
+            4 => Ok(DrvMsg::FileRequest {
+                location: get_str(&mut buf, "location")?,
+                transfer_method: TransferMethod::from_code(i32::from(
+                    get_u8(&mut buf, "transfer")? as i8,
+                ))?,
+            }),
+            5 => Ok(DrvMsg::FileData {
+                payload: get_bytes(&mut buf, "file payload")?,
+            }),
+            6 => Ok(DrvMsg::Release {
+                database: get_str(&mut buf, "database")?,
+                user: get_str(&mut buf, "user")?,
+                driver: DriverId(get_i64(&mut buf, "driver")?),
+            }),
+            7 => Ok(DrvMsg::ReleaseOk),
+            t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
+        }
+    }
+
+    /// Encodes an error message from a server-side failure.
+    pub fn error_from(e: &DrvError) -> DrvMsg {
+        DrvMsg::Error {
+            code: DrvErrCode::classify(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Push notifications on the dedicated bootloader↔server channel (§3.2:
+/// "a dedicated channel … allows the Drivolution Server to immediately
+/// signal that a new driver is available").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DrvNotice {
+    /// A new driver for `database` is available; renew now.
+    DriverAvailable {
+        /// Affected database.
+        database: String,
+    },
+    /// The driver for `database` has been revoked; apply the expiration
+    /// policy now.
+    DriverRevoked {
+        /// Affected database.
+        database: String,
+    },
+}
+
+impl DrvNotice {
+    /// Serializes the notice.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            DrvNotice::DriverAvailable { database } => {
+                b.put_u8(0);
+                put_str(&mut b, database);
+            }
+            DrvNotice::DriverRevoked { database } => {
+                b.put_u8(1);
+                put_str(&mut b, database);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a notice.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] on malformed frames.
+    pub fn decode(mut buf: Bytes) -> DrvResult<Self> {
+        match get_u8(&mut buf, "notice tag")? {
+            0 => Ok(DrvNotice::DriverAvailable {
+                database: get_str(&mut buf, "database")?,
+            }),
+            1 => Ok(DrvNotice::DriverRevoked {
+                database: get_str(&mut buf, "database")?,
+            }),
+            t => Err(DrvError::Codec(format!("unknown notice tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SigningKey;
+
+    fn request() -> DrvRequest {
+        let mut r = DrvRequest::bootstrap("orders", "app1", "RDBC", "linux-x86_64");
+        r.password = Some("pw".into());
+        r.api_version = Some(ApiVersion::exact(1, 0));
+        r.preferred_format = Some(BinaryFormat::Dzip);
+        r.preferred_version = Some(DriverVersion::new(2, 1, 0));
+        r.transfer_method = TransferMethod::Sealed;
+        r.options = vec![("locale".into(), "fr_FR".into())];
+        r
+    }
+
+    fn offer() -> DrvOffer {
+        DrvOffer {
+            driver_id: DriverId(7),
+            driver_version: Some(DriverVersion::new(2, 1, 0)),
+            same_driver: false,
+            lease_ms: 3_600_000,
+            renew_policy: RenewPolicy::Upgrade,
+            expiration_policy: ExpirationPolicy::AfterCommit,
+            format: BinaryFormat::Djar,
+            location: "drivers/7".into(),
+            size: 123_456,
+            transfer_method: TransferMethod::Sealed,
+            options: vec![("fetch_size".into(), "100".into())],
+            signature: Some(SigningKey::from_seed(1).sign(b"bytes")),
+        }
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let msgs = vec![
+            DrvMsg::Request(request()),
+            DrvMsg::Discover(DrvRequest::bootstrap("db", "u", "RDBC", "p")),
+            DrvMsg::Request(DrvRequest {
+                kind: RequestKind::Renewal {
+                    current: DriverId(3),
+                },
+                ..request()
+            }),
+            DrvMsg::Request(DrvRequest {
+                kind: RequestKind::Extension {
+                    base: DriverId(3),
+                    name: "gis".into(),
+                },
+                ..request()
+            }),
+            DrvMsg::Offer(offer()),
+            DrvMsg::Offer(DrvOffer {
+                signature: None,
+                same_driver: true,
+                ..offer()
+            }),
+            DrvMsg::Error {
+                code: DrvErrCode::NoMatchingDriver,
+                message: "no driver for specified API/platform".into(),
+            },
+            DrvMsg::FileRequest {
+                location: "drivers/7".into(),
+                transfer_method: TransferMethod::Checksum,
+            },
+            DrvMsg::FileData {
+                payload: Bytes::from_static(b"wrapped"),
+            },
+            DrvMsg::Release {
+                database: "db".into(),
+                user: "u".into(),
+                driver: DriverId(9),
+            },
+            DrvMsg::ReleaseOk,
+        ];
+        for m in msgs {
+            assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");
+        }
+    }
+
+    #[test]
+    fn error_codes_map_to_crate_errors() {
+        let e = DrvErrCode::InvalidDatabase.into_error("hr".into());
+        assert!(matches!(e, DrvError::InvalidDatabase(_)));
+        assert_eq!(
+            DrvErrCode::classify(&DrvError::NoMatchingDriver("x".into())),
+            DrvErrCode::NoMatchingDriver
+        );
+        // Classify → into_error → classify is stable.
+        for code in [
+            DrvErrCode::InvalidDatabase,
+            DrvErrCode::NoMatchingDriver,
+            DrvErrCode::PermissionDenied,
+            DrvErrCode::NoDriverAvailable,
+            DrvErrCode::Internal,
+        ] {
+            let e = code.into_error("m".into());
+            assert_eq!(DrvErrCode::classify(&e), code);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let enc = DrvMsg::Offer(offer()).encode();
+        for cut in [1usize, 8, 20, enc.len() - 1] {
+            assert!(DrvMsg::decode(enc.slice(0..cut)).is_err());
+        }
+        assert!(DrvMsg::decode(Bytes::from_static(&[42])).is_err());
+    }
+
+    #[test]
+    fn notices_roundtrip() {
+        for n in [
+            DrvNotice::DriverAvailable {
+                database: "orders".into(),
+            },
+            DrvNotice::DriverRevoked {
+                database: "orders".into(),
+            },
+        ] {
+            assert_eq!(DrvNotice::decode(n.encode()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn error_from_preserves_detail() {
+        let m = DrvMsg::error_from(&DrvError::PermissionDenied("client 10.0.0.9".into()));
+        let DrvMsg::Error { code, message } = m else {
+            panic!()
+        };
+        assert_eq!(code, DrvErrCode::PermissionDenied);
+        assert!(message.contains("10.0.0.9"));
+    }
+}

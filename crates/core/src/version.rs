@@ -1,0 +1,212 @@
+//! API and driver version numbers with the paper's wildcard-matching
+//! semantics: a `NULL` component "means that all versions are supported"
+//! (§3.3).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::DrvError;
+
+/// An API version (`api_version_major` / `api_version_minor` of Table 1),
+/// where either component may be absent to act as a wildcard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ApiVersion {
+    /// Major version; `None` matches any.
+    pub major: Option<i32>,
+    /// Minor version; `None` matches any.
+    pub minor: Option<i32>,
+}
+
+impl ApiVersion {
+    /// A fully wildcarded version (matches everything).
+    pub fn any() -> Self {
+        ApiVersion::default()
+    }
+
+    /// An exact version.
+    pub fn exact(major: i32, minor: i32) -> Self {
+        ApiVersion {
+            major: Some(major),
+            minor: Some(minor),
+        }
+    }
+
+    /// A major-only version (minor wildcarded).
+    pub fn major_only(major: i32) -> Self {
+        ApiVersion {
+            major: Some(major),
+            minor: None,
+        }
+    }
+
+    /// Whether this (driver-side) version pattern accepts the (client-side)
+    /// requested pattern, with `None` wildcarding on both sides — the
+    /// semantics of the paper's
+    /// `$client_api_version IS NULL OR api_version IS NULL OR
+    /// $client_api_version LIKE api_version` clause.
+    pub fn matches(&self, requested: &ApiVersion) -> bool {
+        fn part(a: Option<i32>, b: Option<i32>) -> bool {
+            match (a, b) {
+                (None, _) | (_, None) => true,
+                (Some(x), Some(y)) => x == y,
+            }
+        }
+        part(self.major, requested.major) && part(self.minor, requested.minor)
+    }
+}
+
+impl fmt::Display for ApiVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.major, self.minor) {
+            (None, _) => f.write_str("*"),
+            (Some(ma), None) => write!(f, "{ma}.*"),
+            (Some(ma), Some(mi)) => write!(f, "{ma}.{mi}"),
+        }
+    }
+}
+
+impl FromStr for ApiVersion {
+    type Err = DrvError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "*" || s.is_empty() {
+            return Ok(ApiVersion::any());
+        }
+        let bad = || DrvError::Codec(format!("invalid api version {s:?}"));
+        match s.split_once('.') {
+            None => Ok(ApiVersion::major_only(s.parse().map_err(|_| bad())?)),
+            Some((ma, "*")) => Ok(ApiVersion::major_only(ma.parse().map_err(|_| bad())?)),
+            Some((ma, mi)) => Ok(ApiVersion::exact(
+                ma.parse().map_err(|_| bad())?,
+                mi.parse().map_err(|_| bad())?,
+            )),
+        }
+    }
+}
+
+/// A concrete driver version (`driver_version_major/minor/micro` of
+/// Table 1). Ordered so "the most recent driver" is well-defined.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DriverVersion {
+    /// Major version.
+    pub major: i32,
+    /// Minor version.
+    pub minor: i32,
+    /// Micro (patch) version.
+    pub micro: i32,
+}
+
+impl DriverVersion {
+    /// Creates a version.
+    pub fn new(major: i32, minor: i32, micro: i32) -> Self {
+        DriverVersion {
+            major,
+            minor,
+            micro,
+        }
+    }
+}
+
+impl PartialOrd for DriverVersion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DriverVersion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.major, self.minor, self.micro).cmp(&(other.major, other.minor, other.micro))
+    }
+}
+
+impl fmt::Display for DriverVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.micro)
+    }
+}
+
+impl FromStr for DriverVersion {
+    type Err = DrvError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || DrvError::Codec(format!("invalid driver version {s:?}"));
+        let mut it = s.split('.');
+        let major = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let minor = it
+            .next()
+            .map(|v| v.parse().map_err(|_| bad()))
+            .transpose()?
+            .unwrap_or(0);
+        let micro = it
+            .next()
+            .map(|v| v.parse().map_err(|_| bad()))
+            .transpose()?
+            .unwrap_or(0);
+        if it.next().is_some() {
+            return Err(bad());
+        }
+        Ok(DriverVersion::new(major, minor, micro))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_version_wildcards() {
+        let any = ApiVersion::any();
+        let v3 = ApiVersion::exact(3, 0);
+        let v3x = ApiVersion::major_only(3);
+        let v4 = ApiVersion::exact(4, 0);
+        assert!(any.matches(&v3));
+        assert!(v3.matches(&any));
+        assert!(v3x.matches(&v3));
+        assert!(v3.matches(&v3x));
+        assert!(!v3.matches(&v4));
+        assert!(v3x.matches(&ApiVersion::exact(3, 9)));
+        assert!(!v3x.matches(&ApiVersion::major_only(4)));
+    }
+
+    #[test]
+    fn api_version_parse_display_roundtrip() {
+        for s in ["*", "3.*", "3.5", "4"] {
+            let v: ApiVersion = s.parse().unwrap();
+            let back: ApiVersion = v.to_string().parse().unwrap();
+            assert_eq!(v, back);
+        }
+        assert!("x.y".parse::<ApiVersion>().is_err());
+        assert_eq!("".parse::<ApiVersion>().unwrap(), ApiVersion::any());
+    }
+
+    #[test]
+    fn driver_version_ordering() {
+        let a = DriverVersion::new(1, 2, 3);
+        let b = DriverVersion::new(1, 3, 0);
+        let c = DriverVersion::new(2, 0, 0);
+        assert!(a < b && b < c);
+        let mut v = vec![c, a, b];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn driver_version_parse() {
+        assert_eq!(
+            "1.2.3".parse::<DriverVersion>().unwrap(),
+            DriverVersion::new(1, 2, 3)
+        );
+        assert_eq!(
+            "2".parse::<DriverVersion>().unwrap(),
+            DriverVersion::new(2, 0, 0)
+        );
+        assert_eq!(
+            "2.1".parse::<DriverVersion>().unwrap(),
+            DriverVersion::new(2, 1, 0)
+        );
+        assert!("1.2.3.4".parse::<DriverVersion>().is_err());
+        assert!("a.b".parse::<DriverVersion>().is_err());
+        assert_eq!(DriverVersion::new(1, 2, 3).to_string(), "1.2.3");
+    }
+}

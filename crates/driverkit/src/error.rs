@@ -1,0 +1,82 @@
+//! Error type for the RDBC driver layer.
+
+use std::error::Error;
+use std::fmt;
+
+use drivolution_core::DrvError;
+use minidb::DbError;
+
+/// Errors surfaced through the RDBC API.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DkError {
+    /// A database error reported by the server (SQL, auth, protocol).
+    Db(DbError),
+    /// A Drivolution-level error (packaging, signatures, leases).
+    Drv(DrvError),
+    /// The driver lacks a required extension package — the analog of the
+    /// paper's `ClassNotFoundException` trapped by the bootloader's
+    /// classloader (§5.4.1).
+    ExtensionMissing(String),
+    /// Connection URL could not be parsed.
+    BadUrl(String),
+    /// The operation is not supported by this driver version.
+    Unsupported(String),
+    /// The connection (or the whole driver) was closed/revoked.
+    Closed(String),
+    /// Every host in a multi-host URL failed.
+    NoHostAvailable(String),
+}
+
+impl fmt::Display for DkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DkError::Db(e) => write!(f, "database error: {e}"),
+            DkError::Drv(e) => write!(f, "drivolution error: {e}"),
+            DkError::ExtensionMissing(m) => write!(f, "driver extension not loaded: {m}"),
+            DkError::BadUrl(m) => write!(f, "invalid connection url: {m}"),
+            DkError::Unsupported(m) => write!(f, "unsupported by this driver: {m}"),
+            DkError::Closed(m) => write!(f, "connection closed: {m}"),
+            DkError::NoHostAvailable(m) => write!(f, "no host available: {m}"),
+        }
+    }
+}
+
+impl Error for DkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DkError::Db(e) => Some(e),
+            DkError::Drv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for DkError {
+    fn from(e: DbError) -> Self {
+        DkError::Db(e)
+    }
+}
+
+impl From<DrvError> for DkError {
+    fn from(e: DrvError) -> Self {
+        DkError::Drv(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type DkResult<T> = Result<T, DkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = DkError::from(DbError::Auth("bad".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("authentication failed"));
+        let e = DkError::ExtensionMissing("gis".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! Statically linked "legacy" drivers — the conventional distribution
+//! model the paper improves on (Application 3 in Figure 1 keeps using one
+//! of these; the external Drivolution server of §4.1.3 queries its legacy
+//! database through one).
+
+use std::sync::Arc;
+
+use netsim::{Addr, Network};
+
+use drivolution_core::{DriverImage, DriverVersion};
+
+use crate::api::Driver;
+use crate::error::DkResult;
+use crate::interpreted::InterpretedDriver;
+
+/// The image a legacy driver is built from: fixed at "compile time",
+/// never downloaded, never upgraded without redeploying the application.
+pub fn legacy_image(db_protocol: u16) -> DriverImage {
+    DriverImage::new(
+        format!("legacy-rdbc-v{db_protocol}"),
+        DriverVersion::new(db_protocol as i32, 0, 0),
+        db_protocol,
+    )
+}
+
+/// Builds a statically linked driver speaking the given database protocol
+/// version.
+///
+/// # Errors
+///
+/// Never in practice (the legacy image is always direct-flavor); the
+/// `Result` mirrors [`InterpretedDriver::new`].
+pub fn legacy_driver(net: &Network, local: &Addr, db_protocol: u16) -> DkResult<Arc<dyn Driver>> {
+    Ok(Arc::new(InterpretedDriver::new(
+        legacy_image(db_protocol),
+        net.clone(),
+        local.clone(),
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ConnectProps;
+    use crate::url::DbUrl;
+    use minidb::wire::DbServer;
+    use minidb::MiniDb;
+
+    #[test]
+    fn legacy_driver_connects_like_any_other() {
+        let net = Network::new();
+        let db = Arc::new(MiniDb::new("legacydb"));
+        net.bind_arc(Addr::new("db", 5432), Arc::new(DbServer::new(db)))
+            .unwrap();
+        let d = legacy_driver(&net, &Addr::new("app", 1), 1).unwrap();
+        assert_eq!(d.name(), "legacy-rdbc-v1");
+        let mut c = d
+            .connect(
+                &DbUrl::direct(Addr::new("db", 5432), "legacydb"),
+                &ConnectProps::user("admin", "admin"),
+            )
+            .unwrap();
+        c.execute("SELECT 1").unwrap();
+    }
+
+    #[test]
+    fn legacy_image_is_deterministic() {
+        assert_eq!(legacy_image(2), legacy_image(2));
+        assert_eq!(legacy_image(2).db_protocol, 2);
+    }
+}

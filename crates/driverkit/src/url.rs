@@ -1,0 +1,184 @@
+//! RDBC connection URLs.
+//!
+//! Two schemes mirror the paper's setups:
+//!
+//! * `rdbc:minidb://host:port/database` — direct database access;
+//! * `rdbc:cluster://ctrl1:port,ctrl2:port/database` — Sequoia-style
+//!   multi-controller URL with failover and load balancing (§5.3.2:
+//!   `jdbc:sequoia://controller1,controller2/db`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use netsim::Addr;
+
+use crate::error::DkError;
+
+/// URL scheme → driver flavor expected to serve it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UrlScheme {
+    /// Direct `minidb` access.
+    MiniDb,
+    /// Cluster-middleware access.
+    Cluster,
+}
+
+impl UrlScheme {
+    fn as_str(self) -> &'static str {
+        match self {
+            UrlScheme::MiniDb => "minidb",
+            UrlScheme::Cluster => "cluster",
+        }
+    }
+}
+
+/// A parsed connection URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbUrl {
+    scheme: UrlScheme,
+    hosts: Vec<Addr>,
+    database: String,
+}
+
+impl DbUrl {
+    /// Builds a direct URL for one host.
+    pub fn direct(host: Addr, database: impl Into<String>) -> Self {
+        DbUrl {
+            scheme: UrlScheme::MiniDb,
+            hosts: vec![host],
+            database: database.into(),
+        }
+    }
+
+    /// Builds a cluster URL over several controllers.
+    pub fn cluster(hosts: Vec<Addr>, database: impl Into<String>) -> Self {
+        DbUrl {
+            scheme: UrlScheme::Cluster,
+            hosts,
+            database: database.into(),
+        }
+    }
+
+    /// The URL scheme.
+    pub fn scheme(&self) -> UrlScheme {
+        self.scheme
+    }
+
+    /// Candidate hosts, in order of preference.
+    pub fn hosts(&self) -> &[Addr] {
+        &self.hosts
+    }
+
+    /// The database name.
+    pub fn database(&self) -> &str {
+        &self.database
+    }
+}
+
+impl fmt::Display for DbUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rdbc:{}://", self.scheme.as_str())?;
+        for (i, h) in self.hosts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, "/{}", self.database)
+    }
+}
+
+impl FromStr for DbUrl {
+    type Err = DkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |why: &str| DkError::BadUrl(format!("{s:?}: {why}"));
+        let rest = s.strip_prefix("rdbc:").ok_or_else(|| bad("missing rdbc: prefix"))?;
+        let (scheme_str, rest) = rest
+            .split_once("://")
+            .ok_or_else(|| bad("missing ://"))?;
+        let scheme = match scheme_str {
+            "minidb" => UrlScheme::MiniDb,
+            "cluster" => UrlScheme::Cluster,
+            other => return Err(bad(&format!("unknown scheme {other:?}"))),
+        };
+        let (host_list, database) = rest
+            .split_once('/')
+            .ok_or_else(|| bad("missing /database"))?;
+        if database.is_empty() {
+            return Err(bad("empty database name"));
+        }
+        let mut hosts = Vec::new();
+        for h in host_list.split(',') {
+            hosts.push(
+                h.parse::<Addr>()
+                    .map_err(|e| bad(&format!("bad host {h:?}: {e}")))?,
+            );
+        }
+        if hosts.is_empty() {
+            return Err(bad("no hosts"));
+        }
+        if scheme == UrlScheme::MiniDb && hosts.len() > 1 {
+            return Err(bad("minidb urls take a single host"));
+        }
+        Ok(DbUrl {
+            scheme,
+            hosts,
+            database: database.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_url_roundtrip() {
+        let u: DbUrl = "rdbc:minidb://db1:5432/orders".parse().unwrap();
+        assert_eq!(u.scheme(), UrlScheme::MiniDb);
+        assert_eq!(u.hosts(), &[Addr::new("db1", 5432)]);
+        assert_eq!(u.database(), "orders");
+        assert_eq!(u.to_string().parse::<DbUrl>().unwrap(), u);
+    }
+
+    #[test]
+    fn cluster_url_with_multiple_controllers() {
+        let u: DbUrl = "rdbc:cluster://controller1:2000,controller2:2000/orders"
+            .parse()
+            .unwrap();
+        assert_eq!(u.scheme(), UrlScheme::Cluster);
+        assert_eq!(u.hosts().len(), 2);
+        assert_eq!(u.to_string().parse::<DbUrl>().unwrap(), u);
+    }
+
+    #[test]
+    fn rejects_malformed_urls() {
+        for bad in [
+            "jdbc:minidb://h:1/db",
+            "rdbc:minidb//h:1/db",
+            "rdbc:oracle://h:1/db",
+            "rdbc:minidb://h:1/",
+            "rdbc:minidb://h:1",
+            "rdbc:minidb://hnoport/db",
+            "rdbc:minidb://a:1,b:2/db",
+        ] {
+            assert!(bad.parse::<DbUrl>().is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn builders_match_parsing() {
+        assert_eq!(
+            DbUrl::direct(Addr::new("db1", 5432), "orders"),
+            "rdbc:minidb://db1:5432/orders".parse().unwrap()
+        );
+        assert_eq!(
+            DbUrl::cluster(
+                vec![Addr::new("c1", 1), Addr::new("c2", 1)],
+                "orders"
+            ),
+            "rdbc:cluster://c1:1,c2:1/orders".parse().unwrap()
+        );
+    }
+}

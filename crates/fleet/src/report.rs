@@ -1,0 +1,196 @@
+//! Report generation: regenerates the paper's Table 5 and the scaling
+//! comparisons of §2 vs §3.2 as printable tables.
+
+use std::fmt::Write as _;
+
+use crate::model::FleetSpec;
+use crate::ops::{
+    drv_driver_update, drv_initial_install, sota_driver_update, sota_initial_install,
+    table5_drv_access_new_db, table5_drv_driver_upgrade, table5_sota_access_new_db,
+    table5_sota_driver_upgrade, Procedure,
+};
+
+/// One row of an operations comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpsRow {
+    /// Task description.
+    pub task: String,
+    /// Steps with the conventional lifecycle.
+    pub sota_steps: usize,
+    /// Steps with Drivolution.
+    pub drv_steps: usize,
+}
+
+/// The paper's Table 5 for `n_dbas` administrators.
+pub fn table5(n_dbas: usize) -> Vec<OpsRow> {
+    vec![
+        OpsRow {
+            task: format!("Accessing a new database ({n_dbas} DBAs)"),
+            sota_steps: table5_sota_access_new_db().step_count() * n_dbas,
+            drv_steps: table5_drv_access_new_db().step_count() * n_dbas,
+        },
+        OpsRow {
+            task: format!("Database driver upgrade ({n_dbas} DBAs)"),
+            sota_steps: table5_sota_driver_upgrade().step_count() * n_dbas,
+            drv_steps: table5_drv_driver_upgrade().step_count(),
+        },
+    ]
+}
+
+/// Renders Table 5 in the paper's layout.
+pub fn render_table5(n_dbas: usize) -> String {
+    let rows = table5(n_dbas);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 5. Driver upgrades in a heterogeneous database for {n_dbas} DBAs"
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>22} {:>12}",
+        "Task", "Current State-of-the-Art", "Drivolution"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>16} steps {:>6} steps",
+            r.task, r.sota_steps, r.drv_steps
+        );
+    }
+    out
+}
+
+/// Fleet-wide totals for one full driver update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetUpdateReport {
+    /// Applications updated.
+    pub apps: usize,
+    /// Total steps, conventional lifecycle (10 × installations).
+    pub sota_steps: usize,
+    /// Total steps, Drivolution (1, at the server).
+    pub drv_steps: usize,
+    /// Expected step executions including retries, conventional.
+    pub sota_expected_executions: f64,
+    /// Summed application downtime (virtual ms), conventional.
+    pub sota_downtime_ms: u64,
+    /// Summed application downtime, Drivolution (hot swap ⇒ none).
+    pub drv_downtime_ms: u64,
+    /// Operator wall time, conventional (sequential, virtual ms).
+    pub sota_wall_ms: u64,
+    /// Operator wall time, Drivolution.
+    pub drv_wall_ms: u64,
+}
+
+/// Computes the fleet-wide cost of one driver update both ways.
+pub fn fleet_update_report(fleet: &FleetSpec) -> FleetUpdateReport {
+    let per_app: Procedure = sota_driver_update();
+    let installs = fleet.installation_count();
+    let drv: Procedure = drv_driver_update();
+    FleetUpdateReport {
+        apps: fleet.app_count(),
+        sota_steps: per_app.step_count() * installs,
+        drv_steps: drv.step_count(),
+        sota_expected_executions: per_app.expected_executions() * installs as f64,
+        sota_downtime_ms: per_app.downtime_ms() * installs as u64,
+        drv_downtime_ms: 0,
+        sota_wall_ms: per_app.duration_ms() * installs as u64,
+        drv_wall_ms: drv.duration_ms(),
+    }
+}
+
+/// Initial-deployment totals (steps 1–7 vs the 4-step bootloader
+/// install).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetInstallReport {
+    /// Applications deployed.
+    pub apps: usize,
+    /// Total steps, conventional (7 × installations).
+    pub sota_steps: usize,
+    /// Total steps, Drivolution (4 × machines — the bootloader is
+    /// per-machine, not per-database).
+    pub drv_steps: usize,
+}
+
+/// Computes initial-deployment step totals.
+pub fn fleet_install_report(fleet: &FleetSpec) -> FleetInstallReport {
+    FleetInstallReport {
+        apps: fleet.app_count(),
+        sota_steps: sota_initial_install().step_count() * fleet.installation_count(),
+        drv_steps: drv_initial_install().step_count() * fleet.app_count(),
+    }
+}
+
+/// Renders the fleet update report.
+pub fn render_fleet_update(fleet: &FleetSpec) -> String {
+    let r = fleet_update_report(fleet);
+    let mut out = String::new();
+    let _ = writeln!(out, "Fleet driver update: {} applications", r.apps);
+    let _ = writeln!(
+        out,
+        "  steps              : {:>8} (state of the art) vs {:>3} (drivolution)",
+        r.sota_steps, r.drv_steps
+    );
+    let _ = writeln!(
+        out,
+        "  expected w/ retries: {:>8.1} vs {:>3}",
+        r.sota_expected_executions, r.drv_steps
+    );
+    let _ = writeln!(
+        out,
+        "  app downtime       : {:>7}m vs {:>3}m",
+        r.sota_downtime_ms / 60_000,
+        r.drv_downtime_ms / 60_000
+    );
+    let _ = writeln!(
+        out,
+        "  operator wall time : {:>7}m vs {:>3}m",
+        r.sota_wall_ms / 60_000,
+        r.drv_wall_ms / 60_000
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper_for_two_dbas() {
+        let rows = table5(2);
+        assert_eq!(rows[0].sota_steps, 6);
+        assert_eq!(rows[0].drv_steps, 2);
+        assert_eq!(rows[1].sota_steps, 6);
+        assert_eq!(rows[1].drv_steps, 2);
+        let rendered = render_table5(2);
+        assert!(rendered.contains("Accessing a new database"));
+        assert!(rendered.contains("Drivolution"));
+    }
+
+    #[test]
+    fn drivolution_steps_do_not_scale_with_dbas_for_upgrades() {
+        assert_eq!(table5(2)[1].drv_steps, table5(50)[1].drv_steps);
+        assert!(table5(50)[1].sota_steps > table5(2)[1].sota_steps);
+    }
+
+    #[test]
+    fn fleet_reports_scale_with_installations() {
+        let fleet = FleetSpec::hosting_center(100, &["php", "ruby"], 10, 2);
+        let r = fleet_update_report(&fleet);
+        assert_eq!(r.sota_steps, 9 * 200);
+        assert_eq!(r.drv_steps, 1);
+        assert_eq!(r.drv_downtime_ms, 0);
+        assert!(r.sota_downtime_ms > 0);
+        assert!(r.sota_expected_executions > r.sota_steps as f64);
+        let i = fleet_install_report(&fleet);
+        assert_eq!(i.sota_steps, 7 * 200);
+        assert_eq!(i.drv_steps, 4 * 100);
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let fleet = FleetSpec::hosting_center(10, &["php"], 2, 1);
+        let s = render_fleet_update(&fleet);
+        assert!(s.contains("10 applications"));
+        assert!(s.contains("drivolution"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Fleet simulation with real components: N bootloader-equipped clients
+//! against one in-database Drivolution server, under virtual time.
+//!
+//! This powers the §3.2 tradeoff experiments: lease time vs upgrade
+//! propagation time vs Drivolution-server traffic, and the
+//! dedicated-channel ablation.
+
+use std::sync::Arc;
+
+use netsim::{Addr, Network};
+
+use driverkit::{ConnectProps, DbUrl};
+use drivolution_bootloader::{Bootloader, BootloaderConfig};
+use drivolution_core::{
+    ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
+    PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
+};
+use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
+use minidb::wire::DbServer;
+use minidb::MiniDb;
+
+/// Result of one upgrade-propagation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropagationResult {
+    /// Virtual milliseconds from publish until every client runs v2.
+    pub time_to_full_upgrade_ms: u64,
+    /// Requests that reached the Drivolution server over the whole run.
+    pub server_requests: u64,
+    /// Request+response bytes at the Drivolution server.
+    pub server_bytes: u64,
+    /// Poll iterations executed.
+    pub polls: u64,
+}
+
+/// A simulated fleet wired from real components.
+pub struct FleetSim {
+    net: Network,
+    server: Arc<DrivolutionServer>,
+    drv_addr: Addr,
+    clients: Vec<Arc<Bootloader>>,
+    url: DbUrl,
+    lease_ms: u64,
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("clients", &self.clients.len())
+            .field("lease_ms", &self.lease_ms)
+            .finish()
+    }
+}
+
+fn record(id: i64, proto: u16, version: DriverVersion, padding: usize) -> DriverRecord {
+    let image = DriverImage::new(format!("fleet-drv-{id}"), version, proto);
+    DriverRecord::new(
+        DriverId(id),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        drivolution_core::pack::pack_driver_padded(BinaryFormat::Djar, &image, padding),
+    )
+    .with_version(version)
+}
+
+impl FleetSim {
+    /// Builds a fleet of `n_clients` bootloaders with `lease_ms` leases;
+    /// `notify` opens dedicated channels (the push ablation).
+    pub fn build(n_clients: usize, lease_ms: u64, notify: bool) -> Self {
+        Self::build_with_driver_size(n_clients, lease_ms, notify, 0)
+    }
+
+    /// As [`FleetSim::build`] with `driver_padding` extra bytes per
+    /// driver package (to sweep realistic driver sizes).
+    pub fn build_with_driver_size(
+        n_clients: usize,
+        lease_ms: u64,
+        notify: bool,
+        driver_padding: usize,
+    ) -> Self {
+        let net = Network::new();
+        let db = Arc::new(MiniDb::with_clock("fleetdb", net.clock().clone()));
+        {
+            let mut s = db.admin_session();
+            db.exec(&mut s, "CREATE TABLE load (id INTEGER)").unwrap();
+        }
+        net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+            .unwrap();
+        let server = attach_in_database(
+            &net,
+            db,
+            Addr::new("db1", DRIVOLUTION_PORT),
+            ServerConfig {
+                default_transfer: TransferMethod::Checksum,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        server
+            .install_driver(&record(1, 1, DriverVersion::new(1, 0, 0), driver_padding))
+            .unwrap();
+        server
+            .add_rule(
+                &PermissionRule::any(DriverId(1))
+                    .with_lease_ms(lease_ms as i64)
+                    .with_transfer(TransferMethod::Any)
+                    .with_policies(RenewPolicy::Renew, ExpirationPolicy::AfterCommit),
+            )
+            .unwrap();
+        let mut clients = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let mut config = BootloaderConfig::same_host();
+            if notify {
+                config = config.with_notify_channel();
+            }
+            clients.push(Bootloader::new(
+                &net,
+                Addr::new(format!("app{i:04}"), 1),
+                config,
+            ));
+        }
+        FleetSim {
+            net,
+            server,
+            drv_addr: Addr::new("db1", DRIVOLUTION_PORT),
+            clients,
+            url: DbUrl::direct(Addr::new("db1", 5432), "fleetdb"),
+            lease_ms,
+        }
+    }
+
+    /// The simulated network (clock, stats, faults).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The Drivolution server.
+    pub fn server(&self) -> &Arc<DrivolutionServer> {
+        &self.server
+    }
+
+    /// The client bootloaders.
+    pub fn clients(&self) -> &[Arc<Bootloader>] {
+        &self.clients
+    }
+
+    /// Bootstraps every client (each downloads v1 once).
+    pub fn bootstrap_all(&self) {
+        for (i, c) in self.clients.iter().enumerate() {
+            let props = ConnectProps::user("admin", "admin");
+            let conn = c.connect(&self.url, &props).unwrap_or_else(|e| {
+                panic!("client {i} failed to bootstrap: {e}");
+            });
+            drop(conn); // connection closed; driver stays loaded
+        }
+    }
+
+    /// Publishes driver v2 and routes the fleet to it. With `push`, also
+    /// notifies dedicated channels.
+    pub fn publish_upgrade(&self, push: bool) {
+        self.server
+            .install_driver(&record(2, 2, DriverVersion::new(2, 0, 0), 0))
+            .unwrap();
+        self.server.store().remove_permissions(DriverId(1)).unwrap();
+        self.server
+            .add_rule(
+                &PermissionRule::any(DriverId(2))
+                    .with_lease_ms(self.lease_ms as i64)
+                    .with_transfer(TransferMethod::Any)
+                    .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+            )
+            .unwrap();
+        if push {
+            self.server.notify_upgrade("fleetdb");
+        }
+    }
+
+    /// Fraction of clients running `version`.
+    pub fn fraction_on(&self, version: DriverVersion) -> f64 {
+        let n = self
+            .clients
+            .iter()
+            .filter(|c| c.active_version() == Some(version))
+            .count();
+        n as f64 / self.clients.len().max(1) as f64
+    }
+
+    /// Advances virtual time in `step_ms` increments, polling every
+    /// client each step, until all run v2 or `max_ms` elapses.
+    pub fn run_until_upgraded(&self, step_ms: u64, max_ms: u64) -> PropagationResult {
+        let start = self.net.clock().now_ms();
+        let base_stats = self.net.stats().for_addr(&self.drv_addr);
+        let mut polls = 0;
+        let target = DriverVersion::new(2, 0, 0);
+        loop {
+            for c in &self.clients {
+                let _ = c.poll();
+                polls += 1;
+            }
+            if self.fraction_on(target) >= 1.0 {
+                break;
+            }
+            if self.net.clock().now_ms() - start >= max_ms {
+                break;
+            }
+            self.net.clock().advance_ms(step_ms);
+        }
+        let end_stats = self.net.stats().for_addr(&self.drv_addr);
+        PropagationResult {
+            time_to_full_upgrade_ms: self.net.clock().now_ms() - start,
+            server_requests: end_stats.requests - base_stats.requests,
+            server_bytes: (end_stats.bytes_in + end_stats.bytes_out)
+                - (base_stats.bytes_in + base_stats.bytes_out),
+            polls,
+        }
+    }
+
+    /// Runs `duration_ms` of steady-state lease maintenance (no upgrade)
+    /// and reports the Drivolution-server traffic — the "higher traffic
+    /// to the Drivolution Server" side of the §3.2 tradeoff.
+    pub fn run_steady_state(&self, step_ms: u64, duration_ms: u64) -> PropagationResult {
+        let start = self.net.clock().now_ms();
+        let base_stats = self.net.stats().for_addr(&self.drv_addr);
+        let mut polls = 0;
+        while self.net.clock().now_ms() - start < duration_ms {
+            self.net.clock().advance_ms(step_ms);
+            for c in &self.clients {
+                let _ = c.poll();
+                polls += 1;
+            }
+        }
+        let end_stats = self.net.stats().for_addr(&self.drv_addr);
+        PropagationResult {
+            time_to_full_upgrade_ms: duration_ms,
+            server_requests: end_stats.requests - base_stats.requests,
+            server_bytes: (end_stats.bytes_in + end_stats.bytes_out)
+                - (base_stats.bytes_in + base_stats.bytes_out),
+            polls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINUTE: u64 = 60_000;
+
+    #[test]
+    fn fleet_bootstraps_and_upgrades_via_leases() {
+        let sim = FleetSim::build(5, 10 * MINUTE, false);
+        sim.bootstrap_all();
+        assert_eq!(sim.fraction_on(DriverVersion::new(1, 0, 0)), 1.0);
+        sim.publish_upgrade(false);
+        let r = sim.run_until_upgraded(MINUTE, 60 * MINUTE);
+        assert_eq!(sim.fraction_on(DriverVersion::new(2, 0, 0)), 1.0);
+        // Propagation bounded by one lease.
+        assert!(r.time_to_full_upgrade_ms <= 10 * MINUTE);
+        assert!(r.server_requests >= 5, "every client re-requested");
+    }
+
+    #[test]
+    fn push_channel_upgrades_immediately() {
+        let sim = FleetSim::build(5, 60 * MINUTE, true);
+        sim.bootstrap_all();
+        sim.publish_upgrade(true);
+        let r = sim.run_until_upgraded(MINUTE, 120 * MINUTE);
+        // With push, the fleet converges on the first poll sweep — no
+        // waiting for lease expiry.
+        assert_eq!(sim.fraction_on(DriverVersion::new(2, 0, 0)), 1.0);
+        assert!(r.time_to_full_upgrade_ms <= MINUTE);
+    }
+
+    #[test]
+    fn shorter_leases_mean_more_server_traffic() {
+        let short = FleetSim::build(4, 5 * MINUTE, false);
+        short.bootstrap_all();
+        let r_short = short.run_steady_state(MINUTE, 120 * MINUTE);
+
+        let long = FleetSim::build(4, 60 * MINUTE, false);
+        long.bootstrap_all();
+        let r_long = long.run_steady_state(MINUTE, 120 * MINUTE);
+
+        assert!(
+            r_short.server_requests > r_long.server_requests * 2,
+            "short={} long={}",
+            r_short.server_requests,
+            r_long.server_requests
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Execution engine: expression evaluation and statement execution.
+
+pub mod exec;
+pub mod expr;
+
+pub use exec::{QueryResult, RowSet};
+pub use expr::{positional, EvalCtx, Params};

@@ -1,0 +1,269 @@
+//! Table schemas: columns, constraints, and row validation.
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    name: String,
+    dtype: DataType,
+    not_null: bool,
+    primary_key: bool,
+    /// `REFERENCES table(column)` foreign-key target, if any.
+    references: Option<(String, String)>,
+}
+
+impl Column {
+    /// Creates a nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            not_null: false,
+            primary_key: false,
+            references: None,
+        }
+    }
+
+    /// Marks the column NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.not_null = true;
+        self
+    }
+
+    /// Marks the column PRIMARY KEY (implies NOT NULL).
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self.not_null = true;
+        self
+    }
+
+    /// Adds a `REFERENCES table(column)` constraint.
+    pub fn references(mut self, table: impl Into<String>, column: impl Into<String>) -> Self {
+        self.references = Some((table.into(), column.into()));
+        self
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Whether the column is NOT NULL.
+    pub fn is_not_null(&self) -> bool {
+        self.not_null
+    }
+
+    /// Whether the column is the primary key.
+    pub fn is_primary_key(&self) -> bool {
+        self.primary_key
+    }
+
+    /// Foreign-key target, if declared.
+    pub fn references_target(&self) -> Option<(&str, &str)> {
+        self.references.as_ref().map(|(t, c)| (t.as_str(), c.as_str()))
+    }
+}
+
+/// A table schema: ordered named columns plus constraints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Constraint`] on duplicate column names or multiple
+    /// primary keys.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> DbResult<Self> {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::new();
+        let mut pk = 0;
+        for c in &columns {
+            if !seen.insert(c.name.to_ascii_lowercase()) {
+                return Err(DbError::Constraint(format!(
+                    "duplicate column {} in table {}",
+                    c.name, name
+                )));
+            }
+            if c.primary_key {
+                pk += 1;
+            }
+        }
+        if pk > 1 {
+            return Err(DbError::Constraint(format!(
+                "table {name} declares {pk} primary keys"
+            )));
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    /// Table name (may be dotted, e.g. `information_schema.drivers`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ordered column definitions.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by case-insensitive name.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] when absent.
+    pub fn col_index(&self, name: &str) -> DbResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::NoSuchColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// Index of the primary-key column, if declared.
+    pub fn primary_key_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.primary_key)
+    }
+
+    /// Validates and coerces a full row to this schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Constraint`] on arity or NOT NULL violations,
+    /// [`DbError::Type`] on type mismatches.
+    pub fn validate_row(&self, row: Vec<Value>) -> DbResult<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Constraint(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (v, c) in row.into_iter().zip(&self.columns) {
+            if v.is_null() && c.not_null {
+                return Err(DbError::Constraint(format!(
+                    "column {}.{} is NOT NULL",
+                    self.name, c.name
+                )));
+            }
+            out.push(v.coerce_to(c.dtype)?);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if c.primary_key {
+                f.write_str(" PRIMARY KEY")?;
+            } else if c.not_null {
+                f.write_str(" NOT NULL")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drivers_schema() -> TableSchema {
+        TableSchema::new(
+            "drivers",
+            vec![
+                Column::new("driver_id", DataType::Integer).primary_key(),
+                Column::new("api_name", DataType::Varchar).not_null(),
+                Column::new("binary_code", DataType::Blob).not_null(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn col_index_is_case_insensitive() {
+        let s = drivers_schema();
+        assert_eq!(s.col_index("API_NAME").unwrap(), 1);
+        assert!(s.col_index("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Integer),
+                Column::new("A", DataType::Varchar),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_primary_keys_rejected() {
+        let r = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Integer).primary_key(),
+                Column::new("b", DataType::Integer).primary_key(),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validate_row_enforces_not_null_and_types() {
+        let s = drivers_schema();
+        assert!(s
+            .validate_row(vec![Value::Integer(1), Value::Null, Value::Blob(vec![])])
+            .is_err());
+        assert!(s
+            .validate_row(vec![Value::Integer(1), Value::str("JDBC")])
+            .is_err());
+        assert!(s
+            .validate_row(vec![Value::str("x"), Value::str("JDBC"), Value::Blob(vec![])])
+            .is_err());
+        let ok = s
+            .validate_row(vec![
+                Value::BigInt(1),
+                Value::str("JDBC"),
+                Value::Blob(vec![1]),
+            ])
+            .unwrap();
+        // BigInt literal is coerced to the INTEGER storage class.
+        assert_eq!(ok[0], Value::Integer(1));
+    }
+
+    #[test]
+    fn pk_implies_not_null() {
+        let c = Column::new("id", DataType::Integer).primary_key();
+        assert!(c.is_not_null());
+    }
+
+    #[test]
+    fn display_includes_constraints() {
+        let s = drivers_schema().to_string();
+        assert!(s.contains("driver_id INTEGER PRIMARY KEY"));
+        assert!(s.contains("api_name VARCHAR NOT NULL"));
+    }
+}

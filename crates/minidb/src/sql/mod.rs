@@ -1,0 +1,7 @@
+//! SQL front-end: tokens, AST, and parser.
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use parser::parse;

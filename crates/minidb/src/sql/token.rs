@@ -1,0 +1,360 @@
+//! SQL tokens and the lexer.
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized contextually).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// String literal (single-quoted, `''` escapes a quote).
+    StringLit(String),
+    /// Blob literal `X'0aff'`.
+    BlobLit(Vec<u8>),
+    /// Named parameter `$name`.
+    Param(String),
+    /// Positional parameter `?` (numbered left to right from 1).
+    Positional(usize),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::StringLit(s) => write!(f, "'{s}'"),
+            Token::BlobLit(b) => write!(f, "X'<{} bytes>'", b.len()),
+            Token::Param(p) => write!(f, "${p}"),
+            Token::Positional(i) => write!(f, "?{i}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Gt => f.write_str(">"),
+            Token::Le => f.write_str("<="),
+            Token::Ge => f.write_str(">="),
+            Token::Semi => f.write_str(";"),
+        }
+    }
+}
+
+impl Token {
+    /// Returns `true` when this token is the given keyword
+    /// (case-insensitive identifier match).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn hex_val(c: char) -> Option<u8> {
+    c.to_digit(16).map(|d| d as u8)
+}
+
+/// Tokenizes SQL text.
+///
+/// # Errors
+///
+/// [`DbError::Lex`] on unterminated strings, bad blob literals, stray
+/// characters, or integer overflow.
+pub fn lex(sql: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let mut positional = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('>') => {
+                        out.push(Token::Ne);
+                        i += 2;
+                    }
+                    Some('=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '?' => {
+                positional += 1;
+                out.push(Token::Positional(positional));
+                i += 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(DbError::Lex("bare '$' without parameter name".into()));
+                }
+                out.push(Token::Param(chars[start..j].iter().collect()));
+                i = j;
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= chars.len() {
+                        return Err(DbError::Lex("unterminated string literal".into()));
+                    }
+                    if chars[j] == '\'' {
+                        if chars.get(j + 1) == Some(&'\'') {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                out.push(Token::StringLit(s));
+                i = j;
+            }
+            'x' | 'X' if chars.get(i + 1) == Some(&'\'') => {
+                let mut bytes = Vec::new();
+                let mut j = i + 2;
+                let mut hi: Option<u8> = None;
+                loop {
+                    if j >= chars.len() {
+                        return Err(DbError::Lex("unterminated blob literal".into()));
+                    }
+                    let c = chars[j];
+                    if c == '\'' {
+                        if hi.is_some() {
+                            return Err(DbError::Lex("odd number of hex digits in blob".into()));
+                        }
+                        j += 1;
+                        break;
+                    }
+                    let Some(v) = hex_val(c) else {
+                        return Err(DbError::Lex(format!("invalid hex digit {c:?} in blob")));
+                    };
+                    match hi.take() {
+                        None => hi = Some(v),
+                        Some(h) => bytes.push((h << 4) | v),
+                    }
+                    j += 1;
+                }
+                out.push(Token::BlobLit(bytes));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| DbError::Lex(format!("integer literal {text} overflows")))?;
+                out.push(Token::Number(n));
+                i = j;
+            }
+            other => return Err(DbError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_sample_code_1_shape() {
+        let toks = lex(
+            "SELECT binary_format, binary_code FROM information_schema.drivers \
+             WHERE api_name LIKE $client_api_name AND (platform IS NULL OR platform LIKE $client_platform)",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("SELECT")));
+        assert!(toks.contains(&Token::Param("client_api_name".into())));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn blob_literals() {
+        let toks = lex("X'0aFF'").unwrap();
+        assert_eq!(toks, vec![Token::BlobLit(vec![0x0a, 0xff])]);
+        assert!(lex("X'0a0'").is_err());
+        assert!(lex("X'zz'").is_err());
+        assert!(lex("X'00").is_err());
+    }
+
+    #[test]
+    fn positional_params_number_left_to_right() {
+        let toks = lex("? ?").unwrap();
+        assert_eq!(toks, vec![Token::Positional(1), Token::Positional(2)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("= <> != < > <= >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Gt,
+                Token::Le,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Number(1),
+                Token::Comma,
+                Token::Number(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'open").is_err());
+        assert!(lex("$ x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn ident_starting_with_x_is_not_blob() {
+        let toks = lex("xmax").unwrap();
+        assert_eq!(toks, vec![Token::Ident("xmax".into())]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Row storage, catalog, and transaction undo log.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Opaque row identifier, unique within a table for its lifetime.
+pub type RowId = u64;
+
+/// A heap table: schema plus rows keyed by [`RowId`].
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_row_id: RowId,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_row_id: 1,
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in insertion (row id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> {
+        self.rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Fetches one row.
+    pub fn get(&self, id: RowId) -> Option<&Vec<Value>> {
+        self.rows.get(&id)
+    }
+
+    /// Validates the row against the schema (types, NOT NULL, primary-key
+    /// uniqueness) and inserts it, returning its new [`RowId`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Constraint`], [`DbError::Type`], or
+    /// [`DbError::DuplicateKey`].
+    pub fn insert(&mut self, row: Vec<Value>) -> DbResult<RowId> {
+        let row = self.schema.validate_row(row)?;
+        if let Some(pk) = self.schema.primary_key_index() {
+            let new_key = &row[pk];
+            for existing in self.rows.values() {
+                if existing[pk].sql_eq(new_key) == Some(true) {
+                    return Err(DbError::DuplicateKey(format!(
+                        "{}.{} = {}",
+                        self.schema.name(),
+                        self.schema.columns()[pk].name(),
+                        new_key
+                    )));
+                }
+            }
+        }
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Re-inserts a row under a previously used id (for undo).
+    pub(crate) fn restore(&mut self, id: RowId, row: Vec<Value>) {
+        self.rows.insert(id, row);
+        if id >= self.next_row_id {
+            self.next_row_id = id + 1;
+        }
+    }
+
+    /// Replaces the row at `id`, returning the previous image.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Internal`] if `id` is dead; schema errors as for insert.
+    pub fn update(&mut self, id: RowId, row: Vec<Value>) -> DbResult<Vec<Value>> {
+        let row = self.schema.validate_row(row)?;
+        if let Some(pk) = self.schema.primary_key_index() {
+            let new_key = &row[pk];
+            for (other_id, existing) in &self.rows {
+                if *other_id != id && existing[pk].sql_eq(new_key) == Some(true) {
+                    return Err(DbError::DuplicateKey(format!(
+                        "{}.{} = {}",
+                        self.schema.name(),
+                        self.schema.columns()[pk].name(),
+                        new_key
+                    )));
+                }
+            }
+        }
+        match self.rows.insert(id, row) {
+            Some(old) => Ok(old),
+            None => Err(DbError::Internal(format!(
+                "update of dead row {id} in {}",
+                self.schema.name()
+            ))),
+        }
+    }
+
+    /// Deletes the row at `id`, returning its final image.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Internal`] if `id` is dead.
+    pub fn delete(&mut self, id: RowId) -> DbResult<Vec<Value>> {
+        self.rows.remove(&id).ok_or_else(|| {
+            DbError::Internal(format!("delete of dead row {id} in {}", self.schema.name()))
+        })
+    }
+
+    /// Returns `true` if any row has `value` in column `col`.
+    pub fn contains_value(&self, col: usize, value: &Value) -> bool {
+        self.rows
+            .values()
+            .any(|r| r[col].sql_eq(value) == Some(true))
+    }
+}
+
+/// A single reversible mutation, recorded while a transaction is open.
+#[derive(Clone, Debug)]
+pub enum UndoRecord {
+    /// A row was inserted; undo deletes it.
+    Inserted {
+        /// Table that received the row.
+        table: String,
+        /// Id of the inserted row.
+        id: RowId,
+    },
+    /// A row was updated; undo restores the old image.
+    Updated {
+        /// Table containing the row.
+        table: String,
+        /// Id of the updated row.
+        id: RowId,
+        /// Pre-update image.
+        old: Vec<Value>,
+    },
+    /// A row was deleted; undo re-inserts the old image.
+    Deleted {
+        /// Table the row was deleted from.
+        table: String,
+        /// Id of the deleted row.
+        id: RowId,
+        /// Pre-delete image.
+        old: Vec<Value>,
+    },
+}
+
+/// The set of tables in one database.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] when the name is taken.
+    pub fn create_table(&mut self, schema: TableSchema) -> DbResult<()> {
+        let key = Self::key(schema.name());
+        if self.tables.contains_key(&key) {
+            return Err(DbError::TableExists(schema.name().to_string()));
+        }
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when absent.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
+        self.tables
+            .remove(&Self::key(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Immutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when absent.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] when absent.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// Sorted list of table names (canonical lowercase form).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Applies one undo record, reversing a mutation.
+    pub fn apply_undo(&mut self, rec: UndoRecord) {
+        match rec {
+            UndoRecord::Inserted { table, id } => {
+                if let Ok(t) = self.table_mut(&table) {
+                    let _ = t.delete(id);
+                }
+            }
+            UndoRecord::Updated { table, id, old } => {
+                if let Ok(t) = self.table_mut(&table) {
+                    t.restore(id, old);
+                }
+            }
+            UndoRecord::Deleted { table, id, old } => {
+                if let Ok(t) = self.table_mut(&table) {
+                    t.restore(id, old);
+                }
+            }
+        }
+    }
+
+    /// Checks that `value` exists in `table.column` — used to enforce
+    /// `REFERENCES` constraints on insert/update.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ForeignKey`] when the referenced row is missing, or the
+    /// referenced table/column does not exist.
+    pub fn check_reference(&self, table: &str, column: &str, value: &Value) -> DbResult<()> {
+        if value.is_null() {
+            return Ok(());
+        }
+        let t = self
+            .table(table)
+            .map_err(|_| DbError::ForeignKey(format!("referenced table {table} missing")))?;
+        let idx = t
+            .schema()
+            .col_index(column)
+            .map_err(|_| DbError::ForeignKey(format!("referenced column {table}.{column} missing")))?;
+        if t.contains_value(idx, value) {
+            Ok(())
+        } else {
+            Err(DbError::ForeignKey(format!(
+                "no row with {table}.{column} = {value}"
+            )))
+        }
+    }
+
+    /// Checks that no row in any table references `value` in
+    /// `table.column` — used to restrict deletes from parent tables.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ForeignKey`] when a referencing row exists.
+    pub fn check_no_referents(&self, table: &str, column: &str, value: &Value) -> DbResult<()> {
+        for t in self.tables.values() {
+            for (ci, c) in t.schema().columns().iter().enumerate() {
+                if let Some((rt, rc)) = c.references_target() {
+                    if rt.eq_ignore_ascii_case(table) && rc.eq_ignore_ascii_case(column) {
+                        if t.contains_value(ci, value) {
+                            return Err(DbError::ForeignKey(format!(
+                                "{}.{} still references {table}.{column} = {value}",
+                                t.schema().name(),
+                                c.name()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn catalog_with_fk() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new(
+                "drivers",
+                vec![
+                    Column::new("driver_id", DataType::Integer).primary_key(),
+                    Column::new("api_name", DataType::Varchar).not_null(),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_table(
+            TableSchema::new(
+                "driver_permission",
+                vec![
+                    Column::new("user", DataType::Varchar),
+                    Column::new("driver_id", DataType::Integer)
+                        .not_null()
+                        .references("drivers", "driver_id"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![Column::new("a", DataType::Integer).primary_key()],
+            )
+            .unwrap(),
+        );
+        let id = t.insert(vec![Value::Integer(1)]).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Integer(1));
+        assert_eq!(t.len(), 1);
+        let old = t.delete(id).unwrap();
+        assert_eq!(old[0], Value::Integer(1));
+        assert!(t.is_empty());
+        assert!(t.delete(id).is_err());
+    }
+
+    #[test]
+    fn primary_key_uniqueness() {
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![Column::new("a", DataType::Integer).primary_key()],
+            )
+            .unwrap(),
+        );
+        t.insert(vec![Value::Integer(1)]).unwrap();
+        assert!(matches!(
+            t.insert(vec![Value::Integer(1)]),
+            Err(DbError::DuplicateKey(_))
+        ));
+        // Updating the only row to its own key is fine.
+        let id = t.iter().next().unwrap().0;
+        t.update(id, vec![Value::Integer(1)]).unwrap();
+        // But colliding with another row is not.
+        t.insert(vec![Value::Integer(2)]).unwrap();
+        assert!(t.update(id, vec![Value::Integer(2)]).is_err());
+    }
+
+    #[test]
+    fn undo_reverses_mutations() {
+        let mut c = Catalog::new();
+        c.create_table(
+            TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap(),
+        )
+        .unwrap();
+        let id = c.table_mut("t").unwrap().insert(vec![Value::Integer(1)]).unwrap();
+        let old = c
+            .table_mut("t")
+            .unwrap()
+            .update(id, vec![Value::Integer(2)])
+            .unwrap();
+        c.apply_undo(UndoRecord::Updated {
+            table: "t".into(),
+            id,
+            old,
+        });
+        assert_eq!(c.table("t").unwrap().get(id).unwrap()[0], Value::Integer(1));
+        let old = c.table_mut("t").unwrap().delete(id).unwrap();
+        c.apply_undo(UndoRecord::Deleted {
+            table: "t".into(),
+            id,
+            old,
+        });
+        assert_eq!(c.table("t").unwrap().len(), 1);
+        c.apply_undo(UndoRecord::Inserted {
+            table: "t".into(),
+            id,
+        });
+        assert!(c.table("t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn foreign_key_checks() {
+        let mut c = catalog_with_fk();
+        c.table_mut("drivers")
+            .unwrap()
+            .insert(vec![Value::Integer(1), Value::str("JDBC")])
+            .unwrap();
+        // Insert referencing existing driver: ok.
+        c.check_reference("drivers", "driver_id", &Value::Integer(1))
+            .unwrap();
+        // Missing driver: rejected.
+        assert!(c
+            .check_reference("drivers", "driver_id", &Value::Integer(9))
+            .is_err());
+        // NULL reference: allowed.
+        c.check_reference("drivers", "driver_id", &Value::Null).unwrap();
+
+        // With a referencing permission row, parent delete is restricted.
+        c.table_mut("driver_permission")
+            .unwrap()
+            .insert(vec![Value::str("bob"), Value::Integer(1)])
+            .unwrap();
+        assert!(c
+            .check_no_referents("drivers", "driver_id", &Value::Integer(1))
+            .is_err());
+        assert!(c
+            .check_no_referents("drivers", "driver_id", &Value::Integer(2))
+            .is_ok());
+    }
+
+    #[test]
+    fn catalog_names_are_case_insensitive() {
+        let c = catalog_with_fk();
+        assert!(c.has_table("DRIVERS"));
+        assert!(c.table("Drivers").is_ok());
+    }
+
+    #[test]
+    fn restore_bumps_next_row_id() {
+        let mut t = Table::new(
+            TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap(),
+        );
+        t.restore(10, vec![Value::Integer(1)]);
+        let id = t.insert(vec![Value::Integer(2)]).unwrap();
+        assert!(id > 10);
+    }
+}

@@ -1,0 +1,367 @@
+//! SQL values, data types, and three-valued comparison logic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+
+/// Column data types, following the subset of ANSI SQL 2003 used by the
+/// paper's Table 1 and Table 2 schemas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit-style integer (stored as `i64`).
+    Integer,
+    /// 64-bit integer (`BIGINT`), used for lease times in milliseconds.
+    BigInt,
+    /// Variable-length string (`VARCHAR`).
+    Varchar,
+    /// Binary large object (`BLOB`), used for driver binary code.
+    Blob,
+    /// Millisecond-precision timestamp.
+    Timestamp,
+    /// Boolean.
+    Boolean,
+}
+
+impl DataType {
+    /// Parses a SQL type name.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Parse`] for unknown type names.
+    pub fn parse(name: &str) -> DbResult<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" => Ok(DataType::Integer),
+            "BIGINT" => Ok(DataType::BigInt),
+            "VARCHAR" | "TEXT" => Ok(DataType::Varchar),
+            "BLOB" => Ok(DataType::Blob),
+            "TIMESTAMP" => Ok(DataType::Timestamp),
+            "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+            other => Err(DbError::Parse(format!("unknown type name {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Integer => "INTEGER",
+            DataType::BigInt => "BIGINT",
+            DataType::Varchar => "VARCHAR",
+            DataType::Blob => "BLOB",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Boolean => "BOOLEAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A SQL value. `Null` is typeless, as in SQL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// INTEGER value.
+    Integer(i64),
+    /// BIGINT value.
+    BigInt(i64),
+    /// VARCHAR value.
+    Varchar(String),
+    /// BLOB value.
+    Blob(Vec<u8>),
+    /// TIMESTAMP value (milliseconds).
+    Timestamp(i64),
+    /// BOOLEAN value.
+    Boolean(bool),
+}
+
+impl Value {
+    /// Creates a VARCHAR value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Varchar(s.into())
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view over INTEGER / BIGINT / TIMESTAMP.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(v) | Value::BigInt(v) | Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view over VARCHAR.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Blob view over BLOB.
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Value::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Boolean view over BOOLEAN.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Checks whether this value may be stored in a column of type `ty`.
+    /// NULL conforms to every type; integers conform to all numeric types.
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Integer(_) | Value::BigInt(_), DataType::Integer | DataType::BigInt) => true,
+            (
+                Value::Integer(_) | Value::BigInt(_) | Value::Timestamp(_),
+                DataType::Timestamp,
+            ) => true,
+            (Value::Timestamp(_), DataType::BigInt) => true,
+            (Value::Varchar(_), DataType::Varchar) => true,
+            (Value::Blob(_), DataType::Blob) => true,
+            (Value::Boolean(_), DataType::Boolean) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerces this value to the storage representation for column type
+    /// `ty` (e.g. an integer literal inserted into a TIMESTAMP column).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Type`] when the value does not conform to `ty`.
+    pub fn coerce_to(self, ty: DataType) -> DbResult<Value> {
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, ty) {
+            (v, DataType::Integer) if v.as_i64().is_some() => {
+                Ok(Value::Integer(v.as_i64().expect("checked")))
+            }
+            (v, DataType::BigInt) if v.as_i64().is_some() => {
+                Ok(Value::BigInt(v.as_i64().expect("checked")))
+            }
+            (v, DataType::Timestamp) if v.as_i64().is_some() => {
+                Ok(Value::Timestamp(v.as_i64().expect("checked")))
+            }
+            (v @ Value::Varchar(_), DataType::Varchar) => Ok(v),
+            (v @ Value::Blob(_), DataType::Blob) => Ok(v),
+            (v @ Value::Boolean(_), DataType::Boolean) => Ok(v),
+            (v, ty) => Err(DbError::Type(format!("cannot store {v} in {ty} column"))),
+        }
+    }
+
+    /// SQL equality with three-valued logic: `None` when either side is
+    /// NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL ordering comparison with three-valued logic.
+    ///
+    /// Numeric types (INTEGER / BIGINT / TIMESTAMP) compare with each other;
+    /// other types only with themselves. Cross-type comparisons of
+    /// incompatible types yield `None` (unknown), matching the engine's
+    /// permissive dynamic typing.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (a, b) if a.as_i64().is_some() && b.as_i64().is_some() => {
+                Some(a.as_i64().cmp(&b.as_i64()))
+            }
+            (Value::Varchar(a), Value::Varchar(b)) => Some(a.cmp(b)),
+            (Value::Blob(a), Value::Blob(b)) => Some(a.cmp(b)),
+            (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL `LIKE` pattern matching (`%` = any run, `_` = any single char),
+    /// case-sensitive, three-valued: `None` when either side is NULL.
+    pub fn sql_like(&self, pattern: &Value) -> Option<bool> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Varchar(s), Value::Varchar(p)) => Some(like_match(s, p)),
+            _ => Some(false),
+        }
+    }
+}
+
+/// Reference implementation of SQL LIKE over `%` and `_` wildcards.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer matcher with backtracking over the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_s = si;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Integer(v) | Value::BigInt(v) => write!(f, "{v}"),
+            Value::Timestamp(v) => write!(f, "ts:{v}"),
+            Value::Varchar(s) => write!(f, "'{s}'"),
+            Value::Blob(b) => write!(f, "x'{} bytes'", b.len()),
+            Value::Boolean(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Integer(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Blob(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_parse() {
+        assert_eq!(DataType::parse("integer").unwrap(), DataType::Integer);
+        assert_eq!(DataType::parse("BIGINT").unwrap(), DataType::BigInt);
+        assert_eq!(DataType::parse("VarChar").unwrap(), DataType::Varchar);
+        assert!(DataType::parse("FLOAT").is_err());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Integer(1)), None);
+        assert_eq!(Value::Integer(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_like(&Value::str("%")), None);
+    }
+
+    #[test]
+    fn numeric_types_compare_across_widths() {
+        assert_eq!(
+            Value::Integer(5).sql_cmp(&Value::BigInt(5)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Timestamp(10).sql_cmp(&Value::Integer(3)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("JDBC", "JDBC"));
+        assert!(like_match("JDBC", "J%"));
+        assert!(like_match("linux-x86_64", "linux%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "a_"));
+        assert!(!like_match("abc", "b%"));
+        assert!(like_match("a%c", "a%c")); // literal traversal via wildcard
+        assert!(like_match("anything", "%%"));
+        assert!(like_match("windows-i586", "%i586"));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            Value::Integer(5).coerce_to(DataType::Timestamp).unwrap(),
+            Value::Timestamp(5)
+        );
+        assert_eq!(
+            Value::BigInt(5).coerce_to(DataType::Integer).unwrap(),
+            Value::Integer(5)
+        );
+        assert!(Value::str("x").coerce_to(DataType::Integer).is_err());
+        assert_eq!(Value::Null.coerce_to(DataType::Blob).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn conforms_to_matrix() {
+        assert!(Value::Null.conforms_to(DataType::Blob));
+        assert!(Value::Integer(1).conforms_to(DataType::BigInt));
+        assert!(Value::Timestamp(1).conforms_to(DataType::BigInt));
+        assert!(!Value::str("x").conforms_to(DataType::Integer));
+        assert!(!Value::Blob(vec![]).conforms_to(DataType::Varchar));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(42i64), Value::BigInt(42));
+        assert_eq!(Value::from(42i32), Value::Integer(42));
+        assert_eq!(Value::from("x"), Value::Varchar("x".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(1i32)), Value::Integer(1));
+    }
+}

@@ -1,0 +1,9 @@
+//! Versioned client/server wire protocol.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Credentials, RawClient};
+pub use proto::{ClientAuth, ClientMsg, ServerMsg, ALL_VERSIONS, V1, V2, V3};
+pub use server::DbServer;

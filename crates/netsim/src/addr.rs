@@ -1,0 +1,127 @@
+//! Network addresses in the simulated network.
+//!
+//! An [`Addr`] is a `host:port` pair. Hosts are free-form names ("web-03",
+//! "controller1"); the simulator does not model IP routing. Partitions and
+//! host failures are expressed at host granularity, service bindings at
+//! address granularity.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::NetError;
+
+/// A `host:port` endpoint address in the simulated network.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::Addr;
+///
+/// let addr: Addr = "db1:5432".parse()?;
+/// assert_eq!(addr.host(), "db1");
+/// assert_eq!(addr.port(), 5432);
+/// assert_eq!(addr.to_string(), "db1:5432");
+/// # Ok::<(), netsim::NetError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    host: String,
+    port: u16,
+}
+
+impl Addr {
+    /// Creates an address from a host name and port.
+    pub fn new(host: impl Into<String>, port: u16) -> Self {
+        Addr {
+            host: host.into(),
+            port,
+        }
+    }
+
+    /// The host component.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The port component.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Returns a copy of this address with a different port, useful for
+    /// deriving auxiliary service addresses (e.g. a Drivolution port next to
+    /// a database port on the same host).
+    pub fn with_port(&self, port: u16) -> Addr {
+        Addr {
+            host: self.host.clone(),
+            port,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({}:{})", self.host, self.port)
+    }
+}
+
+impl FromStr for Addr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (host, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| NetError::BadAddress(s.to_string()))?;
+        if host.is_empty() {
+            return Err(NetError::BadAddress(s.to_string()));
+        }
+        let port: u16 = port
+            .parse()
+            .map_err(|_| NetError::BadAddress(s.to_string()))?;
+        Ok(Addr::new(host, port))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let a: Addr = "controller1:25322".parse().unwrap();
+        assert_eq!(a, Addr::new("controller1", 25322));
+        assert_eq!(a.to_string().parse::<Addr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("nocolon".parse::<Addr>().is_err());
+        assert!(":123".parse::<Addr>().is_err());
+        assert!("host:notaport".parse::<Addr>().is_err());
+        assert!("host:99999".parse::<Addr>().is_err());
+    }
+
+    #[test]
+    fn with_port_keeps_host() {
+        let a = Addr::new("db1", 5432);
+        let b = a.with_port(7070);
+        assert_eq!(b.host(), "db1");
+        assert_eq!(b.port(), 7070);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![Addr::new("b", 1), Addr::new("a", 2), Addr::new("a", 1)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Addr::new("a", 1), Addr::new("a", 2), Addr::new("b", 1)]
+        );
+    }
+}

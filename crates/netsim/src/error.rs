@@ -1,0 +1,73 @@
+//! Error type for simulated network operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// No service is bound at the destination address.
+    Unreachable(String),
+    /// The destination host exists but the service refused the request.
+    Refused(String),
+    /// The message was lost (fault injection) or the peer never answered.
+    Timeout(String),
+    /// The destination is separated from the source by a network partition.
+    Partitioned(String),
+    /// A pipe or connection was closed by the peer.
+    Closed(String),
+    /// The address could not be parsed.
+    BadAddress(String),
+    /// The address is already bound by another service.
+    AddrInUse(String),
+    /// The service does not accept dedicated pipes.
+    PipesUnsupported(String),
+    /// Application-level protocol violation reported by a service.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(a) => write!(f, "no service bound at {a}"),
+            NetError::Refused(m) => write!(f, "connection refused: {m}"),
+            NetError::Timeout(m) => write!(f, "request timed out: {m}"),
+            NetError::Partitioned(m) => write!(f, "network partition between {m}"),
+            NetError::Closed(m) => write!(f, "connection closed: {m}"),
+            NetError::BadAddress(a) => write!(f, "invalid address syntax: {a:?}"),
+            NetError::AddrInUse(a) => write!(f, "address already in use: {a}"),
+            NetError::PipesUnsupported(a) => {
+                write!(f, "service at {a} does not accept dedicated pipes")
+            }
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            NetError::Unreachable("a:1".into()),
+            NetError::Refused("x".into()),
+            NetError::Timeout("x".into()),
+            NetError::Partitioned("a <-> b".into()),
+            NetError::Closed("x".into()),
+            NetError::BadAddress("x".into()),
+            NetError::AddrInUse("a:1".into()),
+            NetError::PipesUnsupported("a:1".into()),
+            NetError::Protocol("x".into()),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fault injection: host failures, network partitions, message loss.
+//!
+//! The Drivolution paper repeatedly reasons about failure behaviour — a
+//! Drivolution server outage "only impacts new driver requests or driver
+//! renewal requests" (§3.2), replicated servers remove the single point of
+//! failure (§5.3.2). This module lets tests and benchmarks create exactly
+//! those situations.
+
+use std::collections::HashSet;
+
+/// Mutable description of the currently injected faults.
+///
+/// A symmetric partition between hosts `a` and `b` blocks traffic in both
+/// directions. A down host refuses everything. `drop_prob` models lossy
+/// links: each request independently vanishes with this probability.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    partitions: HashSet<(String, String)>,
+    down_hosts: HashSet<String>,
+    drop_prob: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    fn key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+
+    /// Installs a symmetric partition between two hosts.
+    pub fn partition(&mut self, a: &str, b: &str) {
+        self.partitions.insert(Self::key(a, b));
+    }
+
+    /// Removes the partition between two hosts, if any.
+    pub fn heal(&mut self, a: &str, b: &str) {
+        self.partitions.remove(&Self::key(a, b));
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Returns `true` when traffic between the two hosts is blocked.
+    pub fn is_partitioned(&self, a: &str, b: &str) -> bool {
+        self.partitions.contains(&Self::key(a, b))
+    }
+
+    /// Marks a host as crashed: all its services become unreachable.
+    pub fn take_down(&mut self, host: &str) {
+        self.down_hosts.insert(host.to_string());
+    }
+
+    /// Restores a crashed host.
+    pub fn restore(&mut self, host: &str) {
+        self.down_hosts.remove(host);
+    }
+
+    /// Returns `true` when the host is currently down.
+    pub fn is_down(&self, host: &str) -> bool {
+        self.down_hosts.contains(host)
+    }
+
+    /// Sets the independent per-message loss probability (clamped to
+    /// `[0, 1]`).
+    pub fn set_drop_prob(&mut self, p: f64) {
+        self.drop_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Current per-message loss probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_symmetric() {
+        let mut p = FaultPlan::new();
+        p.partition("a", "b");
+        assert!(p.is_partitioned("a", "b"));
+        assert!(p.is_partitioned("b", "a"));
+        p.heal("b", "a");
+        assert!(!p.is_partitioned("a", "b"));
+    }
+
+    #[test]
+    fn heal_all_clears_everything() {
+        let mut p = FaultPlan::new();
+        p.partition("a", "b");
+        p.partition("c", "d");
+        p.heal_all();
+        assert!(!p.is_partitioned("a", "b"));
+        assert!(!p.is_partitioned("c", "d"));
+    }
+
+    #[test]
+    fn down_hosts_toggle() {
+        let mut p = FaultPlan::new();
+        p.take_down("db1");
+        assert!(p.is_down("db1"));
+        p.restore("db1");
+        assert!(!p.is_down("db1"));
+    }
+
+    #[test]
+    fn drop_prob_is_clamped() {
+        let mut p = FaultPlan::new();
+        p.set_drop_prob(3.0);
+        assert_eq!(p.drop_prob(), 1.0);
+        p.set_drop_prob(-1.0);
+        assert_eq!(p.drop_prob(), 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! The simulated network: service registry, request/response delivery,
+//! broadcast, dedicated pipes, and fault application.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::NetError;
+use crate::fault::FaultPlan;
+use crate::pipe::Pipe;
+use crate::stats::NetStats;
+use crate::{Addr, Clock};
+
+/// A network service bound at an [`Addr`].
+///
+/// Services handle synchronous request/response exchanges and may
+/// optionally accept dedicated [`Pipe`]s (long-lived duplex channels used
+/// for push notifications and failure detection).
+pub trait Service: Send + Sync {
+    /// Handles one request and produces one response.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report application-level refusals via
+    /// [`NetError::Refused`] or [`NetError::Protocol`].
+    fn call(&self, from: &Addr, request: Bytes) -> Result<Bytes, NetError>;
+
+    /// Accepts a dedicated pipe from `from`. The default implementation
+    /// refuses pipes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PipesUnsupported`] unless overridden.
+    fn accept_pipe(&self, from: &Addr, pipe: Pipe) -> Result<(), NetError> {
+        drop(pipe);
+        Err(NetError::PipesUnsupported(from.to_string()))
+    }
+}
+
+/// A [`Service`] built from a plain function or closure.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use netsim::{Addr, FnService, Network};
+///
+/// let net = Network::new();
+/// net.bind(
+///     Addr::new("echo", 7),
+///     FnService::new(|_from, req| Ok(req)),
+/// )?;
+/// let reply = net.request(
+///     &Addr::new("client", 1),
+///     &Addr::new("echo", 7),
+///     Bytes::from_static(b"hello"),
+/// )?;
+/// assert_eq!(reply, Bytes::from_static(b"hello"));
+/// # Ok::<(), netsim::NetError>(())
+/// ```
+pub struct FnService<F> {
+    f: F,
+}
+
+impl<F> fmt::Debug for FnService<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnService").finish_non_exhaustive()
+    }
+}
+
+impl<F> FnService<F>
+where
+    F: Fn(&Addr, Bytes) -> Result<Bytes, NetError> + Send + Sync,
+{
+    /// Wraps a closure as a [`Service`].
+    pub fn new(f: F) -> Self {
+        FnService { f }
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&Addr, Bytes) -> Result<Bytes, NetError> + Send + Sync,
+{
+    fn call(&self, from: &Addr, request: Bytes) -> Result<Bytes, NetError> {
+        (self.f)(from, request)
+    }
+}
+
+struct NetworkInner {
+    services: RwLock<HashMap<Addr, Arc<dyn Service>>>,
+    faults: Mutex<FaultPlan>,
+    stats: NetStats,
+    clock: Clock,
+    rng: Mutex<StdRng>,
+}
+
+/// Handle to the in-process simulated network.
+///
+/// Cloning is cheap; all clones share the same service registry, fault
+/// plan, statistics, and clock.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.inner.services.read().len();
+        f.debug_struct("Network").field("services", &n).finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with a fresh simulated [`Clock`].
+    pub fn new() -> Self {
+        Network::with_clock(Clock::simulated())
+    }
+
+    /// Creates an empty network sharing the given clock.
+    pub fn with_clock(clock: Clock) -> Self {
+        Network {
+            inner: Arc::new(NetworkInner {
+                services: RwLock::new(HashMap::new()),
+                faults: Mutex::new(FaultPlan::new()),
+                stats: NetStats::new(),
+                clock,
+                rng: Mutex::new(StdRng::seed_from_u64(0x5eed)),
+            }),
+        }
+    }
+
+    /// The clock shared by every component on this network.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Traffic statistics for this network.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Runs `f` against the mutable fault plan.
+    pub fn with_faults<R>(&self, f: impl FnOnce(&mut FaultPlan) -> R) -> R {
+        f(&mut self.inner.faults.lock())
+    }
+
+    /// Reseeds the RNG used for probabilistic message loss, for
+    /// reproducible lossy-network tests.
+    pub fn reseed(&self, seed: u64) {
+        *self.inner.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// Binds a service at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] when another service already holds `addr`.
+    pub fn bind(&self, addr: Addr, service: impl Service + 'static) -> Result<(), NetError> {
+        self.bind_arc(addr, Arc::new(service))
+    }
+
+    /// Binds an already-shared service at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] when another service already holds `addr`.
+    pub fn bind_arc(&self, addr: Addr, service: Arc<dyn Service>) -> Result<(), NetError> {
+        let mut services = self.inner.services.write();
+        if services.contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr.to_string()));
+        }
+        services.insert(addr, service);
+        Ok(())
+    }
+
+    /// Removes the binding at `addr`, returning whether one existed.
+    pub fn unbind(&self, addr: &Addr) -> bool {
+        self.inner.services.write().remove(addr).is_some()
+    }
+
+    /// Lists every bound address, sorted.
+    pub fn bound_addrs(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self.inner.services.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn check_path(&self, from: &Addr, to: &Addr) -> Result<(), NetError> {
+        let faults = self.inner.faults.lock();
+        if faults.is_down(to.host()) {
+            return Err(NetError::Unreachable(format!("{to} (host down)")));
+        }
+        if faults.is_down(from.host()) {
+            return Err(NetError::Unreachable(format!("{from} (host down)")));
+        }
+        if faults.is_partitioned(from.host(), to.host()) {
+            return Err(NetError::Partitioned(format!(
+                "{} <-> {}",
+                from.host(),
+                to.host()
+            )));
+        }
+        let p = faults.drop_prob();
+        if p > 0.0 && self.inner.rng.lock().gen_bool(p) {
+            return Err(NetError::Timeout(format!("message to {to} lost")));
+        }
+        Ok(())
+    }
+
+    /// Sends `request` from `from` to the service bound at `to` and returns
+    /// its response.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Unreachable`] — nothing bound at `to`, or a host is down.
+    /// * [`NetError::Partitioned`] — the hosts are separated.
+    /// * [`NetError::Timeout`] — the message was lost (fault injection).
+    /// * Any error returned by the service itself.
+    pub fn request(&self, from: &Addr, to: &Addr, request: Bytes) -> Result<Bytes, NetError> {
+        if let Err(e) = self.check_path(from, to) {
+            self.inner.stats.record_failure(to);
+            return Err(e);
+        }
+        let service = {
+            let services = self.inner.services.read();
+            services.get(to).cloned()
+        };
+        let Some(service) = service else {
+            self.inner.stats.record_failure(to);
+            return Err(NetError::Unreachable(to.to_string()));
+        };
+        self.inner.stats.record_request(to, request.len());
+        match service.call(from, request) {
+            Ok(resp) => {
+                self.inner.stats.record_response(to, resp.len());
+                Ok(resp)
+            }
+            Err(e) => {
+                self.inner.stats.record_failure(to);
+                Err(e)
+            }
+        }
+    }
+
+    /// Broadcasts `request` to every service bound on `port`, as the
+    /// DHCP-like `DRIVOLUTION_DISCOVER` does (§3.1). Unreachable or
+    /// partitioned targets are silently skipped; answering services are
+    /// returned with their responses, sorted by address.
+    pub fn broadcast(&self, from: &Addr, port: u16, request: Bytes) -> Vec<(Addr, Bytes)> {
+        let targets: Vec<Addr> = {
+            let services = self.inner.services.read();
+            services.keys().filter(|a| a.port() == port).cloned().collect()
+        };
+        let mut replies = Vec::new();
+        for to in targets {
+            if to.host() == from.host() && to.port() == from.port() {
+                continue;
+            }
+            if let Ok(resp) = self.request(from, &to, request.clone()) {
+                replies.push((to, resp));
+            }
+        }
+        replies.sort_by(|a, b| a.0.cmp(&b.0));
+        replies
+    }
+
+    /// Opens a dedicated duplex [`Pipe`] to the service at `to`.
+    ///
+    /// # Errors
+    ///
+    /// Path errors as for [`Network::request`], plus
+    /// [`NetError::PipesUnsupported`] when the service refuses pipes.
+    pub fn connect_pipe(&self, from: &Addr, to: &Addr) -> Result<Pipe, NetError> {
+        self.check_path(from, to)?;
+        let service = {
+            let services = self.inner.services.read();
+            services.get(to).cloned()
+        };
+        let Some(service) = service else {
+            return Err(NetError::Unreachable(to.to_string()));
+        };
+        let (client_end, server_end) = Pipe::pair(from.clone(), to.clone());
+        service.accept_pipe(from, server_end)?;
+        Ok(client_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo() -> impl Service {
+        FnService::new(|_from, req| Ok(req))
+    }
+
+    fn client() -> Addr {
+        Addr::new("client", 9)
+    }
+
+    #[test]
+    fn request_reaches_bound_service() {
+        let net = Network::new();
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        let r = net
+            .request(&client(), &Addr::new("srv", 1), Bytes::from_static(b"x"))
+            .unwrap();
+        assert_eq!(r, Bytes::from_static(b"x"));
+        assert_eq!(net.stats().for_addr(&Addr::new("srv", 1)).requests, 1);
+    }
+
+    #[test]
+    fn unbound_addr_is_unreachable() {
+        let net = Network::new();
+        let e = net
+            .request(&client(), &Addr::new("nope", 1), Bytes::new())
+            .unwrap_err();
+        assert!(matches!(e, NetError::Unreachable(_)));
+        assert_eq!(net.stats().for_addr(&Addr::new("nope", 1)).failures, 1);
+    }
+
+    #[test]
+    fn double_bind_is_rejected() {
+        let net = Network::new();
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        let e = net.bind(Addr::new("srv", 1), echo()).unwrap_err();
+        assert!(matches!(e, NetError::AddrInUse(_)));
+    }
+
+    #[test]
+    fn unbind_releases_the_addr() {
+        let net = Network::new();
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        assert!(net.unbind(&Addr::new("srv", 1)));
+        assert!(!net.unbind(&Addr::new("srv", 1)));
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let net = Network::new();
+        net.bind(Addr::new("a", 1), echo()).unwrap();
+        net.bind(Addr::new("b", 1), echo()).unwrap();
+        net.with_faults(|f| f.partition("a", "b"));
+        let e = net
+            .request(&Addr::new("a", 2), &Addr::new("b", 1), Bytes::new())
+            .unwrap_err();
+        assert!(matches!(e, NetError::Partitioned(_)));
+        let e = net
+            .request(&Addr::new("b", 2), &Addr::new("a", 1), Bytes::new())
+            .unwrap_err();
+        assert!(matches!(e, NetError::Partitioned(_)));
+        net.with_faults(|f| f.heal("a", "b"));
+        assert!(net
+            .request(&Addr::new("a", 2), &Addr::new("b", 1), Bytes::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn down_host_refuses_all_services() {
+        let net = Network::new();
+        net.bind(Addr::new("db", 1), echo()).unwrap();
+        net.bind(Addr::new("db", 2), echo()).unwrap();
+        net.with_faults(|f| f.take_down("db"));
+        assert!(net.request(&client(), &Addr::new("db", 1), Bytes::new()).is_err());
+        assert!(net.request(&client(), &Addr::new("db", 2), Bytes::new()).is_err());
+        net.with_faults(|f| f.restore("db"));
+        assert!(net.request(&client(), &Addr::new("db", 1), Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn lossy_network_drops_some_messages() {
+        let net = Network::new();
+        net.reseed(42);
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        net.with_faults(|f| f.set_drop_prob(0.5));
+        let mut lost = 0;
+        for _ in 0..100 {
+            if net
+                .request(&client(), &Addr::new("srv", 1), Bytes::new())
+                .is_err()
+            {
+                lost += 1;
+            }
+        }
+        assert!(lost > 20 && lost < 80, "lost={lost}");
+    }
+
+    #[test]
+    fn broadcast_collects_all_replies_on_port() {
+        let net = Network::new();
+        net.bind(
+            Addr::new("s1", 70),
+            FnService::new(|_f, _r| Ok(Bytes::from_static(b"one"))),
+        )
+        .unwrap();
+        net.bind(
+            Addr::new("s2", 70),
+            FnService::new(|_f, _r| Ok(Bytes::from_static(b"two"))),
+        )
+        .unwrap();
+        net.bind(Addr::new("other", 71), echo()).unwrap();
+        let replies = net.broadcast(&client(), 70, Bytes::new());
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].0, Addr::new("s1", 70));
+        assert_eq!(replies[1].0, Addr::new("s2", 70));
+    }
+
+    #[test]
+    fn broadcast_skips_partitioned_servers() {
+        let net = Network::new();
+        net.bind(Addr::new("s1", 70), echo()).unwrap();
+        net.bind(Addr::new("s2", 70), echo()).unwrap();
+        net.with_faults(|f| f.partition("client", "s1"));
+        let replies = net.broadcast(&client(), 70, Bytes::new());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, Addr::new("s2", 70));
+    }
+
+    #[test]
+    fn pipes_require_service_support() {
+        let net = Network::new();
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        let e = net.connect_pipe(&client(), &Addr::new("srv", 1)).unwrap_err();
+        assert!(matches!(e, NetError::PipesUnsupported(_)));
+    }
+
+    #[test]
+    fn pipe_roundtrip_through_accepting_service() {
+        use parking_lot::Mutex;
+
+        struct PipeKeeper {
+            pipes: Mutex<Vec<Pipe>>,
+        }
+        impl Service for PipeKeeper {
+            fn call(&self, _from: &Addr, _req: Bytes) -> Result<Bytes, NetError> {
+                // Push a greeting down every held pipe.
+                for p in self.pipes.lock().iter() {
+                    let _ = p.send(Bytes::from_static(b"hi"));
+                }
+                Ok(Bytes::new())
+            }
+            fn accept_pipe(&self, _from: &Addr, pipe: Pipe) -> Result<(), NetError> {
+                self.pipes.lock().push(pipe);
+                Ok(())
+            }
+        }
+
+        let net = Network::new();
+        net.bind(
+            Addr::new("srv", 1),
+            PipeKeeper {
+                pipes: Mutex::new(Vec::new()),
+            },
+        )
+        .unwrap();
+        let pipe = net.connect_pipe(&client(), &Addr::new("srv", 1)).unwrap();
+        net.request(&client(), &Addr::new("srv", 1), Bytes::new())
+            .unwrap();
+        assert_eq!(pipe.try_recv().unwrap().unwrap(), Bytes::from_static(b"hi"));
+    }
+
+    #[test]
+    fn clock_is_shared() {
+        let net = Network::new();
+        let c1 = net.clock().clone();
+        net.clock().advance_ms(10);
+        assert_eq!(c1.now_ms(), 10);
+    }
+}

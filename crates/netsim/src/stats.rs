@@ -1,0 +1,134 @@
+//! Traffic accounting.
+//!
+//! The paper's lease-time tradeoff (§3.2: "Shorter lease times allow faster
+//! reaction to upgrades but higher traffic to the Drivolution Server") is
+//! reproduced by counting real protocol messages and bytes per destination
+//! address. The `lease_tradeoff` benchmark reads these counters.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::Addr;
+
+/// Per-destination traffic counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddrStats {
+    /// Number of request messages delivered to this address.
+    pub requests: u64,
+    /// Total request payload bytes delivered to this address.
+    pub bytes_in: u64,
+    /// Total response payload bytes produced by this address.
+    pub bytes_out: u64,
+    /// Number of requests that failed (fault injection, unbound, refused).
+    pub failures: u64,
+}
+
+/// Shared traffic statistics for a [`crate::Network`].
+#[derive(Debug, Default)]
+pub struct NetStats {
+    inner: Mutex<HashMap<Addr, AddrStats>>,
+}
+
+impl NetStats {
+    /// Creates an empty stats collector.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    pub(crate) fn record_request(&self, to: &Addr, req_bytes: usize) {
+        let mut m = self.inner.lock();
+        let e = m.entry(to.clone()).or_default();
+        e.requests += 1;
+        e.bytes_in += req_bytes as u64;
+    }
+
+    pub(crate) fn record_response(&self, to: &Addr, resp_bytes: usize) {
+        let mut m = self.inner.lock();
+        m.entry(to.clone()).or_default().bytes_out += resp_bytes as u64;
+    }
+
+    pub(crate) fn record_failure(&self, to: &Addr) {
+        let mut m = self.inner.lock();
+        m.entry(to.clone()).or_default().failures += 1;
+    }
+
+    /// Counters for one destination address (zeroes if never contacted).
+    pub fn for_addr(&self, addr: &Addr) -> AddrStats {
+        self.inner.lock().get(addr).cloned().unwrap_or_default()
+    }
+
+    /// Sum of counters over all destination addresses.
+    pub fn totals(&self) -> AddrStats {
+        let m = self.inner.lock();
+        let mut t = AddrStats::default();
+        for s in m.values() {
+            t.requests += s.requests;
+            t.bytes_in += s.bytes_in;
+            t.bytes_out += s.bytes_out;
+            t.failures += s.failures;
+        }
+        t
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Snapshot of every per-address counter, sorted by address.
+    pub fn snapshot(&self) -> Vec<(Addr, AddrStats)> {
+        let m = self.inner.lock();
+        let mut v: Vec<_> = m.iter().map(|(a, s)| (a.clone(), s.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::new();
+        let a = Addr::new("srv", 1);
+        s.record_request(&a, 10);
+        s.record_request(&a, 20);
+        s.record_response(&a, 5);
+        s.record_failure(&a);
+        let st = s.for_addr(&a);
+        assert_eq!(st.requests, 2);
+        assert_eq!(st.bytes_in, 30);
+        assert_eq!(st.bytes_out, 5);
+        assert_eq!(st.failures, 1);
+    }
+
+    #[test]
+    fn totals_sum_across_addrs() {
+        let s = NetStats::new();
+        s.record_request(&Addr::new("a", 1), 1);
+        s.record_request(&Addr::new("b", 2), 2);
+        let t = s.totals();
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.bytes_in, 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = NetStats::new();
+        s.record_request(&Addr::new("a", 1), 1);
+        s.reset();
+        assert_eq!(s.totals(), AddrStats::default());
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let s = NetStats::new();
+        s.record_request(&Addr::new("b", 1), 1);
+        s.record_request(&Addr::new("a", 1), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap[0].0, Addr::new("a", 1));
+        assert_eq!(snap[1].0, Addr::new("b", 1));
+    }
+}

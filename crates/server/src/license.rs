@@ -1,0 +1,228 @@
+//! Drivolution as a license server (paper §5.4.2).
+//!
+//! Licenses are modelled as capacity-limited drivers: the per-user DB2
+//! licensing case. Checkout happens when a driver is offered; return
+//! happens on explicit [`LicenseManager::release`] (bootloader gives the
+//! lease back), on lease expiry (server-side pruning), or when the
+//! client's dedicated channel breaks (failure detection).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use drivolution_core::{DriverId, DrvError, DrvResult};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Holder {
+    user: String,
+    client_host: String,
+    expires_at_ms: u64,
+}
+
+/// Tracks per-driver license capacity and outstanding checkouts.
+#[derive(Debug, Default)]
+pub struct LicenseManager {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    limits: HashMap<DriverId, usize>,
+    held: HashMap<DriverId, Vec<Holder>>,
+}
+
+impl LicenseManager {
+    /// Creates a manager with no limits (all drivers unlimited).
+    pub fn new() -> Self {
+        LicenseManager::default()
+    }
+
+    /// Caps `driver` at `seats` concurrent holders.
+    pub fn set_limit(&self, driver: DriverId, seats: usize) {
+        self.inner.lock().limits.insert(driver, seats);
+    }
+
+    /// Remaining seats for `driver` (`None` = unlimited).
+    pub fn available(&self, driver: DriverId, now_ms: u64) -> Option<usize> {
+        let mut inner = self.inner.lock();
+        Self::prune_locked(&mut inner, now_ms);
+        let limit = *inner.limits.get(&driver)?;
+        let used = inner.held.get(&driver).map(Vec::len).unwrap_or(0);
+        Some(limit.saturating_sub(used))
+    }
+
+    /// Current holders of `driver` as `(user, client_host)` pairs.
+    pub fn holders(&self, driver: DriverId) -> Vec<(String, String)> {
+        self.inner
+            .lock()
+            .held
+            .get(&driver)
+            .map(|v| {
+                v.iter()
+                    .map(|h| (h.user.clone(), h.client_host.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Checks out one seat. A client renewing its own seat (same user and
+    /// host) re-uses it rather than consuming a second one.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::PermissionDenied`] when all seats are taken.
+    pub fn acquire(
+        &self,
+        driver: DriverId,
+        user: &str,
+        client_host: &str,
+        lease_ms: u64,
+        now_ms: u64,
+    ) -> DrvResult<()> {
+        let mut inner = self.inner.lock();
+        Self::prune_locked(&mut inner, now_ms);
+        let Some(&limit) = inner.limits.get(&driver) else {
+            return Ok(()); // unlimited driver
+        };
+        let holders = inner.held.entry(driver).or_default();
+        if let Some(h) = holders
+            .iter_mut()
+            .find(|h| h.user == user && h.client_host == client_host)
+        {
+            h.expires_at_ms = now_ms.saturating_add(lease_ms);
+            return Ok(());
+        }
+        if holders.len() >= limit {
+            return Err(DrvError::PermissionDenied(format!(
+                "no license available for {driver}: {limit} seats in use"
+            )));
+        }
+        holders.push(Holder {
+            user: user.to_string(),
+            client_host: client_host.to_string(),
+            expires_at_ms: now_ms.saturating_add(lease_ms),
+        });
+        Ok(())
+    }
+
+    /// Returns a seat explicitly (bootloader notifying unload: "The
+    /// bootloader can notify the Drivolution server when the driver is
+    /// unloaded to give back its lease").
+    pub fn release(&self, driver: DriverId, user: &str, client_host: &str) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(holders) = inner.held.get_mut(&driver) {
+            let before = holders.len();
+            holders.retain(|h| !(h.user == user && h.client_host == client_host));
+            return holders.len() != before;
+        }
+        false
+    }
+
+    /// Frees every seat held from `client_host` — the dedicated-channel
+    /// failure detector: "If the Drivolution server and bootloader are
+    /// using a dedicated connection, it can be used as a failure
+    /// detector."
+    pub fn release_host(&self, client_host: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let mut freed = 0;
+        for holders in inner.held.values_mut() {
+            let before = holders.len();
+            holders.retain(|h| h.client_host != client_host);
+            freed += before - holders.len();
+        }
+        freed
+    }
+
+    /// Drops seats whose lease expired without renewal ("the Drivolution
+    /// server can wait for the client lease to expire and … declare the
+    /// driver freed").
+    pub fn prune_expired(&self, now_ms: u64) -> usize {
+        let mut inner = self.inner.lock();
+        Self::prune_locked(&mut inner, now_ms)
+    }
+
+    fn prune_locked(inner: &mut Inner, now_ms: u64) -> usize {
+        let mut freed = 0;
+        for holders in inner.held.values_mut() {
+            let before = holders.len();
+            holders.retain(|h| h.expires_at_ms > now_ms);
+            freed += before - holders.len();
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: DriverId = DriverId(1);
+
+    #[test]
+    fn unlimited_drivers_never_block() {
+        let lm = LicenseManager::new();
+        for i in 0..100 {
+            lm.acquire(D, &format!("u{i}"), "h", 1000, 0).unwrap();
+        }
+        assert_eq!(lm.available(D, 0), None);
+    }
+
+    #[test]
+    fn seats_are_enforced() {
+        let lm = LicenseManager::new();
+        lm.set_limit(D, 2);
+        lm.acquire(D, "a", "h1", 1000, 0).unwrap();
+        lm.acquire(D, "b", "h2", 1000, 0).unwrap();
+        assert_eq!(lm.available(D, 0), Some(0));
+        let e = lm.acquire(D, "c", "h3", 1000, 0).unwrap_err();
+        assert!(matches!(e, DrvError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn renewal_reuses_the_seat() {
+        let lm = LicenseManager::new();
+        lm.set_limit(D, 1);
+        lm.acquire(D, "a", "h1", 1000, 0).unwrap();
+        // Same client renews: fine, and the expiry moves out.
+        lm.acquire(D, "a", "h1", 1000, 500).unwrap();
+        assert_eq!(lm.available(D, 1400), Some(0));
+        // Different client still blocked.
+        assert!(lm.acquire(D, "b", "h2", 1000, 500).is_err());
+    }
+
+    #[test]
+    fn explicit_release_frees_the_seat() {
+        let lm = LicenseManager::new();
+        lm.set_limit(D, 1);
+        lm.acquire(D, "a", "h1", 1000, 0).unwrap();
+        assert!(lm.release(D, "a", "h1"));
+        assert!(!lm.release(D, "a", "h1"));
+        lm.acquire(D, "b", "h2", 1000, 0).unwrap();
+    }
+
+    #[test]
+    fn crashed_host_seats_are_freed_by_failure_detector() {
+        let lm = LicenseManager::new();
+        lm.set_limit(D, 2);
+        lm.set_limit(DriverId(2), 1);
+        lm.acquire(D, "a", "crashed", 1000, 0).unwrap();
+        lm.acquire(DriverId(2), "a", "crashed", 1000, 0).unwrap();
+        lm.acquire(D, "b", "alive", 1000, 0).unwrap();
+        assert_eq!(lm.release_host("crashed"), 2);
+        assert_eq!(lm.available(D, 0), Some(1));
+        assert_eq!(lm.available(DriverId(2), 0), Some(1));
+        assert_eq!(lm.holders(D), vec![("b".to_string(), "alive".to_string())]);
+    }
+
+    #[test]
+    fn expired_seats_are_pruned() {
+        let lm = LicenseManager::new();
+        lm.set_limit(D, 1);
+        lm.acquire(D, "a", "h1", 1000, 0).unwrap();
+        // Not yet expired at 999.
+        assert!(lm.acquire(D, "b", "h2", 1000, 999).is_err());
+        // Expired at 1000 (lease granted at 0 for 1000ms).
+        lm.acquire(D, "b", "h2", 1000, 1001).unwrap();
+        assert_eq!(lm.prune_expired(1001), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Dedicated-channel hub: push notifications and failure detection
+//! (paper §3.2 and §5.4.2).
+
+use parking_lot::Mutex;
+
+use netsim::{Addr, Pipe};
+
+use drivolution_core::DrvNotice;
+
+/// Holds the dedicated pipes bootloaders opened to this server and pushes
+/// [`DrvNotice`]s down them.
+#[derive(Debug, Default)]
+pub struct NotifyHub {
+    pipes: Mutex<Vec<(Addr, Pipe)>>,
+}
+
+impl NotifyHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        NotifyHub::default()
+    }
+
+    /// Registers a freshly accepted pipe.
+    pub fn register(&self, from: Addr, pipe: Pipe) {
+        self.pipes.lock().push((from, pipe));
+    }
+
+    /// Number of live channels.
+    pub fn len(&self) -> usize {
+        self.pipes.lock().len()
+    }
+
+    /// Whether no channel is connected.
+    pub fn is_empty(&self) -> bool {
+        self.pipes.lock().is_empty()
+    }
+
+    /// Pushes a notice to every live channel, pruning broken ones.
+    /// Returns the client hosts whose channels were found broken — the
+    /// failure-detector signal consumed by the license manager.
+    pub fn broadcast(&self, notice: &DrvNotice) -> Vec<String> {
+        let mut pipes = self.pipes.lock();
+        let mut dead_hosts = Vec::new();
+        pipes.retain(|(from, pipe)| {
+            if pipe.send(notice.encode()).is_ok() {
+                true
+            } else {
+                dead_hosts.push(from.host().to_string());
+                false
+            }
+        });
+        dead_hosts
+    }
+
+    /// Drops channels whose peer closed, without sending anything.
+    /// Returns the hosts that disappeared.
+    pub fn reap_closed(&self) -> Vec<String> {
+        let mut pipes = self.pipes.lock();
+        let mut dead_hosts = Vec::new();
+        pipes.retain(|(from, pipe)| {
+            if pipe.is_open() {
+                true
+            } else {
+                dead_hosts.push(from.host().to_string());
+                false
+            }
+        });
+        dead_hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe_pair() -> (Pipe, Pipe) {
+        Pipe::pair(Addr::new("client", 1), Addr::new("server", 1070))
+    }
+
+    #[test]
+    fn broadcast_reaches_live_channels() {
+        let hub = NotifyHub::new();
+        let (client_end, server_end) = pipe_pair();
+        hub.register(Addr::new("client", 1), server_end);
+        assert_eq!(hub.len(), 1);
+        let dead = hub.broadcast(&DrvNotice::DriverAvailable {
+            database: "orders".into(),
+        });
+        assert!(dead.is_empty());
+        let msg = client_end.try_recv().unwrap().unwrap();
+        assert_eq!(
+            DrvNotice::decode(msg).unwrap(),
+            DrvNotice::DriverAvailable {
+                database: "orders".into()
+            }
+        );
+    }
+
+    #[test]
+    fn broken_channels_are_pruned_and_reported() {
+        let hub = NotifyHub::new();
+        let (client_end, server_end) = pipe_pair();
+        hub.register(Addr::new("crashed-host", 1), server_end);
+        client_end.close();
+        let dead = hub.broadcast(&DrvNotice::DriverRevoked {
+            database: "orders".into(),
+        });
+        assert_eq!(dead, vec!["crashed-host".to_string()]);
+        assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn reap_detects_closures_without_sending() {
+        let hub = NotifyHub::new();
+        let (client_end, server_end) = pipe_pair();
+        hub.register(Addr::new("c1", 1), server_end);
+        assert!(hub.reap_closed().is_empty());
+        drop(client_end);
+        assert_eq!(hub.reap_closed(), vec!["c1".to_string()]);
+    }
+}

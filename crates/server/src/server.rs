@@ -1,0 +1,1030 @@
+//! The Drivolution server: answers bootstrap/renewal/extension requests,
+//! stages and transfers driver files, enforces permissions and licenses,
+//! and pushes upgrade notices (paper §3–§4).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use netsim::{Addr, Clock, NetError, Pipe, Service};
+
+use drivolution_core::matching::{self, MatchMode};
+use drivolution_core::pack::{pack_driver, unpack_driver};
+use drivolution_core::proto::{DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution_core::transfer;
+use drivolution_core::{
+    Certificate, ClientIdentity, DriverId, DriverQuery, DriverRecord, DrvError, DrvNotice,
+    DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey, TransferMethod,
+};
+
+use crate::assemble::Assembler;
+use crate::license::LicenseManager;
+use crate::notify::NotifyHub;
+use crate::store::DriverStore;
+
+/// Which matchmaking implementation the server uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchPath {
+    /// Run the paper's SQL (Sample code 1–2) against the store.
+    #[default]
+    Sql,
+    /// Use the in-memory engine (`drivolution_core::matching`).
+    Memory,
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Lease granted when no permission rule overrides it (paper §3.2:
+    /// "settings ranging from an hour to a day are suitable" — default one
+    /// hour).
+    pub default_lease_ms: u64,
+    /// Renew policy when no rule overrides it.
+    pub default_renew: RenewPolicy,
+    /// Expiration policy when no rule overrides it.
+    pub default_expiration: ExpirationPolicy,
+    /// Transfer method when the rule says `Any` (paper default: sealed).
+    pub default_transfer: TransferMethod,
+    /// Tie-breaking among matching drivers.
+    pub match_mode: MatchMode,
+    /// SQL or in-memory matchmaking.
+    pub match_path: MatchPath,
+    /// Databases this server distributes drivers for; `None` = any.
+    pub serves: Option<Vec<String>>,
+    /// When set, offers carry signatures over the driver bytes.
+    pub signing: Option<SigningKey>,
+    /// Customize driver feature sets to request options (§5.4.1).
+    pub customize: bool,
+    /// Free license seats when a dedicated channel breaks (§5.4.2).
+    pub release_licenses_on_disconnect: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            default_lease_ms: 3_600_000,
+            default_renew: RenewPolicy::Renew,
+            default_expiration: ExpirationPolicy::AfterCommit,
+            default_transfer: TransferMethod::Sealed,
+            match_mode: MatchMode::FirstMatch,
+            match_path: MatchPath::Sql,
+            serves: None,
+            signing: None,
+            customize: false,
+            release_licenses_on_disconnect: true,
+        }
+    }
+}
+
+/// Counters exposed for the benchmark harnesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// `DRIVOLUTION_REQUEST`s handled.
+    pub requests: u64,
+    /// Offers sent (including same-driver renewals).
+    pub offers: u64,
+    /// Same-driver renewals among the offers.
+    pub renewals: u64,
+    /// `DRIVOLUTION_ERROR`s sent.
+    pub errors: u64,
+    /// Driver files served.
+    pub files: u64,
+    /// Total raw driver bytes served.
+    pub file_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Staged {
+    bytes: Bytes,
+    method: TransferMethod,
+}
+
+/// Events emitted by administrative operations — the replication hook the
+/// cluster middleware subscribes to (§5.3.2: "When a new driver is added
+/// to a Drivolution server, it is instantly replicated to other
+/// Drivolution servers").
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminEvent {
+    /// A driver row was inserted.
+    DriverAdded(DriverRecord),
+    /// A permission rule was inserted.
+    RuleAdded(PermissionRule),
+    /// A driver's permissions were expired.
+    DriverExpired(DriverId),
+}
+
+type EventHook = Arc<dyn Fn(&AdminEvent) + Send + Sync>;
+
+/// A Drivolution server instance. Bind it on the network with
+/// [`netsim::Network::bind_arc`]; the in-database / external / standalone
+/// variants differ only in the [`DriverStore`] executor behind it.
+pub struct DrivolutionServer {
+    name: String,
+    store: DriverStore,
+    config: ServerConfig,
+    clock: Clock,
+    cert: Certificate,
+    licenses: LicenseManager,
+    assembler: Assembler,
+    hub: NotifyHub,
+    staged: Mutex<HashMap<String, Staged>>,
+    stage_counter: AtomicU64,
+    stats: Mutex<ServerStats>,
+    hooks: Mutex<Vec<EventHook>>,
+    /// When true, admin operations skip event hooks (used while applying
+    /// replicated events to avoid loops).
+    applying_replica: std::sync::atomic::AtomicBool,
+}
+
+impl std::fmt::Debug for DrivolutionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrivolutionServer")
+            .field("name", &self.name)
+            .field("config", &self.config.match_path)
+            .finish()
+    }
+}
+
+impl DrivolutionServer {
+    /// Creates a server over a store. `name` doubles as the certificate
+    /// host for sealed transfers.
+    pub fn new(name: impl Into<String>, store: DriverStore, clock: Clock, config: ServerConfig) -> Self {
+        let name = name.into();
+        let cert = Certificate::issue(name.clone(), 1);
+        DrivolutionServer {
+            name,
+            store,
+            config,
+            clock,
+            cert,
+            licenses: LicenseManager::new(),
+            assembler: Assembler::new(),
+            hub: NotifyHub::new(),
+            staged: Mutex::new(HashMap::new()),
+            stage_counter: AtomicU64::new(0),
+            stats: Mutex::new(ServerStats::default()),
+            hooks: Mutex::new(Vec::new()),
+            applying_replica: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Server name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The certificate bootloaders must pin for sealed transfers.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The backing store (admin operations go through the server methods
+    /// below so replication hooks fire).
+    pub fn store(&self) -> &DriverStore {
+        &self.store
+    }
+
+    /// The license manager (§5.4.2).
+    pub fn licenses(&self) -> &LicenseManager {
+        &self.licenses
+    }
+
+    /// The extension-package assembler (§5.4.1).
+    pub fn assembler(&self) -> &Assembler {
+        &self.assembler
+    }
+
+    /// Number of connected dedicated channels.
+    pub fn channel_count(&self) -> usize {
+        self.hub.len()
+    }
+
+    /// Snapshot of the protocol counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Subscribes to admin events (replication hook).
+    pub fn subscribe(&self, hook: EventHook) {
+        self.hooks.lock().push(hook);
+    }
+
+    fn emit(&self, event: AdminEvent) {
+        if self.applying_replica.load(Ordering::SeqCst) {
+            return;
+        }
+        for h in self.hooks.lock().iter() {
+            h(&event);
+        }
+    }
+
+    // --- administrative operations (the DBA's single step, §3.2) -------
+
+    /// Installs a driver row. One INSERT — the paper's entire upgrade
+    /// procedure on the server side.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (duplicate id, schema violations).
+    pub fn install_driver(&self, record: &DriverRecord) -> DrvResult<()> {
+        self.store.add_driver(record)?;
+        self.emit(AdminEvent::DriverAdded(record.clone()));
+        Ok(())
+    }
+
+    /// Adds a permission rule.
+    ///
+    /// # Errors
+    ///
+    /// Store failures (unknown driver id).
+    pub fn add_rule(&self, rule: &PermissionRule) -> DrvResult<()> {
+        self.store.add_permission(rule)?;
+        self.emit(AdminEvent::RuleAdded(rule.clone()));
+        Ok(())
+    }
+
+    /// Expires a driver's permissions as of now.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn expire_driver(&self, id: DriverId) -> DrvResult<u64> {
+        let n = self
+            .store
+            .expire_driver(id, self.clock.now_ms() as i64 - 1)?;
+        self.emit(AdminEvent::DriverExpired(id));
+        Ok(n)
+    }
+
+    /// Applies a replicated admin event from a peer server without
+    /// re-emitting it.
+    ///
+    /// # Errors
+    ///
+    /// Store failures.
+    pub fn apply_replicated(&self, event: &AdminEvent) -> DrvResult<()> {
+        self.applying_replica.store(true, Ordering::SeqCst);
+        let r = match event {
+            AdminEvent::DriverAdded(rec) => self.store.add_driver(rec),
+            AdminEvent::RuleAdded(rule) => self.store.add_permission(rule),
+            AdminEvent::DriverExpired(id) => self
+                .store
+                .expire_driver(*id, self.clock.now_ms() as i64 - 1)
+                .map(|_| ()),
+        };
+        self.applying_replica.store(false, Ordering::SeqCst);
+        r
+    }
+
+    /// Pushes a "new driver available" notice down every dedicated
+    /// channel, triggering immediate renewals (§3.2).
+    pub fn notify_upgrade(&self, database: &str) {
+        let dead = self.hub.broadcast(&DrvNotice::DriverAvailable {
+            database: database.to_string(),
+        });
+        self.handle_dead_hosts(dead);
+    }
+
+    /// Pushes a revocation notice.
+    pub fn notify_revoke(&self, database: &str) {
+        let dead = self.hub.broadcast(&DrvNotice::DriverRevoked {
+            database: database.to_string(),
+        });
+        self.handle_dead_hosts(dead);
+    }
+
+    fn handle_dead_hosts(&self, dead: Vec<String>) {
+        if self.config.release_licenses_on_disconnect {
+            for host in dead {
+                self.licenses.release_host(&host);
+            }
+        }
+    }
+
+    /// Reaps broken dedicated channels and frees their license seats.
+    /// Returns the number of freed seats.
+    pub fn detect_failures(&self) -> usize {
+        let dead = self.hub.reap_closed();
+        let mut freed = 0;
+        if self.config.release_licenses_on_disconnect {
+            for host in dead {
+                freed += self.licenses.release_host(&host);
+            }
+        }
+        freed
+    }
+
+    // --- request handling ----------------------------------------------
+
+    fn serves(&self, database: &str) -> bool {
+        match &self.config.serves {
+            None => true,
+            Some(list) => list.iter().any(|d| d == database),
+        }
+    }
+
+    fn query_of(&self, from: &Addr, req: &DrvRequest) -> DriverQuery {
+        DriverQuery {
+            identity: ClientIdentity::new(&req.user, from.host(), &req.database),
+            api_name: req.api_name.clone(),
+            api_version: req.api_version,
+            client_platform: req.client_platform.clone(),
+            preferred_format: req.preferred_format,
+            preferred_version: req.preferred_version,
+        }
+    }
+
+    fn find_match(&self, q: &DriverQuery) -> DrvResult<(DriverRecord, Option<PermissionRule>)> {
+        let now = self.clock.now_ms() as i64;
+        match self.config.match_path {
+            MatchPath::Memory => {
+                let records = self.store.records()?;
+                let rules = self.store.rules()?;
+                let m = matching::find_driver(&records, &rules, q, now, self.config.match_mode)?;
+                Ok((m.record.clone(), m.rule.cloned()))
+            }
+            MatchPath::Sql => {
+                let matching_records = self.store.matching_drivers(q)?;
+                if !self.store.has_rules()? {
+                    let rec = matching_records.into_iter().next().ok_or_else(|| {
+                        DrvError::NoMatchingDriver(format!(
+                            "no driver for API {} on {}",
+                            q.api_name, q.client_platform
+                        ))
+                    })?;
+                    return Ok((rec, None));
+                }
+                let permitted = self.store.permitted_driver_ids(&q.identity)?;
+                let mut granted: Vec<(DriverRecord, PermissionRule)> = matching_records
+                    .into_iter()
+                    .filter_map(|rec| {
+                        permitted
+                            .iter()
+                            .find(|(id, _)| *id == rec.id)
+                            .map(|(_, rule)| (rec, rule.clone()))
+                    })
+                    .collect();
+                if self.config.match_mode == MatchMode::Ranked {
+                    granted.sort_by(|a, b| {
+                        let fmt_rank = |r: &DriverRecord| match q.preferred_format {
+                            Some(f) if r.format == f => 0,
+                            _ => 1,
+                        };
+                        fmt_rank(&a.0)
+                            .cmp(&fmt_rank(&b.0))
+                            .then_with(|| b.0.version.cmp(&a.0.version))
+                            .then_with(|| a.0.id.cmp(&b.0.id))
+                    });
+                }
+                let (rec, rule) = granted.into_iter().next().ok_or_else(|| {
+                    DrvError::NoMatchingDriver(format!(
+                        "no permitted driver for user {} from {}",
+                        q.identity.user, q.identity.client_ip
+                    ))
+                })?;
+                Ok((rec, Some(rule)))
+            }
+        }
+    }
+
+    /// Whether the client's *current* driver still matches its query and
+    /// permissions; returns the record and rule when it does.
+    fn current_still_granted(
+        &self,
+        q: &DriverQuery,
+        current: DriverId,
+    ) -> DrvResult<Option<(DriverRecord, Option<PermissionRule>)>> {
+        let matching = self.store.matching_drivers(q)?;
+        let Some(rec) = matching.into_iter().find(|r| r.id == current) else {
+            return Ok(None);
+        };
+        if !self.store.has_rules()? {
+            return Ok(Some((rec, None)));
+        }
+        let permitted = self.store.permitted_driver_ids(&q.identity)?;
+        Ok(permitted
+            .into_iter()
+            .find(|(id, _)| *id == current)
+            .map(|(_, rule)| (rec, Some(rule))))
+    }
+
+    fn stage(&self, bytes: Bytes, method: TransferMethod) -> String {
+        let n = self.stage_counter.fetch_add(1, Ordering::SeqCst);
+        let location = format!("stage/{n}");
+        self.staged
+            .lock()
+            .insert(location.clone(), Staged { bytes, method });
+        location
+    }
+
+    fn offer_for(
+        &self,
+        record: &DriverRecord,
+        rule: Option<&PermissionRule>,
+        req: &DrvRequest,
+        same_driver: bool,
+    ) -> DrvResult<DrvOffer> {
+        let lease_ms = rule
+            .and_then(|r| r.lease_time_ms)
+            .map(|ms| ms.max(1) as u64)
+            .unwrap_or(self.config.default_lease_ms);
+        let renew = rule.map(|r| r.renew_policy).unwrap_or(self.config.default_renew);
+        let expiration = rule
+            .map(|r| r.expiration_policy)
+            .unwrap_or(self.config.default_expiration);
+        let method = rule
+            .map(|r| r.transfer_method)
+            .unwrap_or(TransferMethod::Any)
+            .resolve(req.transfer_method.resolve(self.config.default_transfer));
+
+        // Assemble the bytes to serve: possibly a customized image.
+        let mut bytes = record.binary.clone();
+        if self.config.customize && !req.options.is_empty() && !same_driver {
+            let image = unpack_driver(record.format, bytes.clone())?;
+            let custom = self.assembler.customize(&image, &req.options)?;
+            bytes = pack_driver(record.format, &custom);
+        }
+
+        let signature = self.config.signing.as_ref().map(|k| k.sign(&bytes));
+        let size = bytes.len() as u64;
+        let location = if same_driver {
+            String::new()
+        } else {
+            self.stage(bytes, method)
+        };
+        let mut options: Vec<(String, String)> = Vec::new();
+        if let Some(r) = rule {
+            if let Some(opts) = &r.driver_options {
+                for kv in opts.split(',').filter(|s| !s.is_empty()) {
+                    if let Some((k, v)) = kv.split_once('=') {
+                        options.push((k.trim().to_string(), v.trim().to_string()));
+                    }
+                }
+            }
+        }
+        Ok(DrvOffer {
+            driver_id: record.id,
+            driver_version: record.version,
+            same_driver,
+            lease_ms,
+            renew_policy: renew,
+            expiration_policy: expiration,
+            format: record.format,
+            location,
+            size,
+            transfer_method: method,
+            options,
+            signature,
+        })
+    }
+
+    fn handle_request(&self, from: &Addr, req: &DrvRequest, advertise_only: bool) -> DrvResult<DrvMsg> {
+        if !self.serves(&req.database) {
+            return Err(DrvError::InvalidDatabase(req.database.clone()));
+        }
+        let q = self.query_of(from, req);
+        let now = self.clock.now_ms();
+
+        // Extension fetch: graft the package onto the base driver's image
+        // and serve the enriched driver (§5.4.1).
+        if let RequestKind::Extension { base, name } = &req.kind {
+            let record = self.store.record(*base)?;
+            let mut image = unpack_driver(record.format, record.binary.clone())?;
+            // Keep the client's customized feature set, then graft the
+            // requested package on top.
+            if self.config.customize && !req.options.is_empty() {
+                image = self.assembler.customize(&image, &req.options)?;
+            }
+            let enriched = self.assembler.with_extension(&image, name)?;
+            let bytes = pack_driver(record.format, &enriched);
+            let enriched_record = DriverRecord {
+                binary: bytes,
+                ..record
+            };
+            let rule = self
+                .store
+                .permitted_driver_ids(&q.identity)?
+                .into_iter()
+                .find(|(id, _)| id == base)
+                .map(|(_, r)| r);
+            // Serve the enriched package as-is: re-applying option
+            // customization would strip the package just grafted on.
+            let plain_req = DrvRequest {
+                options: Vec::new(),
+                ..req.clone()
+            };
+            let offer = self.offer_for(&enriched_record, rule.as_ref(), &plain_req, false)?;
+            return Ok(DrvMsg::Offer(offer));
+        }
+
+        let (mut record, mut rule) = self.find_match(&q)?;
+
+        // Renewal logic (Table 4).
+        let same_driver = match &req.kind {
+            RequestKind::Renewal { current } => {
+                let renew = rule
+                    .as_ref()
+                    .map(|r| r.renew_policy)
+                    .unwrap_or(self.config.default_renew);
+                match renew {
+                    RenewPolicy::Revoke => {
+                        return Err(DrvError::LeaseExpired(format!(
+                            "driver {} revoked, no replacement offered",
+                            current
+                        )))
+                    }
+                    RenewPolicy::Upgrade => record.id == *current,
+                    RenewPolicy::Renew => {
+                        if record.id == *current {
+                            true
+                        } else if let Some((cur_rec, cur_rule)) =
+                            self.current_still_granted(&q, *current)?
+                        {
+                            // RENEW: "continue to use the same driver" —
+                            // the current driver is still granted, so keep
+                            // it even though a different driver matches
+                            // first.
+                            record = cur_rec;
+                            rule = cur_rule;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            }
+            _ => false,
+        };
+
+        if !advertise_only {
+            let lease_ms = rule
+                .as_ref()
+                .and_then(|r| r.lease_time_ms)
+                .map(|ms| ms.max(1) as u64)
+                .unwrap_or(self.config.default_lease_ms);
+            self.licenses
+                .acquire(record.id, &req.user, from.host(), lease_ms, now)?;
+            self.store
+                .log_lease(&q.identity, record.id, now as i64, lease_ms as i64)?;
+        }
+        let offer = self.offer_for(&record, rule.as_ref(), req, same_driver)?;
+        Ok(DrvMsg::Offer(offer))
+    }
+
+    fn handle_file_request(&self, location: &str, method: TransferMethod) -> DrvResult<DrvMsg> {
+        let staged = self
+            .staged
+            .lock()
+            .remove(location)
+            .ok_or_else(|| DrvError::TransferFailed(format!("unknown location {location:?}")))?;
+        if method != staged.method {
+            // Re-stage: the client asked with the wrong method; keep the
+            // file available for a corrected request.
+            let size = staged.bytes.len();
+            self.staged.lock().insert(location.to_string(), staged);
+            let _ = size;
+            return Err(DrvError::TransferFailed(format!(
+                "transfer method mismatch for {location:?}"
+            )));
+        }
+        let raw_len = staged.bytes.len() as u64;
+        let payload = transfer::wrap(staged.method, &staged.bytes, Some(&self.cert))?;
+        {
+            let mut st = self.stats.lock();
+            st.files += 1;
+            st.file_bytes += raw_len;
+        }
+        Ok(DrvMsg::FileData { payload })
+    }
+
+    /// Handles one decoded protocol message (exposed for in-process
+    /// embedding; the network path goes through [`Service::call`]).
+    pub fn handle(&self, from: &Addr, msg: DrvMsg) -> DrvMsg {
+        if self.config.release_licenses_on_disconnect {
+            self.detect_failures();
+        }
+        let result = match &msg {
+            DrvMsg::Request(req) => {
+                self.stats.lock().requests += 1;
+                self.handle_request(from, req, false)
+            }
+            DrvMsg::Discover(req) => {
+                self.stats.lock().requests += 1;
+                self.handle_request(from, req, true)
+            }
+            DrvMsg::FileRequest {
+                location,
+                transfer_method,
+            } => self.handle_file_request(location, *transfer_method),
+            DrvMsg::Release {
+                database: _,
+                user,
+                driver,
+            } => {
+                self.licenses.release(*driver, user, from.host());
+                Ok(DrvMsg::ReleaseOk)
+            }
+            other => Err(DrvError::Codec(format!(
+                "unexpected client message {other:?}"
+            ))),
+        };
+        match result {
+            Ok(m) => {
+                let mut st = self.stats.lock();
+                if let DrvMsg::Offer(o) = &m {
+                    st.offers += 1;
+                    if o.same_driver {
+                        st.renewals += 1;
+                    }
+                }
+                m
+            }
+            Err(e) => {
+                self.stats.lock().errors += 1;
+                DrvMsg::error_from(&e)
+            }
+        }
+    }
+}
+
+impl Service for DrivolutionServer {
+    fn call(&self, from: &Addr, request: Bytes) -> Result<Bytes, NetError> {
+        let msg = DrvMsg::decode(request).map_err(|e| NetError::Protocol(e.to_string()))?;
+        Ok(self.handle(from, msg).encode())
+    }
+
+    fn accept_pipe(&self, from: &Addr, pipe: Pipe) -> Result<(), NetError> {
+        self.hub.register(from.clone(), pipe);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EmbeddedExec;
+    use drivolution_core::{ApiName, BinaryFormat, ChannelTrust, DriverImage, DriverVersion};
+    use minidb::MiniDb;
+
+    fn record(id: i64, proto: u16, version: DriverVersion) -> DriverRecord {
+        let image = DriverImage::new(format!("drv-{id}"), version, proto);
+        let bytes = pack_driver(BinaryFormat::Djar, &image);
+        DriverRecord::new(DriverId(id), ApiName::rdbc(), BinaryFormat::Djar, bytes)
+            .with_version(version)
+    }
+
+    fn server_with(config: ServerConfig) -> (DrivolutionServer, Clock) {
+        let clock = Clock::simulated();
+        let db = Arc::new(MiniDb::with_clock("orders", clock.clone()));
+        let store = DriverStore::new(Box::new(EmbeddedExec::new(db)));
+        store.install_schema().unwrap();
+        let srv = DrivolutionServer::new("drv1", store, clock.clone(), config);
+        (srv, clock)
+    }
+
+    fn client() -> Addr {
+        Addr::new("app-host", 9)
+    }
+
+    fn bootstrap_req() -> DrvRequest {
+        DrvRequest::bootstrap("orders", "app", "RDBC", "linux-x86_64")
+    }
+
+    fn expect_offer(msg: DrvMsg) -> DrvOffer {
+        match msg {
+            DrvMsg::Offer(o) => o,
+            other => panic!("expected offer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bootstrap_request_offer_file_flow() {
+        let (srv, _clock) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(bootstrap_req())));
+        assert_eq!(offer.driver_id, DriverId(1));
+        assert!(!offer.same_driver);
+        assert_eq!(offer.transfer_method, TransferMethod::Sealed);
+        assert!(offer.size > 0);
+
+        // Download the file over the sealed channel.
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::FileRequest {
+                location: offer.location.clone(),
+                transfer_method: offer.transfer_method,
+            },
+        );
+        let DrvMsg::FileData { payload } = reply else {
+            panic!("{reply:?}")
+        };
+        let mut trust = ChannelTrust::new();
+        trust.pin(srv.certificate());
+        let raw = transfer::unwrap(offer.transfer_method, payload, &trust).unwrap();
+        let image = unpack_driver(offer.format, raw).unwrap();
+        assert_eq!(image.name, "drv-1");
+
+        // The staged file is single-use.
+        let again = srv.handle(
+            &client(),
+            DrvMsg::FileRequest {
+                location: offer.location,
+                transfer_method: offer.transfer_method,
+            },
+        );
+        assert!(matches!(again, DrvMsg::Error { .. }));
+
+        let st = srv.stats();
+        assert_eq!(st.requests, 1);
+        assert_eq!(st.offers, 1);
+        assert_eq!(st.files, 1);
+        assert_eq!(srv.store().lease_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_database_gets_invalid_database_error() {
+        let (srv, _c) = server_with(ServerConfig {
+            serves: Some(vec!["orders".into()]),
+            ..ServerConfig::default()
+        });
+        let mut req = bootstrap_req();
+        req.database = "hr".into();
+        let reply = srv.handle(&client(), DrvMsg::Request(req));
+        let DrvMsg::Error { code, .. } = reply else { panic!() };
+        assert_eq!(code, drivolution_core::proto::DrvErrCode::InvalidDatabase);
+    }
+
+    #[test]
+    fn no_driver_yields_no_matching_driver_error() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let reply = srv.handle(&client(), DrvMsg::Request(bootstrap_req()));
+        let DrvMsg::Error { code, message } = reply else { panic!() };
+        assert_eq!(code, drivolution_core::proto::DrvErrCode::NoMatchingDriver);
+        assert!(message.contains("RDBC"));
+    }
+
+    #[test]
+    fn renewal_same_driver_offers_without_file() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        let mut req = bootstrap_req();
+        req.kind = RequestKind::Renewal {
+            current: DriverId(1),
+        };
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        assert!(offer.same_driver);
+        assert!(offer.location.is_empty());
+        assert_eq!(srv.stats().renewals, 1);
+    }
+
+    #[test]
+    fn renewal_with_newer_driver_offers_upgrade() {
+        let (srv, _c) = server_with(ServerConfig {
+            default_renew: RenewPolicy::Upgrade,
+            ..ServerConfig::default()
+        });
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
+            .unwrap();
+        // Permission rules route everyone to driver 2 now.
+        srv.add_rule(&PermissionRule::any(DriverId(2)).with_policies(
+            RenewPolicy::Upgrade,
+            ExpirationPolicy::AfterCommit,
+        ))
+        .unwrap();
+        let mut req = bootstrap_req();
+        req.kind = RequestKind::Renewal {
+            current: DriverId(1),
+        };
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        assert_eq!(offer.driver_id, DriverId(2));
+        assert!(!offer.same_driver);
+        assert!(!offer.location.is_empty());
+    }
+
+    #[test]
+    fn renewal_under_revoke_policy_errors() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.add_rule(
+            &PermissionRule::any(DriverId(1))
+                .with_policies(RenewPolicy::Revoke, ExpirationPolicy::AfterClose),
+        )
+        .unwrap();
+        let mut req = bootstrap_req();
+        req.kind = RequestKind::Renewal {
+            current: DriverId(1),
+        };
+        let reply = srv.handle(&client(), DrvMsg::Request(req));
+        let DrvMsg::Error { code, .. } = reply else { panic!("{reply:?}") };
+        assert_eq!(code, drivolution_core::proto::DrvErrCode::NoDriverAvailable);
+    }
+
+    #[test]
+    fn permission_rules_carry_lease_policies_and_options() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.add_rule(
+            &PermissionRule::any(DriverId(1))
+                .with_lease_ms(60_000)
+                .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::Immediate)
+                .with_transfer(TransferMethod::Checksum)
+                .with_options("fetch_size=100, lang=fr"),
+        )
+        .unwrap();
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(bootstrap_req())));
+        assert_eq!(offer.lease_ms, 60_000);
+        assert_eq!(offer.renew_policy, RenewPolicy::Upgrade);
+        assert_eq!(offer.expiration_policy, ExpirationPolicy::Immediate);
+        assert_eq!(offer.transfer_method, TransferMethod::Checksum);
+        assert_eq!(
+            offer.options,
+            vec![
+                ("fetch_size".to_string(), "100".to_string()),
+                ("lang".to_string(), "fr".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn signing_produces_verifiable_offers() {
+        let key = SigningKey::from_seed(7);
+        let vk = key.verifying_key();
+        let (srv, _c) = server_with(ServerConfig {
+            signing: Some(key),
+            default_transfer: TransferMethod::Plain,
+            ..ServerConfig::default()
+        });
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(bootstrap_req())));
+        let sig = offer.signature.expect("signed offer");
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::FileRequest {
+                location: offer.location,
+                transfer_method: offer.transfer_method,
+            },
+        );
+        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
+        vk.verify(&raw, &sig).unwrap();
+    }
+
+    #[test]
+    fn discover_advertises_without_staging_or_licensing() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.licenses().set_limit(DriverId(1), 1);
+        // Two discovers do not consume licenses or stage files.
+        for _ in 0..2 {
+            let offer = expect_offer(srv.handle(&client(), DrvMsg::Discover(bootstrap_req())));
+            assert!(offer.location.is_empty() || !offer.location.is_empty());
+        }
+        assert_eq!(srv.licenses().available(DriverId(1), 0), Some(1));
+        assert_eq!(srv.store().lease_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn license_exhaustion_denies_offers() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.licenses().set_limit(DriverId(1), 1);
+        let first = srv.handle(&Addr::new("h1", 1), DrvMsg::Request(bootstrap_req()));
+        expect_offer(first);
+        let second = srv.handle(&Addr::new("h2", 1), DrvMsg::Request(bootstrap_req()));
+        let DrvMsg::Error { code, .. } = second else { panic!() };
+        assert_eq!(code, drivolution_core::proto::DrvErrCode::PermissionDenied);
+        // Release frees the seat.
+        let rel = srv.handle(
+            &Addr::new("h1", 1),
+            DrvMsg::Release {
+                database: "orders".into(),
+                user: "app".into(),
+                driver: DriverId(1),
+            },
+        );
+        assert_eq!(rel, DrvMsg::ReleaseOk);
+        expect_offer(srv.handle(&Addr::new("h2", 1), DrvMsg::Request(bootstrap_req())));
+    }
+
+    #[test]
+    fn extension_request_serves_enriched_driver() {
+        let (srv, _c) = server_with(ServerConfig {
+            default_transfer: TransferMethod::Plain,
+            ..ServerConfig::default()
+        });
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.assembler().register(drivolution_core::Extension::Gis);
+        let mut req = bootstrap_req();
+        req.kind = RequestKind::Extension {
+            base: DriverId(1),
+            name: "gis".into(),
+        };
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::FileRequest {
+                location: offer.location,
+                transfer_method: offer.transfer_method,
+            },
+        );
+        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
+        let image = unpack_driver(offer.format, raw).unwrap();
+        assert!(image.extension("gis").is_some());
+    }
+
+    #[test]
+    fn customization_trims_feature_set() {
+        let (srv, _c) = server_with(ServerConfig {
+            customize: true,
+            default_transfer: TransferMethod::Plain,
+            ..ServerConfig::default()
+        });
+        // Base driver bundles French and German NLS.
+        let mut image = DriverImage::new("fat", DriverVersion::new(1, 0, 0), 1);
+        image.extensions = vec![
+            drivolution_core::Extension::Nls {
+                locale: "fr_FR".into(),
+            },
+            drivolution_core::Extension::Nls {
+                locale: "de_DE".into(),
+            },
+        ];
+        let bytes = pack_driver(BinaryFormat::Djar, &image);
+        srv.install_driver(&DriverRecord::new(
+            DriverId(1),
+            ApiName::rdbc(),
+            BinaryFormat::Djar,
+            bytes,
+        ))
+        .unwrap();
+        let mut req = bootstrap_req();
+        req.options = vec![("locale".into(), "fr_FR".into())];
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::FileRequest {
+                location: offer.location,
+                transfer_method: offer.transfer_method,
+            },
+        );
+        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
+        let custom = unpack_driver(offer.format, raw).unwrap();
+        assert!(custom.extension("nls-fr_FR").is_some());
+        assert!(custom.extension("nls-de_DE").is_none());
+    }
+
+    #[test]
+    fn admin_events_fire_and_replication_does_not_loop() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let events: Arc<Mutex<Vec<AdminEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = events.clone();
+        srv.subscribe(Arc::new(move |e| sink.lock().push(e.clone())));
+        let rec = record(1, 1, DriverVersion::new(1, 0, 0));
+        srv.install_driver(&rec).unwrap();
+        srv.add_rule(&PermissionRule::any(DriverId(1))).unwrap();
+        srv.expire_driver(DriverId(1)).unwrap();
+        assert_eq!(events.lock().len(), 3);
+
+        // Applying a replicated event must not re-emit.
+        let (peer, _c2) = server_with(ServerConfig::default());
+        let peer_events: Arc<Mutex<Vec<AdminEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = peer_events.clone();
+        peer.subscribe(Arc::new(move |e| sink.lock().push(e.clone())));
+        peer.apply_replicated(&AdminEvent::DriverAdded(rec)).unwrap();
+        assert!(peer_events.lock().is_empty());
+        assert_eq!(peer.store().records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memory_and_sql_match_paths_agree_through_server() {
+        for path in [MatchPath::Sql, MatchPath::Memory] {
+            let (srv, _c) = server_with(ServerConfig {
+                match_path: path,
+                ..ServerConfig::default()
+            });
+            srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+                .unwrap();
+            srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
+                .unwrap();
+            srv.add_rule(&PermissionRule::any(DriverId(2)).for_user("app"))
+                .unwrap();
+            let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(bootstrap_req())));
+            assert_eq!(offer.driver_id, DriverId(2), "path {path:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Drivolution as a license server — the paper's §5.4.2.
+//!
+//! The DB2-style per-user licensing case: the driver is capacity-limited
+//! to two seats. Checkout happens at driver delivery; seats return via
+//! explicit release, lease expiry, or the dedicated-channel failure
+//! detector when a client crashes.
+//!
+//! Run with: `cargo run --example license_server`
+
+use std::sync::Arc;
+
+use drivolution::core::pack::pack_driver;
+use drivolution::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("db2ish", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))?;
+    let srv = attach_in_database(
+        &net,
+        db,
+        Addr::new("db1", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )?;
+    let image = DriverImage::new("db2ish-driver", DriverVersion::new(1, 0, 0), 1);
+    srv.install_driver(&DriverRecord::new(
+        DriverId(1),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver(BinaryFormat::Djar, &image),
+    ))?;
+    srv.add_rule(&PermissionRule::any(DriverId(1)).with_lease_ms(600_000))?;
+    srv.licenses().set_limit(DriverId(1), 2);
+    println!("driver#1 limited to 2 license seats");
+
+    let url: DbUrl = "rdbc:minidb://db1:5432/db2ish".parse()?;
+    let props = ConnectProps::user("admin", "admin");
+    let boot = |host: &str| {
+        Bootloader::new(
+            &net,
+            Addr::new(host, 1),
+            BootloaderConfig::same_host()
+                .trusting(srv.certificate())
+                .with_notify_channel(),
+        )
+    };
+
+    // Two clients take the two seats.
+    let alice = boot("alice-host");
+    let bob = boot("bob-host");
+    alice.connect(&url, &props)?;
+    bob.connect(&url, &props)?;
+    println!(
+        "alice and bob hold the seats; holders = {:?}",
+        srv.licenses().holders(DriverId(1))
+    );
+
+    // A third client is denied.
+    let carol = boot("carol-host");
+    match carol.connect(&url, &props) {
+        Err(e) => println!("carol denied as expected: {e}"),
+        Ok(_) => unreachable!("no seat should be available"),
+    }
+
+    // Alice gives her license back explicitly (driver unload).
+    alice.release_driver()?;
+    println!("\nalice released her seat; carol retries…");
+    carol.connect(&url, &props)?;
+    println!(
+        "carol now holds a seat; holders = {:?}",
+        srv.licenses().holders(DriverId(1))
+    );
+
+    // Bob's machine crashes: his dedicated channel breaks and the
+    // failure detector frees the seat.
+    println!("\nbob's machine crashes (dedicated channel closes)…");
+    bob.drop_notify_channel();
+    let freed = srv.detect_failures();
+    println!("failure detector freed {freed} seat(s)");
+    let dave = boot("dave-host");
+    dave.connect(&url, &props)?;
+    println!(
+        "dave took the freed seat; holders = {:?}",
+        srv.licenses().holders(DriverId(1))
+    );
+
+    // Lease expiry is the last-resort reclaim: advance a full lease
+    // without renewal from carol (her bootloader never polls again).
+    println!("\nletting carol's lease expire without renewal…");
+    net.clock().advance_ms(600_001);
+    let freed = srv.licenses().prune_expired(net.clock().now_ms());
+    println!("lease-expiry reclaim freed {freed} seat(s)");
+    println!(
+        "final holders = {:?}",
+        srv.licenses().holders(DriverId(1))
+    );
+    Ok(())
+}

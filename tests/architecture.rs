@@ -1,0 +1,139 @@
+//! Figure 1 — the architecture overview as assertions: in-database and
+//! standalone Drivolution servers, bootloader clients downloading
+//! different drivers, and a legacy application coexisting.
+
+use std::sync::Arc;
+
+use drivolution::core::pack::pack_driver;
+use drivolution::prelude::*;
+
+fn record(id: i64, name: &str, proto: u16) -> DriverRecord {
+    let image = DriverImage::new(name, DriverVersion::new(proto as i32, 0, 0), proto);
+    DriverRecord::new(
+        DriverId(id),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver(BinaryFormat::Djar, &image),
+    )
+}
+
+#[test]
+fn figure_1_all_three_application_kinds_coexist() {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    {
+        let mut s = db.admin_session();
+        db.exec(&mut s, "CREATE TABLE t (a INTEGER)").unwrap();
+        db.exec(&mut s, "INSERT INTO t VALUES (1)").unwrap();
+    }
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+
+    // In-database Drivolution server (driver 2 for app 1).
+    let indb = attach_in_database(
+        &net,
+        db,
+        Addr::new("db1", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    indb.install_driver(&record(2, "driver-two", 2)).unwrap();
+
+    // Standalone Drivolution server (driver 3 for app 2) on another host.
+    let standalone = launch_standalone(
+        &net,
+        Addr::new("drvsrv", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    standalone
+        .install_driver(&record(3, "driver-three", 3))
+        .unwrap();
+
+    let url: DbUrl = "rdbc:minidb://db1:5432/orders".parse().unwrap();
+    let props = ConnectProps::user("admin", "admin");
+
+    // Application 1: bootloader → in-database server → driver 2.
+    let app1 = Bootloader::new(
+        &net,
+        Addr::new("app1", 1),
+        BootloaderConfig::same_host().trusting(indb.certificate()),
+    );
+    let mut c1 = app1.connect(&url, &props).unwrap();
+    c1.execute("SELECT a FROM t").unwrap();
+    assert_eq!(
+        app1.registry().active().unwrap().image.name,
+        "driver-two"
+    );
+
+    // Application 2: bootloader → standalone server → driver 3.
+    let app2 = Bootloader::new(
+        &net,
+        Addr::new("app2", 1),
+        BootloaderConfig::fixed(vec![Addr::new("drvsrv", DRIVOLUTION_PORT)])
+            .trusting(standalone.certificate()),
+    );
+    let mut c2 = app2.connect(&url, &props).unwrap();
+    c2.execute("SELECT a FROM t").unwrap();
+    assert_eq!(
+        app2.registry().active().unwrap().image.name,
+        "driver-three"
+    );
+
+    // Application 3: a conventional statically linked driver, no
+    // Drivolution anywhere in its path.
+    let legacy = legacy_driver(&net, &Addr::new("app3", 1), 1).unwrap();
+    let mut c3 = legacy.connect(&url, &props).unwrap();
+    c3.execute("SELECT a FROM t").unwrap();
+
+    // The Drivolution traffic went where Figure 1 says it goes.
+    assert_eq!(indb.stats().files, 1);
+    assert_eq!(standalone.stats().files, 1);
+    // All three applications share the same database protocol endpoint.
+    assert!(net.stats().for_addr(&Addr::new("db1", 5432)).requests >= 6);
+}
+
+#[test]
+fn discover_broadcast_reaches_all_servers_like_dhcp() {
+    // §3.1: DRIVOLUTION_DISCOVER broadcast; all servers with a matching
+    // driver answer; databases can join/leave without reconfiguration.
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db)))
+        .unwrap();
+    let s1 = launch_standalone(&net, Addr::new("drv1", DRIVOLUTION_PORT), ServerConfig::default())
+        .unwrap();
+    let s2 = launch_standalone(&net, Addr::new("drv2", DRIVOLUTION_PORT), ServerConfig::default())
+        .unwrap();
+    s1.install_driver(&record(1, "from-s1", 1)).unwrap();
+    s2.install_driver(&record(1, "from-s2", 1)).unwrap();
+
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::discover()
+            .trusting(s1.certificate())
+            .trusting(s2.certificate()),
+    );
+    let url: DbUrl = "rdbc:minidb://db1:5432/orders".parse().unwrap();
+    boot.connect(&url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    // One of the answering servers served the file.
+    assert_eq!(s1.stats().files + s2.stats().files, 1);
+
+    // Take the serving server away: a fresh discovery still succeeds via
+    // the other one ("databases can be added or removed from a database
+    // cluster in a decoupled manner").
+    net.with_faults(|f| f.take_down("drv1"));
+    let boot2 = Bootloader::new(
+        &net,
+        Addr::new("app2", 1),
+        BootloaderConfig::discover()
+            .trusting(s1.certificate())
+            .trusting(s2.certificate()),
+    );
+    boot2
+        .connect(&url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    assert_eq!(boot2.registry().active().unwrap().image.name, "from-s2");
+}

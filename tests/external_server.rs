@@ -1,0 +1,120 @@
+//! Figure 2: an external Drivolution server fronting a legacy database.
+//!
+//! The legacy database knows nothing about Drivolution; the external
+//! server stores the driver tables *inside it* through a legacy driver,
+//! and bootloaders follow the four-step flow of Figure 2.
+
+use std::sync::Arc;
+
+use drivolution::core::pack::pack_driver;
+use drivolution::prelude::*;
+
+fn record(id: i64, proto: u16, version: DriverVersion) -> DriverRecord {
+    let image = DriverImage::new(format!("legacy-db-driver-{id}"), version, proto);
+    DriverRecord::new(
+        DriverId(id),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver(BinaryFormat::Djar, &image),
+    )
+    .with_version(version)
+}
+
+#[test]
+fn external_server_full_flow() {
+    let net = Network::new();
+    // The legacy database, v1/v2 wire protocol, no Drivolution support.
+    let db = Arc::new(MiniDb::with_clock("legacydb", net.clock().clone()));
+    {
+        let mut s = db.admin_session();
+        db.exec(&mut s, "CREATE TABLE data (x INTEGER)").unwrap();
+        db.exec(&mut s, "INSERT INTO data VALUES (7)").unwrap();
+    }
+    net.bind_arc(Addr::new("legacy-host", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+
+    // The external Drivolution server on its own machine (step 2–3 of
+    // Figure 2 run through its legacy driver).
+    let srv = launch_external(
+        &net,
+        &DbUrl::direct(Addr::new("legacy-host", 5432), "legacydb"),
+        &ConnectProps::user("admin", "admin"),
+        2,
+        Addr::new("drv-host", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+        .unwrap();
+    // The driver rows physically live in the legacy database.
+    assert_eq!(db.table_len("information_schema.drivers").unwrap(), 1);
+
+    // Step 1: the bootloader queries the Drivolution server (dual-URL
+    // configuration: drivolution at drv-host, database at legacy-host).
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::fixed(vec![Addr::new("drv-host", DRIVOLUTION_PORT)])
+            .trusting(srv.certificate()),
+    );
+    // Step 4: the installed driver connects to the legacy database.
+    let mut conn = boot
+        .connect(
+            &DbUrl::direct(Addr::new("legacy-host", 5432), "legacydb"),
+            &ConnectProps::user("admin", "admin"),
+        )
+        .unwrap();
+    let rs = conn.execute("SELECT x FROM data").unwrap().rows().unwrap();
+    assert_eq!(rs.rows[0][0], Value::Integer(7));
+
+    // §4.1.3 benefit: the external server can be restarted without
+    // interrupting applications — the bootloader keeps its driver.
+    net.with_faults(|f| f.take_down("drv-host"));
+    net.clock().advance_ms(7_200_000);
+    assert_eq!(boot.poll(), PollOutcome::KeptAfterFailure);
+    conn.execute("SELECT x FROM data").unwrap();
+    net.with_faults(|f| f.restore("drv-host"));
+    assert_eq!(boot.poll(), PollOutcome::Renewed);
+}
+
+#[test]
+fn external_server_upgrade_updates_single_machine() {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("legacydb", net.clock().clone()));
+    net.bind_arc(Addr::new("legacy-host", 5432), Arc::new(DbServer::new(db)))
+        .unwrap();
+    let srv = launch_external(
+        &net,
+        &DbUrl::direct(Addr::new("legacy-host", 5432), "legacydb"),
+        &ConnectProps::user("admin", "admin"),
+        2,
+        Addr::new("drv-host", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+        .unwrap();
+
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::fixed(vec![Addr::new("drv-host", DRIVOLUTION_PORT)])
+            .trusting(srv.certificate()),
+    );
+    let url = DbUrl::direct(Addr::new("legacy-host", 5432), "legacydb");
+    boot.connect(&url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+
+    // One insert at the external server upgrades every client fleet-wide.
+    srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
+        .unwrap();
+    srv.add_rule(
+        &PermissionRule::any(DriverId(2))
+            .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+    )
+    .unwrap();
+    net.clock().advance_ms(3_600_000);
+    assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(2, 0, 0)));
+}

@@ -1,0 +1,73 @@
+//! Robustness property tests: no parser, codec, or unpacker in the
+//! workspace may panic on arbitrary input — malformed bytes and SQL must
+//! come back as errors.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use drivolution::core::pack::{unpack_driver, Archive};
+use drivolution::core::proto::{DrvMsg, DrvNotice};
+use drivolution::core::{BinaryFormat, DriverImage, Signature};
+use drivolution::minidb::sql::parse;
+use drivolution::minidb::wire::{ClientMsg, ServerMsg};
+use drivolution::minidb::MiniDb;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn sql_parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn sql_parser_never_panics_on_sqlish_soup(
+        input in "(SELECT|INSERT|WHERE|FROM|VALUES|LIKE|NULL|AND|OR|\\(|\\)|,|\\*|=|'x'|5|\\$p| ){0,40}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn executing_arbitrary_sqlish_text_never_panics(
+        input in "(SELECT|INSERT INTO t|WHERE|FROM t|VALUES|\\(1\\)|a|,|\\*|=|5| ){0,20}"
+    ) {
+        let db = MiniDb::new("fuzz");
+        let mut s = db.admin_session();
+        db.exec(&mut s, "CREATE TABLE t (a INTEGER)").unwrap();
+        let _ = db.exec(&mut s, &input);
+    }
+
+    #[test]
+    fn drv_msg_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = DrvMsg::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn drv_notice_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..100)) {
+        let _ = DrvNotice::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn minidb_wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = ClientMsg::decode(Bytes::from(bytes.clone()));
+        let _ = ServerMsg::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn archive_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        for fmt in [BinaryFormat::Djar, BinaryFormat::Dzip] {
+            let _ = Archive::decode(fmt, Bytes::from(bytes.clone()));
+            let _ = unpack_driver(fmt, Bytes::from(bytes.clone()));
+        }
+    }
+
+    #[test]
+    fn image_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = DriverImage::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn signature_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..40)) {
+        let _ = Signature::decode(Bytes::from(bytes));
+    }
+}

@@ -1,0 +1,145 @@
+//! Behaviour under message loss and partitions: the lease mechanism must
+//! degrade gracefully — applications keep their drivers, retries
+//! eventually succeed, and no client is left half-upgraded.
+
+use std::sync::Arc;
+
+use drivolution::core::pack::pack_driver;
+use drivolution::prelude::*;
+
+const LEASE_MS: u64 = 10_000;
+
+fn record(id: i64, proto: u16, version: DriverVersion) -> DriverRecord {
+    let image = DriverImage::new(format!("drv-{id}"), version, proto);
+    DriverRecord::new(
+        DriverId(id),
+        ApiName::rdbc(),
+        BinaryFormat::Djar,
+        pack_driver(BinaryFormat::Djar, &image),
+    )
+    .with_version(version)
+}
+
+fn rig() -> (Network, Arc<DrivolutionServer>, DbUrl) {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    {
+        let mut s = db.admin_session();
+        db.exec(&mut s, "CREATE TABLE t (a INTEGER)").unwrap();
+        db.exec(&mut s, "INSERT INTO t VALUES (1)").unwrap();
+    }
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let srv = attach_in_database(
+        &net,
+        db,
+        Addr::new("db1", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+        .unwrap();
+    srv.add_rule(
+        &PermissionRule::any(DriverId(1))
+            .with_lease_ms(LEASE_MS as i64)
+            .with_transfer(TransferMethod::Any)
+            .with_policies(RenewPolicy::Renew, ExpirationPolicy::AfterCommit),
+    )
+    .unwrap();
+    (net.clone(), srv, DbUrl::direct(Addr::new("db1", 5432), "orders"))
+}
+
+#[test]
+fn bootstrap_retries_through_a_lossy_network() {
+    let (net, srv, url) = rig();
+    net.reseed(7);
+    net.with_faults(|f| f.set_drop_prob(0.3));
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host().trusting(srv.certificate()),
+    );
+    // Individual attempts may fail (request, file transfer, or the DB
+    // handshake may be dropped) — application-level retry must converge.
+    let mut attempts = 0;
+    let conn = loop {
+        attempts += 1;
+        assert!(attempts < 100, "did not converge under 30% loss");
+        match boot.connect(&url, &ConnectProps::user("admin", "admin")) {
+            Ok(c) => break c,
+            Err(_) => continue,
+        }
+    };
+    drop(conn);
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+    // Exactly one driver loaded despite the messy path.
+    assert_eq!(boot.registry().len(), 1);
+}
+
+#[test]
+fn renewals_survive_loss_and_never_drop_the_driver() {
+    let (net, srv, url) = rig();
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host().trusting(srv.certificate()),
+    );
+    let mut conn = boot
+        .connect(&url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    net.reseed(11);
+    net.with_faults(|f| f.set_drop_prob(0.5));
+    // A simulated day of renewal cycles under 50% loss: some renewals
+    // fail (driver kept), none may revoke, and the driver must always
+    // stay loaded.
+    let mut renewed = 0;
+    let mut kept = 0;
+    for _ in 0..100 {
+        net.clock().advance_ms(LEASE_MS);
+        match boot.poll() {
+            PollOutcome::Renewed => renewed += 1,
+            PollOutcome::KeptAfterFailure => kept += 1,
+            other => panic!("unexpected outcome under loss: {other:?}"),
+        }
+        assert!(boot.active_version().is_some());
+    }
+    assert!(renewed > 10, "renewed={renewed}");
+    assert!(kept > 10, "kept={kept}");
+    // The connection was never disturbed (loss only affected the
+    // drivolution control path, not established behaviour).
+    net.with_faults(|f| f.set_drop_prob(0.0));
+    conn.execute("SELECT a FROM t").unwrap();
+}
+
+#[test]
+fn partition_heals_and_upgrade_completes() {
+    let (net, srv, url) = rig();
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host().trusting(srv.certificate()),
+    );
+    boot.connect(&url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+
+    // Publish v2 while the client is partitioned from the server host.
+    srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
+        .unwrap();
+    srv.store().remove_permissions(DriverId(1)).unwrap();
+    srv.add_rule(
+        &PermissionRule::any(DriverId(2))
+            .with_lease_ms(LEASE_MS as i64)
+            .with_transfer(TransferMethod::Any)
+            .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+    )
+    .unwrap();
+    net.with_faults(|f| f.partition("app", "db1"));
+    net.clock().advance_ms(LEASE_MS * 3);
+    assert_eq!(boot.poll(), PollOutcome::KeptAfterFailure);
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+
+    // Heal: the very next poll upgrades.
+    net.with_faults(|f| f.heal("app", "db1"));
+    assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(2, 0, 0)));
+}

@@ -1,0 +1,299 @@
+//! Property-based tests on the workspace's core invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use drivolution::core::image::{AuthKind, Extension};
+use drivolution::core::pack::{pack_driver, unpack_driver, Archive};
+use drivolution::core::proto::{DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution::core::{
+    like, ApiVersion, BinaryFormat, DriverFlavor, DriverId, DriverImage, DriverVersion,
+    ExpirationPolicy, Lease, LeaseState, RenewPolicy, SigningKey, TransferMethod,
+};
+use drivolution::minidb::{like_match, DataType, Value};
+
+// --- generators -----------------------------------------------------------
+
+fn arb_binary_format() -> impl Strategy<Value = BinaryFormat> {
+    prop_oneof![Just(BinaryFormat::Djar), Just(BinaryFormat::Dzip)]
+}
+
+fn arb_version() -> impl Strategy<Value = DriverVersion> {
+    (0..50i32, 0..50i32, 0..50i32).prop_map(|(a, b, c)| DriverVersion::new(a, b, c))
+}
+
+fn arb_extension() -> impl Strategy<Value = Extension> {
+    prop_oneof![
+        Just(Extension::Gis),
+        "[a-z]{2}_[A-Z]{2}".prop_map(|locale| Extension::Nls { locale }),
+        "[a-z]{1,12}".prop_map(|realm_secret| Extension::Kerberos { realm_secret }),
+    ]
+}
+
+fn arb_image() -> impl Strategy<Value = DriverImage> {
+    (
+        "[a-z][a-z0-9-]{0,20}",
+        arb_version(),
+        1..4u16,
+        prop::collection::vec(arb_extension(), 0..4),
+        prop::collection::vec(("[a-z]{1,8}", "[a-z0-9]{1,8}"), 0..4),
+        prop::option::of("[a-z]{1,10}:[0-9]{1,4}"),
+        prop_oneof![Just(DriverFlavor::Direct), Just(DriverFlavor::Cluster)],
+    )
+        .prop_map(|(name, version, proto, exts, opts, target, flavor)| {
+            let mut img = DriverImage::new(name, version, proto);
+            img.auth_kinds = vec![AuthKind::Password, AuthKind::Challenge];
+            img.extensions = exts;
+            img.default_options = opts;
+            img.preconfigured_target = target;
+            img.flavor = flavor;
+            img
+        })
+}
+
+// --- pack / image ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn driver_images_roundtrip(img in arb_image()) {
+        let round = DriverImage::decode(img.encode()).unwrap();
+        prop_assert_eq!(round, img);
+    }
+
+    #[test]
+    fn packed_drivers_roundtrip(img in arb_image(), fmt in arb_binary_format()) {
+        let bytes = pack_driver(fmt, &img);
+        let round = unpack_driver(fmt, bytes).unwrap();
+        prop_assert_eq!(round, img);
+    }
+
+    #[test]
+    fn archives_detect_any_single_byte_corruption(
+        img in arb_image(),
+        fmt in arb_binary_format(),
+        pos_seed in any::<u32>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = pack_driver(fmt, &img).to_vec();
+        let pos = pos_seed as usize % bytes.len();
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+        // Either the archive layer or the image decoder must reject it;
+        // silent acceptance of different bytes is the only failure.
+        if let Ok(round) = unpack_driver(fmt, Bytes::from(bad.clone())) {
+            // Extremely unlikely, but only acceptable if it decodes to
+            // the identical image (e.g. flip in ignored padding — none
+            // exists today).
+            prop_assert_eq!(round, img);
+        }
+    }
+
+    #[test]
+    fn archive_entries_roundtrip(
+        entries in prop::collection::vec(("[a-z/.]{1,16}", prop::collection::vec(any::<u8>(), 0..200)), 0..6),
+        fmt in arb_binary_format(),
+    ) {
+        let mut a = Archive::new(fmt);
+        for (i, (name, data)) in entries.iter().enumerate() {
+            // Ensure unique names (duplicates replace).
+            a.add_entry(format!("{i}-{name}"), Bytes::from(data.clone()));
+        }
+        let round = Archive::decode(fmt, a.encode()).unwrap();
+        prop_assert_eq!(round, a);
+    }
+}
+
+// --- protocol messages -------------------------------------------------------
+
+fn arb_request() -> impl Strategy<Value = DrvRequest> {
+    (
+        "[a-z]{1,10}",
+        "[a-z]{1,10}",
+        prop_oneof![
+            Just(RequestKind::Bootstrap),
+            (0..100i64).prop_map(|id| RequestKind::Renewal { current: DriverId(id) }),
+            ("[a-z]{1,8}", 0..100i64)
+                .prop_map(|(name, id)| RequestKind::Extension { base: DriverId(id), name }),
+        ],
+        prop::option::of((0..9i32, 0..9i32)),
+        prop::collection::vec(("[a-z]{1,6}", "[a-z0-9_]{1,8}"), 0..3),
+    )
+        .prop_map(|(database, user, kind, apiv, options)| {
+            let mut r = DrvRequest::bootstrap(database, user, "RDBC", "linux-x86_64");
+            r.kind = kind;
+            r.api_version = apiv.map(|(a, b)| ApiVersion::exact(a, b));
+            r.options = options;
+            r
+        })
+}
+
+proptest! {
+    #[test]
+    fn drv_requests_roundtrip(req in arb_request()) {
+        let msg = DrvMsg::Request(req);
+        prop_assert_eq!(DrvMsg::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn drv_offers_roundtrip(
+        id in 0..1000i64,
+        same in any::<bool>(),
+        lease in 1..10_000_000u64,
+        fmt in arb_binary_format(),
+        size in 0..1_000_000u64,
+        signed in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let offer = DrvOffer {
+            driver_id: DriverId(id),
+            driver_version: Some(DriverVersion::new(1, 2, 3)),
+            same_driver: same,
+            lease_ms: lease,
+            renew_policy: RenewPolicy::Upgrade,
+            expiration_policy: ExpirationPolicy::AfterCommit,
+            format: fmt,
+            location: format!("stage/{id}"),
+            size,
+            transfer_method: TransferMethod::Sealed,
+            options: vec![("k".into(), "v".into())],
+            signature: signed.then(|| SigningKey::from_seed(seed).sign(b"payload")),
+        };
+        let msg = DrvMsg::Offer(offer);
+        prop_assert_eq!(DrvMsg::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(req in arb_request(), cut_seed in any::<u32>()) {
+        let enc = DrvMsg::Request(req).encode();
+        let cut = cut_seed as usize % enc.len();
+        // Must return an error (or in rare prefix-valid cases a message),
+        // never panic.
+        let _ = DrvMsg::decode(enc.slice(0..cut));
+    }
+}
+
+// --- LIKE engines agree -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn core_and_minidb_like_engines_agree(
+        s in "[ab%_]{0,8}",
+        p in "[ab%_]{0,8}",
+    ) {
+        prop_assert_eq!(like(&s, &p), like_match(&s, &p));
+    }
+
+    #[test]
+    fn like_reflexive_on_literal_strings(s in "[a-z0-9]{0,12}") {
+        prop_assert!(like_match(&s, &s));
+        prop_assert!(like_match(&s, "%"));
+        let mut with_suffix = s.clone();
+        with_suffix.push('%');
+        prop_assert!(like_match(&s, &with_suffix));
+    }
+}
+
+// --- versions -------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn api_version_matching_is_symmetric_and_reflexive(
+        a in prop::option::of(0..9i32),
+        b in prop::option::of(0..9i32),
+        c in prop::option::of(0..9i32),
+        d in prop::option::of(0..9i32),
+    ) {
+        let v1 = ApiVersion { major: a, minor: b };
+        let v2 = ApiVersion { major: c, minor: d };
+        prop_assert!(v1.matches(&v1));
+        prop_assert_eq!(v1.matches(&v2), v2.matches(&v1));
+        prop_assert!(ApiVersion::any().matches(&v2));
+    }
+
+    #[test]
+    fn driver_version_ordering_is_total(a in arb_version(), b in arb_version(), c in arb_version()) {
+        // Antisymmetry + transitivity spot checks via sort stability.
+        let mut v = vec![a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<DriverVersion>().unwrap(), a);
+    }
+}
+
+// --- lease state machine -----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lease_state_is_monotone_in_time(
+        granted in 0..1_000_000u64,
+        len in 1..1_000_000u64,
+        probes in prop::collection::vec(0..3_000_000u64, 1..20),
+    ) {
+        let lease = Lease::grant(
+            DriverId(1), granted, len,
+            RenewPolicy::Renew, ExpirationPolicy::AfterClose,
+        ).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut last_rank = 0u8;
+        for t in sorted {
+            let rank = match lease.state(t) {
+                LeaseState::Valid => 0,
+                LeaseState::RenewDue => 1,
+                LeaseState::Expired => 2,
+            };
+            prop_assert!(rank >= last_rank, "lease state went backwards at t={t}");
+            last_rank = rank;
+        }
+        // Boundary invariants.
+        prop_assert_eq!(lease.state(lease.expires_at_ms()), LeaseState::Expired);
+        prop_assert_eq!(lease.remaining_ms(lease.expires_at_ms()), 0);
+    }
+
+    #[test]
+    fn renewed_leases_restart_the_window(
+        granted in 0..1_000u64,
+        len in 10..100_000u64,
+        renew_at in 0..200_000u64,
+    ) {
+        let lease = Lease::grant(
+            DriverId(1), granted, len,
+            RenewPolicy::Renew, ExpirationPolicy::AfterClose,
+        ).unwrap();
+        let renewed = lease.renewed(renew_at);
+        prop_assert_eq!(renewed.expires_at_ms(), renew_at + len);
+        prop_assert_eq!(renewed.state(renew_at), LeaseState::Valid);
+    }
+}
+
+// --- minidb value / SQL roundtrips ------------------------------------------------
+
+proptest! {
+    #[test]
+    fn values_conform_to_their_types(n in any::<i64>(), s in "[a-z]{0,10}", b in prop::collection::vec(any::<u8>(), 0..32)) {
+        prop_assert!(Value::BigInt(n).conforms_to(DataType::BigInt));
+        prop_assert!(Value::Varchar(s).conforms_to(DataType::Varchar));
+        prop_assert!(Value::Blob(b).conforms_to(DataType::Blob));
+        prop_assert!(Value::Null.conforms_to(DataType::Integer));
+    }
+
+    #[test]
+    fn integer_literals_roundtrip_through_sql(n in 0..1_000_000i64) {
+        use drivolution::minidb::MiniDb;
+        let db = MiniDb::new("p");
+        let mut s = db.admin_session();
+        let rs = db.exec(&mut s, &format!("SELECT {n} + 0")).unwrap().rows().unwrap();
+        prop_assert_eq!(rs.rows[0][0].as_i64(), Some(n));
+    }
+
+    #[test]
+    fn string_literals_roundtrip_through_sql(text in "[a-zA-Z0-9 ']{0,20}") {
+        use drivolution::minidb::MiniDb;
+        let db = MiniDb::new("p");
+        let mut s = db.admin_session();
+        let escaped = text.replace('\'', "''");
+        let rs = db.exec(&mut s, &format!("SELECT '{escaped}'")).unwrap().rows().unwrap();
+        prop_assert_eq!(rs.rows[0][0].as_str(), Some(text.as_str()));
+    }
+}

@@ -1,0 +1,250 @@
+//! Tables 1 and 2 as real SQL tables, plus the paper's verbatim
+//! matchmaking statements (Sample code 1–2) running against them.
+
+use std::sync::Arc;
+
+use drivolution::minidb::{MiniDb, Params, Value};
+use drivolution::netsim::Clock;
+use drivolution::server::{DriverStore, EmbeddedExec};
+
+fn store_db() -> (Arc<MiniDb>, DriverStore) {
+    let db = Arc::new(MiniDb::with_clock("proddb", Clock::simulated()));
+    let store = DriverStore::new(Box::new(EmbeddedExec::new(db.clone())));
+    store.install_schema().unwrap();
+    (db, store)
+}
+
+#[test]
+fn table_1_schema_matches_the_paper() {
+    let (db, _store) = store_db();
+    let mut s = db.admin_session();
+    let rs = db
+        .exec(
+            &mut s,
+            "SELECT column_name, data_type, is_nullable, is_primary_key \
+             FROM information_schema.columns \
+             WHERE table_name = 'information_schema.drivers'",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    let cols: Vec<(String, String, bool, bool)> = rs
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_str().unwrap().to_string(),
+                r[1].as_str().unwrap().to_string(),
+                r[2].as_bool().unwrap(),
+                r[3].as_bool().unwrap(),
+            )
+        })
+        .collect();
+    // Paper Table 1, in order.
+    let expect = [
+        ("driver_id", "INTEGER", false, true),
+        ("api_name", "VARCHAR", false, false),
+        ("api_version_major", "INTEGER", true, false),
+        ("api_version_minor", "INTEGER", true, false),
+        ("platform", "VARCHAR", true, false),
+        ("driver_version_major", "INTEGER", true, false),
+        ("driver_version_minor", "INTEGER", true, false),
+        ("driver_version_micro", "INTEGER", true, false),
+        ("binary_code", "BLOB", false, false),
+        ("binary_format", "VARCHAR", false, false),
+    ];
+    assert_eq!(cols.len(), expect.len());
+    for ((name, ty, nullable, pk), (en, et, enl, epk)) in cols.iter().zip(expect) {
+        assert_eq!(name, en);
+        assert_eq!(ty, et);
+        assert_eq!(*nullable, enl, "{name} nullability");
+        assert_eq!(*pk, epk, "{name} pk");
+    }
+}
+
+#[test]
+fn table_2_schema_matches_the_paper() {
+    let (db, _store) = store_db();
+    let mut s = db.admin_session();
+    let rs = db
+        .exec(
+            &mut s,
+            "SELECT column_name FROM information_schema.columns \
+             WHERE table_name = 'information_schema.driver_permission'",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "user",
+            "client_ip",
+            "database",
+            "driver_id",
+            "driver_options",
+            "start_date",
+            "end_date",
+            "lease_time_in_ms",
+            "renew_policy",
+            "expiration_policy",
+            "transfer_method",
+        ]
+    );
+}
+
+#[test]
+fn drivers_install_with_plain_inserts_and_sample_code_1_finds_them() {
+    let (db, _store) = store_db();
+    let mut s = db.admin_session();
+    // "New drivers can be installed using simple INSERT statements" —
+    // straight SQL, blob literal and all.
+    db.exec(
+        &mut s,
+        "INSERT INTO information_schema.drivers VALUES \
+         (1, 'RDBC', NULL, NULL, NULL, 1, 0, 0, X'00010203', 'djar'), \
+         (2, 'RDBC', 1, 0, 'windows-i586', 2, 0, 0, X'0a0b', 'dzip')",
+    )
+    .unwrap();
+
+    // Sample code 1, shaped as in the paper (single api_version column
+    // split into major/minor in our schema).
+    let mut p = Params::new();
+    p.insert("client_api_name".into(), Value::str("RDBC"));
+    p.insert("client_platform".into(), Value::str("linux-x86_64"));
+    let rs = db
+        .execute(
+            &mut s,
+            "SELECT binary_format, binary_code \
+             FROM information_schema.drivers \
+             WHERE api_name LIKE $client_api_name \
+             AND (platform IS NULL OR platform LIKE $client_platform)",
+            &p,
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    // Only driver 1 (NULL platform) matches a linux client.
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::str("djar"));
+    assert_eq!(rs.rows[0][1], Value::Blob(vec![0, 1, 2, 3]));
+}
+
+#[test]
+fn sample_code_2_date_window_uses_now() {
+    let clock = Clock::simulated();
+    let db = Arc::new(MiniDb::with_clock("proddb", clock.clone()));
+    let store = DriverStore::new(Box::new(EmbeddedExec::new(db.clone())));
+    store.install_schema().unwrap();
+    let mut s = db.admin_session();
+    db.exec(
+        &mut s,
+        "INSERT INTO information_schema.drivers VALUES \
+         (1, 'RDBC', NULL, NULL, NULL, NULL, NULL, NULL, X'00', 'djar')",
+    )
+    .unwrap();
+    db.exec(
+        &mut s,
+        "INSERT INTO information_schema.driver_permission VALUES \
+         ('app%', NULL, 'orders', 1, NULL, 1000, 2000, 3600000, 1, 1, -1)",
+    )
+    .unwrap();
+
+    let query = "SELECT driver_id FROM information_schema.driver_permission \
+         WHERE (database IS NULL OR $user_database LIKE database) \
+         AND (user IS NULL OR $client_user LIKE user) \
+         AND (client_ip IS NULL OR $client_client_ip LIKE client_ip) \
+         AND (start_date IS NULL OR end_date IS NULL \
+              OR now() BETWEEN start_date AND end_date)";
+    let mut p = Params::new();
+    p.insert("user_database".into(), Value::str("orders"));
+    p.insert("client_user".into(), Value::str("app7"));
+    p.insert("client_client_ip".into(), Value::str("10.0.0.1"));
+
+    // Outside the window: no rows.
+    let rs = db.execute(&mut s, query, &p).unwrap().rows().unwrap();
+    assert!(rs.rows.is_empty());
+    // Inside: one row.
+    clock.advance_ms(1500);
+    let rs = db.execute(&mut s, query, &p).unwrap().rows().unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(1)]]);
+    // Wrong user pattern: no rows.
+    p.insert("client_user".into(), Value::str("dba1"));
+    let rs = db.execute(&mut s, query, &p).unwrap().rows().unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn driver_permission_references_drivers() {
+    let (db, _store) = store_db();
+    let mut s = db.admin_session();
+    // Permission for a nonexistent driver violates the REFERENCES
+    // constraint of Table 2.
+    let r = db.exec(
+        &mut s,
+        "INSERT INTO information_schema.driver_permission VALUES \
+         (NULL, NULL, NULL, 99, NULL, NULL, NULL, NULL, 0, 0, -1)",
+    );
+    assert!(r.is_err());
+    // Deleting a referenced driver is restricted.
+    db.exec(
+        &mut s,
+        "INSERT INTO information_schema.drivers VALUES \
+         (1, 'RDBC', NULL, NULL, NULL, NULL, NULL, NULL, X'00', 'djar')",
+    )
+    .unwrap();
+    db.exec(
+        &mut s,
+        "INSERT INTO information_schema.driver_permission VALUES \
+         (NULL, NULL, NULL, 1, NULL, NULL, NULL, NULL, 0, 0, -1)",
+    )
+    .unwrap();
+    assert!(db
+        .exec(&mut s, "DELETE FROM information_schema.drivers WHERE driver_id = 1")
+        .is_err());
+    // "Obsolete drivers can be disabled by … setting the end_date to the
+    // current_date."
+    db.exec(
+        &mut s,
+        "UPDATE information_schema.driver_permission SET start_date = 0, end_date = now() \
+         WHERE driver_id = 1",
+    )
+    .unwrap();
+}
+
+#[test]
+fn leases_table_logs_grants() {
+    let (db, store) = store_db();
+    let who = drivolution::core::ClientIdentity::new("app", "10.0.0.9", "orders");
+    store
+        .add_driver(&drivolution::core::DriverRecord::new(
+            drivolution::core::DriverId(1),
+            drivolution::core::ApiName::rdbc(),
+            drivolution::core::BinaryFormat::Djar,
+            bytes::Bytes::from_static(&[0]),
+        ))
+        .unwrap();
+    store.log_lease(&who, drivolution::core::DriverId(1), 42, 3_600_000).unwrap();
+    let mut s = db.admin_session();
+    let rs = db
+        .exec(
+            &mut s,
+            "SELECT user, client_ip, database, driver_id, granted_at, lease_time_in_ms \
+             FROM information_schema.leases",
+        )
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![
+            Value::str("app"),
+            Value::str("10.0.0.9"),
+            Value::str("orders"),
+            Value::Integer(1),
+            Value::Timestamp(42),
+            Value::BigInt(3_600_000),
+        ]]
+    );
+}

@@ -1,0 +1,134 @@
+//! §5.3.1's Sybase caveat: "some databases must use non-transactional
+//! persistent connections to be able to use features such as temporary
+//! tables. This implies that connections cannot be replaced before being
+//! closed. Therefore, nodes must be temporarily disabled and re-enabled
+//! to renew all connections around a consistent checkpoint."
+//!
+//! minidb's temporary tables are session-scoped, so replacing a
+//! connection silently loses them — exactly the hazard. These tests
+//! demonstrate the hazard and the disable/enable procedure that avoids
+//! it.
+
+use std::sync::Arc;
+
+use drivolution::cluster::{Backend, VirtualDb};
+use drivolution::prelude::*;
+
+fn db_on(net: &Network, host: &str) -> Arc<MiniDb> {
+    let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
+    {
+        let mut s = db.admin_session();
+        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+    }
+    net.bind_arc(Addr::new(host, 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    db
+}
+
+#[test]
+fn temp_tables_die_with_their_connection() {
+    let net = Network::new();
+    let _db = db_on(&net, "syb");
+    let d = legacy_driver(&net, &Addr::new("app", 1), 2).unwrap();
+    let url = DbUrl::direct(Addr::new("syb", 5432), "vdb");
+    let props = ConnectProps::user("admin", "admin");
+
+    let mut c1 = d.connect(&url, &props).unwrap();
+    c1.execute("CREATE TEMP TABLE scratch (x INTEGER)").unwrap();
+    c1.execute("INSERT INTO scratch VALUES (1)").unwrap();
+    c1.execute("SELECT count(*) FROM scratch").unwrap();
+
+    // A replacement connection — what a naive hot driver swap would do —
+    // cannot see the session-scoped state.
+    let mut c2 = d.connect(&url, &props).unwrap();
+    assert!(c2.execute("SELECT count(*) FROM scratch").is_err());
+    // The original connection still can: it must not be replaced until
+    // the application is done with it.
+    c1.execute("SELECT count(*) FROM scratch").unwrap();
+}
+
+#[test]
+fn backend_driver_swap_around_checkpoint_preserves_data() {
+    // The §5.3.1 "good practice": disable one node, swap its driver,
+    // re-enable, resync, verify, then do the rest.
+    let net = Network::new();
+    let dbs = [db_on(&net, "b0"), db_on(&net, "b1")];
+    let mk_backend = |i: usize, proto: u16| {
+        let driver = legacy_driver(&net, &Addr::new("ctrl", 1), proto).unwrap();
+        Backend::with_driver(
+            format!("b{i}"),
+            driver,
+            DbUrl::direct(Addr::new(format!("b{i}"), 5432), "vdb"),
+            ConnectProps::user("admin", "admin"),
+        )
+    };
+    let vdb = VirtualDb::new("vdb", vec![mk_backend(0, 1), mk_backend(1, 1)]);
+    vdb.execute_write("INSERT INTO t VALUES (1)").unwrap();
+
+    // One node at a time: disable b0, upgrade its driver v1→v2, keep
+    // serving writes from b1.
+    vdb.disable_backend("b0").unwrap();
+    vdb.execute_write("INSERT INTO t VALUES (2)").unwrap();
+    let new_driver = legacy_driver(&net, &Addr::new("ctrl", 1), 2).unwrap();
+    vdb.with_backend("b0", |b| {
+        let url = b.url().clone();
+        let props = ConnectProps::user("admin", "admin");
+        b.set_factory(Arc::new(move || new_driver.connect(&url, &props)));
+    })
+    .unwrap();
+    // Verify on the disabled node first (the paper's test-one-node-first
+    // practice), then re-enable and resync.
+    let replayed = vdb.enable_backend("b0").unwrap();
+    assert_eq!(replayed, 1);
+    assert_eq!(dbs[0].table_len("t").unwrap(), 2);
+    assert_eq!(dbs[1].table_len("t").unwrap(), 2);
+
+    // If the new driver turns out broken, the same flow downgrades: the
+    // factory swap is symmetric ("it is possible to downgrade the driver
+    // by restoring the older version on the Drivolution server").
+    vdb.disable_backend("b0").unwrap();
+    let old_driver = legacy_driver(&net, &Addr::new("ctrl", 1), 1).unwrap();
+    vdb.with_backend("b0", |b| {
+        let url = b.url().clone();
+        let props = ConnectProps::user("admin", "admin");
+        b.set_factory(Arc::new(move || old_driver.connect(&url, &props)));
+    })
+    .unwrap();
+    vdb.enable_backend("b0").unwrap();
+    vdb.execute_write("INSERT INTO t VALUES (3)").unwrap();
+    assert_eq!(dbs[0].table_len("t").unwrap(), 3);
+}
+
+#[test]
+fn broken_replacement_driver_keeps_node_disabled() {
+    let net = Network::new();
+    let _dbs = [db_on(&net, "b0"), db_on(&net, "b1")];
+    let mk_backend = |i: usize| {
+        let driver = legacy_driver(&net, &Addr::new("ctrl", 1), 1).unwrap();
+        Backend::with_driver(
+            format!("b{i}"),
+            driver,
+            DbUrl::direct(Addr::new(format!("b{i}"), 5432), "vdb"),
+            ConnectProps::user("admin", "admin"),
+        )
+    };
+    let vdb = VirtualDb::new("vdb", vec![mk_backend(0), mk_backend(1)]);
+    vdb.execute_write("INSERT INTO t VALUES (1)").unwrap();
+    vdb.disable_backend("b0").unwrap();
+    // Install a driver that speaks a protocol the backend rejects — the
+    // "new driver does not work" branch of §5.3.1.
+    let bad = legacy_driver(&net, &Addr::new("ctrl", 1), 9).unwrap();
+    vdb.with_backend("b0", |b| {
+        let url = b.url().clone();
+        let props = ConnectProps::user("admin", "admin");
+        b.set_factory(Arc::new(move || bad.connect(&url, &props)));
+    })
+    .unwrap();
+    assert!(vdb.enable_backend("b0").is_err());
+    // The node stays disabled; the cluster keeps running on b1.
+    assert_eq!(
+        vdb.backend_states(),
+        vec![("b0".to_string(), false), ("b1".to_string(), true)]
+    );
+    vdb.execute_write("INSERT INTO t VALUES (2)").unwrap();
+}
