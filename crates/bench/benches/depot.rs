@@ -1,0 +1,295 @@
+//! Depot distribution benchmark: cold fetch vs warm revalidation vs
+//! chunked delta upgrade, in bytes-on-wire and wall-clock latency, plus a
+//! fleet-scale sweep of the §5 "server traffic vs lease time" tradeoff
+//! with and without depots.
+//!
+//! This target uses `harness = false`: it is a report generator like
+//! `paper_tables`, and additionally emits `BENCH_depot.json` at the
+//! workspace root so future PRs can track the distribution hot path.
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench depot`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use driverkit::{ConnectProps, DbUrl};
+use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
+use drivolution_core::pack::pack_driver_padded;
+use drivolution_core::{
+    ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
+    PermissionRule, RenewPolicy, DRIVOLUTION_PORT,
+};
+use drivolution_depot::{DriverDepot, MirrorDepot};
+use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
+use minidb::wire::DbServer;
+use minidb::MiniDb;
+use netsim::{Addr, Network};
+
+struct Rig {
+    net: Network,
+    srv: Arc<DrivolutionServer>,
+    url: DbUrl,
+    server_addr: Addr,
+}
+
+fn padded_record(id: i64, version: DriverVersion, padding: usize) -> DriverRecord {
+    let image = DriverImage::new("depot-bench", version, 1);
+    let bytes = pack_driver_padded(BinaryFormat::Djar, &image, padding);
+    DriverRecord::new(DriverId(id), ApiName::rdbc(), BinaryFormat::Djar, bytes)
+        .with_version(version)
+}
+
+fn rig(padding: usize) -> Rig {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let server_addr = Addr::new("db1", DRIVOLUTION_PORT);
+    let srv = attach_in_database(&net, db, server_addr.clone(), ServerConfig::default()).unwrap();
+    srv.install_driver(&padded_record(1, DriverVersion::new(1, 0, 0), padding))
+        .unwrap();
+    Rig {
+        net,
+        srv,
+        url: "rdbc:minidb://db1:5432/orders".parse().unwrap(),
+        server_addr,
+    }
+}
+
+fn boot_with_depot(rig: &Rig, app: &str, depot: Arc<DriverDepot>) -> Arc<Bootloader> {
+    Bootloader::new(
+        &rig.net,
+        Addr::new(app, 1),
+        BootloaderConfig::same_host()
+            .trusting(rig.srv.certificate())
+            .with_depot(depot),
+    )
+}
+
+fn upgrade_rule() -> PermissionRule {
+    PermissionRule::any(DriverId(2))
+        .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit)
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    name: String,
+    driver_bytes: u64,
+    wire_bytes: u64,
+    latency_us: u64,
+}
+
+/// Bytes-on-wire to the server (and mirror, when present) since `mark`.
+fn wire_since(rig: &Rig, mirror: Option<&Addr>, mark: u64) -> u64 {
+    let mut now = {
+        let s = rig.net.stats().for_addr(&rig.server_addr);
+        s.bytes_out + s.bytes_in
+    };
+    if let Some(m) = mirror {
+        let s = rig.net.stats().for_addr(m);
+        now += s.bytes_out + s.bytes_in;
+    }
+    now - mark
+}
+
+fn wire_mark(rig: &Rig, mirror: Option<&Addr>) -> u64 {
+    wire_since(rig, mirror, 0)
+}
+
+fn run_size(padding: usize, scenarios: &mut Vec<Scenario>) {
+    let rig = rig(padding);
+    let driver_bytes = rig.srv.store().record(DriverId(1)).unwrap().binary.len() as u64;
+    let props = ConnectProps::user("admin", "admin");
+
+    // Cold fetch: empty depot, full image travels.
+    let depot = DriverDepot::in_memory();
+    let boot = boot_with_depot(&rig, "app-cold", depot.clone());
+    let mark = wire_mark(&rig, None);
+    let t0 = Instant::now();
+    boot.bootstrap(&rig.url, &props).unwrap();
+    let cold_latency = t0.elapsed();
+    scenarios.push(Scenario {
+        name: format!("cold_fetch/{}k", driver_bytes / 1024),
+        driver_bytes,
+        wire_bytes: wire_since(&rig, None, mark),
+        latency_us: cold_latency.as_micros() as u64,
+    });
+
+    // Warm revalidation: a second bootloader sharing the machine depot.
+    let boot2 = boot_with_depot(&rig, "app-warm", depot.clone());
+    let mark = wire_mark(&rig, None);
+    let t0 = Instant::now();
+    boot2.bootstrap(&rig.url, &props).unwrap();
+    let warm_latency = t0.elapsed();
+    assert_eq!(boot2.stats().revalidations, 1);
+    scenarios.push(Scenario {
+        name: format!("warm_revalidate/{}k", driver_bytes / 1024),
+        driver_bytes,
+        wire_bytes: wire_since(&rig, None, mark),
+        latency_us: warm_latency.as_micros() as u64,
+    });
+
+    // Delta upgrade: v2 shares all but the image-entry chunks with v1.
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0), padding))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+    let mark = wire_mark(&rig, None);
+    let t0 = Instant::now();
+    let outcome = boot.poll();
+    let delta_latency = t0.elapsed();
+    assert!(
+        matches!(outcome, PollOutcome::Upgraded { .. }),
+        "{outcome:?}"
+    );
+    scenarios.push(Scenario {
+        name: format!("delta_upgrade/{}k", driver_bytes / 1024),
+        driver_bytes,
+        wire_bytes: wire_since(&rig, None, mark),
+        latency_us: delta_latency.as_micros() as u64,
+    });
+}
+
+/// Mirror offload: the same delta upgrade with chunk traffic redirected
+/// to a mirror replica. Returns (primary wire bytes, mirror wire bytes).
+fn run_mirror(padding: usize) -> (u64, u64) {
+    let rig = rig(padding);
+    let props = ConnectProps::user("admin", "admin");
+    let mirror = MirrorDepot::launch(
+        &rig.net,
+        Addr::new("mirror1", 1071),
+        rig.server_addr.clone(),
+    )
+    .unwrap();
+    rig.srv.register_mirror(mirror.location());
+    let depot = DriverDepot::in_memory();
+    let boot = Bootloader::new(
+        &rig.net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            .trusting(rig.srv.certificate())
+            .trusting(mirror.certificate())
+            .with_depot(depot),
+    );
+    boot.bootstrap(&rig.url, &props).unwrap();
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0), padding))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+    let primary_mark = {
+        let s = rig.net.stats().for_addr(&rig.server_addr);
+        s.bytes_in + s.bytes_out
+    };
+    assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+    let primary = {
+        let s = rig.net.stats().for_addr(&rig.server_addr);
+        s.bytes_in + s.bytes_out - primary_mark
+    };
+    let mirror_bytes = {
+        let s = rig.net.stats().for_addr(&Addr::new("mirror1", 1071));
+        s.bytes_in + s.bytes_out
+    };
+    (primary, mirror_bytes)
+}
+
+/// Fleet upgrade: `clients` machines upgrade v1→v2; total server traffic
+/// with depots everywhere vs the paper's full re-ship.
+fn run_fleet(clients: usize, padding: usize, with_depot: bool) -> u64 {
+    let rig = rig(padding);
+    let props = ConnectProps::user("admin", "admin");
+    let mut boots = Vec::new();
+    for i in 0..clients {
+        let config = BootloaderConfig::same_host().trusting(rig.srv.certificate());
+        let config = if with_depot {
+            config.with_depot(DriverDepot::in_memory())
+        } else {
+            config
+        };
+        let boot = Bootloader::new(&rig.net, Addr::new(format!("app{i}"), 1), config);
+        boot.bootstrap(&rig.url, &props).unwrap();
+        boots.push(boot);
+    }
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0), padding))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+    let mark = {
+        let s = rig.net.stats().for_addr(&rig.server_addr);
+        s.bytes_in + s.bytes_out
+    };
+    for boot in &boots {
+        assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+    }
+    let s = rig.net.stats().for_addr(&rig.server_addr);
+    s.bytes_in + s.bytes_out - mark
+}
+
+fn main() {
+    let sizes = [64 * 1024usize, 256 * 1024, 1024 * 1024];
+    let mut scenarios = Vec::new();
+    for padding in sizes {
+        run_size(padding, &mut scenarios);
+    }
+
+    println!("\ndepot distribution — bytes on wire and latency");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "scenario", "driver B", "wire B", "latency µs"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            s.name, s.driver_bytes, s.wire_bytes, s.latency_us
+        );
+    }
+
+    let (mirror_primary, mirror_mirror) = run_mirror(256 * 1024);
+    println!("\nmirror offload (256k delta upgrade):");
+    println!("  primary wire bytes: {mirror_primary}");
+    println!("  mirror  wire bytes: {mirror_mirror}");
+
+    const FLEET_CLIENTS: usize = 50;
+    let fleet_full = run_fleet(FLEET_CLIENTS, 256 * 1024, false);
+    let fleet_depot = run_fleet(FLEET_CLIENTS, 256 * 1024, true);
+    println!("\nfleet upgrade, {FLEET_CLIENTS} clients, 256k driver:");
+    println!("  full re-ship server traffic: {fleet_full}");
+    println!("  depot delta  server traffic: {fleet_depot}");
+    println!(
+        "  reduction: {:.1}x",
+        fleet_full as f64 / fleet_depot.max(1) as f64
+    );
+
+    // Emit BENCH_depot.json at the workspace root.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"depot\",\n  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"driver_bytes\": {}, \"wire_bytes\": {}, \"latency_us\": {}}}{}",
+            s.name,
+            s.driver_bytes,
+            s.wire_bytes,
+            s.latency_us,
+            if i + 1 < scenarios.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"mirror_offload_256k\": {{\"primary_wire_bytes\": {mirror_primary}, \"mirror_wire_bytes\": {mirror_mirror}}},"
+    );
+    let _ = write!(
+        json,
+        "  \"fleet_upgrade_256k\": {{\"clients\": {FLEET_CLIENTS}, \"full_wire_bytes\": {fleet_full}, \"depot_wire_bytes\": {fleet_depot}}}\n}}\n"
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_depot.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", out.display()),
+    }
+}

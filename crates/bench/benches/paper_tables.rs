@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use driverkit::{ConnectProps, DbUrl};
 use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
 use drivolution_core::pack::{pack_driver, pack_driver_padded};
 use drivolution_core::{
@@ -16,7 +17,6 @@ use drivolution_core::{
     PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
 };
 use drivolution_server::{attach_in_database, launch_standalone, ServerConfig};
-use driverkit::{ConnectProps, Connection as _, DbUrl};
 use fleet::sim::FleetSim;
 use fleet::{fleet_install_report, fleet_update_report, render_table5, FleetSpec};
 use minidb::wire::DbServer;
@@ -122,7 +122,8 @@ fn lease_tradeoff() {
     let prop = sim.run_until_upgraded(MINUTE, 48 * HOUR);
     println!(
         "{:>8} {:>20}m   (dedicated channel: lease = 24h, push notice)",
-        "push", prop.time_to_full_upgrade_ms / MINUTE
+        "push",
+        prop.time_to_full_upgrade_ms / MINUTE
     );
 }
 
@@ -204,7 +205,9 @@ fn figure_4_failover() {
         }
         println!("{:>8} {:>14} {:>22} {:>16}", n, 3, moved, failed);
     }
-    println!("(admin steps: expire old driver + add rule + push notice — independent of fleet size)");
+    println!(
+        "(admin steps: expire old driver + add rule + push notice — independent of fleet size)"
+    );
 }
 
 /// Table 3-adjacent series: driver file sizes vs bytes on the wire per
@@ -312,7 +315,10 @@ fn license_utilization() {
             }
             boots.push(b);
         }
-        println!("{:>8} {:>10} {:>10} {:>10}", seats, clients, granted, denied);
+        println!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            seats, clients, granted, denied
+        );
         for b in &boots {
             let _ = b.release_driver();
         }

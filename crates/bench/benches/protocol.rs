@@ -5,16 +5,15 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use driverkit::{ConnectProps, DbUrl};
 use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
 use drivolution_core::matching::{self, MatchMode};
 use drivolution_core::pack::{pack_driver, pack_driver_padded};
 use drivolution_core::{
     ApiName, BinaryFormat, ClientIdentity, DriverId, DriverImage, DriverQuery, DriverRecord,
-    DriverVersion, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod,
-    DRIVOLUTION_PORT,
+    DriverVersion, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
 };
 use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
-use driverkit::{ConnectProps, DbUrl};
 use minidb::wire::DbServer;
 use minidb::MiniDb;
 use netsim::{Addr, Network};
@@ -163,8 +162,9 @@ fn bench_matchmaking(c: &mut Criterion) {
     for &n_drivers in &[10usize, 100] {
         // Shared store with n drivers and per-user rules.
         let db = Arc::new(MiniDb::new("store"));
-        let store =
-            drivolution_server::DriverStore::new(Box::new(drivolution_server::EmbeddedExec::new(db)));
+        let store = drivolution_server::DriverStore::new(Box::new(
+            drivolution_server::EmbeddedExec::new(db),
+        ));
         store.install_schema().unwrap();
         let mut records = Vec::new();
         let mut rules = Vec::new();
@@ -186,7 +186,11 @@ fn bench_matchmaking(c: &mut Criterion) {
         // An even-index user: its granted driver carries the linux
         // platform pattern and therefore matches this client.
         let q = DriverQuery::new(
-            ClientIdentity::new(format!("app{}x", n_drivers / 2 & !1), "10.0.0.1", "orders"),
+            ClientIdentity::new(
+                format!("app{}x", (n_drivers / 2) & !1),
+                "10.0.0.1",
+                "orders",
+            ),
             "RDBC",
             "linux-x86_64",
         );

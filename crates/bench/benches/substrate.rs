@@ -6,7 +6,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cluster::{Backend, Controller, VirtualDb, CLUSTER_V2};
-use driverkit::{legacy_driver, ConnectProps, Connection as _, DbUrl, Driver as _};
+use driverkit::{legacy_driver, ConnectProps, DbUrl, Driver as _};
 use minidb::wire::DbServer;
 use minidb::{MiniDb, Params, Value};
 use netsim::{Addr, Network};
@@ -26,8 +26,11 @@ fn bench_minidb(c: &mut Criterion) {
 
     let db = MiniDb::new("bench");
     let mut s = db.admin_session();
-    db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR, qty INTEGER)")
-        .unwrap();
+    db.exec(
+        &mut s,
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR, qty INTEGER)",
+    )
+    .unwrap();
     for i in 0..1000 {
         db.exec(
             &mut s,
@@ -108,12 +111,14 @@ fn bench_cluster(c: &mut Criterion) {
             let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
             {
                 let mut s = db.admin_session();
-                db.exec(&mut s, "CREATE TABLE t (id INTEGER, v VARCHAR)").unwrap();
+                db.exec(&mut s, "CREATE TABLE t (id INTEGER, v VARCHAR)")
+                    .unwrap();
                 // Fixed-size read table so read latency is comparable
                 // across replica counts regardless of write volume.
                 db.exec(&mut s, "CREATE TABLE r (id INTEGER)").unwrap();
                 for i in 0..100 {
-                    db.exec(&mut s, &format!("INSERT INTO r VALUES ({i})")).unwrap();
+                    db.exec(&mut s, &format!("INSERT INTO r VALUES ({i})"))
+                        .unwrap();
                 }
             }
             let host = format!("replica{r}");

@@ -8,14 +8,18 @@ use parking_lot::Mutex;
 
 use netsim::{Addr, Clock, Network, Pipe};
 
+use bytes::Bytes;
 use driverkit::{
     ConnectProps, DbUrl, DkError, DkResult, Driver, DriverRegistry, DriverVm, Namespace,
     NamespaceId,
 };
-use drivolution_core::proto::{DrvMsg, DrvOffer, DrvRequest, RequestKind};
+
+use drivolution_core::chunk::ChunkSet;
+use drivolution_core::proto::{ChunkPlan, DrvMsg, DrvOffer, DrvRequest, RequestKind};
 use drivolution_core::{
     transfer, DriverImage, DriverVersion, DrvError, DrvNotice, Lease, LeaseState,
 };
+use drivolution_depot::{parse_mirror_addr, DriverDepot};
 
 use crate::config::{BootloaderConfig, ServerLocator};
 use crate::managed::ManagedConnection;
@@ -36,6 +40,16 @@ pub struct BootStats {
     pub failed_renewals: u64,
     /// Extension packages fetched lazily.
     pub extension_fetches: u64,
+    /// Offers satisfied from the depot with zero transfer.
+    pub revalidations: u64,
+    /// Drivers installed via chunked delta instead of a full download.
+    pub delta_downloads: u64,
+    /// Driver bytes that never travelled thanks to the depot
+    /// (revalidated images plus reused delta chunks).
+    pub bytes_saved: u64,
+    /// Delta downloads that fell back from the offered mirror to the
+    /// primary (mirror unreachable or its certificate not pinned).
+    pub mirror_fallbacks: u64,
 }
 
 /// Outcome of one maintenance pass ([`Bootloader::poll`]).
@@ -192,10 +206,7 @@ impl Bootloader {
     fn merge_props(&self, ns: &Namespace, props: &ConnectProps) -> ConnectProps {
         let mut merged = props.clone();
         for (k, v) in &ns.image.default_options {
-            merged
-                .options
-                .entry(k.clone())
-                .or_insert_with(|| v.clone());
+            merged.options.entry(k.clone()).or_insert_with(|| v.clone());
         }
         // Server-enforced options override application settings (§3.3:
         // options "can be given to instruct the bootloader to enforce
@@ -232,17 +243,20 @@ impl Bootloader {
                 }
                 opts
             },
+            have: self
+                .config
+                .depot
+                .as_ref()
+                .and_then(|d| d.have_summary(url.database())),
         }
     }
 
     fn candidate_servers(&self, url: &DbUrl) -> DkResult<Vec<Addr>> {
         match &self.config.locator {
             ServerLocator::Fixed(list) => Ok(list.clone()),
-            ServerLocator::SameHost { port } => Ok(url
-                .hosts()
-                .iter()
-                .map(|h| h.with_port(*port))
-                .collect()),
+            ServerLocator::SameHost { port } => {
+                Ok(url.hosts().iter().map(|h| h.with_port(*port)).collect())
+            }
             ServerLocator::Discover { port } => {
                 // DRIVOLUTION_DISCOVER: broadcast, collect offers, then
                 // unicast to an answering server (§3.1).
@@ -253,9 +267,9 @@ impl Bootloader {
                     st.last_props.as_ref().unwrap_or(&ConnectProps::default()),
                 );
                 drop(st);
-                let replies = self
-                    .net
-                    .broadcast(&self.local, *port, DrvMsg::Discover(req).encode());
+                let replies =
+                    self.net
+                        .broadcast(&self.local, *port, DrvMsg::Discover(req).encode());
                 let mut servers = Vec::new();
                 for (addr, raw) in replies {
                     if let Ok(DrvMsg::Offer(_)) = DrvMsg::decode(raw) {
@@ -304,7 +318,69 @@ impl Bootloader {
         ))))
     }
 
-    fn download(&self, server: &Addr, offer: &DrvOffer) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+    /// The database the current connection context is about (depot cache
+    /// key).
+    fn context_database(&self) -> String {
+        self.state
+            .lock()
+            .last_url
+            .as_ref()
+            .map(|u| u.database().to_string())
+            .unwrap_or_default()
+    }
+
+    /// The "separate trusted wrapper" verifying signatures (§3.1), then
+    /// the VM load — shared tail of every delivery path.
+    fn verify_and_load(
+        &self,
+        offer: &DrvOffer,
+        bytes: Bytes,
+    ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+        if let Some(trust) = &self.config.signature_trust {
+            let sig = offer.signature.as_ref().ok_or_else(|| {
+                DkError::Drv(DrvError::SignatureInvalid(
+                    "server offered an unsigned driver but signatures are required".into(),
+                ))
+            })?;
+            trust.verify(&bytes, sig).map_err(DkError::Drv)?;
+        }
+        let (image, driver) = self.vm.load(offer.format, bytes)?;
+        Ok((image, driver))
+    }
+
+    fn download(
+        &self,
+        server: &Addr,
+        offer: &DrvOffer,
+    ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+        if let Some(depot) = self.config.depot.clone() {
+            // Zero-transfer revalidation: the offer describes content the
+            // depot already holds, verified by digest.
+            if offer.location.is_empty() && offer.chunked.is_none() {
+                let digest = offer.content_digest.ok_or_else(|| {
+                    DkError::Drv(DrvError::TransferFailed(
+                        "offer carries neither a file location nor a content digest".into(),
+                    ))
+                })?;
+                let bytes = depot.lookup(digest).ok_or_else(|| {
+                    DkError::Drv(DrvError::TransferFailed(format!(
+                        "server offered cached content {digest:016x} absent from the depot"
+                    )))
+                })?;
+                depot.note_revalidation(&self.context_database(), digest);
+                self.net.stats().record_saved(server, bytes.len());
+                {
+                    let mut st = self.stats.lock();
+                    st.revalidations += 1;
+                    st.bytes_saved += bytes.len() as u64;
+                }
+                return self.verify_and_load(offer, bytes);
+            }
+            if let Some(plan) = &offer.chunked {
+                return self.download_delta(server, offer, plan, &depot);
+            }
+        }
+
         let raw = self.net.request(
             &self.local,
             server,
@@ -318,33 +394,123 @@ impl Bootloader {
             .map_err(DkError::Drv)?;
         let payload = match reply {
             DrvMsg::FileData { payload } => payload,
-            DrvMsg::Error { code, message } => {
-                return Err(DkError::Drv(code.into_error(message)))
-            }
+            DrvMsg::Error { code, message } => return Err(DkError::Drv(code.into_error(message))),
             other => {
                 return Err(DkError::Drv(DrvError::Codec(format!(
                     "unexpected file reply {other:?}"
                 ))))
             }
         };
-        let bytes = transfer::unwrap(
-            offer.transfer_method,
-            payload,
-            &self.config.channel_trust,
-        )
-        .map_err(DkError::Drv)?;
-        // The "separate trusted wrapper" verifying signatures (§3.1).
-        if let Some(trust) = &self.config.signature_trust {
-            let sig = offer.signature.as_ref().ok_or_else(|| {
-                DkError::Drv(DrvError::SignatureInvalid(
-                    "server offered an unsigned driver but signatures are required".into(),
-                ))
-            })?;
-            trust.verify(&bytes, sig).map_err(DkError::Drv)?;
+        let bytes = transfer::unwrap(offer.transfer_method, payload, &self.config.channel_trust)
+            .map_err(DkError::Drv)?;
+        // Verify before caching: an image that fails the signature check
+        // must never enter the depot (it would be advertised in future
+        // HAVE summaries and reused in delta assemblies).
+        let loaded = self.verify_and_load(offer, bytes.clone())?;
+        if let Some(depot) = &self.config.depot {
+            depot.insert(&self.context_database(), bytes);
+            depot.note_full_insert();
         }
         self.stats.lock().downloads += 1;
-        let (image, driver) = self.vm.load(offer.format, bytes)?;
-        Ok((image, driver))
+        Ok(loaded)
+    }
+
+    /// Fetches `digests` as a chunk set from `src` under `offer`'s
+    /// transfer method.
+    fn fetch_chunks(
+        &self,
+        src: &Addr,
+        digests: &[u64],
+        offer: &DrvOffer,
+    ) -> DkResult<Vec<(u64, Bytes)>> {
+        let raw = self
+            .net
+            .request(
+                &self.local,
+                src,
+                DrvMsg::ChunkRequest {
+                    digests: digests.to_vec(),
+                    transfer_method: offer.transfer_method,
+                }
+                .encode(),
+            )
+            .map_err(|e| DkError::Drv(DrvError::Net(e.to_string())))?;
+        match DrvMsg::decode(raw).map_err(DkError::Drv)? {
+            DrvMsg::ChunkData { payload } => {
+                let raw =
+                    transfer::unwrap(offer.transfer_method, payload, &self.config.channel_trust)
+                        .map_err(DkError::Drv)?;
+                // ChunkSet::decode verifies every payload against its
+                // digest.
+                Ok(ChunkSet::decode(raw).map_err(DkError::Drv)?.chunks)
+            }
+            DrvMsg::Error { code, message } => Err(DkError::Drv(code.into_error(message))),
+            other => Err(DkError::Drv(DrvError::Codec(format!(
+                "unexpected chunk reply {other:?}"
+            )))),
+        }
+    }
+
+    /// Chunked delta install: fetch only the chunks the depot lacks
+    /// (preferring the offered mirror, falling back to the primary),
+    /// assemble, verify, load.
+    fn download_delta(
+        &self,
+        server: &Addr,
+        offer: &DrvOffer,
+        plan: &ChunkPlan,
+        depot: &Arc<DriverDepot>,
+    ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+        let (_, need) = depot.partition_chunks(&plan.manifest);
+        let mut fetched: std::collections::HashMap<u64, Bytes> = std::collections::HashMap::new();
+        let mut fell_back = false;
+        if !need.is_empty() {
+            let mut sources: Vec<Addr> = Vec::new();
+            if let Some(m) = &plan.mirror {
+                if let Ok(addr) = parse_mirror_addr(m) {
+                    sources.push(addr);
+                }
+            }
+            sources.push(server.clone());
+            let mut last_err = None;
+            for (i, src) in sources.iter().enumerate() {
+                match self.fetch_chunks(src, &need, offer) {
+                    Ok(chunks) => {
+                        fetched = chunks.into_iter().collect();
+                        // A success after a mirror failure is a fallback:
+                        // visible in stats so a misconfigured mirror tier
+                        // (wrong address, unpinned certificate) does not
+                        // silently degrade to primary-only transfer.
+                        fell_back = i > 0;
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        let fetched_bytes: u64 = fetched.values().map(|b| b.len() as u64).sum();
+        // Assemble (content-verified), then check the signature before the
+        // image may enter the depot.
+        let bytes = depot
+            .assemble(&plan.manifest, &fetched)
+            .map_err(DkError::Drv)?;
+        let loaded = self.verify_and_load(offer, bytes.clone())?;
+        depot.insert(&self.context_database(), bytes);
+        let saved = plan.manifest.total_size.saturating_sub(fetched_bytes);
+        self.net.stats().record_saved(server, saved as usize);
+        {
+            let mut st = self.stats.lock();
+            st.delta_downloads += 1;
+            st.bytes_saved += saved;
+            if fell_back {
+                st.mirror_fallbacks += 1;
+            }
+        }
+        Ok(loaded)
     }
 
     fn lease_of(&self, offer: &DrvOffer) -> DkResult<Lease> {
@@ -374,13 +540,18 @@ impl Bootloader {
     ///
     /// Server errors, transfer failures, signature/certificate rejections.
     pub fn bootstrap(&self, url: &DbUrl, props: &ConnectProps) -> DkResult<Namespace> {
+        // Remember identity so later polls can renew even when the
+        // bootstrap was driven directly rather than through `connect`.
+        {
+            let mut st = self.state.lock();
+            st.last_url = Some(url.clone());
+            st.last_props = Some(props.clone());
+        }
         let req = self.build_request(RequestKind::Bootstrap, url, props);
         let (server, reply) = self.exchange(url, DrvMsg::Request(req))?;
         let offer = match reply {
             DrvMsg::Offer(o) => o,
-            DrvMsg::Error { code, message } => {
-                return Err(DkError::Drv(code.into_error(message)))
-            }
+            DrvMsg::Error { code, message } => return Err(DkError::Drv(code.into_error(message))),
             other => {
                 return Err(DkError::Drv(DrvError::Codec(format!(
                     "unexpected bootstrap reply {other:?}"
@@ -569,9 +740,7 @@ impl Bootloader {
         let (server, reply) = self.exchange(&url, DrvMsg::Request(req))?;
         let offer = match reply {
             DrvMsg::Offer(o) => o,
-            DrvMsg::Error { code, message } => {
-                return Err(DkError::Drv(code.into_error(message)))
-            }
+            DrvMsg::Error { code, message } => return Err(DkError::Drv(code.into_error(message))),
             other => {
                 return Err(DkError::Drv(DrvError::Codec(format!(
                     "unexpected extension reply {other:?}"
@@ -592,9 +761,7 @@ impl Bootloader {
 
     /// Reconnects a managed connection on the (possibly new) active
     /// driver; used by lazy extension fetch.
-    pub(crate) fn reconnect(
-        &self,
-    ) -> DkResult<(Box<dyn driverkit::Connection>, NamespaceId)> {
+    pub(crate) fn reconnect(&self) -> DkResult<(Box<dyn driverkit::Connection>, NamespaceId)> {
         let ns = self
             .registry
             .active()
@@ -646,8 +813,11 @@ impl Bootloader {
             ))));
         }
         self.registry.retire(ns.id);
-        self.tracker
-            .apply_policy(ns.id, drivolution_core::ExpirationPolicy::Immediate, "driver released");
+        self.tracker.apply_policy(
+            ns.id,
+            drivolution_core::ExpirationPolicy::Immediate,
+            "driver released",
+        );
         self.maybe_unload(ns.id);
         Ok(())
     }

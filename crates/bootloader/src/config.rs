@@ -1,11 +1,14 @@
 //! Bootloader configuration.
 
+use std::sync::Arc;
+
 use netsim::Addr;
 
 use drivolution_core::{
     ApiVersion, BinaryFormat, ChannelTrust, DriverVersion, TransferMethod, TrustStore,
     DRIVOLUTION_PORT,
 };
+use drivolution_depot::DriverDepot;
 
 /// How the bootloader finds a Drivolution server.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +61,10 @@ pub struct BootloaderConfig {
     /// Fetch missing extension packages on demand (the trapped
     /// ClassNotFound path of §5.4.1).
     pub lazy_extension_fetch: bool,
+    /// Content-addressed driver cache. When set, requests carry a `HAVE`
+    /// summary and the bootloader resolves zero-transfer revalidations
+    /// and chunked delta upgrades against it.
+    pub depot: Option<Arc<DriverDepot>>,
 }
 
 impl BootloaderConfig {
@@ -106,6 +113,7 @@ impl BootloaderConfig {
             request_options: Vec::new(),
             open_notify_channel: false,
             lazy_extension_fetch: false,
+            depot: None,
         }
     }
 
@@ -142,6 +150,14 @@ impl BootloaderConfig {
     /// Sets the platform string.
     pub fn on_platform(mut self, platform: impl Into<String>) -> Self {
         self.client_platform = platform.into();
+        self
+    }
+
+    /// Attaches a driver depot (content-addressed cache). Shared depots
+    /// are fine: many bootloaders on one machine can point at the same
+    /// persistent depot.
+    pub fn with_depot(mut self, depot: Arc<DriverDepot>) -> Self {
+        self.depot = Some(depot);
         self
     }
 }

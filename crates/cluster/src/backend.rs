@@ -120,12 +120,7 @@ mod tests {
             .unwrap();
         let url = DbUrl::direct(Addr::new("b1", 5432), "r1");
         let d1 = legacy_driver(&net, &Addr::new("ctrl", 1), 1).unwrap();
-        let be = Backend::with_driver(
-            "b1",
-            d1,
-            url.clone(),
-            ConnectProps::user("admin", "admin"),
-        );
+        let be = Backend::with_driver("b1", d1, url.clone(), ConnectProps::user("admin", "admin"));
         let mut c = be.open().unwrap();
         c.execute("SELECT 1").unwrap();
 

@@ -12,8 +12,9 @@ use parking_lot::Mutex;
 use netsim::{Addr, NetError, Network, Service};
 
 use driverkit::DkError;
-use drivolution_core::{DrvResult, DRIVOLUTION_PORT};
-use drivolution_server::{DriverStore, DrivolutionServer, EmbeddedExec, ServerConfig};
+use drivolution_core::{DrvError, DrvResult, DRIVOLUTION_PORT};
+use drivolution_depot::MirrorDepot;
+use drivolution_server::{AdminEvent, DriverStore, DrivolutionServer, EmbeddedExec, ServerConfig};
 use minidb::wire::proto::{err_code, ClientMsg, ServerMsg};
 use minidb::{DbError, MiniDb, QueryResult};
 
@@ -38,6 +39,7 @@ pub struct Controller {
     next_session: AtomicU64,
     group: Mutex<Option<Arc<Group>>>,
     drivolution: Mutex<Option<Arc<DrivolutionServer>>>,
+    mirror: Mutex<Option<Arc<MirrorDepot>>>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -74,6 +76,7 @@ impl Controller {
             next_session: AtomicU64::new(1),
             group: Mutex::new(None),
             drivolution: Mutex::new(None),
+            mirror: Mutex::new(None),
         });
         net.bind_arc(addr, ctrl.clone())?;
         Ok(ctrl)
@@ -152,6 +155,47 @@ impl Controller {
         Ok(server)
     }
 
+    /// Attaches a depot mirror on this controller's host at `port`,
+    /// replicating alongside the driver table: the mirror is warmed with
+    /// every driver image the embedded server already holds and kept warm
+    /// on later direct installs through the admin-event hook (content
+    /// arriving via group replication is picked up read-through on first
+    /// demand). It is registered so the server's chunked offers redirect
+    /// bulk transfer to it.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Internal`] when no Drivolution server is embedded;
+    /// bind failures.
+    pub fn attach_depot_mirror(self: &Arc<Self>, port: u16) -> DrvResult<Arc<MirrorDepot>> {
+        if let Some(existing) = self.mirror.lock().clone() {
+            return Ok(existing);
+        }
+        let server = self.drivolution.lock().clone().ok_or_else(|| {
+            DrvError::Internal("attach_depot_mirror requires an embedded drivolution server".into())
+        })?;
+        let mirror = MirrorDepot::launch(
+            &self.net,
+            self.addr.with_port(port),
+            self.addr.with_port(DRIVOLUTION_PORT),
+        )?;
+        let chunk_size = server.depot_chunk_size();
+        for digest in server.depot().image_digests() {
+            if let Some(bytes) = server.depot().image(digest) {
+                mirror.preload(bytes, chunk_size);
+            }
+        }
+        let warm = mirror.clone();
+        server.subscribe(Arc::new(move |event| {
+            if let AdminEvent::DriverAdded(rec) = event {
+                warm.preload(rec.binary.clone(), chunk_size);
+            }
+        }));
+        server.register_mirror(mirror.location());
+        *self.mirror.lock() = Some(mirror.clone());
+        Ok(mirror)
+    }
+
     /// Stops serving: the client port and the embedded Drivolution port
     /// are unbound and all sessions are dropped (a controller restart for
     /// a rolling upgrade, §5.3.1).
@@ -160,6 +204,9 @@ impl Controller {
         self.net.unbind(&self.addr);
         if self.drivolution.lock().is_some() {
             self.net.unbind(&self.addr.with_port(DRIVOLUTION_PORT));
+        }
+        if let Some(mirror) = self.mirror.lock().as_ref() {
+            self.net.unbind(mirror.addr());
         }
         self.sessions.lock().clear();
     }
@@ -177,6 +224,9 @@ impl Controller {
         if let Some(drv) = self.drivolution.lock().clone() {
             self.net
                 .bind_arc(self.addr.with_port(DRIVOLUTION_PORT), drv)?;
+        }
+        if let Some(mirror) = self.mirror.lock().clone() {
+            self.net.bind_arc(mirror.addr().clone(), mirror)?;
         }
         self.running.store(true, Ordering::SeqCst);
         Ok(())
@@ -317,8 +367,7 @@ impl Service for Controller {
                 self.id
             )));
         }
-        let frame = ClusterFrame::decode(request)
-            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        let frame = ClusterFrame::decode(request).map_err(|e| NetError::Protocol(e.to_string()))?;
         if frame.version > self.max_proto {
             // Version mismatch detected at the protocol layer (§5.3.1).
             let reply = ServerMsg::Error {
@@ -330,8 +379,7 @@ impl Service for Controller {
             };
             return Ok(reply.encode());
         }
-        let msg = ClientMsg::decode(frame.inner)
-            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        let msg = ClientMsg::decode(frame.inner).map_err(|e| NetError::Protocol(e.to_string()))?;
         Ok(self.handle(msg).encode())
     }
 }

@@ -103,7 +103,8 @@ pub struct ClusterDriverFactory {
 
 impl std::fmt::Debug for ClusterDriverFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClusterDriverFactory").finish_non_exhaustive()
+        f.debug_struct("ClusterDriverFactory")
+            .finish_non_exhaustive()
     }
 }
 

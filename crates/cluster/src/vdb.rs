@@ -321,7 +321,10 @@ mod tests {
         assert_eq!(dbs[1].table_len("t").unwrap(), 3);
         assert_eq!(
             vdb.backend_states(),
-            vec![("replica0".to_string(), true), ("replica1".to_string(), true)]
+            vec![
+                ("replica0".to_string(), true),
+                ("replica1".to_string(), true)
+            ]
         );
     }
 

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use cluster::{cluster_image, Backend, ClusterDriver, Controller, Group, VirtualDb, CLUSTER_V1, CLUSTER_V2};
+use cluster::{
+    cluster_image, Backend, ClusterDriver, Controller, Group, VirtualDb, CLUSTER_V1, CLUSTER_V2,
+};
 use driverkit::{legacy_driver, ConnectProps, DbUrl, DkError, Driver};
 use drivolution_core::pack::pack_driver;
 use drivolution_core::{
@@ -66,7 +68,11 @@ fn cluster_url() -> DbUrl {
 
 fn client_driver(net: &Network, proto: u16) -> ClusterDriver {
     ClusterDriver::new(
-        cluster_image("sequoia-driver", DriverVersion::new(proto as i32, 0, 0), proto),
+        cluster_image(
+            "sequoia-driver",
+            DriverVersion::new(proto as i32, 0, 0),
+            proto,
+        ),
         net.clone(),
         Addr::new("app", 1),
     )
@@ -179,8 +185,11 @@ fn newer_driver_negotiates_down_to_older_controller() {
             db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
                 .unwrap();
         }
-        net.bind_arc(Addr::new("replica10", 5432), Arc::new(DbServer::new(db.clone())))
-            .unwrap();
+        net.bind_arc(
+            Addr::new("replica10", 5432),
+            Arc::new(DbServer::new(db.clone())),
+        )
+        .unwrap();
         let drv = legacy_driver(&net, &Addr::new("controller1", 1), 2).unwrap();
         let backend = Backend::with_driver(
             "replica10",

@@ -1,0 +1,354 @@
+//! Content-addressed chunking for driver distribution.
+//!
+//! The depot subsystem splits driver images into fixed-size chunks keyed
+//! by their [`fnv1a64`] digest. A [`ChunkManifest`] describes an image as
+//! an ordered list of chunk digests plus a digest over the whole image;
+//! given the manifest and the chunks a client already holds, an upgrade
+//! from vN to vN+1 only transfers the chunks that changed.
+//!
+//! Chunk payloads travel as a [`ChunkSet`] — a digest-keyed bundle that
+//! is transfer-wrapped like any driver file (see [`crate::transfer`]), so
+//! the plain/checksum/sealed security ladder applies to deltas too.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use netsim::codec::{get_bytes, get_u32, get_u64};
+
+use crate::digest::fnv1a64;
+use crate::error::{DrvError, DrvResult};
+
+/// Default chunk size (bytes). Small enough that single-section edits to
+/// a driver image keep most chunks stable, large enough that manifests
+/// stay tiny relative to the image.
+pub const DEFAULT_CHUNK_SIZE: u32 = 4096;
+
+/// Ordered chunk-digest description of one driver image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkManifest {
+    /// Digest of the complete image bytes.
+    pub content_digest: u64,
+    /// Image size in bytes.
+    pub total_size: u64,
+    /// Chunk size used to split the image (the last chunk may be short).
+    pub chunk_size: u32,
+    /// Per-chunk digests, in image order.
+    pub chunks: Vec<u64>,
+}
+
+impl ChunkManifest {
+    /// Builds the manifest of `bytes` under the given chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_size` is zero.
+    pub fn of(bytes: &[u8], chunk_size: u32) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunkManifest {
+            content_digest: fnv1a64(bytes),
+            total_size: bytes.len() as u64,
+            chunk_size,
+            chunks: bytes.chunks(chunk_size as usize).map(fnv1a64).collect(),
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Digests in this manifest that are absent from `have` (preserving
+    /// manifest order, deduplicated).
+    pub fn missing_given(&self, have: &[u64]) -> Vec<u64> {
+        let have: std::collections::HashSet<u64> = have.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        self.chunks
+            .iter()
+            .copied()
+            .filter(|d| !have.contains(d) && seen.insert(*d))
+            .collect()
+    }
+
+    /// Verifies that `bytes` matches this manifest exactly (size, every
+    /// chunk digest, and the whole-image digest).
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::BadPackage`] on any mismatch.
+    pub fn verify(&self, bytes: &[u8]) -> DrvResult<()> {
+        if bytes.len() as u64 != self.total_size {
+            return Err(DrvError::BadPackage(format!(
+                "image size {} does not match manifest size {}",
+                bytes.len(),
+                self.total_size
+            )));
+        }
+        if fnv1a64(bytes) != self.content_digest {
+            return Err(DrvError::BadPackage(
+                "assembled image digest does not match manifest".into(),
+            ));
+        }
+        let mut parts = bytes.chunks(self.chunk_size.max(1) as usize);
+        if parts.len() != self.chunks.len() {
+            return Err(DrvError::BadPackage(format!(
+                "chunk count {} does not match manifest count {}",
+                parts.len(),
+                self.chunks.len()
+            )));
+        }
+        for (i, want) in self.chunks.iter().enumerate() {
+            let part = parts.next().expect("count checked above");
+            if fnv1a64(part) != *want {
+                return Err(DrvError::BadPackage(format!("chunk {i} digest mismatch")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the manifest into `b`.
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u64_le(self.content_digest);
+        b.put_u64_le(self.total_size);
+        b.put_u32_le(self.chunk_size);
+        b.put_u32_le(self.chunks.len() as u32);
+        for d in &self.chunks {
+            b.put_u64_le(*d);
+        }
+    }
+
+    /// Deserializes a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] on malformed or implausible frames (a chunk
+    /// count larger than the remaining buffer is rejected before any
+    /// allocation).
+    pub fn decode(buf: &mut Bytes) -> DrvResult<Self> {
+        let content_digest = get_u64(buf, "manifest digest")?;
+        let total_size = get_u64(buf, "manifest size")?;
+        let chunk_size = get_u32(buf, "manifest chunk size")?;
+        if chunk_size == 0 {
+            return Err(DrvError::Codec("manifest chunk size zero".into()));
+        }
+        let count = get_u32(buf, "manifest chunk count")? as usize;
+        if count * 8 > buf.len() {
+            return Err(DrvError::Codec(format!(
+                "manifest chunk count {count} exceeds frame"
+            )));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            chunks.push(get_u64(buf, "chunk digest")?);
+        }
+        Ok(ChunkManifest {
+            content_digest,
+            total_size,
+            chunk_size,
+            chunks,
+        })
+    }
+}
+
+/// Splits `bytes` into manifest-order chunks (zero-copy slices).
+pub fn split_chunks(bytes: &Bytes, chunk_size: u32) -> Vec<Bytes> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let step = chunk_size as usize;
+    let mut out = Vec::with_capacity(bytes.len().div_ceil(step.max(1)));
+    let mut at = 0;
+    while at < bytes.len() {
+        let end = (at + step).min(bytes.len());
+        out.push(bytes.slice(at..end));
+        at = end;
+    }
+    out
+}
+
+/// A digest-keyed bundle of chunk payloads — the body of a
+/// `CHUNK_DATA` message, transfer-wrapped like a driver file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChunkSet {
+    /// `(digest, bytes)` pairs.
+    pub chunks: Vec<(u64, Bytes)>,
+}
+
+impl ChunkSet {
+    /// Serializes the set.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32_le(self.chunks.len() as u32);
+        for (digest, bytes) in &self.chunks {
+            b.put_u64_le(*digest);
+            netsim::codec::put_bytes(&mut b, bytes);
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a set, verifying that every payload matches its
+    /// claimed digest (corrupted chunks are rejected here, before
+    /// assembly).
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] on malformed frames, [`DrvError::BadPackage`]
+    /// on digest mismatches.
+    pub fn decode(mut buf: Bytes) -> DrvResult<Self> {
+        let count = get_u32(&mut buf, "chunk set count")? as usize;
+        if count * 12 > buf.len() {
+            return Err(DrvError::Codec(format!(
+                "chunk set count {count} exceeds frame"
+            )));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let digest = get_u64(&mut buf, "chunk digest")?;
+            let bytes = get_bytes(&mut buf, "chunk payload")?;
+            if fnv1a64(&bytes) != digest {
+                return Err(DrvError::BadPackage(
+                    "chunk payload does not match its digest".into(),
+                ));
+            }
+            chunks.push((digest, bytes));
+        }
+        Ok(ChunkSet { chunks })
+    }
+
+    /// Total payload bytes in the set.
+    pub fn payload_bytes(&self) -> u64 {
+        self.chunks.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+}
+
+/// Reassembles an image from `available` chunks per `manifest` order and
+/// verifies the result.
+///
+/// # Errors
+///
+/// [`DrvError::BadPackage`] when a chunk is missing or verification
+/// fails.
+pub fn assemble(
+    manifest: &ChunkManifest,
+    available: &std::collections::HashMap<u64, Bytes>,
+) -> DrvResult<Bytes> {
+    let mut out = Vec::with_capacity(manifest.total_size as usize);
+    for (i, digest) in manifest.chunks.iter().enumerate() {
+        let chunk = available.get(digest).ok_or_else(|| {
+            DrvError::BadPackage(format!(
+                "chunk {i} ({digest:016x}) unavailable for assembly"
+            ))
+        })?;
+        out.extend_from_slice(chunk);
+    }
+    let bytes = Bytes::from(out);
+    manifest.verify(&bytes)?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize, seed: u8) -> Bytes {
+        // Aperiodic over any realistic length, so distinct chunks get
+        // distinct digests.
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_verify() {
+        let img = image(10_000, 1);
+        let m = ChunkManifest::of(&img, 1024);
+        assert_eq!(m.chunk_count(), 10);
+        m.verify(&img).unwrap();
+
+        let mut b = BytesMut::new();
+        m.encode_into(&mut b);
+        let round = ChunkManifest::decode(&mut b.freeze()).unwrap();
+        assert_eq!(round, m);
+    }
+
+    #[test]
+    fn verify_rejects_any_single_byte_flip() {
+        let img = image(5000, 2);
+        let m = ChunkManifest::of(&img, 512);
+        for pos in [0usize, 511, 512, 2500, 4999] {
+            let mut bad = img.to_vec();
+            bad[pos] ^= 0x40;
+            assert!(m.verify(&bad).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn missing_given_orders_and_dedups() {
+        let img = image(4096, 3);
+        let m = ChunkManifest::of(&img, 1024);
+        assert_eq!(m.missing_given(&m.chunks), Vec::<u64>::new());
+        let missing = m.missing_given(&m.chunks[..2]);
+        assert_eq!(missing, m.chunks[2..].to_vec());
+    }
+
+    #[test]
+    fn delta_between_versions_is_small() {
+        // v2 differs from v1 only in one chunk-aligned region.
+        let v1 = image(64 * 1024, 4);
+        let mut v2_bytes = v1.to_vec();
+        for b in &mut v2_bytes[8192..9216] {
+            *b ^= 0xff;
+        }
+        let v2 = Bytes::from(v2_bytes);
+        let m1 = ChunkManifest::of(&v1, 1024);
+        let m2 = ChunkManifest::of(&v2, 1024);
+        let missing = m2.missing_given(&m1.chunks);
+        assert_eq!(missing.len(), 1, "only the edited chunk should differ");
+    }
+
+    #[test]
+    fn chunk_set_roundtrip_rejects_corruption() {
+        let img = image(3000, 5);
+        let m = ChunkManifest::of(&img, 1000);
+        let parts = split_chunks(&img, 1000);
+        let set = ChunkSet {
+            chunks: m.chunks.iter().copied().zip(parts).collect(),
+        };
+        let enc = set.encode();
+        assert_eq!(ChunkSet::decode(enc.clone()).unwrap(), set);
+
+        let mut bad = enc.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(ChunkSet::decode(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn assemble_rebuilds_and_verifies() {
+        let img = image(9999, 6);
+        let m = ChunkManifest::of(&img, 1024);
+        let map: std::collections::HashMap<u64, Bytes> = m
+            .chunks
+            .iter()
+            .copied()
+            .zip(split_chunks(&img, 1024))
+            .collect();
+        assert_eq!(assemble(&m, &map).unwrap(), img);
+
+        let mut short = map.clone();
+        short.remove(&m.chunks[3]);
+        assert!(assemble(&m, &short).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_implausible_counts() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_u64_le(1);
+        b.put_u32_le(16);
+        b.put_u32_le(u32::MAX);
+        assert!(ChunkManifest::decode(&mut b.freeze()).is_err());
+
+        let mut b = BytesMut::new();
+        b.put_u32_le(u32::MAX);
+        assert!(ChunkSet::decode(b.freeze()).is_err());
+    }
+}

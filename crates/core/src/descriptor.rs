@@ -89,7 +89,9 @@ impl BinaryFormat {
         match s.to_ascii_lowercase().as_str() {
             "djar" | "jar" => Ok(BinaryFormat::Djar),
             "dzip" | "zip" => Ok(BinaryFormat::Dzip),
-            other => Err(DrvError::BadPackage(format!("unknown binary format {other:?}"))),
+            other => Err(DrvError::BadPackage(format!(
+                "unknown binary format {other:?}"
+            ))),
         }
     }
 }

@@ -46,10 +46,7 @@ mod tests {
     #[test]
     fn parts_are_unambiguous() {
         // ("ab","c") must differ from ("a","bc").
-        assert_ne!(
-            fnv1a64_parts(&[b"ab", b"c"]),
-            fnv1a64_parts(&[b"a", b"bc"])
-        );
+        assert_ne!(fnv1a64_parts(&[b"ab", b"c"]), fnv1a64_parts(&[b"a", b"bc"]));
         // And from the flat concatenation.
         assert_ne!(fnv1a64_parts(&[b"abc"]), fnv1a64(b"abc"));
     }

@@ -126,7 +126,11 @@ impl fmt::Display for Lease {
         write!(
             f,
             "lease({} for {}ms from {}, {}/{})",
-            self.driver, self.lease_ms, self.granted_at_ms, self.renew_policy, self.expiration_policy
+            self.driver,
+            self.lease_ms,
+            self.granted_at_ms,
+            self.renew_policy,
+            self.expiration_policy
         )
     }
 }

@@ -18,6 +18,8 @@
 //!   `binary_format` column;
 //! * [`Lease`], [`RenewPolicy`], [`ExpirationPolicy`] — the lease state
 //!   machine and Table 2 policies;
+//! * [`chunk`] — content-addressed chunking behind the depot's
+//!   revalidation and delta distribution;
 //! * [`matching`] — the matchmaking engine mirroring Sample code 1–2;
 //! * [`proto`] — the `DRIVOLUTION_REQUEST` / `OFFER` / `ERROR` /
 //!   `DISCOVER` wire protocol of §3.4;
@@ -47,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 mod descriptor;
 mod digest;
 mod error;
@@ -61,6 +64,7 @@ pub mod sign;
 pub mod transfer;
 mod version;
 
+pub use chunk::{ChunkManifest, ChunkSet, DEFAULT_CHUNK_SIZE};
 pub use descriptor::{ApiName, BinaryFormat, DriverId, DriverRecord};
 pub use digest::{fnv1a64, fnv1a64_parts};
 pub use error::{DrvError, DrvResult};
@@ -69,7 +73,9 @@ pub use lease::{Lease, LeaseState};
 pub use matching::{DriverQuery, Match, MatchMode};
 pub use permission::{like, ClientIdentity, PermissionRule};
 pub use policy::{ExpirationPolicy, RenewPolicy, TransferMethod};
-pub use proto::{DrvMsg, DrvNotice, DrvOffer, DrvRequest, RequestKind, DRIVOLUTION_PORT};
+pub use proto::{
+    ChunkPlan, DrvMsg, DrvNotice, DrvOffer, DrvRequest, HaveSummary, RequestKind, DRIVOLUTION_PORT,
+};
 pub use sign::{Signature, SigningKey, TrustStore, VerifyingKey};
 pub use transfer::{Certificate, ChannelTrust};
 pub use version::{ApiVersion, DriverVersion};

@@ -29,7 +29,11 @@ pub struct DriverQuery {
 
 impl DriverQuery {
     /// Creates a query with no version/format preferences.
-    pub fn new(identity: ClientIdentity, api_name: impl Into<String>, platform: impl Into<String>) -> Self {
+    pub fn new(
+        identity: ClientIdentity,
+        api_name: impl Into<String>,
+        platform: impl Into<String>,
+    ) -> Self {
         DriverQuery {
             identity,
             api_name: api_name.into(),
@@ -120,8 +124,7 @@ pub fn candidates<'a>(
     now_ms: i64,
     mode: MatchMode,
 ) -> Vec<Match<'a>> {
-    let granted: Option<Vec<(&PermissionRule, crate::descriptor::DriverId)>> = if rules.is_empty()
-    {
+    let granted: Option<Vec<(&PermissionRule, crate::descriptor::DriverId)>> = if rules.is_empty() {
         None
     } else {
         Some(
@@ -137,7 +140,10 @@ pub fn candidates<'a>(
         .iter()
         .filter(|rec| record_matches(rec, q))
         .filter_map(|rec| match &granted {
-            None => Some(Match { record: rec, rule: None }),
+            None => Some(Match {
+                record: rec,
+                rule: None,
+            }),
             Some(g) => g
                 .iter()
                 .find(|(_, id)| *id == rec.id)
@@ -231,7 +237,12 @@ mod tests {
     #[test]
     fn api_name_filters() {
         let records = vec![
-            DriverRecord::new(DriverId(1), ApiName::new("ODBC"), BinaryFormat::Djar, Bytes::new()),
+            DriverRecord::new(
+                DriverId(1),
+                ApiName::new("ODBC"),
+                BinaryFormat::Djar,
+                Bytes::new(),
+            ),
             rec(2),
         ];
         let m = find_driver(&records, &[], &query(), 0, MatchMode::FirstMatch).unwrap();
@@ -288,8 +299,13 @@ mod tests {
     fn ranked_mode_prefers_format_then_highest_version() {
         let records = vec![
             rec(1).with_version(DriverVersion::new(1, 0, 0)),
-            DriverRecord::new(DriverId(2), ApiName::rdbc(), BinaryFormat::Dzip, Bytes::new())
-                .with_version(DriverVersion::new(3, 0, 0)),
+            DriverRecord::new(
+                DriverId(2),
+                ApiName::rdbc(),
+                BinaryFormat::Dzip,
+                Bytes::new(),
+            )
+            .with_version(DriverVersion::new(3, 0, 0)),
             rec(3).with_version(DriverVersion::new(2, 0, 0)),
         ];
         let mut q = query();

@@ -47,10 +47,7 @@ impl Archive {
 
     /// Looks up an entry by name.
     pub fn entry(&self, name: &str) -> Option<&Bytes> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| d)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, d)| d)
     }
 
     /// Entry names in insertion order.

@@ -96,10 +96,7 @@ mod tests {
         let small = pack_driver_padded(BinaryFormat::Djar, &image(), 0);
         let big = pack_driver_padded(BinaryFormat::Djar, &image(), 64 * 1024);
         assert!(big.len() >= small.len() + 64 * 1024);
-        assert_eq!(
-            unpack_driver(BinaryFormat::Djar, big).unwrap(),
-            image()
-        );
+        assert_eq!(unpack_driver(BinaryFormat::Djar, big).unwrap(), image());
     }
 
     #[test]

@@ -175,7 +175,11 @@ mod tests {
         assert_eq!(RenewPolicy::Renew.code(), 0);
         assert_eq!(RenewPolicy::Upgrade.code(), 1);
         assert_eq!(RenewPolicy::Revoke.code(), 2);
-        for p in [RenewPolicy::Renew, RenewPolicy::Upgrade, RenewPolicy::Revoke] {
+        for p in [
+            RenewPolicy::Renew,
+            RenewPolicy::Upgrade,
+            RenewPolicy::Revoke,
+        ] {
             assert_eq!(RenewPolicy::from_code(p.code()).unwrap(), p);
         }
         assert!(RenewPolicy::from_code(7).is_err());

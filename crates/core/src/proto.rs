@@ -16,10 +16,11 @@
 use bytes::{BufMut, Bytes, BytesMut};
 
 use netsim::codec::{
-    get_bytes, get_i64, get_opt_str, get_str, get_u16, get_u64, get_u8, put_bytes, put_opt_str,
-    put_str,
+    get_bytes, get_i64, get_opt_str, get_str, get_u16, get_u32, get_u64, get_u8, put_bytes,
+    put_opt_str, put_str,
 };
 
+use crate::chunk::ChunkManifest;
 use crate::descriptor::{BinaryFormat, DriverId};
 use crate::error::{DrvError, DrvResult};
 use crate::policy::{ExpirationPolicy, RenewPolicy, TransferMethod};
@@ -49,6 +50,109 @@ pub enum RequestKind {
     },
 }
 
+/// `HAVE` summary attached to requests by depot-equipped bootloaders: a
+/// content-addressed description of what the client already holds, so
+/// the server can answer with a zero-transfer revalidation or a chunked
+/// delta instead of re-shipping the full image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HaveSummary {
+    /// Content digests of complete cached driver images.
+    pub images: Vec<u64>,
+    /// Chunk size the client's depot chunks with.
+    pub chunk_size: u32,
+    /// Chunk digests available in the client's depot.
+    pub chunks: Vec<u64>,
+}
+
+impl HaveSummary {
+    fn encode_into(&self, b: &mut BytesMut) {
+        b.put_u16_le(self.images.len() as u16);
+        for d in &self.images {
+            b.put_u64_le(*d);
+        }
+        b.put_u32_le(self.chunk_size);
+        b.put_u32_le(self.chunks.len() as u32);
+        for d in &self.chunks {
+            b.put_u64_le(*d);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> DrvResult<Self> {
+        let n_images = get_u16(buf, "have image count")? as usize;
+        if n_images * 8 > buf.len() {
+            return Err(DrvError::Codec(format!(
+                "have image count {n_images} exceeds frame"
+            )));
+        }
+        let mut images = Vec::with_capacity(n_images);
+        for _ in 0..n_images {
+            images.push(get_u64(buf, "have image digest")?);
+        }
+        let chunk_size = get_u32(buf, "have chunk size")?;
+        let n_chunks = get_u32(buf, "have chunk count")? as usize;
+        if n_chunks * 8 > buf.len() {
+            return Err(DrvError::Codec(format!(
+                "have chunk count {n_chunks} exceeds frame"
+            )));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            chunks.push(get_u64(buf, "have chunk digest")?);
+        }
+        Ok(HaveSummary {
+            images,
+            chunk_size,
+            chunks,
+        })
+    }
+}
+
+/// Chunked-delta delivery plan carried by a `DRIVOLUTION_OFFER`: the
+/// manifest of the offered image, the chunks the client must fetch, and
+/// an optional mirror replica to fetch them from (keeping bulk transfer
+/// off the matchmaking/lease path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Manifest of the offered image.
+    pub manifest: ChunkManifest,
+    /// Chunk digests the client must fetch (the rest are already in its
+    /// depot per the request's `HAVE` summary).
+    pub missing: Vec<u64>,
+    /// Optional `host:port` of a depot mirror serving `CHUNK_REQUEST`s.
+    pub mirror: Option<String>,
+}
+
+impl ChunkPlan {
+    fn encode_into(&self, b: &mut BytesMut) {
+        self.manifest.encode_into(b);
+        b.put_u32_le(self.missing.len() as u32);
+        for d in &self.missing {
+            b.put_u64_le(*d);
+        }
+        put_opt_str(b, self.mirror.as_deref());
+    }
+
+    fn decode(buf: &mut Bytes) -> DrvResult<Self> {
+        let manifest = ChunkManifest::decode(buf)?;
+        let n_missing = get_u32(buf, "plan missing count")? as usize;
+        if n_missing * 8 > buf.len() {
+            return Err(DrvError::Codec(format!(
+                "plan missing count {n_missing} exceeds frame"
+            )));
+        }
+        let mut missing = Vec::with_capacity(n_missing);
+        for _ in 0..n_missing {
+            missing.push(get_u64(buf, "plan missing digest")?);
+        }
+        let mirror = get_opt_str(buf, "plan mirror")?;
+        Ok(ChunkPlan {
+            manifest,
+            missing,
+            mirror,
+        })
+    }
+}
+
 /// `DRIVOLUTION_REQUEST` payload (§3.4.1).
 #[derive(Clone, Debug, PartialEq)]
 pub struct DrvRequest {
@@ -75,6 +179,9 @@ pub struct DrvRequest {
     /// Client options, e.g. required extensions encoded in the connection
     /// URL (`locale=fr_FR`, `gis=true`; paper §5.4.1).
     pub options: Vec<(String, String)>,
+    /// Depot `HAVE` summary: cached content the server may revalidate or
+    /// delta against instead of re-shipping the full image.
+    pub have: Option<HaveSummary>,
 }
 
 impl DrvRequest {
@@ -97,6 +204,7 @@ impl DrvRequest {
             preferred_version: None,
             transfer_method: TransferMethod::Any,
             options: Vec::new(),
+            have: None,
         }
     }
 
@@ -140,6 +248,13 @@ pub struct DrvOffer {
     pub options: Vec<(String, String)>,
     /// Optional code signature over the driver file.
     pub signature: Option<Signature>,
+    /// Digest of the exact bytes this offer describes. With an empty
+    /// `location` and no `chunked` plan, a matching depot entry means the
+    /// offer is a zero-transfer revalidation of cached content.
+    pub content_digest: Option<u64>,
+    /// Chunked-delta delivery plan (only the listed `missing` chunks need
+    /// to travel).
+    pub chunked: Option<ChunkPlan>,
 }
 
 /// Stable `DRIVOLUTION_ERROR` codes.
@@ -243,6 +358,20 @@ pub enum DrvMsg {
     },
     /// Acknowledgement of a release.
     ReleaseOk,
+    /// `CHUNK_REQUEST(digests)` — content-addressed fetch of depot
+    /// chunks, served by the primary server or a mirror replica.
+    ChunkRequest {
+        /// Chunk digests to fetch.
+        digests: Vec<u64>,
+        /// Transfer method to wrap the chunk set with.
+        transfer_method: TransferMethod,
+    },
+    /// `CHUNK_DATA(chunk_set)` — payload is a transfer-wrapped
+    /// [`crate::chunk::ChunkSet`] encoding.
+    ChunkData {
+        /// Wrapped chunk-set bytes.
+        payload: Bytes,
+    },
 }
 
 fn put_req(b: &mut BytesMut, r: &DrvRequest) {
@@ -271,6 +400,13 @@ fn put_req(b: &mut BytesMut, r: &DrvRequest) {
     for (k, v) in &r.options {
         put_str(b, k);
         put_str(b, v);
+    }
+    match &r.have {
+        Some(h) => {
+            b.put_u8(1);
+            h.encode_into(b);
+        }
+        None => b.put_u8(0),
     }
 }
 
@@ -308,6 +444,11 @@ fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
         let v = get_str(buf, "option value")?;
         options.push((k, v));
     }
+    let have = match get_u8(buf, "have presence")? {
+        0 => None,
+        1 => Some(HaveSummary::decode(buf)?),
+        t => return Err(DrvError::Codec(format!("bad have presence {t}"))),
+    };
     Ok(DrvRequest {
         kind,
         database,
@@ -320,6 +461,7 @@ fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
         preferred_version,
         transfer_method,
         options,
+        have,
     })
 }
 
@@ -343,6 +485,20 @@ fn put_offer(b: &mut BytesMut, o: &DrvOffer) {
         Some(s) => {
             b.put_u8(1);
             b.put_slice(&s.encode());
+        }
+        None => b.put_u8(0),
+    }
+    match o.content_digest {
+        Some(d) => {
+            b.put_u8(1);
+            b.put_u64_le(d);
+        }
+        None => b.put_u8(0),
+    }
+    match &o.chunked {
+        Some(p) => {
+            b.put_u8(1);
+            p.encode_into(b);
         }
         None => b.put_u8(0),
     }
@@ -379,6 +535,16 @@ fn get_offer(buf: &mut Bytes) -> DrvResult<DrvOffer> {
         }
         t => return Err(DrvError::Codec(format!("bad signature presence {t}"))),
     };
+    let content_digest = match get_u8(buf, "digest presence")? {
+        0 => None,
+        1 => Some(get_u64(buf, "content digest")?),
+        t => return Err(DrvError::Codec(format!("bad digest presence {t}"))),
+    };
+    let chunked = match get_u8(buf, "chunk plan presence")? {
+        0 => None,
+        1 => Some(ChunkPlan::decode(buf)?),
+        t => return Err(DrvError::Codec(format!("bad chunk plan presence {t}"))),
+    };
     Ok(DrvOffer {
         driver_id,
         driver_version,
@@ -392,6 +558,8 @@ fn get_offer(buf: &mut Bytes) -> DrvResult<DrvOffer> {
         transfer_method,
         options,
         signature,
+        content_digest,
+        chunked,
     })
 }
 
@@ -440,6 +608,21 @@ impl DrvMsg {
                 b.put_i64_le(driver.0);
             }
             DrvMsg::ReleaseOk => b.put_u8(7),
+            DrvMsg::ChunkRequest {
+                digests,
+                transfer_method,
+            } => {
+                b.put_u8(8);
+                b.put_u32_le(digests.len() as u32);
+                for d in digests {
+                    b.put_u64_le(*d);
+                }
+                b.put_i8(transfer_method.code() as i8);
+            }
+            DrvMsg::ChunkData { payload } => {
+                b.put_u8(9);
+                put_bytes(&mut b, payload);
+            }
         }
         b.freeze()
     }
@@ -473,6 +656,28 @@ impl DrvMsg {
                 driver: DriverId(get_i64(&mut buf, "driver")?),
             }),
             7 => Ok(DrvMsg::ReleaseOk),
+            8 => {
+                let n = get_u32(&mut buf, "chunk request count")? as usize;
+                if n * 8 > buf.len() {
+                    return Err(DrvError::Codec(format!(
+                        "chunk request count {n} exceeds frame"
+                    )));
+                }
+                let mut digests = Vec::with_capacity(n);
+                for _ in 0..n {
+                    digests.push(get_u64(&mut buf, "chunk request digest")?);
+                }
+                Ok(DrvMsg::ChunkRequest {
+                    digests,
+                    transfer_method: TransferMethod::from_code(i32::from(get_u8(
+                        &mut buf, "transfer",
+                    )?
+                        as i8))?,
+                })
+            }
+            9 => Ok(DrvMsg::ChunkData {
+                payload: get_bytes(&mut buf, "chunk payload")?,
+            }),
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
     }
@@ -569,6 +774,18 @@ mod tests {
             transfer_method: TransferMethod::Sealed,
             options: vec![("fetch_size".into(), "100".into())],
             signature: Some(SigningKey::from_seed(1).sign(b"bytes")),
+            content_digest: Some(0xdead_beef),
+            chunked: None,
+        }
+    }
+
+    fn chunk_plan() -> ChunkPlan {
+        let manifest = ChunkManifest::of(&[7u8; 10_000], 4096);
+        let missing = manifest.chunks[1..].to_vec();
+        ChunkPlan {
+            manifest,
+            missing,
+            mirror: Some("mirror1:1071".into()),
         }
     }
 
@@ -590,10 +807,30 @@ mod tests {
                 },
                 ..request()
             }),
+            DrvMsg::Request(DrvRequest {
+                have: Some(HaveSummary {
+                    images: vec![1, 2],
+                    chunk_size: 4096,
+                    chunks: vec![3, 4, 5],
+                }),
+                ..request()
+            }),
             DrvMsg::Offer(offer()),
             DrvMsg::Offer(DrvOffer {
                 signature: None,
                 same_driver: true,
+                content_digest: None,
+                ..offer()
+            }),
+            DrvMsg::Offer(DrvOffer {
+                chunked: Some(chunk_plan()),
+                ..offer()
+            }),
+            DrvMsg::Offer(DrvOffer {
+                chunked: Some(ChunkPlan {
+                    mirror: None,
+                    ..chunk_plan()
+                }),
                 ..offer()
             }),
             DrvMsg::Error {
@@ -613,6 +850,13 @@ mod tests {
                 driver: DriverId(9),
             },
             DrvMsg::ReleaseOk,
+            DrvMsg::ChunkRequest {
+                digests: vec![0x11, 0x22, 0x33],
+                transfer_method: TransferMethod::Sealed,
+            },
+            DrvMsg::ChunkData {
+                payload: Bytes::from_static(b"wrapped chunk set"),
+            },
         ];
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");

@@ -191,7 +191,10 @@ mod tests {
     fn tampered_content_rejected() {
         let sk = SigningKey::from_seed(1);
         let sig = sk.sign(b"driver bytes");
-        let e = sk.verifying_key().verify(b"driver bytez", &sig).unwrap_err();
+        let e = sk
+            .verifying_key()
+            .verify(b"driver bytez", &sig)
+            .unwrap_err();
         assert!(matches!(e, DrvError::SignatureInvalid(_)));
     }
 

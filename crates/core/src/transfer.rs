@@ -110,7 +110,11 @@ fn xor_stream(key: u64, data: &[u8]) -> Vec<u8> {
 }
 
 fn session_key(cert: &Certificate, nonce: u64) -> u64 {
-    fnv1a64_parts(&[b"session", &cert.fingerprint().to_le_bytes(), &nonce.to_le_bytes()])
+    fnv1a64_parts(&[
+        b"session",
+        &cert.fingerprint().to_le_bytes(),
+        &nonce.to_le_bytes(),
+    ])
 }
 
 /// Wraps `payload` for transfer under `method`.
@@ -122,7 +126,11 @@ fn session_key(cert: &Certificate, nonce: u64) -> u64 {
 ///
 /// [`DrvError::TransferFailed`] when sealing is requested without a
 /// certificate, or the method is `Any` (unresolved).
-pub fn wrap(method: TransferMethod, payload: &[u8], cert: Option<&Certificate>) -> DrvResult<Bytes> {
+pub fn wrap(
+    method: TransferMethod,
+    payload: &[u8],
+    cert: Option<&Certificate>,
+) -> DrvResult<Bytes> {
     let mut b = BytesMut::new();
     match method {
         TransferMethod::Any => {
@@ -210,7 +218,9 @@ pub fn unwrap(method: TransferMethod, bytes: Bytes, trust: &ChannelTrust) -> Drv
             }
             Ok(Bytes::from(xor_stream(key, &ct)))
         }
-        t => Err(DrvError::TransferFailed(format!("unknown transfer tag {t}"))),
+        t => Err(DrvError::TransferFailed(format!(
+            "unknown transfer tag {t}"
+        ))),
     }
 }
 
@@ -238,7 +248,11 @@ mod tests {
         assert_eq!(p, Bytes::from_static(b"driver-bytes"));
         let mut bad = w.to_vec();
         bad[6] ^= 0x01;
-        let e = unwrap(TransferMethod::Checksum, Bytes::from(bad), &ChannelTrust::new());
+        let e = unwrap(
+            TransferMethod::Checksum,
+            Bytes::from(bad),
+            &ChannelTrust::new(),
+        );
         assert!(matches!(e, Err(DrvError::TransferFailed(_))));
     }
 
@@ -254,9 +268,7 @@ mod tests {
     fn sealed_hides_plaintext() {
         let cert = Certificate::issue("db1", 1);
         let w = wrap(TransferMethod::Sealed, b"SECRETSECRETSECRET", Some(&cert)).unwrap();
-        assert!(!w
-            .windows(6)
-            .any(|win| win == b"SECRET"));
+        assert!(!w.windows(6).any(|win| win == b"SECRET"));
     }
 
     #[test]

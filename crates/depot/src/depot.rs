@@ -1,0 +1,388 @@
+//! The client-side persistent driver depot.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use drivolution_core::chunk::{ChunkManifest, DEFAULT_CHUNK_SIZE};
+use drivolution_core::proto::HaveSummary;
+use drivolution_core::{fnv1a64, DrvError, DrvResult};
+
+use crate::index::ContentIndex;
+
+/// Counters exposed by [`DriverDepot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepotStats {
+    /// Offers satisfied entirely from cache (zero-transfer revalidation).
+    pub revalidations: u64,
+    /// Images rebuilt from a chunk delta.
+    pub delta_assemblies: u64,
+    /// Full images inserted after a full-file download.
+    pub full_inserts: u64,
+    /// Chunk bytes reused from the local store during delta assembly.
+    pub bytes_reused: u64,
+    /// Chunk bytes fetched over the network during delta assembly.
+    pub bytes_fetched: u64,
+}
+
+/// A client-side content-addressed cache of driver images.
+///
+/// The bootloader consults the depot before issuing a
+/// `DRIVOLUTION_REQUEST` (attaching a [`HaveSummary`]), resolves
+/// zero-transfer revalidation offers from it, and assembles chunked
+/// deltas against it. Optionally persistent: with a directory configured,
+/// every image survives process restarts, so even a cold process starts
+/// with a warm depot.
+pub struct DriverDepot {
+    index: ContentIndex,
+    /// database name → content digest of the image last used for it.
+    latest: Mutex<HashMap<String, u64>>,
+    chunk_size: u32,
+    dir: Option<PathBuf>,
+    stats: Mutex<DepotStats>,
+}
+
+impl std::fmt::Debug for DriverDepot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverDepot")
+            .field("images", &self.index.image_count())
+            .field("chunks", &self.index.chunk_count())
+            .field("persistent", &self.dir.is_some())
+            .finish()
+    }
+}
+
+impl DriverDepot {
+    /// Creates a memory-only depot with the default chunk size.
+    pub fn in_memory() -> Arc<Self> {
+        Arc::new(DriverDepot {
+            index: ContentIndex::new(),
+            latest: Mutex::new(HashMap::new()),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            dir: None,
+            stats: Mutex::new(DepotStats::default()),
+        })
+    }
+
+    /// Creates a memory-only depot with a specific chunk size.
+    pub fn with_chunk_size(chunk_size: u32) -> Arc<Self> {
+        Arc::new(DriverDepot {
+            index: ContentIndex::new(),
+            latest: Mutex::new(HashMap::new()),
+            chunk_size: chunk_size.max(1),
+            dir: None,
+            stats: Mutex::new(DepotStats::default()),
+        })
+    }
+
+    /// Opens (or creates) a persistent depot rooted at `dir`, loading any
+    /// previously stored images.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Internal`] on filesystem failures.
+    pub fn persistent(dir: impl Into<PathBuf>) -> DrvResult<Arc<Self>> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("images"))
+            .map_err(|e| DrvError::Internal(format!("depot dir: {e}")))?;
+        let depot = DriverDepot {
+            index: ContentIndex::new(),
+            latest: Mutex::new(HashMap::new()),
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            dir: Some(dir.clone()),
+            stats: Mutex::new(DepotStats::default()),
+        };
+        // Load images; entries whose bytes no longer match their
+        // digest-derived name are discarded (corrupted at rest).
+        let entries = fs::read_dir(dir.join("images"))
+            .map_err(|e| DrvError::Internal(format!("depot scan: {e}")))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".img")) else {
+                continue;
+            };
+            let Ok(expected) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let Ok(bytes) = fs::read(entry.path()) else {
+                continue;
+            };
+            if fnv1a64(&bytes) != expected {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            depot.index.insert(Bytes::from(bytes), depot.chunk_size);
+        }
+        // Load the database → digest map, keeping only entries whose
+        // image actually loaded.
+        if let Ok(text) = fs::read_to_string(dir.join("latest.idx")) {
+            let mut latest = depot.latest.lock();
+            for line in text.lines() {
+                if let Some((digest, db)) = line.split_once(' ') {
+                    if let Ok(d) = u64::from_str_radix(digest, 16) {
+                        if depot.index.contains_image(d) {
+                            latest.insert(db.to_string(), d);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Arc::new(depot))
+    }
+
+    /// The chunk size this depot summarizes and assembles with.
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DepotStats {
+        *self.stats.lock()
+    }
+
+    /// Number of cached images.
+    pub fn image_count(&self) -> usize {
+        self.index.image_count()
+    }
+
+    /// Inserts a full image for `database`, returning its content digest.
+    pub fn insert(&self, database: &str, bytes: Bytes) -> u64 {
+        let digest = self.index.insert(bytes.clone(), self.chunk_size);
+        self.latest.lock().insert(database.to_string(), digest);
+        self.persist(digest, &bytes);
+        digest
+    }
+
+    /// Full image bytes by content digest.
+    pub fn lookup(&self, digest: u64) -> Option<Bytes> {
+        self.index.image(digest)
+    }
+
+    /// Records a zero-transfer revalidation hit.
+    pub fn note_revalidation(&self, database: &str, digest: u64) {
+        self.latest.lock().insert(database.to_string(), digest);
+        self.stats.lock().revalidations += 1;
+    }
+
+    /// Builds the `HAVE` summary for a request about `database`: all
+    /// cached image digests, plus the chunk digests of the image last
+    /// used for this database (the natural delta base for an upgrade).
+    pub fn have_summary(&self, database: &str) -> Option<HaveSummary> {
+        let images = self.index.image_digests();
+        if images.is_empty() {
+            return None;
+        }
+        let chunks = self
+            .latest
+            .lock()
+            .get(database)
+            .and_then(|d| self.index.manifest(*d))
+            .map(|m| m.chunks)
+            .unwrap_or_default();
+        Some(HaveSummary {
+            images,
+            chunk_size: self.chunk_size,
+            chunks,
+        })
+    }
+
+    /// Splits `manifest.chunks` into (locally available, must fetch).
+    pub fn partition_chunks(&self, manifest: &ChunkManifest) -> (Vec<u64>, Vec<u64>) {
+        let mut have = Vec::new();
+        let mut need = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for d in &manifest.chunks {
+            if !seen.insert(*d) {
+                continue;
+            }
+            if self.index.chunk(*d).is_some() {
+                have.push(*d);
+            } else {
+                need.push(*d);
+            }
+        }
+        (have, need)
+    }
+
+    /// Assembles a full image from the manifest, local chunks, and
+    /// freshly `fetched` chunks, verifying every chunk and the whole
+    /// image. The result is *not* stored — callers [`insert`](Self::insert)
+    /// it once any further checks (e.g. code signatures) have passed, so
+    /// unverifiable images never enter the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::BadPackage`] when chunks are missing or verification
+    /// fails.
+    pub fn assemble(
+        &self,
+        manifest: &ChunkManifest,
+        fetched: &HashMap<u64, Bytes>,
+    ) -> DrvResult<Bytes> {
+        let mut available = fetched.clone();
+        let mut reused: u64 = 0;
+        for d in &manifest.chunks {
+            if !available.contains_key(d) {
+                if let Some(chunk) = self.index.chunk(*d) {
+                    reused += chunk.len() as u64;
+                    available.insert(*d, chunk);
+                }
+            }
+        }
+        let bytes = drivolution_core::chunk::assemble(manifest, &available)?;
+        let fetched_bytes: u64 = fetched.values().map(|b| b.len() as u64).sum();
+        {
+            let mut st = self.stats.lock();
+            st.delta_assemblies += 1;
+            st.bytes_reused += reused;
+            st.bytes_fetched += fetched_bytes;
+        }
+        Ok(bytes)
+    }
+
+    /// Records a full-file insert (cold download path).
+    pub fn note_full_insert(&self) {
+        self.stats.lock().full_inserts += 1;
+    }
+
+    fn persist(&self, digest: u64, bytes: &Bytes) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join("images").join(format!("{digest:016x}.img"));
+        if !path.exists() {
+            // Write-then-rename so a crashed write never leaves a
+            // corrupt-but-plausible entry.
+            let tmp = dir.join("images").join(format!(".{digest:016x}.tmp"));
+            let ok = fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(bytes))
+                .and_then(|_| fs::rename(&tmp, &path));
+            if ok.is_err() {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+        // Snapshot under the lock, write after dropping it: shared depots
+        // must not stall `have_summary` behind filesystem I/O.
+        let mut entries: Vec<(String, u64)> = {
+            let latest = self.latest.lock();
+            latest.iter().map(|(db, d)| (db.clone(), *d)).collect()
+        };
+        entries.sort();
+        let mut out = String::new();
+        for (db, d) in entries {
+            out.push_str(&format!("{d:016x} {db}\n"));
+        }
+        let _ = fs::write(dir.join("latest.idx"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize, seed: u8) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("drv-depot-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_lookup_and_have_summary() {
+        let depot = DriverDepot::with_chunk_size(1024);
+        let img = image(10_000, 1);
+        let d = depot.insert("orders", img.clone());
+        assert_eq!(depot.lookup(d), Some(img));
+        let have = depot.have_summary("orders").unwrap();
+        assert_eq!(have.images, vec![d]);
+        assert_eq!(have.chunks.len(), 10);
+        assert!(depot.have_summary("other").unwrap().chunks.is_empty());
+    }
+
+    #[test]
+    fn delta_assembly_reuses_local_chunks() {
+        let depot = DriverDepot::with_chunk_size(1024);
+        let v1 = image(8192, 2);
+        depot.insert("orders", v1.clone());
+
+        let mut v2_bytes = v1.to_vec();
+        for b in &mut v2_bytes[1024..2048] {
+            *b = !*b;
+        }
+        let v2 = Bytes::from(v2_bytes);
+        let manifest = ChunkManifest::of(&v2, 1024);
+        let (have, need) = depot.partition_chunks(&manifest);
+        assert_eq!(have.len(), 7);
+        assert_eq!(need.len(), 1);
+
+        let fetched: HashMap<u64, Bytes> =
+            need.iter().map(|d| (*d, v2.slice(1024..2048))).collect();
+        let rebuilt = depot.assemble(&manifest, &fetched).unwrap();
+        assert_eq!(rebuilt, v2);
+        let st = depot.stats();
+        assert_eq!(st.delta_assemblies, 1);
+        assert_eq!(st.bytes_fetched, 1024);
+        assert_eq!(st.bytes_reused, 7 * 1024);
+        // Assembly does not store; the caller inserts after its own
+        // verification.
+        assert_eq!(depot.image_count(), 1);
+        depot.insert("orders", rebuilt);
+        assert_eq!(depot.image_count(), 2);
+    }
+
+    #[test]
+    fn assemble_rejects_wrong_chunk_bytes() {
+        let depot = DriverDepot::with_chunk_size(1024);
+        let v2 = image(4096, 3);
+        let manifest = ChunkManifest::of(&v2, 1024);
+        let mut fetched: HashMap<u64, Bytes> = manifest
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (*d, v2.slice(i * 1024..(i + 1) * 1024)))
+            .collect();
+        // Swap one chunk's bytes for garbage of the same length.
+        fetched.insert(manifest.chunks[2], Bytes::from(vec![0u8; 1024]));
+        assert!(depot.assemble(&manifest, &fetched).is_err());
+    }
+
+    #[test]
+    fn persistent_depot_survives_reopen_and_discards_corruption() {
+        let dir = temp_dir("persist");
+        let img = image(5000, 4);
+        let digest;
+        {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            digest = depot.insert("orders", img.clone());
+        }
+        // Reopen: the image and the database index are back.
+        {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            assert_eq!(depot.lookup(digest), Some(img.clone()));
+            let have = depot.have_summary("orders").unwrap();
+            assert!(have.images.contains(&digest));
+            assert!(!have.chunks.is_empty());
+        }
+        // Corrupt the stored file: it is discarded on the next open.
+        let path = dir.join("images").join(format!("{digest:016x}.img"));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[100] ^= 0xff;
+        fs::write(&path, bytes).unwrap();
+        {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            assert_eq!(depot.lookup(digest), None);
+            assert!(depot.have_summary("orders").is_none());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,149 @@
+//! The content-addressed index shared by server, mirror, and client
+//! depots.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use drivolution_core::chunk::{split_chunks, ChunkManifest};
+use drivolution_core::fnv1a64;
+
+/// A content-addressed store of driver images and their chunks.
+///
+/// Images are keyed by the digest of their complete bytes; chunks by the
+/// digest of the chunk bytes. Inserting an image automatically indexes
+/// its chunks, so deltas between any two indexed images can be computed
+/// and served without further preparation.
+#[derive(Debug, Default)]
+pub struct ContentIndex {
+    images: Mutex<HashMap<u64, (Bytes, ChunkManifest)>>,
+    chunks: Mutex<HashMap<u64, Bytes>>,
+}
+
+impl ContentIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        ContentIndex::default()
+    }
+
+    /// Indexes `bytes` under `chunk_size`, returning its content digest.
+    /// Re-inserting identical content is a no-op.
+    pub fn insert(&self, bytes: Bytes, chunk_size: u32) -> u64 {
+        let digest = fnv1a64(&bytes);
+        let mut images = self.images.lock();
+        if images.contains_key(&digest) {
+            return digest;
+        }
+        let manifest = ChunkManifest::of(&bytes, chunk_size);
+        let parts = split_chunks(&bytes, chunk_size);
+        {
+            let mut chunks = self.chunks.lock();
+            for (d, part) in manifest.chunks.iter().copied().zip(parts) {
+                chunks.entry(d).or_insert(part);
+            }
+        }
+        images.insert(digest, (bytes, manifest));
+        digest
+    }
+
+    /// Full image bytes by content digest.
+    pub fn image(&self, digest: u64) -> Option<Bytes> {
+        self.images.lock().get(&digest).map(|(b, _)| b.clone())
+    }
+
+    /// Manifest of an indexed image.
+    pub fn manifest(&self, digest: u64) -> Option<ChunkManifest> {
+        self.images.lock().get(&digest).map(|(_, m)| m.clone())
+    }
+
+    /// Chunk bytes by chunk digest.
+    pub fn chunk(&self, digest: u64) -> Option<Bytes> {
+        self.chunks.lock().get(&digest).cloned()
+    }
+
+    /// Inserts a single verified chunk (used by read-through mirrors).
+    /// Returns `false` when the payload does not match the digest.
+    pub fn put_chunk(&self, digest: u64, bytes: Bytes) -> bool {
+        if fnv1a64(&bytes) != digest {
+            return false;
+        }
+        self.chunks.lock().entry(digest).or_insert(bytes);
+        true
+    }
+
+    /// Whether an image with this digest is indexed.
+    pub fn contains_image(&self, digest: u64) -> bool {
+        self.images.lock().contains_key(&digest)
+    }
+
+    /// Number of indexed images.
+    pub fn image_count(&self) -> usize {
+        self.images.lock().len()
+    }
+
+    /// Number of indexed chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.lock().len()
+    }
+
+    /// All chunk digests currently indexed, unordered.
+    pub fn chunk_digests(&self) -> Vec<u64> {
+        self.chunks.lock().keys().copied().collect()
+    }
+
+    /// All image digests currently indexed, unordered.
+    pub fn image_digests(&self) -> Vec<u64> {
+        self.images.lock().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize, seed: u8) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn insert_indexes_chunks() {
+        let idx = ContentIndex::new();
+        let img = image(10_000, 1);
+        let d = idx.insert(img.clone(), 1024);
+        assert_eq!(idx.image(d), Some(img));
+        let m = idx.manifest(d).unwrap();
+        assert_eq!(idx.chunk_count(), m.chunk_count());
+        for cd in &m.chunks {
+            assert!(idx.chunk(*cd).is_some());
+        }
+    }
+
+    #[test]
+    fn shared_chunks_are_stored_once() {
+        let idx = ContentIndex::new();
+        let v1 = image(8192, 2);
+        let mut v2_bytes = v1.to_vec();
+        v2_bytes[0] ^= 0xff; // only chunk 0 differs
+        let v2 = Bytes::from(v2_bytes);
+        idx.insert(v1, 1024);
+        idx.insert(v2, 1024);
+        assert_eq!(idx.image_count(), 2);
+        // 8 chunks each, 7 shared: 9 distinct.
+        assert_eq!(idx.chunk_count(), 9);
+    }
+
+    #[test]
+    fn put_chunk_verifies_digest() {
+        let idx = ContentIndex::new();
+        let chunk = Bytes::from(vec![1, 2, 3]);
+        let d = fnv1a64(&chunk);
+        assert!(idx.put_chunk(d, chunk.clone()));
+        assert!(!idx.put_chunk(d ^ 1, chunk));
+        assert_eq!(idx.chunk_count(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Read-only depot replicas that take bulk chunk traffic off the
+//! primary Drivolution server.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use netsim::{Addr, NetError, Network, Service};
+
+use drivolution_core::chunk::ChunkSet;
+use drivolution_core::proto::DrvMsg;
+use drivolution_core::{transfer, Certificate, DrvError, DrvResult, TransferMethod};
+
+use crate::index::ContentIndex;
+
+/// Counters exposed by [`MirrorDepot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MirrorStats {
+    /// `CHUNK_REQUEST`s answered.
+    pub chunk_requests: u64,
+    /// Chunks served from the local replica.
+    pub chunks_served: u64,
+    /// Raw chunk bytes served.
+    pub chunk_bytes_served: u64,
+    /// Chunks pulled read-through from the primary on a local miss.
+    pub read_through_chunks: u64,
+}
+
+/// A read-only depot replica on the simulated network.
+///
+/// Mirrors serve `CHUNK_REQUEST`s from a local [`ContentIndex`] and fill
+/// misses read-through from the primary server, so the primary's
+/// matchmaking/lease path never carries bulk transfer for mirrored
+/// content more than once. Content addressing makes staleness impossible:
+/// a chunk digest either resolves to the right bytes or to nothing.
+pub struct MirrorDepot {
+    net: Network,
+    addr: Addr,
+    primary: Addr,
+    cert: Certificate,
+    index: ContentIndex,
+    stats: Mutex<MirrorStats>,
+}
+
+impl std::fmt::Debug for MirrorDepot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MirrorDepot")
+            .field("addr", &self.addr)
+            .field("primary", &self.primary)
+            .field("chunks", &self.index.chunk_count())
+            .finish()
+    }
+}
+
+impl MirrorDepot {
+    /// Creates a mirror bound at `addr`, replicating from `primary`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] when `addr` is taken.
+    pub fn launch(net: &Network, addr: Addr, primary: Addr) -> Result<Arc<Self>, NetError> {
+        let mirror = Arc::new(MirrorDepot {
+            net: net.clone(),
+            addr: addr.clone(),
+            primary,
+            cert: Certificate::issue(addr.host(), u64::from(addr.port())),
+            index: ContentIndex::new(),
+            stats: Mutex::new(MirrorStats::default()),
+        });
+        net.bind_arc(addr, mirror.clone())?;
+        Ok(mirror)
+    }
+
+    /// The mirror's address.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// The mirror's location string as carried in offers (`host:port`).
+    pub fn location(&self) -> String {
+        format!("{}:{}", self.addr.host(), self.addr.port())
+    }
+
+    /// The certificate bootloaders must pin to accept sealed chunk
+    /// transfers from this mirror.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MirrorStats {
+        *self.stats.lock()
+    }
+
+    /// Number of replicated chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.index.chunk_count()
+    }
+
+    /// Warms the replica with a full image (e.g. pushed alongside driver
+    ///-table replication in a cluster).
+    pub fn preload(&self, bytes: Bytes, chunk_size: u32) -> u64 {
+        self.index.insert(bytes, chunk_size)
+    }
+
+    fn fetch_missing_from_primary(&self, missing: &[u64]) -> DrvResult<()> {
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let reply = self
+            .net
+            .request(
+                &self.addr,
+                &self.primary,
+                DrvMsg::ChunkRequest {
+                    digests: missing.to_vec(),
+                    transfer_method: TransferMethod::Checksum,
+                }
+                .encode(),
+            )
+            .map_err(|e| DrvError::Net(format!("mirror read-through: {e}")))?;
+        match DrvMsg::decode(reply)? {
+            DrvMsg::ChunkData { payload } => {
+                let raw = transfer::unwrap(
+                    TransferMethod::Checksum,
+                    payload,
+                    &drivolution_core::ChannelTrust::new(),
+                )?;
+                let set = ChunkSet::decode(raw)?;
+                let mut pulled = 0;
+                for (digest, bytes) in set.chunks {
+                    if self.index.put_chunk(digest, bytes) {
+                        pulled += 1;
+                    }
+                }
+                self.stats.lock().read_through_chunks += pulled;
+                Ok(())
+            }
+            DrvMsg::Error { code, message } => Err(code.into_error(message)),
+            other => Err(DrvError::Codec(format!(
+                "unexpected read-through reply {other:?}"
+            ))),
+        }
+    }
+
+    fn handle_chunk_request(&self, digests: &[u64], method: TransferMethod) -> DrvResult<DrvMsg> {
+        let method = method.resolve(TransferMethod::Checksum);
+        let missing: Vec<u64> = digests
+            .iter()
+            .copied()
+            .filter(|d| self.index.chunk(*d).is_none())
+            .collect();
+        self.fetch_missing_from_primary(&missing)?;
+        let mut chunks = Vec::with_capacity(digests.len());
+        for d in digests {
+            let bytes = self.index.chunk(*d).ok_or_else(|| {
+                DrvError::TransferFailed(format!(
+                    "chunk {d:016x} not available on mirror or primary"
+                ))
+            })?;
+            chunks.push((*d, bytes));
+        }
+        let set = ChunkSet { chunks };
+        let raw = set.encode();
+        let payload = transfer::wrap(method, &raw, Some(&self.cert))?;
+        {
+            let mut st = self.stats.lock();
+            st.chunk_requests += 1;
+            st.chunks_served += set.chunks.len() as u64;
+            st.chunk_bytes_served += set.payload_bytes();
+        }
+        Ok(DrvMsg::ChunkData { payload })
+    }
+}
+
+impl Service for MirrorDepot {
+    fn call(&self, _from: &Addr, request: Bytes) -> Result<Bytes, NetError> {
+        let msg = DrvMsg::decode(request).map_err(|e| NetError::Protocol(e.to_string()))?;
+        let reply = match msg {
+            DrvMsg::ChunkRequest {
+                digests,
+                transfer_method,
+            } => match self.handle_chunk_request(&digests, transfer_method) {
+                Ok(m) => m,
+                Err(e) => DrvMsg::error_from(&e),
+            },
+            other => DrvMsg::error_from(&DrvError::Codec(format!(
+                "mirror depots only serve CHUNK_REQUEST, got {other:?}"
+            ))),
+        };
+        Ok(reply.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drivolution_core::chunk::{split_chunks, ChunkManifest};
+    use netsim::FnService;
+
+    fn image(len: usize, seed: u8) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// A stand-in primary that serves chunks of one image.
+    fn bind_primary(net: &Network, addr: Addr, img: &Bytes, chunk_size: u32) {
+        let index = ContentIndex::new();
+        index.insert(img.clone(), chunk_size);
+        net.bind(
+            addr,
+            FnService::new(move |_from, req| {
+                let msg = DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?;
+                let DrvMsg::ChunkRequest { digests, .. } = msg else {
+                    return Err(NetError::Protocol("unexpected".into()));
+                };
+                let chunks: Vec<(u64, Bytes)> = digests
+                    .iter()
+                    .filter_map(|d| index.chunk(*d).map(|b| (*d, b)))
+                    .collect();
+                let raw = ChunkSet { chunks }.encode();
+                let payload = transfer::wrap(TransferMethod::Checksum, &raw, None).unwrap();
+                Ok(DrvMsg::ChunkData { payload }.encode())
+            }),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn mirror_serves_preloaded_and_read_through_chunks() {
+        let net = Network::new();
+        let img = image(8192, 1);
+        let manifest = ChunkManifest::of(&img, 1024);
+        let primary = Addr::new("srv", 1070);
+        bind_primary(&net, primary.clone(), &img, 1024);
+
+        let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), primary).unwrap();
+        // Preload half the chunks; the rest come read-through.
+        let parts = split_chunks(&img, 1024);
+        for (d, b) in manifest.chunks.iter().zip(&parts).take(4) {
+            assert!(mirror.index.put_chunk(*d, b.clone()));
+        }
+
+        let client = Addr::new("app", 1);
+        let reply = net
+            .request(
+                &client,
+                mirror.addr(),
+                DrvMsg::ChunkRequest {
+                    digests: manifest.chunks.clone(),
+                    transfer_method: TransferMethod::Checksum,
+                }
+                .encode(),
+            )
+            .unwrap();
+        let DrvMsg::ChunkData { payload } = DrvMsg::decode(reply).unwrap() else {
+            panic!()
+        };
+        let raw = transfer::unwrap(
+            TransferMethod::Checksum,
+            payload,
+            &drivolution_core::ChannelTrust::new(),
+        )
+        .unwrap();
+        let set = ChunkSet::decode(raw).unwrap();
+        assert_eq!(set.chunks.len(), 8);
+        let st = mirror.stats();
+        assert_eq!(st.chunk_requests, 1);
+        assert_eq!(st.read_through_chunks, 4);
+        // A second identical request is served without touching the
+        // primary again.
+        let before = net.stats().for_addr(&Addr::new("srv", 1070)).requests;
+        net.request(
+            &client,
+            mirror.addr(),
+            DrvMsg::ChunkRequest {
+                digests: manifest.chunks.clone(),
+                transfer_method: TransferMethod::Checksum,
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert_eq!(
+            net.stats().for_addr(&Addr::new("srv", 1070)).requests,
+            before
+        );
+    }
+
+    #[test]
+    fn unknown_chunks_yield_error_not_panic() {
+        let net = Network::new();
+        // Primary that answers nothing useful.
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(|_f, _r| {
+                Ok(DrvMsg::ChunkData {
+                    payload: transfer::wrap(
+                        TransferMethod::Checksum,
+                        &ChunkSet::default().encode(),
+                        None,
+                    )
+                    .unwrap(),
+                }
+                .encode())
+            }),
+        )
+        .unwrap();
+        let mirror =
+            MirrorDepot::launch(&net, Addr::new("mirror1", 1071), Addr::new("srv", 1070)).unwrap();
+        let reply = net
+            .request(
+                &Addr::new("app", 1),
+                mirror.addr(),
+                DrvMsg::ChunkRequest {
+                    digests: vec![0xdead],
+                    transfer_method: TransferMethod::Checksum,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(matches!(
+            DrvMsg::decode(reply).unwrap(),
+            DrvMsg::Error { .. }
+        ));
+    }
+}

@@ -81,9 +81,9 @@ impl InterpretedDriver {
         // host name is found in the URL specified by the client
         // application, it is ignored".
         if let Some(t) = &self.image.preconfigured_target {
-            return Ok(vec![t
-                .parse::<Addr>()
-                .map_err(|e| DkError::BadUrl(format!("preconfigured target {t:?}: {e}")))?]);
+            return Ok(vec![t.parse::<Addr>().map_err(|e| {
+                DkError::BadUrl(format!("preconfigured target {t:?}: {e}"))
+            })?]);
         }
         Ok(url.hosts().to_vec())
     }
@@ -252,7 +252,9 @@ impl Connection for InterpretedConnection {
             return Err(DkError::ExtensionMissing("gis".into()));
         }
         let escaped = wkt.replace('\'', "''");
-        self.execute(&format!("SELECT '{escaped}' AS geometry, length('{escaped}') AS wkt_len"))
+        self.execute(&format!(
+            "SELECT '{escaped}' AS geometry, length('{escaped}') AS wkt_len"
+        ))
     }
 
     fn localized_message(&self, key: &str) -> DkResult<String> {
@@ -287,7 +289,8 @@ mod tests {
             let mut s = db.admin_session();
             db.exec(&mut s, "CREATE TABLE items (id INTEGER PRIMARY KEY)")
                 .unwrap();
-            db.exec(&mut s, "INSERT INTO items VALUES (1), (2)").unwrap();
+            db.exec(&mut s, "INSERT INTO items VALUES (1), (2)")
+                .unwrap();
         }
         db.with_auth(|a| a.create_user("app", "pw").unwrap());
         net.bind_arc(
@@ -308,7 +311,11 @@ mod tests {
         let (net, _db, url) = setup(&[V1, V2, V3]);
         let d = driver(&net, DriverImage::new("d", DriverVersion::new(1, 0, 0), V1));
         let mut c = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap();
-        let rs = c.execute("SELECT count(*) FROM items").unwrap().rows().unwrap();
+        let rs = c
+            .execute("SELECT count(*) FROM items")
+            .unwrap()
+            .rows()
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::BigInt(2));
         // v1 drivers cannot run parameterized statements.
         assert!(matches!(
@@ -325,7 +332,9 @@ mod tests {
         // Server only speaks v1; a v3 driver must fail at connect time.
         let (net, _db, url) = setup(&[V1]);
         let d = driver(&net, DriverImage::new("d", DriverVersion::new(3, 0, 0), V3));
-        let e = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap_err();
+        let e = d
+            .connect(&url, &ConnectProps::user("app", "pw"))
+            .unwrap_err();
         assert!(matches!(e, DkError::Db(DbError::Protocol(_))), "{e}");
     }
 
@@ -336,7 +345,9 @@ mod tests {
         db.with_auth(|a| a.set_accepted_methods(&[AuthMethod::Token]));
         // A password-only driver fails at step 6.
         let d = driver(&net, DriverImage::new("d", DriverVersion::new(1, 0, 0), V1));
-        let e = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap_err();
+        let e = d
+            .connect(&url, &ConnectProps::user("app", "pw"))
+            .unwrap_err();
         assert!(matches!(e, DkError::Db(DbError::Auth(_))), "{e}");
         // A kerberos-capable v3 driver succeeds.
         let mut img = DriverImage::new("d3", DriverVersion::new(3, 0, 0), V3);
@@ -361,7 +372,7 @@ mod tests {
     }
 
     #[test]
-    fn preconfigured_target_ignores_url_host(){
+    fn preconfigured_target_ignores_url_host() {
         let (net, _db, _url) = setup(&[V1]);
         let mut img = DriverImage::new("dbmaster-driver", DriverVersion::new(1, 0, 0), V1);
         img.preconfigured_target = Some("db1:5432".into());
@@ -442,7 +453,9 @@ mod tests {
         let (net, _db, url) = setup(&[V1]);
         net.with_faults(|f| f.take_down("db1"));
         let d = driver(&net, DriverImage::new("d", DriverVersion::new(1, 0, 0), V1));
-        let e = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap_err();
+        let e = d
+            .connect(&url, &ConnectProps::user("app", "pw"))
+            .unwrap_err();
         assert!(matches!(e, DkError::Db(DbError::Session(_))));
     }
 }

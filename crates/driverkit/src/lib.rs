@@ -35,7 +35,7 @@ pub use api::{ConnectProps, Connection, Driver};
 pub use error::{DkError, DkResult};
 pub use interpreted::{interpret_direct, InterpretedDriver};
 pub use legacy::{legacy_driver, legacy_image};
-pub use pool::{ConnectionPool, PooledConnection, PoolStats};
+pub use pool::{ConnectionPool, PoolStats, PooledConnection};
 pub use registry::{DriverRegistry, Namespace, NamespaceId};
 pub use url::{DbUrl, UrlScheme};
 pub use vm::{DriverFactory, DriverVm};

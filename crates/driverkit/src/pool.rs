@@ -177,7 +177,11 @@ impl Connection for PooledConnection {
         self.inner()?.execute(sql)
     }
 
-    fn execute_params(&mut self, sql: &str, params: &minidb::Params) -> DkResult<minidb::QueryResult> {
+    fn execute_params(
+        &mut self,
+        sql: &str,
+        params: &minidb::Params,
+    ) -> DkResult<minidb::QueryResult> {
         self.inner()?.execute_params(sql, params)
     }
 
@@ -194,7 +198,10 @@ impl Connection for PooledConnection {
     }
 
     fn in_transaction(&self) -> bool {
-        self.conn.as_ref().map(|c| c.in_transaction()).unwrap_or(false)
+        self.conn
+            .as_ref()
+            .map(|c| c.in_transaction())
+            .unwrap_or(false)
     }
 
     fn is_open(&self) -> bool {
@@ -261,7 +268,13 @@ mod tests {
         c.close().unwrap();
         assert_eq!(p.idle_len(), 1);
         let _c2 = p.checkout().unwrap();
-        assert_eq!(p.stats(), PoolStats { created: 1, reused: 1 });
+        assert_eq!(
+            p.stats(),
+            PoolStats {
+                created: 1,
+                reused: 1
+            }
+        );
         assert_eq!(p.live_len(), 1);
     }
 

@@ -142,7 +142,12 @@ impl DriverRegistry {
 
     /// Looks up a namespace.
     pub fn get(&self, id: NamespaceId) -> Option<Namespace> {
-        self.inner.lock().spaces.iter().find(|n| n.id == id).cloned()
+        self.inner
+            .lock()
+            .spaces
+            .iter()
+            .find(|n| n.id == id)
+            .cloned()
     }
 
     /// Replaces the lease of a namespace (after a RENEW offer).
@@ -244,8 +249,20 @@ mod tests {
     fn load_activate_switch_retire_unload() {
         let reg = DriverRegistry::new();
         assert!(reg.is_empty());
-        let a = reg.load(Arc::new(FakeDriver("a")), image("a"), DriverId(1), lease(), Vec::new());
-        let b = reg.load(Arc::new(FakeDriver("b")), image("b"), DriverId(2), lease(), Vec::new());
+        let a = reg.load(
+            Arc::new(FakeDriver("a")),
+            image("a"),
+            DriverId(1),
+            lease(),
+            Vec::new(),
+        );
+        let b = reg.load(
+            Arc::new(FakeDriver("b")),
+            image("b"),
+            DriverId(2),
+            lease(),
+            Vec::new(),
+        );
         assert_eq!(reg.len(), 2);
         assert!(reg.active().is_none());
 
@@ -268,7 +285,13 @@ mod tests {
     #[test]
     fn retire_active_clears_active() {
         let reg = DriverRegistry::new();
-        let a = reg.load(Arc::new(FakeDriver("a")), image("a"), DriverId(1), lease(), Vec::new());
+        let a = reg.load(
+            Arc::new(FakeDriver("a")),
+            image("a"),
+            DriverId(1),
+            lease(),
+            Vec::new(),
+        );
         reg.activate(a).unwrap();
         reg.retire(a);
         assert!(reg.active().is_none());
@@ -279,7 +302,13 @@ mod tests {
     #[test]
     fn set_lease_updates() {
         let reg = DriverRegistry::new();
-        let a = reg.load(Arc::new(FakeDriver("a")), image("a"), DriverId(1), lease(), Vec::new());
+        let a = reg.load(
+            Arc::new(FakeDriver("a")),
+            image("a"),
+            DriverId(1),
+            lease(),
+            Vec::new(),
+        );
         let newer = Lease::grant(
             DriverId(1),
             500,

@@ -93,10 +93,10 @@ impl FromStr for DbUrl {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = |why: &str| DkError::BadUrl(format!("{s:?}: {why}"));
-        let rest = s.strip_prefix("rdbc:").ok_or_else(|| bad("missing rdbc: prefix"))?;
-        let (scheme_str, rest) = rest
-            .split_once("://")
-            .ok_or_else(|| bad("missing ://"))?;
+        let rest = s
+            .strip_prefix("rdbc:")
+            .ok_or_else(|| bad("missing rdbc: prefix"))?;
+        let (scheme_str, rest) = rest.split_once("://").ok_or_else(|| bad("missing ://"))?;
         let scheme = match scheme_str {
             "minidb" => UrlScheme::MiniDb,
             "cluster" => UrlScheme::Cluster,
@@ -174,10 +174,7 @@ mod tests {
             "rdbc:minidb://db1:5432/orders".parse().unwrap()
         );
         assert_eq!(
-            DbUrl::cluster(
-                vec![Addr::new("c1", 1), Addr::new("c2", 1)],
-                "orders"
-            ),
+            DbUrl::cluster(vec![Addr::new("c1", 1), Addr::new("c2", 1)], "orders"),
             "rdbc:cluster://c1:1,c2:1/orders".parse().unwrap()
         );
     }

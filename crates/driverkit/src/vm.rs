@@ -87,7 +87,11 @@ impl DriverVm {
     ///
     /// * [`DkError::Drv`] — malformed or corrupted container.
     /// * [`DkError::Unsupported`] — wrong API or missing flavor factory.
-    pub fn load(&self, format: BinaryFormat, bytes: Bytes) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
+    pub fn load(
+        &self,
+        format: BinaryFormat,
+        bytes: Bytes,
+    ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
         let image = unpack_driver(format, bytes)?;
         if image.api_name != self.host_api {
             return Err(DkError::Unsupported(format!(

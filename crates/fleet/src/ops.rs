@@ -54,7 +54,7 @@ impl OpStep {
     /// Nominal duration in milliseconds of simulated operator time.
     pub fn duration_ms(self) -> u64 {
         match self {
-            OpStep::DownloadDriver => 300_000,       // find + fetch the right package
+            OpStep::DownloadDriver => 300_000, // find + fetch the right package
             OpStep::InstallDriver => 180_000,
             OpStep::ConfigureApp => 300_000,
             OpStep::StartAppLoadDriver => 60_000,

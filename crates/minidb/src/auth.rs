@@ -92,9 +92,13 @@ impl AuthStore {
         AuthStore {
             users,
             grants: HashMap::new(),
-            accepted: [AuthMethod::Password, AuthMethod::Challenge, AuthMethod::Token]
-                .into_iter()
-                .collect(),
+            accepted: [
+                AuthMethod::Password,
+                AuthMethod::Challenge,
+                AuthMethod::Token,
+            ]
+            .into_iter()
+            .collect(),
             realm_secret: "minidb-realm".to_string(),
         }
     }
@@ -348,7 +352,11 @@ mod tests {
 
     #[test]
     fn auth_method_codes_roundtrip() {
-        for m in [AuthMethod::Password, AuthMethod::Challenge, AuthMethod::Token] {
+        for m in [
+            AuthMethod::Password,
+            AuthMethod::Challenge,
+            AuthMethod::Token,
+        ] {
             assert_eq!(AuthMethod::from_code(m.code()).unwrap(), m);
         }
         assert!(AuthMethod::from_code(9).is_err());

@@ -242,8 +242,7 @@ impl MiniDb {
                             .map(QueryResult::Rows);
                     }
                 }
-                exec_select(&inner.catalog, &session.temp, s, params, now_ms)
-                    .map(QueryResult::Rows)
+                exec_select(&inner.catalog, &session.temp, s, params, now_ms).map(QueryResult::Rows)
             }
             other => {
                 // DML/DDL. Temporary-table mutations bypass the undo log.
@@ -253,7 +252,11 @@ impl MiniDb {
                     | Statement::Delete { table, .. } => session.temp.has_table(table),
                     _ => false,
                 };
-                let mut undo = if is_temp_target { None } else { session.undo.take() };
+                let mut undo = if is_temp_target {
+                    None
+                } else {
+                    session.undo.take()
+                };
                 let result = execute_statement(
                     &mut inner.catalog,
                     &mut session.temp,
@@ -380,11 +383,8 @@ mod tests {
     fn db() -> MiniDb {
         let db = MiniDb::new("testdb");
         let mut s = db.admin_session();
-        db.exec(
-            &mut s,
-            "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)",
-        )
-        .unwrap();
+        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR)")
+            .unwrap();
         db.exec(&mut s, "INSERT INTO t VALUES (1, 'one'), (2, 'two')")
             .unwrap();
         db
@@ -395,8 +395,10 @@ mod tests {
         let db = db();
         let mut s = db.admin_session();
         db.exec(&mut s, "BEGIN").unwrap();
-        db.exec(&mut s, "INSERT INTO t VALUES (3, 'three')").unwrap();
-        db.exec(&mut s, "UPDATE t SET v = 'ONE' WHERE id = 1").unwrap();
+        db.exec(&mut s, "INSERT INTO t VALUES (3, 'three')")
+            .unwrap();
+        db.exec(&mut s, "UPDATE t SET v = 'ONE' WHERE id = 1")
+            .unwrap();
         assert!(s.in_transaction());
         db.exec(&mut s, "ROLLBACK").unwrap();
         assert!(!s.in_transaction());
@@ -429,7 +431,8 @@ mod tests {
     fn grants_enforced_for_non_admin() {
         let db = db();
         let mut admin = db.admin_session();
-        db.exec(&mut admin, "CREATE USER bob PASSWORD 'pw'").unwrap();
+        db.exec(&mut admin, "CREATE USER bob PASSWORD 'pw'")
+            .unwrap();
         db.set_enforce_grants(true);
         let mut bob = db.session("bob").unwrap();
         assert!(matches!(
@@ -444,10 +447,13 @@ mod tests {
         db.exec(&mut admin, "REVOKE SELECT ON t FROM bob").unwrap();
         assert!(db.exec(&mut bob, "SELECT * FROM t").is_err());
         // Non-admins may always use temp tables.
-        db.exec(&mut bob, "CREATE TEMP TABLE mine (a INTEGER)").unwrap();
+        db.exec(&mut bob, "CREATE TEMP TABLE mine (a INTEGER)")
+            .unwrap();
         db.exec(&mut bob, "INSERT INTO mine VALUES (1)").unwrap();
         // But not create persistent ones.
-        assert!(db.exec(&mut bob, "CREATE TABLE theirs (a INTEGER)").is_err());
+        assert!(db
+            .exec(&mut bob, "CREATE TABLE theirs (a INTEGER)")
+            .is_err());
         // And not manage users.
         assert!(db.exec(&mut bob, "CREATE USER eve PASSWORD 'x'").is_err());
     }
@@ -463,7 +469,8 @@ mod tests {
         let db = db();
         let mut a = db.admin_session();
         let mut b = db.admin_session();
-        db.exec(&mut a, "CREATE TEMP TABLE scratch (x INTEGER)").unwrap();
+        db.exec(&mut a, "CREATE TEMP TABLE scratch (x INTEGER)")
+            .unwrap();
         db.exec(&mut a, "INSERT INTO scratch VALUES (1)").unwrap();
         assert!(db.exec(&mut b, "SELECT * FROM scratch").is_err());
     }
@@ -472,7 +479,8 @@ mod tests {
     fn temp_table_mutations_survive_rollback() {
         let db = db();
         let mut s = db.admin_session();
-        db.exec(&mut s, "CREATE TEMP TABLE scratch (x INTEGER)").unwrap();
+        db.exec(&mut s, "CREATE TEMP TABLE scratch (x INTEGER)")
+            .unwrap();
         db.exec(&mut s, "BEGIN").unwrap();
         db.exec(&mut s, "INSERT INTO scratch VALUES (1)").unwrap();
         db.exec(&mut s, "INSERT INTO t VALUES (5, 'five')").unwrap();

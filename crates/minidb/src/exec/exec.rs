@@ -69,9 +69,7 @@ impl QueryResult {
     pub fn affected(self) -> DbResult<u64> {
         match self {
             QueryResult::Affected(n) => Ok(n),
-            QueryResult::Rows(_) => {
-                Err(DbError::Internal("statement produced a row set".into()))
-            }
+            QueryResult::Rows(_) => Err(DbError::Internal("statement produced a row set".into())),
         }
     }
 }
@@ -159,16 +157,36 @@ pub fn execute_statement(
             table,
             columns,
             rows,
-        } => exec_insert(catalog, temp, table, columns.as_deref(), rows, params, now_ms, undo),
+        } => exec_insert(
+            catalog,
+            temp,
+            table,
+            columns.as_deref(),
+            rows,
+            params,
+            now_ms,
+            undo,
+        ),
         Statement::Update {
             table,
             sets,
             filter,
-        } => exec_update(catalog, temp, table, sets, filter.as_ref(), params, now_ms, undo),
+        } => exec_update(
+            catalog,
+            temp,
+            table,
+            sets,
+            filter.as_ref(),
+            params,
+            now_ms,
+            undo,
+        ),
         Statement::Delete { table, filter } => {
             exec_delete(catalog, temp, table, filter.as_ref(), params, now_ms, undo)
         }
-        Statement::Select(s) => exec_select(catalog, temp, s, params, now_ms).map(QueryResult::Rows),
+        Statement::Select(s) => {
+            exec_select(catalog, temp, s, params, now_ms).map(QueryResult::Rows)
+        }
         other => Err(DbError::Internal(format!(
             "statement not handled by executor: {other:?}"
         ))),
@@ -446,9 +464,7 @@ pub fn exec_select(
         let mut names = Vec::new();
         for item in &s.items {
             match item {
-                SelectItem::Star => {
-                    return Err(DbError::Parse("SELECT * requires FROM".into()))
-                }
+                SelectItem::Star => return Err(DbError::Parse("SELECT * requires FROM".into())),
                 SelectItem::Expr { expr, .. } => {
                     row.push(ctx.eval(expr)?);
                     names.push(item_name(item, None));
@@ -498,7 +514,9 @@ pub fn exec_select(
                     "non-aggregate expression in aggregate query".into(),
                 ));
             };
-            row.push(eval_aggregate(name, args, *star, schema, &base, params, now_ms)?);
+            row.push(eval_aggregate(
+                name, args, *star, schema, &base, params, now_ms,
+            )?);
             names.push(item_name(item, Some(schema)));
         }
         return Ok(RowSet {
@@ -621,11 +639,12 @@ fn eval_aggregate(
             }
             let mut total: i64 = 0;
             for v in &vals {
-                total = total
-                    .checked_add(v.as_i64().ok_or_else(|| {
-                        DbError::Type(format!("{name}() over non-numeric {v}"))
-                    })?)
-                    .ok_or_else(|| DbError::Type("aggregate overflow".into()))?;
+                total =
+                    total
+                        .checked_add(v.as_i64().ok_or_else(|| {
+                            DbError::Type(format!("{name}() over non-numeric {v}"))
+                        })?)
+                        .ok_or_else(|| DbError::Type("aggregate overflow".into()))?;
             }
             if name == "sum" {
                 Ok(Value::BigInt(total))
@@ -777,20 +796,20 @@ mod tests {
         .affected()
         .unwrap();
         assert_eq!(n, 2);
-        let rs = run(
+        let rs = run(&mut c, &mut t, "SELECT sum(version_major) FROM drivers", &p)
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::BigInt(3 + 13 + 14));
+        let n = run(
             &mut c,
             &mut t,
-            "SELECT sum(version_major) FROM drivers",
+            "DELETE FROM drivers WHERE driver_id = 3",
             &p,
         )
         .unwrap()
-        .rows()
+        .affected()
         .unwrap();
-        assert_eq!(rs.rows[0][0], Value::BigInt(3 + 13 + 14));
-        let n = run(&mut c, &mut t, "DELETE FROM drivers WHERE driver_id = 3", &p)
-            .unwrap()
-            .affected()
-            .unwrap();
         assert_eq!(n, 1);
     }
 
@@ -832,10 +851,7 @@ mod tests {
         .unwrap()
         .rows()
         .unwrap();
-        assert_eq!(
-            rs.rows[0],
-            vec![Value::BigInt(0), Value::Null, Value::Null]
-        );
+        assert_eq!(rs.rows[0], vec![Value::BigInt(0), Value::Null, Value::Null]);
     }
 
     #[test]

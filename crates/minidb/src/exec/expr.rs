@@ -67,9 +67,7 @@ impl<'a> EvalCtx<'a> {
 
     fn column(&self, name: &str) -> DbResult<Value> {
         let (Some(schema), Some(row)) = (self.schema, self.row) else {
-            return Err(DbError::NoSuchColumn(format!(
-                "{name} (no table in scope)"
-            )));
+            return Err(DbError::NoSuchColumn(format!("{name} (no table in scope)")));
         };
         // Qualified references resolve by their last segment.
         let base = name.rsplit('.').next().expect("rsplit yields at least one");
@@ -345,8 +343,8 @@ fn truth_or(l: Value, r: Value) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse;
     use crate::sql::ast::{SelectItem, Statement};
+    use crate::sql::parser::parse;
 
     fn eval_scalar(sql: &str, params: &Params) -> DbResult<Value> {
         let Statement::Select(s) = parse(&format!("SELECT {sql}"))? else {
@@ -370,10 +368,7 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         let p = Params::new();
-        assert_eq!(
-            eval_scalar("NULL AND TRUE", &p).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_scalar("NULL AND TRUE", &p).unwrap(), Value::Null);
         assert_eq!(
             eval_scalar("NULL AND FALSE", &p).unwrap(),
             Value::Boolean(false)
@@ -431,10 +426,7 @@ mod tests {
             eval_scalar("2 IN (1, 2, 3)", &p).unwrap(),
             Value::Boolean(true)
         );
-        assert_eq!(
-            eval_scalar("4 IN (1, NULL)", &p).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_scalar("4 IN (1, NULL)", &p).unwrap(), Value::Null);
         assert_eq!(
             eval_scalar("4 NOT IN (1, 2)", &p).unwrap(),
             Value::Boolean(true)
@@ -480,11 +472,8 @@ mod tests {
     fn column_resolution_uses_last_segment() {
         use crate::schema::{Column, TableSchema};
         use crate::value::DataType;
-        let schema = TableSchema::new(
-            "drivers",
-            vec![Column::new("api_name", DataType::Varchar)],
-        )
-        .unwrap();
+        let schema =
+            TableSchema::new("drivers", vec![Column::new("api_name", DataType::Varchar)]).unwrap();
         let row = vec![Value::str("JDBC")];
         let p = Params::new();
         let ctx = EvalCtx::for_row(&schema, &row, &p, 0);

@@ -1,5 +1,6 @@
 //! Execution engine: expression evaluation and statement execution.
 
+#[allow(clippy::module_inception)]
 pub mod exec;
 pub mod expr;
 

@@ -69,7 +69,9 @@ impl Column {
 
     /// Foreign-key target, if declared.
     pub fn references_target(&self) -> Option<(&str, &str)> {
-        self.references.as_ref().map(|(t, c)| (t.as_str(), c.as_str()))
+        self.references
+            .as_ref()
+            .map(|(t, c)| (t.as_str(), c.as_str()))
     }
 }
 
@@ -241,7 +243,11 @@ mod tests {
             .validate_row(vec![Value::Integer(1), Value::str("JDBC")])
             .is_err());
         assert!(s
-            .validate_row(vec![Value::str("x"), Value::str("JDBC"), Value::Blob(vec![])])
+            .validate_row(vec![
+                Value::str("x"),
+                Value::str("JDBC"),
+                Value::Blob(vec![])
+            ])
             .is_err());
         let ok = s
             .validate_row(vec![

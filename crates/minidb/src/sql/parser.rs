@@ -102,7 +102,9 @@ impl Parser {
     fn ident(&mut self) -> DbResult<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -119,7 +121,9 @@ impl Parser {
     fn string_lit(&mut self) -> DbResult<String> {
         match self.next()? {
             Token::StringLit(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected string literal, found {other}"))),
+            other => Err(DbError::Parse(format!(
+                "expected string literal, found {other}"
+            ))),
         }
     }
 
@@ -694,7 +698,12 @@ mod tests {
                lease_time_in_ms BIGINT)",
         )
         .unwrap();
-        let Statement::CreateTable { name, columns, temporary } = stmt else {
+        let Statement::CreateTable {
+            name,
+            columns,
+            temporary,
+        } = stmt
+        else {
             panic!()
         };
         assert_eq!(name, "driver_permission");
@@ -712,16 +721,18 @@ mod tests {
         let stmt = parse("CREATE TEMPORARY TABLE scratch (a INTEGER)").unwrap();
         assert!(matches!(
             stmt,
-            Statement::CreateTable { temporary: true, .. }
+            Statement::CreateTable {
+                temporary: true,
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_insert_multi_row_with_blob() {
-        let stmt = parse(
-            "INSERT INTO drivers (driver_id, binary_code) VALUES (1, X'00ff'), (2, $code)",
-        )
-        .unwrap();
+        let stmt =
+            parse("INSERT INTO drivers (driver_id, binary_code) VALUES (1, X'00ff'), (2, $code)")
+                .unwrap();
         let Statement::Insert { rows, columns, .. } = stmt else {
             panic!()
         };
@@ -775,10 +786,10 @@ mod tests {
 
     #[test]
     fn parses_order_by_limit() {
-        let Statement::Select(s) = parse(
-            "SELECT * FROM drivers ORDER BY driver_version_major DESC, driver_id LIMIT 1",
-        )
-        .unwrap() else {
+        let Statement::Select(s) =
+            parse("SELECT * FROM drivers ORDER BY driver_version_major DESC, driver_id LIMIT 1")
+                .unwrap()
+        else {
             panic!()
         };
         assert_eq!(s.order_by.len(), 2);
@@ -805,7 +816,12 @@ mod tests {
         let SelectItem::Expr { expr, .. } = &s.items[0] else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = expr else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = expr
+        else {
             panic!("expected Add at top: {expr:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));

@@ -155,22 +155,20 @@ pub fn lex(sql: &str) -> DbResult<Vec<Token>> {
                 out.push(Token::Ne);
                 i += 2;
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('>') => {
-                        out.push(Token::Ne);
-                        i += 2;
-                    }
-                    Some('=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
                 }
-            }
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     out.push(Token::Ge);

@@ -276,10 +276,9 @@ impl Catalog {
         let t = self
             .table(table)
             .map_err(|_| DbError::ForeignKey(format!("referenced table {table} missing")))?;
-        let idx = t
-            .schema()
-            .col_index(column)
-            .map_err(|_| DbError::ForeignKey(format!("referenced column {table}.{column} missing")))?;
+        let idx = t.schema().col_index(column).map_err(|_| {
+            DbError::ForeignKey(format!("referenced column {table}.{column} missing"))
+        })?;
         if t.contains_value(idx, value) {
             Ok(())
         } else {
@@ -299,14 +298,15 @@ impl Catalog {
         for t in self.tables.values() {
             for (ci, c) in t.schema().columns().iter().enumerate() {
                 if let Some((rt, rc)) = c.references_target() {
-                    if rt.eq_ignore_ascii_case(table) && rc.eq_ignore_ascii_case(column) {
-                        if t.contains_value(ci, value) {
-                            return Err(DbError::ForeignKey(format!(
-                                "{}.{} still references {table}.{column} = {value}",
-                                t.schema().name(),
-                                c.name()
-                            )));
-                        }
+                    if rt.eq_ignore_ascii_case(table)
+                        && rc.eq_ignore_ascii_case(column)
+                        && t.contains_value(ci, value)
+                    {
+                        return Err(DbError::ForeignKey(format!(
+                            "{}.{} still references {table}.{column} = {value}",
+                            t.schema().name(),
+                            c.name()
+                        )));
                     }
                 }
             }
@@ -353,11 +353,7 @@ mod tests {
     #[test]
     fn insert_get_delete() {
         let mut t = Table::new(
-            TableSchema::new(
-                "t",
-                vec![Column::new("a", DataType::Integer).primary_key()],
-            )
-            .unwrap(),
+            TableSchema::new("t", vec![Column::new("a", DataType::Integer).primary_key()]).unwrap(),
         );
         let id = t.insert(vec![Value::Integer(1)]).unwrap();
         assert_eq!(t.get(id).unwrap()[0], Value::Integer(1));
@@ -371,11 +367,7 @@ mod tests {
     #[test]
     fn primary_key_uniqueness() {
         let mut t = Table::new(
-            TableSchema::new(
-                "t",
-                vec![Column::new("a", DataType::Integer).primary_key()],
-            )
-            .unwrap(),
+            TableSchema::new("t", vec![Column::new("a", DataType::Integer).primary_key()]).unwrap(),
         );
         t.insert(vec![Value::Integer(1)]).unwrap();
         assert!(matches!(
@@ -393,11 +385,13 @@ mod tests {
     #[test]
     fn undo_reverses_mutations() {
         let mut c = Catalog::new();
-        c.create_table(
-            TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap(),
-        )
-        .unwrap();
-        let id = c.table_mut("t").unwrap().insert(vec![Value::Integer(1)]).unwrap();
+        c.create_table(TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap())
+            .unwrap();
+        let id = c
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Integer(1)])
+            .unwrap();
         let old = c
             .table_mut("t")
             .unwrap()
@@ -438,7 +432,8 @@ mod tests {
             .check_reference("drivers", "driver_id", &Value::Integer(9))
             .is_err());
         // NULL reference: allowed.
-        c.check_reference("drivers", "driver_id", &Value::Null).unwrap();
+        c.check_reference("drivers", "driver_id", &Value::Null)
+            .unwrap();
 
         // With a referencing permission row, parent delete is restricted.
         c.table_mut("driver_permission")
@@ -462,9 +457,8 @@ mod tests {
 
     #[test]
     fn restore_bumps_next_row_id() {
-        let mut t = Table::new(
-            TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap(),
-        );
+        let mut t =
+            Table::new(TableSchema::new("t", vec![Column::new("a", DataType::Integer)]).unwrap());
         t.restore(10, vec![Value::Integer(1)]);
         let id = t.insert(vec![Value::Integer(2)]).unwrap();
         assert!(id > 10);

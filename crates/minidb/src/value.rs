@@ -121,19 +121,22 @@ impl Value {
     /// Checks whether this value may be stored in a column of type `ty`.
     /// NULL conforms to every type; integers conform to all numeric types.
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Integer(_) | Value::BigInt(_), DataType::Integer | DataType::BigInt) => true,
-            (
-                Value::Integer(_) | Value::BigInt(_) | Value::Timestamp(_),
-                DataType::Timestamp,
-            ) => true,
-            (Value::Timestamp(_), DataType::BigInt) => true,
-            (Value::Varchar(_), DataType::Varchar) => true,
-            (Value::Blob(_), DataType::Blob) => true,
-            (Value::Boolean(_), DataType::Boolean) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (
+                    Value::Integer(_) | Value::BigInt(_),
+                    DataType::Integer | DataType::BigInt
+                )
+                | (
+                    Value::Integer(_) | Value::BigInt(_) | Value::Timestamp(_),
+                    DataType::Timestamp
+                )
+                | (Value::Timestamp(_), DataType::BigInt)
+                | (Value::Varchar(_), DataType::Varchar)
+                | (Value::Blob(_), DataType::Blob)
+                | (Value::Boolean(_), DataType::Boolean)
+        )
     }
 
     /// Coerces this value to the storage representation for column type

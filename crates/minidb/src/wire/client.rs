@@ -186,7 +186,9 @@ impl RawClient {
         })? {
             ServerMsg::Pong => Ok(()),
             ServerMsg::Error { code, msg } => Err(crate::wire::proto::err_from(code, msg)),
-            other => Err(DbError::Protocol(format!("unexpected ping reply {other:?}"))),
+            other => Err(DbError::Protocol(format!(
+                "unexpected ping reply {other:?}"
+            ))),
         }
     }
 

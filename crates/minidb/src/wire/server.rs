@@ -251,8 +251,7 @@ impl DbServer {
 
 impl Service for DbServer {
     fn call(&self, _from: &Addr, request: Bytes) -> Result<Bytes, NetError> {
-        let msg = ClientMsg::decode(request)
-            .map_err(|e| NetError::Protocol(e.to_string()))?;
+        let msg = ClientMsg::decode(request).map_err(|e| NetError::Protocol(e.to_string()))?;
         Ok(self.handle(msg).encode())
     }
 }
@@ -295,7 +294,9 @@ mod tests {
             session: sid,
             sql: "SELECT a FROM t".into(),
         });
-        let ServerMsg::Rows(rs) = r else { panic!("{r:?}") };
+        let ServerMsg::Rows(rs) = r else {
+            panic!("{r:?}")
+        };
         assert_eq!(rs.rows[0][0], Value::Integer(7));
         assert_eq!(srv.session_count(), 1);
         assert_eq!(
@@ -327,7 +328,9 @@ mod tests {
             user: "admin".into(),
             auth: ClientAuth::Password("admin".into()),
         });
-        let ServerMsg::Error { msg, .. } = r else { panic!() };
+        let ServerMsg::Error { msg, .. } = r else {
+            panic!()
+        };
         assert!(msg.contains("protocol version 3"));
     }
 
@@ -439,7 +442,9 @@ mod tests {
             user: "bob".into(),
             auth: ClientAuth::Password("pw".into()),
         });
-        let ServerMsg::Error { msg, .. } = r else { panic!() };
+        let ServerMsg::Error { msg, .. } = r else {
+            panic!()
+        };
         assert!(msg.contains("stronger authentication"));
     }
 }

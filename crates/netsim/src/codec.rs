@@ -204,7 +204,10 @@ mod tests {
         assert_eq!(get_u64(&mut r, "d").unwrap(), 1 << 40);
         assert_eq!(get_i64(&mut r, "e").unwrap(), -42);
         assert_eq!(get_str(&mut r, "f").unwrap(), "héllo");
-        assert_eq!(get_bytes(&mut r, "g").unwrap(), Bytes::from_static(&[1, 2, 3]));
+        assert_eq!(
+            get_bytes(&mut r, "g").unwrap(),
+            Bytes::from_static(&[1, 2, 3])
+        );
         assert_eq!(get_opt_str(&mut r, "h").unwrap(), None);
         assert_eq!(get_opt_str(&mut r, "i").unwrap(), Some("x".to_string()));
         assert_eq!(get_opt_i64(&mut r, "j").unwrap(), Some(-1));

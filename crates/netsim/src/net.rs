@@ -261,7 +261,11 @@ impl Network {
     pub fn broadcast(&self, from: &Addr, port: u16, request: Bytes) -> Vec<(Addr, Bytes)> {
         let targets: Vec<Addr> = {
             let services = self.inner.services.read();
-            services.keys().filter(|a| a.port() == port).cloned().collect()
+            services
+                .keys()
+                .filter(|a| a.port() == port)
+                .cloned()
+                .collect()
         };
         let mut replies = Vec::new();
         for to in targets {
@@ -373,10 +377,16 @@ mod tests {
         net.bind(Addr::new("db", 1), echo()).unwrap();
         net.bind(Addr::new("db", 2), echo()).unwrap();
         net.with_faults(|f| f.take_down("db"));
-        assert!(net.request(&client(), &Addr::new("db", 1), Bytes::new()).is_err());
-        assert!(net.request(&client(), &Addr::new("db", 2), Bytes::new()).is_err());
+        assert!(net
+            .request(&client(), &Addr::new("db", 1), Bytes::new())
+            .is_err());
+        assert!(net
+            .request(&client(), &Addr::new("db", 2), Bytes::new())
+            .is_err());
         net.with_faults(|f| f.restore("db"));
-        assert!(net.request(&client(), &Addr::new("db", 1), Bytes::new()).is_ok());
+        assert!(net
+            .request(&client(), &Addr::new("db", 1), Bytes::new())
+            .is_ok());
     }
 
     #[test]
@@ -432,7 +442,9 @@ mod tests {
     fn pipes_require_service_support() {
         let net = Network::new();
         net.bind(Addr::new("srv", 1), echo()).unwrap();
-        let e = net.connect_pipe(&client(), &Addr::new("srv", 1)).unwrap_err();
+        let e = net
+            .connect_pipe(&client(), &Addr::new("srv", 1))
+            .unwrap_err();
         assert!(matches!(e, NetError::PipesUnsupported(_)));
     }
 

@@ -179,10 +179,7 @@ mod tests {
         c.send(Bytes::from_static(b"last words")).unwrap();
         c.close();
         // The already-queued message is still deliverable.
-        assert_eq!(
-            s.rx.try_recv().unwrap(),
-            Bytes::from_static(b"last words")
-        );
+        assert_eq!(s.rx.try_recv().unwrap(), Bytes::from_static(b"last words"));
     }
 
     #[test]

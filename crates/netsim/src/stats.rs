@@ -22,6 +22,11 @@ pub struct AddrStats {
     pub bytes_out: u64,
     /// Number of requests that failed (fault injection, unbound, refused).
     pub failures: u64,
+    /// Logical payload bytes that did *not* travel to this address because
+    /// the requester reused content-addressed local data (depot
+    /// revalidations and chunk deltas). Reported by upper layers via
+    /// [`NetStats::record_saved`].
+    pub bytes_saved: u64,
 }
 
 /// Shared traffic statistics for a [`crate::Network`].
@@ -53,6 +58,15 @@ impl NetStats {
         m.entry(to.clone()).or_default().failures += 1;
     }
 
+    /// Records `saved` logical payload bytes that a depot-equipped client
+    /// avoided transferring from `to` (cache revalidation or chunk-delta
+    /// reuse). This is the distribution subsystem's bytes-saved ledger;
+    /// the network core never calls it itself.
+    pub fn record_saved(&self, to: &Addr, saved: usize) {
+        let mut m = self.inner.lock();
+        m.entry(to.clone()).or_default().bytes_saved += saved as u64;
+    }
+
     /// Counters for one destination address (zeroes if never contacted).
     pub fn for_addr(&self, addr: &Addr) -> AddrStats {
         self.inner.lock().get(addr).cloned().unwrap_or_default()
@@ -67,6 +81,7 @@ impl NetStats {
             t.bytes_in += s.bytes_in;
             t.bytes_out += s.bytes_out;
             t.failures += s.failures;
+            t.bytes_saved += s.bytes_saved;
         }
         t
     }
@@ -97,11 +112,13 @@ mod tests {
         s.record_request(&a, 20);
         s.record_response(&a, 5);
         s.record_failure(&a);
+        s.record_saved(&a, 7);
         let st = s.for_addr(&a);
         assert_eq!(st.requests, 2);
         assert_eq!(st.bytes_in, 30);
         assert_eq!(st.bytes_out, 5);
         assert_eq!(st.failures, 1);
+        assert_eq!(st.bytes_saved, 7);
     }
 
     #[test]

@@ -11,14 +11,17 @@ use parking_lot::Mutex;
 
 use netsim::{Addr, Clock, NetError, Pipe, Service};
 
+use drivolution_core::chunk::ChunkSet;
 use drivolution_core::matching::{self, MatchMode};
 use drivolution_core::pack::{pack_driver, unpack_driver};
-use drivolution_core::proto::{DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution_core::proto::{ChunkPlan, DrvMsg, DrvOffer, DrvRequest, RequestKind};
 use drivolution_core::transfer;
 use drivolution_core::{
-    Certificate, ClientIdentity, DriverId, DriverQuery, DriverRecord, DrvError, DrvNotice,
+    fnv1a64, Certificate, ClientIdentity, DriverId, DriverQuery, DriverRecord, DrvError, DrvNotice,
     DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey, TransferMethod,
+    DEFAULT_CHUNK_SIZE,
 };
+use drivolution_depot::ContentIndex;
 
 use crate::assemble::Assembler;
 use crate::license::LicenseManager;
@@ -60,6 +63,12 @@ pub struct ServerConfig {
     pub customize: bool,
     /// Free license seats when a dedicated channel breaks (§5.4.2).
     pub release_licenses_on_disconnect: bool,
+    /// Chunk size for the server's content-addressed depot index.
+    pub depot_chunk_size: u32,
+    /// Answer depot-equipped clients (requests carrying a `HAVE`
+    /// summary) with zero-transfer revalidations and chunked delta
+    /// offers. Clients without a depot are unaffected.
+    pub delta_offers: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +84,8 @@ impl Default for ServerConfig {
             signing: None,
             customize: false,
             release_licenses_on_disconnect: true,
+            depot_chunk_size: DEFAULT_CHUNK_SIZE,
+            delta_offers: true,
         }
     }
 }
@@ -94,6 +105,14 @@ pub struct ServerStats {
     pub files: u64,
     /// Total raw driver bytes served.
     pub file_bytes: u64,
+    /// Offers answered as zero-transfer depot revalidations.
+    pub revalidations: u64,
+    /// Offers answered with a chunked delta plan.
+    pub delta_offers: u64,
+    /// `CHUNK_REQUEST`s served.
+    pub chunk_requests: u64,
+    /// Raw chunk bytes served.
+    pub chunk_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -132,6 +151,9 @@ pub struct DrivolutionServer {
     hub: NotifyHub,
     staged: Mutex<HashMap<String, Staged>>,
     stage_counter: AtomicU64,
+    depot: ContentIndex,
+    mirrors: Mutex<Vec<String>>,
+    mirror_rr: AtomicU64,
     stats: Mutex<ServerStats>,
     hooks: Mutex<Vec<EventHook>>,
     /// When true, admin operations skip event hooks (used while applying
@@ -151,7 +173,15 @@ impl std::fmt::Debug for DrivolutionServer {
 impl DrivolutionServer {
     /// Creates a server over a store. `name` doubles as the certificate
     /// host for sealed transfers.
-    pub fn new(name: impl Into<String>, store: DriverStore, clock: Clock, config: ServerConfig) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        store: DriverStore,
+        clock: Clock,
+        mut config: ServerConfig,
+    ) -> Self {
+        // A zero chunk size would panic manifest construction on the
+        // first install; clamp like the client depot does.
+        config.depot_chunk_size = config.depot_chunk_size.max(1);
         let name = name.into();
         let cert = Certificate::issue(name.clone(), 1);
         DrivolutionServer {
@@ -165,6 +195,9 @@ impl DrivolutionServer {
             hub: NotifyHub::new(),
             staged: Mutex::new(HashMap::new()),
             stage_counter: AtomicU64::new(0),
+            depot: ContentIndex::new(),
+            mirrors: Mutex::new(Vec::new()),
+            mirror_rr: AtomicU64::new(0),
             stats: Mutex::new(ServerStats::default()),
             hooks: Mutex::new(Vec::new()),
             applying_replica: std::sync::atomic::AtomicBool::new(false),
@@ -207,6 +240,33 @@ impl DrivolutionServer {
         *self.stats.lock()
     }
 
+    /// The server's content-addressed depot index (installed driver
+    /// images and their chunks).
+    pub fn depot(&self) -> &ContentIndex {
+        &self.depot
+    }
+
+    /// The chunk size the server's depot index uses.
+    pub fn depot_chunk_size(&self) -> u32 {
+        self.config.depot_chunk_size
+    }
+
+    /// Registers a depot mirror (`host:port`). Chunked offers rotate
+    /// through registered mirrors round-robin, redirecting bulk transfer
+    /// off the matchmaking/lease path.
+    pub fn register_mirror(&self, location: impl Into<String>) {
+        self.mirrors.lock().push(location.into());
+    }
+
+    fn next_mirror(&self) -> Option<String> {
+        let mirrors = self.mirrors.lock();
+        if mirrors.is_empty() {
+            return None;
+        }
+        let i = self.mirror_rr.fetch_add(1, Ordering::Relaxed) as usize % mirrors.len();
+        Some(mirrors[i].clone())
+    }
+
     /// Subscribes to admin events (replication hook).
     pub fn subscribe(&self, hook: EventHook) {
         self.hooks.lock().push(hook);
@@ -231,6 +291,8 @@ impl DrivolutionServer {
     /// Store failures (duplicate id, schema violations).
     pub fn install_driver(&self, record: &DriverRecord) -> DrvResult<()> {
         self.store.add_driver(record)?;
+        self.depot
+            .insert(record.binary.clone(), self.config.depot_chunk_size);
         self.emit(AdminEvent::DriverAdded(record.clone()));
         Ok(())
     }
@@ -268,7 +330,11 @@ impl DrivolutionServer {
     pub fn apply_replicated(&self, event: &AdminEvent) -> DrvResult<()> {
         self.applying_replica.store(true, Ordering::SeqCst);
         let r = match event {
-            AdminEvent::DriverAdded(rec) => self.store.add_driver(rec),
+            AdminEvent::DriverAdded(rec) => {
+                self.depot
+                    .insert(rec.binary.clone(), self.config.depot_chunk_size);
+                self.store.add_driver(rec)
+            }
             AdminEvent::RuleAdded(rule) => self.store.add_permission(rule),
             AdminEvent::DriverExpired(id) => self
                 .store
@@ -426,12 +492,15 @@ impl DrivolutionServer {
         rule: Option<&PermissionRule>,
         req: &DrvRequest,
         same_driver: bool,
+        advertise_only: bool,
     ) -> DrvResult<DrvOffer> {
         let lease_ms = rule
             .and_then(|r| r.lease_time_ms)
             .map(|ms| ms.max(1) as u64)
             .unwrap_or(self.config.default_lease_ms);
-        let renew = rule.map(|r| r.renew_policy).unwrap_or(self.config.default_renew);
+        let renew = rule
+            .map(|r| r.renew_policy)
+            .unwrap_or(self.config.default_renew);
         let expiration = rule
             .map(|r| r.expiration_policy)
             .unwrap_or(self.config.default_expiration);
@@ -450,7 +519,43 @@ impl DrivolutionServer {
 
         let signature = self.config.signing.as_ref().map(|k| k.sign(&bytes));
         let size = bytes.len() as u64;
-        let location = if same_driver {
+        let content_digest = fnv1a64(&bytes);
+
+        // Depot-aware delivery (clients advertising a HAVE summary):
+        // exact cached content revalidates with zero transfer; content
+        // indexed in the server depot upgrades via a chunk delta when the
+        // client already holds some of its chunks. Everything else (and
+        // every depot-less client) takes the staged full-file path.
+        // Advertise-only discovers skip all of it: they grant nothing, so
+        // they must not move the depot counters or consume mirror
+        // round-robin slots.
+        let mut chunked: Option<ChunkPlan> = None;
+        let mut delivery_resolved = same_driver;
+        if !same_driver && !advertise_only {
+            if let Some(have) = &req.have {
+                if have.images.contains(&content_digest) {
+                    self.stats.lock().revalidations += 1;
+                    delivery_resolved = true;
+                } else if self.config.delta_offers
+                    && have.chunk_size == self.config.depot_chunk_size
+                    && !have.chunks.is_empty()
+                {
+                    if let Some(manifest) = self.depot.manifest(content_digest) {
+                        let missing = manifest.missing_given(&have.chunks);
+                        if missing.len() < manifest.chunk_count() {
+                            chunked = Some(ChunkPlan {
+                                manifest,
+                                missing,
+                                mirror: self.next_mirror(),
+                            });
+                            self.stats.lock().delta_offers += 1;
+                            delivery_resolved = true;
+                        }
+                    }
+                }
+            }
+        }
+        let location = if delivery_resolved {
             String::new()
         } else {
             self.stage(bytes, method)
@@ -478,10 +583,17 @@ impl DrivolutionServer {
             transfer_method: method,
             options,
             signature,
+            content_digest: Some(content_digest),
+            chunked,
         })
     }
 
-    fn handle_request(&self, from: &Addr, req: &DrvRequest, advertise_only: bool) -> DrvResult<DrvMsg> {
+    fn handle_request(
+        &self,
+        from: &Addr,
+        req: &DrvRequest,
+        advertise_only: bool,
+    ) -> DrvResult<DrvMsg> {
         if !self.serves(&req.database) {
             return Err(DrvError::InvalidDatabase(req.database.clone()));
         }
@@ -516,7 +628,13 @@ impl DrivolutionServer {
                 options: Vec::new(),
                 ..req.clone()
             };
-            let offer = self.offer_for(&enriched_record, rule.as_ref(), &plain_req, false)?;
+            let offer = self.offer_for(
+                &enriched_record,
+                rule.as_ref(),
+                &plain_req,
+                false,
+                advertise_only,
+            )?;
             return Ok(DrvMsg::Offer(offer));
         }
 
@@ -570,16 +688,15 @@ impl DrivolutionServer {
             self.store
                 .log_lease(&q.identity, record.id, now as i64, lease_ms as i64)?;
         }
-        let offer = self.offer_for(&record, rule.as_ref(), req, same_driver)?;
+        let offer = self.offer_for(&record, rule.as_ref(), req, same_driver, advertise_only)?;
         Ok(DrvMsg::Offer(offer))
     }
 
     fn handle_file_request(&self, location: &str, method: TransferMethod) -> DrvResult<DrvMsg> {
-        let staged = self
-            .staged
-            .lock()
-            .remove(location)
-            .ok_or_else(|| DrvError::TransferFailed(format!("unknown location {location:?}")))?;
+        let staged =
+            self.staged.lock().remove(location).ok_or_else(|| {
+                DrvError::TransferFailed(format!("unknown location {location:?}"))
+            })?;
         if method != staged.method {
             // Re-stage: the client asked with the wrong method; keep the
             // file available for a corrected request.
@@ -598,6 +715,27 @@ impl DrivolutionServer {
             st.file_bytes += raw_len;
         }
         Ok(DrvMsg::FileData { payload })
+    }
+
+    fn handle_chunk_request(&self, digests: &[u64], method: TransferMethod) -> DrvResult<DrvMsg> {
+        let method = method.resolve(self.config.default_transfer);
+        let mut chunks = Vec::with_capacity(digests.len());
+        for d in digests {
+            let bytes = self
+                .depot
+                .chunk(*d)
+                .ok_or_else(|| DrvError::TransferFailed(format!("unknown chunk {d:016x}")))?;
+            chunks.push((*d, bytes));
+        }
+        let set = ChunkSet { chunks };
+        let raw_len = set.payload_bytes();
+        let payload = transfer::wrap(method, &set.encode(), Some(&self.cert))?;
+        {
+            let mut st = self.stats.lock();
+            st.chunk_requests += 1;
+            st.chunk_bytes += raw_len;
+        }
+        Ok(DrvMsg::ChunkData { payload })
     }
 
     /// Handles one decoded protocol message (exposed for in-process
@@ -619,6 +757,10 @@ impl DrivolutionServer {
                 location,
                 transfer_method,
             } => self.handle_file_request(location, *transfer_method),
+            DrvMsg::ChunkRequest {
+                digests,
+                transfer_method,
+            } => self.handle_chunk_request(digests, *transfer_method),
             DrvMsg::Release {
                 database: _,
                 user,
@@ -754,7 +896,9 @@ mod tests {
         let mut req = bootstrap_req();
         req.database = "hr".into();
         let reply = srv.handle(&client(), DrvMsg::Request(req));
-        let DrvMsg::Error { code, .. } = reply else { panic!() };
+        let DrvMsg::Error { code, .. } = reply else {
+            panic!()
+        };
         assert_eq!(code, drivolution_core::proto::DrvErrCode::InvalidDatabase);
     }
 
@@ -762,7 +906,9 @@ mod tests {
     fn no_driver_yields_no_matching_driver_error() {
         let (srv, _c) = server_with(ServerConfig::default());
         let reply = srv.handle(&client(), DrvMsg::Request(bootstrap_req()));
-        let DrvMsg::Error { code, message } = reply else { panic!() };
+        let DrvMsg::Error { code, message } = reply else {
+            panic!()
+        };
         assert_eq!(code, drivolution_core::proto::DrvErrCode::NoMatchingDriver);
         assert!(message.contains("RDBC"));
     }
@@ -793,10 +939,10 @@ mod tests {
         srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
             .unwrap();
         // Permission rules route everyone to driver 2 now.
-        srv.add_rule(&PermissionRule::any(DriverId(2)).with_policies(
-            RenewPolicy::Upgrade,
-            ExpirationPolicy::AfterCommit,
-        ))
+        srv.add_rule(
+            &PermissionRule::any(DriverId(2))
+                .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+        )
         .unwrap();
         let mut req = bootstrap_req();
         req.kind = RequestKind::Renewal {
@@ -823,7 +969,9 @@ mod tests {
             current: DriverId(1),
         };
         let reply = srv.handle(&client(), DrvMsg::Request(req));
-        let DrvMsg::Error { code, .. } = reply else { panic!("{reply:?}") };
+        let DrvMsg::Error { code, .. } = reply else {
+            panic!("{reply:?}")
+        };
         assert_eq!(code, drivolution_core::proto::DrvErrCode::NoDriverAvailable);
     }
 
@@ -874,7 +1022,9 @@ mod tests {
                 transfer_method: offer.transfer_method,
             },
         );
-        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let DrvMsg::FileData { payload } = reply else {
+            panic!()
+        };
         let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
         vk.verify(&raw, &sig).unwrap();
     }
@@ -903,7 +1053,9 @@ mod tests {
         let first = srv.handle(&Addr::new("h1", 1), DrvMsg::Request(bootstrap_req()));
         expect_offer(first);
         let second = srv.handle(&Addr::new("h2", 1), DrvMsg::Request(bootstrap_req()));
-        let DrvMsg::Error { code, .. } = second else { panic!() };
+        let DrvMsg::Error { code, .. } = second else {
+            panic!()
+        };
         assert_eq!(code, drivolution_core::proto::DrvErrCode::PermissionDenied);
         // Release frees the seat.
         let rel = srv.handle(
@@ -940,7 +1092,9 @@ mod tests {
                 transfer_method: offer.transfer_method,
             },
         );
-        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let DrvMsg::FileData { payload } = reply else {
+            panic!()
+        };
         let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
         let image = unpack_driver(offer.format, raw).unwrap();
         assert!(image.extension("gis").is_some());
@@ -981,7 +1135,9 @@ mod tests {
                 transfer_method: offer.transfer_method,
             },
         );
-        let DrvMsg::FileData { payload } = reply else { panic!() };
+        let DrvMsg::FileData { payload } = reply else {
+            panic!()
+        };
         let raw = transfer::unwrap(TransferMethod::Plain, payload, &ChannelTrust::new()).unwrap();
         let custom = unpack_driver(offer.format, raw).unwrap();
         assert!(custom.extension("nls-fr_FR").is_some());
@@ -1005,9 +1161,136 @@ mod tests {
         let peer_events: Arc<Mutex<Vec<AdminEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = peer_events.clone();
         peer.subscribe(Arc::new(move |e| sink.lock().push(e.clone())));
-        peer.apply_replicated(&AdminEvent::DriverAdded(rec)).unwrap();
+        peer.apply_replicated(&AdminEvent::DriverAdded(rec))
+            .unwrap();
         assert!(peer_events.lock().is_empty());
         assert_eq!(peer.store().records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn have_with_exact_digest_gets_zero_transfer_revalidation() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let rec = record(1, 1, DriverVersion::new(1, 0, 0));
+        srv.install_driver(&rec).unwrap();
+        let digest = fnv1a64(&rec.binary);
+
+        let mut req = bootstrap_req();
+        req.have = Some(drivolution_core::HaveSummary {
+            images: vec![digest],
+            chunk_size: srv.config.depot_chunk_size,
+            chunks: Vec::new(),
+        });
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        assert_eq!(offer.content_digest, Some(digest));
+        assert!(offer.location.is_empty(), "revalidation must not stage");
+        assert!(offer.chunked.is_none());
+        assert!(!offer.same_driver);
+        assert_eq!(offer.size, rec.binary.len() as u64);
+        let st = srv.stats();
+        assert_eq!(st.revalidations, 1);
+        assert_eq!(st.files, 0);
+    }
+
+    fn padded_record(id: i64, version: DriverVersion) -> DriverRecord {
+        let image = DriverImage::new("drv-delta", version, 1);
+        let bytes =
+            drivolution_core::pack::pack_driver_padded(BinaryFormat::Djar, &image, 64 * 1024);
+        DriverRecord::new(DriverId(id), ApiName::rdbc(), BinaryFormat::Djar, bytes)
+            .with_version(version)
+    }
+
+    #[test]
+    fn have_with_old_version_chunks_gets_delta_offer() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        // v1 and v2 share the 64 KiB padding blob; only the image entry
+        // differs (same encoded length, so chunk boundaries line up).
+        let v1 = padded_record(1, DriverVersion::new(1, 0, 0));
+        let v2 = padded_record(2, DriverVersion::new(2, 0, 0));
+        assert_eq!(v1.binary.len(), v2.binary.len());
+        srv.install_driver(&v2).unwrap();
+
+        // The client depot holds v1: its HAVE lists v1's chunks.
+        let v1_manifest =
+            drivolution_core::ChunkManifest::of(&v1.binary, srv.config.depot_chunk_size);
+        let mut req = bootstrap_req();
+        req.have = Some(drivolution_core::HaveSummary {
+            images: vec![v1_manifest.content_digest],
+            chunk_size: srv.config.depot_chunk_size,
+            chunks: v1_manifest.chunks.clone(),
+        });
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        let plan = offer.chunked.expect("delta offer expected");
+        assert!(offer.location.is_empty(), "delta must not stage a file");
+        assert!(
+            plan.missing.len() < plan.manifest.chunk_count() / 4,
+            "only the edited chunks should travel: {}/{}",
+            plan.missing.len(),
+            plan.manifest.chunk_count()
+        );
+        assert_eq!(srv.stats().delta_offers, 1);
+
+        // The missing chunks are servable via CHUNK_REQUEST.
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::ChunkRequest {
+                digests: plan.missing.clone(),
+                transfer_method: TransferMethod::Checksum,
+            },
+        );
+        let DrvMsg::ChunkData { payload } = reply else {
+            panic!("{reply:?}")
+        };
+        let raw = transfer::unwrap(
+            TransferMethod::Checksum,
+            payload,
+            &drivolution_core::ChannelTrust::new(),
+        )
+        .unwrap();
+        let set = ChunkSet::decode(raw).unwrap();
+        assert_eq!(set.chunks.len(), plan.missing.len());
+        assert!(srv.stats().chunk_bytes < v2.binary.len() as u64 / 4);
+    }
+
+    #[test]
+    fn unknown_chunk_request_is_an_error() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let reply = srv.handle(
+            &client(),
+            DrvMsg::ChunkRequest {
+                digests: vec![0xdead_beef],
+                transfer_method: TransferMethod::Checksum,
+            },
+        );
+        assert!(matches!(reply, DrvMsg::Error { .. }));
+    }
+
+    #[test]
+    fn registered_mirrors_rotate_through_delta_offers() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let v2 = padded_record(2, DriverVersion::new(2, 0, 0));
+        srv.install_driver(&v2).unwrap();
+        srv.register_mirror("mirror1:1071");
+        srv.register_mirror("mirror2:1071");
+
+        let v1 = padded_record(1, DriverVersion::new(1, 0, 0));
+        let v1_manifest =
+            drivolution_core::ChunkManifest::of(&v1.binary, srv.config.depot_chunk_size);
+        let have = drivolution_core::HaveSummary {
+            images: vec![v1_manifest.content_digest],
+            chunk_size: srv.config.depot_chunk_size,
+            chunks: v1_manifest.chunks.clone(),
+        };
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut req = bootstrap_req();
+            req.have = Some(have.clone());
+            let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+            seen.push(offer.chunked.unwrap().mirror.unwrap());
+        }
+        assert_eq!(
+            seen,
+            vec!["mirror1:1071".to_string(), "mirror2:1071".to_string()]
+        );
     }
 
     #[test]

@@ -11,12 +11,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use bytes::Bytes;
+use driverkit::Connection;
 use drivolution_core::{
     ApiName, ApiVersion, BinaryFormat, ClientIdentity, DriverId, DriverQuery, DriverRecord,
     DriverVersion, DrvError, DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy,
     TransferMethod,
 };
-use driverkit::Connection;
 use minidb::{MiniDb, Params, QueryResult, RowSet, Value};
 
 /// DDL for the drivers table — the paper's Table 1, verbatim columns.
@@ -174,18 +174,9 @@ impl DriverStore {
         p.insert("vmaj".into(), Value::from(rec.api_version.major));
         p.insert("vmin".into(), Value::from(rec.api_version.minor));
         p.insert("plat".into(), Value::from(rec.platform.clone()));
-        p.insert(
-            "dmaj".into(),
-            Value::from(rec.version.map(|v| v.major)),
-        );
-        p.insert(
-            "dmin".into(),
-            Value::from(rec.version.map(|v| v.minor)),
-        );
-        p.insert(
-            "dmic".into(),
-            Value::from(rec.version.map(|v| v.micro)),
-        );
+        p.insert("dmaj".into(), Value::from(rec.version.map(|v| v.major)));
+        p.insert("dmin".into(), Value::from(rec.version.map(|v| v.minor)));
+        p.insert("dmic".into(), Value::from(rec.version.map(|v| v.micro)));
         p.insert("code".into(), Value::Blob(rec.binary.to_vec()));
         p.insert("fmt".into(), Value::str(rec.format.as_str()));
         self.exec.exec(
@@ -307,9 +298,11 @@ impl DriverStore {
             _ => None,
         };
         Ok(DriverRecord {
-            id: DriverId(row[0].as_i64().ok_or_else(|| {
-                DrvError::Internal("drivers.driver_id is not an integer".into())
-            })?),
+            id: DriverId(
+                row[0].as_i64().ok_or_else(|| {
+                    DrvError::Internal("drivers.driver_id is not an integer".into())
+                })?,
+            ),
             api_name: ApiName::new(row[1].as_str().unwrap_or_default()),
             api_version,
             platform: opt_str(&row[4]),
@@ -458,11 +451,8 @@ impl DriverStore {
                   OR api_version_minor = $client_api_minor)";
         // With preferences first…
         let mut with_pref = String::from(base);
-        if q.preferred_format.is_some() {
-            p.insert(
-                "client_format".into(),
-                Value::str(q.preferred_format.expect("checked").as_str()),
-            );
+        if let Some(format) = q.preferred_format {
+            p.insert("client_format".into(), Value::str(format.as_str()));
             with_pref.push_str(" AND binary_format LIKE $client_format");
         }
         if let Some(v) = q.preferred_version {
@@ -655,7 +645,8 @@ mod tests {
         let who = ClientIdentity::new("u", "h", "orders");
         clock.advance_ms(500);
         assert_eq!(s.permitted_driver_ids(&who).unwrap().len(), 1);
-        s.expire_driver(DriverId(1), clock.now_ms() as i64 - 1).unwrap();
+        s.expire_driver(DriverId(1), clock.now_ms() as i64 - 1)
+            .unwrap();
         assert!(s.permitted_driver_ids(&who).unwrap().is_empty());
     }
 

@@ -113,12 +113,10 @@ pub fn launch_standalone(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use drivolution_core::pack::pack_driver;
     use drivolution_core::proto::{DrvMsg, DrvRequest};
     use drivolution_core::{
-        ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion,
-        DRIVOLUTION_PORT,
+        ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, DRIVOLUTION_PORT,
     };
     use minidb::wire::DbServer;
 
@@ -185,10 +183,7 @@ mod tests {
         .unwrap();
         srv.install_driver(&driver_record(1)).unwrap();
         // The driver row physically lives in the legacy database.
-        assert_eq!(
-            legacy.table_len("information_schema.drivers").unwrap(),
-            1
-        );
+        assert_eq!(legacy.table_len("information_schema.drivers").unwrap(), 1);
         assert!(matches!(
             request_via_net(&net, &drv_addr, "legacydb"),
             DrvMsg::Offer(_)
@@ -203,18 +198,16 @@ mod tests {
         srv.install_driver(&driver_record(1)).unwrap();
         srv.install_driver(&{
             let mut r = driver_record(2);
-            r.binary = Bytes::from(pack_driver(
+            r.binary = pack_driver(
                 BinaryFormat::Djar,
                 &DriverImage::new("drv-2", DriverVersion::new(2, 0, 0), 2),
-            ));
+            );
             r
         })
         .unwrap();
         // Permission rules route per database.
-        srv.add_rule(
-            &drivolution_core::PermissionRule::any(DriverId(1)).for_database("orders"),
-        )
-        .unwrap();
+        srv.add_rule(&drivolution_core::PermissionRule::any(DriverId(1)).for_database("orders"))
+            .unwrap();
         srv.add_rule(&drivolution_core::PermissionRule::any(DriverId(2)).for_database("hr"))
             .unwrap();
         let DrvMsg::Offer(o1) = request_via_net(&net, &drv_addr, "orders") else {

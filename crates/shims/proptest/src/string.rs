@@ -1,0 +1,279 @@
+//! String strategies from regex-like patterns.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the string as a
+//! generation pattern, matching how real proptest treats string literals.
+//! Supported syntax (the subset this workspace's tests use):
+//!
+//! * literals, `\\`-escaped metacharacters;
+//! * `.` — a printable ASCII character;
+//! * `[a-z09_]` — character classes with ranges and literals;
+//! * `(foo|bar|\\()` — groups with alternation;
+//! * `{n}`, `{m,n}`, `?`, `*`, `+` — quantifiers on the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Lit(char),
+    Any,
+    Class(Vec<char>),
+    Group(Vec<Vec<Quantified>>),
+}
+
+#[derive(Clone, Debug)]
+struct Quantified {
+    node: Node,
+    min: u32,
+    max: u32, // inclusive
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported pattern {:?}: {what}", self.pattern)
+    }
+
+    fn parse_alternatives(&mut self, in_group: bool) -> Vec<Vec<Quantified>> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if in_group {
+                        self.fail("unterminated group");
+                    }
+                    break;
+                }
+                Some(')') if in_group => {
+                    self.chars.next();
+                    break;
+                }
+                Some('|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let q = self.parse_quantified();
+                    alts.last_mut().unwrap().push(q);
+                }
+            }
+        }
+        alts
+    }
+
+    fn parse_quantified(&mut self) -> Quantified {
+        let node = self.parse_atom();
+        let (min, max) = self.parse_quantifier();
+        Quantified { node, min, max }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => Node::Group(self.parse_alternatives(true)),
+            Some('[') => Node::Class(self.parse_class()),
+            Some('.') => Node::Any,
+            Some('\\') => match self.chars.next() {
+                Some(c) => Node::Lit(c),
+                None => self.fail("dangling escape"),
+            },
+            Some(c @ (')' | '|' | '{' | '}' | '?' | '*' | '+')) => {
+                self.fail(&format!("unexpected {c:?}"))
+            }
+            Some(c) => Node::Lit(c),
+            None => self.fail("empty atom"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut items: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                None => self.fail("unterminated class"),
+                Some(']') => {
+                    if let Some(p) = pending {
+                        items.push(p);
+                    }
+                    break;
+                }
+                Some('\\') => {
+                    if let Some(p) = pending.take() {
+                        items.push(p);
+                    }
+                    match self.chars.next() {
+                        Some(c) => pending = Some(c),
+                        None => self.fail("dangling escape in class"),
+                    }
+                }
+                Some('-') if pending.is_some() && self.chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.chars.next().unwrap_or_else(|| self.fail("escape")),
+                        Some(c) => c,
+                        None => self.fail("unterminated range"),
+                    };
+                    if lo as u32 > hi as u32 {
+                        self.fail("inverted class range");
+                    }
+                    for c in lo as u32..=hi as u32 {
+                        if let Some(c) = char::from_u32(c) {
+                            items.push(c);
+                        }
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = pending.take() {
+                        items.push(p);
+                    }
+                    pending = Some(c);
+                }
+            }
+        }
+        if items.is_empty() {
+            self.fail("empty class");
+        }
+        items
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number();
+                match self.chars.next() {
+                    Some('}') => (min, min),
+                    Some(',') => {
+                        let max = self.parse_number();
+                        match self.chars.next() {
+                            Some('}') => (min, max),
+                            _ => self.fail("unterminated quantifier"),
+                        }
+                    }
+                    _ => self.fail("bad quantifier"),
+                }
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.chars.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.fail("expected number");
+        }
+        n
+    }
+}
+
+fn sample_seq(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let span = u64::from(q.max - q.min) + 1;
+        let n = q.min + rng.below(span) as u32;
+        for _ in 0..n {
+            sample_node(&q.node, rng, out);
+        }
+    }
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Any => out.push((0x20 + rng.below(0x5f) as u8) as char),
+        Node::Class(items) => out.push(items[rng.range_usize(0, items.len())]),
+        Node::Group(alts) => {
+            let alt = &alts[rng.range_usize(0, alts.len())];
+            sample_seq(alt, rng, out);
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut p = Parser::new(self);
+        let alts = p.parse_alternatives(false);
+        let mut out = String::new();
+        let alt = &alts[rng.range_usize(0, alts.len())];
+        sample_seq(alt, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn gen(pattern: &'static str) -> String {
+        let mut rng = TestRng::for_test(pattern);
+        pattern.generate(&mut rng)
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        for _ in 0..10 {
+            let s = gen("[a-z]{2}_[A-Z]{2}");
+            assert_eq!(s.len(), 5);
+            assert_eq!(s.as_bytes()[2], b'_');
+        }
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        let mut rng = TestRng::for_test("r");
+        for _ in 0..50 {
+            let s = "[ab%_]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| "ab%_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn alternation_with_escapes() {
+        let mut rng = TestRng::for_test("alt");
+        for _ in 0..50 {
+            let s = "(SELECT|\\(|\\)|\\*|\\$p){0,4}".generate(&mut rng);
+            let _ = s; // must not panic
+        }
+    }
+
+    #[test]
+    fn dot_is_printable() {
+        let s = gen(".{0,120}");
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+}

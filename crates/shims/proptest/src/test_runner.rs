@@ -1,0 +1,60 @@
+//! Test configuration and the deterministic RNG behind case generation.
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 128 }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named test (stable across runs).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal shim for `rand`: a seedable splitmix64 generator behind the
+//! `Rng`/`SeedableRng` trait names this workspace uses. Not
+//! cryptographic — deterministic simulation only.
+
+/// Core random generator operations.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods.
+pub trait Rng: RngCore {
+    /// Bernoulli sample with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 high bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        f < p
+    }
+
+    /// Uniform sample from `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_roughly_uniform() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let hits_a = (0..1000).filter(|_| a.gen_bool(0.5)).count();
+        let hits_b = (0..1000).filter(|_| b.gen_bool(0.5)).count();
+        assert_eq!(hits_a, hits_b);
+        assert!(hits_a > 400 && hits_a < 600, "hits={hits_a}");
+    }
+}

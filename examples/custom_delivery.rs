@@ -36,9 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     for ext in [
         Extension::Gis,
-        Extension::Nls { locale: "fr_FR".into() },
-        Extension::Nls { locale: "de_DE".into() },
-        Extension::Kerberos { realm_secret: "realm".into() },
+        Extension::Nls {
+            locale: "fr_FR".into(),
+        },
+        Extension::Nls {
+            locale: "de_DE".into(),
+        },
+        Extension::Kerberos {
+            realm_secret: "realm".into(),
+        },
     ] {
         srv.assembler().register(ext);
     }
@@ -48,8 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fat = DriverImage::new("geodb-driver", DriverVersion::new(1, 0, 0), 2);
     fat.extensions = vec![
         Extension::Gis,
-        Extension::Nls { locale: "fr_FR".into() },
-        Extension::Nls { locale: "de_DE".into() },
+        Extension::Nls {
+            locale: "fr_FR".into(),
+        },
+        Extension::Nls {
+            locale: "de_DE".into(),
+        },
     ];
     let fat_bytes = pack_driver(BinaryFormat::Djar, &fat);
     println!(
@@ -74,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .trusting(srv.certificate())
             .with_request_option("locale", "fr_FR"),
     );
-    let conn = fr_app.connect(&url, &ConnectProps::user("admin", "admin").with_locale("fr_FR"))?;
+    let conn = fr_app.connect(
+        &url,
+        &ConnectProps::user("admin", "admin").with_locale("fr_FR"),
+    )?;
     let ns = fr_app.registry().active().expect("loaded");
     println!(
         "\nparis-app received a customized driver with packages: {:?}",
@@ -84,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(Extension::name)
             .collect::<Vec<_>>()
     );
-    println!("localized driver message: {}", conn.localized_message("connection.open")?);
+    println!(
+        "localized driver message: {}",
+        conn.localized_message("connection.open")?
+    );
 
     // --- client B: GIS required, encoded in the request -------------------
     let gis_app = Bootloader::new(
@@ -114,7 +130,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut conn = lazy_app.connect(&url, &ConnectProps::user("admin", "admin"))?;
     println!(
         "\nlazy-app loaded the trimmed driver ({} extensions)…",
-        lazy_app.registry().active().expect("loaded").image.extensions.len()
+        lazy_app
+            .registry()
+            .active()
+            .expect("loaded")
+            .image
+            .extensions
+            .len()
     );
     // This triggers the trapped ClassNotFound analog: fetch, reconnect,
     // retry — transparently.
@@ -134,14 +156,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show a customized package is genuinely smaller than the fat one.
     let trimmed = unpack_driver(
         BinaryFormat::Djar,
-        pack_driver(
-            BinaryFormat::Djar,
-            &{
-                let mut img = fat.clone();
-                img.extensions.retain(|e| matches!(e, Extension::Nls { locale } if locale == "fr_FR"));
-                img
-            },
-        ),
+        pack_driver(BinaryFormat::Djar, &{
+            let mut img = fat.clone();
+            img.extensions
+                .retain(|e| matches!(e, Extension::Nls { locale } if locale == "fr_FR"));
+            img
+        }),
     )?;
     println!(
         "feature-exact delivery: fr-only driver carries {} package vs {} in the fat driver",

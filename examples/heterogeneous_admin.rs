@@ -21,9 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Different engines are modelled by different wire-protocol versions
     // and driver versions per database.
     let mut servers = Vec::new();
-    for (i, (name, proto)) in [("orders", 1u16), ("hr", 2), ("gis_assets", 2), ("legacy_erp", 1)]
-        .iter()
-        .enumerate()
+    for (i, (name, proto)) in [
+        ("orders", 1u16),
+        ("hr", 2),
+        ("gis_assets", 2),
+        ("legacy_erp", 1),
+    ]
+    .iter()
+    .enumerate()
     {
         let host = format!("db{}", i + 1);
         let db = Arc::new(MiniDb::with_clock(*name, net.clock().clone()));
@@ -35,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &format!("INSERT INTO info VALUES ('engine', '{name}-engine')"),
             )?;
         }
-        net.bind_arc(Addr::new(host.clone(), 5432), Arc::new(DbServer::new(db.clone())))?;
+        net.bind_arc(
+            Addr::new(host.clone(), 5432),
+            Arc::new(DbServer::new(db.clone())),
+        )?;
         let srv = attach_in_database(
             &net,
             db,
@@ -71,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (host, name, _) in &servers {
             let url: DbUrl = format!("rdbc:minidb://{host}:5432/{name}").parse()?;
             let mut conn = console.connect(&url, &props)?;
-            let rows = conn.execute("SELECT v FROM info WHERE k = 'engine'")?.rows()?;
+            let rows = conn
+                .execute("SELECT v FROM info WHERE k = 'engine'")?
+                .rows()?;
             println!(
                 "  {name:<12} -> {} (driver v{} auto-provisioned)",
                 rows.rows[0][0],

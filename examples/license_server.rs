@@ -90,9 +90,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.clock().advance_ms(600_001);
     let freed = srv.licenses().prune_expired(net.clock().now_ms());
     println!("lease-expiry reclaim freed {freed} seat(s)");
-    println!(
-        "final holders = {:?}",
-        srv.licenses().holders(DriverId(1))
-    );
+    println!("final holders = {:?}", srv.licenses().holders(DriverId(1)));
     Ok(())
 }

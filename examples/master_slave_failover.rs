@@ -18,7 +18,8 @@ fn db_with_tag(net: &Network, host: &str, tag: &str) -> Arc<MiniDb> {
     let db = Arc::new(MiniDb::with_clock("accounts", net.clock().clone()));
     {
         let mut s = db.admin_session();
-        db.exec(&mut s, "CREATE TABLE whoami (role VARCHAR)").unwrap();
+        db.exec(&mut s, "CREATE TABLE whoami (role VARCHAR)")
+            .unwrap();
         db.exec(&mut s, &format!("INSERT INTO whoami VALUES ('{tag}')"))
             .unwrap();
     }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
     {
         let mut s = db.admin_session();
-        db.exec(&mut s, "CREATE TABLE items (id INTEGER PRIMARY KEY, name VARCHAR)")?;
+        db.exec(
+            &mut s,
+            "CREATE TABLE items (id INTEGER PRIMARY KEY, name VARCHAR)",
+        )?;
         db.exec(&mut s, "INSERT INTO items VALUES (1, 'bolt'), (2, 'nut')")?;
     }
     net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))?;
@@ -40,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         BinaryFormat::Djar,
         pack_driver(BinaryFormat::Djar, &image),
     ))?;
-    println!(
-        "drivolution server up at db1:{DRIVOLUTION_PORT}; driver#1 installed with one INSERT"
-    );
+    println!("drivolution server up at db1:{DRIVOLUTION_PORT}; driver#1 installed with one INSERT");
 
     let url: DbUrl = "rdbc:minidb://db1:5432/orders".parse()?;
     let props = ConnectProps::user("admin", "admin");
@@ -87,6 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "server stats: {} requests, {} offers, {} files served ({} bytes of driver code)",
         st.requests, st.offers, st.files, st.file_bytes
     );
-    println!("lease log rows in information_schema.leases: {}", srv.store().lease_count()?);
+    println!(
+        "lease log rows in information_schema.leases: {}",
+        srv.store().lease_count()?
+    );
     Ok(())
 }

@@ -10,7 +10,8 @@
 //! |---|---|
 //! | network + virtual clock | [`netsim`] |
 //! | SQL database substrate | [`minidb`] |
-//! | Drivolution core (protocol, leases, policies) | [`core`] |
+//! | Drivolution core (protocol, leases, policies, chunking) | [`core`] |
+//! | content-addressed distribution (cache, deltas, mirrors) | [`depot`] |
 //! | RDBC API + driver VM | [`driverkit`] |
 //! | client bootloader | [`bootloader`] |
 //! | driver distribution server | [`server`] |
@@ -59,6 +60,7 @@ pub use cluster;
 pub use driverkit;
 pub use drivolution_bootloader as bootloader;
 pub use drivolution_core as core;
+pub use drivolution_depot as depot;
 pub use drivolution_server as server;
 pub use fleet;
 pub use minidb;
@@ -72,9 +74,9 @@ pub mod prelude {
     pub use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome, ServerLocator};
     pub use drivolution_core::{
         ApiName, ApiVersion, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion,
-        DrvError, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod,
-        DRIVOLUTION_PORT,
+        DrvError, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
     };
+    pub use drivolution_depot::{DriverDepot, MirrorDepot};
     pub use drivolution_server::{
         attach_in_database, launch_external, launch_standalone, DrivolutionServer, ServerConfig,
     };

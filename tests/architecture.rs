@@ -61,10 +61,7 @@ fn figure_1_all_three_application_kinds_coexist() {
     );
     let mut c1 = app1.connect(&url, &props).unwrap();
     c1.execute("SELECT a FROM t").unwrap();
-    assert_eq!(
-        app1.registry().active().unwrap().image.name,
-        "driver-two"
-    );
+    assert_eq!(app1.registry().active().unwrap().image.name, "driver-two");
 
     // Application 2: bootloader → standalone server → driver 3.
     let app2 = Bootloader::new(
@@ -75,10 +72,7 @@ fn figure_1_all_three_application_kinds_coexist() {
     );
     let mut c2 = app2.connect(&url, &props).unwrap();
     c2.execute("SELECT a FROM t").unwrap();
-    assert_eq!(
-        app2.registry().active().unwrap().image.name,
-        "driver-three"
-    );
+    assert_eq!(app2.registry().active().unwrap().image.name, "driver-three");
 
     // Application 3: a conventional statically linked driver, no
     // Drivolution anywhere in its path.
@@ -101,10 +95,18 @@ fn discover_broadcast_reaches_all_servers_like_dhcp() {
     let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
     net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db)))
         .unwrap();
-    let s1 = launch_standalone(&net, Addr::new("drv1", DRIVOLUTION_PORT), ServerConfig::default())
-        .unwrap();
-    let s2 = launch_standalone(&net, Addr::new("drv2", DRIVOLUTION_PORT), ServerConfig::default())
-        .unwrap();
+    let s1 = launch_standalone(
+        &net,
+        Addr::new("drv1", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let s2 = launch_standalone(
+        &net,
+        Addr::new("drv2", DRIVOLUTION_PORT),
+        ServerConfig::default(),
+    )
+    .unwrap();
     s1.install_driver(&record(1, "from-s1", 1)).unwrap();
     s2.install_driver(&record(1, "from-s2", 1)).unwrap();
 

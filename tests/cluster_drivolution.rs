@@ -36,12 +36,15 @@ fn build_cluster(net: &Network) -> (Arc<Controller>, Arc<Controller>, Vec<Arc<Mi
             let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
             {
                 let mut s = db.admin_session();
-                db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+                db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+                    .unwrap();
             }
-            net.bind_arc(Addr::new(host.clone(), 5432), Arc::new(DbServer::new(db.clone())))
-                .unwrap();
-            let driver =
-                legacy_driver(net, &Addr::new(format!("controller{id}"), 1), 2).unwrap();
+            net.bind_arc(
+                Addr::new(host.clone(), 5432),
+                Arc::new(DbServer::new(db.clone())),
+            )
+            .unwrap();
+            let driver = legacy_driver(net, &Addr::new(format!("controller{id}"), 1), 2).unwrap();
             backends.push(Backend::with_driver(
                 host.clone(),
                 driver,
@@ -64,7 +67,12 @@ fn build_cluster(net: &Network) -> (Arc<Controller>, Arc<Controller>, Vec<Arc<Mi
     (ctrls[0].clone(), ctrls[1].clone(), dbs)
 }
 
-fn cluster_client(net: &Network, host: &str, servers: &[Addr], certs: &[&drivolution::core::Certificate]) -> Arc<Bootloader> {
+fn cluster_client(
+    net: &Network,
+    host: &str,
+    servers: &[Addr],
+    certs: &[&drivolution::core::Certificate],
+) -> Arc<Bootloader> {
     let local = Addr::new(host, 1);
     let mut config = BootloaderConfig::fixed(servers.to_vec()).with_notify_channel();
     for c in certs {
@@ -120,7 +128,9 @@ fn figure_5_standalone_distribution_service() {
         &[Addr::new("drvsrv", DRIVOLUTION_PORT)],
         &[srv.certificate()],
     );
-    assert!(fresh.connect(&url, &ConnectProps::user("app", "pw")).is_err());
+    assert!(fresh
+        .connect(&url, &ConnectProps::user("app", "pw"))
+        .is_err());
 }
 
 #[test]
@@ -141,7 +151,12 @@ fn figure_6_embedded_replicated_servers_have_no_spof() {
     let url: DbUrl = "rdbc:cluster://controller1:25322,controller2:25322/vdb"
         .parse()
         .unwrap();
-    let b = cluster_client(&net, "web0", &servers, &[s1.certificate(), s2.certificate()]);
+    let b = cluster_client(
+        &net,
+        "web0",
+        &servers,
+        &[s1.certificate(), s2.certificate()],
+    );
     let mut conn = b.connect(&url, &ConnectProps::user("app", "pw")).unwrap();
     conn.execute("INSERT INTO t VALUES (1)").unwrap();
 
@@ -149,7 +164,12 @@ fn figure_6_embedded_replicated_servers_have_no_spof() {
     // fresh machine still bootstraps from controller 2, and traffic
     // flows.
     c1.stop();
-    let fresh = cluster_client(&net, "web1", &servers, &[s1.certificate(), s2.certificate()]);
+    let fresh = cluster_client(
+        &net,
+        "web1",
+        &servers,
+        &[s1.certificate(), s2.certificate()],
+    );
     let mut conn2 = fresh
         .connect(&url, &ConnectProps::user("app", "pw"))
         .unwrap();

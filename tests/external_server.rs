@@ -30,8 +30,11 @@ fn external_server_full_flow() {
         db.exec(&mut s, "CREATE TABLE data (x INTEGER)").unwrap();
         db.exec(&mut s, "INSERT INTO data VALUES (7)").unwrap();
     }
-    net.bind_arc(Addr::new("legacy-host", 5432), Arc::new(DbServer::new(db.clone())))
-        .unwrap();
+    net.bind_arc(
+        Addr::new("legacy-host", 5432),
+        Arc::new(DbServer::new(db.clone())),
+    )
+    .unwrap();
 
     // The external Drivolution server on its own machine (step 2–3 of
     // Figure 2 run through its legacy driver).

@@ -5,9 +5,10 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use drivolution::core::pack::{unpack_driver, Archive};
+use drivolution::core::chunk::{split_chunks, ChunkManifest, ChunkSet};
+use drivolution::core::pack::{pack_driver_padded, unpack_driver, Archive};
 use drivolution::core::proto::{DrvMsg, DrvNotice};
-use drivolution::core::{BinaryFormat, DriverImage, Signature};
+use drivolution::core::{BinaryFormat, DriverImage, DriverVersion, Signature};
 use drivolution::minidb::sql::parse;
 use drivolution::minidb::wire::{ClientMsg, ServerMsg};
 use drivolution::minidb::MiniDb;
@@ -69,5 +70,63 @@ proptest! {
     #[test]
     fn signature_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..40)) {
         let _ = Signature::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn chunk_manifest_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = Bytes::from(bytes);
+        let _ = ChunkManifest::decode(&mut buf);
+    }
+
+    #[test]
+    fn chunk_set_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = ChunkSet::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn manifest_verification_rejects_container_corruption(
+        fmt in prop_oneof![Just(BinaryFormat::Djar), Just(BinaryFormat::Dzip)],
+        padding in 0..4096usize,
+        pos_seed in any::<u32>(),
+        flip in 1..=255u8,
+    ) {
+        // A manifest taken over a packed djar/dzip container must reject
+        // every single-byte corruption of that container.
+        let image = DriverImage::new("fuzz", DriverVersion::new(1, 0, 0), 1);
+        let packed = pack_driver_padded(fmt, &image, padding);
+        let manifest = ChunkManifest::of(&packed, 256);
+        prop_assert!(manifest.verify(&packed).is_ok());
+        let mut bad = packed.to_vec();
+        let pos = pos_seed as usize % bad.len();
+        bad[pos] ^= flip;
+        prop_assert!(manifest.verify(&bad).is_err(), "flip at {pos} accepted");
+    }
+
+    #[test]
+    fn chunk_set_rejects_any_single_byte_corruption(
+        payload in prop::collection::vec(any::<u8>(), 1..2000),
+        pos_seed in any::<u32>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = Bytes::from(payload);
+        let manifest = ChunkManifest::of(&bytes, 256);
+        let set = ChunkSet {
+            chunks: manifest
+                .chunks
+                .iter()
+                .copied()
+                .zip(split_chunks(&bytes, 256))
+                .collect(),
+        };
+        let enc = set.encode();
+        prop_assert_eq!(ChunkSet::decode(enc.clone()).unwrap(), set.clone());
+        let mut bad = enc.to_vec();
+        let pos = pos_seed as usize % bad.len();
+        bad[pos] ^= flip;
+        // Corruption must surface as an error or a visibly different
+        // set — never as silent acceptance of the original content.
+        if let Ok(round) = ChunkSet::decode(Bytes::from(bad)) {
+            prop_assert_ne!(round, set, "flip at {} accepted silently", pos);
+        }
     }
 }

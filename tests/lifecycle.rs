@@ -5,11 +5,11 @@
 
 use std::sync::Arc;
 
+use driverkit::{DkError, DriverVm};
 use drivolution::core::pack::pack_driver;
 use drivolution::core::{AuthKind, Extension};
 use drivolution::minidb::AuthMethod;
 use drivolution::prelude::*;
-use driverkit::{DriverVm, DkError};
 
 fn db_rig(protos: &[u16]) -> (Network, Arc<MiniDb>, DbUrl) {
     let net = Network::new();
@@ -36,7 +36,10 @@ fn step_4_failure_wrong_binary_or_api() {
 
     // Garbage bytes: fails at load.
     let e = vm
-        .load(BinaryFormat::Djar, bytes::Bytes::from_static(b"not a driver"))
+        .load(
+            BinaryFormat::Djar,
+            bytes::Bytes::from_static(b"not a driver"),
+        )
         .unwrap_err();
     assert!(matches!(e, DkError::Drv(DrvError::BadPackage(_))));
 
@@ -74,8 +77,13 @@ fn step_6_failure_auth_method_mismatch() {
     let (net, db, url) = db_rig(&[1, 2, 3]);
     db.with_auth(|a| a.set_accepted_methods(&[AuthMethod::Token]));
     let d = legacy_driver(&net, &Addr::new("app", 1), 1).unwrap();
-    let e = d.connect(&url, &ConnectProps::user("app", "pw")).unwrap_err();
-    assert!(matches!(e, DkError::Db(drivolution::minidb::DbError::Auth(_))));
+    let e = d
+        .connect(&url, &ConnectProps::user("app", "pw"))
+        .unwrap_err();
+    assert!(matches!(
+        e,
+        DkError::Db(drivolution::minidb::DbError::Auth(_))
+    ));
 }
 
 #[test]
@@ -114,7 +122,9 @@ fn drivolution_sidesteps_all_three_mismatches() {
         Addr::new("app", 1),
         BootloaderConfig::same_host().trusting(srv.certificate()),
     );
-    let mut conn = boot.connect(&url, &ConnectProps::user("app", "pw")).unwrap();
+    let mut conn = boot
+        .connect(&url, &ConnectProps::user("app", "pw"))
+        .unwrap();
     conn.execute("SELECT 1").unwrap();
     // "Clients are guaranteed to get the correct driver version to access
     // the desired database."

@@ -46,7 +46,11 @@ fn rig() -> (Network, Arc<DrivolutionServer>, DbUrl) {
             .with_policies(RenewPolicy::Renew, ExpirationPolicy::AfterCommit),
     )
     .unwrap();
-    (net.clone(), srv, DbUrl::direct(Addr::new("db1", 5432), "orders"))
+    (
+        net.clone(),
+        srv,
+        DbUrl::direct(Addr::new("db1", 5432), "orders"),
+    )
 }
 
 #[test]

@@ -4,9 +4,9 @@
 
 use std::sync::Arc;
 
+use drivolution::bootloader::ManagedConnection;
 use drivolution::core::pack::pack_driver;
 use drivolution::prelude::*;
-use drivolution::bootloader::ManagedConnection;
 
 const LEASE_MS: u64 = 10_000;
 
@@ -33,7 +33,8 @@ fn rig(renew: RenewPolicy, expiration: ExpirationPolicy) -> Rig {
     let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
     {
         let mut s = db.admin_session();
-        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
     }
     net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
         .unwrap();
@@ -224,12 +225,7 @@ fn pooled_connections_starve_after_close_upgrades() {
         let _c = r.boot.connect(&r.url, &props()).unwrap();
         r.boot.registry().active().unwrap()
     };
-    let pool = ConnectionPool::new(
-        ns.driver.clone(),
-        r.url.clone(),
-        props(),
-        2,
-    );
+    let pool = ConnectionPool::new(ns.driver.clone(), r.url.clone(), props(), 2);
     let a = pool.checkout().unwrap();
     let b = pool.checkout().unwrap();
     drop(a);
@@ -243,8 +239,8 @@ fn pooled_connections_starve_after_close_upgrades() {
     assert_eq!(pool.idle_len(), 2);
     let mut c = pool.checkout().unwrap();
     c.execute("SELECT 1").unwrap(); // still served by the v1 driver
-    // AFTER_COMMIT (or IMMEDIATE) is the right policy for pooled setups:
-    // rerun with AFTER_COMMIT and observe the pooled connections die.
+                                    // AFTER_COMMIT (or IMMEDIATE) is the right policy for pooled setups:
+                                    // rerun with AFTER_COMMIT and observe the pooled connections die.
     let r2 = rig(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit);
     let mut kept = r2.boot.connect(&r2.url, &props()).unwrap();
     publish_v2(&r2, ExpirationPolicy::AfterCommit);

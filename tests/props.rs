@@ -111,9 +111,13 @@ fn arb_request() -> impl Strategy<Value = DrvRequest> {
         "[a-z]{1,10}",
         prop_oneof![
             Just(RequestKind::Bootstrap),
-            (0..100i64).prop_map(|id| RequestKind::Renewal { current: DriverId(id) }),
-            ("[a-z]{1,8}", 0..100i64)
-                .prop_map(|(name, id)| RequestKind::Extension { base: DriverId(id), name }),
+            (0..100i64).prop_map(|id| RequestKind::Renewal {
+                current: DriverId(id)
+            }),
+            ("[a-z]{1,8}", 0..100i64).prop_map(|(name, id)| RequestKind::Extension {
+                base: DriverId(id),
+                name
+            }),
         ],
         prop::option::of((0..9i32, 0..9i32)),
         prop::collection::vec(("[a-z]{1,6}", "[a-z0-9_]{1,8}"), 0..3),
@@ -157,6 +161,8 @@ proptest! {
             transfer_method: TransferMethod::Sealed,
             options: vec![("k".into(), "v".into())],
             signature: signed.then(|| SigningKey::from_seed(seed).sign(b"payload")),
+            content_digest: signed.then_some(seed),
+            chunked: None,
         };
         let msg = DrvMsg::Offer(offer);
         prop_assert_eq!(DrvMsg::decode(msg.encode()).unwrap(), msg);
@@ -213,7 +219,7 @@ proptest! {
     #[test]
     fn driver_version_ordering_is_total(a in arb_version(), b in arb_version(), c in arb_version()) {
         // Antisymmetry + transitivity spot checks via sort stability.
-        let mut v = vec![a, b, c];
+        let mut v = [a, b, c];
         v.sort();
         prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
         let s = a.to_string();

@@ -201,7 +201,10 @@ fn driver_permission_references_drivers() {
     )
     .unwrap();
     assert!(db
-        .exec(&mut s, "DELETE FROM information_schema.drivers WHERE driver_id = 1")
+        .exec(
+            &mut s,
+            "DELETE FROM information_schema.drivers WHERE driver_id = 1"
+        )
         .is_err());
     // "Obsolete drivers can be disabled by … setting the end_date to the
     // current_date."
@@ -225,7 +228,9 @@ fn leases_table_logs_grants() {
             bytes::Bytes::from_static(&[0]),
         ))
         .unwrap();
-    store.log_lease(&who, drivolution::core::DriverId(1), 42, 3_600_000).unwrap();
+    store
+        .log_lease(&who, drivolution::core::DriverId(1), 42, 3_600_000)
+        .unwrap();
     let mut s = db.admin_session();
     let rs = db
         .exec(

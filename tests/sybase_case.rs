@@ -18,7 +18,8 @@ fn db_on(net: &Network, host: &str) -> Arc<MiniDb> {
     let db = Arc::new(MiniDb::with_clock("vdb", net.clock().clone()));
     {
         let mut s = db.admin_session();
-        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+        db.exec(&mut s, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+            .unwrap();
     }
     net.bind_arc(Addr::new(host, 5432), Arc::new(DbServer::new(db.clone())))
         .unwrap();
