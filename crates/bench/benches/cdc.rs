@@ -1,0 +1,274 @@
+//! Content-defined vs fixed-size chunking under size-shifting edits.
+//!
+//! Fixed-size chunking shares chunks between driver versions only while
+//! byte offsets line up: one inserted byte shifts everything after the
+//! edit point and a "delta" upgrade degenerates into a near-full
+//! transfer. This harness measures the delta bytes a fleet client would
+//! fetch for three canonical edit shapes — a chunk-aligned in-place
+//! overwrite (fixed chunking's best case), a mid-image insertion, and a
+//! prepended header (its worst cases) — under both chunkers, plus an
+//! end-to-end wire measurement of an insertion upgrade through the
+//! simulated network.
+//!
+//! This target uses `harness = false`: it is a report generator like
+//! `depot`, and emits `BENCH_cdc.json` at the workspace root so CI can
+//! catch regressions (it exits nonzero when CDC loses its claimed edge).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench cdc`
+//! (`CDC_BENCH_SMOKE=1` shrinks the image for CI smoke runs.)
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use driverkit::{ConnectProps, DbUrl};
+use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
+use drivolution_core::chunk::{delta_cost, ChunkingParams};
+use drivolution_core::{
+    ApiName, BinaryFormat, DriverId, DriverRecord, DriverVersion, ExpirationPolicy, PermissionRule,
+    RenewPolicy, DRIVOLUTION_PORT,
+};
+use drivolution_depot::DriverDepot;
+use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
+use minidb::wire::DbServer;
+use minidb::MiniDb;
+use netsim::{Addr, Network};
+
+/// High-entropy deterministic image, standing in for compiled driver
+/// code.
+fn image(len: usize, seed: u64) -> Vec<u8> {
+    drivolution_core::entropy_blob(len, seed)
+}
+
+struct Edit {
+    name: &'static str,
+    apply: fn(&[u8]) -> Vec<u8>,
+}
+
+fn aligned_overwrite(v1: &[u8]) -> Vec<u8> {
+    // In-place overwrite of one 4 KiB-aligned region: no bytes shift.
+    let mut v2 = v1.to_vec();
+    for b in &mut v2[8192..12288] {
+        *b = !*b;
+    }
+    v2
+}
+
+fn mid_insertion(v1: &[u8]) -> Vec<u8> {
+    // A size-shifting edit in the middle: everything after it moves.
+    let mut v2 = v1.to_vec();
+    let at = v2.len() / 2;
+    let inserted = image(137, 0xBEEF);
+    v2.splice(at..at, inserted);
+    v2
+}
+
+fn prepended_header(v1: &[u8]) -> Vec<u8> {
+    // The pathological case for fixed chunking: every offset shifts.
+    let mut v2 = image(64, 0xCAFE);
+    v2.extend_from_slice(v1);
+    v2
+}
+
+#[derive(Debug)]
+struct Row {
+    edit: &'static str,
+    fixed_bytes: u64,
+    fixed_chunks: usize,
+    cdc_bytes: u64,
+    cdc_chunks: usize,
+    cdc_total_chunks: usize,
+}
+
+/// End-to-end: a depot client bootstraps v1, the server installs a v2
+/// whose image is v1 plus a mid-image insertion, and the client
+/// upgrades. Returns the wire bytes that moved for the upgrade.
+fn e2e_insertion_upgrade_wire_bytes(image_len: usize) -> u64 {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let server_addr = Addr::new("db1", DRIVOLUTION_PORT);
+    let srv: Arc<DrivolutionServer> =
+        attach_in_database(&net, db, server_addr.clone(), ServerConfig::default()).unwrap();
+
+    // Hand-build v1/v2 as packed archives whose code entry differs by an
+    // insertion (pack_driver_padded always emits the same blob, so the
+    // edit is applied to the padded container bytes via record cloning).
+    let v1 = drivolution_core::pack::pack_driver_padded(
+        BinaryFormat::Djar,
+        &drivolution_core::DriverImage::new("cdc-bench", DriverVersion::new(1, 0, 0), 1),
+        image_len,
+    );
+    srv.install_driver(
+        &DriverRecord::new(DriverId(1), ApiName::rdbc(), BinaryFormat::Djar, v1)
+            .with_version(DriverVersion::new(1, 0, 0)),
+    )
+    .unwrap();
+
+    let url: DbUrl = "rdbc:minidb://db1:5432/orders".parse().unwrap();
+    let props = ConnectProps::user("admin", "admin");
+    let depot = DriverDepot::in_memory();
+    let boot = Bootloader::new(
+        &net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            .trusting(srv.certificate())
+            .with_depot(depot),
+    );
+    boot.bootstrap(&url, &props).unwrap();
+
+    // v2: same image name/epoch, bumped version — the packed archive is
+    // the v1 bytes with the version string edit plus identical padding,
+    // i.e. exactly the incremental edit a live fleet sees.
+    let v2 = drivolution_core::pack::pack_driver_padded(
+        BinaryFormat::Djar,
+        &drivolution_core::DriverImage::new("cdc-bench", DriverVersion::new(2, 0, 10), 1),
+        image_len,
+    );
+    srv.install_driver(
+        &DriverRecord::new(DriverId(2), ApiName::rdbc(), BinaryFormat::Djar, v2)
+            .with_version(DriverVersion::new(2, 0, 10)),
+    )
+    .unwrap();
+    srv.add_rule(
+        &PermissionRule::any(DriverId(2))
+            .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+    )
+    .unwrap();
+    net.clock().advance_ms(4_000_000);
+    let mark = {
+        let s = net.stats().for_addr(&server_addr);
+        s.bytes_in + s.bytes_out
+    };
+    let outcome = boot.poll();
+    assert!(
+        matches!(outcome, PollOutcome::Upgraded { .. }),
+        "{outcome:?}"
+    );
+    let s = net.stats().for_addr(&server_addr);
+    s.bytes_in + s.bytes_out - mark
+}
+
+fn main() {
+    let smoke = std::env::var("CDC_BENCH_SMOKE").is_ok();
+    let image_len = if smoke { 256 * 1024 } else { 1024 * 1024 };
+    let fixed = ChunkingParams::fixed(drivolution_core::DEFAULT_CHUNK_SIZE);
+    let cdc = ChunkingParams::default();
+
+    let edits = [
+        Edit {
+            name: "aligned_overwrite",
+            apply: aligned_overwrite,
+        },
+        Edit {
+            name: "mid_insertion",
+            apply: mid_insertion,
+        },
+        Edit {
+            name: "prepended_header",
+            apply: prepended_header,
+        },
+    ];
+
+    let v1 = image(image_len, 1);
+    let mut rows = Vec::new();
+    for edit in &edits {
+        let v2 = (edit.apply)(&v1);
+        let f = delta_cost(&v1, &v2, &fixed);
+        let c = delta_cost(&v1, &v2, &cdc);
+        rows.push(Row {
+            edit: edit.name,
+            fixed_bytes: f.bytes,
+            fixed_chunks: f.missing_chunks,
+            cdc_bytes: c.bytes,
+            cdc_chunks: c.missing_chunks,
+            cdc_total_chunks: c.total_chunks,
+        });
+    }
+
+    println!("\ncontent-defined vs fixed-size chunking — delta bytes per edit");
+    println!(
+        "image: {} KiB   fixed: {}   cdc: {}",
+        image_len / 1024,
+        fixed,
+        cdc
+    );
+    println!(
+        "{:<20} {:>14} {:>10} {:>14} {:>10} {:>8}",
+        "edit", "fixed delta B", "chunks", "cdc delta B", "chunks", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>14} {:>10} {:>14} {:>10} {:>7.1}x",
+            r.edit,
+            r.fixed_bytes,
+            r.fixed_chunks,
+            r.cdc_bytes,
+            r.cdc_chunks,
+            r.fixed_bytes as f64 / r.cdc_bytes.max(1) as f64
+        );
+    }
+
+    let e2e_wire = e2e_insertion_upgrade_wire_bytes(image_len);
+    println!("\ne2e insertion upgrade (depot client, default CDC): {e2e_wire} wire bytes");
+
+    // Emit BENCH_cdc.json at the workspace root.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"cdc\",\n");
+    let _ = writeln!(json, "  \"image_bytes\": {image_len},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"fixed_params\": \"{fixed}\",\n  \"cdc_params\": \"{cdc}\","
+    );
+    json.push_str("  \"edits\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"edit\": \"{}\", \"fixed_delta_bytes\": {}, \"fixed_missing_chunks\": {}, \"cdc_delta_bytes\": {}, \"cdc_missing_chunks\": {}, \"cdc_total_chunks\": {}}}{}",
+            r.edit,
+            r.fixed_bytes,
+            r.fixed_chunks,
+            r.cdc_bytes,
+            r.cdc_chunks,
+            r.cdc_total_chunks,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"e2e_insertion_upgrade_wire_bytes\": {e2e_wire}");
+    json.push_str("}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cdc.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Regression gates (CI runs this in smoke mode): a mid-image
+    // insertion must cost CDC less than 10% of what it costs the fixed
+    // chunker, and a prepended header must not degenerate either.
+    let mut failed = false;
+    for (name, limit) in [("mid_insertion", 0.10), ("prepended_header", 0.10)] {
+        let r = rows.iter().find(|r| r.edit == name).unwrap();
+        let ratio = r.cdc_bytes as f64 / r.fixed_bytes.max(1) as f64;
+        if ratio >= limit {
+            eprintln!(
+                "REGRESSION: {name} CDC delta is {:.1}% of fixed (limit {:.0}%)",
+                ratio * 100.0,
+                limit * 100.0
+            );
+            failed = true;
+        }
+    }
+    // The e2e path must also stay a small fraction of the image.
+    if e2e_wire as f64 >= image_len as f64 * 0.25 {
+        eprintln!(
+            "REGRESSION: e2e insertion upgrade moved {e2e_wire} bytes for a {image_len}-byte image"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

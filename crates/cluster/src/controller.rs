@@ -179,16 +179,16 @@ impl Controller {
             self.addr.with_port(port),
             self.addr.with_port(DRIVOLUTION_PORT),
         )?;
-        let chunk_size = server.depot_chunk_size();
+        let params = server.depot_chunking();
         for digest in server.depot().image_digests() {
             if let Some(bytes) = server.depot().image(digest) {
-                mirror.preload(bytes, chunk_size);
+                mirror.preload(bytes, &params);
             }
         }
         let warm = mirror.clone();
         server.subscribe(Arc::new(move |event| {
             if let AdminEvent::DriverAdded(rec) = event {
-                warm.preload(rec.binary.clone(), chunk_size);
+                warm.preload(rec.binary.clone(), &params);
             }
         }));
         server.register_mirror(mirror.location());

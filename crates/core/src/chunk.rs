@@ -1,10 +1,30 @@
 //! Content-addressed chunking for driver distribution.
 //!
-//! The depot subsystem splits driver images into fixed-size chunks keyed
-//! by their [`fnv1a64`] digest. A [`ChunkManifest`] describes an image as
-//! an ordered list of chunk digests plus a digest over the whole image;
+//! The depot subsystem splits driver images into chunks keyed by their
+//! [`fnv1a64`] digest. A [`ChunkManifest`] describes an image as an
+//! ordered list of chunk digests plus a digest over the whole image;
 //! given the manifest and the chunks a client already holds, an upgrade
 //! from vN to vN+1 only transfers the chunks that changed.
+//!
+//! Two chunking strategies are supported, described by
+//! [`ChunkingParams`]:
+//!
+//! * **Fixed-size** — chunk boundaries at multiples of a fixed size.
+//!   Cheap, but an insertion or deletion shifts every byte after the
+//!   edit point, invalidating every later chunk: a one-byte
+//!   size-changing edit degenerates a delta upgrade into a near-full
+//!   transfer.
+//! * **Content-defined (CDC, the default)** — boundaries where a Gear
+//!   rolling hash over the last bytes matches a mask, bounded by
+//!   min/avg/max chunk sizes. Boundaries are a function of local
+//!   content, so they re-synchronize a few chunks after any
+//!   size-shifting edit and the delta stays proportional to the edit,
+//!   not to the image.
+//!
+//! Because boundaries are fully determined by `(bytes, params)`, any two
+//! parties chunking the same image under the same params derive
+//! identical manifests — no boundary negotiation is needed beyond
+//! carrying the params in the manifest and `HAVE` summaries.
 //!
 //! Chunk payloads travel as a [`ChunkSet`] — a digest-keyed bundle that
 //! is transfer-wrapped like any driver file (see [`crate::transfer`]), so
@@ -17,10 +37,272 @@ use netsim::codec::{get_bytes, get_u32, get_u64};
 use crate::digest::fnv1a64;
 use crate::error::{DrvError, DrvResult};
 
-/// Default chunk size (bytes). Small enough that single-section edits to
-/// a driver image keep most chunks stable, large enough that manifests
-/// stay tiny relative to the image.
+/// Default chunk size (bytes) for fixed-size chunking. Small enough that
+/// single-section edits to a driver image keep most chunks stable, large
+/// enough that manifests stay tiny relative to the image.
 pub const DEFAULT_CHUNK_SIZE: u32 = 4096;
+
+/// Default CDC minimum chunk size (bytes).
+pub const DEFAULT_CDC_MIN: u32 = 1024;
+/// Default CDC target average chunk size (bytes); the boundary mask is
+/// derived from its floor power of two.
+pub const DEFAULT_CDC_AVG: u32 = 4096;
+/// Default CDC maximum chunk size (bytes); a boundary is forced here
+/// when no content-defined cut appears earlier.
+pub const DEFAULT_CDC_MAX: u32 = 16384;
+
+/// How an image is split into chunks. Carried by [`ChunkManifest`] and
+/// `HAVE` summaries so both ends of a delta derive identical boundaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChunkingParams {
+    /// Fixed-size boundaries every `size` bytes (the last chunk may be
+    /// short).
+    Fixed {
+        /// Chunk size in bytes (must be positive).
+        size: u32,
+    },
+    /// Content-defined boundaries from a Gear rolling hash.
+    Cdc {
+        /// No boundary before `min` bytes into a chunk.
+        min: u32,
+        /// Target average chunk size; the hash mask keeps one boundary
+        /// per `2^floor(log2(avg))` positions on random data.
+        avg: u32,
+        /// A boundary is forced at `max` bytes when the hash never
+        /// matches.
+        max: u32,
+    },
+}
+
+impl Default for ChunkingParams {
+    fn default() -> Self {
+        ChunkingParams::Cdc {
+            min: DEFAULT_CDC_MIN,
+            avg: DEFAULT_CDC_AVG,
+            max: DEFAULT_CDC_MAX,
+        }
+    }
+}
+
+impl std::fmt::Display for ChunkingParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkingParams::Fixed { size } => write!(f, "fixed/{size}"),
+            ChunkingParams::Cdc { min, avg, max } => write!(f, "cdc/{min}-{avg}-{max}"),
+        }
+    }
+}
+
+impl ChunkingParams {
+    /// Fixed-size chunking.
+    pub fn fixed(size: u32) -> Self {
+        ChunkingParams::Fixed { size }
+    }
+
+    /// Content-defined chunking with explicit bounds.
+    pub fn cdc(min: u32, avg: u32, max: u32) -> Self {
+        ChunkingParams::Cdc { min, avg, max }
+    }
+
+    /// Structural validity: all sizes positive, and `min <= avg <= max`
+    /// for CDC.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] describing the violation.
+    pub fn validate(&self) -> DrvResult<()> {
+        match *self {
+            ChunkingParams::Fixed { size } => {
+                if size == 0 {
+                    return Err(DrvError::Codec("fixed chunk size zero".into()));
+                }
+            }
+            ChunkingParams::Cdc { min, avg, max } => {
+                if min == 0 || avg == 0 || max == 0 {
+                    return Err(DrvError::Codec("cdc chunk bound zero".into()));
+                }
+                if min > avg || avg > max {
+                    return Err(DrvError::Codec(format!(
+                        "cdc bounds not ordered: min {min} avg {avg} max {max}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a server should honor these *client-supplied* params for
+    /// a delta plan. Structural validity plus sanity floors/ceilings so
+    /// a hostile `HAVE` summary cannot demand megachunk manifests or
+    /// per-byte chunking (a million-entry manifest per request).
+    pub fn delta_safe(&self) -> bool {
+        if self.validate().is_err() {
+            return false;
+        }
+        match *self {
+            ChunkingParams::Fixed { size } => (256..=(64 << 20)).contains(&size),
+            ChunkingParams::Cdc { min, avg, max } => min >= 64 && avg >= 256 && max <= (64 << 20),
+        }
+    }
+
+    /// Serializes the params. Fixed params encode as the bare nonzero
+    /// chunk size (the exact legacy wire format); CDC params write a `0`
+    /// marker — invalid as a fixed size, so old frames can never be
+    /// misread — followed by the three bounds.
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        match *self {
+            ChunkingParams::Fixed { size } => b.put_u32_le(size),
+            ChunkingParams::Cdc { min, avg, max } => {
+                b.put_u32_le(0);
+                b.put_u32_le(min);
+                b.put_u32_le(avg);
+                b.put_u32_le(max);
+            }
+        }
+    }
+
+    /// Deserializes params written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Codec`] on truncation or structurally invalid bounds.
+    pub fn decode(buf: &mut Bytes) -> DrvResult<Self> {
+        let head = get_u32(buf, "chunking params")?;
+        let params = if head == 0 {
+            ChunkingParams::Cdc {
+                min: get_u32(buf, "cdc min")?,
+                avg: get_u32(buf, "cdc avg")?,
+                max: get_u32(buf, "cdc max")?,
+            }
+        } else {
+            ChunkingParams::Fixed { size: head }
+        };
+        params.validate()?;
+        Ok(params)
+    }
+}
+
+/// Gear table: one pseudo-random 64-bit constant per byte value,
+/// generated by splitmix64 so the table is deterministic across builds
+/// (chunk boundaries are part of the wire contract).
+const GEAR: [u64; 256] = {
+    const fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut t = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        // Feed the index through two rounds so neighboring entries are
+        // uncorrelated.
+        t[i] = splitmix64(splitmix64(i as u64));
+        i += 1;
+    }
+    t
+};
+
+/// Boundary mask for a target average chunk size: `floor(log2(avg))` low
+/// bits. On random data the hash matches the mask once per `2^bits`
+/// positions.
+fn cdc_mask(avg: u32) -> u64 {
+    let bits = 31 - avg.max(2).leading_zeros();
+    (1u64 << bits) - 1
+}
+
+/// Content-defined cut points (exclusive chunk end offsets) of `bytes`
+/// under Gear CDC with the given bounds. The final offset is always
+/// `bytes.len()`; an empty input yields no cuts.
+///
+/// # Panics
+///
+/// Panics when the bounds are structurally invalid
+/// (see [`ChunkingParams::validate`]).
+pub fn cut_points_cdc(bytes: &[u8], min: u32, avg: u32, max: u32) -> Vec<usize> {
+    ChunkingParams::cdc(min, avg, max)
+        .validate()
+        .expect("invalid cdc bounds");
+    let len = bytes.len();
+    let (min, max) = (min as usize, max as usize);
+    let mask = cdc_mask(avg);
+    // Capacity hint: expected chunk length is roughly min plus half the
+    // mask period.
+    let expected_chunk = (min + (mask as usize).div_ceil(2)).max(1);
+    let mut cuts = Vec::with_capacity(len / expected_chunk + 1);
+    let mut start = 0;
+    while start < len {
+        let hard_end = (start + max).min(len);
+        let check_from = start + min;
+        let mut h: u64 = 0;
+        let mut i = start;
+        let cut = loop {
+            if i >= hard_end {
+                break hard_end;
+            }
+            h = (h << 1).wrapping_add(GEAR[bytes[i] as usize]);
+            i += 1;
+            if i >= check_from && (h & mask) == 0 {
+                break i;
+            }
+        };
+        cuts.push(cut);
+        start = cut;
+    }
+    cuts
+}
+
+/// Cut points (exclusive chunk end offsets) of `bytes` under `params`.
+///
+/// # Panics
+///
+/// Panics when `params` is structurally invalid.
+pub fn cut_points(bytes: &[u8], params: &ChunkingParams) -> Vec<usize> {
+    match *params {
+        ChunkingParams::Fixed { size } => {
+            assert!(size > 0, "chunk size must be positive");
+            let step = size as usize;
+            let mut cuts = Vec::with_capacity(bytes.len().div_ceil(step));
+            let mut at = step;
+            while at < bytes.len() {
+                cuts.push(at);
+                at += step;
+            }
+            if !bytes.is_empty() {
+                cuts.push(bytes.len());
+            }
+            cuts
+        }
+        ChunkingParams::Cdc { min, avg, max } => cut_points_cdc(bytes, min, avg, max),
+    }
+}
+
+/// Splits `bytes` into CDC chunks (zero-copy slices).
+pub fn split_cdc(bytes: &Bytes, min: u32, avg: u32, max: u32) -> Vec<Bytes> {
+    slices_at(bytes, &cut_points_cdc(bytes, min, avg, max))
+}
+
+/// Splits `bytes` into manifest-order chunks under `params` (zero-copy
+/// slices).
+pub fn split_with(bytes: &Bytes, params: &ChunkingParams) -> Vec<Bytes> {
+    slices_at(bytes, &cut_points(bytes, params))
+}
+
+/// Splits `bytes` into fixed-size manifest-order chunks (zero-copy
+/// slices).
+pub fn split_chunks(bytes: &Bytes, chunk_size: u32) -> Vec<Bytes> {
+    split_with(bytes, &ChunkingParams::fixed(chunk_size))
+}
+
+fn slices_at(bytes: &Bytes, cuts: &[usize]) -> Vec<Bytes> {
+    let mut out = Vec::with_capacity(cuts.len());
+    let mut start = 0;
+    for &end in cuts {
+        out.push(bytes.slice(start..end));
+        start = end;
+    }
+    out
+}
 
 /// Ordered chunk-digest description of one driver image.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,25 +311,41 @@ pub struct ChunkManifest {
     pub content_digest: u64,
     /// Image size in bytes.
     pub total_size: u64,
-    /// Chunk size used to split the image (the last chunk may be short).
-    pub chunk_size: u32,
+    /// Chunking strategy that produced the boundaries; re-deriving cut
+    /// points from `(bytes, params)` reproduces the chunk list exactly.
+    pub params: ChunkingParams,
     /// Per-chunk digests, in image order.
     pub chunks: Vec<u64>,
 }
 
 impl ChunkManifest {
-    /// Builds the manifest of `bytes` under the given chunk size.
+    /// Builds the manifest of `bytes` under fixed-size chunking.
     ///
     /// # Panics
     ///
     /// Panics when `chunk_size` is zero.
     pub fn of(bytes: &[u8], chunk_size: u32) -> Self {
-        assert!(chunk_size > 0, "chunk size must be positive");
+        Self::of_with(bytes, &ChunkingParams::fixed(chunk_size))
+    }
+
+    /// Builds the manifest of `bytes` under the given chunking params.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` is structurally invalid.
+    pub fn of_with(bytes: &[u8], params: &ChunkingParams) -> Self {
+        let cuts = cut_points(bytes, params);
+        let mut chunks = Vec::with_capacity(cuts.len());
+        let mut start = 0;
+        for &end in &cuts {
+            chunks.push(fnv1a64(&bytes[start..end]));
+            start = end;
+        }
         ChunkManifest {
             content_digest: fnv1a64(bytes),
             total_size: bytes.len() as u64,
-            chunk_size,
-            chunks: bytes.chunks(chunk_size as usize).map(fnv1a64).collect(),
+            params: *params,
+            chunks,
         }
     }
 
@@ -69,7 +367,8 @@ impl ChunkManifest {
     }
 
     /// Verifies that `bytes` matches this manifest exactly (size, every
-    /// chunk digest, and the whole-image digest).
+    /// chunk digest under the manifest's own params, and the whole-image
+    /// digest).
     ///
     /// # Errors
     ///
@@ -87,19 +386,20 @@ impl ChunkManifest {
                 "assembled image digest does not match manifest".into(),
             ));
         }
-        let mut parts = bytes.chunks(self.chunk_size.max(1) as usize);
-        if parts.len() != self.chunks.len() {
+        let cuts = cut_points(bytes, &self.params);
+        if cuts.len() != self.chunks.len() {
             return Err(DrvError::BadPackage(format!(
                 "chunk count {} does not match manifest count {}",
-                parts.len(),
+                cuts.len(),
                 self.chunks.len()
             )));
         }
-        for (i, want) in self.chunks.iter().enumerate() {
-            let part = parts.next().expect("count checked above");
-            if fnv1a64(part) != *want {
+        let mut start = 0;
+        for (i, (&end, want)) in cuts.iter().zip(&self.chunks).enumerate() {
+            if fnv1a64(&bytes[start..end]) != *want {
                 return Err(DrvError::BadPackage(format!("chunk {i} digest mismatch")));
             }
+            start = end;
         }
         Ok(())
     }
@@ -108,7 +408,7 @@ impl ChunkManifest {
     pub fn encode_into(&self, b: &mut BytesMut) {
         b.put_u64_le(self.content_digest);
         b.put_u64_le(self.total_size);
-        b.put_u32_le(self.chunk_size);
+        self.params.encode_into(b);
         b.put_u32_le(self.chunks.len() as u32);
         for d in &self.chunks {
             b.put_u64_le(*d);
@@ -121,20 +421,19 @@ impl ChunkManifest {
     ///
     /// [`DrvError::Codec`] on malformed or implausible frames (a chunk
     /// count larger than the remaining buffer is rejected before any
-    /// allocation).
+    /// allocation; the comparison is done in `u64` so hostile counts
+    /// cannot overflow `usize` arithmetic on 32-bit targets).
     pub fn decode(buf: &mut Bytes) -> DrvResult<Self> {
         let content_digest = get_u64(buf, "manifest digest")?;
         let total_size = get_u64(buf, "manifest size")?;
-        let chunk_size = get_u32(buf, "manifest chunk size")?;
-        if chunk_size == 0 {
-            return Err(DrvError::Codec("manifest chunk size zero".into()));
-        }
-        let count = get_u32(buf, "manifest chunk count")? as usize;
-        if count * 8 > buf.len() {
+        let params = ChunkingParams::decode(buf)?;
+        let count = get_u32(buf, "manifest chunk count")?;
+        if u64::from(count) * 8 > buf.len() as u64 {
             return Err(DrvError::Codec(format!(
                 "manifest chunk count {count} exceeds frame"
             )));
         }
+        let count = count as usize;
         let mut chunks = Vec::with_capacity(count);
         for _ in 0..count {
             chunks.push(get_u64(buf, "chunk digest")?);
@@ -142,24 +441,10 @@ impl ChunkManifest {
         Ok(ChunkManifest {
             content_digest,
             total_size,
-            chunk_size,
+            params,
             chunks,
         })
     }
-}
-
-/// Splits `bytes` into manifest-order chunks (zero-copy slices).
-pub fn split_chunks(bytes: &Bytes, chunk_size: u32) -> Vec<Bytes> {
-    assert!(chunk_size > 0, "chunk size must be positive");
-    let step = chunk_size as usize;
-    let mut out = Vec::with_capacity(bytes.len().div_ceil(step.max(1)));
-    let mut at = 0;
-    while at < bytes.len() {
-        let end = (at + step).min(bytes.len());
-        out.push(bytes.slice(at..end));
-        at = end;
-    }
-    out
 }
 
 /// A digest-keyed bundle of chunk payloads — the body of a
@@ -191,12 +476,16 @@ impl ChunkSet {
     /// [`DrvError::Codec`] on malformed frames, [`DrvError::BadPackage`]
     /// on digest mismatches.
     pub fn decode(mut buf: Bytes) -> DrvResult<Self> {
-        let count = get_u32(&mut buf, "chunk set count")? as usize;
-        if count * 12 > buf.len() {
+        let count = get_u32(&mut buf, "chunk set count")?;
+        // Each entry needs at least a digest (8) plus a length prefix
+        // (4); compare in u64 so a hostile count cannot overflow usize
+        // arithmetic on 32-bit targets.
+        if u64::from(count) * 12 > buf.len() as u64 {
             return Err(DrvError::Codec(format!(
                 "chunk set count {count} exceeds frame"
             )));
         }
+        let count = count as usize;
         let mut chunks = Vec::with_capacity(count);
         for _ in 0..count {
             let digest = get_u64(&mut buf, "chunk digest")?;
@@ -214,6 +503,48 @@ impl ChunkSet {
     /// Total payload bytes in the set.
     pub fn payload_bytes(&self) -> u64 {
         self.chunks.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+}
+
+/// What an upgrade from `v1` to `v2` costs a depot client under a given
+/// chunking: see [`delta_cost`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaCost {
+    /// Total bytes of `v2` chunks absent from `v1`'s chunk set — the
+    /// bytes that must travel.
+    pub bytes: u64,
+    /// Number of distinct missing chunks.
+    pub missing_chunks: usize,
+    /// Total chunks in `v2`'s manifest.
+    pub total_chunks: usize,
+}
+
+/// Bytes a client holding `v1` must fetch to assemble `v2` under
+/// `params`: the total size of distinct `v2` chunks absent from `v1`'s
+/// chunk set. Shared by the CDC benchmark and the property tests so
+/// both measure the same quantity.
+///
+/// # Panics
+///
+/// Panics when `params` is structurally invalid.
+pub fn delta_cost(v1: &[u8], v2: &[u8], params: &ChunkingParams) -> DeltaCost {
+    let m1 = ChunkManifest::of_with(v1, params);
+    let have: std::collections::HashSet<u64> = m1.chunks.iter().copied().collect();
+    let m2 = ChunkManifest::of_with(v2, params);
+    let cuts = cut_points(v2, params);
+    let mut start = 0;
+    let mut bytes = 0u64;
+    let mut missing = std::collections::HashSet::new();
+    for (&end, digest) in cuts.iter().zip(&m2.chunks) {
+        if !have.contains(digest) && missing.insert(*digest) {
+            bytes += (end - start) as u64;
+        }
+        start = end;
+    }
+    DeltaCost {
+        bytes,
+        missing_chunks: missing.len(),
+        total_chunks: m2.chunk_count(),
     }
 }
 
@@ -246,14 +577,14 @@ pub fn assemble(
 mod tests {
     use super::*;
 
+    /// Pinned checksum of the [`GEAR`] table (see
+    /// `gear_table_is_stable`).
+    const GEAR_TABLE_SUM: u64 = 0x8fa4_5dd5_08c1_1266;
+
     fn image(len: usize, seed: u8) -> Bytes {
-        // Aperiodic over any realistic length, so distinct chunks get
-        // distinct digests.
-        Bytes::from(
-            (0..len)
-                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
-                .collect::<Vec<u8>>(),
-        )
+        // High-entropy deterministic stream: CDC boundary statistics on
+        // it match real (compressed/compiled) driver code.
+        Bytes::from(crate::digest::entropy_blob(len, seed as u64))
     }
 
     #[test]
@@ -270,13 +601,110 @@ mod tests {
     }
 
     #[test]
+    fn cdc_manifest_roundtrip_and_verify() {
+        let img = image(100_000, 7);
+        let m = ChunkManifest::of_with(&img, &ChunkingParams::default());
+        m.verify(&img).unwrap();
+        assert_eq!(
+            m.chunks.len(),
+            split_with(&img, &ChunkingParams::default()).len()
+        );
+
+        let mut b = BytesMut::new();
+        m.encode_into(&mut b);
+        let round = ChunkManifest::decode(&mut b.freeze()).unwrap();
+        assert_eq!(round, m);
+    }
+
+    #[test]
+    fn params_codec_is_backward_compatible_with_bare_chunk_size() {
+        // A legacy frame carried the fixed chunk size as a bare u32.
+        let mut b = BytesMut::new();
+        b.put_u32_le(4096);
+        let p = ChunkingParams::decode(&mut b.freeze()).unwrap();
+        assert_eq!(p, ChunkingParams::fixed(4096));
+
+        // CDC params round-trip through the 0-marker encoding.
+        let p = ChunkingParams::cdc(512, 2048, 8192);
+        let mut b = BytesMut::new();
+        p.encode_into(&mut b);
+        assert_eq!(ChunkingParams::decode(&mut b.freeze()).unwrap(), p);
+
+        // Unordered CDC bounds are rejected.
+        let mut b = BytesMut::new();
+        ChunkingParams::cdc(4096, 1024, 512).encode_into(&mut b);
+        assert!(ChunkingParams::decode(&mut b.freeze()).is_err());
+    }
+
+    #[test]
+    fn cdc_cut_points_respect_bounds_and_cover_input() {
+        let img = image(200_000, 2);
+        let (min, avg, max) = (1024u32, 4096u32, 16384u32);
+        let cuts = cut_points_cdc(&img, min, avg, max);
+        assert_eq!(*cuts.last().unwrap(), img.len());
+        let mut start = 0usize;
+        for (i, &end) in cuts.iter().enumerate() {
+            let len = end - start;
+            assert!(len <= max as usize, "chunk {i} too large: {len}");
+            if end != img.len() {
+                assert!(len >= min as usize, "chunk {i} too small: {len}");
+            }
+            start = end;
+        }
+        // The realized average is in the right ballpark: between min and
+        // max, and within 4x of the target either way.
+        let avg_real = img.len() / cuts.len();
+        assert!(
+            avg_real >= (avg / 4) as usize && avg_real <= (avg * 4) as usize,
+            "realized average {avg_real} far from target {avg}"
+        );
+    }
+
+    #[test]
+    fn cdc_boundaries_survive_mid_image_insertion() {
+        // The whole point of CDC: a size-shifting edit invalidates a
+        // handful of chunks, not everything after the edit point.
+        let v1 = image(256 * 1024, 3);
+        let mut v2_bytes = v1.to_vec();
+        let inserted = b"-- inserted license banner, v2 --";
+        let at = v2_bytes.len() / 2;
+        v2_bytes.splice(at..at, inserted.iter().copied());
+        let v2 = Bytes::from(v2_bytes);
+
+        let params = ChunkingParams::default();
+        let m1 = ChunkManifest::of_with(&v1, &params);
+        let m2 = ChunkManifest::of_with(&v2, &params);
+        let missing = m2.missing_given(&m1.chunks);
+        assert!(
+            missing.len() <= 3,
+            "insertion should cost a handful of chunks, not {} of {}",
+            missing.len(),
+            m2.chunk_count()
+        );
+
+        // The same edit under fixed-size chunking invalidates roughly
+        // everything after the insertion point.
+        let f1 = ChunkManifest::of(&v1, DEFAULT_CHUNK_SIZE);
+        let f2 = ChunkManifest::of(&v2, DEFAULT_CHUNK_SIZE);
+        let fixed_missing = f2.missing_given(&f1.chunks);
+        assert!(
+            fixed_missing.len() > f2.chunk_count() / 3,
+            "expected fixed chunking to degrade: {} of {}",
+            fixed_missing.len(),
+            f2.chunk_count()
+        );
+    }
+
+    #[test]
     fn verify_rejects_any_single_byte_flip() {
         let img = image(5000, 2);
-        let m = ChunkManifest::of(&img, 512);
-        for pos in [0usize, 511, 512, 2500, 4999] {
-            let mut bad = img.to_vec();
-            bad[pos] ^= 0x40;
-            assert!(m.verify(&bad).is_err(), "flip at {pos} accepted");
+        for params in [ChunkingParams::fixed(512), ChunkingParams::default()] {
+            let m = ChunkManifest::of_with(&img, &params);
+            for pos in [0usize, 511, 512, 2500, 4999] {
+                let mut bad = img.to_vec();
+                bad[pos] ^= 0x40;
+                assert!(m.verify(&bad).is_err(), "flip at {pos} accepted ({params})");
+            }
         }
     }
 
@@ -323,23 +751,28 @@ mod tests {
 
     #[test]
     fn assemble_rebuilds_and_verifies() {
-        let img = image(9999, 6);
-        let m = ChunkManifest::of(&img, 1024);
-        let map: std::collections::HashMap<u64, Bytes> = m
-            .chunks
-            .iter()
-            .copied()
-            .zip(split_chunks(&img, 1024))
-            .collect();
-        assert_eq!(assemble(&m, &map).unwrap(), img);
+        for params in [ChunkingParams::fixed(1024), ChunkingParams::default()] {
+            let img = image(9999, 6);
+            let m = ChunkManifest::of_with(&img, &params);
+            let map: std::collections::HashMap<u64, Bytes> = m
+                .chunks
+                .iter()
+                .copied()
+                .zip(split_with(&img, &params))
+                .collect();
+            assert_eq!(assemble(&m, &map).unwrap(), img);
 
-        let mut short = map.clone();
-        short.remove(&m.chunks[3]);
-        assert!(assemble(&m, &short).is_err());
+            let mut short = map.clone();
+            short.remove(&m.chunks[3]);
+            assert!(assemble(&m, &short).is_err());
+        }
     }
 
     #[test]
     fn decode_rejects_implausible_counts() {
+        // A chunk count far beyond the frame must fail before any
+        // allocation, including counts whose byte product overflows
+        // 32-bit usize (the comparison is done in u64).
         let mut b = BytesMut::new();
         b.put_u64_le(1);
         b.put_u64_le(1);
@@ -347,8 +780,40 @@ mod tests {
         b.put_u32_le(u32::MAX);
         assert!(ChunkManifest::decode(&mut b.freeze()).is_err());
 
+        // u32::MAX * 8 == 0x7_FFFF_FFF8 wraps to a small number in
+        // 32-bit usize arithmetic; 0x2000_0001 * 8 wraps to exactly 8.
+        for count in [u32::MAX, 0x2000_0001] {
+            let mut b = BytesMut::new();
+            b.put_u64_le(1);
+            b.put_u64_le(1);
+            b.put_u32_le(16);
+            b.put_u32_le(count);
+            b.put_u64_le(0xdead);
+            assert!(
+                ChunkManifest::decode(&mut b.freeze()).is_err(),
+                "count {count:#x} accepted"
+            );
+        }
+
         let mut b = BytesMut::new();
         b.put_u32_le(u32::MAX);
         assert!(ChunkSet::decode(b.freeze()).is_err());
+
+        // 0x1555_5556 * 12 wraps to 8 in 32-bit usize arithmetic.
+        let mut b = BytesMut::new();
+        b.put_u32_le(0x1555_5556);
+        b.put_u64_le(0xdead);
+        assert!(ChunkSet::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn gear_table_is_stable() {
+        // Chunk boundaries are part of the wire contract: if the table
+        // changes, every fleet's manifests silently diverge. Pin the
+        // table via a checksum and require distinct entries.
+        let sum: u64 = GEAR.iter().fold(0u64, |a, g| a.wrapping_add(*g));
+        assert_eq!(sum, GEAR_TABLE_SUM, "gear table changed: {sum:#018x}");
+        let distinct: std::collections::HashSet<u64> = GEAR.iter().copied().collect();
+        assert_eq!(distinct.len(), 256, "gear entries must be distinct");
     }
 }

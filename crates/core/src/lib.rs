@@ -64,9 +64,12 @@ pub mod sign;
 pub mod transfer;
 mod version;
 
-pub use chunk::{ChunkManifest, ChunkSet, DEFAULT_CHUNK_SIZE};
+pub use chunk::{
+    delta_cost, ChunkManifest, ChunkSet, ChunkingParams, DeltaCost, DEFAULT_CDC_AVG,
+    DEFAULT_CDC_MAX, DEFAULT_CDC_MIN, DEFAULT_CHUNK_SIZE,
+};
 pub use descriptor::{ApiName, BinaryFormat, DriverId, DriverRecord};
-pub use digest::{fnv1a64, fnv1a64_parts};
+pub use digest::{entropy_blob, fnv1a64, fnv1a64_parts};
 pub use error::{DrvError, DrvResult};
 pub use image::{AuthKind, DriverFlavor, DriverImage, Extension};
 pub use lease::{Lease, LeaseState};

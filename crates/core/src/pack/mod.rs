@@ -51,8 +51,14 @@ pub fn pack_driver_padded(format: BinaryFormat, image: &DriverImage, padding: us
         );
     }
     if padding > 0 {
-        let blob: Vec<u8> = (0..padding).map(|i| (i % 251) as u8).collect();
-        a.add_entry("code.bin", Bytes::from(blob));
+        // High-entropy deterministic stream, not a periodic ramp:
+        // compiled/compressed driver code looks random, and
+        // content-defined chunking needs the entropy to place natural
+        // cut points inside the blob.
+        a.add_entry(
+            "code.bin",
+            Bytes::from(crate::digest::entropy_blob(padding, 0)),
+        );
     }
     a.encode()
 }

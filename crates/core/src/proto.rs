@@ -20,7 +20,7 @@ use netsim::codec::{
     put_opt_str, put_str,
 };
 
-use crate::chunk::ChunkManifest;
+use crate::chunk::{ChunkManifest, ChunkingParams};
 use crate::descriptor::{BinaryFormat, DriverId};
 use crate::error::{DrvError, DrvResult};
 use crate::policy::{ExpirationPolicy, RenewPolicy, TransferMethod};
@@ -58,8 +58,10 @@ pub enum RequestKind {
 pub struct HaveSummary {
     /// Content digests of complete cached driver images.
     pub images: Vec<u64>,
-    /// Chunk size the client's depot chunks with.
-    pub chunk_size: u32,
+    /// Chunking params the client's depot chunks with. The server
+    /// derives its delta manifest under these same params, so both sides
+    /// agree on boundaries without negotiation.
+    pub params: ChunkingParams,
     /// Chunk digests available in the client's depot.
     pub chunks: Vec<u64>,
 }
@@ -70,7 +72,7 @@ impl HaveSummary {
         for d in &self.images {
             b.put_u64_le(*d);
         }
-        b.put_u32_le(self.chunk_size);
+        self.params.encode_into(b);
         b.put_u32_le(self.chunks.len() as u32);
         for d in &self.chunks {
             b.put_u64_le(*d);
@@ -78,30 +80,30 @@ impl HaveSummary {
     }
 
     fn decode(buf: &mut Bytes) -> DrvResult<Self> {
-        let n_images = get_u16(buf, "have image count")? as usize;
-        if n_images * 8 > buf.len() {
+        let n_images = get_u16(buf, "have image count")?;
+        if u64::from(n_images) * 8 > buf.len() as u64 {
             return Err(DrvError::Codec(format!(
                 "have image count {n_images} exceeds frame"
             )));
         }
-        let mut images = Vec::with_capacity(n_images);
+        let mut images = Vec::with_capacity(n_images as usize);
         for _ in 0..n_images {
             images.push(get_u64(buf, "have image digest")?);
         }
-        let chunk_size = get_u32(buf, "have chunk size")?;
-        let n_chunks = get_u32(buf, "have chunk count")? as usize;
-        if n_chunks * 8 > buf.len() {
+        let params = ChunkingParams::decode(buf)?;
+        let n_chunks = get_u32(buf, "have chunk count")?;
+        if u64::from(n_chunks) * 8 > buf.len() as u64 {
             return Err(DrvError::Codec(format!(
                 "have chunk count {n_chunks} exceeds frame"
             )));
         }
-        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut chunks = Vec::with_capacity(n_chunks as usize);
         for _ in 0..n_chunks {
             chunks.push(get_u64(buf, "have chunk digest")?);
         }
         Ok(HaveSummary {
             images,
-            chunk_size,
+            params,
             chunks,
         })
     }
@@ -134,13 +136,13 @@ impl ChunkPlan {
 
     fn decode(buf: &mut Bytes) -> DrvResult<Self> {
         let manifest = ChunkManifest::decode(buf)?;
-        let n_missing = get_u32(buf, "plan missing count")? as usize;
-        if n_missing * 8 > buf.len() {
+        let n_missing = get_u32(buf, "plan missing count")?;
+        if u64::from(n_missing) * 8 > buf.len() as u64 {
             return Err(DrvError::Codec(format!(
                 "plan missing count {n_missing} exceeds frame"
             )));
         }
-        let mut missing = Vec::with_capacity(n_missing);
+        let mut missing = Vec::with_capacity(n_missing as usize);
         for _ in 0..n_missing {
             missing.push(get_u64(buf, "plan missing digest")?);
         }
@@ -657,13 +659,13 @@ impl DrvMsg {
             }),
             7 => Ok(DrvMsg::ReleaseOk),
             8 => {
-                let n = get_u32(&mut buf, "chunk request count")? as usize;
-                if n * 8 > buf.len() {
+                let n = get_u32(&mut buf, "chunk request count")?;
+                if u64::from(n) * 8 > buf.len() as u64 {
                     return Err(DrvError::Codec(format!(
                         "chunk request count {n} exceeds frame"
                     )));
                 }
-                let mut digests = Vec::with_capacity(n);
+                let mut digests = Vec::with_capacity(n as usize);
                 for _ in 0..n {
                     digests.push(get_u64(&mut buf, "chunk request digest")?);
                 }
@@ -810,8 +812,16 @@ mod tests {
             DrvMsg::Request(DrvRequest {
                 have: Some(HaveSummary {
                     images: vec![1, 2],
-                    chunk_size: 4096,
+                    params: ChunkingParams::fixed(4096),
                     chunks: vec![3, 4, 5],
+                }),
+                ..request()
+            }),
+            DrvMsg::Request(DrvRequest {
+                have: Some(HaveSummary {
+                    images: vec![9],
+                    params: ChunkingParams::default(),
+                    chunks: vec![6, 7],
                 }),
                 ..request()
             }),
@@ -881,6 +891,51 @@ mod tests {
         ] {
             let e = code.into_error("m".into());
             assert_eq!(DrvErrCode::classify(&e), code);
+        }
+    }
+
+    #[test]
+    fn hostile_counts_rejected_without_overflow() {
+        // Counts whose byte product wraps 32-bit usize arithmetic
+        // (0x2000_0001 * 8 == 8 mod 2^32) must still be rejected: the
+        // guards compare in u64.
+        for count in [u32::MAX, 0x2000_0001] {
+            // CHUNK_REQUEST with a hostile digest count.
+            let mut b = BytesMut::new();
+            b.put_u8(8);
+            b.put_u32_le(count);
+            b.put_u64_le(0xdead);
+            assert!(
+                DrvMsg::decode(b.freeze()).is_err(),
+                "chunk request count {count:#x} accepted"
+            );
+
+            // A request whose HAVE summary claims a hostile chunk count.
+            let mut enc = BytesMut::new();
+            put_req(
+                &mut enc,
+                &DrvRequest {
+                    have: Some(HaveSummary {
+                        images: vec![1],
+                        params: ChunkingParams::default(),
+                        chunks: Vec::new(),
+                    }),
+                    ..request()
+                },
+            );
+            let mut raw = enc.to_vec();
+            // Overwrite the trailing chunk count (last 4 bytes) and pad
+            // with one bogus digest.
+            let at = raw.len() - 4;
+            raw[at..].copy_from_slice(&count.to_le_bytes());
+            raw.extend_from_slice(&0xdeadu64.to_le_bytes());
+            let mut full = BytesMut::new();
+            full.put_u8(0);
+            full.put_slice(&raw);
+            assert!(
+                DrvMsg::decode(full.freeze()).is_err(),
+                "have chunk count {count:#x} accepted"
+            );
         }
     }
 

@@ -3,13 +3,13 @@
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use drivolution_core::chunk::{ChunkManifest, DEFAULT_CHUNK_SIZE};
+use drivolution_core::chunk::{ChunkManifest, ChunkingParams};
 use drivolution_core::proto::HaveSummary;
 use drivolution_core::{fnv1a64, DrvError, DrvResult};
 
@@ -30,6 +30,91 @@ pub struct DepotStats {
     pub bytes_fetched: u64,
 }
 
+/// Percent-encodes control characters (and `%` itself) in a depot key so
+/// a database name can never corrupt the line-oriented `latest.idx`
+/// format. Everything else passes through untouched.
+fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for c in key.chars() {
+        if c < '\u{20}' || c == '\u{7f}' || c == '%' {
+            out.push('%');
+            out.push_str(&format!("{:02X}", c as u32));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_key`]. Returns `None` on malformed escapes (a
+/// hand-edited or corrupted index line).
+fn unescape_key(key: &str) -> Option<String> {
+    let bytes = key.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Writes `contents` to `path` via a sibling tmp file and an atomic
+/// rename, so a crash mid-write can never leave a truncated file under
+/// the real name. The tmp name is unique per process and call — shared
+/// depots persist concurrently outside the lock, and two writers racing
+/// on one tmp file would reintroduce exactly the torn write this
+/// function exists to prevent.
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = match (path.parent(), path.file_name().and_then(|n| n.to_str())) {
+        (Some(dir), Some(name)) => dir.join(format!(".{name}.{}.{seq}.tmp", std::process::id())),
+        _ => return Err(std::io::Error::other("unrepresentable path")),
+    };
+    let r = fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(contents))
+        .and_then(|_| fs::rename(&tmp, path));
+    if r.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    r
+}
+
+fn encode_meta(params: &ChunkingParams) -> String {
+    match *params {
+        ChunkingParams::Fixed { size } => format!("chunking fixed {size}\n"),
+        ChunkingParams::Cdc { min, avg, max } => format!("chunking cdc {min} {avg} {max}\n"),
+    }
+}
+
+fn decode_meta(text: &str) -> Option<ChunkingParams> {
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        if it.next() != Some("chunking") {
+            continue;
+        }
+        let params = match it.next()? {
+            "fixed" => ChunkingParams::fixed(it.next()?.parse().ok()?),
+            "cdc" => ChunkingParams::cdc(
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+            ),
+            _ => return None,
+        };
+        return params.validate().ok().map(|_| params);
+    }
+    None
+}
+
 /// A client-side content-addressed cache of driver images.
 ///
 /// The bootloader consults the depot before issuing a
@@ -37,12 +122,14 @@ pub struct DepotStats {
 /// zero-transfer revalidation offers from it, and assembles chunked
 /// deltas against it. Optionally persistent: with a directory configured,
 /// every image survives process restarts, so even a cold process starts
-/// with a warm depot.
+/// with a warm depot. The chunking params are persisted alongside the
+/// images (a `meta` file), so a reopened depot keeps summarizing with the
+/// params its cached delta bases were indexed under.
 pub struct DriverDepot {
     index: ContentIndex,
     /// database name → content digest of the image last used for it.
     latest: Mutex<HashMap<String, u64>>,
-    chunk_size: u32,
+    params: ChunkingParams,
     dir: Option<PathBuf>,
     stats: Mutex<DepotStats>,
 }
@@ -52,48 +139,86 @@ impl std::fmt::Debug for DriverDepot {
         f.debug_struct("DriverDepot")
             .field("images", &self.index.image_count())
             .field("chunks", &self.index.chunk_count())
+            .field("chunking", &self.params)
             .field("persistent", &self.dir.is_some())
             .finish()
     }
 }
 
 impl DriverDepot {
-    /// Creates a memory-only depot with the default chunk size.
+    /// Creates a memory-only depot with the default (content-defined)
+    /// chunking.
     pub fn in_memory() -> Arc<Self> {
-        Arc::new(DriverDepot {
-            index: ContentIndex::new(),
-            latest: Mutex::new(HashMap::new()),
-            chunk_size: DEFAULT_CHUNK_SIZE,
-            dir: None,
-            stats: Mutex::new(DepotStats::default()),
-        })
+        Self::with_params(ChunkingParams::default())
     }
 
-    /// Creates a memory-only depot with a specific chunk size.
+    /// Creates a memory-only depot with fixed-size chunking.
     pub fn with_chunk_size(chunk_size: u32) -> Arc<Self> {
+        Self::with_params(ChunkingParams::fixed(chunk_size.max(1)))
+    }
+
+    /// Creates a memory-only depot with explicit chunking params.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` is structurally invalid.
+    pub fn with_params(params: ChunkingParams) -> Arc<Self> {
+        params.validate().expect("invalid chunking params");
         Arc::new(DriverDepot {
             index: ContentIndex::new(),
             latest: Mutex::new(HashMap::new()),
-            chunk_size: chunk_size.max(1),
+            params,
             dir: None,
             stats: Mutex::new(DepotStats::default()),
         })
     }
 
     /// Opens (or creates) a persistent depot rooted at `dir`, loading any
-    /// previously stored images.
+    /// previously stored images. The chunking params recorded in the
+    /// depot's `meta` file are restored, so a fleet configured with
+    /// non-default params keeps its delta bases across restarts; a fresh
+    /// directory gets the default (content-defined) chunking.
     ///
     /// # Errors
     ///
     /// [`DrvError::Internal`] on filesystem failures.
     pub fn persistent(dir: impl Into<PathBuf>) -> DrvResult<Arc<Self>> {
         let dir = dir.into();
+        let params = fs::read_to_string(dir.join("meta"))
+            .ok()
+            .and_then(|t| decode_meta(&t))
+            .unwrap_or_default();
+        Self::open_persistent(dir, params)
+    }
+
+    /// Opens (or creates) a persistent depot rooted at `dir` with
+    /// explicit chunking params, overriding (and rewriting) any params
+    /// recorded in the depot's `meta` file. Cached images are re-indexed
+    /// under the new params on load, so switching params costs a local
+    /// re-chunk, never a re-download.
+    ///
+    /// # Errors
+    ///
+    /// [`DrvError::Internal`] on filesystem failures or invalid params.
+    pub fn persistent_with(
+        dir: impl Into<PathBuf>,
+        params: ChunkingParams,
+    ) -> DrvResult<Arc<Self>> {
+        params
+            .validate()
+            .map_err(|e| DrvError::Internal(format!("depot chunking params: {e}")))?;
+        Self::open_persistent(dir.into(), params)
+    }
+
+    fn open_persistent(dir: PathBuf, params: ChunkingParams) -> DrvResult<Arc<Self>> {
         fs::create_dir_all(dir.join("images"))
             .map_err(|e| DrvError::Internal(format!("depot dir: {e}")))?;
+        write_atomic(&dir.join("meta"), encode_meta(&params).as_bytes())
+            .map_err(|e| DrvError::Internal(format!("depot meta: {e}")))?;
         let depot = DriverDepot {
             index: ContentIndex::new(),
             latest: Mutex::new(HashMap::new()),
-            chunk_size: DEFAULT_CHUNK_SIZE,
+            params,
             dir: Some(dir.clone()),
             stats: Mutex::new(DepotStats::default()),
         };
@@ -116,17 +241,17 @@ impl DriverDepot {
                 let _ = fs::remove_file(entry.path());
                 continue;
             }
-            depot.index.insert(Bytes::from(bytes), depot.chunk_size);
+            depot.index.insert(Bytes::from(bytes), &depot.params);
         }
         // Load the database → digest map, keeping only entries whose
-        // image actually loaded.
+        // image actually loaded and whose key unescapes cleanly.
         if let Ok(text) = fs::read_to_string(dir.join("latest.idx")) {
             let mut latest = depot.latest.lock();
             for line in text.lines() {
                 if let Some((digest, db)) = line.split_once(' ') {
-                    if let Ok(d) = u64::from_str_radix(digest, 16) {
+                    if let (Ok(d), Some(db)) = (u64::from_str_radix(digest, 16), unescape_key(db)) {
                         if depot.index.contains_image(d) {
-                            latest.insert(db.to_string(), d);
+                            latest.insert(db, d);
                         }
                     }
                 }
@@ -135,9 +260,9 @@ impl DriverDepot {
         Ok(Arc::new(depot))
     }
 
-    /// The chunk size this depot summarizes and assembles with.
-    pub fn chunk_size(&self) -> u32 {
-        self.chunk_size
+    /// The chunking params this depot summarizes and assembles with.
+    pub fn params(&self) -> ChunkingParams {
+        self.params
     }
 
     /// Counter snapshot.
@@ -152,7 +277,7 @@ impl DriverDepot {
 
     /// Inserts a full image for `database`, returning its content digest.
     pub fn insert(&self, database: &str, bytes: Bytes) -> u64 {
-        let digest = self.index.insert(bytes.clone(), self.chunk_size);
+        let digest = self.index.insert(bytes.clone(), &self.params);
         self.latest.lock().insert(database.to_string(), digest);
         self.persist(digest, &bytes);
         digest
@@ -186,7 +311,7 @@ impl DriverDepot {
             .unwrap_or_default();
         Some(HaveSummary {
             images,
-            chunk_size: self.chunk_size,
+            params: self.params,
             chunks,
         })
     }
@@ -256,13 +381,7 @@ impl DriverDepot {
         if !path.exists() {
             // Write-then-rename so a crashed write never leaves a
             // corrupt-but-plausible entry.
-            let tmp = dir.join("images").join(format!(".{digest:016x}.tmp"));
-            let ok = fs::File::create(&tmp)
-                .and_then(|mut f| f.write_all(bytes))
-                .and_then(|_| fs::rename(&tmp, &path));
-            if ok.is_err() {
-                let _ = fs::remove_file(&tmp);
-            }
+            let _ = write_atomic(&path, bytes);
         }
         // Snapshot under the lock, write after dropping it: shared depots
         // must not stall `have_summary` behind filesystem I/O.
@@ -273,9 +392,11 @@ impl DriverDepot {
         entries.sort();
         let mut out = String::new();
         for (db, d) in entries {
-            out.push_str(&format!("{d:016x} {db}\n"));
+            out.push_str(&format!("{d:016x} {}\n", escape_key(&db)));
         }
-        let _ = fs::write(dir.join("latest.idx"), out);
+        // Same tmp+rename discipline as the images: a crash mid-write
+        // must never leave a truncated index behind the real name.
+        let _ = write_atomic(&dir.join("latest.idx"), out.as_bytes());
     }
 }
 
@@ -284,11 +405,7 @@ mod tests {
     use super::*;
 
     fn image(len: usize, seed: u8) -> Bytes {
-        Bytes::from(
-            (0..len)
-                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
-                .collect::<Vec<u8>>(),
-        )
+        Bytes::from(drivolution_core::entropy_blob(len, seed as u64))
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -305,8 +422,19 @@ mod tests {
         assert_eq!(depot.lookup(d), Some(img));
         let have = depot.have_summary("orders").unwrap();
         assert_eq!(have.images, vec![d]);
+        assert_eq!(have.params, ChunkingParams::fixed(1024));
         assert_eq!(have.chunks.len(), 10);
         assert!(depot.have_summary("other").unwrap().chunks.is_empty());
+    }
+
+    #[test]
+    fn cdc_depot_summarizes_with_its_params() {
+        let depot = DriverDepot::in_memory();
+        let img = image(100_000, 9);
+        depot.insert("orders", img);
+        let have = depot.have_summary("orders").unwrap();
+        assert_eq!(have.params, ChunkingParams::default());
+        assert!(!have.chunks.is_empty());
     }
 
     #[test]
@@ -384,5 +512,143 @@ mod tests {
             assert!(depot.have_summary("orders").is_none());
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_depot_restores_custom_chunking_params() {
+        // Regression: `persistent` used to always reopen with the
+        // default chunk size, so a fleet on non-default params lost
+        // every cached delta base after a restart.
+        let dir = temp_dir("persist-params");
+        let params = ChunkingParams::cdc(512, 2048, 8192);
+        let img = image(64 * 1024, 5);
+        let (digest, chunks_before) = {
+            let depot = DriverDepot::persistent_with(&dir, params).unwrap();
+            let digest = depot.insert("orders", img.clone());
+            (digest, depot.have_summary("orders").unwrap().chunks)
+        };
+        // Plain `persistent` reopen restores the params from `meta`, and
+        // the advertised chunk digests are bit-identical, so the server
+        // keeps seeing a usable delta base.
+        let depot = DriverDepot::persistent(&dir).unwrap();
+        assert_eq!(depot.params(), params);
+        let have = depot.have_summary("orders").unwrap();
+        assert_eq!(have.params, params);
+        assert_eq!(have.chunks, chunks_before);
+        assert_eq!(depot.lookup(digest), Some(img));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_with_overrides_and_rewrites_meta() {
+        let dir = temp_dir("persist-override");
+        {
+            let depot = DriverDepot::persistent_with(&dir, ChunkingParams::fixed(2048)).unwrap();
+            depot.insert("orders", image(16 * 1024, 6));
+        }
+        {
+            let depot =
+                DriverDepot::persistent_with(&dir, ChunkingParams::cdc(256, 1024, 4096)).unwrap();
+            assert_eq!(depot.params(), ChunkingParams::cdc(256, 1024, 4096));
+            // Cached images were re-indexed under the new params.
+            assert_eq!(
+                depot.have_summary("orders").unwrap().params,
+                ChunkingParams::cdc(256, 1024, 4096)
+            );
+        }
+        // The override sticks for later plain opens.
+        let depot = DriverDepot::persistent(&dir).unwrap();
+        assert_eq!(depot.params(), ChunkingParams::cdc(256, 1024, 4096));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_idx_written_atomically_and_tolerates_truncation() {
+        let dir = temp_dir("atomic-idx");
+        {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            depot.insert("orders", image(4096, 7));
+            depot.insert("billing", image(4096, 8));
+        }
+        // No tmp residue after a clean write.
+        let residue = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(residue, 0, "tmp residue left behind");
+        let text = fs::read_to_string(dir.join("latest.idx")).unwrap();
+        assert_eq!(text.lines().count(), 2);
+
+        // Crash sim: a torn write that truncated the index mid-line (the
+        // failure mode of the old bare `fs::write`) plus leftover tmp
+        // residue. Reopen must survive: images reload, the intact line
+        // parses, the torn line is skipped.
+        // Cut into the last line's digest field so the torn line cannot
+        // parse as anything.
+        let cut = text.len() - "rders\n".len() - 12;
+        fs::write(dir.join("latest.idx"), &text.as_bytes()[..cut]).unwrap();
+        fs::write(dir.join(".latest.idx.tmp"), b"garbage").unwrap();
+        let depot = DriverDepot::persistent(&dir).unwrap();
+        assert_eq!(depot.image_count(), 2);
+        let summaries = ["orders", "billing"]
+            .iter()
+            .filter(|db| {
+                depot
+                    .have_summary(db)
+                    .map(|h| !h.chunks.is_empty())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(summaries, 1, "exactly the intact line should survive");
+        // The next insert rewrites a complete index.
+        depot.insert("orders", image(4096, 7));
+        let text = fs::read_to_string(dir.join("latest.idx")).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn control_characters_in_database_names_round_trip() {
+        // Regression: a database name containing '\n' used to corrupt
+        // the line format on write and be misparsed on reload.
+        let dir = temp_dir("ctrl-keys");
+        let evil = "orders\nfffffffffffffffff bogus";
+        let tab = "tab\tdb";
+        let (d_evil, d_tab, d_plain);
+        {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            d_evil = depot.insert(evil, image(4096, 1));
+            d_tab = depot.insert(tab, image(4096, 2));
+            d_plain = depot.insert("plain db", image(4096, 3));
+        }
+        let text = fs::read_to_string(dir.join("latest.idx")).unwrap();
+        assert_eq!(text.lines().count(), 3, "one line per key: {text:?}");
+        let depot = DriverDepot::persistent(&dir).unwrap();
+        for (db, d) in [(evil, d_evil), (tab, d_tab), ("plain db", d_plain)] {
+            let have = depot.have_summary(db).unwrap();
+            assert!(have.images.contains(&d));
+            assert!(!have.chunks.is_empty(), "latest mapping lost for {db:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_escaping_round_trips() {
+        for key in [
+            "plain",
+            "with space",
+            "per%cent",
+            "nl\n",
+            "\r\t\x7f",
+            "café-数据库",
+            "",
+        ] {
+            let esc = escape_key(key);
+            assert!(!esc.contains('\n') && !esc.contains('\r'));
+            assert_eq!(unescape_key(&esc).as_deref(), Some(key));
+        }
+        assert_eq!(unescape_key("bad%zz"), None);
+        assert_eq!(unescape_key("trunc%0"), None);
     }
 }

@@ -6,20 +6,36 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use drivolution_core::chunk::{split_chunks, ChunkManifest};
+use drivolution_core::chunk::{split_with, ChunkManifest, ChunkingParams};
 use drivolution_core::fnv1a64;
 
 /// A content-addressed store of driver images and their chunks.
 ///
 /// Images are keyed by the digest of their complete bytes; chunks by the
 /// digest of the chunk bytes. Inserting an image automatically indexes
-/// its chunks, so deltas between any two indexed images can be computed
-/// and served without further preparation.
+/// its chunks under the insert-time [`ChunkingParams`], so deltas
+/// between any two indexed images can be computed and served without
+/// further preparation. Because chunk boundaries are a pure function of
+/// `(bytes, params)`, the index can additionally derive and serve a
+/// manifest of any held image under *foreign* params (a client that
+/// chunks differently): see [`manifest_for`](Self::manifest_for).
 #[derive(Debug, Default)]
 pub struct ContentIndex {
-    images: Mutex<HashMap<u64, (Bytes, ChunkManifest)>>,
+    images: Mutex<HashMap<u64, (Bytes, ChunkingParams)>>,
+    manifests: Mutex<HashMap<(u64, ChunkingParams), ChunkManifest>>,
+    /// Distinct params manifests have been derived under. Bounded by
+    /// [`MAX_DERIVED_PARAMS`]: params are client-supplied over the wire,
+    /// and an unbounded set would let one client grow the manifest and
+    /// chunk maps (and burn a re-chunk per request) without limit.
+    derived_params: Mutex<std::collections::HashSet<ChunkingParams>>,
     chunks: Mutex<HashMap<u64, Bytes>>,
 }
+
+/// Cap on distinct chunking params an index derives manifests for. Real
+/// fleets use one or two (the server's own plus perhaps one legacy
+/// client generation); beyond the cap, foreign params fall back to a
+/// full-file transfer instead of growing server state.
+const MAX_DERIVED_PARAMS: usize = 8;
 
 impl ContentIndex {
     /// Creates an empty index.
@@ -27,24 +43,31 @@ impl ContentIndex {
         ContentIndex::default()
     }
 
-    /// Indexes `bytes` under `chunk_size`, returning its content digest.
-    /// Re-inserting identical content is a no-op.
-    pub fn insert(&self, bytes: Bytes, chunk_size: u32) -> u64 {
+    /// Indexes `bytes` under `params`, returning its content digest.
+    /// Re-inserting identical content is a no-op (the first insert's
+    /// params stick; other chunkings are derived on demand).
+    pub fn insert(&self, bytes: Bytes, params: &ChunkingParams) -> u64 {
         let digest = fnv1a64(&bytes);
-        let mut images = self.images.lock();
-        if images.contains_key(&digest) {
-            return digest;
-        }
-        let manifest = ChunkManifest::of(&bytes, chunk_size);
-        let parts = split_chunks(&bytes, chunk_size);
         {
-            let mut chunks = self.chunks.lock();
-            for (d, part) in manifest.chunks.iter().copied().zip(parts) {
-                chunks.entry(d).or_insert(part);
+            let images = self.images.lock();
+            if images.contains_key(&digest) {
+                return digest;
             }
         }
-        images.insert(digest, (bytes, manifest));
+        let manifest = ChunkManifest::of_with(&bytes, params);
+        self.index_chunks(&bytes, &manifest, params);
+        self.derived_params.lock().insert(*params);
+        self.manifests.lock().insert((digest, *params), manifest);
+        self.images.lock().insert(digest, (bytes, *params));
         digest
+    }
+
+    fn index_chunks(&self, bytes: &Bytes, manifest: &ChunkManifest, params: &ChunkingParams) {
+        let parts = split_with(bytes, params);
+        let mut chunks = self.chunks.lock();
+        for (d, part) in manifest.chunks.iter().copied().zip(parts) {
+            chunks.entry(d).or_insert(part);
+        }
     }
 
     /// Full image bytes by content digest.
@@ -52,9 +75,42 @@ impl ContentIndex {
         self.images.lock().get(&digest).map(|(b, _)| b.clone())
     }
 
-    /// Manifest of an indexed image.
+    /// Manifest of an indexed image under its insert-time params.
     pub fn manifest(&self, digest: u64) -> Option<ChunkManifest> {
-        self.images.lock().get(&digest).map(|(_, m)| m.clone())
+        let params = self.images.lock().get(&digest).map(|(_, p)| *p)?;
+        self.manifest_for(digest, &params)
+    }
+
+    /// Manifest of an indexed image under arbitrary `params`, deriving
+    /// (and chunk-indexing) it on first use. This is how a server serves
+    /// a delta to a client whose depot chunks with different params than
+    /// its own: the boundaries are recomputed under the client's params,
+    /// and the resulting chunks become servable via `CHUNK_REQUEST`.
+    /// Returns `None` for unknown digests, and for params beyond the
+    /// [`MAX_DERIVED_PARAMS`] distinct-params budget (the caller then
+    /// falls back to a full transfer).
+    pub fn manifest_for(&self, digest: u64, params: &ChunkingParams) -> Option<ChunkManifest> {
+        if let Some(m) = self.manifests.lock().get(&(digest, *params)) {
+            return Some(m.clone());
+        }
+        // Resolve the image before charging the params budget, so
+        // unknown digests cannot burn slots.
+        let bytes = self.image(digest)?;
+        {
+            let mut derived = self.derived_params.lock();
+            if !derived.contains(params) {
+                if derived.len() >= MAX_DERIVED_PARAMS {
+                    return None;
+                }
+                derived.insert(*params);
+            }
+        }
+        let manifest = ChunkManifest::of_with(&bytes, params);
+        self.index_chunks(&bytes, &manifest, params);
+        self.manifests
+            .lock()
+            .insert((digest, *params), manifest.clone());
+        Some(manifest)
     }
 
     /// Chunk bytes by chunk digest.
@@ -103,23 +159,22 @@ mod tests {
     use super::*;
 
     fn image(len: usize, seed: u8) -> Bytes {
-        Bytes::from(
-            (0..len)
-                .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as u8 ^ seed)
-                .collect::<Vec<u8>>(),
-        )
+        Bytes::from(drivolution_core::entropy_blob(len, seed as u64))
     }
 
     #[test]
     fn insert_indexes_chunks() {
-        let idx = ContentIndex::new();
-        let img = image(10_000, 1);
-        let d = idx.insert(img.clone(), 1024);
-        assert_eq!(idx.image(d), Some(img));
-        let m = idx.manifest(d).unwrap();
-        assert_eq!(idx.chunk_count(), m.chunk_count());
-        for cd in &m.chunks {
-            assert!(idx.chunk(*cd).is_some());
+        for params in [ChunkingParams::fixed(1024), ChunkingParams::default()] {
+            let idx = ContentIndex::new();
+            let img = image(100_000, 1);
+            let d = idx.insert(img.clone(), &params);
+            assert_eq!(idx.image(d), Some(img));
+            let m = idx.manifest(d).unwrap();
+            assert_eq!(m.params, params);
+            assert_eq!(idx.chunk_count(), m.chunk_count());
+            for cd in &m.chunks {
+                assert!(idx.chunk(*cd).is_some());
+            }
         }
     }
 
@@ -130,11 +185,52 @@ mod tests {
         let mut v2_bytes = v1.to_vec();
         v2_bytes[0] ^= 0xff; // only chunk 0 differs
         let v2 = Bytes::from(v2_bytes);
-        idx.insert(v1, 1024);
-        idx.insert(v2, 1024);
+        let params = ChunkingParams::fixed(1024);
+        idx.insert(v1, &params);
+        idx.insert(v2, &params);
         assert_eq!(idx.image_count(), 2);
         // 8 chunks each, 7 shared: 9 distinct.
         assert_eq!(idx.chunk_count(), 9);
+    }
+
+    #[test]
+    fn manifest_for_derives_foreign_params_and_serves_their_chunks() {
+        let idx = ContentIndex::new();
+        let img = image(64 * 1024, 3);
+        // Indexed under the server's default CDC params...
+        let d = idx.insert(img.clone(), &ChunkingParams::default());
+        // ...but a client chunking fixed/2048 still gets a manifest, and
+        // every chunk of that manifest is immediately servable.
+        let foreign = ChunkingParams::fixed(2048);
+        let m = idx.manifest_for(d, &foreign).unwrap();
+        assert_eq!(m.params, foreign);
+        assert_eq!(m.chunk_count(), 32);
+        for cd in &m.chunks {
+            assert!(idx.chunk(*cd).is_some(), "foreign chunk not indexed");
+        }
+        // Unknown digests derive nothing.
+        assert!(idx.manifest_for(d ^ 1, &foreign).is_none());
+    }
+
+    #[test]
+    fn derived_params_budget_bounds_hostile_have_summaries() {
+        let idx = ContentIndex::new();
+        let img = image(16 * 1024, 4);
+        let d = idx.insert(img, &ChunkingParams::default()); // slot 1
+                                                             // A client cycling distinct params gets cut off at the budget...
+        let mut served = 0;
+        for size in 0..32u32 {
+            if idx
+                .manifest_for(d, &ChunkingParams::fixed(512 + size))
+                .is_some()
+            {
+                served += 1;
+            }
+        }
+        assert_eq!(served, MAX_DERIVED_PARAMS - 1, "budget not enforced");
+        // ...while already-derived params keep being served from cache.
+        assert!(idx.manifest_for(d, &ChunkingParams::fixed(512)).is_some());
+        assert!(idx.manifest_for(d, &ChunkingParams::default()).is_some());
     }
 
     #[test]

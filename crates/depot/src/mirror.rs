@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 
 use netsim::{Addr, NetError, Network, Service};
 
-use drivolution_core::chunk::ChunkSet;
+use drivolution_core::chunk::{ChunkSet, ChunkingParams};
 use drivolution_core::proto::DrvMsg;
 use drivolution_core::{transfer, Certificate, DrvError, DrvResult, TransferMethod};
 
@@ -99,9 +99,11 @@ impl MirrorDepot {
     }
 
     /// Warms the replica with a full image (e.g. pushed alongside driver
-    ///-table replication in a cluster).
-    pub fn preload(&self, bytes: Bytes, chunk_size: u32) -> u64 {
-        self.index.insert(bytes, chunk_size)
+    ///-table replication in a cluster), chunked under `params` — use the
+    /// primary's params so preloaded chunks match the digests its offers
+    /// reference.
+    pub fn preload(&self, bytes: Bytes, params: &ChunkingParams) -> u64 {
+        self.index.insert(bytes, params)
     }
 
     fn fetch_missing_from_primary(&self, missing: &[u64]) -> DrvResult<()> {
@@ -210,7 +212,7 @@ mod tests {
     /// A stand-in primary that serves chunks of one image.
     fn bind_primary(net: &Network, addr: Addr, img: &Bytes, chunk_size: u32) {
         let index = ContentIndex::new();
-        index.insert(img.clone(), chunk_size);
+        index.insert(img.clone(), &ChunkingParams::fixed(chunk_size));
         net.bind(
             addr,
             FnService::new(move |_from, req| {

@@ -17,9 +17,9 @@ use drivolution_core::pack::{pack_driver, unpack_driver};
 use drivolution_core::proto::{ChunkPlan, DrvMsg, DrvOffer, DrvRequest, RequestKind};
 use drivolution_core::transfer;
 use drivolution_core::{
-    fnv1a64, Certificate, ClientIdentity, DriverId, DriverQuery, DriverRecord, DrvError, DrvNotice,
-    DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey, TransferMethod,
-    DEFAULT_CHUNK_SIZE,
+    fnv1a64, Certificate, ChunkingParams, ClientIdentity, DriverId, DriverQuery, DriverRecord,
+    DrvError, DrvNotice, DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey,
+    TransferMethod,
 };
 use drivolution_depot::ContentIndex;
 
@@ -63,8 +63,11 @@ pub struct ServerConfig {
     pub customize: bool,
     /// Free license seats when a dedicated channel breaks (§5.4.2).
     pub release_licenses_on_disconnect: bool,
-    /// Chunk size for the server's content-addressed depot index.
-    pub depot_chunk_size: u32,
+    /// Chunking params for the server's content-addressed depot index
+    /// (content-defined by default). Delta plans themselves are derived
+    /// under each client's advertised params, so this only governs how
+    /// the server pre-indexes installed drivers.
+    pub depot_chunking: ChunkingParams,
     /// Answer depot-equipped clients (requests carrying a `HAVE`
     /// summary) with zero-transfer revalidations and chunked delta
     /// offers. Clients without a depot are unaffected.
@@ -84,7 +87,7 @@ impl Default for ServerConfig {
             signing: None,
             customize: false,
             release_licenses_on_disconnect: true,
-            depot_chunk_size: DEFAULT_CHUNK_SIZE,
+            depot_chunking: ChunkingParams::default(),
             delta_offers: true,
         }
     }
@@ -179,9 +182,11 @@ impl DrivolutionServer {
         clock: Clock,
         mut config: ServerConfig,
     ) -> Self {
-        // A zero chunk size would panic manifest construction on the
-        // first install; clamp like the client depot does.
-        config.depot_chunk_size = config.depot_chunk_size.max(1);
+        // Structurally invalid params would panic manifest construction
+        // on the first install; fall back to the default chunking.
+        if config.depot_chunking.validate().is_err() {
+            config.depot_chunking = ChunkingParams::default();
+        }
         let name = name.into();
         let cert = Certificate::issue(name.clone(), 1);
         DrivolutionServer {
@@ -246,9 +251,9 @@ impl DrivolutionServer {
         &self.depot
     }
 
-    /// The chunk size the server's depot index uses.
-    pub fn depot_chunk_size(&self) -> u32 {
-        self.config.depot_chunk_size
+    /// The chunking params the server's depot index uses.
+    pub fn depot_chunking(&self) -> ChunkingParams {
+        self.config.depot_chunking
     }
 
     /// Registers a depot mirror (`host:port`). Chunked offers rotate
@@ -292,7 +297,7 @@ impl DrivolutionServer {
     pub fn install_driver(&self, record: &DriverRecord) -> DrvResult<()> {
         self.store.add_driver(record)?;
         self.depot
-            .insert(record.binary.clone(), self.config.depot_chunk_size);
+            .insert(record.binary.clone(), &self.config.depot_chunking);
         self.emit(AdminEvent::DriverAdded(record.clone()));
         Ok(())
     }
@@ -332,7 +337,7 @@ impl DrivolutionServer {
         let r = match event {
             AdminEvent::DriverAdded(rec) => {
                 self.depot
-                    .insert(rec.binary.clone(), self.config.depot_chunk_size);
+                    .insert(rec.binary.clone(), &self.config.depot_chunking);
                 self.store.add_driver(rec)
             }
             AdminEvent::RuleAdded(rule) => self.store.add_permission(rule),
@@ -524,11 +529,15 @@ impl DrivolutionServer {
         // Depot-aware delivery (clients advertising a HAVE summary):
         // exact cached content revalidates with zero transfer; content
         // indexed in the server depot upgrades via a chunk delta when the
-        // client already holds some of its chunks. Everything else (and
-        // every depot-less client) takes the staged full-file path.
-        // Advertise-only discovers skip all of it: they grant nothing, so
-        // they must not move the depot counters or consume mirror
-        // round-robin slots.
+        // client already holds some of its chunks. The delta manifest is
+        // derived under the *client's* chunking params — boundaries are a
+        // pure function of (bytes, params), so both sides agree without
+        // negotiation and a client chunking differently from the server
+        // no longer silently degrades to a full transfer. Everything
+        // else (and every depot-less client) takes the staged full-file
+        // path. Advertise-only discovers skip all of it: they grant
+        // nothing, so they must not move the depot counters or consume
+        // mirror round-robin slots.
         let mut chunked: Option<ChunkPlan> = None;
         let mut delivery_resolved = same_driver;
         if !same_driver && !advertise_only {
@@ -537,10 +546,10 @@ impl DrivolutionServer {
                     self.stats.lock().revalidations += 1;
                     delivery_resolved = true;
                 } else if self.config.delta_offers
-                    && have.chunk_size == self.config.depot_chunk_size
+                    && have.params.delta_safe()
                     && !have.chunks.is_empty()
                 {
-                    if let Some(manifest) = self.depot.manifest(content_digest) {
+                    if let Some(manifest) = self.depot.manifest_for(content_digest, &have.params) {
                         let missing = manifest.missing_given(&have.chunks);
                         if missing.len() < manifest.chunk_count() {
                             chunked = Some(ChunkPlan {
@@ -1177,7 +1186,7 @@ mod tests {
         let mut req = bootstrap_req();
         req.have = Some(drivolution_core::HaveSummary {
             images: vec![digest],
-            chunk_size: srv.config.depot_chunk_size,
+            params: srv.config.depot_chunking,
             chunks: Vec::new(),
         });
         let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
@@ -1211,11 +1220,11 @@ mod tests {
 
         // The client depot holds v1: its HAVE lists v1's chunks.
         let v1_manifest =
-            drivolution_core::ChunkManifest::of(&v1.binary, srv.config.depot_chunk_size);
+            drivolution_core::ChunkManifest::of_with(&v1.binary, &srv.config.depot_chunking);
         let mut req = bootstrap_req();
         req.have = Some(drivolution_core::HaveSummary {
             images: vec![v1_manifest.content_digest],
-            chunk_size: srv.config.depot_chunk_size,
+            params: srv.config.depot_chunking,
             chunks: v1_manifest.chunks.clone(),
         });
         let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
@@ -1274,10 +1283,10 @@ mod tests {
 
         let v1 = padded_record(1, DriverVersion::new(1, 0, 0));
         let v1_manifest =
-            drivolution_core::ChunkManifest::of(&v1.binary, srv.config.depot_chunk_size);
+            drivolution_core::ChunkManifest::of_with(&v1.binary, &srv.config.depot_chunking);
         let have = drivolution_core::HaveSummary {
             images: vec![v1_manifest.content_digest],
-            chunk_size: srv.config.depot_chunk_size,
+            params: srv.config.depot_chunking,
             chunks: v1_manifest.chunks.clone(),
         };
         let mut seen = Vec::new();

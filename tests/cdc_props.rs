@@ -1,0 +1,105 @@
+//! Property tests for content-defined chunking: delta cost under random
+//! size-shifting edits stays bounded by the edit, not the image — the
+//! exact robustness fixed-size chunking lacks.
+
+use proptest::prelude::*;
+
+use drivolution::core::chunk::{delta_cost, ChunkManifest, ChunkingParams};
+use drivolution::core::entropy_blob as image;
+
+/// Bytes a client holding `v1` must fetch for `v2` under `params`.
+fn delta_bytes(v1: &[u8], v2: &[u8], params: &ChunkingParams) -> u64 {
+    delta_cost(v1, v2, params).bytes
+}
+
+const IMG_LEN: usize = 128 * 1024;
+const CDC_MAX: u64 = 16 * 1024; // ChunkingParams::default() max bound
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cdc_delta_stays_local_under_random_insertions(
+        seed in any::<u64>(),
+        pos_seed in any::<u32>(),
+        ins_len in 1usize..400,
+    ) {
+        let v1 = image(IMG_LEN, seed);
+        let at = pos_seed as usize % v1.len();
+        let mut v2 = v1.clone();
+        v2.splice(at..at, image(ins_len, seed ^ 0x5555));
+
+        let cdc = delta_bytes(&v1, &v2, &ChunkingParams::default());
+        // Bounded by a handful of max-size chunks around the edit plus
+        // the inserted bytes — never proportional to the image.
+        prop_assert!(
+            cdc <= 4 * CDC_MAX + ins_len as u64,
+            "insert {ins_len}B at {at}: cdc delta {cdc}B"
+        );
+
+        // Comparative: an edit in the first quarter forces the fixed
+        // chunker to re-ship at least the back three quarters, which the
+        // CDC bound above can never reach.
+        if at < IMG_LEN / 4 {
+            let fixed = delta_bytes(&v1, &v2, &ChunkingParams::fixed(4096));
+            prop_assert!(
+                cdc < fixed / 2,
+                "insert at {at}: cdc {cdc}B not well under fixed {fixed}B"
+            );
+        }
+    }
+
+    #[test]
+    fn cdc_delta_stays_local_under_random_deletions(
+        seed in any::<u64>(),
+        pos_seed in any::<u32>(),
+        del_len in 1usize..400,
+    ) {
+        let v1 = image(IMG_LEN, seed);
+        let at = pos_seed as usize % (v1.len() - 400);
+        let mut v2 = v1.clone();
+        v2.drain(at..at + del_len);
+
+        let cdc = delta_bytes(&v1, &v2, &ChunkingParams::default());
+        prop_assert!(
+            cdc <= 4 * CDC_MAX,
+            "delete {del_len}B at {at}: cdc delta {cdc}B"
+        );
+
+        if at < IMG_LEN / 4 {
+            let fixed = delta_bytes(&v1, &v2, &ChunkingParams::fixed(4096));
+            prop_assert!(
+                cdc < fixed / 2,
+                "delete at {at}: cdc {cdc}B not well under fixed {fixed}B"
+            );
+        }
+    }
+
+    #[test]
+    fn cdc_manifests_verify_and_reassemble_after_edits(
+        seed in any::<u64>(),
+        pos_seed in any::<u32>(),
+        ins_len in 0usize..200,
+    ) {
+        // End-to-end invariant: whatever the edit, the edited image's
+        // CDC manifest verifies against its own bytes and assembles from
+        // its own chunk split.
+        let v1 = image(16 * 1024, seed);
+        let at = pos_seed as usize % v1.len();
+        let mut v2 = v1.clone();
+        v2.splice(at..at, image(ins_len, seed ^ 0xAAAA));
+        let v2 = bytes::Bytes::from(v2);
+
+        let params = ChunkingParams::cdc(256, 1024, 4096);
+        let m = ChunkManifest::of_with(&v2, &params);
+        prop_assert!(m.verify(&v2).is_ok());
+        let map: std::collections::HashMap<u64, bytes::Bytes> = m
+            .chunks
+            .iter()
+            .copied()
+            .zip(drivolution::core::chunk::split_with(&v2, &params))
+            .collect();
+        let rebuilt = drivolution::core::chunk::assemble(&m, &map).unwrap();
+        prop_assert_eq!(rebuilt, v2);
+    }
+}

@@ -322,6 +322,84 @@ fn persistent_depot_keeps_saving_bytes_across_process_restarts() {
 }
 
 #[test]
+fn size_shifting_upgrade_stays_a_small_delta_under_cdc() {
+    // v2's version string is longer than v1's, so every byte after the
+    // image entry shifts — the edit shape that used to degenerate a
+    // fixed-size delta into a near-full transfer.
+    let rig = rig();
+    let depot = DriverDepot::in_memory();
+    let boot = Bootloader::new(
+        &rig.net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            .trusting(rig.srv.certificate())
+            .with_depot(depot.clone()),
+    );
+    connect(&rig, &boot);
+    let cold_bytes = rig.net.stats().for_addr(&rig.server_addr).bytes_out;
+
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 10)))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+    assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
+    let upgrade_bytes = rig.net.stats().for_addr(&rig.server_addr).bytes_out - cold_bytes;
+    assert!(
+        upgrade_bytes < cold_bytes / 10,
+        "size-shifting upgrade moved {upgrade_bytes} of {cold_bytes} cold bytes"
+    );
+    assert_eq!(boot.stats().delta_downloads, 1);
+}
+
+#[test]
+fn client_with_foreign_chunking_params_still_gets_delta_offers() {
+    // The server depot indexes under default CDC params; this client
+    // chunks fixed/2048. The server derives the delta manifest under the
+    // client's params instead of silently falling back to a full
+    // transfer (the old `have.chunk_size == depot_chunk_size` gate).
+    use drivolution::core::ChunkingParams;
+    let rig = rig();
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0)))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+
+    let mark = rig.net.stats().for_addr(&rig.server_addr).bytes_out;
+    for params in [
+        ChunkingParams::fixed(2048),
+        ChunkingParams::cdc(512, 2048, 8192),
+    ] {
+        let depot = DriverDepot::with_params(params);
+        let boot = Bootloader::new(
+            &rig.net,
+            Addr::new(format!("app-{params}"), 1),
+            BootloaderConfig::same_host()
+                .trusting(rig.srv.certificate())
+                .with_depot(depot.clone()),
+        );
+        // Seed the depot with v1 so the bootstrap advertises a v1 delta
+        // base under this client's (non-server) params.
+        let v1 = rig.srv.store().record(DriverId(1)).unwrap().binary.clone();
+        depot.insert("orders", v1);
+        connect(&rig, &boot);
+        let bs = boot.stats();
+        assert!(
+            bs.delta_downloads == 1 || bs.revalidations == 1,
+            "foreign params {params} fell back to a full download: {bs:?}"
+        );
+        assert_eq!(bs.downloads, 0, "foreign params {params} full-transferred");
+    }
+    let moved = rig.net.stats().for_addr(&rig.server_addr).bytes_out - mark;
+    assert!(
+        moved < 2 * DRIVER_PADDING as u64 / 4,
+        "foreign-params clients moved {moved} bytes"
+    );
+    assert!(rig.srv.stats().delta_offers >= 2);
+}
+
+#[test]
 fn depotless_clients_are_unaffected_by_the_depot_rollout() {
     let rig = rig();
     let boot = Bootloader::new(
