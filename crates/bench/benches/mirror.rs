@@ -1,0 +1,232 @@
+//! CDN-style mirror directory under a multi-zone fleet upgrade.
+//!
+//! A 3-zone fleet (50 depot-equipped clients, one depot mirror per zone,
+//! primary in zone a) performs two driver upgrades. The first runs with
+//! every mirror healthy and measures locality: with zone-aware candidate
+//! ranking, chunk bytes should stay inside the client's zone. During the
+//! second, the zone-c mirror is killed mid-upgrade: clients drain to the
+//! next candidate (client-side walk before the directory notices, then
+//! directory quarantine), and the fleet upgrade must complete with zero
+//! failures.
+//!
+//! This target uses `harness = false`: it is a report generator emitting
+//! `BENCH_mirror.json` at the workspace root, and exits nonzero when the
+//! locality or failover claims regress (CI runs it in smoke mode via
+//! `MIRROR_BENCH_SMOKE=1`).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench mirror`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use drivolution_bootloader::PollOutcome;
+use drivolution_core::{DriverVersion, DRIVOLUTION_PORT};
+use drivolution_server::MirrorHealth;
+use fleet::FleetSim;
+use netsim::Addr;
+
+const ZONES: [&str; 3] = ["zone-a", "zone-b", "zone-c"];
+const DRIVER_PADDING: usize = 256 * 1024;
+const LEASE_MS: u64 = 600_000; // 10 virtual minutes
+const SAME_ZONE_MS: u64 = 1;
+const CROSS_ZONE_MS: u64 = 25;
+
+fn p99(mut latencies: Vec<u64>) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[idx.clamp(1, latencies.len()) - 1]
+}
+
+/// Expires every lease and refreshes mirror liveness so the next poll
+/// sweep renews against a current directory.
+fn expire_leases(sim: &FleetSim) {
+    sim.net().clock().advance_ms(LEASE_MS + 1);
+    sim.heartbeat_mirrors();
+}
+
+/// Polls clients `range`, returning how many did *not* upgrade.
+fn poll_range(sim: &FleetSim, range: std::ops::Range<usize>) -> usize {
+    let mut failed = 0;
+    for c in &sim.clients()[range] {
+        if !matches!(c.poll(), PollOutcome::Upgraded { .. }) {
+            failed += 1;
+        }
+    }
+    failed
+}
+
+fn drain_latencies(sim: &FleetSim) -> Vec<u64> {
+    sim.clients()
+        .iter()
+        .flat_map(|c| c.take_fetch_latencies())
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::var("MIRROR_BENCH_SMOKE").is_ok();
+    let clients = if smoke { 12 } else { 50 };
+    let sim = FleetSim::build_cdn(
+        clients,
+        LEASE_MS,
+        &ZONES,
+        DRIVER_PADDING,
+        SAME_ZONE_MS,
+        CROSS_ZONE_MS,
+    );
+    let primary = Addr::new("db1", DRIVOLUTION_PORT);
+
+    sim.bootstrap_all();
+    let bootstrap_egress = sim.net().stats().for_addr(&primary).bytes_out;
+    let _ = drain_latencies(&sim); // bootstraps are full-file, not chunk fetches
+
+    // --- Upgrade 1: every mirror healthy -----------------------------
+    sim.publish(2, DriverVersion::new(2, 0, 0), DRIVER_PADDING, false);
+    expire_leases(&sim);
+    let mut failed = poll_range(&sim, 0..clients);
+    let healthy_p99 = p99(drain_latencies(&sim));
+
+    // --- Upgrade 2: kill the zone-c mirror mid-upgrade ---------------
+    sim.publish(3, DriverVersion::new(3, 0, 0), DRIVER_PADDING, false);
+    expire_leases(&sim);
+    let cut = clients * 3 / 5;
+    failed += poll_range(&sim, 0..cut);
+    sim.net().with_faults(|f| f.take_down("mirror-zone-c"));
+    // A few clients race the failure detector: their plans may still
+    // rank the dead mirror first, so the client-side walk must drain
+    // them to the next candidate.
+    failed += poll_range(&sim, cut..cut + 2);
+    // The silent mirror misses its heartbeats and is quarantined; the
+    // rest of the fleet upgrades against a directory that no longer
+    // offers it.
+    sim.net().clock().advance_ms(20_000);
+    sim.heartbeat_mirrors();
+    failed += poll_range(&sim, cut + 2..clients);
+    let failover_p99 = p99(drain_latencies(&sim));
+
+    let on_v3 = sim.fraction_on(DriverVersion::new(3, 0, 0));
+    let dead_entry = sim.server().mirror_directory().entry("mirror-zone-c:1071");
+    let quarantined = matches!(
+        dead_entry.as_ref().map(|e| e.health),
+        Some(MirrorHealth::Quarantined) | None
+    );
+
+    // --- Ledgers ------------------------------------------------------
+    let (same_zone, cross_zone, fallbacks, mirror_fetches) =
+        sim.clients()
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64), |(s, c, f, m), b| {
+                let st = b.stats();
+                (
+                    s + st.same_zone_chunk_bytes,
+                    c + st.cross_zone_chunk_bytes,
+                    f + st.mirror_fallbacks,
+                    m + st.mirror_chunk_fetches,
+                )
+            });
+    let same_zone_fraction = same_zone as f64 / (same_zone + cross_zone).max(1) as f64;
+    let total_egress = sim.net().stats().for_addr(&primary).bytes_out;
+    let upgrade_egress = total_egress - bootstrap_egress;
+    let mirror_served: u64 = sim
+        .mirrors()
+        .iter()
+        .map(|m| m.stats().chunk_bytes_served)
+        .sum();
+
+    println!(
+        "\nmirror directory — {clients}-client, {}-zone fleet upgrade",
+        ZONES.len()
+    );
+    println!("  bootstrap primary egress:      {bootstrap_egress:>10} B");
+    println!("  two-upgrade primary egress:    {upgrade_egress:>10} B");
+    println!("  chunk bytes served by mirrors: {mirror_served:>10} B");
+    println!("  same-zone chunk bytes:         {same_zone:>10} B");
+    println!(
+        "  cross-zone chunk bytes:        {cross_zone:>10} B  ({:.1}% same-zone)",
+        same_zone_fraction * 100.0
+    );
+    println!("  mirror chunk fetches: {mirror_fetches}, primary fallbacks: {fallbacks}");
+    println!(
+        "  p99 chunk-fetch latency: healthy {healthy_p99} ms, mirror-killed {failover_p99} ms"
+    );
+    println!(
+        "  failed upgrades: {failed}; fleet on v3: {:.0}%",
+        on_v3 * 100.0
+    );
+    println!(
+        "  dead mirror state: {}",
+        dead_entry
+            .as_ref()
+            .map(|e| format!("{:?}", e.health))
+            .unwrap_or_else(|| "Evicted".into())
+    );
+
+    // Emit BENCH_mirror.json at the workspace root.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"mirror\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"zones\": {},", ZONES.len());
+    let _ = writeln!(json, "  \"driver_padding_bytes\": {DRIVER_PADDING},");
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"same_zone\": {SAME_ZONE_MS}, \"cross_zone\": {CROSS_ZONE_MS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"bootstrap_primary_egress_bytes\": {bootstrap_egress},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"upgrade_primary_egress_bytes\": {upgrade_egress},"
+    );
+    let _ = writeln!(json, "  \"mirror_chunk_bytes_served\": {mirror_served},");
+    let _ = writeln!(json, "  \"same_zone_chunk_bytes\": {same_zone},");
+    let _ = writeln!(json, "  \"cross_zone_chunk_bytes\": {cross_zone},");
+    let _ = writeln!(json, "  \"same_zone_fraction\": {same_zone_fraction:.4},");
+    let _ = writeln!(json, "  \"mirror_chunk_fetches\": {mirror_fetches},");
+    let _ = writeln!(json, "  \"primary_fallbacks\": {fallbacks},");
+    let _ = writeln!(json, "  \"p99_fetch_latency_ms_healthy\": {healthy_p99},");
+    let _ = writeln!(
+        json,
+        "  \"p99_fetch_latency_ms_mirror_killed\": {failover_p99},"
+    );
+    let _ = writeln!(json, "  \"failed_upgrades\": {failed},");
+    let _ = writeln!(json, "  \"dead_mirror_quarantined\": {quarantined}");
+    json.push_str("}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_mirror.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Regression gates (CI runs this in smoke mode).
+    let mut bad = false;
+    if on_v3 < 1.0 || failed > 0 {
+        eprintln!(
+            "REGRESSION: fleet upgrade incomplete ({failed} failures, {:.0}% on v3)",
+            on_v3 * 100.0
+        );
+        bad = true;
+    }
+    if same_zone_fraction < 0.9 {
+        eprintln!(
+            "REGRESSION: only {:.1}% of chunk bytes served same-zone (target >= 90%)",
+            same_zone_fraction * 100.0
+        );
+        bad = true;
+    }
+    if !quarantined {
+        eprintln!("REGRESSION: dead mirror was not quarantined or evicted");
+        bad = true;
+    }
+    if fallbacks > 0 {
+        eprintln!("REGRESSION: {fallbacks} clients fell back to the primary despite live mirrors");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

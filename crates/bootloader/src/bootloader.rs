@@ -2,6 +2,7 @@
 //! downloads the right driver from a Drivolution server at `connect`
 //! time, tracks its lease, and hot-swaps driver versions transparently.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -47,9 +48,37 @@ pub struct BootStats {
     /// Driver bytes that never travelled thanks to the depot
     /// (revalidated images plus reused delta chunks).
     pub bytes_saved: u64,
-    /// Delta downloads that fell back from the offered mirror to the
-    /// primary (mirror unreachable or its certificate not pinned).
+    /// Delta downloads whose chunks came from the *primary* because
+    /// every offered mirror candidate failed. Draining from a dead
+    /// mirror to the next candidate is not a fallback.
     pub mirror_fallbacks: u64,
+    /// Delta chunk sets successfully fetched from a mirror replica.
+    pub mirror_chunk_fetches: u64,
+    /// Delta chunk payload bytes fetched from a source in the client's
+    /// own zone (or in an unzoned topology).
+    pub same_zone_chunk_bytes: u64,
+    /// Delta chunk payload bytes fetched across zones.
+    pub cross_zone_chunk_bytes: u64,
+}
+
+/// Per-source chunk-fetch statistics a bootloader keeps about each
+/// mirror (and the primary) it has pulled chunks from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MirrorFetchStats {
+    /// Fetch attempts (including retries).
+    pub attempts: u64,
+    /// Successful chunk-set fetches.
+    pub successes: u64,
+    /// Failed attempts (network or application refusal).
+    pub failures: u64,
+    /// Raw chunk payload bytes fetched from this source.
+    pub bytes_fetched: u64,
+    /// Virtual-clock latency of the most recent successful fetch.
+    pub last_latency_ms: u64,
+    /// Exponentially weighted moving average of successful fetch
+    /// latencies — the client-side tiebreak between equally ranked
+    /// candidates.
+    pub ewma_latency_ms: u64,
 }
 
 /// Outcome of one maintenance pass ([`Bootloader::poll`]).
@@ -94,7 +123,13 @@ pub struct Bootloader {
     clock: Clock,
     state: Mutex<BootState>,
     stats: Mutex<BootStats>,
+    mirror_fetch: Mutex<HashMap<String, MirrorFetchStats>>,
+    fetch_latencies: Mutex<Vec<u64>>,
 }
+
+/// Per-mirror retry budget: transient network failures get one retry
+/// before the walk moves to the next candidate.
+const MIRROR_ATTEMPTS: usize = 2;
 
 impl std::fmt::Debug for Bootloader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -125,6 +160,8 @@ impl Bootloader {
                 last_props: None,
             }),
             stats: Mutex::new(BootStats::default()),
+            mirror_fetch: Mutex::new(HashMap::new()),
+            fetch_latencies: Mutex::new(Vec::new()),
         })
     }
 
@@ -147,6 +184,30 @@ impl Bootloader {
     /// Counter snapshot.
     pub fn stats(&self) -> BootStats {
         *self.stats.lock()
+    }
+
+    /// Per-source chunk-fetch statistics (mirrors and the primary),
+    /// sorted by location.
+    pub fn mirror_fetch_stats(&self) -> Vec<(String, MirrorFetchStats)> {
+        let mut v: Vec<(String, MirrorFetchStats)> = self
+            .mirror_fetch
+            .lock()
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Drains the recorded per-fetch virtual-clock latencies (one entry
+    /// per successful chunk-set fetch), for percentile reporting.
+    pub fn take_fetch_latencies(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.fetch_latencies.lock())
+    }
+
+    /// The zone this client's machine is placed in, if any.
+    pub fn zone(&self) -> Option<String> {
+        self.net.zone_of(self.local.host())
     }
 
     /// Version of the driver serving new connections, if any.
@@ -248,6 +309,7 @@ impl Bootloader {
                 .depot
                 .as_ref()
                 .and_then(|d| d.have_summary(url.database())),
+            zone: self.zone(),
         }
     }
 
@@ -451,9 +513,48 @@ impl Bootloader {
         }
     }
 
-    /// Chunked delta install: fetch only the chunks the depot lacks
-    /// (preferring the offered mirror, falling back to the primary),
-    /// assemble, verify, load.
+    /// Fetches `digests` from one source, measuring virtual-clock
+    /// latency and maintaining that source's fetch statistics.
+    fn timed_fetch(
+        &self,
+        location: &str,
+        src: &Addr,
+        digests: &[u64],
+        offer: &DrvOffer,
+    ) -> DkResult<Vec<(u64, Bytes)>> {
+        let t0 = self.clock.now_ms();
+        let result = self.fetch_chunks(src, digests, offer);
+        let dt = self.clock.now_ms().saturating_sub(t0);
+        {
+            let mut fs = self.mirror_fetch.lock();
+            let e = fs.entry(location.to_string()).or_default();
+            e.attempts += 1;
+            match &result {
+                Ok(chunks) => {
+                    e.successes += 1;
+                    e.bytes_fetched += chunks.iter().map(|(_, b)| b.len() as u64).sum::<u64>();
+                    e.last_latency_ms = dt;
+                    e.ewma_latency_ms = if e.successes == 1 {
+                        dt
+                    } else {
+                        (3 * e.ewma_latency_ms + dt) / 4
+                    };
+                }
+                Err(_) => e.failures += 1,
+            }
+        }
+        if result.is_ok() {
+            self.fetch_latencies.lock().push(dt);
+        }
+        result
+    }
+
+    /// Chunked delta install: fetch only the chunks the depot lacks,
+    /// walking the plan's ranked mirror candidates — healthy before
+    /// unhealthy, own-zone before cross-zone, measured-latency EWMA as
+    /// the tiebreak, with a small per-mirror retry budget for transient
+    /// network errors — and falling back to the primary only when every
+    /// candidate failed. Assemble, verify, load.
     fn download_delta(
         &self,
         server: &Addr,
@@ -463,36 +564,72 @@ impl Bootloader {
     ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
         let (_, need) = depot.partition_chunks(&plan.manifest);
         let mut fetched: std::collections::HashMap<u64, Bytes> = std::collections::HashMap::new();
+        let mut fetched_bytes: u64 = 0;
         let mut fell_back = false;
         if !need.is_empty() {
-            let mut sources: Vec<Addr> = Vec::new();
-            if let Some(m) = &plan.mirror {
-                if let Ok(addr) = parse_mirror_addr(m) {
-                    sources.push(addr);
-                }
+            let client_zone = self.zone();
+            // Client-side refinement of the server's ranking. The sort
+            // is stable, so the server's order remains the final
+            // tiebreak.
+            let mut candidates = plan.mirrors.clone();
+            {
+                let fs = self.mirror_fetch.lock();
+                candidates.sort_by_key(|c| {
+                    let zone_miss = match (client_zone.as_deref(), c.zone.as_deref()) {
+                        (Some(a), Some(b)) => a != b,
+                        _ => false,
+                    };
+                    let ewma = fs.get(&c.location).map(|s| s.ewma_latency_ms).unwrap_or(0);
+                    (!c.healthy, zone_miss, ewma)
+                });
             }
-            sources.push(server.clone());
-            let mut last_err = None;
-            for (i, src) in sources.iter().enumerate() {
-                match self.fetch_chunks(src, &need, offer) {
-                    Ok(chunks) => {
-                        fetched = chunks.into_iter().collect();
-                        // A success after a mirror failure is a fallback:
-                        // visible in stats so a misconfigured mirror tier
-                        // (wrong address, unpinned certificate) does not
-                        // silently degrade to primary-only transfer.
-                        fell_back = i > 0;
-                        last_err = None;
-                        break;
+            // The zone of whichever source ultimately served the chunks.
+            let mut source_zone: Option<Option<String>> = None;
+            'candidates: for c in &candidates {
+                let Ok(addr) = parse_mirror_addr(&c.location) else {
+                    continue;
+                };
+                for _ in 0..MIRROR_ATTEMPTS {
+                    match self.timed_fetch(&c.location, &addr, &need, offer) {
+                        Ok(chunks) => {
+                            fetched = chunks.into_iter().collect();
+                            self.stats.lock().mirror_chunk_fetches += 1;
+                            source_zone = Some(c.zone.clone());
+                            break 'candidates;
+                        }
+                        // Only transient network failures are worth the
+                        // rest of this mirror's retry budget; an
+                        // application refusal is authoritative.
+                        Err(DkError::Drv(DrvError::Net(_))) => {}
+                        Err(_) => continue 'candidates,
                     }
-                    Err(e) => last_err = Some(e),
                 }
             }
-            if let Some(e) = last_err {
-                return Err(e);
+            if source_zone.is_none() {
+                // Every mirror failed (or none was offered): the primary
+                // is the fallback of last resort. Visible in stats so a
+                // misconfigured mirror tier (wrong addresses, unpinned
+                // certificates) does not silently degrade to
+                // primary-only transfer.
+                let loc = format!("{}:{}", server.host(), server.port());
+                let chunks = self.timed_fetch(&loc, server, &need, offer)?;
+                fetched = chunks.into_iter().collect();
+                fell_back = !plan.mirrors.is_empty();
+                source_zone = Some(self.net.zone_of(server.host()));
+            }
+            fetched_bytes = fetched.values().map(|b| b.len() as u64).sum();
+            let same_zone = match (client_zone.as_deref(), source_zone.flatten().as_deref()) {
+                (Some(a), Some(b)) => a == b,
+                // Unzoned topologies are a single implicit zone.
+                _ => true,
+            };
+            let mut st = self.stats.lock();
+            if same_zone {
+                st.same_zone_chunk_bytes += fetched_bytes;
+            } else {
+                st.cross_zone_chunk_bytes += fetched_bytes;
             }
         }
-        let fetched_bytes: u64 = fetched.values().map(|b| b.len() as u64).sum();
         // Assemble (content-verified), then check the signature before the
         // image may enter the depot.
         let bytes = depot

@@ -24,7 +24,7 @@ mod config;
 mod managed;
 mod tracker;
 
-pub use bootloader::{BootStats, Bootloader, PollOutcome};
+pub use bootloader::{BootStats, Bootloader, MirrorFetchStats, PollOutcome};
 pub use config::{BootloaderConfig, ServerLocator};
 pub use managed::ManagedConnection;
 pub use tracker::ConnectionTracker;

@@ -160,8 +160,11 @@ impl Controller {
     /// every driver image the embedded server already holds and kept warm
     /// on later direct installs through the admin-event hook (content
     /// arriving via group replication is picked up read-through on first
-    /// demand). It is registered so the server's chunked offers redirect
-    /// bulk transfer to it.
+    /// demand). The mirror registers itself with the server's mirror
+    /// directory over the announce protocol (`MirrorDepot::launch`
+    /// self-announces) and immediately heartbeats its warmed coverage;
+    /// call [`heartbeat_mirror`](Self::heartbeat_mirror) periodically to
+    /// keep it out of quarantine.
     ///
     /// # Errors
     ///
@@ -191,9 +194,22 @@ impl Controller {
                 warm.preload(rec.binary.clone(), &params);
             }
         }));
-        server.register_mirror(mirror.location());
+        mirror.heartbeat()?;
         *self.mirror.lock() = Some(mirror.clone());
         Ok(mirror)
+    }
+
+    /// Heartbeats the attached depot mirror, if any, keeping it healthy
+    /// in the embedded server's mirror directory.
+    ///
+    /// # Errors
+    ///
+    /// Network failures reaching the embedded server.
+    pub fn heartbeat_mirror(&self) -> DrvResult<()> {
+        if let Some(mirror) = self.mirror.lock().clone() {
+            mirror.heartbeat()?;
+        }
+        Ok(())
     }
 
     /// Stops serving: the client port and the embedded Drivolution port
@@ -226,7 +242,11 @@ impl Controller {
                 .bind_arc(self.addr.with_port(DRIVOLUTION_PORT), drv)?;
         }
         if let Some(mirror) = self.mirror.lock().clone() {
-            self.net.bind_arc(mirror.addr().clone(), mirror)?;
+            self.net.bind_arc(mirror.addr().clone(), mirror.clone())?;
+            // The directory may have evicted the mirror while the
+            // controller was down; re-announce and refresh coverage.
+            let _ = mirror.announce();
+            let _ = mirror.heartbeat();
         }
         self.running.store(true, Ordering::SeqCst);
         Ok(())

@@ -77,7 +77,8 @@ pub use matching::{DriverQuery, Match, MatchMode};
 pub use permission::{like, ClientIdentity, PermissionRule};
 pub use policy::{ExpirationPolicy, RenewPolicy, TransferMethod};
 pub use proto::{
-    ChunkPlan, DrvMsg, DrvNotice, DrvOffer, DrvRequest, HaveSummary, RequestKind, DRIVOLUTION_PORT,
+    ChunkPlan, DrvMsg, DrvNotice, DrvOffer, DrvRequest, HaveSummary, MirrorCandidate, RequestKind,
+    DRIVOLUTION_PORT,
 };
 pub use sign::{Signature, SigningKey, TrustStore, VerifyingKey};
 pub use transfer::{Certificate, ChannelTrust};

@@ -109,10 +109,40 @@ impl HaveSummary {
     }
 }
 
+/// One ranked mirror replica in a [`ChunkPlan`]: where it is, which zone
+/// it serves from, and the server's current health estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MirrorCandidate {
+    /// `host:port` of the replica serving `CHUNK_REQUEST`s.
+    pub location: String,
+    /// Zone the mirror announced itself in, if any.
+    pub zone: Option<String>,
+    /// Health hint: `false` when the mirror's heartbeat is overdue but
+    /// it has not yet been quarantined — try it last.
+    pub healthy: bool,
+}
+
+impl MirrorCandidate {
+    /// A healthy candidate with no zone (the shape legacy single-mirror
+    /// plans decode into).
+    pub fn pinned(location: impl Into<String>) -> Self {
+        MirrorCandidate {
+            location: location.into(),
+            zone: None,
+            healthy: true,
+        }
+    }
+}
+
+/// Mirror-list wire version written by current encoders. Values `0`/`1`
+/// are reserved: they are exactly the presence byte of the legacy
+/// `Option<String>` single-mirror encoding, so old frames keep decoding.
+const PLAN_MIRRORS_V2: u8 = 2;
+
 /// Chunked-delta delivery plan carried by a `DRIVOLUTION_OFFER`: the
 /// manifest of the offered image, the chunks the client must fetch, and
-/// an optional mirror replica to fetch them from (keeping bulk transfer
-/// off the matchmaking/lease path).
+/// a ranked list of mirror replicas to fetch them from (keeping bulk
+/// transfer off the matchmaking/lease path).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChunkPlan {
     /// Manifest of the offered image.
@@ -120,8 +150,10 @@ pub struct ChunkPlan {
     /// Chunk digests the client must fetch (the rest are already in its
     /// depot per the request's `HAVE` summary).
     pub missing: Vec<u64>,
-    /// Optional `host:port` of a depot mirror serving `CHUNK_REQUEST`s.
-    pub mirror: Option<String>,
+    /// Mirror replicas serving `CHUNK_REQUEST`s, best candidate first
+    /// (server-ranked by health, zone proximity, and load). Empty when
+    /// the primary is the only source.
+    pub mirrors: Vec<MirrorCandidate>,
 }
 
 impl ChunkPlan {
@@ -131,7 +163,13 @@ impl ChunkPlan {
         for d in &self.missing {
             b.put_u64_le(*d);
         }
-        put_opt_str(b, self.mirror.as_deref());
+        b.put_u8(PLAN_MIRRORS_V2);
+        b.put_u16_le(self.mirrors.len() as u16);
+        for m in &self.mirrors {
+            put_str(b, &m.location);
+            put_opt_str(b, m.zone.as_deref());
+            b.put_u8(u8::from(m.healthy));
+        }
     }
 
     fn decode(buf: &mut Bytes) -> DrvResult<Self> {
@@ -146,11 +184,38 @@ impl ChunkPlan {
         for _ in 0..n_missing {
             missing.push(get_u64(buf, "plan missing digest")?);
         }
-        let mirror = get_opt_str(buf, "plan mirror")?;
+        let mirrors = match get_u8(buf, "plan mirror version")? {
+            // Legacy `Option<String>` frames: absent / single mirror.
+            0 => Vec::new(),
+            1 => vec![MirrorCandidate::pinned(get_str(buf, "plan mirror")?)],
+            PLAN_MIRRORS_V2 => {
+                let n = get_u16(buf, "plan mirror count")?;
+                // Each candidate needs at least a string length, a
+                // presence byte, and a health byte.
+                if u64::from(n) * 6 > buf.len() as u64 {
+                    return Err(DrvError::Codec(format!(
+                        "plan mirror count {n} exceeds frame"
+                    )));
+                }
+                let mut mirrors = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let location = get_str(buf, "mirror location")?;
+                    let zone = get_opt_str(buf, "mirror zone")?;
+                    let healthy = get_u8(buf, "mirror health")? != 0;
+                    mirrors.push(MirrorCandidate {
+                        location,
+                        zone,
+                        healthy,
+                    });
+                }
+                mirrors
+            }
+            v => return Err(DrvError::Codec(format!("unknown plan mirror version {v}"))),
+        };
         Ok(ChunkPlan {
             manifest,
             missing,
-            mirror,
+            mirrors,
         })
     }
 }
@@ -184,6 +249,9 @@ pub struct DrvRequest {
     /// Depot `HAVE` summary: cached content the server may revalidate or
     /// delta against instead of re-shipping the full image.
     pub have: Option<HaveSummary>,
+    /// Zone the client is in, when its machine is placed in a zone
+    /// topology. The server ranks mirror candidates for this zone.
+    pub zone: Option<String>,
 }
 
 impl DrvRequest {
@@ -207,6 +275,7 @@ impl DrvRequest {
             transfer_method: TransferMethod::Any,
             options: Vec::new(),
             have: None,
+            zone: None,
         }
     }
 
@@ -374,6 +443,35 @@ pub enum DrvMsg {
         /// Wrapped chunk-set bytes.
         payload: Bytes,
     },
+    /// `MIRROR_ANNOUNCE` — a depot mirror registers itself with the
+    /// primary's mirror directory (location, zone). Sent at launch and
+    /// whenever a heartbeat is answered with `known: false`.
+    MirrorAnnounce {
+        /// `host:port` the mirror serves `CHUNK_REQUEST`s on.
+        location: String,
+        /// Zone the mirror is placed in, if any.
+        zone: Option<String>,
+    },
+    /// `MIRROR_HEARTBEAT` — a registered mirror's periodic liveness and
+    /// coverage report; silence quarantines and eventually evicts it.
+    MirrorHeartbeat {
+        /// `host:port` the mirror announced under.
+        location: String,
+        /// Chunks the mirror's replica currently holds.
+        chunk_count: u64,
+        /// Cumulative raw chunk bytes the mirror has served.
+        served_bytes: u64,
+        /// Requests served since the previous heartbeat (load signal for
+        /// candidate ranking).
+        load: u32,
+    },
+    /// `MIRROR_ACK` — the directory's answer to an announce or
+    /// heartbeat.
+    MirrorAck {
+        /// `false` when the heartbeat named an unregistered mirror (it
+        /// was evicted or the server restarted): re-announce.
+        known: bool,
+    },
 }
 
 fn put_req(b: &mut BytesMut, r: &DrvRequest) {
@@ -410,6 +508,7 @@ fn put_req(b: &mut BytesMut, r: &DrvRequest) {
         }
         None => b.put_u8(0),
     }
+    put_opt_str(b, r.zone.as_deref());
 }
 
 fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
@@ -451,6 +550,13 @@ fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
         1 => Some(HaveSummary::decode(buf)?),
         t => return Err(DrvError::Codec(format!("bad have presence {t}"))),
     };
+    // The zone field was appended to the request encoding; frames from
+    // pre-directory clients simply end here, and decode as zoneless.
+    let zone = if buf.is_empty() {
+        None
+    } else {
+        get_opt_str(buf, "client zone")?
+    };
     Ok(DrvRequest {
         kind,
         database,
@@ -464,6 +570,7 @@ fn get_req(buf: &mut Bytes) -> DrvResult<DrvRequest> {
         transfer_method,
         options,
         have,
+        zone,
     })
 }
 
@@ -625,6 +732,27 @@ impl DrvMsg {
                 b.put_u8(9);
                 put_bytes(&mut b, payload);
             }
+            DrvMsg::MirrorAnnounce { location, zone } => {
+                b.put_u8(10);
+                put_str(&mut b, location);
+                put_opt_str(&mut b, zone.as_deref());
+            }
+            DrvMsg::MirrorHeartbeat {
+                location,
+                chunk_count,
+                served_bytes,
+                load,
+            } => {
+                b.put_u8(11);
+                put_str(&mut b, location);
+                b.put_u64_le(*chunk_count);
+                b.put_u64_le(*served_bytes);
+                b.put_u32_le(*load);
+            }
+            DrvMsg::MirrorAck { known } => {
+                b.put_u8(12);
+                b.put_u8(u8::from(*known));
+            }
         }
         b.freeze()
     }
@@ -679,6 +807,19 @@ impl DrvMsg {
             }
             9 => Ok(DrvMsg::ChunkData {
                 payload: get_bytes(&mut buf, "chunk payload")?,
+            }),
+            10 => Ok(DrvMsg::MirrorAnnounce {
+                location: get_str(&mut buf, "mirror location")?,
+                zone: get_opt_str(&mut buf, "mirror zone")?,
+            }),
+            11 => Ok(DrvMsg::MirrorHeartbeat {
+                location: get_str(&mut buf, "mirror location")?,
+                chunk_count: get_u64(&mut buf, "mirror chunk count")?,
+                served_bytes: get_u64(&mut buf, "mirror served bytes")?,
+                load: get_u32(&mut buf, "mirror load")?,
+            }),
+            12 => Ok(DrvMsg::MirrorAck {
+                known: get_u8(&mut buf, "mirror ack")? != 0,
             }),
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
@@ -787,7 +928,18 @@ mod tests {
         ChunkPlan {
             manifest,
             missing,
-            mirror: Some("mirror1:1071".into()),
+            mirrors: vec![
+                MirrorCandidate {
+                    location: "mirror1:1071".into(),
+                    zone: Some("zone-a".into()),
+                    healthy: true,
+                },
+                MirrorCandidate {
+                    location: "mirror2:1071".into(),
+                    zone: None,
+                    healthy: false,
+                },
+            ],
         }
     }
 
@@ -838,10 +990,14 @@ mod tests {
             }),
             DrvMsg::Offer(DrvOffer {
                 chunked: Some(ChunkPlan {
-                    mirror: None,
+                    mirrors: Vec::new(),
                     ..chunk_plan()
                 }),
                 ..offer()
+            }),
+            DrvMsg::Request(DrvRequest {
+                zone: Some("zone-b".into()),
+                ..request()
             }),
             DrvMsg::Error {
                 code: DrvErrCode::NoMatchingDriver,
@@ -867,6 +1023,22 @@ mod tests {
             DrvMsg::ChunkData {
                 payload: Bytes::from_static(b"wrapped chunk set"),
             },
+            DrvMsg::MirrorAnnounce {
+                location: "mirror1:1071".into(),
+                zone: Some("zone-a".into()),
+            },
+            DrvMsg::MirrorAnnounce {
+                location: "mirror2:1071".into(),
+                zone: None,
+            },
+            DrvMsg::MirrorHeartbeat {
+                location: "mirror1:1071".into(),
+                chunk_count: 1234,
+                served_bytes: 5_000_000,
+                load: 17,
+            },
+            DrvMsg::MirrorAck { known: true },
+            DrvMsg::MirrorAck { known: false },
         ];
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");
@@ -924,11 +1096,14 @@ mod tests {
                 },
             );
             let mut raw = enc.to_vec();
-            // Overwrite the trailing chunk count (last 4 bytes) and pad
-            // with one bogus digest.
+            // Overwrite the chunk count (which sits just before the
+            // trailing zone presence byte) and pad with one bogus
+            // digest.
+            let zone_byte = raw.pop().unwrap();
             let at = raw.len() - 4;
             raw[at..].copy_from_slice(&count.to_le_bytes());
             raw.extend_from_slice(&0xdeadu64.to_le_bytes());
+            raw.push(zone_byte);
             let mut full = BytesMut::new();
             full.put_u8(0);
             full.put_slice(&raw);
@@ -937,6 +1112,57 @@ mod tests {
                 "have chunk count {count:#x} accepted"
             );
         }
+    }
+
+    #[test]
+    fn legacy_requests_without_zone_field_still_decode() {
+        // Hand-build the pre-directory request frame: the current
+        // encoding minus the trailing zone option byte.
+        let mut b = BytesMut::new();
+        put_req(&mut b, &request());
+        let mut raw = b.to_vec();
+        assert_eq!(raw.pop(), Some(0), "request() must encode zone: None");
+        let mut full = BytesMut::new();
+        full.put_u8(0);
+        full.put_slice(&raw);
+        let DrvMsg::Request(r) = DrvMsg::decode(full.freeze()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.zone, None);
+        assert_eq!(r, request());
+    }
+
+    #[test]
+    fn legacy_single_mirror_plans_still_decode() {
+        let manifest = ChunkManifest::of(&[7u8; 10_000], 4096);
+        let missing = manifest.chunks[1..].to_vec();
+        // Hand-encode the pre-directory wire format: the mirror list was
+        // an `Option<String>` whose presence byte doubles as version 0/1.
+        let mut b = BytesMut::new();
+        manifest.encode_into(&mut b);
+        b.put_u32_le(missing.len() as u32);
+        for d in &missing {
+            b.put_u64_le(*d);
+        }
+        put_opt_str(&mut b, Some("mirror1:1071"));
+        let plan = ChunkPlan::decode(&mut b.freeze()).unwrap();
+        assert_eq!(plan.mirrors, vec![MirrorCandidate::pinned("mirror1:1071")]);
+        assert_eq!(plan.missing, missing);
+
+        // The absent-mirror form decodes to an empty candidate list.
+        let mut b = BytesMut::new();
+        manifest.encode_into(&mut b);
+        b.put_u32_le(0);
+        put_opt_str(&mut b, None);
+        let plan = ChunkPlan::decode(&mut b.freeze()).unwrap();
+        assert!(plan.mirrors.is_empty());
+
+        // Unknown mirror-list versions are rejected.
+        let mut b = BytesMut::new();
+        manifest.encode_into(&mut b);
+        b.put_u32_le(0);
+        b.put_u8(9);
+        assert!(ChunkPlan::decode(&mut b.freeze()).is_err());
     }
 
     #[test]

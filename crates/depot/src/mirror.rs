@@ -25,6 +25,10 @@ pub struct MirrorStats {
     pub chunk_bytes_served: u64,
     /// Chunks pulled read-through from the primary on a local miss.
     pub read_through_chunks: u64,
+    /// `MIRROR_ANNOUNCE`s sent to the primary.
+    pub announces: u64,
+    /// `MIRROR_HEARTBEAT`s sent to the primary.
+    pub heartbeats: u64,
 }
 
 /// A read-only depot replica on the simulated network.
@@ -34,6 +38,12 @@ pub struct MirrorStats {
 /// matchmaking/lease path never carries bulk transfer for mirrored
 /// content more than once. Content addressing makes staleness impossible:
 /// a chunk digest either resolves to the right bytes or to nothing.
+///
+/// Mirrors register themselves: [`launch`](Self::launch) sends a
+/// `MIRROR_ANNOUNCE` (location and zone) to the primary, and periodic
+/// [`heartbeat`](Self::heartbeat)s report liveness, chunk coverage,
+/// served bytes, and load to the primary's mirror directory. A mirror
+/// that stops heartbeating is quarantined out of chunk plans.
 pub struct MirrorDepot {
     net: Network,
     addr: Addr,
@@ -41,6 +51,9 @@ pub struct MirrorDepot {
     cert: Certificate,
     index: ContentIndex,
     stats: Mutex<MirrorStats>,
+    /// `chunk_requests` value at the previous heartbeat; the next
+    /// heartbeat reports the delta as its load signal.
+    last_reported_requests: Mutex<u64>,
 }
 
 impl std::fmt::Debug for MirrorDepot {
@@ -67,9 +80,89 @@ impl MirrorDepot {
             cert: Certificate::issue(addr.host(), u64::from(addr.port())),
             index: ContentIndex::new(),
             stats: Mutex::new(MirrorStats::default()),
+            last_reported_requests: Mutex::new(0),
         });
         net.bind_arc(addr, mirror.clone())?;
+        // Self-announce. Best-effort: the primary may not be up yet (or
+        // may predate the announce protocol); a later heartbeat answered
+        // with `known: false` retries the announce.
+        let _ = mirror.announce();
         Ok(mirror)
+    }
+
+    /// The zone this mirror is placed in under the network's current
+    /// topology, if any.
+    pub fn zone(&self) -> Option<String> {
+        self.net.zone_of(self.addr.host())
+    }
+
+    fn exchange_directory(&self, msg: DrvMsg) -> DrvResult<bool> {
+        let reply = self
+            .net
+            .request(&self.addr, &self.primary, msg.encode())
+            .map_err(|e| DrvError::Net(format!("mirror directory exchange: {e}")))?;
+        match DrvMsg::decode(reply)? {
+            DrvMsg::MirrorAck { known } => Ok(known),
+            DrvMsg::Error { code, message } => Err(code.into_error(message)),
+            other => Err(DrvError::Codec(format!(
+                "unexpected directory reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Announces this mirror (location and zone) to the primary's mirror
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Network failures reaching the primary, or a primary that does not
+    /// speak the announce protocol.
+    pub fn announce(&self) -> DrvResult<()> {
+        self.stats.lock().announces += 1;
+        self.exchange_directory(DrvMsg::MirrorAnnounce {
+            location: self.location(),
+            zone: self.zone(),
+        })?;
+        Ok(())
+    }
+
+    /// Sends one heartbeat: liveness plus chunk coverage, cumulative
+    /// served bytes, and the number of requests served since the last
+    /// heartbeat. When the primary answers `known: false` (this mirror
+    /// was evicted or the server restarted), re-announces and retries
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Network failures reaching the primary.
+    pub fn heartbeat(&self) -> DrvResult<()> {
+        let (msg, requests_snapshot) = {
+            let st = self.stats.lock();
+            let last = self.last_reported_requests.lock();
+            let load = st
+                .chunk_requests
+                .saturating_sub(*last)
+                .min(u64::from(u32::MAX)) as u32;
+            (
+                DrvMsg::MirrorHeartbeat {
+                    location: self.location(),
+                    chunk_count: self.index.chunk_count() as u64,
+                    served_bytes: st.chunk_bytes_served,
+                    load,
+                },
+                st.chunk_requests,
+            )
+        };
+        self.stats.lock().heartbeats += 1;
+        if !self.exchange_directory(msg.clone())? {
+            self.announce()?;
+            self.exchange_directory(msg)?;
+        }
+        // Only a delivered heartbeat consumes the interval: a failed
+        // send keeps the load attributable to the next beat instead of
+        // silently dropping it.
+        *self.last_reported_requests.lock() = requests_snapshot;
+        Ok(())
     }
 
     /// The mirror's address.
@@ -290,6 +383,143 @@ mod tests {
             net.stats().for_addr(&Addr::new("srv", 1070)).requests,
             before
         );
+    }
+
+    #[test]
+    fn mirror_announces_and_heartbeats_to_the_primary() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let net = Network::new();
+        net.with_topology(|t| t.place("mirror1", "east"));
+        // Stand-in primary that records directory messages and answers
+        // with a configurable `known` flag.
+        let seen: Arc<Mutex<Vec<DrvMsg>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let known = Arc::new(AtomicBool::new(true));
+        let k = known.clone();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(move |_f, req| {
+                let msg = DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?;
+                sink.lock().push(msg);
+                Ok(DrvMsg::MirrorAck {
+                    known: k.load(Ordering::SeqCst),
+                }
+                .encode())
+            }),
+        )
+        .unwrap();
+
+        let mirror =
+            MirrorDepot::launch(&net, Addr::new("mirror1", 1071), Addr::new("srv", 1070)).unwrap();
+        // Launch self-announced, carrying the topology zone.
+        {
+            let msgs = seen.lock();
+            assert_eq!(msgs.len(), 1);
+            assert!(matches!(
+                &msgs[0],
+                DrvMsg::MirrorAnnounce { location, zone }
+                    if location == "mirror1:1071" && zone.as_deref() == Some("east")
+            ));
+        }
+        mirror.heartbeat().unwrap();
+        assert!(matches!(
+            seen.lock().last().unwrap(),
+            DrvMsg::MirrorHeartbeat { .. }
+        ));
+
+        // A heartbeat answered `known: false` re-announces and retries.
+        known.store(false, Ordering::SeqCst);
+        mirror.heartbeat().unwrap();
+        {
+            let msgs = seen.lock();
+            let tail: Vec<&DrvMsg> = msgs.iter().rev().take(3).collect();
+            assert!(matches!(tail[0], DrvMsg::MirrorHeartbeat { .. }));
+            assert!(matches!(tail[1], DrvMsg::MirrorAnnounce { .. }));
+            assert!(matches!(tail[2], DrvMsg::MirrorHeartbeat { .. }));
+        }
+        let st = mirror.stats();
+        assert_eq!(st.announces, 2);
+        assert_eq!(st.heartbeats, 2);
+    }
+
+    #[test]
+    fn heartbeat_reports_coverage_and_load_delta() {
+        let net = Network::new();
+        let img = image(4096, 1);
+        let manifest = ChunkManifest::of(&img, 1024);
+        let primary = Addr::new("srv", 1070);
+        bind_primary(&net, primary.clone(), &img, 1024);
+        let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), primary).unwrap();
+        mirror.preload(img, &ChunkingParams::fixed(1024));
+
+        // Serve one request, then inspect what the heartbeat reports by
+        // swapping in a recording primary.
+        net.request(
+            &Addr::new("app", 1),
+            mirror.addr(),
+            DrvMsg::ChunkRequest {
+                digests: manifest.chunks.clone(),
+                transfer_method: TransferMethod::Checksum,
+            }
+            .encode(),
+        )
+        .unwrap();
+        net.unbind(&Addr::new("srv", 1070));
+        let seen: Arc<Mutex<Vec<DrvMsg>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(move |_f, req| {
+                sink.lock()
+                    .push(DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?);
+                Ok(DrvMsg::MirrorAck { known: true }.encode())
+            }),
+        )
+        .unwrap();
+        mirror.heartbeat().unwrap();
+        mirror.heartbeat().unwrap();
+        let msgs = seen.lock();
+        let DrvMsg::MirrorHeartbeat {
+            chunk_count,
+            served_bytes,
+            load,
+            ..
+        } = &msgs[0]
+        else {
+            panic!("{:?}", msgs[0]);
+        };
+        assert_eq!(*chunk_count, 4);
+        assert!(*served_bytes > 0);
+        assert_eq!(*load, 1, "first beat reports the served request");
+        let DrvMsg::MirrorHeartbeat { load, .. } = &msgs[1] else {
+            panic!()
+        };
+        assert_eq!(*load, 0, "load is a per-interval delta");
+        drop(msgs);
+
+        // A heartbeat that fails to reach the primary must not consume
+        // the interval: the served request stays attributable to the
+        // next successful beat.
+        net.request(
+            &Addr::new("app", 1),
+            mirror.addr(),
+            DrvMsg::ChunkRequest {
+                digests: manifest.chunks.clone(),
+                transfer_method: TransferMethod::Checksum,
+            }
+            .encode(),
+        )
+        .unwrap();
+        net.with_faults(|f| f.take_down("srv"));
+        assert!(mirror.heartbeat().is_err());
+        net.with_faults(|f| f.restore("srv"));
+        mirror.heartbeat().unwrap();
+        let msgs = seen.lock();
+        let DrvMsg::MirrorHeartbeat { load, .. } = msgs.last().unwrap() else {
+            panic!()
+        };
+        assert_eq!(*load, 1, "failed beat must not swallow the interval");
     }
 
     #[test]

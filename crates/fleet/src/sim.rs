@@ -15,6 +15,7 @@ use drivolution_core::{
     ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
     PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
 };
+use drivolution_depot::{DriverDepot, MirrorDepot};
 use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
 use minidb::wire::DbServer;
 use minidb::MiniDb;
@@ -38,6 +39,7 @@ pub struct FleetSim {
     server: Arc<DrivolutionServer>,
     drv_addr: Addr,
     clients: Vec<Arc<Bootloader>>,
+    mirrors: Vec<Arc<MirrorDepot>>,
     url: DbUrl,
     lease_ms: u64,
 }
@@ -123,9 +125,58 @@ impl FleetSim {
             server,
             drv_addr: Addr::new("db1", DRIVOLUTION_PORT),
             clients,
+            mirrors: Vec::new(),
             url: DbUrl::direct(Addr::new("db1", 5432), "fleetdb"),
             lease_ms,
         }
+    }
+
+    /// Builds a CDN-style multi-zone fleet: the database (and primary
+    /// Drivolution server) lives in `zones[0]`, every zone gets a depot
+    /// mirror (`mirror-<zone>:1071`) registered via the announce
+    /// protocol, and the `n_clients` depot-equipped clients are placed
+    /// round-robin across zones. Links cost `same_zone_ms`/`cross_zone_ms`
+    /// one-way against the virtual clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `zones` is empty.
+    pub fn build_cdn(
+        n_clients: usize,
+        lease_ms: u64,
+        zones: &[&str],
+        driver_padding: usize,
+        same_zone_ms: u64,
+        cross_zone_ms: u64,
+    ) -> Self {
+        assert!(!zones.is_empty(), "a CDN fleet needs at least one zone");
+        let mut sim = Self::build_with_driver_size(0, lease_ms, false, driver_padding);
+        sim.net.with_topology(|t| {
+            t.set_default_latency(same_zone_ms, cross_zone_ms);
+            t.place("db1", zones[0]);
+        });
+        for zone in zones {
+            let host = format!("mirror-{zone}");
+            sim.net.with_topology(|t| t.place(host.clone(), *zone));
+            let mirror = MirrorDepot::launch(&sim.net, Addr::new(host, 1071), sim.drv_addr.clone())
+                .expect("mirror bind");
+            mirror.heartbeat().expect("mirror heartbeat");
+            sim.mirrors.push(mirror);
+        }
+        for i in 0..n_clients {
+            let host = format!("app{i:04}");
+            let zone = zones[i % zones.len()];
+            sim.net.with_topology(|t| t.place(host.clone(), zone));
+            let mut config = BootloaderConfig::same_host()
+                .trusting(sim.server.certificate())
+                .with_depot(DriverDepot::in_memory());
+            for m in &sim.mirrors {
+                config = config.trusting(m.certificate());
+            }
+            sim.clients
+                .push(Bootloader::new(&sim.net, Addr::new(host, 1), config));
+        }
+        sim
     }
 
     /// The simulated network (clock, stats, faults).
@@ -143,6 +194,21 @@ impl FleetSim {
         &self.clients
     }
 
+    /// The per-zone depot mirrors (empty outside
+    /// [`FleetSim::build_cdn`]).
+    pub fn mirrors(&self) -> &[Arc<MirrorDepot>] {
+        &self.mirrors
+    }
+
+    /// Heartbeats every mirror, ignoring failures (a mirror taken down
+    /// by fault injection simply misses its beats and gets
+    /// quarantined).
+    pub fn heartbeat_mirrors(&self) {
+        for m in &self.mirrors {
+            let _ = m.heartbeat();
+        }
+    }
+
     /// Bootstraps every client (each downloads v1 once).
     pub fn bootstrap_all(&self) {
         for (i, c) in self.clients.iter().enumerate() {
@@ -157,13 +223,24 @@ impl FleetSim {
     /// Publishes driver v2 and routes the fleet to it. With `push`, also
     /// notifies dedicated channels.
     pub fn publish_upgrade(&self, push: bool) {
+        self.publish(2, DriverVersion::new(2, 0, 0), 0, push);
+    }
+
+    /// Publishes driver `id` at `version` (with `driver_padding` bytes
+    /// of payload) and routes the fleet to it, revoking the previous
+    /// driver's permissions. With `push`, also notifies dedicated
+    /// channels.
+    pub fn publish(&self, id: i64, version: DriverVersion, driver_padding: usize, push: bool) {
         self.server
-            .install_driver(&record(2, 2, DriverVersion::new(2, 0, 0), 0))
+            .install_driver(&record(id, id as u16, version, driver_padding))
             .unwrap();
-        self.server.store().remove_permissions(DriverId(1)).unwrap();
+        self.server
+            .store()
+            .remove_permissions(DriverId(id - 1))
+            .unwrap();
         self.server
             .add_rule(
-                &PermissionRule::any(DriverId(2))
+                &PermissionRule::any(DriverId(id))
                     .with_lease_ms(self.lease_ms as i64)
                     .with_transfer(TransferMethod::Any)
                     .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
@@ -192,6 +269,7 @@ impl FleetSim {
         let mut polls = 0;
         let target = DriverVersion::new(2, 0, 0);
         loop {
+            self.heartbeat_mirrors();
             for c in &self.clients {
                 let _ = c.poll();
                 polls += 1;
@@ -223,6 +301,7 @@ impl FleetSim {
         let mut polls = 0;
         while self.net.clock().now_ms() - start < duration_ms {
             self.net.clock().advance_ms(step_ms);
+            self.heartbeat_mirrors();
             for c in &self.clients {
                 let _ = c.poll();
                 polls += 1;
@@ -268,6 +347,34 @@ mod tests {
         // waiting for lease expiry.
         assert_eq!(sim.fraction_on(DriverVersion::new(2, 0, 0)), 1.0);
         assert!(r.time_to_full_upgrade_ms <= MINUTE);
+    }
+
+    #[test]
+    fn cdn_fleet_upgrades_from_same_zone_mirrors() {
+        let zones = ["za", "zb", "zc"];
+        let sim = FleetSim::build_cdn(6, 10 * MINUTE, &zones, 64 * 1024, 1, 25);
+        assert_eq!(sim.mirrors().len(), 3);
+        assert_eq!(sim.server().mirror_directory().len(), 3);
+        sim.bootstrap_all();
+        sim.publish(2, DriverVersion::new(2, 0, 0), 64 * 1024, false);
+        sim.run_until_upgraded(MINUTE, 60 * MINUTE);
+        assert_eq!(sim.fraction_on(DriverVersion::new(2, 0, 0)), 1.0);
+        // Every delta chunk travelled inside the client's own zone, and
+        // the mirrors (not the primary) carried the bulk traffic.
+        let (same, cross) = sim.clients().iter().fold((0u64, 0u64), |(s, c), b| {
+            let st = b.stats();
+            (s + st.same_zone_chunk_bytes, c + st.cross_zone_chunk_bytes)
+        });
+        assert!(same > 0, "no chunk bytes accounted");
+        assert_eq!(cross, 0, "cross-zone chunk bytes on a healthy fleet");
+        assert!(sim.mirrors().iter().all(|m| m.stats().chunks_served > 0));
+        assert_eq!(
+            sim.clients()
+                .iter()
+                .map(|c| c.stats().mirror_fallbacks)
+                .sum::<u64>(),
+            0
+        );
     }
 
     #[test]

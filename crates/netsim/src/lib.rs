@@ -48,6 +48,7 @@ mod fault;
 mod net;
 mod pipe;
 mod stats;
+mod topology;
 
 pub use addr::Addr;
 pub use clock::Clock;
@@ -56,3 +57,4 @@ pub use fault::FaultPlan;
 pub use net::{FnService, Network, Service};
 pub use pipe::Pipe;
 pub use stats::{AddrStats, NetStats};
+pub use topology::Topology;

@@ -14,6 +14,7 @@ use crate::error::NetError;
 use crate::fault::FaultPlan;
 use crate::pipe::Pipe;
 use crate::stats::NetStats;
+use crate::topology::Topology;
 use crate::{Addr, Clock};
 
 /// A network service bound at an [`Addr`].
@@ -95,6 +96,7 @@ where
 struct NetworkInner {
     services: RwLock<HashMap<Addr, Arc<dyn Service>>>,
     faults: Mutex<FaultPlan>,
+    topology: RwLock<Topology>,
     stats: NetStats,
     clock: Clock,
     rng: Mutex<StdRng>,
@@ -134,6 +136,7 @@ impl Network {
             inner: Arc::new(NetworkInner {
                 services: RwLock::new(HashMap::new()),
                 faults: Mutex::new(FaultPlan::new()),
+                topology: RwLock::new(Topology::new()),
                 stats: NetStats::new(),
                 clock,
                 rng: Mutex::new(StdRng::seed_from_u64(0x5eed)),
@@ -154,6 +157,25 @@ impl Network {
     /// Runs `f` against the mutable fault plan.
     pub fn with_faults<R>(&self, f: impl FnOnce(&mut FaultPlan) -> R) -> R {
         f(&mut self.inner.faults.lock())
+    }
+
+    /// Runs `f` against the mutable zone/latency topology.
+    pub fn with_topology<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.inner.topology.write())
+    }
+
+    /// The zone `host` is placed in, if any.
+    pub fn zone_of(&self, host: &str) -> Option<String> {
+        self.inner.topology.read().zone_of(host).map(str::to_string)
+    }
+
+    /// One-way link latency between two addresses under the current
+    /// topology (zero when either host is unplaced).
+    pub fn latency_between(&self, from: &Addr, to: &Addr) -> u64 {
+        self.inner
+            .topology
+            .read()
+            .latency_ms(from.host(), to.host())
     }
 
     /// Reseeds the RNG used for probabilistic message loss, for
@@ -241,8 +263,18 @@ impl Network {
             self.inner.stats.record_failure(to);
             return Err(NetError::Unreachable(to.to_string()));
         };
+        // Charge the one-way link latency on each leg against the shared
+        // clock, so locality is observable wherever time is.
+        let latency = self.latency_between(from, to);
+        if latency > 0 {
+            self.inner.clock.advance_ms(latency);
+        }
         self.inner.stats.record_request(to, request.len());
-        match service.call(from, request) {
+        let result = service.call(from, request);
+        if latency > 0 {
+            self.inner.clock.advance_ms(latency);
+        }
+        match result {
             Ok(resp) => {
                 self.inner.stats.record_response(to, resp.len());
                 Ok(resp)
@@ -295,6 +327,10 @@ impl Network {
         let Some(service) = service else {
             return Err(NetError::Unreachable(to.to_string()));
         };
+        let latency = self.latency_between(from, to);
+        if latency > 0 {
+            self.inner.clock.advance_ms(latency);
+        }
         let (client_end, server_end) = Pipe::pair(from.clone(), to.clone());
         service.accept_pipe(from, server_end)?;
         Ok(client_end)
@@ -481,6 +517,35 @@ mod tests {
         net.request(&client(), &Addr::new("srv", 1), Bytes::new())
             .unwrap();
         assert_eq!(pipe.try_recv().unwrap().unwrap(), Bytes::from_static(b"hi"));
+    }
+
+    #[test]
+    fn zoned_links_charge_the_clock_per_leg() {
+        let net = Network::new();
+        net.bind(Addr::new("srv", 1), echo()).unwrap();
+        net.with_topology(|t| {
+            t.set_default_latency(1, 25);
+            t.place("client", "east");
+            t.place("srv", "west");
+        });
+        assert_eq!(net.zone_of("srv").as_deref(), Some("west"));
+        assert_eq!(net.latency_between(&client(), &Addr::new("srv", 1)), 25);
+        let t0 = net.clock().now_ms();
+        net.request(&client(), &Addr::new("srv", 1), Bytes::new())
+            .unwrap();
+        // Request leg + response leg.
+        assert_eq!(net.clock().now_ms() - t0, 50);
+
+        // Unplaced peers stay free.
+        net.bind(Addr::new("other", 1), echo()).unwrap();
+        let t1 = net.clock().now_ms();
+        net.request(
+            &Addr::new("someone", 2),
+            &Addr::new("other", 1),
+            Bytes::new(),
+        )
+        .unwrap();
+        assert_eq!(net.clock().now_ms(), t1);
     }
 
     #[test]

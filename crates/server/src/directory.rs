@@ -1,0 +1,348 @@
+//! The CDN-style mirror directory.
+//!
+//! Mirrors register through `MIRROR_ANNOUNCE`, prove liveness (and
+//! report chunk coverage and load) through `MIRROR_HEARTBEAT`, and get
+//! ranked per requesting client: healthy before overdue, same-zone
+//! before cross-zone, lightly loaded before busy, with a rotation
+//! tiebreak so equal candidates share traffic. A mirror whose
+//! heartbeats stop is quarantined (dropped from plans) and, after a
+//! longer silence, evicted entirely.
+//!
+//! Mirrors registered manually via
+//! [`crate::DrivolutionServer::register_mirror`] are *pinned*: they are
+//! exempt from heartbeat expiry, matching the hand-configured tier that
+//! predates the announce protocol.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use netsim::Clock;
+
+use drivolution_core::MirrorCandidate;
+
+/// Health lifecycle of a directory entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MirrorHealth {
+    /// Heartbeating on schedule (or pinned).
+    Healthy,
+    /// Heartbeat overdue but below the quarantine threshold; offered
+    /// last, flagged unhealthy in plans.
+    Overdue,
+    /// Silent past the quarantine threshold; excluded from plans until
+    /// it heartbeats or re-announces.
+    Quarantined,
+}
+
+/// One registered mirror as the directory sees it.
+#[derive(Clone, Debug)]
+pub struct MirrorEntry {
+    /// `host:port` the mirror serves `CHUNK_REQUEST`s on.
+    pub location: String,
+    /// Zone the mirror announced itself in.
+    pub zone: Option<String>,
+    /// Virtual time of the last announce or heartbeat.
+    pub last_seen_ms: u64,
+    /// Chunk coverage from the last heartbeat.
+    pub chunk_count: u64,
+    /// Cumulative served bytes from the last heartbeat.
+    pub served_bytes: u64,
+    /// Requests served between the last two heartbeats (ranking load).
+    pub load: u32,
+    /// Pinned entries (manual registration) never expire.
+    pub pinned: bool,
+    /// Current health classification (refreshed by every sweep).
+    pub health: MirrorHealth,
+}
+
+/// Directory timing and ranking knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectoryConfig {
+    /// Expected heartbeat cadence. An entry is `Overdue` after missing
+    /// two beats.
+    pub heartbeat_interval_ms: u64,
+    /// Silence after which an entry is quarantined (excluded from
+    /// plans).
+    pub quarantine_after_ms: u64,
+    /// Silence after which a quarantined entry is evicted entirely.
+    pub evict_after_ms: u64,
+    /// Maximum candidates ranked into one chunk plan.
+    pub max_candidates: usize,
+}
+
+impl Default for DirectoryConfig {
+    fn default() -> Self {
+        DirectoryConfig {
+            heartbeat_interval_ms: 5_000,
+            quarantine_after_ms: 15_000,
+            evict_after_ms: 120_000,
+            max_candidates: 3,
+        }
+    }
+}
+
+/// Health-aware, locality-aware registry of depot mirrors.
+#[derive(Debug)]
+pub struct MirrorDirectory {
+    clock: Clock,
+    config: DirectoryConfig,
+    entries: Mutex<HashMap<String, MirrorEntry>>,
+    rotation: AtomicU64,
+}
+
+impl MirrorDirectory {
+    /// An empty directory on the given clock.
+    pub fn new(clock: Clock, config: DirectoryConfig) -> Self {
+        MirrorDirectory {
+            clock,
+            config,
+            entries: Mutex::new(HashMap::new()),
+            rotation: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers (or refreshes) a mirror from an announce. Announcing an
+    /// already-known location updates its zone and clears quarantine —
+    /// duplicates never create a second entry. Returns `true` when the
+    /// location was new.
+    pub fn announce(&self, location: &str, zone: Option<String>, pinned: bool) -> bool {
+        let now = self.clock.now_ms();
+        let mut entries = self.entries.lock();
+        match entries.get_mut(location) {
+            Some(e) => {
+                e.zone = zone;
+                e.last_seen_ms = now;
+                e.pinned = e.pinned || pinned;
+                e.health = MirrorHealth::Healthy;
+                false
+            }
+            None => {
+                entries.insert(
+                    location.to_string(),
+                    MirrorEntry {
+                        location: location.to_string(),
+                        zone,
+                        last_seen_ms: now,
+                        chunk_count: 0,
+                        served_bytes: 0,
+                        load: 0,
+                        pinned,
+                        health: MirrorHealth::Healthy,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Applies a heartbeat. Returns `false` for unknown locations (the
+    /// mirror was evicted or never announced; it should re-announce).
+    pub fn heartbeat(
+        &self,
+        location: &str,
+        chunk_count: u64,
+        served_bytes: u64,
+        load: u32,
+    ) -> bool {
+        let now = self.clock.now_ms();
+        let mut entries = self.entries.lock();
+        match entries.get_mut(location) {
+            Some(e) => {
+                e.last_seen_ms = now;
+                e.chunk_count = chunk_count;
+                e.served_bytes = served_bytes;
+                e.load = load;
+                e.health = MirrorHealth::Healthy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reclassifies every entry against the current clock and evicts
+    /// mirrors silent past the eviction threshold. Runs implicitly on
+    /// every [`candidates`](Self::candidates) call.
+    pub fn sweep(&self) {
+        let now = self.clock.now_ms();
+        let mut entries = self.entries.lock();
+        entries.retain(|_, e| {
+            if e.pinned {
+                return true;
+            }
+            let silence = now.saturating_sub(e.last_seen_ms);
+            e.health = if silence > self.config.quarantine_after_ms {
+                MirrorHealth::Quarantined
+            } else if silence > 2 * self.config.heartbeat_interval_ms {
+                MirrorHealth::Overdue
+            } else {
+                MirrorHealth::Healthy
+            };
+            silence <= self.config.evict_after_ms
+        });
+    }
+
+    /// Ranks the directory for a client in `client_zone`: healthy before
+    /// overdue, same-zone before cross-zone, lightly loaded before busy;
+    /// ties rotate per call so equal mirrors share traffic. Quarantined
+    /// mirrors are excluded. At most `max_candidates` are returned.
+    pub fn candidates(&self, client_zone: Option<&str>) -> Vec<MirrorCandidate> {
+        self.sweep();
+        let entries = self.entries.lock();
+        let mut live: Vec<&MirrorEntry> = entries
+            .values()
+            .filter(|e| e.health != MirrorHealth::Quarantined)
+            .collect();
+        // Deterministic base order, then a per-call rotation so clients
+        // with identical rank keys don't all pile onto one mirror.
+        live.sort_by(|a, b| a.location.cmp(&b.location));
+        let n = live.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shift = (self.rotation.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        live.rotate_left(shift);
+        live.sort_by_key(|e| {
+            let zone_miss = match (client_zone, e.zone.as_deref()) {
+                (Some(c), Some(z)) => c != z,
+                // Without zone information on either side, treat the
+                // mirror as local rather than penalizing it.
+                _ => false,
+            };
+            (e.health != MirrorHealth::Healthy, zone_miss, e.load)
+        });
+        live.into_iter()
+            .take(self.config.max_candidates)
+            .map(|e| MirrorCandidate {
+                location: e.location.clone(),
+                zone: e.zone.clone(),
+                healthy: e.health == MirrorHealth::Healthy,
+            })
+            .collect()
+    }
+
+    /// Number of registered (non-evicted) mirrors.
+    pub fn len(&self) -> usize {
+        self.sweep();
+        self.entries.lock().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sweep();
+        self.entries.lock().is_empty()
+    }
+
+    /// Snapshot of one entry.
+    pub fn entry(&self, location: &str) -> Option<MirrorEntry> {
+        self.sweep();
+        self.entries.lock().get(location).cloned()
+    }
+
+    /// Snapshot of every entry, sorted by location.
+    pub fn snapshot(&self) -> Vec<MirrorEntry> {
+        self.sweep();
+        let mut v: Vec<MirrorEntry> = self.entries.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.location.cmp(&b.location));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> (MirrorDirectory, Clock) {
+        let clock = Clock::simulated();
+        let dir = MirrorDirectory::new(clock.clone(), DirectoryConfig::default());
+        (dir, clock)
+    }
+
+    #[test]
+    fn announce_dedupes_by_location() {
+        let (dir, _c) = directory();
+        assert!(dir.announce("m1:1071", Some("east".into()), false));
+        assert!(!dir.announce("m1:1071", Some("west".into()), false));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.entry("m1:1071").unwrap().zone.as_deref(), Some("west"));
+    }
+
+    #[test]
+    fn heartbeat_refreshes_and_unknown_mirrors_are_told_to_reannounce() {
+        let (dir, clock) = directory();
+        dir.announce("m1:1071", None, false);
+        clock.advance_ms(4_000);
+        assert!(dir.heartbeat("m1:1071", 42, 1000, 3));
+        let e = dir.entry("m1:1071").unwrap();
+        assert_eq!(e.chunk_count, 42);
+        assert_eq!(e.load, 3);
+        assert_eq!(e.last_seen_ms, 4_000);
+        assert!(!dir.heartbeat("ghost:1071", 0, 0, 0));
+    }
+
+    #[test]
+    fn silence_quarantines_then_evicts() {
+        let (dir, clock) = directory();
+        dir.announce("m1:1071", None, false);
+        clock.advance_ms(11_000); // two missed beats
+        assert_eq!(dir.entry("m1:1071").unwrap().health, MirrorHealth::Overdue);
+        clock.advance_ms(5_000); // past quarantine_after
+        assert_eq!(
+            dir.entry("m1:1071").unwrap().health,
+            MirrorHealth::Quarantined
+        );
+        assert!(dir.candidates(None).is_empty());
+        // A heartbeat resurrects it.
+        assert!(dir.heartbeat("m1:1071", 1, 1, 0));
+        assert_eq!(dir.entry("m1:1071").unwrap().health, MirrorHealth::Healthy);
+        // Long silence evicts.
+        clock.advance_ms(200_000);
+        assert!(dir.entry("m1:1071").is_none());
+        assert_eq!(dir.len(), 0);
+    }
+
+    #[test]
+    fn pinned_mirrors_survive_any_silence() {
+        let (dir, clock) = directory();
+        dir.announce("pinned:1071", None, true);
+        clock.advance_ms(10_000_000);
+        let c = dir.candidates(None);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].healthy);
+    }
+
+    #[test]
+    fn ranking_prefers_healthy_then_same_zone_then_light_load() {
+        let (dir, clock) = directory();
+        dir.announce("busy-east:1071", Some("east".into()), false);
+        dir.announce("idle-east:1071", Some("east".into()), false);
+        dir.announce("idle-west:1071", Some("west".into()), false);
+        dir.announce("stale-east:1071", Some("east".into()), false);
+        clock.advance_ms(12_000); // everyone overdue now...
+        dir.heartbeat("busy-east:1071", 10, 10, 50);
+        dir.heartbeat("idle-east:1071", 10, 10, 1);
+        dir.heartbeat("idle-west:1071", 10, 10, 0);
+        // ...except stale-east, which stays overdue (not yet quarantined).
+        let c = dir.candidates(Some("east"));
+        assert_eq!(c.len(), 3, "max_candidates caps the plan");
+        assert_eq!(c[0].location, "idle-east:1071");
+        assert_eq!(c[1].location, "busy-east:1071");
+        assert_eq!(c[2].location, "idle-west:1071");
+        assert!(c.iter().all(|m| m.healthy));
+
+        // A west client ranks its own zone first.
+        let c = dir.candidates(Some("west"));
+        assert_eq!(c[0].location, "idle-west:1071");
+    }
+
+    #[test]
+    fn equal_candidates_rotate_across_calls() {
+        let (dir, _c) = directory();
+        dir.announce("m1:1071", None, false);
+        dir.announce("m2:1071", None, false);
+        let first: Vec<String> = (0..2)
+            .map(|_| dir.candidates(None)[0].location.clone())
+            .collect();
+        assert_ne!(first[0], first[1], "rotation must spread equal mirrors");
+    }
+}

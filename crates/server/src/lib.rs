@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod assemble;
+pub mod directory;
 pub mod license;
 pub mod notify;
 pub mod server;
@@ -26,6 +27,7 @@ pub mod store;
 pub mod variants;
 
 pub use assemble::Assembler;
+pub use directory::{DirectoryConfig, MirrorDirectory, MirrorEntry, MirrorHealth};
 pub use license::LicenseManager;
 pub use notify::NotifyHub;
 pub use server::{AdminEvent, DrivolutionServer, MatchPath, ServerConfig, ServerStats};

@@ -24,6 +24,7 @@ use drivolution_core::{
 use drivolution_depot::ContentIndex;
 
 use crate::assemble::Assembler;
+use crate::directory::{DirectoryConfig, MirrorDirectory};
 use crate::license::LicenseManager;
 use crate::notify::NotifyHub;
 use crate::store::DriverStore;
@@ -72,6 +73,9 @@ pub struct ServerConfig {
     /// summary) with zero-transfer revalidations and chunked delta
     /// offers. Clients without a depot are unaffected.
     pub delta_offers: bool,
+    /// Mirror-directory timing and ranking knobs (heartbeat cadence,
+    /// quarantine/eviction thresholds, candidates per plan).
+    pub directory: DirectoryConfig,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             release_licenses_on_disconnect: true,
             depot_chunking: ChunkingParams::default(),
             delta_offers: true,
+            directory: DirectoryConfig::default(),
         }
     }
 }
@@ -116,6 +121,10 @@ pub struct ServerStats {
     pub chunk_requests: u64,
     /// Raw chunk bytes served.
     pub chunk_bytes: u64,
+    /// `MIRROR_ANNOUNCE`s handled.
+    pub mirror_announces: u64,
+    /// `MIRROR_HEARTBEAT`s handled.
+    pub mirror_heartbeats: u64,
 }
 
 #[derive(Debug)]
@@ -155,8 +164,7 @@ pub struct DrivolutionServer {
     staged: Mutex<HashMap<String, Staged>>,
     stage_counter: AtomicU64,
     depot: ContentIndex,
-    mirrors: Mutex<Vec<String>>,
-    mirror_rr: AtomicU64,
+    directory: MirrorDirectory,
     stats: Mutex<ServerStats>,
     hooks: Mutex<Vec<EventHook>>,
     /// When true, admin operations skip event hooks (used while applying
@@ -189,6 +197,7 @@ impl DrivolutionServer {
         }
         let name = name.into();
         let cert = Certificate::issue(name.clone(), 1);
+        let directory = MirrorDirectory::new(clock.clone(), config.directory);
         DrivolutionServer {
             name,
             store,
@@ -201,8 +210,7 @@ impl DrivolutionServer {
             staged: Mutex::new(HashMap::new()),
             stage_counter: AtomicU64::new(0),
             depot: ContentIndex::new(),
-            mirrors: Mutex::new(Vec::new()),
-            mirror_rr: AtomicU64::new(0),
+            directory,
             stats: Mutex::new(ServerStats::default()),
             hooks: Mutex::new(Vec::new()),
             applying_replica: std::sync::atomic::AtomicBool::new(false),
@@ -256,20 +264,19 @@ impl DrivolutionServer {
         self.config.depot_chunking
     }
 
-    /// Registers a depot mirror (`host:port`). Chunked offers rotate
-    /// through registered mirrors round-robin, redirecting bulk transfer
-    /// off the matchmaking/lease path.
-    pub fn register_mirror(&self, location: impl Into<String>) {
-        self.mirrors.lock().push(location.into());
+    /// The mirror directory: every registered mirror with its zone,
+    /// health, coverage, and load.
+    pub fn mirror_directory(&self) -> &MirrorDirectory {
+        &self.directory
     }
 
-    fn next_mirror(&self) -> Option<String> {
-        let mirrors = self.mirrors.lock();
-        if mirrors.is_empty() {
-            return None;
-        }
-        let i = self.mirror_rr.fetch_add(1, Ordering::Relaxed) as usize % mirrors.len();
-        Some(mirrors[i].clone())
+    /// Manually pins a depot mirror (`host:port`) into the directory.
+    /// Pinned mirrors are exempt from heartbeat expiry; re-registering
+    /// the same location is a no-op (no duplicate round-robin slots).
+    /// Mirrors that can speak the announce protocol should use
+    /// `MIRROR_ANNOUNCE` instead and get the full health lifecycle.
+    pub fn register_mirror(&self, location: impl Into<String>) {
+        self.directory.announce(&location.into(), None, true);
     }
 
     /// Subscribes to admin events (replication hook).
@@ -555,7 +562,7 @@ impl DrivolutionServer {
                             chunked = Some(ChunkPlan {
                                 manifest,
                                 missing,
-                                mirror: self.next_mirror(),
+                                mirrors: self.directory.candidates(req.zone.as_deref()),
                             });
                             self.stats.lock().delta_offers += 1;
                             delivery_resolved = true;
@@ -777,6 +784,23 @@ impl DrivolutionServer {
             } => {
                 self.licenses.release(*driver, user, from.host());
                 Ok(DrvMsg::ReleaseOk)
+            }
+            DrvMsg::MirrorAnnounce { location, zone } => {
+                self.stats.lock().mirror_announces += 1;
+                self.directory.announce(location, zone.clone(), false);
+                Ok(DrvMsg::MirrorAck { known: true })
+            }
+            DrvMsg::MirrorHeartbeat {
+                location,
+                chunk_count,
+                served_bytes,
+                load,
+            } => {
+                self.stats.lock().mirror_heartbeats += 1;
+                let known = self
+                    .directory
+                    .heartbeat(location, *chunk_count, *served_bytes, *load);
+                Ok(DrvMsg::MirrorAck { known })
             }
             other => Err(DrvError::Codec(format!(
                 "unexpected client message {other:?}"
@@ -1274,7 +1298,7 @@ mod tests {
     }
 
     #[test]
-    fn registered_mirrors_rotate_through_delta_offers() {
+    fn registered_mirrors_rank_into_delta_offers_and_rotate() {
         let (srv, _c) = server_with(ServerConfig::default());
         let v2 = padded_record(2, DriverVersion::new(2, 0, 0));
         srv.install_driver(&v2).unwrap();
@@ -1294,12 +1318,112 @@ mod tests {
             let mut req = bootstrap_req();
             req.have = Some(have.clone());
             let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
-            seen.push(offer.chunked.unwrap().mirror.unwrap());
+            seen.push(offer.chunked.unwrap().mirrors);
         }
-        assert_eq!(
-            seen,
-            vec!["mirror1:1071".to_string(), "mirror2:1071".to_string()]
+        // Every plan carries both candidates; equal-rank mirrors rotate
+        // so consecutive clients lead with different replicas.
+        assert_eq!(seen[0].len(), 2);
+        assert_eq!(seen[1].len(), 2);
+        assert!(seen[0].iter().all(|m| m.healthy));
+        assert_ne!(seen[0][0].location, seen[1][0].location);
+    }
+
+    #[test]
+    fn duplicate_mirror_registration_does_not_duplicate_candidates() {
+        // Regression: register_mirror used to push blindly into a Vec,
+        // so re-registering a location gave it extra round-robin slots.
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.register_mirror("mirror1:1071");
+        srv.register_mirror("mirror1:1071");
+        srv.register_mirror("mirror2:1071");
+        assert_eq!(srv.mirror_directory().len(), 2);
+        let c = srv.mirror_directory().candidates(None);
+        assert_eq!(c.len(), 2);
+        assert_ne!(c[0].location, c[1].location);
+    }
+
+    #[test]
+    fn announce_and_heartbeat_drive_the_directory_lifecycle() {
+        use crate::directory::MirrorHealth;
+        let (srv, clock) = server_with(ServerConfig::default());
+        let from = Addr::new("mirror1", 1071);
+        let reply = srv.handle(
+            &from,
+            DrvMsg::MirrorAnnounce {
+                location: "mirror1:1071".into(),
+                zone: Some("east".into()),
+            },
         );
+        assert_eq!(reply, DrvMsg::MirrorAck { known: true });
+
+        // A heartbeat for an unknown mirror asks it to re-announce.
+        let reply = srv.handle(
+            &from,
+            DrvMsg::MirrorHeartbeat {
+                location: "ghost:1071".into(),
+                chunk_count: 0,
+                served_bytes: 0,
+                load: 0,
+            },
+        );
+        assert_eq!(reply, DrvMsg::MirrorAck { known: false });
+
+        // Silence past the quarantine threshold drops the mirror from
+        // plans; a fresh heartbeat resurrects it.
+        clock.advance_ms(16_000);
+        assert_eq!(
+            srv.mirror_directory().entry("mirror1:1071").unwrap().health,
+            MirrorHealth::Quarantined
+        );
+        assert!(srv.mirror_directory().candidates(Some("east")).is_empty());
+        let reply = srv.handle(
+            &from,
+            DrvMsg::MirrorHeartbeat {
+                location: "mirror1:1071".into(),
+                chunk_count: 7,
+                served_bytes: 4096,
+                load: 2,
+            },
+        );
+        assert_eq!(reply, DrvMsg::MirrorAck { known: true });
+        let entry = srv.mirror_directory().entry("mirror1:1071").unwrap();
+        assert_eq!(entry.health, MirrorHealth::Healthy);
+        assert_eq!(entry.chunk_count, 7);
+        let st = srv.stats();
+        assert_eq!(st.mirror_announces, 1);
+        assert_eq!(st.mirror_heartbeats, 2);
+    }
+
+    #[test]
+    fn delta_offers_rank_same_zone_mirrors_first_for_zoned_clients() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        let v2 = padded_record(2, DriverVersion::new(2, 0, 0));
+        srv.install_driver(&v2).unwrap();
+        for (loc, zone) in [("m-east:1071", "east"), ("m-west:1071", "west")] {
+            srv.handle(
+                &client(),
+                DrvMsg::MirrorAnnounce {
+                    location: loc.into(),
+                    zone: Some(zone.into()),
+                },
+            );
+        }
+        let v1 = padded_record(1, DriverVersion::new(1, 0, 0));
+        let v1_manifest =
+            drivolution_core::ChunkManifest::of_with(&v1.binary, &srv.config.depot_chunking);
+        for (zone, want_first) in [("east", "m-east:1071"), ("west", "m-west:1071")] {
+            let mut req = bootstrap_req();
+            req.zone = Some(zone.into());
+            req.have = Some(drivolution_core::HaveSummary {
+                images: vec![v1_manifest.content_digest],
+                params: srv.config.depot_chunking,
+                chunks: v1_manifest.chunks.clone(),
+            });
+            let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+            let plan = offer.chunked.expect("delta offer");
+            assert_eq!(plan.mirrors[0].location, want_first, "zone {zone}");
+            assert_eq!(plan.mirrors.len(), 2);
+        }
     }
 
     #[test]

@@ -15,8 +15,18 @@ impl Config {
 }
 
 impl Default for Config {
+    /// 128 cases, overridable at run time through the `PROPTEST_CASES`
+    /// environment variable (mirroring real proptest): e.g.
+    /// `PROPTEST_CASES=1000 cargo test` for a deeper sweep, or a small
+    /// value for a quick smoke pass. Unparseable values fall back to
+    /// the default.
     fn default() -> Self {
-        Config { cases: 128 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|c| *c > 0)
+            .unwrap_or(128);
+        Config { cases }
     }
 }
 
@@ -56,5 +66,27 @@ impl TestRng {
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "empty range {lo}..{hi}");
         lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proptest_cases_env_var_overrides_the_default() {
+        // The only test in this crate touching the variable, so no
+        // parallel-test interference.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(Config::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", " 16 ");
+        assert_eq!(Config::default().cases, 16);
+        // Garbage and zero fall back to the stock 128.
+        std::env::set_var("PROPTEST_CASES", "lots");
+        assert_eq!(Config::default().cases, 128);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(Config::default().cases, 128);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(Config::default().cases, 128);
     }
 }

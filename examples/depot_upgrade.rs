@@ -37,8 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("driver v1 installed ({} KiB packed)", PADDING / 1024);
 
     // A read-only depot mirror takes bulk chunk traffic off the primary.
+    // Launching self-announces it into the server's mirror directory;
+    // periodic heartbeats keep it out of quarantine.
     let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), server_addr.clone())?;
-    srv.register_mirror(mirror.location());
+    mirror.heartbeat()?;
 
     // One machine-wide depot shared by every app on "app-host".
     let depot = DriverDepot::in_memory();
@@ -78,6 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
     )?;
     net.clock().advance_ms(4_000_000);
+    mirror.heartbeat()?; // still alive after the lease window
     let mark = wire(0);
     let outcome = boot1.poll();
     println!(

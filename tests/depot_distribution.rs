@@ -249,8 +249,12 @@ fn cluster_controllers_replicate_depot_mirrors_alongside_the_driver_table() {
     assert!(mirror.chunk_count() > before);
 
     // …and the upgrade's delta chunks are served from the warm replica.
+    // The mirror registered via the announce protocol, so the controller
+    // must keep heartbeating it: a silent mirror is quarantined out of
+    // chunk plans after the long lease-expiry jump.
     srv.add_rule(&upgrade_rule()).unwrap();
     net.clock().advance_ms(4_000_000);
+    ctrl.heartbeat_mirror().unwrap();
     assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
     assert_eq!(mirror.stats().chunk_requests, 1);
     // Everything the mirror served came from its warmed replica.

@@ -1,0 +1,231 @@
+//! Mirror failover end to end: clients walking a ranked candidate list
+//! drain from dead or partitioned mirrors to the next candidate, the
+//! directory quarantines silent mirrors, and `mirror_fallbacks` counts
+//! only genuine last-resort trips to the primary.
+
+use std::sync::Arc;
+
+use drivolution::core::pack::pack_driver_padded;
+use drivolution::core::{
+    ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
+    PermissionRule, RenewPolicy, DRIVOLUTION_PORT,
+};
+use drivolution::depot::DriverDepot;
+use drivolution::prelude::*;
+use drivolution::server::MirrorHealth;
+
+const DRIVER_PADDING: usize = 256 * 1024;
+
+fn padded_record(id: i64, version: DriverVersion) -> DriverRecord {
+    let image = DriverImage::new("failover-driver", version, 1);
+    let bytes = pack_driver_padded(BinaryFormat::Djar, &image, DRIVER_PADDING);
+    DriverRecord::new(DriverId(id), ApiName::rdbc(), BinaryFormat::Djar, bytes)
+        .with_version(version)
+}
+
+struct Rig {
+    net: Network,
+    srv: Arc<DrivolutionServer>,
+    mirrors: Vec<Arc<MirrorDepot>>,
+    url: DbUrl,
+}
+
+/// One primary plus two announce-registered mirrors: `mirror1` shares
+/// the client's zone (`east`), `mirror2` sits in `west`, so the
+/// client-side walk deterministically leads with `mirror1`.
+fn rig() -> Rig {
+    let net = Network::new();
+    net.with_topology(|t| {
+        t.place("db1", "east");
+        t.place("app", "east");
+        t.place("mirror1", "east");
+        t.place("mirror2", "west");
+    });
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let server_addr = Addr::new("db1", DRIVOLUTION_PORT);
+    let srv = attach_in_database(&net, db, server_addr.clone(), ServerConfig::default()).unwrap();
+    srv.install_driver(&padded_record(1, DriverVersion::new(1, 0, 0)))
+        .unwrap();
+    let mirrors = ["mirror1", "mirror2"]
+        .iter()
+        .map(|host| MirrorDepot::launch(&net, Addr::new(*host, 1071), server_addr.clone()).unwrap())
+        .collect();
+    Rig {
+        net,
+        srv,
+        mirrors,
+        url: "rdbc:minidb://db1:5432/orders".parse().unwrap(),
+    }
+}
+
+fn boot(rig: &Rig, host: &str) -> Arc<Bootloader> {
+    let mut config = BootloaderConfig::same_host()
+        .trusting(rig.srv.certificate())
+        .with_depot(DriverDepot::in_memory());
+    for m in &rig.mirrors {
+        config = config.trusting(m.certificate());
+    }
+    Bootloader::new(&rig.net, Addr::new(host, 1), config)
+}
+
+fn publish_v2(rig: &Rig) {
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0)))
+        .unwrap();
+    rig.srv
+        .add_rule(
+            &PermissionRule::any(DriverId(2))
+                .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+        )
+        .unwrap();
+}
+
+/// Expires leases while keeping every live mirror heartbeating, so the
+/// directory's view stays current across the jump.
+fn expire_leases(rig: &Rig) {
+    rig.net.clock().advance_ms(4_000_000);
+    for m in &rig.mirrors {
+        let _ = m.heartbeat();
+    }
+}
+
+#[test]
+fn clients_drain_from_a_dead_mirror_to_the_next_candidate() {
+    let rig = rig();
+    let b = boot(&rig, "app");
+    b.bootstrap(&rig.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    publish_v2(&rig);
+    expire_leases(&rig);
+
+    // Take the client's own-zone mirror down *after* the heartbeat, so
+    // its directory entry is still healthy when the plan is built: the
+    // client-side walk, not the directory, must do the draining.
+    let first = rig.mirrors[0].location();
+    rig.net.with_faults(|f| f.take_down("mirror1"));
+
+    assert!(matches!(b.poll(), PollOutcome::Upgraded { .. }));
+    let st = b.stats();
+    assert_eq!(st.delta_downloads, 1);
+    assert_eq!(
+        st.mirror_fallbacks, 0,
+        "draining to the next mirror is not a primary fallback"
+    );
+    assert_eq!(st.mirror_chunk_fetches, 1);
+    // The surviving mirror (and only it) served the chunks.
+    let served: Vec<u64> = rig
+        .mirrors
+        .iter()
+        .map(|m| m.stats().chunks_served)
+        .collect();
+    assert_eq!(served.iter().filter(|&&n| n > 0).count(), 1);
+    // The dead mirror recorded failed attempts up to its retry budget.
+    let fetch = b.mirror_fetch_stats();
+    let dead = fetch.iter().find(|(loc, _)| *loc == first).unwrap();
+    assert_eq!(dead.1.successes, 0);
+    assert!(dead.1.failures >= 1);
+    // No chunk traffic reached the primary beyond the mirror's own
+    // read-through.
+    assert!(rig.srv.stats().chunk_requests <= 1);
+}
+
+#[test]
+fn partitioned_mirrors_force_a_counted_primary_fallback() {
+    let rig = rig();
+    let b = boot(&rig, "app");
+    b.bootstrap(&rig.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    publish_v2(&rig);
+    expire_leases(&rig);
+
+    // Partition the client from *both* mirrors: the walk exhausts every
+    // candidate and only then falls back to the primary — which is the
+    // one case mirror_fallbacks must count.
+    rig.net.with_faults(|f| {
+        f.partition("app", "mirror1");
+        f.partition("app", "mirror2");
+    });
+    assert!(matches!(b.poll(), PollOutcome::Upgraded { .. }));
+    let st = b.stats();
+    assert_eq!(st.delta_downloads, 1);
+    assert_eq!(st.mirror_fallbacks, 1);
+    assert_eq!(st.mirror_chunk_fetches, 0);
+    assert!(
+        rig.srv.stats().chunk_requests >= 1,
+        "primary must have served the delta"
+    );
+    // Healing the partition restores mirror service for the next
+    // upgrade without touching the fallback counter.
+    rig.net.with_faults(|f| f.heal_all());
+    rig.srv
+        .install_driver(&padded_record(3, DriverVersion::new(3, 0, 0)))
+        .unwrap();
+    rig.srv.store().remove_permissions(DriverId(2)).unwrap();
+    rig.srv
+        .add_rule(
+            &PermissionRule::any(DriverId(3))
+                .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+        )
+        .unwrap();
+    expire_leases(&rig);
+    assert!(matches!(b.poll(), PollOutcome::Upgraded { .. }));
+    let st = b.stats();
+    assert_eq!(st.mirror_fallbacks, 1, "healed mirrors stop the counter");
+    assert_eq!(st.mirror_chunk_fetches, 1);
+}
+
+#[test]
+fn silent_mirrors_are_quarantined_out_of_plans_and_recover_on_heartbeat() {
+    let rig = rig();
+    let b = boot(&rig, "app");
+    b.bootstrap(&rig.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    publish_v2(&rig);
+
+    // Both mirrors stay live across most of the lease window, then
+    // mirror1 goes silent for the final stretch — long enough to
+    // quarantine, short enough not to evict. The directory drops it
+    // from plans and the client never wastes attempts on it.
+    rig.net.clock().advance_ms(3_600_000);
+    for m in &rig.mirrors {
+        m.heartbeat().unwrap();
+    }
+    rig.net.clock().advance_ms(20_000);
+    rig.mirrors[1].heartbeat().unwrap();
+    assert_eq!(
+        rig.srv
+            .mirror_directory()
+            .entry(&rig.mirrors[0].location())
+            .unwrap()
+            .health,
+        MirrorHealth::Quarantined
+    );
+    let candidates = rig.srv.mirror_directory().candidates(None);
+    assert_eq!(candidates.len(), 1);
+    assert_eq!(candidates[0].location, rig.mirrors[1].location());
+
+    assert!(matches!(b.poll(), PollOutcome::Upgraded { .. }));
+    let st = b.stats();
+    assert_eq!(st.mirror_fallbacks, 0);
+    let fetch = b.mirror_fetch_stats();
+    assert!(
+        !fetch
+            .iter()
+            .any(|(loc, _)| *loc == rig.mirrors[0].location()),
+        "quarantined mirror must not be attempted"
+    );
+
+    // A fresh heartbeat lifts the quarantine.
+    rig.mirrors[0].heartbeat().unwrap();
+    assert_eq!(
+        rig.srv
+            .mirror_directory()
+            .entry(&rig.mirrors[0].location())
+            .unwrap()
+            .health,
+        MirrorHealth::Healthy
+    );
+    assert_eq!(rig.srv.mirror_directory().candidates(None).len(), 2);
+}
