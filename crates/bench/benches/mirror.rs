@@ -19,7 +19,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use drivolution_bootloader::PollOutcome;
+use drivolution_bootloader::{LifecyclePolicy, PollOutcome};
 use drivolution_core::{DriverVersion, DRIVOLUTION_PORT};
 use drivolution_server::MirrorHealth;
 use fleet::FleetSim;
@@ -41,10 +41,12 @@ fn p99(mut latencies: Vec<u64>) -> u64 {
 }
 
 /// Expires every lease and refreshes mirror liveness so the next poll
-/// sweep renews against a current directory.
+/// sweep renews against a current directory. Clients are built with a
+/// manual lifecycle (this bench steers exactly who polls when), so the
+/// run_due pump only fires the mirrors' scheduler heartbeat tasks.
 fn expire_leases(sim: &FleetSim) {
     sim.net().clock().advance_ms(LEASE_MS + 1);
-    sim.heartbeat_mirrors();
+    sim.net().scheduler().run_due();
 }
 
 /// Polls clients `range`, returning how many did *not* upgrade.
@@ -68,13 +70,17 @@ fn drain_latencies(sim: &FleetSim) -> Vec<u64> {
 fn main() {
     let smoke = std::env::var("MIRROR_BENCH_SMOKE").is_ok();
     let clients = if smoke { 12 } else { 50 };
-    let sim = FleetSim::build_cdn(
+    let sim = FleetSim::build_cdn_with(
         clients,
         LEASE_MS,
         &ZONES,
         DRIVER_PADDING,
         SAME_ZONE_MS,
         CROSS_ZONE_MS,
+        // Manual client lifecycle: the failover choreography below needs
+        // per-client control over who polls before and after the kill.
+        // (benches/sched.rs measures the fully scheduler-driven flow.)
+        LifecyclePolicy::manual(),
     );
     let primary = Addr::new("db1", DRIVOLUTION_PORT);
 
@@ -100,9 +106,10 @@ fn main() {
     failed += poll_range(&sim, cut..cut + 2);
     // The silent mirror misses its heartbeats and is quarantined; the
     // rest of the fleet upgrades against a directory that no longer
-    // offers it.
+    // offers it. The pump fires the live mirrors' heartbeat tasks and
+    // records the dead one's failures on its task counters.
     sim.net().clock().advance_ms(20_000);
-    sim.heartbeat_mirrors();
+    sim.net().scheduler().run_due();
     failed += poll_range(&sim, cut + 2..clients);
     let failover_p99 = p99(drain_latencies(&sim));
 

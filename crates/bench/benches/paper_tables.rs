@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use driverkit::{ConnectProps, DbUrl};
-use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
+use drivolution_bootloader::{Bootloader, BootloaderConfig};
 use drivolution_core::pack::{pack_driver, pack_driver_padded};
 use drivolution_core::{
     ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
@@ -176,6 +176,7 @@ fn figure_4_failover() {
                     &net,
                     Addr::new(format!("c{i}"), 1),
                     BootloaderConfig::fixed(vec![Addr::new("drv", DRIVOLUTION_PORT)])
+                        .self_driving(std::time::Duration::from_secs(60))
                         .trusting(srv.certificate())
                         .with_notify_channel(),
                 );
@@ -192,12 +193,17 @@ fn figure_4_failover() {
         )
         .unwrap();
         srv.notify_upgrade("accounts");
+        // The swap propagates on the clients' own scheduler-registered
+        // poll tasks; one pump interval later everyone has moved.
+        let now = net.clock().now_ms();
+        net.run_until(now + 61_000);
         let mut moved = 0;
         let mut failed = 0;
         for b in &clients {
-            match b.poll() {
-                PollOutcome::Upgraded { .. } => moved += 1,
-                _ => failed += 1,
+            if b.stats().upgrades >= 1 {
+                moved += 1;
+            } else {
+                failed += 1;
             }
             if b.connect(&url, &props).is_err() {
                 failed += 1;

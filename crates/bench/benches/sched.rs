@@ -1,0 +1,270 @@
+//! Virtual-time lifecycle scheduler under a fleet upgrade.
+//!
+//! A 3-zone, 50-client CDN fleet performs a driver upgrade driven
+//! *purely* by scheduler ticks: every client registered its own
+//! upgrade-poll task (jittered) and lease auto-renewal timer, every
+//! mirror its own heartbeat task, and the only thing the harness does is
+//! pump `Network::run_until`. Zero manual `poll()` or `heartbeat()`
+//! calls. Mid-wave, a one-shot scheduler task kills one zone's mirror:
+//! clients drain to the next candidate, the directory quarantines the
+//! silent entry, the upgrade completes with zero failures, and the dead
+//! mirror's missed beats land on its task's error counters instead of
+//! vanishing.
+//!
+//! The whole scenario is then replayed from scratch and must reproduce
+//! the identical schedule (same virtual completion time, same task
+//! firing counts) — the determinism claim of `netsim::sched`.
+//!
+//! This target uses `harness = false`: it is a report generator emitting
+//! `BENCH_sched.json` at the workspace root, and exits nonzero when the
+//! lifecycle claims regress (CI runs it in smoke mode via
+//! `SCHED_BENCH_SMOKE=1`).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench sched`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use drivolution_bootloader::LifecyclePolicy;
+use drivolution_core::DriverVersion;
+use drivolution_server::MirrorHealth;
+use fleet::FleetSim;
+use netsim::TaskControl;
+
+const ZONES: [&str; 3] = ["zone-a", "zone-b", "zone-c"];
+const DRIVER_PADDING: usize = 256 * 1024;
+const LEASE_MS: u64 = 600_000; // 10 virtual minutes
+const POLL_EVERY: Duration = Duration::from_secs(60);
+const POLL_JITTER: Duration = Duration::from_secs(5);
+const SAME_ZONE_MS: u64 = 1;
+const CROSS_ZONE_MS: u64 = 25;
+
+/// Everything one scenario run produces; two runs must match exactly.
+#[derive(Debug, PartialEq, Eq)]
+struct RunOutcome {
+    time_to_full_upgrade_ms: u64,
+    end_clock_ms: u64,
+    polls: u64,
+    upgrades: u64,
+    renewals: u64,
+    fallbacks: u64,
+    server_requests: u64,
+    mirror_beats: u64,
+    mirror_beat_failures: u64,
+    same_zone_bytes: u64,
+    cross_zone_bytes: u64,
+    killed_quarantined: bool,
+}
+
+fn run_scenario(clients: usize) -> RunOutcome {
+    let sim = FleetSim::build_cdn_with(
+        clients,
+        LEASE_MS,
+        &ZONES,
+        DRIVER_PADDING,
+        SAME_ZONE_MS,
+        CROSS_ZONE_MS,
+        LifecyclePolicy::driven(POLL_EVERY).with_jitter(POLL_JITTER),
+    );
+    let t_bootstrap_start = sim.net().clock().now_ms();
+    sim.bootstrap_all();
+    let t_bootstrap_end = sim.net().clock().now_ms();
+
+    // Publish v2 and schedule the fault as a one-shot task. Each
+    // client's auto-renewal timer fires when its lease enters RenewDue
+    // (lease*0.9 past its own staggered grant), so the upgrade wave
+    // spans the bootstrap window; killing the zone-c mirror at the
+    // wave's midpoint lands mid-wave — part of the fleet renews off a
+    // live mirror, the rest reroutes (client-side drain while the
+    // directory still ranks the corpse, quarantine rerouting after).
+    sim.publish(2, DriverVersion::new(2, 0, 0), DRIVER_PADDING, false);
+    let net = sim.net().clone();
+    let renew_margin = LEASE_MS / 10;
+    let kill_at = (t_bootstrap_start + t_bootstrap_end) / 2 + LEASE_MS - renew_margin;
+    sim.net()
+        .scheduler()
+        .once_at(kill_at, "kill mirror-zone-c", move || {
+            net.with_faults(|f| f.take_down("mirror-zone-c"));
+            Ok(TaskControl::Done)
+        });
+
+    let r = sim.run_until_upgraded(60_000, 4 * LEASE_MS);
+    assert!(
+        (sim.fraction_on(DriverVersion::new(2, 0, 0)) - 1.0).abs() < f64::EPSILON,
+        "fleet did not converge"
+    );
+
+    // Keep pumping past the quarantine threshold: the directory must
+    // walk the silent mirror out of plans purely from observed silence.
+    let now = sim.net().clock().now_ms();
+    sim.net().run_until(now + 30_000);
+    let killed_quarantined = matches!(
+        sim.server()
+            .mirror_directory()
+            .entry("mirror-zone-c:1071")
+            .map(|e| e.health),
+        Some(MirrorHealth::Quarantined) | None
+    );
+
+    let (upgrades, renewals, fallbacks, same_zone, cross_zone) =
+        sim.clients()
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64, 0u64), |acc, c| {
+                let st = c.stats();
+                (
+                    acc.0 + st.upgrades,
+                    acc.1 + st.renewals,
+                    acc.2 + st.mirror_fallbacks,
+                    acc.3 + st.same_zone_chunk_bytes,
+                    acc.4 + st.cross_zone_chunk_bytes,
+                )
+            });
+    let mirror_beats: u64 = sim
+        .mirrors()
+        .iter()
+        .filter_map(|m| m.heartbeat_task())
+        .map(|t| t.stats().runs)
+        .sum();
+    let mirror_beat_failures: u64 = sim.mirror_heartbeat_failures().iter().map(|(_, n)| n).sum();
+
+    RunOutcome {
+        time_to_full_upgrade_ms: r.time_to_full_upgrade_ms,
+        end_clock_ms: sim.net().clock().now_ms(),
+        polls: r.polls,
+        upgrades,
+        renewals,
+        fallbacks,
+        server_requests: r.server_requests,
+        mirror_beats,
+        mirror_beat_failures,
+        same_zone_bytes: same_zone,
+        cross_zone_bytes: cross_zone,
+        killed_quarantined,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("SCHED_BENCH_SMOKE").is_ok();
+    let clients = if smoke { 12 } else { 50 };
+
+    let a = run_scenario(clients);
+    let b = run_scenario(clients);
+    let deterministic = a == b;
+
+    println!(
+        "\nvirtual-time scheduler — {clients}-client, {}-zone fleet upgrade",
+        ZONES.len()
+    );
+    println!("  manual heartbeat/poll calls:   0 (everything is a scheduler task)");
+    println!(
+        "  time to full upgrade:     {:>8} virtual ms",
+        a.time_to_full_upgrade_ms
+    );
+    println!("  maintenance passes fired: {:>8}", a.polls);
+    println!(
+        "  upgrades: {}, renewals: {}, primary fallbacks: {}",
+        a.upgrades, a.renewals, a.fallbacks
+    );
+    println!(
+        "  mirror heartbeats fired:  {:>8} ({} failed, on the dead mirror's ledger)",
+        a.mirror_beats, a.mirror_beat_failures
+    );
+    println!("  server requests:          {:>8}", a.server_requests);
+    println!(
+        "  chunk bytes same/cross zone: {} / {}",
+        a.same_zone_bytes, a.cross_zone_bytes
+    );
+    println!("  killed mirror quarantined: {}", a.killed_quarantined);
+    println!("  deterministic replay:      {deterministic}");
+
+    let failed_upgrades = clients as u64 - a.upgrades.min(clients as u64);
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"sched\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"zones\": {},", ZONES.len());
+    let _ = writeln!(json, "  \"lease_ms\": {LEASE_MS},");
+    let _ = writeln!(json, "  \"poll_every_ms\": {},", POLL_EVERY.as_millis());
+    let _ = writeln!(json, "  \"poll_jitter_ms\": {},", POLL_JITTER.as_millis());
+    let _ = writeln!(json, "  \"manual_lifecycle_calls\": 0,");
+    let _ = writeln!(
+        json,
+        "  \"time_to_full_upgrade_ms\": {},",
+        a.time_to_full_upgrade_ms
+    );
+    let _ = writeln!(json, "  \"maintenance_passes\": {},", a.polls);
+    let _ = writeln!(json, "  \"upgrades\": {},", a.upgrades);
+    let _ = writeln!(json, "  \"renewals\": {},", a.renewals);
+    let _ = writeln!(json, "  \"failed_upgrades\": {failed_upgrades},");
+    let _ = writeln!(json, "  \"primary_fallbacks\": {},", a.fallbacks);
+    let _ = writeln!(json, "  \"server_requests\": {},", a.server_requests);
+    let _ = writeln!(json, "  \"mirror_heartbeats\": {},", a.mirror_beats);
+    let _ = writeln!(
+        json,
+        "  \"mirror_heartbeat_failures\": {},",
+        a.mirror_beat_failures
+    );
+    let _ = writeln!(json, "  \"same_zone_chunk_bytes\": {},", a.same_zone_bytes);
+    let _ = writeln!(
+        json,
+        "  \"cross_zone_chunk_bytes\": {},",
+        a.cross_zone_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"killed_mirror_quarantined\": {},",
+        a.killed_quarantined
+    );
+    let _ = writeln!(json, "  \"deterministic_replay\": {deterministic}");
+    json.push_str("}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sched.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Regression gates (CI runs this in smoke mode).
+    let mut bad = false;
+    if a.upgrades < clients as u64 {
+        eprintln!(
+            "REGRESSION: {failed_upgrades} clients failed to upgrade under scheduler driving"
+        );
+        bad = true;
+    }
+    if a.time_to_full_upgrade_ms > LEASE_MS + 2 * 60_000 {
+        eprintln!(
+            "REGRESSION: propagation {} ms exceeds one lease plus poll slack",
+            a.time_to_full_upgrade_ms
+        );
+        bad = true;
+    }
+    if a.fallbacks > 0 {
+        eprintln!(
+            "REGRESSION: {} primary fallbacks despite surviving mirrors",
+            a.fallbacks
+        );
+        bad = true;
+    }
+    if a.mirror_beat_failures == 0 {
+        eprintln!("REGRESSION: dead mirror's heartbeat failures were swallowed");
+        bad = true;
+    }
+    if a.cross_zone_bytes == 0 {
+        eprintln!("REGRESSION: no cross-zone chunk bytes — the mid-wave kill never forced a drain");
+        bad = true;
+    }
+    if !a.killed_quarantined {
+        eprintln!("REGRESSION: killed mirror was not quarantined from observed silence");
+        bad = true;
+    }
+    if !deterministic {
+        eprintln!(
+            "REGRESSION: replay diverged — scheduler is not deterministic:\n  a={a:?}\n  b={b:?}"
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

@@ -3,11 +3,11 @@
 //! time, tracks its lease, and hot-swaps driver versions transparently.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
-use netsim::{Addr, Clock, Network, Pipe};
+use netsim::{Addr, Clock, Network, Pipe, TaskControl, TaskHandle};
 
 use bytes::Bytes;
 use driverkit::{
@@ -59,6 +59,9 @@ pub struct BootStats {
     pub same_zone_chunk_bytes: u64,
     /// Delta chunk payload bytes fetched across zones.
     pub cross_zone_chunk_bytes: u64,
+    /// Maintenance passes executed (manual [`Bootloader::poll`] calls
+    /// plus scheduler-task firings).
+    pub polls: u64,
 }
 
 /// Per-source chunk-fetch statistics a bootloader keeps about each
@@ -125,6 +128,15 @@ pub struct Bootloader {
     stats: Mutex<BootStats>,
     mirror_fetch: Mutex<HashMap<String, MirrorFetchStats>>,
     fetch_latencies: Mutex<Vec<u64>>,
+    lifecycle: Mutex<LifecycleTasks>,
+}
+
+#[derive(Default)]
+struct LifecycleTasks {
+    /// Periodic upgrade-poll task (when `LifecyclePolicy::poll_every`).
+    poll: Option<TaskHandle>,
+    /// One-shot lease auto-renewal timer, re-armed at every lease grant.
+    lease: Option<TaskHandle>,
 }
 
 /// Per-mirror retry budget: transient network failures get one retry
@@ -140,11 +152,29 @@ impl std::fmt::Debug for Bootloader {
     }
 }
 
+impl Drop for Bootloader {
+    /// Cancels the lifecycle tasks so a dropped bootloader does not
+    /// leave entries in the scheduler's table — the dormant lease timer
+    /// in particular would otherwise linger forever, since a task that
+    /// never fires never notices its weak reference died.
+    fn drop(&mut self) {
+        let tasks = self.lifecycle.lock();
+        if let Some(t) = &tasks.poll {
+            t.cancel();
+        }
+        if let Some(t) = &tasks.lease {
+            t.cancel();
+        }
+    }
+}
+
 impl Bootloader {
-    /// Creates a bootloader for an application at `local`.
+    /// Creates a bootloader for an application at `local` and registers
+    /// its lifecycle tasks (per `config.lifecycle`) on the network's
+    /// scheduler.
     pub fn new(net: &Network, local: Addr, config: BootloaderConfig) -> Arc<Self> {
         let vm = DriverVm::new(net.clone(), local.clone());
-        Arc::new(Bootloader {
+        let boot = Arc::new(Bootloader {
             net: net.clone(),
             local,
             config,
@@ -162,7 +192,88 @@ impl Bootloader {
             stats: Mutex::new(BootStats::default()),
             mirror_fetch: Mutex::new(HashMap::new()),
             fetch_latencies: Mutex::new(Vec::new()),
-        })
+            lifecycle: Mutex::new(LifecycleTasks::default()),
+        });
+        boot.register_lifecycle();
+        boot
+    }
+
+    /// Registers the upgrade-poll task and the (dormant until a lease is
+    /// granted) auto-renewal timer. Both hold only a weak reference:
+    /// dropping the bootloader retires its tasks on their next firing.
+    fn register_lifecycle(self: &Arc<Self>) {
+        let policy = self.config.lifecycle;
+        let sched = self.net.scheduler();
+        let mut tasks = self.lifecycle.lock();
+        if let Some(every) = policy.poll_every {
+            let me = Arc::downgrade(self);
+            tasks.poll = Some(sched.every(
+                every,
+                policy.poll_jitter,
+                format!("upgrade-poll {}", self.local),
+                move || Bootloader::task_tick(&me),
+            ));
+        }
+        if policy.auto_renew {
+            let me = Arc::downgrade(self);
+            tasks.lease = Some(
+                sched.dormant(format!("lease-renewal {}", self.local), move || {
+                    Bootloader::task_tick(&me)
+                }),
+            );
+        }
+    }
+
+    /// One scheduler-driven maintenance pass. Renewal failures surface
+    /// as task errors so fleets can read per-client failure counters off
+    /// the handles.
+    fn task_tick(me: &Weak<Bootloader>) -> netsim::TaskResult {
+        let Some(b) = Weak::upgrade(me) else {
+            return Ok(TaskControl::Done);
+        };
+        match b.poll() {
+            PollOutcome::KeptAfterFailure => Err("renewal failed; driver kept (§4.1.3)".into()),
+            _ => Ok(TaskControl::Continue),
+        }
+    }
+
+    /// Handle to the scheduler-registered upgrade-poll task, if the
+    /// lifecycle policy enables one.
+    pub fn poll_task(&self) -> Option<TaskHandle> {
+        self.lifecycle.lock().poll.clone()
+    }
+
+    /// Handle to the lease auto-renewal timer, if auto-renewal is
+    /// enabled. Dormant until the first lease is granted.
+    pub fn lease_task(&self) -> Option<TaskHandle> {
+        self.lifecycle.lock().lease.clone()
+    }
+
+    /// Re-arms the auto-renewal timer against the active lease: at the
+    /// point the lease enters `RenewDue` when that is still ahead
+    /// (renewing inside the margin, like the poll state machine, keeps
+    /// license seats instead of racing the server-side holder eviction
+    /// at the expiry tick), or one retry interval out when that point
+    /// has passed (a renewal just failed and the driver was kept). With
+    /// no active lease the timer goes quiet.
+    fn sync_lease_timer(&self) {
+        let Some(handle) = self.lifecycle.lock().lease.clone() else {
+            return;
+        };
+        match self.registry.active().map(|ns| ns.lease.renew_due_at_ms()) {
+            Some(renew_at) => {
+                let now = self.clock.now_ms();
+                let due = if renew_at > now {
+                    renew_at
+                } else {
+                    now + self.config.lifecycle.renew_retry.as_millis() as u64
+                };
+                if handle.next_due_ms() != Some(due) {
+                    handle.reschedule_at(due);
+                }
+            }
+            None => handle.pause(),
+        }
     }
 
     /// The driver VM, exposed so middleware can register extra flavor
@@ -707,6 +818,7 @@ impl Bootloader {
                 }
             }
         }
+        self.sync_lease_timer();
         self.registry
             .get(ns_id)
             .ok_or_else(|| DkError::Closed("namespace vanished".into()))
@@ -714,11 +826,24 @@ impl Bootloader {
 
     // --- lease maintenance (Table 4) ------------------------------------
 
-    /// Drains pushed notices and runs the lease state machine once.
-    /// Applications that are never stopped call this from a timer thread
-    /// or rely on it running at each `connect` (§3.4.2: bootloaders "can
-    /// wait lazily for an application call to trigger the check").
+    /// Drains pushed notices and runs the lease state machine once, then
+    /// re-arms the auto-renewal timer against whatever lease resulted.
+    ///
+    /// This is the manual "run my maintenance now" entry point: the
+    /// scheduler-registered upgrade-poll task and lease-renewal timer
+    /// call exactly this, so tests and harnesses that hand-crank the
+    /// clock keep full control, while fleets just pump
+    /// [`netsim::Network::run_until`] (§3.4.2's timer thread without
+    /// anybody writing one). It also runs at each `connect` ("wait
+    /// lazily for an application call to trigger the check").
     pub fn poll(self: &Arc<Self>) -> PollOutcome {
+        self.stats.lock().polls += 1;
+        let outcome = self.maintenance();
+        self.sync_lease_timer();
+        outcome
+    }
+
+    fn maintenance(self: &Arc<Self>) -> PollOutcome {
         let mut force_renew = false;
         {
             let mut st = self.state.lock();
@@ -888,6 +1013,7 @@ impl Bootloader {
         self.registry.activate(new_ns)?;
         // Old connections keep working (extension fetch is additive).
         self.stats.lock().extension_fetches += 1;
+        self.sync_lease_timer();
         Ok(())
     }
 
@@ -956,6 +1082,7 @@ impl Bootloader {
             "driver released",
         );
         self.maybe_unload(ns.id);
+        self.sync_lease_timer();
         Ok(())
     }
 

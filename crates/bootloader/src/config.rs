@@ -1,6 +1,7 @@
 //! Bootloader configuration.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use netsim::Addr;
 
@@ -28,6 +29,78 @@ pub enum ServerLocator {
         /// Port Drivolution servers listen on.
         port: u16,
     },
+}
+
+/// How a bootloader drives its own lifecycle on the network's
+/// [`netsim::Scheduler`] instead of waiting for application calls.
+///
+/// Two tasks exist:
+///
+/// * an **upgrade-poll task** (periodic, `poll_every`) that drains
+///   pushed notices and runs the lease state machine — the timer thread
+///   §3.4.2 describes, without anybody writing one;
+/// * a **lease auto-renewal timer** (one-shot, re-armed at every lease
+///   grant to the instant the lease enters its renewal window) so
+///   renewals happen the moment they are due rather than at the next
+///   poll after it.
+///
+/// Both only fire when someone pumps
+/// [`netsim::Network::run_until`]; tests that steer the clock manually
+/// and call [`crate::Bootloader::poll`] by hand are unaffected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LifecyclePolicy {
+    /// Cadence of the periodic upgrade-poll task; `None` registers no
+    /// poll task (manual driving).
+    pub poll_every: Option<Duration>,
+    /// Uniform jitter added to each poll firing, de-synchronizing fleet
+    /// sweeps.
+    pub poll_jitter: Duration,
+    /// Arm a one-shot renewal timer at each lease's expiry.
+    pub auto_renew: bool,
+    /// Retry backoff after a failed renewal ("the bootloader keeps its
+    /// current implementation", §4.1.3 — but keeps trying).
+    pub renew_retry: Duration,
+}
+
+impl Default for LifecyclePolicy {
+    /// Auto-renewal on, no periodic poll task: a default bootloader
+    /// renews its lease on time under a pumped scheduler yet behaves
+    /// exactly like the manual flow when nobody pumps.
+    fn default() -> Self {
+        LifecyclePolicy {
+            poll_every: None,
+            poll_jitter: Duration::ZERO,
+            auto_renew: true,
+            renew_retry: Duration::from_secs(30),
+        }
+    }
+}
+
+impl LifecyclePolicy {
+    /// Fully manual: no poll task, no renewal timer. For tests and
+    /// harnesses that hand-crank [`crate::Bootloader::poll`].
+    pub fn manual() -> Self {
+        LifecyclePolicy {
+            poll_every: None,
+            poll_jitter: Duration::ZERO,
+            auto_renew: false,
+            renew_retry: Duration::from_secs(30),
+        }
+    }
+
+    /// Fully self-driving: poll every `every` plus lease auto-renewal.
+    pub fn driven(every: Duration) -> Self {
+        LifecyclePolicy {
+            poll_every: Some(every),
+            ..LifecyclePolicy::default()
+        }
+    }
+
+    /// Adds jitter to the poll task.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.poll_jitter = jitter;
+        self
+    }
 }
 
 /// Bootloader configuration — everything installed once per client
@@ -65,6 +138,9 @@ pub struct BootloaderConfig {
     /// summary and the bootloader resolves zero-transfer revalidations
     /// and chunked delta upgrades against it.
     pub depot: Option<Arc<DriverDepot>>,
+    /// Scheduler-driven lifecycle tasks (upgrade polling, lease
+    /// auto-renewal).
+    pub lifecycle: LifecyclePolicy,
 }
 
 impl BootloaderConfig {
@@ -114,6 +190,7 @@ impl BootloaderConfig {
             open_notify_channel: false,
             lazy_extension_fetch: false,
             depot: None,
+            lifecycle: LifecyclePolicy::default(),
         }
     }
 
@@ -159,6 +236,19 @@ impl BootloaderConfig {
     pub fn with_depot(mut self, depot: Arc<DriverDepot>) -> Self {
         self.depot = Some(depot);
         self
+    }
+
+    /// Sets the lifecycle-task policy.
+    pub fn with_lifecycle(mut self, lifecycle: LifecyclePolicy) -> Self {
+        self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Shorthand for a fully self-driving bootloader: upgrade polls
+    /// every `every` and lease auto-renewal timers, all fired by the
+    /// network scheduler.
+    pub fn self_driving(self, every: Duration) -> Self {
+        self.with_lifecycle(LifecyclePolicy::driven(every))
     }
 }
 

@@ -11,7 +11,10 @@
 //! certificate and signature checks, driver loading into isolated
 //! namespaces, lease renewal, transparent hot upgrades under the three
 //! expiration policies, revocation, lazy extension fetch, and license
-//! give-back.
+//! give-back. Under a [`LifecyclePolicy`], the bootloader also registers
+//! its own upgrade-poll task and lease auto-renewal timer on the
+//! network's scheduler, so no application code has to remember to call
+//! [`Bootloader::poll`] at the right moment.
 //!
 //! This crate deliberately contains **no SQL and no driver logic** —
 //! mirroring the paper's claim that one bootloader implementation per API
@@ -25,6 +28,6 @@ mod managed;
 mod tracker;
 
 pub use bootloader::{BootStats, Bootloader, MirrorFetchStats, PollOutcome};
-pub use config::{BootloaderConfig, ServerLocator};
+pub use config::{BootloaderConfig, LifecyclePolicy, ServerLocator};
 pub use managed::ManagedConnection;
 pub use tracker::ConnectionTracker;

@@ -162,9 +162,11 @@ impl Controller {
     /// arriving via group replication is picked up read-through on first
     /// demand). The mirror registers itself with the server's mirror
     /// directory over the announce protocol (`MirrorDepot::launch`
-    /// self-announces) and immediately heartbeats its warmed coverage;
-    /// call [`heartbeat_mirror`](Self::heartbeat_mirror) periodically to
-    /// keep it out of quarantine.
+    /// self-announces), immediately heartbeats its warmed coverage, and
+    /// keeps itself out of quarantine through its own scheduler-driven
+    /// heartbeat task — nobody hand-cranks heartbeats; the controller
+    /// only pauses the task across [`stop`](Self::stop)/
+    /// [`start`](Self::start).
     ///
     /// # Errors
     ///
@@ -199,22 +201,10 @@ impl Controller {
         Ok(mirror)
     }
 
-    /// Heartbeats the attached depot mirror, if any, keeping it healthy
-    /// in the embedded server's mirror directory.
-    ///
-    /// # Errors
-    ///
-    /// Network failures reaching the embedded server.
-    pub fn heartbeat_mirror(&self) -> DrvResult<()> {
-        if let Some(mirror) = self.mirror.lock().clone() {
-            mirror.heartbeat()?;
-        }
-        Ok(())
-    }
-
     /// Stops serving: the client port and the embedded Drivolution port
-    /// are unbound and all sessions are dropped (a controller restart for
-    /// a rolling upgrade, §5.3.1).
+    /// are unbound, the attached mirror's lifecycle tasks are paused,
+    /// and all sessions are dropped (a controller restart for a rolling
+    /// upgrade, §5.3.1).
     pub fn stop(&self) {
         self.running.store(false, Ordering::SeqCst);
         self.net.unbind(&self.addr);
@@ -223,6 +213,10 @@ impl Controller {
         }
         if let Some(mirror) = self.mirror.lock().as_ref() {
             self.net.unbind(mirror.addr());
+            // A stopped controller must not keep beating a heart it
+            // unplugged: the scheduler task goes quiet with it, and the
+            // directory quarantines the entry like any dead mirror.
+            mirror.pause_lifecycle();
         }
         self.sessions.lock().clear();
     }
@@ -244,9 +238,11 @@ impl Controller {
         if let Some(mirror) = self.mirror.lock().clone() {
             self.net.bind_arc(mirror.addr().clone(), mirror.clone())?;
             // The directory may have evicted the mirror while the
-            // controller was down; re-announce and refresh coverage.
+            // controller was down; re-announce and refresh coverage once,
+            // then let the resumed heartbeat task take over.
             let _ = mirror.announce();
             let _ = mirror.heartbeat();
+            mirror.resume_lifecycle();
         }
         self.running.store(true, Ordering::SeqCst);
         Ok(())

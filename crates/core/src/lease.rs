@@ -85,6 +85,15 @@ impl Lease {
         self.granted_at_ms.saturating_add(self.lease_ms)
     }
 
+    /// Instant the lease enters [`LeaseState::RenewDue`] — where a
+    /// well-behaved client renews (an auto-renewal timer arms here, not
+    /// at expiry: renewing inside the margin keeps license seats and
+    /// avoids racing the server-side holder eviction at the expiry
+    /// tick).
+    pub fn renew_due_at_ms(&self) -> u64 {
+        self.expires_at_ms().saturating_sub(self.renew_margin_ms)
+    }
+
     /// The renewal policy attached by the server.
     pub fn renew_policy(&self) -> RenewPolicy {
         self.renew_policy

@@ -139,6 +139,12 @@ impl MirrorCandidate {
 /// `Option<String>` single-mirror encoding, so old frames keep decoding.
 const PLAN_MIRRORS_V2: u8 = 2;
 
+/// Cap on chunk digests one `MIRROR_HEARTBEAT` advertises. Coverage is a
+/// ranking hint, not an inventory: a replica past the cap reports its
+/// first `MAX_HEARTBEAT_COVERAGE` sorted digests and the directory
+/// simply sees partial coverage, which only costs ranking precision.
+pub const MAX_HEARTBEAT_COVERAGE: usize = 4096;
+
 /// Chunked-delta delivery plan carried by a `DRIVOLUTION_OFFER`: the
 /// manifest of the offered image, the chunks the client must fetch, and
 /// a ranked list of mirror replicas to fetch them from (keeping bulk
@@ -464,6 +470,12 @@ pub enum DrvMsg {
         /// Requests served since the previous heartbeat (load signal for
         /// candidate ranking).
         load: u32,
+        /// Chunk digests the replica holds, sorted, capped at
+        /// [`MAX_HEARTBEAT_COVERAGE`] by senders. The directory ranks
+        /// candidates that already hold a plan's missing chunks ahead of
+        /// ones that would read through to the primary. Legacy frames
+        /// without the list decode to an empty coverage.
+        coverage: Vec<u64>,
     },
     /// `MIRROR_ACK` — the directory's answer to an announce or
     /// heartbeat.
@@ -742,12 +754,18 @@ impl DrvMsg {
                 chunk_count,
                 served_bytes,
                 load,
+                coverage,
             } => {
                 b.put_u8(11);
                 put_str(&mut b, location);
                 b.put_u64_le(*chunk_count);
                 b.put_u64_le(*served_bytes);
                 b.put_u32_le(*load);
+                let n = coverage.len().min(MAX_HEARTBEAT_COVERAGE);
+                b.put_u32_le(n as u32);
+                for d in coverage.iter().take(n) {
+                    b.put_u64_le(*d);
+                }
             }
             DrvMsg::MirrorAck { known } => {
                 b.put_u8(12);
@@ -812,12 +830,36 @@ impl DrvMsg {
                 location: get_str(&mut buf, "mirror location")?,
                 zone: get_opt_str(&mut buf, "mirror zone")?,
             }),
-            11 => Ok(DrvMsg::MirrorHeartbeat {
-                location: get_str(&mut buf, "mirror location")?,
-                chunk_count: get_u64(&mut buf, "mirror chunk count")?,
-                served_bytes: get_u64(&mut buf, "mirror served bytes")?,
-                load: get_u32(&mut buf, "mirror load")?,
-            }),
+            11 => {
+                let location = get_str(&mut buf, "mirror location")?;
+                let chunk_count = get_u64(&mut buf, "mirror chunk count")?;
+                let served_bytes = get_u64(&mut buf, "mirror served bytes")?;
+                let load = get_u32(&mut buf, "mirror load")?;
+                // Legacy heartbeats end here; current ones append a
+                // count-prefixed coverage digest list.
+                let coverage = if buf.is_empty() {
+                    Vec::new()
+                } else {
+                    let n = get_u32(&mut buf, "mirror coverage count")?;
+                    if u64::from(n) * 8 > buf.len() as u64 {
+                        return Err(DrvError::Codec(format!(
+                            "mirror coverage count {n} exceeds frame"
+                        )));
+                    }
+                    let mut coverage = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        coverage.push(get_u64(&mut buf, "mirror coverage digest")?);
+                    }
+                    coverage
+                };
+                Ok(DrvMsg::MirrorHeartbeat {
+                    location,
+                    chunk_count,
+                    served_bytes,
+                    load,
+                    coverage,
+                })
+            }
             12 => Ok(DrvMsg::MirrorAck {
                 known: get_u8(&mut buf, "mirror ack")? != 0,
             }),
@@ -1036,6 +1078,14 @@ mod tests {
                 chunk_count: 1234,
                 served_bytes: 5_000_000,
                 load: 17,
+                coverage: vec![0xaa, 0xbb, 0xcc],
+            },
+            DrvMsg::MirrorHeartbeat {
+                location: "mirror2:1071".into(),
+                chunk_count: 0,
+                served_bytes: 0,
+                load: 0,
+                coverage: Vec::new(),
             },
             DrvMsg::MirrorAck { known: true },
             DrvMsg::MirrorAck { known: false },
@@ -1043,6 +1093,55 @@ mod tests {
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");
         }
+    }
+
+    #[test]
+    fn legacy_heartbeat_frames_without_coverage_still_decode() {
+        // A pre-coverage encoder ends the frame right after `load`.
+        let mut b = BytesMut::new();
+        b.put_u8(11);
+        put_str(&mut b, "mirror1:1071");
+        b.put_u64_le(42);
+        b.put_u64_le(1000);
+        b.put_u32_le(3);
+        let msg = DrvMsg::decode(b.freeze()).unwrap();
+        assert_eq!(
+            msg,
+            DrvMsg::MirrorHeartbeat {
+                location: "mirror1:1071".into(),
+                chunk_count: 42,
+                served_bytes: 1000,
+                load: 3,
+                coverage: Vec::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn hostile_heartbeat_coverage_count_is_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(11);
+        put_str(&mut b, "mirror1:1071");
+        b.put_u64_le(1);
+        b.put_u64_le(1);
+        b.put_u32_le(0);
+        b.put_u32_le(u32::MAX); // claims 4 billion digests follow
+        assert!(DrvMsg::decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn heartbeat_encoder_caps_coverage() {
+        let msg = DrvMsg::MirrorHeartbeat {
+            location: "m:1".into(),
+            chunk_count: 10_000,
+            served_bytes: 0,
+            load: 0,
+            coverage: (0..10_000u64).collect(),
+        };
+        let DrvMsg::MirrorHeartbeat { coverage, .. } = DrvMsg::decode(msg.encode()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(coverage.len(), MAX_HEARTBEAT_COVERAGE);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod mirror;
 
 pub use depot::{DepotStats, DriverDepot};
 pub use index::ContentIndex;
-pub use mirror::{MirrorDepot, MirrorStats};
+pub use mirror::{MirrorDepot, MirrorStats, MirrorTiming};
 
 /// Parses a `host:port` mirror location (as carried in
 /// [`drivolution_core::ChunkPlan::mirror`]) into a network address.

@@ -1,18 +1,48 @@
 //! Read-only depot replicas that take bulk chunk traffic off the
 //! primary Drivolution server.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use netsim::{Addr, NetError, Network, Service};
+use netsim::{Addr, NetError, Network, Service, TaskControl, TaskHandle};
 
 use drivolution_core::chunk::{ChunkSet, ChunkingParams};
-use drivolution_core::proto::DrvMsg;
+use drivolution_core::proto::{DrvMsg, MAX_HEARTBEAT_COVERAGE};
 use drivolution_core::{transfer, Certificate, DrvError, DrvResult, TransferMethod};
 
 use crate::index::ContentIndex;
+
+/// Lifecycle-task cadence for a mirror. These are the client half of the
+/// timing contract whose server half is the directory's
+/// `DirectoryConfig`: the directory defaults its expected heartbeat
+/// interval to [`MirrorTiming::default`]'s `heartbeat_every`, so a
+/// mirror launched with defaults never goes overdue on a healthy
+/// network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MirrorTiming {
+    /// Heartbeat cadence. The directory marks an entry overdue after two
+    /// missed beats at its configured interval.
+    pub heartbeat_every: Duration,
+    /// Uniform jitter added to each heartbeat (spreads a large mirror
+    /// tier's beats off one tick; keep well under `heartbeat_every`).
+    pub heartbeat_jitter: Duration,
+    /// Retry cadence for the launch announce when the primary is not up
+    /// yet; the retry task retires itself on the first success.
+    pub announce_retry: Duration,
+}
+
+impl Default for MirrorTiming {
+    fn default() -> Self {
+        MirrorTiming {
+            heartbeat_every: Duration::from_secs(5),
+            heartbeat_jitter: Duration::ZERO,
+            announce_retry: Duration::from_secs(2),
+        }
+    }
+}
 
 /// Counters exposed by [`MirrorDepot`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,10 +70,17 @@ pub struct MirrorStats {
 /// a chunk digest either resolves to the right bytes or to nothing.
 ///
 /// Mirrors register themselves: [`launch`](Self::launch) sends a
-/// `MIRROR_ANNOUNCE` (location and zone) to the primary, and periodic
-/// [`heartbeat`](Self::heartbeat)s report liveness, chunk coverage,
-/// served bytes, and load to the primary's mirror directory. A mirror
-/// that stops heartbeating is quarantined out of chunk plans.
+/// `MIRROR_ANNOUNCE` (location and zone) to the primary and registers
+/// its own lifecycle tasks on the network's
+/// [`Scheduler`](netsim::Scheduler): a periodic heartbeat reporting
+/// liveness, chunk coverage, served bytes, and load, plus — when the
+/// launch announce could not reach the primary — an announce-retry task
+/// that retires itself on first success. Nobody has to remember to call
+/// [`heartbeat`](Self::heartbeat) by hand; pumping
+/// [`Network::run_until`](netsim::Network::run_until) drives it. A
+/// mirror that stops heartbeating (crashed, partitioned, or
+/// [`pause_lifecycle`](Self::pause_lifecycle)d for a controlled restart)
+/// is quarantined out of chunk plans.
 pub struct MirrorDepot {
     net: Network,
     addr: Addr,
@@ -54,6 +91,13 @@ pub struct MirrorDepot {
     /// `chunk_requests` value at the previous heartbeat; the next
     /// heartbeat reports the delta as its load signal.
     last_reported_requests: Mutex<u64>,
+    lifecycle: Mutex<LifecycleTasks>,
+}
+
+#[derive(Default)]
+struct LifecycleTasks {
+    heartbeat: Option<TaskHandle>,
+    announce_retry: Option<TaskHandle>,
 }
 
 impl std::fmt::Debug for MirrorDepot {
@@ -66,13 +110,43 @@ impl std::fmt::Debug for MirrorDepot {
     }
 }
 
+impl Drop for MirrorDepot {
+    /// Cancels the lifecycle tasks so a torn-down mirror does not leave
+    /// entries in the scheduler's table (a paused task never fires, so
+    /// it would never notice its weak reference died).
+    fn drop(&mut self) {
+        let tasks = self.lifecycle.lock();
+        if let Some(t) = &tasks.heartbeat {
+            t.cancel();
+        }
+        if let Some(t) = &tasks.announce_retry {
+            t.cancel();
+        }
+    }
+}
+
 impl MirrorDepot {
-    /// Creates a mirror bound at `addr`, replicating from `primary`.
+    /// Creates a mirror bound at `addr`, replicating from `primary`,
+    /// with default [`MirrorTiming`].
     ///
     /// # Errors
     ///
     /// [`NetError::AddrInUse`] when `addr` is taken.
     pub fn launch(net: &Network, addr: Addr, primary: Addr) -> Result<Arc<Self>, NetError> {
+        Self::launch_with(net, addr, primary, MirrorTiming::default())
+    }
+
+    /// As [`launch`](Self::launch) with explicit lifecycle-task timing.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::AddrInUse`] when `addr` is taken.
+    pub fn launch_with(
+        net: &Network,
+        addr: Addr,
+        primary: Addr,
+        timing: MirrorTiming,
+    ) -> Result<Arc<Self>, NetError> {
         let mirror = Arc::new(MirrorDepot {
             net: net.clone(),
             addr: addr.clone(),
@@ -81,13 +155,87 @@ impl MirrorDepot {
             index: ContentIndex::new(),
             stats: Mutex::new(MirrorStats::default()),
             last_reported_requests: Mutex::new(0),
+            lifecycle: Mutex::new(LifecycleTasks::default()),
         });
         net.bind_arc(addr, mirror.clone())?;
-        // Self-announce. Best-effort: the primary may not be up yet (or
-        // may predate the announce protocol); a later heartbeat answered
-        // with `known: false` retries the announce.
-        let _ = mirror.announce();
+        // Self-announce, then hand all further lifecycle beats to the
+        // scheduler. The launch announce is best-effort: the primary may
+        // not be up yet (or may predate the announce protocol); the
+        // announce-retry task keeps trying until it gets through, and a
+        // later heartbeat answered `known: false` re-announces too.
+        let announced = mirror.announce().is_ok();
+        mirror.register_lifecycle(timing, announced);
         Ok(mirror)
+    }
+
+    /// Registers the heartbeat task (and, unless the launch announce
+    /// already succeeded, the announce-retry task) on the network's
+    /// scheduler.
+    fn register_lifecycle(self: &Arc<Self>, timing: MirrorTiming, announced: bool) {
+        let sched = self.net.scheduler();
+        let location = self.location();
+        let me = Arc::downgrade(self);
+        let heartbeat = sched.every(
+            timing.heartbeat_every,
+            timing.heartbeat_jitter,
+            format!("mirror-heartbeat {location}"),
+            move || match Weak::upgrade(&me) {
+                Some(m) => m
+                    .heartbeat()
+                    .map(|()| TaskControl::Continue)
+                    .map_err(|e| e.to_string()),
+                None => Ok(TaskControl::Done),
+            },
+        );
+        let mut tasks = self.lifecycle.lock();
+        tasks.heartbeat = Some(heartbeat);
+        if !announced {
+            let me = Arc::downgrade(self);
+            tasks.announce_retry = Some(sched.every(
+                timing.announce_retry,
+                Duration::ZERO,
+                format!("mirror-announce {}", self.location()),
+                move || match Weak::upgrade(&me) {
+                    Some(m) => match m.announce() {
+                        Ok(()) => Ok(TaskControl::Done),
+                        Err(e) => Err(e.to_string()),
+                    },
+                    None => Ok(TaskControl::Done),
+                },
+            ));
+        }
+    }
+
+    /// Handle to the scheduler-registered heartbeat task: its error
+    /// counters are the per-mirror heartbeat-failure ledger fleets
+    /// report, and cancelling it simulates a mirror whose lifecycle
+    /// driving died while the replica still serves.
+    pub fn heartbeat_task(&self) -> Option<TaskHandle> {
+        self.lifecycle.lock().heartbeat.clone()
+    }
+
+    /// Takes this mirror's lifecycle tasks off the schedule (a
+    /// controlled shutdown, e.g. a controller restart). The directory
+    /// will see silence and walk the entry overdue→quarantined.
+    pub fn pause_lifecycle(&self) {
+        let tasks = self.lifecycle.lock();
+        if let Some(t) = &tasks.heartbeat {
+            t.pause();
+        }
+        if let Some(t) = &tasks.announce_retry {
+            t.pause();
+        }
+    }
+
+    /// Resumes paused lifecycle tasks after a restart.
+    pub fn resume_lifecycle(&self) {
+        let tasks = self.lifecycle.lock();
+        if let Some(t) = &tasks.heartbeat {
+            t.resume();
+        }
+        if let Some(t) = &tasks.announce_retry {
+            t.resume();
+        }
     }
 
     /// The zone this mirror is placed in under the network's current
@@ -143,12 +291,18 @@ impl MirrorDepot {
                 .chunk_requests
                 .saturating_sub(*last)
                 .min(u64::from(u32::MAX)) as u32;
+            // Coverage: sorted for determinism, capped (it is a ranking
+            // hint; past the cap the directory sees partial coverage).
+            let mut coverage = self.index.chunk_digests();
+            coverage.sort_unstable();
+            coverage.truncate(MAX_HEARTBEAT_COVERAGE);
             (
                 DrvMsg::MirrorHeartbeat {
                     location: self.location(),
                     chunk_count: self.index.chunk_count() as u64,
                     served_bytes: st.chunk_bytes_served,
                     load,
+                    coverage,
                 },
                 st.chunk_requests,
             )
@@ -520,6 +674,129 @@ mod tests {
             panic!()
         };
         assert_eq!(*load, 1, "failed beat must not swallow the interval");
+    }
+
+    #[test]
+    fn scheduler_drives_heartbeats_without_manual_calls() {
+        let net = Network::new();
+        let seen: Arc<Mutex<Vec<DrvMsg>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(move |_f, req| {
+                sink.lock()
+                    .push(DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?);
+                Ok(DrvMsg::MirrorAck { known: true }.encode())
+            }),
+        )
+        .unwrap();
+        let mirror =
+            MirrorDepot::launch(&net, Addr::new("mirror1", 1071), Addr::new("srv", 1070)).unwrap();
+        // Launch announced and registered the heartbeat task; nobody
+        // calls heartbeat() — the pump does.
+        net.run_until(26_000);
+        let st = mirror.stats();
+        assert_eq!(st.announces, 1);
+        assert_eq!(st.heartbeats, 5, "one beat per default 5s interval");
+        let task = mirror.heartbeat_task().unwrap();
+        assert_eq!(task.stats().runs, 5);
+        assert_eq!(task.stats().errors, 0);
+        assert!(seen
+            .lock()
+            .iter()
+            .skip(1)
+            .all(|m| matches!(m, DrvMsg::MirrorHeartbeat { .. })));
+
+        // A paused lifecycle goes silent; resuming picks back up.
+        mirror.pause_lifecycle();
+        net.run_until(60_000);
+        assert_eq!(mirror.stats().heartbeats, 5);
+        mirror.resume_lifecycle();
+        net.run_until(66_000);
+        assert_eq!(mirror.stats().heartbeats, 6);
+    }
+
+    #[test]
+    fn failed_heartbeats_count_on_the_task_not_into_the_void() {
+        let net = Network::new();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(|_f, _r| Ok(DrvMsg::MirrorAck { known: true }.encode())),
+        )
+        .unwrap();
+        let mirror =
+            MirrorDepot::launch(&net, Addr::new("mirror1", 1071), Addr::new("srv", 1070)).unwrap();
+        net.with_faults(|f| f.take_down("srv"));
+        net.run_until(16_000);
+        let task = mirror.heartbeat_task().unwrap();
+        assert_eq!(task.stats().runs, 3);
+        assert_eq!(task.stats().errors, 3);
+        assert!(task.last_error().unwrap().contains("host down"));
+        net.with_faults(|f| f.restore("srv"));
+        net.run_until(21_000);
+        assert_eq!(task.stats().consecutive_errors, 0);
+    }
+
+    #[test]
+    fn launch_against_a_down_primary_retries_the_announce() {
+        let net = Network::new();
+        let mirror =
+            MirrorDepot::launch(&net, Addr::new("mirror1", 1071), Addr::new("srv", 1070)).unwrap();
+        assert_eq!(mirror.stats().announces, 1, "launch attempt failed");
+        // The primary comes up two seconds later; the retry task gets
+        // through on its next tick and retires itself.
+        let seen: Arc<Mutex<Vec<DrvMsg>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(move |_f, req| {
+                sink.lock()
+                    .push(DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?);
+                Ok(DrvMsg::MirrorAck { known: true }.encode())
+            }),
+        )
+        .unwrap();
+        net.run_until(10_000);
+        assert!(matches!(seen.lock()[0], DrvMsg::MirrorAnnounce { .. }));
+        let announces = mirror.stats().announces;
+        assert!(announces >= 2);
+        net.run_until(20_000);
+        assert_eq!(
+            mirror.stats().announces,
+            announces,
+            "retry task retired after success"
+        );
+    }
+
+    #[test]
+    fn heartbeat_carries_sorted_chunk_coverage() {
+        let net = Network::new();
+        let img = image(4096, 1);
+        let primary = Addr::new("srv", 1070);
+        bind_primary(&net, primary.clone(), &img, 1024);
+        let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), primary).unwrap();
+        mirror.preload(img.clone(), &ChunkingParams::fixed(1024));
+        net.unbind(&Addr::new("srv", 1070));
+        let seen: Arc<Mutex<Vec<DrvMsg>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        net.bind(
+            Addr::new("srv", 1070),
+            FnService::new(move |_f, req| {
+                sink.lock()
+                    .push(DrvMsg::decode(req).map_err(|e| NetError::Protocol(e.to_string()))?);
+                Ok(DrvMsg::MirrorAck { known: true }.encode())
+            }),
+        )
+        .unwrap();
+        mirror.heartbeat().unwrap();
+        let msgs = seen.lock();
+        let DrvMsg::MirrorHeartbeat { coverage, .. } = &msgs[0] else {
+            panic!("{:?}", msgs[0]);
+        };
+        let mut expected = ChunkManifest::of(&img, 1024).chunks;
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(coverage, &expected);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub use report::{
     fleet_install_report, fleet_update_report, render_fleet_update, render_table5, table5,
     FleetInstallReport, FleetUpdateReport, OpsRow,
 };
-pub use sim::{FleetSim, PropagationResult};
+pub use sim::{FleetSim, PropagationResult, DEFAULT_POLL_EVERY};

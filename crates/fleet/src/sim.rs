@@ -4,13 +4,21 @@
 //! This powers the §3.2 tradeoff experiments: lease time vs upgrade
 //! propagation time vs Drivolution-server traffic, and the
 //! dedicated-channel ablation.
+//!
+//! Nothing here hand-cranks lifecycle beats: every client registers its
+//! own upgrade-poll task and lease auto-renewal timer, every mirror its
+//! own heartbeat task, and the fleet runs by pumping
+//! [`netsim::Network::run_until`]. Per-mirror heartbeat failures are
+//! read straight off the task error counters
+//! ([`FleetSim::mirror_heartbeat_failures`]) instead of being swallowed.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use netsim::{Addr, Network};
 
 use driverkit::{ConnectProps, DbUrl};
-use drivolution_bootloader::{Bootloader, BootloaderConfig};
+use drivolution_bootloader::{Bootloader, BootloaderConfig, LifecyclePolicy};
 use drivolution_core::{
     ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
     PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
@@ -19,6 +27,10 @@ use drivolution_depot::{DriverDepot, MirrorDepot};
 use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
 use minidb::wire::DbServer;
 use minidb::MiniDb;
+
+/// Default cadence of each client's upgrade-poll task (one virtual
+/// minute, as the original hand-cranked sweeps used).
+pub const DEFAULT_POLL_EVERY: Duration = Duration::from_secs(60);
 
 /// Result of one upgrade-propagation run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,8 +41,12 @@ pub struct PropagationResult {
     pub server_requests: u64,
     /// Request+response bytes at the Drivolution server.
     pub server_bytes: u64,
-    /// Poll iterations executed.
+    /// Maintenance passes executed across the fleet (scheduler-fired
+    /// poll tasks plus lease-renewal timers).
     pub polls: u64,
+    /// Mirror heartbeats that failed during the run — surfaced from the
+    /// heartbeat tasks' error counters rather than swallowed.
+    pub mirror_heartbeat_failures: u64,
 }
 
 /// A simulated fleet wired from real components.
@@ -65,19 +81,40 @@ fn record(id: i64, proto: u16, version: DriverVersion, padding: usize) -> Driver
 }
 
 impl FleetSim {
-    /// Builds a fleet of `n_clients` bootloaders with `lease_ms` leases;
-    /// `notify` opens dedicated channels (the push ablation).
+    /// Builds a fleet of `n_clients` self-driving bootloaders with
+    /// `lease_ms` leases; `notify` opens dedicated channels (the push
+    /// ablation).
     pub fn build(n_clients: usize, lease_ms: u64, notify: bool) -> Self {
         Self::build_with_driver_size(n_clients, lease_ms, notify, 0)
     }
 
     /// As [`FleetSim::build`] with `driver_padding` extra bytes per
-    /// driver package (to sweep realistic driver sizes).
+    /// driver package (to sweep realistic driver sizes). Clients run
+    /// under [`LifecyclePolicy::driven`] at [`DEFAULT_POLL_EVERY`].
     pub fn build_with_driver_size(
         n_clients: usize,
         lease_ms: u64,
         notify: bool,
         driver_padding: usize,
+    ) -> Self {
+        Self::build_with_lifecycle(
+            n_clients,
+            lease_ms,
+            notify,
+            driver_padding,
+            LifecyclePolicy::driven(DEFAULT_POLL_EVERY),
+        )
+    }
+
+    /// As [`FleetSim::build_with_driver_size`] with an explicit client
+    /// [`LifecyclePolicy`] — [`LifecyclePolicy::manual`] builds a fleet
+    /// for harnesses that hand-crank [`Bootloader::poll`].
+    pub fn build_with_lifecycle(
+        n_clients: usize,
+        lease_ms: u64,
+        notify: bool,
+        driver_padding: usize,
+        lifecycle: LifecyclePolicy,
     ) -> Self {
         let net = Network::new();
         let db = Arc::new(MiniDb::with_clock("fleetdb", net.clock().clone()));
@@ -110,7 +147,7 @@ impl FleetSim {
             .unwrap();
         let mut clients = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
-            let mut config = BootloaderConfig::same_host();
+            let mut config = BootloaderConfig::same_host().with_lifecycle(lifecycle);
             if notify {
                 config = config.with_notify_channel();
             }
@@ -149,6 +186,29 @@ impl FleetSim {
         same_zone_ms: u64,
         cross_zone_ms: u64,
     ) -> Self {
+        Self::build_cdn_with(
+            n_clients,
+            lease_ms,
+            zones,
+            driver_padding,
+            same_zone_ms,
+            cross_zone_ms,
+            LifecyclePolicy::driven(DEFAULT_POLL_EVERY),
+        )
+    }
+
+    /// As [`FleetSim::build_cdn`] with an explicit client
+    /// [`LifecyclePolicy`] (mirror heartbeat tasks always register; the
+    /// policy governs the clients).
+    pub fn build_cdn_with(
+        n_clients: usize,
+        lease_ms: u64,
+        zones: &[&str],
+        driver_padding: usize,
+        same_zone_ms: u64,
+        cross_zone_ms: u64,
+        lifecycle: LifecyclePolicy,
+    ) -> Self {
         assert!(!zones.is_empty(), "a CDN fleet needs at least one zone");
         let mut sim = Self::build_with_driver_size(0, lease_ms, false, driver_padding);
         sim.net.with_topology(|t| {
@@ -168,6 +228,7 @@ impl FleetSim {
             let zone = zones[i % zones.len()];
             sim.net.with_topology(|t| t.place(host.clone(), zone));
             let mut config = BootloaderConfig::same_host()
+                .with_lifecycle(lifecycle)
                 .trusting(sim.server.certificate())
                 .with_depot(DriverDepot::in_memory());
             for m in &sim.mirrors {
@@ -200,13 +261,29 @@ impl FleetSim {
         &self.mirrors
     }
 
-    /// Heartbeats every mirror, ignoring failures (a mirror taken down
-    /// by fault injection simply misses its beats and gets
-    /// quarantined).
-    pub fn heartbeat_mirrors(&self) {
-        for m in &self.mirrors {
-            let _ = m.heartbeat();
-        }
+    /// Per-mirror heartbeat-failure counters, read off each mirror's
+    /// scheduler task. A mirror taken down by fault injection misses its
+    /// beats and is quarantined exactly as before — but the failures now
+    /// land in an operator-visible ledger instead of being discarded.
+    pub fn mirror_heartbeat_failures(&self) -> Vec<(String, u64)> {
+        self.mirrors
+            .iter()
+            .map(|m| {
+                let errors = m.heartbeat_task().map(|t| t.stats().errors).unwrap_or(0);
+                (m.location(), errors)
+            })
+            .collect()
+    }
+
+    fn total_mirror_failures(&self) -> u64 {
+        self.mirror_heartbeat_failures()
+            .iter()
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    fn total_polls(&self) -> u64 {
+        self.clients.iter().map(|c| c.stats().polls).sum()
     }
 
     /// Bootstraps every client (each downloads v1 once).
@@ -261,26 +338,23 @@ impl FleetSim {
         n as f64 / self.clients.len().max(1) as f64
     }
 
-    /// Advances virtual time in `step_ms` increments, polling every
-    /// client each step, until all run v2 or `max_ms` elapses.
+    /// Pumps the scheduler in `step_ms` increments — client poll tasks,
+    /// lease-renewal timers, and mirror heartbeats all fire on their own
+    /// registered cadence — until every client runs v2 or `max_ms`
+    /// elapses. No manual poll or heartbeat call anywhere: the fleet's
+    /// entire lifecycle is scheduler ticks.
     pub fn run_until_upgraded(&self, step_ms: u64, max_ms: u64) -> PropagationResult {
         let start = self.net.clock().now_ms();
         let base_stats = self.net.stats().for_addr(&self.drv_addr);
-        let mut polls = 0;
+        let base_polls = self.total_polls();
+        let base_failures = self.total_mirror_failures();
         let target = DriverVersion::new(2, 0, 0);
-        loop {
-            self.heartbeat_mirrors();
-            for c in &self.clients {
-                let _ = c.poll();
-                polls += 1;
-            }
-            if self.fraction_on(target) >= 1.0 {
+        while self.fraction_on(target) < 1.0 {
+            let now = self.net.clock().now_ms();
+            if now - start >= max_ms {
                 break;
             }
-            if self.net.clock().now_ms() - start >= max_ms {
-                break;
-            }
-            self.net.clock().advance_ms(step_ms);
+            self.net.run_until((now + step_ms).min(start + max_ms));
         }
         let end_stats = self.net.stats().for_addr(&self.drv_addr);
         PropagationResult {
@@ -288,24 +362,24 @@ impl FleetSim {
             server_requests: end_stats.requests - base_stats.requests,
             server_bytes: (end_stats.bytes_in + end_stats.bytes_out)
                 - (base_stats.bytes_in + base_stats.bytes_out),
-            polls,
+            polls: self.total_polls() - base_polls,
+            mirror_heartbeat_failures: self.total_mirror_failures() - base_failures,
         }
     }
 
     /// Runs `duration_ms` of steady-state lease maintenance (no upgrade)
-    /// and reports the Drivolution-server traffic — the "higher traffic
-    /// to the Drivolution Server" side of the §3.2 tradeoff.
+    /// under the scheduler and reports the Drivolution-server traffic —
+    /// the "higher traffic to the Drivolution Server" side of the §3.2
+    /// tradeoff. `step_ms` is only the pump granularity; lifecycle
+    /// cadence comes from the registered tasks.
     pub fn run_steady_state(&self, step_ms: u64, duration_ms: u64) -> PropagationResult {
         let start = self.net.clock().now_ms();
         let base_stats = self.net.stats().for_addr(&self.drv_addr);
-        let mut polls = 0;
+        let base_polls = self.total_polls();
+        let base_failures = self.total_mirror_failures();
         while self.net.clock().now_ms() - start < duration_ms {
-            self.net.clock().advance_ms(step_ms);
-            self.heartbeat_mirrors();
-            for c in &self.clients {
-                let _ = c.poll();
-                polls += 1;
-            }
+            let now = self.net.clock().now_ms();
+            self.net.run_until((now + step_ms).min(start + duration_ms));
         }
         let end_stats = self.net.stats().for_addr(&self.drv_addr);
         PropagationResult {
@@ -313,7 +387,8 @@ impl FleetSim {
             server_requests: end_stats.requests - base_stats.requests,
             server_bytes: (end_stats.bytes_in + end_stats.bytes_out)
                 - (base_stats.bytes_in + base_stats.bytes_out),
-            polls,
+            polls: self.total_polls() - base_polls,
+            mirror_heartbeat_failures: self.total_mirror_failures() - base_failures,
         }
     }
 }
@@ -332,9 +407,11 @@ mod tests {
         sim.publish_upgrade(false);
         let r = sim.run_until_upgraded(MINUTE, 60 * MINUTE);
         assert_eq!(sim.fraction_on(DriverVersion::new(2, 0, 0)), 1.0);
-        // Propagation bounded by one lease.
+        // Propagation bounded by one lease: the auto-renewal timers fire
+        // inside each lease's renewal window.
         assert!(r.time_to_full_upgrade_ms <= 10 * MINUTE);
         assert!(r.server_requests >= 5, "every client re-requested");
+        assert!(r.polls >= 5, "scheduler-fired maintenance was counted");
     }
 
     #[test]
@@ -375,6 +452,37 @@ mod tests {
                 .sum::<u64>(),
             0
         );
+    }
+
+    #[test]
+    fn dead_mirror_heartbeat_failures_surface_in_the_report() {
+        // Regression: the old hand-cranked heartbeat_mirrors() swallowed
+        // every error (`let _ = m.heartbeat()`), so a fleet report could
+        // not tell a healthy mirror tier from one silently failing. The
+        // task error counters must surface them per mirror.
+        let zones = ["za", "zb"];
+        let sim = FleetSim::build_cdn(2, 10 * MINUTE, &zones, 16 * 1024, 1, 25);
+        sim.bootstrap_all();
+        sim.net().with_faults(|f| f.take_down("mirror-za"));
+        let r = sim.run_steady_state(MINUTE, 2 * MINUTE);
+        assert!(
+            r.mirror_heartbeat_failures > 0,
+            "failures must not be swallowed"
+        );
+        let per_mirror = sim.mirror_heartbeat_failures();
+        let dead = per_mirror
+            .iter()
+            .find(|(loc, _)| loc == "mirror-za:1071")
+            .unwrap();
+        let live = per_mirror
+            .iter()
+            .find(|(loc, _)| loc == "mirror-zb:1071")
+            .unwrap();
+        assert!(dead.1 > 0, "dead mirror's failures attributed to it");
+        assert_eq!(live.1, 0, "healthy mirror shows a clean ledger");
+        // And the failure is identifiable, not just countable.
+        let task = sim.mirrors()[0].heartbeat_task().unwrap();
+        assert!(task.last_error().is_some());
     }
 
     #[test]

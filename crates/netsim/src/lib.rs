@@ -9,6 +9,10 @@
 //!   [`Pipe`]s for push notifications;
 //! * [`Clock`] — a virtual clock so lease experiments spanning simulated
 //!   days run deterministically in microseconds;
+//! * [`Scheduler`] — deterministic periodic/one-shot lifecycle tasks
+//!   (mirror heartbeats, lease auto-renewal, upgrade polling) on that
+//!   clock, pumped by [`Network::run_until`] so timers and message
+//!   latency interleave on one timeline;
 //! * [`FaultPlan`] — host crashes, symmetric partitions, and probabilistic
 //!   message loss;
 //! * [`NetStats`] — per-destination message/byte accounting used by the
@@ -47,6 +51,7 @@ mod error;
 mod fault;
 mod net;
 mod pipe;
+pub mod sched;
 mod stats;
 mod topology;
 
@@ -56,5 +61,6 @@ pub use error::NetError;
 pub use fault::FaultPlan;
 pub use net::{FnService, Network, Service};
 pub use pipe::Pipe;
+pub use sched::{Scheduler, TaskControl, TaskHandle, TaskResult, TaskStats};
 pub use stats::{AddrStats, NetStats};
 pub use topology::Topology;

@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::error::NetError;
 use crate::fault::FaultPlan;
 use crate::pipe::Pipe;
+use crate::sched::Scheduler;
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use crate::{Addr, Clock};
@@ -99,6 +100,7 @@ struct NetworkInner {
     topology: RwLock<Topology>,
     stats: NetStats,
     clock: Clock,
+    sched: Scheduler,
     rng: Mutex<StdRng>,
 }
 
@@ -138,6 +140,7 @@ impl Network {
                 faults: Mutex::new(FaultPlan::new()),
                 topology: RwLock::new(Topology::new()),
                 stats: NetStats::new(),
+                sched: Scheduler::new(clock.clone()),
                 clock,
                 rng: Mutex::new(StdRng::seed_from_u64(0x5eed)),
             }),
@@ -147,6 +150,23 @@ impl Network {
     /// The clock shared by every component on this network.
     pub fn clock(&self) -> &Clock {
         &self.inner.clock
+    }
+
+    /// The lifecycle task scheduler on this network's clock. Components
+    /// (mirrors, bootloaders) register their periodic work here; a
+    /// single [`Network::run_until`] pump drives it.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.sched
+    }
+
+    /// Pumps the scheduler up to virtual time `target_ms`: registered
+    /// tasks fire in deterministic `(due, registration)` order,
+    /// interleaved with the link latency their message exchanges charge
+    /// to the shared clock, and the clock ends at `target_ms` (or later
+    /// if the final task overshot it). Returns the number of task
+    /// executions. See [`Scheduler::run_until`].
+    pub fn run_until(&self, target_ms: u64) -> u64 {
+        self.inner.sched.run_until(target_ms)
     }
 
     /// Traffic statistics for this network.

@@ -3,24 +3,33 @@
 //! Mirrors register through `MIRROR_ANNOUNCE`, prove liveness (and
 //! report chunk coverage and load) through `MIRROR_HEARTBEAT`, and get
 //! ranked per requesting client: healthy before overdue, same-zone
-//! before cross-zone, lightly loaded before busy, with a rotation
-//! tiebreak so equal candidates share traffic. A mirror whose
-//! heartbeats stop is quarantined (dropped from plans) and, after a
-//! longer silence, evicted entirely.
+//! before cross-zone, better chunk coverage of the requested delta
+//! before worse (a read-through miss on a fresh release costs a trip to
+//! the primary), lightly loaded before busy, with a rotation tiebreak so
+//! equal candidates share traffic. A mirror whose heartbeats stop is
+//! quarantined (dropped from plans) and, after a longer silence, evicted
+//! entirely.
+//!
+//! Heartbeats normally arrive from the mirror's own scheduler task
+//! (registered at [`drivolution_depot::MirrorDepot::launch`] on the
+//! network's [`netsim::Scheduler`]); the directory only ever *observes*
+//! silence — it never drives anything.
 //!
 //! Mirrors registered manually via
 //! [`crate::DrivolutionServer::register_mirror`] are *pinned*: they are
 //! exempt from heartbeat expiry, matching the hand-configured tier that
 //! predates the announce protocol.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use netsim::Clock;
 
 use drivolution_core::MirrorCandidate;
+use drivolution_depot::MirrorTiming;
 
 /// Health lifecycle of a directory entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,8 +53,11 @@ pub struct MirrorEntry {
     pub zone: Option<String>,
     /// Virtual time of the last announce or heartbeat.
     pub last_seen_ms: u64,
-    /// Chunk coverage from the last heartbeat.
+    /// Chunk coverage count from the last heartbeat.
     pub chunk_count: u64,
+    /// Chunk digests the mirror reported holding in its last heartbeat
+    /// (capped at the protocol's coverage limit by the sender).
+    pub coverage: HashSet<u64>,
     /// Cumulative served bytes from the last heartbeat.
     pub served_bytes: u64,
     /// Requests served between the last two heartbeats (ranking load).
@@ -56,17 +68,20 @@ pub struct MirrorEntry {
     pub health: MirrorHealth,
 }
 
-/// Directory timing and ranking knobs.
+/// Directory timing and ranking knobs. The timing side is the server
+/// half of the contract whose client half is
+/// [`drivolution_depot::MirrorTiming`]: `heartbeat_interval` defaults to
+/// the same `Duration` mirrors schedule their heartbeat task with.
 #[derive(Clone, Copy, Debug)]
 pub struct DirectoryConfig {
     /// Expected heartbeat cadence. An entry is `Overdue` after missing
     /// two beats.
-    pub heartbeat_interval_ms: u64,
+    pub heartbeat_interval: Duration,
     /// Silence after which an entry is quarantined (excluded from
     /// plans).
-    pub quarantine_after_ms: u64,
+    pub quarantine_after: Duration,
     /// Silence after which a quarantined entry is evicted entirely.
-    pub evict_after_ms: u64,
+    pub evict_after: Duration,
     /// Maximum candidates ranked into one chunk plan.
     pub max_candidates: usize,
 }
@@ -74,15 +89,19 @@ pub struct DirectoryConfig {
 impl Default for DirectoryConfig {
     fn default() -> Self {
         DirectoryConfig {
-            heartbeat_interval_ms: 5_000,
-            quarantine_after_ms: 15_000,
-            evict_after_ms: 120_000,
+            heartbeat_interval: MirrorTiming::default().heartbeat_every,
+            quarantine_after: Duration::from_secs(15),
+            evict_after: Duration::from_secs(120),
             max_candidates: 3,
         }
     }
 }
 
-/// Health-aware, locality-aware registry of depot mirrors.
+fn ms(d: Duration) -> u64 {
+    d.as_millis() as u64
+}
+
+/// Health-aware, locality- and coverage-aware registry of depot mirrors.
 #[derive(Debug)]
 pub struct MirrorDirectory {
     clock: Clock,
@@ -125,6 +144,7 @@ impl MirrorDirectory {
                         zone,
                         last_seen_ms: now,
                         chunk_count: 0,
+                        coverage: HashSet::new(),
                         served_bytes: 0,
                         load: 0,
                         pinned,
@@ -144,6 +164,7 @@ impl MirrorDirectory {
         chunk_count: u64,
         served_bytes: u64,
         load: u32,
+        coverage: &[u64],
     ) -> bool {
         let now = self.clock.now_ms();
         let mut entries = self.entries.lock();
@@ -151,6 +172,7 @@ impl MirrorDirectory {
             Some(e) => {
                 e.last_seen_ms = now;
                 e.chunk_count = chunk_count;
+                e.coverage = coverage.iter().copied().collect();
                 e.served_bytes = served_bytes;
                 e.load = load;
                 e.health = MirrorHealth::Healthy;
@@ -171,22 +193,30 @@ impl MirrorDirectory {
                 return true;
             }
             let silence = now.saturating_sub(e.last_seen_ms);
-            e.health = if silence > self.config.quarantine_after_ms {
+            e.health = if silence > ms(self.config.quarantine_after) {
                 MirrorHealth::Quarantined
-            } else if silence > 2 * self.config.heartbeat_interval_ms {
+            } else if silence > 2 * ms(self.config.heartbeat_interval) {
                 MirrorHealth::Overdue
             } else {
                 MirrorHealth::Healthy
             };
-            silence <= self.config.evict_after_ms
+            silence <= ms(self.config.evict_after)
         });
     }
 
-    /// Ranks the directory for a client in `client_zone`: healthy before
-    /// overdue, same-zone before cross-zone, lightly loaded before busy;
+    /// Ranks the directory for a client in `client_zone` that must fetch
+    /// the chunks in `wanted`: healthy before overdue, same-zone before
+    /// cross-zone, fewer coverage misses of `wanted` before more (a
+    /// mirror already holding the release's chunks serves them without a
+    /// read-through storm on the primary), lightly loaded before busy;
     /// ties rotate per call so equal mirrors share traffic. Quarantined
     /// mirrors are excluded. At most `max_candidates` are returned.
-    pub fn candidates(&self, client_zone: Option<&str>) -> Vec<MirrorCandidate> {
+    ///
+    /// Mirrors that never reported coverage (pinned entries, legacy
+    /// heartbeats) count as missing everything in `wanted`, which ranks
+    /// them after a replica with known coverage but ahead of nothing —
+    /// exactly the read-through behavior they would exhibit.
+    pub fn candidates(&self, client_zone: Option<&str>, wanted: &[u64]) -> Vec<MirrorCandidate> {
         self.sweep();
         let entries = self.entries.lock();
         let mut live: Vec<&MirrorEntry> = entries
@@ -202,14 +232,17 @@ impl MirrorDirectory {
         }
         let shift = (self.rotation.fetch_add(1, Ordering::Relaxed) as usize) % n;
         live.rotate_left(shift);
-        live.sort_by_key(|e| {
+        // Cached keys: the coverage-miss count is an O(|wanted|) scan
+        // per entry and must not be recomputed per comparison.
+        live.sort_by_cached_key(|e| {
             let zone_miss = match (client_zone, e.zone.as_deref()) {
                 (Some(c), Some(z)) => c != z,
                 // Without zone information on either side, treat the
                 // mirror as local rather than penalizing it.
                 _ => false,
             };
-            (e.health != MirrorHealth::Healthy, zone_miss, e.load)
+            let misses = wanted.iter().filter(|d| !e.coverage.contains(d)).count();
+            (e.health != MirrorHealth::Healthy, zone_miss, misses, e.load)
         });
         live.into_iter()
             .take(self.config.max_candidates)
@@ -272,12 +305,13 @@ mod tests {
         let (dir, clock) = directory();
         dir.announce("m1:1071", None, false);
         clock.advance_ms(4_000);
-        assert!(dir.heartbeat("m1:1071", 42, 1000, 3));
+        assert!(dir.heartbeat("m1:1071", 42, 1000, 3, &[0xa, 0xb]));
         let e = dir.entry("m1:1071").unwrap();
         assert_eq!(e.chunk_count, 42);
         assert_eq!(e.load, 3);
         assert_eq!(e.last_seen_ms, 4_000);
-        assert!(!dir.heartbeat("ghost:1071", 0, 0, 0));
+        assert!(e.coverage.contains(&0xa) && e.coverage.contains(&0xb));
+        assert!(!dir.heartbeat("ghost:1071", 0, 0, 0, &[]));
     }
 
     #[test]
@@ -291,9 +325,9 @@ mod tests {
             dir.entry("m1:1071").unwrap().health,
             MirrorHealth::Quarantined
         );
-        assert!(dir.candidates(None).is_empty());
+        assert!(dir.candidates(None, &[]).is_empty());
         // A heartbeat resurrects it.
-        assert!(dir.heartbeat("m1:1071", 1, 1, 0));
+        assert!(dir.heartbeat("m1:1071", 1, 1, 0, &[]));
         assert_eq!(dir.entry("m1:1071").unwrap().health, MirrorHealth::Healthy);
         // Long silence evicts.
         clock.advance_ms(200_000);
@@ -306,7 +340,7 @@ mod tests {
         let (dir, clock) = directory();
         dir.announce("pinned:1071", None, true);
         clock.advance_ms(10_000_000);
-        let c = dir.candidates(None);
+        let c = dir.candidates(None, &[]);
         assert_eq!(c.len(), 1);
         assert!(c[0].healthy);
     }
@@ -319,11 +353,11 @@ mod tests {
         dir.announce("idle-west:1071", Some("west".into()), false);
         dir.announce("stale-east:1071", Some("east".into()), false);
         clock.advance_ms(12_000); // everyone overdue now...
-        dir.heartbeat("busy-east:1071", 10, 10, 50);
-        dir.heartbeat("idle-east:1071", 10, 10, 1);
-        dir.heartbeat("idle-west:1071", 10, 10, 0);
+        dir.heartbeat("busy-east:1071", 10, 10, 50, &[]);
+        dir.heartbeat("idle-east:1071", 10, 10, 1, &[]);
+        dir.heartbeat("idle-west:1071", 10, 10, 0, &[]);
         // ...except stale-east, which stays overdue (not yet quarantined).
-        let c = dir.candidates(Some("east"));
+        let c = dir.candidates(Some("east"), &[]);
         assert_eq!(c.len(), 3, "max_candidates caps the plan");
         assert_eq!(c[0].location, "idle-east:1071");
         assert_eq!(c[1].location, "busy-east:1071");
@@ -331,8 +365,43 @@ mod tests {
         assert!(c.iter().all(|m| m.healthy));
 
         // A west client ranks its own zone first.
-        let c = dir.candidates(Some("west"));
+        let c = dir.candidates(Some("west"), &[]);
         assert_eq!(c[0].location, "idle-west:1071");
+    }
+
+    #[test]
+    fn coverage_of_the_wanted_chunks_outranks_load() {
+        let (dir, _c) = directory();
+        dir.announce("cold:1071", None, false);
+        dir.announce("warm:1071", None, false);
+        // The warm mirror holds the new release's chunks but is busier;
+        // the cold one is idle but would read through for everything.
+        dir.heartbeat("cold:1071", 0, 0, 0, &[]);
+        dir.heartbeat("warm:1071", 3, 0, 40, &[0x1, 0x2, 0x3]);
+        let c = dir.candidates(None, &[0x1, 0x2]);
+        assert_eq!(c[0].location, "warm:1071");
+        // With no wanted chunks (full-coverage request), load decides
+        // again.
+        let c = dir.candidates(None, &[]);
+        assert_eq!(c[0].location, "cold:1071");
+        // Partial coverage still beats none.
+        dir.heartbeat("cold:1071", 1, 0, 0, &[0x1]);
+        let c = dir.candidates(None, &[0x1, 0x2, 0x3]);
+        assert_eq!(c[0].location, "warm:1071", "2 misses lose to 0 misses");
+    }
+
+    #[test]
+    fn zone_locality_still_outranks_coverage() {
+        let (dir, _c) = directory();
+        dir.announce("near:1071", Some("east".into()), false);
+        dir.announce("far-warm:1071", Some("west".into()), false);
+        dir.heartbeat("near:1071", 0, 0, 0, &[]);
+        dir.heartbeat("far-warm:1071", 2, 0, 0, &[0x1, 0x2]);
+        let c = dir.candidates(Some("east"), &[0x1, 0x2]);
+        assert_eq!(
+            c[0].location, "near:1071",
+            "read-through in-zone beats a warm cross-zone trip"
+        );
     }
 
     #[test]
@@ -341,8 +410,17 @@ mod tests {
         dir.announce("m1:1071", None, false);
         dir.announce("m2:1071", None, false);
         let first: Vec<String> = (0..2)
-            .map(|_| dir.candidates(None)[0].location.clone())
+            .map(|_| dir.candidates(None, &[])[0].location.clone())
             .collect();
         assert_ne!(first[0], first[1], "rotation must spread equal mirrors");
+    }
+
+    #[test]
+    fn directory_and_mirror_default_timing_agree() {
+        assert_eq!(
+            DirectoryConfig::default().heartbeat_interval,
+            MirrorTiming::default().heartbeat_every,
+            "a default-launched mirror must never go overdue on a healthy network"
+        );
     }
 }

@@ -559,10 +559,16 @@ impl DrivolutionServer {
                     if let Some(manifest) = self.depot.manifest_for(content_digest, &have.params) {
                         let missing = manifest.missing_given(&have.chunks);
                         if missing.len() < manifest.chunk_count() {
+                            // Candidates are ranked for *this* delta:
+                            // mirrors already holding the missing chunks
+                            // come first, so a fresh release does not
+                            // trigger a read-through storm on the
+                            // primary.
+                            let mirrors = self.directory.candidates(req.zone.as_deref(), &missing);
                             chunked = Some(ChunkPlan {
                                 manifest,
                                 missing,
-                                mirrors: self.directory.candidates(req.zone.as_deref()),
+                                mirrors,
                             });
                             self.stats.lock().delta_offers += 1;
                             delivery_resolved = true;
@@ -795,11 +801,16 @@ impl DrivolutionServer {
                 chunk_count,
                 served_bytes,
                 load,
+                coverage,
             } => {
                 self.stats.lock().mirror_heartbeats += 1;
-                let known = self
-                    .directory
-                    .heartbeat(location, *chunk_count, *served_bytes, *load);
+                let known = self.directory.heartbeat(
+                    location,
+                    *chunk_count,
+                    *served_bytes,
+                    *load,
+                    coverage,
+                );
                 Ok(DrvMsg::MirrorAck { known })
             }
             other => Err(DrvError::Codec(format!(
@@ -1337,7 +1348,7 @@ mod tests {
         srv.register_mirror("mirror1:1071");
         srv.register_mirror("mirror2:1071");
         assert_eq!(srv.mirror_directory().len(), 2);
-        let c = srv.mirror_directory().candidates(None);
+        let c = srv.mirror_directory().candidates(None, &[]);
         assert_eq!(c.len(), 2);
         assert_ne!(c[0].location, c[1].location);
     }
@@ -1364,6 +1375,7 @@ mod tests {
                 chunk_count: 0,
                 served_bytes: 0,
                 load: 0,
+                coverage: Vec::new(),
             },
         );
         assert_eq!(reply, DrvMsg::MirrorAck { known: false });
@@ -1375,7 +1387,10 @@ mod tests {
             srv.mirror_directory().entry("mirror1:1071").unwrap().health,
             MirrorHealth::Quarantined
         );
-        assert!(srv.mirror_directory().candidates(Some("east")).is_empty());
+        assert!(srv
+            .mirror_directory()
+            .candidates(Some("east"), &[])
+            .is_empty());
         let reply = srv.handle(
             &from,
             DrvMsg::MirrorHeartbeat {
@@ -1383,6 +1398,7 @@ mod tests {
                 chunk_count: 7,
                 served_bytes: 4096,
                 load: 2,
+                coverage: vec![0x1, 0x2],
             },
         );
         assert_eq!(reply, DrvMsg::MirrorAck { known: true });

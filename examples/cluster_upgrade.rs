@@ -10,6 +10,7 @@
 //! Run with: `cargo run --example cluster_upgrade -- [standalone|embedded]`
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use drivolution::cluster::{
     cluster_image, Backend, ClusterDriverFactory, Controller, Group, VirtualDb, CLUSTER_V2,
@@ -125,6 +126,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ServerLocator::Fixed(v) => v.clone(),
             _ => unreachable!(),
         })
+        // Self-driving lifecycle: the upgrade below lands via each
+        // client's scheduler-registered poll task, not a manual loop.
+        .self_driving(Duration::from_secs(60))
         .with_notify_channel();
         for s in &servers {
             config = config.trusting(s.certificate());
@@ -168,12 +172,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for s in &servers {
         s.notify_upgrade("vdb");
     }
-    let mut upgraded = 0;
-    for b in &clients {
-        if matches!(b.poll(), PollOutcome::Upgraded { .. }) {
-            upgraded += 1;
-        }
-    }
+    // Pump the scheduler one poll interval: every client's upgrade-poll
+    // task drains the pushed notice and hot-swaps on its own.
+    let now = net.clock().now_ms();
+    net.run_until(now + 61_000);
+    let upgraded: u64 = clients.iter().map(|b| b.stats().upgrades).sum();
     println!("{upgraded}/4 clients hot-swapped to v2; transactions continue:");
     run_round(&clients)?;
 

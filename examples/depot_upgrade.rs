@@ -37,14 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("driver v1 installed ({} KiB packed)", PADDING / 1024);
 
     // A read-only depot mirror takes bulk chunk traffic off the primary.
-    // Launching self-announces it into the server's mirror directory;
-    // periodic heartbeats keep it out of quarantine.
+    // Launching self-announces it into the server's mirror directory and
+    // registers its own heartbeat task on the network scheduler — pumping
+    // `run_due`/`run_until` keeps it out of quarantine; nobody calls
+    // heartbeat() by hand.
     let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), server_addr.clone())?;
-    mirror.heartbeat()?;
+    net.scheduler().run_due();
 
-    // One machine-wide depot shared by every app on "app-host".
+    // One machine-wide depot shared by every app on "app-host". The apps
+    // drive their own maintenance in this walkthrough (manual lifecycle)
+    // so each step's wire ledger stays attributable.
     let depot = DriverDepot::in_memory();
     let config = BootloaderConfig::same_host()
+        .with_lifecycle(LifecyclePolicy::manual())
         .trusting(srv.certificate())
         .trusting(mirror.certificate())
         .with_depot(depot.clone());
@@ -80,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
     )?;
     net.clock().advance_ms(4_000_000);
-    mirror.heartbeat()?; // still alive after the lease window
+    net.scheduler().run_due(); // the mirror's heartbeat task catches up: still alive
     let mark = wire(0);
     let outcome = boot1.poll();
     println!(

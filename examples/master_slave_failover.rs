@@ -10,6 +10,7 @@
 //! Run with: `cargo run --example master_slave_failover`
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use drivolution::core::pack::pack_driver;
 use drivolution::prelude::*;
@@ -69,6 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &net,
             Addr::new(format!("client{i}"), 1),
             BootloaderConfig::fixed(vec![Addr::new("drv", DRIVOLUTION_PORT)])
+                // Self-driving: each bootloader registers an upgrade-poll
+                // task; the swaps below happen by pumping the scheduler,
+                // with no application code calling poll().
+                .self_driving(Duration::from_secs(30))
                 .trusting(srv.certificate())
                 .with_notify_channel(),
         );
@@ -89,11 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     srv.notify_upgrade("accounts");
 
-    let mut moved = 0;
+    // One scheduler pump later, every client's own upgrade-poll task has
+    // drained the pushed notice and hot-swapped the driver.
+    let now = net.clock().now_ms();
+    net.run_until(now + 31_000);
+    let moved: u64 = clients.iter().map(|b| b.stats().upgrades).sum();
     for b in &clients {
-        if matches!(b.poll(), PollOutcome::Upgraded { .. }) {
-            moved += 1;
-        }
         let mut conn = b.connect(&url, &props)?;
         let role = conn.execute("SELECT role FROM whoami")?.rows()?;
         assert_eq!(role.rows[0][0], Value::str("slave"));
@@ -111,8 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
     )?;
     srv.notify_upgrade("accounts");
+    let now = net.clock().now_ms();
+    net.run_until(now + 31_000);
     for b in &clients {
-        let _ = b.poll();
         let mut conn = b.connect(&url, &props)?;
         let role = conn.execute("SELECT role FROM whoami")?.rows()?;
         assert_eq!(role.rows[0][0], Value::str("master"));

@@ -71,15 +71,17 @@ pub mod prelude {
     pub use driverkit::{
         legacy_driver, ConnectProps, Connection, DbUrl, DkError, Driver, DriverVm,
     };
-    pub use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome, ServerLocator};
+    pub use drivolution_bootloader::{
+        Bootloader, BootloaderConfig, LifecyclePolicy, PollOutcome, ServerLocator,
+    };
     pub use drivolution_core::{
         ApiName, ApiVersion, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion,
         DrvError, ExpirationPolicy, PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
     };
-    pub use drivolution_depot::{DriverDepot, MirrorDepot};
+    pub use drivolution_depot::{DriverDepot, MirrorDepot, MirrorTiming};
     pub use drivolution_server::{
         attach_in_database, launch_external, launch_standalone, DrivolutionServer, ServerConfig,
     };
     pub use minidb::{wire::DbServer, MiniDb, Value};
-    pub use netsim::{Addr, Clock, Network};
+    pub use netsim::{Addr, Clock, Network, Scheduler, TaskControl, TaskHandle};
 }

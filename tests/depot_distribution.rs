@@ -233,6 +233,9 @@ fn cluster_controllers_replicate_depot_mirrors_alongside_the_driver_table() {
         &net,
         Addr::new("app", 1),
         BootloaderConfig::fixed(vec![Addr::new("ctrl1", DRIVOLUTION_PORT)])
+            // Manual lifecycle: this test drives poll() by hand so the
+            // run_due pump below only fires the mirror's heartbeat task.
+            .with_lifecycle(LifecyclePolicy::manual())
             .trusting(srv.certificate())
             .trusting(mirror.certificate())
             .with_depot(depot),
@@ -249,12 +252,13 @@ fn cluster_controllers_replicate_depot_mirrors_alongside_the_driver_table() {
     assert!(mirror.chunk_count() > before);
 
     // …and the upgrade's delta chunks are served from the warm replica.
-    // The mirror registered via the announce protocol, so the controller
-    // must keep heartbeating it: a silent mirror is quarantined out of
-    // chunk plans after the long lease-expiry jump.
+    // The mirror registered via the announce protocol and keeps itself
+    // alive through its scheduler heartbeat task — pumping run_due after
+    // the long lease-expiry jump stands in for the continuous pumping a
+    // live deployment would do; no controller code heartbeats by hand.
     srv.add_rule(&upgrade_rule()).unwrap();
     net.clock().advance_ms(4_000_000);
-    ctrl.heartbeat_mirror().unwrap();
+    net.scheduler().run_due();
     assert!(matches!(boot.poll(), PollOutcome::Upgraded { .. }));
     assert_eq!(mirror.stats().chunk_requests, 1);
     // Everything the mirror served came from its warmed replica.

@@ -202,7 +202,7 @@ fn silent_mirrors_are_quarantined_out_of_plans_and_recover_on_heartbeat() {
             .health,
         MirrorHealth::Quarantined
     );
-    let candidates = rig.srv.mirror_directory().candidates(None);
+    let candidates = rig.srv.mirror_directory().candidates(None, &[]);
     assert_eq!(candidates.len(), 1);
     assert_eq!(candidates[0].location, rig.mirrors[1].location());
 
@@ -227,5 +227,5 @@ fn silent_mirrors_are_quarantined_out_of_plans_and_recover_on_heartbeat() {
             .health,
         MirrorHealth::Healthy
     );
-    assert_eq!(rig.srv.mirror_directory().candidates(None).len(), 2);
+    assert_eq!(rig.srv.mirror_directory().candidates(None, &[]).len(), 2);
 }

@@ -1,0 +1,264 @@
+//! The scheduler-driven lifecycle end to end: mirrors and bootloaders
+//! register tasks at construction and everything — heartbeats, health
+//! classification, lease renewal, upgrades — happens by pumping
+//! `Network::run_until`, at exact virtual-clock ticks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use drivolution::core::pack::pack_driver_padded;
+use drivolution::core::{
+    ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
+    PermissionRule, RenewPolicy, DRIVOLUTION_PORT,
+};
+use drivolution::depot::DriverDepot;
+use drivolution::prelude::*;
+use drivolution::server::MirrorHealth;
+
+const DRIVER_PADDING: usize = 64 * 1024;
+
+fn padded_record(id: i64, version: DriverVersion) -> DriverRecord {
+    let image = DriverImage::new("sched-driver", version, 1);
+    let bytes = pack_driver_padded(BinaryFormat::Djar, &image, DRIVER_PADDING);
+    DriverRecord::new(DriverId(id), ApiName::rdbc(), BinaryFormat::Djar, bytes)
+        .with_version(version)
+}
+
+struct Rig {
+    net: Network,
+    srv: Arc<DrivolutionServer>,
+    mirror: Arc<MirrorDepot>,
+    url: DbUrl,
+}
+
+fn rig() -> Rig {
+    let net = Network::new();
+    let db = Arc::new(MiniDb::with_clock("orders", net.clock().clone()));
+    net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
+        .unwrap();
+    let server_addr = Addr::new("db1", DRIVOLUTION_PORT);
+    let srv = attach_in_database(&net, db, server_addr.clone(), ServerConfig::default()).unwrap();
+    srv.install_driver(&padded_record(1, DriverVersion::new(1, 0, 0)))
+        .unwrap();
+    let mirror = MirrorDepot::launch(&net, Addr::new("mirror1", 1071), server_addr).unwrap();
+    Rig {
+        net,
+        srv,
+        mirror,
+        url: "rdbc:minidb://db1:5432/orders".parse().unwrap(),
+    }
+}
+
+/// Cancelling a mirror's heartbeat task (its lifecycle driving dies
+/// while the replica still serves) must walk the directory entry
+/// healthy → overdue → quarantined → evicted at the exact virtual-clock
+/// thresholds of the directory config: overdue after two missed 5s
+/// beats, quarantined past 15s of silence, evicted past 120s.
+#[test]
+fn cancelled_heartbeat_task_walks_the_full_health_lifecycle() {
+    let rig = rig();
+    let location = rig.mirror.location();
+    let entry_health = || {
+        rig.srv
+            .mirror_directory()
+            .entry(&location)
+            .map(|e| e.health)
+    };
+
+    // Let the scheduler beat a few times, then kill the task at a known
+    // beat: the last heartbeat lands at exactly t = 25_000.
+    rig.net.run_until(25_000);
+    let task = rig.mirror.heartbeat_task().unwrap();
+    assert_eq!(task.stats().runs, 5);
+    task.cancel();
+    assert!(task.is_cancelled());
+    let silent_since = 25_000;
+
+    // Healthy through two whole intervals of silence…
+    rig.net.run_until(silent_since + 10_000);
+    assert_eq!(entry_health(), Some(MirrorHealth::Healthy));
+    // …overdue one tick later…
+    rig.net.run_until(silent_since + 10_001);
+    assert_eq!(entry_health(), Some(MirrorHealth::Overdue));
+    // …still overdue at the quarantine threshold…
+    rig.net.run_until(silent_since + 15_000);
+    assert_eq!(entry_health(), Some(MirrorHealth::Overdue));
+    // …quarantined one tick past it…
+    rig.net.run_until(silent_since + 15_001);
+    assert_eq!(entry_health(), Some(MirrorHealth::Quarantined));
+    assert!(rig.srv.mirror_directory().candidates(None, &[]).is_empty());
+    // …and evicted entirely one tick past the eviction threshold.
+    rig.net.run_until(silent_since + 120_000);
+    assert_eq!(entry_health(), Some(MirrorHealth::Quarantined));
+    rig.net.run_until(silent_since + 120_001);
+    assert_eq!(entry_health(), None);
+    assert_eq!(rig.srv.mirror_directory().len(), 0);
+}
+
+/// A paused lifecycle (controlled restart) is indistinguishable from a
+/// crash to the directory — and resuming re-enters through the normal
+/// heartbeat path.
+#[test]
+fn paused_lifecycle_quarantines_then_resume_recovers() {
+    let rig = rig();
+    let location = rig.mirror.location();
+    rig.net.run_until(10_000);
+    rig.mirror.pause_lifecycle();
+    rig.net.run_until(40_000);
+    assert_eq!(
+        rig.srv.mirror_directory().entry(&location).unwrap().health,
+        MirrorHealth::Quarantined
+    );
+    rig.mirror.resume_lifecycle();
+    rig.net.run_until(50_000);
+    assert_eq!(
+        rig.srv.mirror_directory().entry(&location).unwrap().health,
+        MirrorHealth::Healthy
+    );
+}
+
+/// A self-driving bootloader bootstraps once and then upgrades with no
+/// manual poll() anywhere: its lease auto-renewal timer fires at the
+/// exact tick the lease enters RenewDue (expiry minus the 10% margin,
+/// where the poll state machine renews too) and installs the new
+/// version via the mirror tier.
+#[test]
+fn lease_timer_renews_and_upgrades_without_manual_polls() {
+    let rig = rig();
+    let boot = Bootloader::new(
+        &rig.net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            // Auto-renew only (no periodic poll): the upgrade must come
+            // from the lease timer alone, at the renew-due tick.
+            .with_lifecycle(LifecyclePolicy {
+                poll_every: None,
+                ..LifecyclePolicy::default()
+            })
+            .trusting(rig.srv.certificate())
+            .trusting(rig.mirror.certificate())
+            .with_depot(DriverDepot::in_memory()),
+    );
+    boot.bootstrap(&rig.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+    let renew_at = boot.lease_task().unwrap().next_due_ms().unwrap();
+    let granted_at = rig.net.clock().now_ms();
+    assert_eq!(
+        renew_at,
+        granted_at + 3_600_000 - 360_000,
+        "armed at the renew-due point, inside the lease — not at expiry"
+    );
+
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 0)))
+        .unwrap();
+    rig.srv
+        .add_rule(
+            &PermissionRule::any(DriverId(2))
+                .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+        )
+        .unwrap();
+
+    // One tick short of the renew-due point: nothing has happened.
+    rig.net.run_until(renew_at - 1);
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+    // Pumping through the renew-due tick renews → upgrades → re-arms.
+    rig.net.run_until(renew_at + 1);
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(2, 0, 0)));
+    assert_eq!(boot.stats().upgrades, 1);
+    assert_eq!(
+        boot.stats().delta_downloads,
+        1,
+        "upgrade travelled as a delta"
+    );
+    let next = boot.lease_task().unwrap().next_due_ms().unwrap();
+    assert!(next > renew_at, "timer re-armed against the new lease");
+}
+
+/// Renewal failures surface on the task's error counters and retry at
+/// the configured backoff instead of spinning or going silent.
+#[test]
+fn failed_renewals_count_on_the_lease_task_and_retry() {
+    let rig = rig();
+    let boot = Bootloader::new(
+        &rig.net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            .with_lifecycle(LifecyclePolicy {
+                poll_every: None,
+                renew_retry: Duration::from_secs(30),
+                ..LifecyclePolicy::default()
+            })
+            .trusting(rig.srv.certificate()),
+    );
+    boot.bootstrap(&rig.url, &ConnectProps::user("admin", "admin"))
+        .unwrap();
+    let renew_at = boot.lease_task().unwrap().next_due_ms().unwrap();
+    rig.net.with_faults(|f| f.take_down("db1"));
+    rig.net.run_until(renew_at + 1);
+    let task = boot.lease_task().unwrap();
+    assert_eq!(task.stats().errors, 1);
+    assert!(task.last_error().unwrap().contains("renewal failed"));
+    // Driver kept (§4.1.3), retry armed one backoff after the failed
+    // firing.
+    assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+    let retry_at = task.next_due_ms().unwrap();
+    assert_eq!(retry_at, renew_at + 30_000);
+    // Two more failed retries, then the server comes back and the very
+    // next retry renews.
+    rig.net.run_until(retry_at + 30_001);
+    assert_eq!(task.stats().errors, 3);
+    rig.net.with_faults(|f| f.restore("db1"));
+    rig.net.run_until(rig.net.clock().now_ms() + 30_001);
+    assert_eq!(task.stats().consecutive_errors, 0);
+    assert!(boot.stats().renewals >= 1);
+}
+
+/// Same seed ⇒ same schedule, end to end: two identically-built worlds
+/// with jittered heartbeat and poll tasks replay the identical sequence
+/// of virtual firing times.
+#[test]
+fn jittered_schedules_replay_identically_under_one_seed() {
+    let trace = |seed: u64| -> (Vec<u64>, u64) {
+        let net = Network::new();
+        net.scheduler().reseed(seed);
+        let times = Arc::new(parking_lot_times::Times::default());
+        for i in 0..4 {
+            let t = times.clone();
+            let c = net.clock().clone();
+            net.scheduler().every(
+                Duration::from_secs(5),
+                Duration::from_secs(2),
+                format!("jittered-{i}"),
+                move || {
+                    t.push(c.now_ms());
+                    Ok(TaskControl::Continue)
+                },
+            );
+        }
+        let fired = net.run_until(120_000);
+        (times.snapshot(), fired)
+    };
+    let (a, fired_a) = trace(7);
+    let (b, fired_b) = trace(7);
+    assert_eq!(a, b, "same seed must replay the same schedule");
+    assert_eq!(fired_a, fired_b);
+    let (c, _) = trace(8);
+    assert_ne!(a, c, "a different seed must produce a different schedule");
+}
+
+/// Tiny helper so the closure capture stays `Send + Sync` without
+/// pulling a mutex type into every test line.
+mod parking_lot_times {
+    #[derive(Default)]
+    pub struct Times(std::sync::Mutex<Vec<u64>>);
+    impl Times {
+        pub fn push(&self, t: u64) {
+            self.0.lock().unwrap().push(t);
+        }
+        pub fn snapshot(&self) -> Vec<u64> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+}
