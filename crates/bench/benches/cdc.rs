@@ -22,6 +22,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use driverkit::{ConnectProps, DbUrl};
+use drivolution_bench::SizeStats;
 use drivolution_bootloader::{Bootloader, BootloaderConfig, PollOutcome};
 use drivolution_core::chunk::{delta_cost, ChunkingParams};
 use drivolution_core::{
@@ -78,6 +79,18 @@ struct Row {
     cdc_bytes: u64,
     cdc_chunks: usize,
     cdc_total_chunks: usize,
+    ncdc_bytes: u64,
+    ncdc_chunks: usize,
+    ncdc_total_chunks: usize,
+    cdc_sizes: SizeStats,
+    ncdc_sizes: SizeStats,
+}
+
+/// Chunk-size distribution of one edited image under one chunker —
+/// recorded per edit so normalization's tightening shows up in the
+/// benchmark trajectory, not just in delta bytes.
+fn size_stats(bytes: &[u8], params: &ChunkingParams) -> SizeStats {
+    SizeStats::of_cuts(&drivolution_core::chunk::cut_points(bytes, params))
 }
 
 /// End-to-end: a depot client bootstraps v1, the server installs a v2
@@ -154,7 +167,15 @@ fn main() {
     let smoke = std::env::var("CDC_BENCH_SMOKE").is_ok();
     let image_len = if smoke { 256 * 1024 } else { 1024 * 1024 };
     let fixed = ChunkingParams::fixed(drivolution_core::DEFAULT_CHUNK_SIZE);
-    let cdc = ChunkingParams::default();
+    // Plain Gear (level 0) keeps the recorded `cdc_*` series comparable
+    // across the whole benchmark trajectory; the normalized default is
+    // recorded alongside as `ncdc_*`.
+    let cdc = ChunkingParams::cdc(
+        drivolution_core::DEFAULT_CDC_MIN,
+        drivolution_core::DEFAULT_CDC_AVG,
+        drivolution_core::DEFAULT_CDC_MAX,
+    );
+    let ncdc = ChunkingParams::default();
 
     let edits = [
         Edit {
@@ -177,6 +198,7 @@ fn main() {
         let v2 = (edit.apply)(&v1);
         let f = delta_cost(&v1, &v2, &fixed);
         let c = delta_cost(&v1, &v2, &cdc);
+        let n = delta_cost(&v1, &v2, &ncdc);
         rows.push(Row {
             edit: edit.name,
             fixed_bytes: f.bytes,
@@ -184,29 +206,46 @@ fn main() {
             cdc_bytes: c.bytes,
             cdc_chunks: c.missing_chunks,
             cdc_total_chunks: c.total_chunks,
+            ncdc_bytes: n.bytes,
+            ncdc_chunks: n.missing_chunks,
+            ncdc_total_chunks: n.total_chunks,
+            cdc_sizes: size_stats(&v2, &cdc),
+            ncdc_sizes: size_stats(&v2, &ncdc),
         });
     }
 
     println!("\ncontent-defined vs fixed-size chunking — delta bytes per edit");
     println!(
-        "image: {} KiB   fixed: {}   cdc: {}",
+        "image: {} KiB   fixed: {}   cdc: {}   ncdc: {}",
         image_len / 1024,
         fixed,
-        cdc
+        cdc,
+        ncdc
     );
     println!(
-        "{:<20} {:>14} {:>10} {:>14} {:>10} {:>8}",
-        "edit", "fixed delta B", "chunks", "cdc delta B", "chunks", "ratio"
+        "{:<20} {:>14} {:>10} {:>12} {:>8} {:>12} {:>8}",
+        "edit", "fixed delta B", "chunks", "cdc delta B", "chunks", "ncdc delta B", "chunks"
     );
     for r in &rows {
         println!(
-            "{:<20} {:>14} {:>10} {:>14} {:>10} {:>7.1}x",
+            "{:<20} {:>14} {:>10} {:>12} {:>8} {:>12} {:>8}",
             r.edit,
             r.fixed_bytes,
             r.fixed_chunks,
             r.cdc_bytes,
             r.cdc_chunks,
-            r.fixed_bytes as f64 / r.cdc_bytes.max(1) as f64
+            r.ncdc_bytes,
+            r.ncdc_chunks,
+        );
+        println!(
+            "{:<20} sizes p50/p99/stddev   cdc {}/{}/{:.0}   ncdc {}/{}/{:.0}",
+            "",
+            r.cdc_sizes.p50,
+            r.cdc_sizes.p99,
+            r.cdc_sizes.stddev,
+            r.ncdc_sizes.p50,
+            r.ncdc_sizes.p99,
+            r.ncdc_sizes.stddev,
         );
     }
 
@@ -220,19 +259,24 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(
         json,
-        "  \"fixed_params\": \"{fixed}\",\n  \"cdc_params\": \"{cdc}\","
+        "  \"fixed_params\": \"{fixed}\",\n  \"cdc_params\": \"{cdc}\",\n  \"ncdc_params\": \"{ncdc}\","
     );
     json.push_str("  \"edits\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"edit\": \"{}\", \"fixed_delta_bytes\": {}, \"fixed_missing_chunks\": {}, \"cdc_delta_bytes\": {}, \"cdc_missing_chunks\": {}, \"cdc_total_chunks\": {}}}{}",
+            "    {{\"edit\": \"{}\", \"fixed_delta_bytes\": {}, \"fixed_missing_chunks\": {}, \"cdc_delta_bytes\": {}, \"cdc_missing_chunks\": {}, \"cdc_total_chunks\": {}, \"ncdc_delta_bytes\": {}, \"ncdc_missing_chunks\": {}, \"ncdc_total_chunks\": {}, \"cdc_chunk_sizes\": {}, \"ncdc_chunk_sizes\": {}}}{}",
             r.edit,
             r.fixed_bytes,
             r.fixed_chunks,
             r.cdc_bytes,
             r.cdc_chunks,
             r.cdc_total_chunks,
+            r.ncdc_bytes,
+            r.ncdc_chunks,
+            r.ncdc_total_chunks,
+            r.cdc_sizes.to_json(),
+            r.ncdc_sizes.to_json(),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -247,16 +291,29 @@ fn main() {
 
     // Regression gates (CI runs this in smoke mode): a mid-image
     // insertion must cost CDC less than 10% of what it costs the fixed
-    // chunker, and a prepended header must not degenerate either.
+    // chunker — under both dialects — and a prepended header must not
+    // degenerate either. Normalization must also actually tighten the
+    // chunk-size distribution on every edit shape.
     let mut failed = false;
     for (name, limit) in [("mid_insertion", 0.10), ("prepended_header", 0.10)] {
         let r = rows.iter().find(|r| r.edit == name).unwrap();
-        let ratio = r.cdc_bytes as f64 / r.fixed_bytes.max(1) as f64;
-        if ratio >= limit {
+        for (dialect, bytes) in [("plain", r.cdc_bytes), ("normalized", r.ncdc_bytes)] {
+            let ratio = bytes as f64 / r.fixed_bytes.max(1) as f64;
+            if ratio >= limit {
+                eprintln!(
+                    "REGRESSION: {name} {dialect} CDC delta is {:.1}% of fixed (limit {:.0}%)",
+                    ratio * 100.0,
+                    limit * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    for r in &rows {
+        if r.ncdc_sizes.stddev >= r.cdc_sizes.stddev {
             eprintln!(
-                "REGRESSION: {name} CDC delta is {:.1}% of fixed (limit {:.0}%)",
-                ratio * 100.0,
-                limit * 100.0
+                "REGRESSION: {} normalized chunk-size stddev {:.1} not under plain {:.1}",
+                r.edit, r.ncdc_sizes.stddev, r.cdc_sizes.stddev
             );
             failed = true;
         }

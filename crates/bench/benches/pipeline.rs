@@ -1,0 +1,242 @@
+//! Chunk+manifest pipeline throughput: the hot path every server
+//! publish, depot revalidation, and mirror read-through pays.
+//!
+//! Two pipelines are measured on the same image in the same harness:
+//!
+//! * **seed** — the pre-normalization pipeline exactly as the workspace
+//!   shipped it: byte-at-a-time plain-Gear cuts (one mask, hashing from
+//!   every chunk start), then a second traversal digesting each chunk
+//!   and the whole image with the byte-at-a-time FNV-1a fold.
+//! * **current** — [`ChunkManifest::of_with`] under the default params:
+//!   FastCDC-style normalized cuts (dual masks around the target
+//!   average, min-skip past every cut) fused with the word-folded
+//!   (8 bytes/iteration) FNV digest in a single pass.
+//!
+//! Alongside throughput it records what normalization buys in
+//! *distribution* terms: chunk-size stats (min/p50/p99/max/stddev) for
+//! plain Gear vs normalized at the default bounds, and the resync cost
+//! of a size-shifting edit inside a low-entropy region (repeating
+//! pattern), where plain Gear degenerates to position-dependent
+//! forced-max cuts.
+//!
+//! This target uses `harness = false`: it is a report generator
+//! emitting `BENCH_pipeline.json` at the workspace root, and exits
+//! nonzero when the pipeline loses its claimed edge (CI runs it in
+//! smoke mode via `PIPELINE_BENCH_SMOKE=1`).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench pipeline`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use drivolution_bench::SizeStats;
+use drivolution_core::chunk::{cut_points, delta_cost, ChunkManifest, ChunkingParams};
+use drivolution_core::{entropy_blob, DEFAULT_CDC_AVG, DEFAULT_CDC_MAX, DEFAULT_CDC_MIN};
+
+fn plain_params() -> ChunkingParams {
+    ChunkingParams::cdc(DEFAULT_CDC_MIN, DEFAULT_CDC_AVG, DEFAULT_CDC_MAX)
+}
+
+// --- the seed pipeline, frozen ------------------------------------------
+//
+// A faithful copy of the pre-normalization implementation (byte-wise
+// FNV-1a; cut-then-retraverse manifest build). Kept here, not in core:
+// it exists only so this harness keeps measuring the same baseline as
+// the repository evolves.
+
+fn fnv1a64_bytewise(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed manifest build: plain-Gear cut points (the level-0 loop in core
+/// is byte-identical to the seed loop), then a second pass digesting
+/// every chunk and the whole image byte-at-a-time.
+fn seed_manifest(bytes: &[u8]) -> (u64, Vec<u64>) {
+    let cuts = cut_points(bytes, &plain_params());
+    let mut chunks = Vec::with_capacity(cuts.len());
+    let mut start = 0;
+    for &end in &cuts {
+        chunks.push(fnv1a64_bytewise(&bytes[start..end]));
+        start = end;
+    }
+    (fnv1a64_bytewise(bytes), chunks)
+}
+
+/// Best-of-`rounds` throughput in MB/s for one full chunk+manifest
+/// build over `bytes`.
+fn throughput_mbps(rounds: usize, iters: usize, bytes: &[u8], mut f: impl FnMut(&[u8])) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f(black_box(bytes));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    (bytes.len() * iters) as f64 / best / 1e6
+}
+
+/// Bytes after the edit point until the two cut sequences realign
+/// (`len - at` when they never do): the resync cost of an insertion.
+fn resync_bytes(cuts1: &[usize], cuts2: &[usize], at: usize, ins: usize, len2: usize) -> usize {
+    let shifted: std::collections::HashSet<usize> =
+        cuts1.iter().filter(|&&c| c > at).map(|c| c + ins).collect();
+    // Walk v2's cuts from the end back: the suffix present in the
+    // shifted v1 set is resynced; the first divergence bounds the cost.
+    let mut resync_at = len2;
+    for &c in cuts2.iter().rev() {
+        if c <= at {
+            break;
+        }
+        if shifted.contains(&c) {
+            resync_at = c;
+        } else {
+            break;
+        }
+    }
+    resync_at - at
+}
+
+fn main() {
+    let smoke = std::env::var("PIPELINE_BENCH_SMOKE").is_ok();
+    let (image_len, rounds, iters) = if smoke {
+        (2 * 1024 * 1024, 3, 2)
+    } else {
+        (16 * 1024 * 1024, 5, 3)
+    };
+    let plain = plain_params();
+    let normd = ChunkingParams::default();
+
+    let img = entropy_blob(image_len, 41);
+
+    // --- throughput ------------------------------------------------------
+    let seed_mbps = throughput_mbps(rounds, iters, &img, |b| {
+        black_box(seed_manifest(b));
+    });
+    let cur_mbps = throughput_mbps(rounds, iters, &img, |b| {
+        black_box(ChunkManifest::of_with(b, &normd));
+    });
+    // The single-pass build under the *legacy* dialect, to separate the
+    // digest/fusion win from the min-skip win.
+    let plain_single_pass_mbps = throughput_mbps(rounds, iters, &img, |b| {
+        black_box(ChunkManifest::of_with(b, &plain));
+    });
+    let speedup = cur_mbps / seed_mbps;
+
+    // --- chunk-size distribution ----------------------------------------
+    let plain_stats = SizeStats::of_cuts(&cut_points(&img, &plain));
+    let norm_stats = SizeStats::of_cuts(&cut_points(&img, &normd));
+
+    // --- low-entropy resync ---------------------------------------------
+    // A 1 MiB image whose middle 512 KiB is a repeating 251-byte pattern
+    // (prime period, so forced-max chunks never dedupe by phase), edited
+    // by a 137-byte insertion in the middle of the pattern region.
+    let low_len = 1024 * 1024;
+    let mut low = entropy_blob(low_len, 21);
+    let pattern = entropy_blob(251, 77);
+    for i in 0..(512 * 1024) {
+        low[256 * 1024 + i] = pattern[i % 251];
+    }
+    let at = low_len / 2;
+    let mut low2 = low.clone();
+    let ins = entropy_blob(137, 99);
+    low2.splice(at..at, ins.iter().copied());
+
+    let mut low_rows = Vec::new();
+    for (label, params) in [("plain", plain), ("normalized", normd)] {
+        let d = delta_cost(&low, &low2, &params);
+        let rs = resync_bytes(
+            &cut_points(&low, &params),
+            &cut_points(&low2, &params),
+            at,
+            ins.len(),
+            low2.len(),
+        );
+        low_rows.push((label, d.bytes, d.missing_chunks, rs));
+    }
+
+    println!("\nchunk+manifest pipeline — seed byte-at-a-time vs normalized single-pass");
+    println!(
+        "image: {} MiB   plain: {plain}   normalized: {normd}",
+        image_len / (1024 * 1024)
+    );
+    println!("  seed pipeline:                {seed_mbps:>8.0} MB/s");
+    println!("  single-pass, plain dialect:   {plain_single_pass_mbps:>8.0} MB/s");
+    println!("  single-pass, normalized:      {cur_mbps:>8.0} MB/s   ({speedup:.2}x over seed)");
+    println!(
+        "  chunk sizes plain:      p50 {} p99 {} stddev {:.0}",
+        plain_stats.p50, plain_stats.p99, plain_stats.stddev
+    );
+    println!(
+        "  chunk sizes normalized: p50 {} p99 {} stddev {:.0}",
+        norm_stats.p50, norm_stats.p99, norm_stats.stddev
+    );
+    for (label, bytes, chunks, rs) in &low_rows {
+        println!(
+            "  low-entropy insertion ({label}): {bytes} delta bytes over {chunks} chunks, resync {rs} bytes"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pipeline\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"image_bytes\": {image_len},");
+    let _ = writeln!(
+        json,
+        "  \"plain_params\": \"{plain}\",\n  \"normalized_params\": \"{normd}\","
+    );
+    let _ = writeln!(json, "  \"seed_pipeline_mbps\": {seed_mbps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"single_pass_plain_mbps\": {plain_single_pass_mbps:.1},"
+    );
+    let _ = writeln!(json, "  \"single_pass_normalized_mbps\": {cur_mbps:.1},");
+    let _ = writeln!(json, "  \"speedup_over_seed\": {speedup:.2},");
+    let _ = writeln!(json, "  \"chunk_sizes_plain\": {},", plain_stats.to_json());
+    let _ = writeln!(
+        json,
+        "  \"chunk_sizes_normalized\": {},",
+        norm_stats.to_json()
+    );
+    json.push_str("  \"low_entropy_insertion\": [\n");
+    for (i, (label, bytes, chunks, rs)) in low_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"params\": \"{label}\", \"delta_bytes\": {bytes}, \"missing_chunks\": {chunks}, \"resync_bytes\": {rs}}}{}",
+            if i + 1 < low_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Regression gates (CI runs this in smoke mode).
+    let mut bad = false;
+    if speedup < 2.0 {
+        eprintln!("REGRESSION: pipeline speedup {speedup:.2}x under the claimed 2x");
+        bad = true;
+    }
+    if norm_stats.stddev >= plain_stats.stddev {
+        eprintln!(
+            "REGRESSION: normalized chunk-size stddev {:.1} not under plain {:.1}",
+            norm_stats.stddev, plain_stats.stddev
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

@@ -55,6 +55,11 @@ struct RunOutcome {
     same_zone_bytes: u64,
     cross_zone_bytes: u64,
     killed_quarantined: bool,
+    /// Renewal-burst shape: the most renewal attempts any single
+    /// virtual tick absorbed, and how many distinct ticks carried
+    /// attempts — the herd the renewal spread is meant to flatten.
+    peak_renewals_per_tick: u64,
+    renewal_ticks: u64,
 }
 
 fn run_scenario(clients: usize) -> RunOutcome {
@@ -128,6 +133,17 @@ fn run_scenario(clients: usize) -> RunOutcome {
         .sum();
     let mirror_beat_failures: u64 = sim.mirror_heartbeat_failures().iter().map(|(_, n)| n).sum();
 
+    // Bucket every client's renewal attempts by virtual tick: the peak
+    // bucket is the renewal burst hitting the server at one instant.
+    let mut per_tick: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for c in sim.clients() {
+        for t in c.take_renewal_times() {
+            *per_tick.entry(t).or_default() += 1;
+        }
+    }
+    let peak_renewals_per_tick = per_tick.values().copied().max().unwrap_or(0);
+    let renewal_ticks = per_tick.len() as u64;
+
     RunOutcome {
         time_to_full_upgrade_ms: r.time_to_full_upgrade_ms,
         end_clock_ms: sim.net().clock().now_ms(),
@@ -141,6 +157,8 @@ fn run_scenario(clients: usize) -> RunOutcome {
         same_zone_bytes: same_zone,
         cross_zone_bytes: cross_zone,
         killed_quarantined,
+        peak_renewals_per_tick,
+        renewal_ticks,
     }
 }
 
@@ -176,6 +194,10 @@ fn main() {
         a.same_zone_bytes, a.cross_zone_bytes
     );
     println!("  killed mirror quarantined: {}", a.killed_quarantined);
+    println!(
+        "  renewal burst: peak {} per tick across {} ticks",
+        a.peak_renewals_per_tick, a.renewal_ticks
+    );
     println!("  deterministic replay:      {deterministic}");
 
     let failed_upgrades = clients as u64 - a.upgrades.min(clients as u64);
@@ -216,6 +238,12 @@ fn main() {
         "  \"killed_mirror_quarantined\": {},",
         a.killed_quarantined
     );
+    let _ = writeln!(
+        json,
+        "  \"peak_renewals_per_tick\": {},",
+        a.peak_renewals_per_tick
+    );
+    let _ = writeln!(json, "  \"renewal_ticks\": {},", a.renewal_ticks);
     let _ = writeln!(json, "  \"deterministic_replay\": {deterministic}");
     json.push_str("}\n");
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sched.json");
@@ -256,6 +284,16 @@ fn main() {
     }
     if !a.killed_quarantined {
         eprintln!("REGRESSION: killed mirror was not quarantined from observed silence");
+        bad = true;
+    }
+    // The renewal spread must keep the herd flattened: no single tick
+    // may absorb more than a sliver of the fleet's renewal attempts.
+    let burst_limit = (clients as u64 / 10).max(2);
+    if a.peak_renewals_per_tick > burst_limit {
+        eprintln!(
+            "REGRESSION: renewal burst of {} per tick exceeds {} — the spread stopped flattening",
+            a.peak_renewals_per_tick, burst_limit
+        );
         bad = true;
     }
     if !deterministic {

@@ -1,1 +1,62 @@
-// Benchmark-only crate: all content lives in benches/.
+//! Shared helpers for the `harness = false` bench report generators in
+//! `benches/`.
+
+/// Chunk-size distribution summary of one cut-point sequence, recorded
+/// by the cdc and pipeline benches so normalization's tightening shows
+/// up in the benchmark trajectory.
+#[derive(Debug)]
+pub struct SizeStats {
+    /// Number of chunks.
+    pub count: usize,
+    /// Smallest chunk (the tail chunk may undercut the CDC `min`).
+    pub min: usize,
+    /// Median chunk size.
+    pub p50: usize,
+    /// 99th-percentile chunk size.
+    pub p99: usize,
+    /// Largest chunk.
+    pub max: usize,
+    /// Mean chunk size.
+    pub mean: f64,
+    /// Population standard deviation — the headline tightness metric.
+    pub stddev: f64,
+}
+
+impl SizeStats {
+    /// Computes the distribution from exclusive chunk end offsets (as
+    /// produced by `drivolution_core::chunk::cut_points`). Panics on an
+    /// empty sequence: every bench image is non-empty.
+    pub fn of_cuts(cuts: &[usize]) -> SizeStats {
+        let mut sizes = Vec::with_capacity(cuts.len());
+        let mut start = 0;
+        for &end in cuts {
+            sizes.push(end - start);
+            start = end;
+        }
+        sizes.sort_unstable();
+        let count = sizes.len();
+        let mean = sizes.iter().sum::<usize>() as f64 / count as f64;
+        let var = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+            .sum::<f64>()
+            / count as f64;
+        SizeStats {
+            count,
+            min: sizes[0],
+            p50: sizes[count / 2],
+            p99: sizes[(count * 99) / 100],
+            max: sizes[count - 1],
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// One-line JSON object for the `BENCH_*.json` reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"chunks\": {}, \"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.0}, \"stddev\": {:.1}}}",
+            self.count, self.min, self.p50, self.p99, self.max, self.mean, self.stddev
+        )
+    }
+}

@@ -128,6 +128,7 @@ pub struct Bootloader {
     stats: Mutex<BootStats>,
     mirror_fetch: Mutex<HashMap<String, MirrorFetchStats>>,
     fetch_latencies: Mutex<Vec<u64>>,
+    renewal_times: Mutex<Vec<u64>>,
     lifecycle: Mutex<LifecycleTasks>,
 }
 
@@ -137,11 +138,21 @@ struct LifecycleTasks {
     poll: Option<TaskHandle>,
     /// One-shot lease auto-renewal timer, re-armed at every lease grant.
     lease: Option<TaskHandle>,
+    /// Renew-due instant the lease timer is currently armed for. The
+    /// spread jitter is sampled once per lease grant; re-running
+    /// maintenance against the same lease must not re-sample it (the
+    /// timer would random-walk inside the margin and could starve).
+    lease_armed_for: Option<u64>,
 }
 
 /// Per-mirror retry budget: transient network failures get one retry
 /// before the walk moves to the next candidate.
 const MIRROR_ATTEMPTS: usize = 2;
+
+/// Cap on retained renewal-attempt timestamps (see
+/// [`Bootloader::take_renewal_times`]); the oldest half is shed when a
+/// harness never drains them.
+const MAX_RENEWAL_TIMES: usize = 4096;
 
 impl std::fmt::Debug for Bootloader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -192,6 +203,7 @@ impl Bootloader {
             stats: Mutex::new(BootStats::default()),
             mirror_fetch: Mutex::new(HashMap::new()),
             fetch_latencies: Mutex::new(Vec::new()),
+            renewal_times: Mutex::new(Vec::new()),
             lifecycle: Mutex::new(LifecycleTasks::default()),
         });
         boot.register_lifecycle();
@@ -249,30 +261,50 @@ impl Bootloader {
         self.lifecycle.lock().lease.clone()
     }
 
-    /// Re-arms the auto-renewal timer against the active lease: at the
-    /// point the lease enters `RenewDue` when that is still ahead
-    /// (renewing inside the margin, like the poll state machine, keeps
-    /// license seats instead of racing the server-side holder eviction
-    /// at the expiry tick), or one retry interval out when that point
-    /// has passed (a renewal just failed and the driver was kept). With
-    /// no active lease the timer goes quiet.
+    /// Re-arms the auto-renewal timer against the active lease: spread
+    /// uniformly inside the front of the renewal window — `renew_due +
+    /// jitter(0..margin·¾)`, sampled from the scheduler's
+    /// seed-reproducible jitter — when the renew-due point is still
+    /// ahead (renewing inside the margin, like the poll state machine,
+    /// keeps license seats instead of racing the server-side holder
+    /// eviction at the expiry tick, and the spread keeps a fleet
+    /// granted leases in one wave from stampeding the server at one
+    /// tick; the last quarter of the margin is kept free as link-
+    /// latency and retry slack so the renewal message still lands
+    /// before expiry), or one retry interval out when that point has
+    /// passed (a renewal just failed and the driver was kept). With no
+    /// active lease the timer goes quiet.
     fn sync_lease_timer(&self) {
-        let Some(handle) = self.lifecycle.lock().lease.clone() else {
+        let mut tasks = self.lifecycle.lock();
+        let Some(handle) = tasks.lease.clone() else {
             return;
         };
-        match self.registry.active().map(|ns| ns.lease.renew_due_at_ms()) {
-            Some(renew_at) => {
+        let lease = self
+            .registry
+            .active()
+            .map(|ns| (ns.lease.renew_due_at_ms(), ns.lease.renew_margin_ms()));
+        match lease {
+            Some((renew_at, margin)) => {
                 let now = self.clock.now_ms();
-                let due = if renew_at > now {
-                    renew_at
+                if renew_at > now {
+                    // One jitter draw per lease grant: skip when the
+                    // timer is already armed for this renew-due point.
+                    if tasks.lease_armed_for != Some(renew_at) || !handle.is_scheduled() {
+                        tasks.lease_armed_for = Some(renew_at);
+                        handle.reschedule_at_jittered(renew_at, margin.saturating_sub(margin / 4));
+                    }
                 } else {
-                    now + self.config.lifecycle.renew_retry.as_millis() as u64
-                };
-                if handle.next_due_ms() != Some(due) {
-                    handle.reschedule_at(due);
+                    let due = now + self.config.lifecycle.renew_retry.as_millis() as u64;
+                    tasks.lease_armed_for = None;
+                    if handle.next_due_ms() != Some(due) {
+                        handle.reschedule_at(due);
+                    }
                 }
             }
-            None => handle.pause(),
+            None => {
+                tasks.lease_armed_for = None;
+                handle.pause();
+            }
         }
     }
 
@@ -314,6 +346,14 @@ impl Bootloader {
     /// per successful chunk-set fetch), for percentile reporting.
     pub fn take_fetch_latencies(&self) -> Vec<u64> {
         std::mem::take(&mut *self.fetch_latencies.lock())
+    }
+
+    /// Drains the virtual-clock instants at which this bootloader
+    /// contacted the server to renew (one entry per renewal attempt,
+    /// whatever its outcome). Fleet harnesses bucket these per tick to
+    /// measure the renewal burst the spread jitter is meant to flatten.
+    pub fn take_renewal_times(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.renewal_times.lock())
     }
 
     /// The zone this client's machine is placed in, if any.
@@ -890,6 +930,15 @@ impl Bootloader {
             &url,
             &props,
         );
+        {
+            // Bounded: an undrained long-lived bootloader keeps only the
+            // most recent attempts instead of growing forever.
+            let mut times = self.renewal_times.lock();
+            if times.len() >= MAX_RENEWAL_TIMES {
+                times.drain(..MAX_RENEWAL_TIMES / 2);
+            }
+            times.push(self.clock.now_ms());
+        }
         match self.exchange(&url, DrvMsg::Request(req)) {
             Ok((server, DrvMsg::Offer(offer))) if offer.same_driver => {
                 // RENEW: keep the driver, restart the lease window.

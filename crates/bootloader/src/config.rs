@@ -40,9 +40,10 @@ pub enum ServerLocator {
 ///   pushed notices and runs the lease state machine — the timer thread
 ///   §3.4.2 describes, without anybody writing one;
 /// * a **lease auto-renewal timer** (one-shot, re-armed at every lease
-///   grant to the instant the lease enters its renewal window) so
-///   renewals happen the moment they are due rather than at the next
-///   poll after it.
+///   grant to `renew_due + jitter(0..margin)` — a seed-reproducible
+///   spread inside the renewal window) so renewals happen inside the
+///   margin rather than at the next poll after it, without a whole
+///   fleet granted leases in one wave renewing on the same tick.
 ///
 /// Both only fire when someone pumps
 /// [`netsim::Network::run_until`]; tests that steer the clock manually

@@ -21,6 +21,33 @@
 //!   size-shifting edit and the delta stays proportional to the edit,
 //!   not to the image.
 //!
+//! CDC comes in two dialects selected by the `norm` level of
+//! [`ChunkingParams::Cdc`]:
+//!
+//! * **Level 0 — plain Gear** (the legacy wire dialect): one mask
+//!   derived from `avg`, hashing every byte from the chunk start and
+//!   checking from `min` on. Its *boundaries* are kept bit-for-bit
+//!   identical to the seed implementation so level-0 params keep
+//!   meaning the same cuts everywhere. (Digest *values* are a separate
+//!   contract owned by [`crate::digest`]: every party in a fleet hashes
+//!   with that one definition, and changing it — as the word-folded
+//!   fold did — invalidates content-addressed caches across builds;
+//!   stale persisted entries are then discarded and re-fetched cold.)
+//! * **Level ≥ 1 — normalized (FastCDC-style)**: the first `min` bytes
+//!   of every chunk are *skipped entirely* (no hashing — the min-skip
+//!   fast path), a **harder** mask (`norm` extra bits) applies below the
+//!   target average and an **easier** mask (`norm` fewer bits) between
+//!   the average and the forced-max backstop. Cut sizes concentrate
+//!   around `avg` instead of the long geometric tail plain Gear
+//!   produces, and the easier above-average mask gives low-entropy
+//!   regions more cut opportunities before the position-dependent
+//!   forced max kicks in.
+//!
+//! Manifests are built in a **single pass**: each chunk is digested with
+//! the word-folded FNV the moment its boundary is found (the bytes are
+//! still cache-hot from the boundary scan), instead of cutting first and
+//! re-traversing the image per chunk.
+//!
 //! Because boundaries are fully determined by `(bytes, params)`, any two
 //! parties chunking the same image under the same params derive
 //! identical manifests — no boundary negotiation is needed beyond
@@ -51,6 +78,21 @@ pub const DEFAULT_CDC_AVG: u32 = 4096;
 /// when no content-defined cut appears earlier.
 pub const DEFAULT_CDC_MAX: u32 = 16384;
 
+/// Default CDC normalization level: masks of `±2` bits around the
+/// target average (FastCDC's NC=2), the workspace default.
+pub const DEFAULT_CDC_NORM: u8 = 2;
+
+/// Cap on the normalization level a codec accepts; beyond this the
+/// masks degenerate (everything clamps) and a hostile frame gains
+/// nothing but confusion.
+pub const MAX_CDC_NORM: u8 = 8;
+
+/// Wire marker introducing a normalized-CDC params frame. Plain-Gear
+/// CDC frames keep the legacy `0` marker, so a level-0 encoder emits
+/// byte-identical frames to the previous generation and legacy decoders
+/// and depots interoperate unchanged.
+const NCDC_PARAMS_MARKER: u32 = u32::MAX;
+
 /// How an image is split into chunks. Carried by [`ChunkManifest`] and
 /// `HAVE` summaries so both ends of a delta derive identical boundaries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -63,14 +105,22 @@ pub enum ChunkingParams {
     },
     /// Content-defined boundaries from a Gear rolling hash.
     Cdc {
-        /// No boundary before `min` bytes into a chunk.
+        /// No boundary before `min` bytes into a chunk. At
+        /// normalization level ≥ 1 these bytes are skipped outright
+        /// (min-skip): hashing resumes `min` past each cut.
         min: u32,
-        /// Target average chunk size; the hash mask keeps one boundary
+        /// Target average chunk size; the base mask keeps one boundary
         /// per `2^floor(log2(avg))` positions on random data.
         avg: u32,
         /// A boundary is forced at `max` bytes when the hash never
         /// matches.
         max: u32,
+        /// Normalization level: `0` is plain Gear (the legacy dialect,
+        /// one mask, no min-skip); level `n ≥ 1` hardens the mask by
+        /// `n` bits below `avg` and relaxes it by `n` bits between
+        /// `avg` and `max`, concentrating chunk sizes around the
+        /// target.
+        norm: u8,
     },
 }
 
@@ -80,6 +130,7 @@ impl Default for ChunkingParams {
             min: DEFAULT_CDC_MIN,
             avg: DEFAULT_CDC_AVG,
             max: DEFAULT_CDC_MAX,
+            norm: DEFAULT_CDC_NORM,
         }
     }
 }
@@ -88,7 +139,18 @@ impl std::fmt::Display for ChunkingParams {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChunkingParams::Fixed { size } => write!(f, "fixed/{size}"),
-            ChunkingParams::Cdc { min, avg, max } => write!(f, "cdc/{min}-{avg}-{max}"),
+            ChunkingParams::Cdc {
+                min,
+                avg,
+                max,
+                norm: 0,
+            } => write!(f, "cdc/{min}-{avg}-{max}"),
+            ChunkingParams::Cdc {
+                min,
+                avg,
+                max,
+                norm,
+            } => write!(f, "cdc/{min}-{avg}-{max}/n{norm}"),
         }
     }
 }
@@ -99,13 +161,39 @@ impl ChunkingParams {
         ChunkingParams::Fixed { size }
     }
 
-    /// Content-defined chunking with explicit bounds.
+    /// Plain-Gear content-defined chunking (normalization level 0, the
+    /// legacy dialect) with explicit bounds.
     pub fn cdc(min: u32, avg: u32, max: u32) -> Self {
-        ChunkingParams::Cdc { min, avg, max }
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm: 0,
+        }
     }
 
-    /// Structural validity: all sizes positive, and `min <= avg <= max`
-    /// for CDC.
+    /// Normalized content-defined chunking with explicit bounds and
+    /// level. Level 0 is exactly [`cdc`](Self::cdc).
+    pub fn cdc_normalized(min: u32, avg: u32, max: u32, norm: u8) -> Self {
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm,
+        }
+    }
+
+    /// The normalization level (0 for plain Gear and fixed chunking).
+    pub fn norm_level(&self) -> u8 {
+        match *self {
+            ChunkingParams::Cdc { norm, .. } => norm,
+            ChunkingParams::Fixed { .. } => 0,
+        }
+    }
+
+    /// Structural validity: all sizes positive, `min <= avg <= max` and
+    /// `norm <= MAX_CDC_NORM` for CDC, and the fixed size must not
+    /// collide with the normalized-params wire marker.
     ///
     /// # Errors
     ///
@@ -116,14 +204,29 @@ impl ChunkingParams {
                 if size == 0 {
                     return Err(DrvError::Codec("fixed chunk size zero".into()));
                 }
+                if size == NCDC_PARAMS_MARKER {
+                    return Err(DrvError::Codec(
+                        "fixed chunk size collides with the normalized-cdc marker".into(),
+                    ));
+                }
             }
-            ChunkingParams::Cdc { min, avg, max } => {
+            ChunkingParams::Cdc {
+                min,
+                avg,
+                max,
+                norm,
+            } => {
                 if min == 0 || avg == 0 || max == 0 {
                     return Err(DrvError::Codec("cdc chunk bound zero".into()));
                 }
                 if min > avg || avg > max {
                     return Err(DrvError::Codec(format!(
                         "cdc bounds not ordered: min {min} avg {avg} max {max}"
+                    )));
+                }
+                if norm > MAX_CDC_NORM {
+                    return Err(DrvError::Codec(format!(
+                        "cdc normalization level {norm} beyond {MAX_CDC_NORM}"
                     )));
                 }
             }
@@ -141,41 +244,81 @@ impl ChunkingParams {
         }
         match *self {
             ChunkingParams::Fixed { size } => (256..=(64 << 20)).contains(&size),
-            ChunkingParams::Cdc { min, avg, max } => min >= 64 && avg >= 256 && max <= (64 << 20),
+            ChunkingParams::Cdc { min, avg, max, .. } => {
+                min >= 64 && avg >= 256 && max <= (64 << 20)
+            }
         }
     }
 
     /// Serializes the params. Fixed params encode as the bare nonzero
-    /// chunk size (the exact legacy wire format); CDC params write a `0`
-    /// marker — invalid as a fixed size, so old frames can never be
-    /// misread — followed by the three bounds.
+    /// chunk size and level-0 CDC as the `0` marker plus three bounds —
+    /// both exactly the legacy wire formats, so a plain-Gear fleet
+    /// member emits frames indistinguishable from the previous
+    /// generation. Normalized CDC (level ≥ 1) writes the reserved
+    /// [`NCDC_PARAMS_MARKER`] followed by the bounds and the level.
     pub fn encode_into(&self, b: &mut BytesMut) {
         match *self {
             ChunkingParams::Fixed { size } => b.put_u32_le(size),
-            ChunkingParams::Cdc { min, avg, max } => {
+            ChunkingParams::Cdc {
+                min,
+                avg,
+                max,
+                norm: 0,
+            } => {
                 b.put_u32_le(0);
                 b.put_u32_le(min);
                 b.put_u32_le(avg);
                 b.put_u32_le(max);
             }
+            ChunkingParams::Cdc {
+                min,
+                avg,
+                max,
+                norm,
+            } => {
+                b.put_u32_le(NCDC_PARAMS_MARKER);
+                b.put_u32_le(min);
+                b.put_u32_le(avg);
+                b.put_u32_le(max);
+                b.put_u32_le(u32::from(norm));
+            }
         }
     }
 
     /// Deserializes params written by [`encode_into`](Self::encode_into).
+    /// Legacy frames (bare fixed size, or the `0` marker with three
+    /// bounds) decode to level-0 plain Gear.
     ///
     /// # Errors
     ///
     /// [`DrvError::Codec`] on truncation or structurally invalid bounds.
     pub fn decode(buf: &mut Bytes) -> DrvResult<Self> {
         let head = get_u32(buf, "chunking params")?;
-        let params = if head == 0 {
-            ChunkingParams::Cdc {
+        let params = match head {
+            0 => ChunkingParams::Cdc {
                 min: get_u32(buf, "cdc min")?,
                 avg: get_u32(buf, "cdc avg")?,
                 max: get_u32(buf, "cdc max")?,
+                norm: 0,
+            },
+            NCDC_PARAMS_MARKER => {
+                let (min, avg, max) = (
+                    get_u32(buf, "cdc min")?,
+                    get_u32(buf, "cdc avg")?,
+                    get_u32(buf, "cdc max")?,
+                );
+                let norm = get_u32(buf, "cdc norm level")?;
+                let norm = u8::try_from(norm).map_err(|_| {
+                    DrvError::Codec(format!("cdc normalization level {norm} implausible"))
+                })?;
+                ChunkingParams::Cdc {
+                    min,
+                    avg,
+                    max,
+                    norm,
+                }
             }
-        } else {
-            ChunkingParams::Fixed { size: head }
+            size => ChunkingParams::Fixed { size },
         };
         params.validate()?;
         Ok(params)
@@ -203,53 +346,153 @@ const GEAR: [u64; 256] = {
     t
 };
 
-/// Boundary mask for a target average chunk size: `floor(log2(avg))` low
-/// bits. On random data the hash matches the mask once per `2^bits`
-/// positions.
-fn cdc_mask(avg: u32) -> u64 {
-    let bits = 31 - avg.max(2).leading_zeros();
-    (1u64 << bits) - 1
+/// Base boundary mask for a target average chunk size:
+/// `floor(log2(avg))` low bits. On random data the hash matches the
+/// mask once per `2^bits` positions.
+fn cdc_mask_bits(avg: u32) -> u32 {
+    31 - avg.max(2).leading_zeros()
+}
+
+/// The two normalized masks around the target average: the harder one
+/// (`norm` extra bits, applied below `avg`) and the easier one (`norm`
+/// fewer bits, applied between `avg` and `max`). Clamped so both stay
+/// usable for any accepted level.
+fn norm_masks(avg: u32, norm: u8) -> (u64, u64) {
+    let bits = cdc_mask_bits(avg);
+    let hard = (bits + u32::from(norm)).min(62);
+    let easy = bits.saturating_sub(u32::from(norm)).max(1);
+    ((1u64 << hard) - 1, (1u64 << easy) - 1)
+}
+
+/// Expected chunk length under CDC bounds — the capacity hint for cut
+/// and manifest vectors.
+fn expected_chunk(min: u32, avg: u32) -> usize {
+    (min as usize + (avg as usize) / 2).max(1)
+}
+
+/// The single-pass chunking driver: walks `bytes` once under `params`,
+/// invoking `emit(start, end)` for every chunk boundary pair in image
+/// order. Every public cut/split/manifest entry point routes through
+/// here so boundary semantics have exactly one definition per dialect.
+///
+/// # Panics
+///
+/// Panics when `params` is structurally invalid.
+fn for_each_chunk(bytes: &[u8], params: &ChunkingParams, mut emit: impl FnMut(usize, usize)) {
+    params.validate().expect("invalid chunking params");
+    let len = bytes.len();
+    match *params {
+        ChunkingParams::Fixed { size } => {
+            let step = size as usize;
+            let mut start = 0;
+            while start < len {
+                let end = (start + step).min(len);
+                emit(start, end);
+                start = end;
+            }
+        }
+        // Level 0: the legacy plain-Gear loop, byte-identical to the
+        // seed implementation (hashing starts at the chunk start, one
+        // mask, checks from `min` on). Its boundaries are a wire
+        // contract for fleets and persisted depots chunked under it.
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm: 0,
+        } => {
+            let (min, max) = (min as usize, max as usize);
+            let mask = (1u64 << cdc_mask_bits(avg)) - 1;
+            let mut start = 0;
+            while start < len {
+                let hard_end = (start + max).min(len);
+                let check_from = start + min;
+                let mut h: u64 = 0;
+                let mut i = start;
+                let cut = loop {
+                    if i >= hard_end {
+                        break hard_end;
+                    }
+                    h = (h << 1).wrapping_add(GEAR[bytes[i] as usize]);
+                    i += 1;
+                    if i >= check_from && (h & mask) == 0 {
+                        break i;
+                    }
+                };
+                emit(start, cut);
+                start = cut;
+            }
+        }
+        // Level ≥ 1: FastCDC-style normalized cuts. The first `min`
+        // bytes after each cut are never hashed (min-skip), the harder
+        // mask applies up to the target average and the easier mask
+        // from there to the forced-max backstop.
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm,
+        } => {
+            let (mask_hard, mask_easy) = norm_masks(avg, norm);
+            let (min, avg, max) = (min as usize, avg as usize, max as usize);
+            let mut start = 0;
+            while start < len {
+                let remaining = len - start;
+                if remaining <= min {
+                    emit(start, len);
+                    break;
+                }
+                let hard_end = start + max.min(remaining);
+                let avg_point = start + avg.min(remaining);
+                let mut i = start + min; // min-skip: hashing resumes here
+                let mut h: u64 = 0;
+                let mut cut = hard_end;
+                while i < avg_point {
+                    h = (h << 1).wrapping_add(GEAR[bytes[i] as usize]);
+                    i += 1;
+                    if h & mask_hard == 0 {
+                        cut = i;
+                        break;
+                    }
+                }
+                if cut == hard_end {
+                    while i < hard_end {
+                        h = (h << 1).wrapping_add(GEAR[bytes[i] as usize]);
+                        i += 1;
+                        if h & mask_easy == 0 {
+                            cut = i;
+                            break;
+                        }
+                    }
+                }
+                emit(start, cut);
+                start = cut;
+            }
+        }
+    }
 }
 
 /// Content-defined cut points (exclusive chunk end offsets) of `bytes`
-/// under Gear CDC with the given bounds. The final offset is always
-/// `bytes.len()`; an empty input yields no cuts.
+/// under plain-Gear CDC (normalization level 0) with the given bounds.
+/// The final offset is always `bytes.len()`; an empty input yields no
+/// cuts.
 ///
 /// # Panics
 ///
 /// Panics when the bounds are structurally invalid
 /// (see [`ChunkingParams::validate`]).
 pub fn cut_points_cdc(bytes: &[u8], min: u32, avg: u32, max: u32) -> Vec<usize> {
-    ChunkingParams::cdc(min, avg, max)
-        .validate()
-        .expect("invalid cdc bounds");
-    let len = bytes.len();
-    let (min, max) = (min as usize, max as usize);
-    let mask = cdc_mask(avg);
-    // Capacity hint: expected chunk length is roughly min plus half the
-    // mask period.
-    let expected_chunk = (min + (mask as usize).div_ceil(2)).max(1);
-    let mut cuts = Vec::with_capacity(len / expected_chunk + 1);
-    let mut start = 0;
-    while start < len {
-        let hard_end = (start + max).min(len);
-        let check_from = start + min;
-        let mut h: u64 = 0;
-        let mut i = start;
-        let cut = loop {
-            if i >= hard_end {
-                break hard_end;
-            }
-            h = (h << 1).wrapping_add(GEAR[bytes[i] as usize]);
-            i += 1;
-            if i >= check_from && (h & mask) == 0 {
-                break i;
-            }
-        };
-        cuts.push(cut);
-        start = cut;
-    }
-    cuts
+    cut_points(bytes, &ChunkingParams::cdc(min, avg, max))
+}
+
+/// Content-defined cut points of `bytes` under normalized CDC at the
+/// given level (level 0 is plain Gear).
+///
+/// # Panics
+///
+/// Panics when the bounds are structurally invalid.
+pub fn cut_points_cdc_norm(bytes: &[u8], min: u32, avg: u32, max: u32, norm: u8) -> Vec<usize> {
+    cut_points(bytes, &ChunkingParams::cdc_normalized(min, avg, max, norm))
 }
 
 /// Cut points (exclusive chunk end offsets) of `bytes` under `params`.
@@ -258,50 +501,33 @@ pub fn cut_points_cdc(bytes: &[u8], min: u32, avg: u32, max: u32) -> Vec<usize> 
 ///
 /// Panics when `params` is structurally invalid.
 pub fn cut_points(bytes: &[u8], params: &ChunkingParams) -> Vec<usize> {
-    match *params {
-        ChunkingParams::Fixed { size } => {
-            assert!(size > 0, "chunk size must be positive");
-            let step = size as usize;
-            let mut cuts = Vec::with_capacity(bytes.len().div_ceil(step));
-            let mut at = step;
-            while at < bytes.len() {
-                cuts.push(at);
-                at += step;
-            }
-            if !bytes.is_empty() {
-                cuts.push(bytes.len());
-            }
-            cuts
-        }
-        ChunkingParams::Cdc { min, avg, max } => cut_points_cdc(bytes, min, avg, max),
-    }
+    let mut cuts = Vec::with_capacity(match *params {
+        ChunkingParams::Fixed { size } => bytes.len().div_ceil(size.max(1) as usize),
+        ChunkingParams::Cdc { min, avg, .. } => bytes.len() / expected_chunk(min, avg) + 1,
+    });
+    for_each_chunk(bytes, params, |_, end| cuts.push(end));
+    cuts
 }
 
-/// Splits `bytes` into CDC chunks (zero-copy slices).
+/// Splits `bytes` into plain-Gear CDC chunks (zero-copy slices).
 pub fn split_cdc(bytes: &Bytes, min: u32, avg: u32, max: u32) -> Vec<Bytes> {
-    slices_at(bytes, &cut_points_cdc(bytes, min, avg, max))
+    split_with(bytes, &ChunkingParams::cdc(min, avg, max))
 }
 
 /// Splits `bytes` into manifest-order chunks under `params` (zero-copy
 /// slices).
 pub fn split_with(bytes: &Bytes, params: &ChunkingParams) -> Vec<Bytes> {
-    slices_at(bytes, &cut_points(bytes, params))
+    let mut out = Vec::new();
+    for_each_chunk(bytes, params, |start, end| {
+        out.push(bytes.slice(start..end))
+    });
+    out
 }
 
 /// Splits `bytes` into fixed-size manifest-order chunks (zero-copy
 /// slices).
 pub fn split_chunks(bytes: &Bytes, chunk_size: u32) -> Vec<Bytes> {
     split_with(bytes, &ChunkingParams::fixed(chunk_size))
-}
-
-fn slices_at(bytes: &Bytes, cuts: &[usize]) -> Vec<Bytes> {
-    let mut out = Vec::with_capacity(cuts.len());
-    let mut start = 0;
-    for &end in cuts {
-        out.push(bytes.slice(start..end));
-        start = end;
-    }
-    out
 }
 
 /// Ordered chunk-digest description of one driver image.
@@ -328,19 +554,22 @@ impl ChunkManifest {
         Self::of_with(bytes, &ChunkingParams::fixed(chunk_size))
     }
 
-    /// Builds the manifest of `bytes` under the given chunking params.
+    /// Builds the manifest of `bytes` under the given chunking params,
+    /// in a single pass: each chunk is digested the moment its boundary
+    /// is found, while its bytes are still cache-hot from the boundary
+    /// scan, instead of collecting cut points and re-traversing.
     ///
     /// # Panics
     ///
     /// Panics when `params` is structurally invalid.
     pub fn of_with(bytes: &[u8], params: &ChunkingParams) -> Self {
-        let cuts = cut_points(bytes, params);
-        let mut chunks = Vec::with_capacity(cuts.len());
-        let mut start = 0;
-        for &end in &cuts {
+        let mut chunks = Vec::with_capacity(match *params {
+            ChunkingParams::Fixed { size } => bytes.len().div_ceil(size.max(1) as usize),
+            ChunkingParams::Cdc { min, avg, .. } => bytes.len() / expected_chunk(min, avg) + 1,
+        });
+        for_each_chunk(bytes, params, |start, end| {
             chunks.push(fnv1a64(&bytes[start..end]));
-            start = end;
-        }
+        });
         ChunkManifest {
             content_digest: fnv1a64(bytes),
             total_size: bytes.len() as u64,
@@ -386,20 +615,28 @@ impl ChunkManifest {
                 "assembled image digest does not match manifest".into(),
             ));
         }
-        let cuts = cut_points(bytes, &self.params);
-        if cuts.len() != self.chunks.len() {
+        // Single pass: re-derive boundaries and digest each chunk as it
+        // is cut, comparing against the manifest in stride.
+        let mut i = 0usize;
+        let mut mismatch: Option<usize> = None;
+        for_each_chunk(bytes, &self.params, |start, end| {
+            if mismatch.is_none()
+                && self.chunks.get(i).copied() != Some(fnv1a64(&bytes[start..end]))
+            {
+                mismatch = Some(i);
+            }
+            i += 1;
+        });
+        if let Some(at) = mismatch {
+            if at < self.chunks.len() {
+                return Err(DrvError::BadPackage(format!("chunk {at} digest mismatch")));
+            }
+        }
+        if i != self.chunks.len() {
             return Err(DrvError::BadPackage(format!(
-                "chunk count {} does not match manifest count {}",
-                cuts.len(),
+                "chunk count {i} does not match manifest count {}",
                 self.chunks.len()
             )));
-        }
-        let mut start = 0;
-        for (i, (&end, want)) in cuts.iter().zip(&self.chunks).enumerate() {
-            if fnv1a64(&bytes[start..end]) != *want {
-                return Err(DrvError::BadPackage(format!("chunk {i} digest mismatch")));
-            }
-            start = end;
         }
         Ok(())
     }
@@ -530,22 +767,48 @@ pub struct DeltaCost {
 pub fn delta_cost(v1: &[u8], v2: &[u8], params: &ChunkingParams) -> DeltaCost {
     let m1 = ChunkManifest::of_with(v1, params);
     let have: std::collections::HashSet<u64> = m1.chunks.iter().copied().collect();
-    let m2 = ChunkManifest::of_with(v2, params);
-    let cuts = cut_points(v2, params);
-    let mut start = 0;
+    // One pass over v2: boundary, digest, and missing-set accounting per
+    // chunk as it is cut — no second traversal for sizes.
     let mut bytes = 0u64;
+    let mut total = 0usize;
     let mut missing = std::collections::HashSet::new();
-    for (&end, digest) in cuts.iter().zip(&m2.chunks) {
-        if !have.contains(digest) && missing.insert(*digest) {
+    for_each_chunk(v2, params, |start, end| {
+        total += 1;
+        let digest = fnv1a64(&v2[start..end]);
+        if !have.contains(&digest) && missing.insert(digest) {
             bytes += (end - start) as u64;
         }
-        start = end;
-    }
+    });
     DeltaCost {
         bytes,
         missing_chunks: missing.len(),
-        total_chunks: m2.chunk_count(),
+        total_chunks: total,
     }
+}
+
+/// Builds the manifest of `bytes` and its digest-keyed chunk slices in
+/// one boundary scan — the shape content indexes want when inserting or
+/// deriving a foreign-params view of an image (manifest to serve,
+/// chunks to index), without re-walking the image per consumer.
+///
+/// # Panics
+///
+/// Panics when `params` is structurally invalid.
+pub fn manifest_and_chunks(
+    bytes: &Bytes,
+    params: &ChunkingParams,
+) -> (ChunkManifest, Vec<(u64, Bytes)>) {
+    let mut pairs: Vec<(u64, Bytes)> = Vec::new();
+    for_each_chunk(bytes, params, |start, end| {
+        pairs.push((fnv1a64(&bytes[start..end]), bytes.slice(start..end)));
+    });
+    let manifest = ChunkManifest {
+        content_digest: fnv1a64(bytes),
+        total_size: bytes.len() as u64,
+        params: *params,
+        chunks: pairs.iter().map(|(d, _)| *d).collect(),
+    };
+    (manifest, pairs)
 }
 
 /// Reassembles an image from `available` chunks per `manifest` order and
@@ -763,7 +1026,7 @@ mod tests {
             assert_eq!(assemble(&m, &map).unwrap(), img);
 
             let mut short = map.clone();
-            short.remove(&m.chunks[3]);
+            short.remove(&m.chunks[m.chunk_count() / 2]);
             assert!(assemble(&m, &short).is_err());
         }
     }
@@ -804,6 +1067,127 @@ mod tests {
         b.put_u32_le(0x1555_5556);
         b.put_u64_le(0xdead);
         assert!(ChunkSet::decode(b.freeze()).is_err());
+    }
+
+    fn size_stddev(cuts: &[usize]) -> f64 {
+        let mut sizes = Vec::with_capacity(cuts.len());
+        let mut start = 0usize;
+        for &end in cuts {
+            sizes.push((end - start) as f64);
+            start = end;
+        }
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        (sizes.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / sizes.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn normalized_cuts_respect_bounds_and_tighten_the_distribution() {
+        let img = image(512 * 1024, 9);
+        let (min, avg, max) = (1024u32, 4096u32, 16384u32);
+        let plain = cut_points_cdc_norm(&img, min, avg, max, 0);
+        let normd = cut_points_cdc_norm(&img, min, avg, max, DEFAULT_CDC_NORM);
+        for (label, cuts) in [("plain", &plain), ("normalized", &normd)] {
+            assert_eq!(*cuts.last().unwrap(), img.len(), "{label} must cover");
+            let mut start = 0usize;
+            for (i, &end) in cuts.iter().enumerate() {
+                let len = end - start;
+                assert!(len <= max as usize, "{label} chunk {i} too large: {len}");
+                if end != img.len() {
+                    assert!(len >= min as usize, "{label} chunk {i} too small: {len}");
+                }
+                start = end;
+            }
+        }
+        // Normalization's whole point: sizes concentrate around the
+        // target average.
+        assert!(
+            size_stddev(&normd) < size_stddev(&plain),
+            "normalized stddev {} not under plain {}",
+            size_stddev(&normd),
+            size_stddev(&plain)
+        );
+        // And level 0 through the normalized entry point is exactly the
+        // legacy plain-Gear dialect.
+        assert_eq!(plain, cut_points_cdc(&img, min, avg, max));
+    }
+
+    #[test]
+    fn normalized_default_manifest_verifies_and_survives_insertion() {
+        let v1 = image(256 * 1024, 11);
+        let params = ChunkingParams::default();
+        assert_eq!(params.norm_level(), DEFAULT_CDC_NORM);
+        let m1 = ChunkManifest::of_with(&v1, &params);
+        m1.verify(&v1).unwrap();
+
+        let mut v2 = v1.to_vec();
+        let at = v2.len() / 2;
+        v2.splice(at..at, b"normalized banner".iter().copied());
+        let m2 = ChunkManifest::of_with(&v2, &params);
+        m2.verify(&v2).unwrap();
+        let missing = m2.missing_given(&m1.chunks);
+        assert!(
+            missing.len() <= 3,
+            "normalized insertion cost {} of {} chunks",
+            missing.len(),
+            m2.chunk_count()
+        );
+    }
+
+    #[test]
+    fn normalized_params_codec_roundtrips_and_legacy_frames_decode_level0() {
+        // Normalized params round-trip through the marker encoding.
+        for norm in [1u8, 2, MAX_CDC_NORM] {
+            let p = ChunkingParams::cdc_normalized(512, 2048, 8192, norm);
+            let mut b = BytesMut::new();
+            p.encode_into(&mut b);
+            assert_eq!(ChunkingParams::decode(&mut b.freeze()).unwrap(), p);
+        }
+        // A level-0 encoder emits the byte-exact legacy frame.
+        let mut legacy = BytesMut::new();
+        legacy.put_u32_le(0);
+        legacy.put_u32_le(512);
+        legacy.put_u32_le(2048);
+        legacy.put_u32_le(8192);
+        let legacy = legacy.freeze();
+        let mut ours = BytesMut::new();
+        ChunkingParams::cdc(512, 2048, 8192).encode_into(&mut ours);
+        assert_eq!(ours.freeze(), legacy);
+        // And a legacy frame decodes as level 0.
+        let mut buf = legacy;
+        assert_eq!(
+            ChunkingParams::decode(&mut buf).unwrap(),
+            ChunkingParams::cdc_normalized(512, 2048, 8192, 0)
+        );
+        // Hostile levels and the reserved fixed size are rejected.
+        let mut b = BytesMut::new();
+        ChunkingParams::Cdc {
+            min: 512,
+            avg: 2048,
+            max: 8192,
+            norm: MAX_CDC_NORM + 1,
+        }
+        .encode_into(&mut b);
+        assert!(ChunkingParams::decode(&mut b.freeze()).is_err());
+        assert!(ChunkingParams::fixed(u32::MAX).validate().is_err());
+    }
+
+    #[test]
+    fn manifest_and_chunks_is_one_scan_worth_of_everything() {
+        let img = image(200_000, 12);
+        for params in [
+            ChunkingParams::fixed(4096),
+            ChunkingParams::cdc(1024, 4096, 16384),
+            ChunkingParams::default(),
+        ] {
+            let (m, pairs) = manifest_and_chunks(&img, &params);
+            assert_eq!(m, ChunkManifest::of_with(&img, &params));
+            let slices = split_with(&img, &params);
+            assert_eq!(pairs.len(), slices.len());
+            for ((d, b), s) in pairs.iter().zip(&slices) {
+                assert_eq!(b, s);
+                assert_eq!(*d, fnv1a64(b));
+            }
+        }
     }
 
     #[test]

@@ -1,33 +1,59 @@
 //! Content digests — the workspace's stand-in for cryptographic hashes.
 //!
-//! FNV-1a is used everywhere a real system would use SHA-256. This is a
-//! deliberate, documented simulation (see DESIGN.md): the reproduction
-//! models *where* integrity and trust checks happen, not their
-//! cryptographic strength.
+//! A word-folded FNV-1a variant is used everywhere a real system would
+//! use SHA-256. This is a deliberate, documented simulation (see
+//! DESIGN.md): the reproduction models *where* integrity and trust
+//! checks happen, not their cryptographic strength.
+//!
+//! The fold consumes eight bytes per iteration (one little-endian `u64`
+//! lane XORed in, multiplied by the FNV prime, then an xorshift to
+//! carry the high bits back down — FNV's multiply only propagates
+//! upward). Per-lane the step is a bijection on the hash state, so two
+//! equal-length inputs differing in any one lane can never collide:
+//! the single-byte-flip detection every chunk/image verification in
+//! this workspace relies on is structural, not probabilistic. The exact
+//! output is part of the workspace's wire contract (chunk digests,
+//! `HAVE` summaries, depot keys); both ends always come from this one
+//! definition, so there is no cross-version digest negotiation — and
+//! consequently changing this definition (as the switch from byte-wise
+//! FNV-1a to this word-folded variant did) re-keys every
+//! content-addressed store: persisted depot entries hashed by an older
+//! build fail revalidation and are discarded and re-fetched cold,
+//! which is the content-addressing design's safe failure mode.
 
-/// FNV-1a 64-bit digest of `data`.
-pub fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data {
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `data` into `h`, eight bytes per iteration with a byte-wise
+/// tail. Shared by [`fnv1a64`] and [`fnv1a64_parts`] so both digest
+/// families speed up together and stay mutually consistent.
+#[inline]
+fn fold_words(mut h: u64, data: &[u8]) -> u64 {
+    let mut lanes = data.chunks_exact(8);
+    for lane in &mut lanes {
+        h ^= u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
+        h = h.wrapping_mul(FNV_PRIME);
+        h ^= h >> 31;
+    }
+    for b in lanes.remainder() {
         h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// Word-folded FNV-1a 64-bit digest of `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    fold_words(FNV_OFFSET, data)
 }
 
 /// Digest of several byte strings, order-sensitive and
 /// concatenation-ambiguity-free (each part is length-prefixed).
 pub fn fnv1a64_parts(parts: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
     for part in parts {
-        for b in (part.len() as u64).to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        for b in *part {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
+        h = fold_words(h, &(part.len() as u64).to_le_bytes());
+        h = fold_words(h, part);
     }
     h
 }

@@ -94,6 +94,12 @@ impl Lease {
         self.expires_at_ms().saturating_sub(self.renew_margin_ms)
     }
 
+    /// Width of the renewal window (`expiry - renew_due`): the slack a
+    /// renewal spread may jitter inside without ever racing expiry.
+    pub fn renew_margin_ms(&self) -> u64 {
+        self.renew_margin_ms
+    }
+
     /// The renewal policy attached by the server.
     pub fn renew_policy(&self) -> RenewPolicy {
         self.renew_policy

@@ -91,7 +91,23 @@ fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
 fn encode_meta(params: &ChunkingParams) -> String {
     match *params {
         ChunkingParams::Fixed { size } => format!("chunking fixed {size}\n"),
-        ChunkingParams::Cdc { min, avg, max } => format!("chunking cdc {min} {avg} {max}\n"),
+        // Level 0 writes the exact legacy 3-field line: the meta codec
+        // itself is two-way compatible with the plain-Gear generation.
+        // (Image/index files are keyed by digest values, whose
+        // definition lives in core::digest — a digest change across
+        // builds costs a cold re-fetch, not a misread.)
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm: 0,
+        } => format!("chunking cdc {min} {avg} {max}\n"),
+        ChunkingParams::Cdc {
+            min,
+            avg,
+            max,
+            norm,
+        } => format!("chunking cdc {min} {avg} {max} {norm}\n"),
     }
 }
 
@@ -103,10 +119,13 @@ fn decode_meta(text: &str) -> Option<ChunkingParams> {
         }
         let params = match it.next()? {
             "fixed" => ChunkingParams::fixed(it.next()?.parse().ok()?),
-            "cdc" => ChunkingParams::cdc(
+            // A legacy 3-field cdc line decodes as plain Gear (level 0):
+            // the persisted index was chunked under those boundaries.
+            "cdc" => ChunkingParams::cdc_normalized(
                 it.next()?.parse().ok()?,
                 it.next()?.parse().ok()?,
                 it.next()?.parse().ok()?,
+                it.next().map_or(Some(0), |n| n.parse().ok())?,
             ),
             _ => return None,
         };
@@ -511,6 +530,50 @@ mod tests {
             assert_eq!(depot.lookup(digest), None);
             assert!(depot.have_summary("orders").is_none());
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_codec_carries_norm_levels_and_reads_legacy_lines() {
+        // Normalized params survive the meta file; a legacy 3-field cdc
+        // line (written by a plain-Gear generation) decodes as level 0,
+        // matching the boundaries its persisted index was built under.
+        for params in [
+            ChunkingParams::fixed(2048),
+            ChunkingParams::cdc(512, 2048, 8192),
+            ChunkingParams::default(),
+            ChunkingParams::cdc_normalized(512, 2048, 8192, 3),
+        ] {
+            assert_eq!(decode_meta(&encode_meta(&params)), Some(params));
+        }
+        assert_eq!(
+            decode_meta("chunking cdc 512 2048 8192\n"),
+            Some(ChunkingParams::cdc(512, 2048, 8192))
+        );
+        // And a level-0 writer emits exactly that legacy line.
+        assert_eq!(
+            encode_meta(&ChunkingParams::cdc(512, 2048, 8192)),
+            "chunking cdc 512 2048 8192\n"
+        );
+        assert_eq!(decode_meta("chunking cdc 512 2048 8192 99\n"), None);
+    }
+
+    #[test]
+    fn persistent_depot_restores_normalized_params_across_restarts() {
+        let dir = temp_dir("persist-norm");
+        let img = image(64 * 1024, 7);
+        let (digest, chunks_before) = {
+            let depot = DriverDepot::persistent(&dir).unwrap();
+            assert_eq!(depot.params(), ChunkingParams::default());
+            let digest = depot.insert("orders", img.clone());
+            (digest, depot.have_summary("orders").unwrap().chunks)
+        };
+        let depot = DriverDepot::persistent(&dir).unwrap();
+        assert_eq!(depot.params(), ChunkingParams::default());
+        let have = depot.have_summary("orders").unwrap();
+        assert_eq!(have.params, ChunkingParams::default());
+        assert_eq!(have.chunks, chunks_before);
+        assert_eq!(depot.lookup(digest), Some(img));
         let _ = fs::remove_dir_all(&dir);
     }
 

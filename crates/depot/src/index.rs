@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use drivolution_core::chunk::{split_with, ChunkManifest, ChunkingParams};
+use drivolution_core::chunk::{manifest_and_chunks, ChunkManifest, ChunkingParams};
 use drivolution_core::fnv1a64;
 
 /// A content-addressed store of driver images and their chunks.
@@ -54,18 +54,19 @@ impl ContentIndex {
                 return digest;
             }
         }
-        let manifest = ChunkManifest::of_with(&bytes, params);
-        self.index_chunks(&bytes, &manifest, params);
+        // One boundary scan yields both the manifest and the chunk
+        // slices to index.
+        let (manifest, pairs) = manifest_and_chunks(&bytes, params);
+        self.index_chunks(pairs);
         self.derived_params.lock().insert(*params);
         self.manifests.lock().insert((digest, *params), manifest);
         self.images.lock().insert(digest, (bytes, *params));
         digest
     }
 
-    fn index_chunks(&self, bytes: &Bytes, manifest: &ChunkManifest, params: &ChunkingParams) {
-        let parts = split_with(bytes, params);
+    fn index_chunks(&self, pairs: Vec<(u64, Bytes)>) {
         let mut chunks = self.chunks.lock();
-        for (d, part) in manifest.chunks.iter().copied().zip(parts) {
+        for (d, part) in pairs {
             chunks.entry(d).or_insert(part);
         }
     }
@@ -105,8 +106,8 @@ impl ContentIndex {
                 derived.insert(*params);
             }
         }
-        let manifest = ChunkManifest::of_with(&bytes, params);
-        self.index_chunks(&bytes, &manifest, params);
+        let (manifest, pairs) = manifest_and_chunks(&bytes, params);
+        self.index_chunks(pairs);
         self.manifests
             .lock()
             .insert((digest, *params), manifest.clone());

@@ -576,6 +576,30 @@ impl TaskHandle {
         t.rearmed = true;
         st.enqueue(self.id, due_ms.max(now));
     }
+
+    /// Like [`reschedule_at`](Self::reschedule_at), but spreads the
+    /// firing uniformly inside `[due_ms, due_ms + spread_ms)` using the
+    /// task's own seed-reproducible jitter generator — the same source
+    /// periodic jitter draws from, so replays under one scheduler seed
+    /// reproduce the spread exactly. A fleet of one-shot timers all due
+    /// at structurally similar instants (every lease's renew-due point,
+    /// say) de-synchronizes into the window instead of stampeding one
+    /// tick. `spread_ms == 0` degrades to the exact re-arm.
+    pub fn reschedule_at_jittered(&self, due_ms: u64, spread_ms: u64) {
+        let now = self.inner.clock.now_ms();
+        let mut st = self.inner.state.lock();
+        let Some(t) = st.tasks.get_mut(&self.id) else {
+            return;
+        };
+        let jitter = if spread_ms > 0 {
+            t.rng.gen_range(0..spread_ms)
+        } else {
+            0
+        };
+        t.paused = false;
+        t.rearmed = true;
+        st.enqueue(self.id, due_ms.saturating_add(jitter).max(now));
+    }
 }
 
 #[cfg(test)]
@@ -856,6 +880,36 @@ mod tests {
         // are 50..=90ms apart (interval..interval+2*jitter given the
         // fixed-rate re-arm).
         assert!(a.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn jittered_one_shot_rearm_spreads_inside_the_window_reproducibly() {
+        let armed = |seed: u64| -> Vec<u64> {
+            let clock = Clock::simulated();
+            let sched = Scheduler::new(clock.clone());
+            sched.reseed(seed);
+            let mut dues = Vec::new();
+            for i in 0..8 {
+                let h = sched.dormant(format!("lease{i}"), || Ok(TaskControl::Continue));
+                h.reschedule_at_jittered(1_000, 500);
+                dues.push(h.next_due_ms().unwrap());
+            }
+            dues
+        };
+        let a = armed(7);
+        assert_eq!(a, armed(7), "same seed must reproduce the spread");
+        assert_ne!(a, armed(8), "different seeds must spread differently");
+        assert!(a.iter().all(|&d| (1_000..1_500).contains(&d)));
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "spread collapsed to one tick: {a:?}"
+        );
+        // Zero spread is the exact re-arm.
+        let clock = Clock::simulated();
+        let sched = Scheduler::new(clock);
+        let h = sched.dormant("exact", || Ok(TaskControl::Continue));
+        h.reschedule_at_jittered(2_000, 0);
+        assert_eq!(h.next_due_ms(), Some(2_000));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use drivolution::core::chunk::{delta_cost, ChunkManifest, ChunkingParams};
+use drivolution::core::chunk::{
+    cut_points, cut_points_cdc_norm, delta_cost, ChunkManifest, ChunkingParams,
+};
 use drivolution::core::entropy_blob as image;
 
 /// Bytes a client holding `v1` must fetch for `v2` under `params`.
@@ -73,6 +75,111 @@ proptest! {
                 "delete at {at}: cdc {cdc}B not well under fixed {fixed}B"
             );
         }
+    }
+
+    #[test]
+    fn normalized_cuts_respect_bounds_and_cover_for_arbitrary_params(
+        seed in any::<u64>(),
+        min in 64u32..2048,
+        avg_factor in 1u32..6,
+        max_factor in 1u32..6,
+        norm in 0u32..5,
+    ) {
+        // Arbitrary ordered (min, avg, max) at every normalization
+        // level: cuts must cover the input exactly, no chunk may
+        // exceed max, and only the final chunk may undercut min.
+        let (avg, max) = (min * avg_factor, min * avg_factor * max_factor);
+        let img = image(96 * 1024, seed);
+        let cuts = cut_points_cdc_norm(&img, min, avg, max, norm as u8);
+        prop_assert_eq!(*cuts.last().unwrap(), img.len());
+        let mut start = 0usize;
+        for (i, &end) in cuts.iter().enumerate() {
+            let len = end - start;
+            prop_assert!(end > start, "chunk {i} empty");
+            prop_assert!(len <= max as usize, "chunk {i} over max: {len}");
+            if end != img.len() {
+                prop_assert!(len >= min as usize, "chunk {i} under min: {len}");
+            }
+            start = end;
+        }
+    }
+
+    #[test]
+    fn normalized_cuts_are_position_independent_after_insertion(
+        seed in any::<u64>(),
+        pos_seed in any::<u32>(),
+        ins_len in 1usize..400,
+        norm in 0u32..4,
+    ) {
+        // Position independence: once re-synchronized past an edit,
+        // every later boundary is a pure function of content, so v2's
+        // tail cuts are exactly v1's tail cuts shifted by the inserted
+        // length — at every normalization level.
+        const MAX: usize = 16 * 1024;
+        let v1 = image(IMG_LEN, seed);
+        let at = pos_seed as usize % v1.len();
+        let mut v2 = v1.clone();
+        v2.splice(at..at, image(ins_len, seed ^ 0x7777));
+
+        let params = ChunkingParams::cdc_normalized(1024, 4096, MAX as u32, norm as u8);
+        let cuts1 = cut_points(&v1, &params);
+        let cuts2 = cut_points(&v2, &params);
+        // Resync is complete a few max-chunks past the edit on
+        // high-entropy data; compare the tails beyond that window.
+        let window = at + 6 * MAX + ins_len;
+        let tail1: Vec<usize> = cuts1
+            .iter()
+            .filter(|&&c| c + ins_len > window)
+            .map(|&c| c + ins_len)
+            .collect();
+        let tail2: Vec<usize> = cuts2.iter().filter(|&&c| c > window).copied().collect();
+        prop_assert_eq!(
+            tail1,
+            tail2,
+            "tail cuts disagree after insert {} at {} (norm {})",
+            ins_len,
+            at,
+            norm
+        );
+    }
+
+    #[test]
+    fn params_codec_roundtrips_including_legacy_frames(
+        min in 64u32..2048,
+        avg_factor in 1u32..6,
+        max_factor in 1u32..6,
+        norm in 0u32..9,
+        fixed_size in 256u32..65536,
+    ) {
+        use bytes::{BufMut, BytesMut};
+        let (avg, max) = (min * avg_factor, min * avg_factor * max_factor);
+        // Every structurally valid params value survives the wire.
+        for p in [
+            ChunkingParams::fixed(fixed_size),
+            ChunkingParams::cdc(min, avg, max),
+            ChunkingParams::cdc_normalized(min, avg, max, norm as u8),
+        ] {
+            let mut b = BytesMut::new();
+            p.encode_into(&mut b);
+            prop_assert_eq!(ChunkingParams::decode(&mut b.freeze()).unwrap(), p);
+        }
+        // A legacy plain-Gear frame (0-marker, three bounds) decodes as
+        // level 0, and a legacy bare fixed size decodes as Fixed.
+        let mut b = BytesMut::new();
+        b.put_u32_le(0);
+        b.put_u32_le(min);
+        b.put_u32_le(avg);
+        b.put_u32_le(max);
+        prop_assert_eq!(
+            ChunkingParams::decode(&mut b.freeze()).unwrap(),
+            ChunkingParams::cdc(min, avg, max)
+        );
+        let mut b = BytesMut::new();
+        b.put_u32_le(fixed_size);
+        prop_assert_eq!(
+            ChunkingParams::decode(&mut b.freeze()).unwrap(),
+            ChunkingParams::fixed(fixed_size)
+        );
     }
 
     #[test]

@@ -408,6 +408,72 @@ fn client_with_foreign_chunking_params_still_gets_delta_offers() {
 }
 
 #[test]
+fn mixed_fleet_legacy_gear_client_interops_with_normalized_server() {
+    // The server indexes under the normalized default (FastCDC-style
+    // dual masks, min-skip); one client still chunks with the previous
+    // generation's plain-Gear params (the exact legacy wire dialect its
+    // persisted depot was built under), another with the normalized
+    // default. Both must upgrade v1→v2 as small verifying deltas: the
+    // server derives the legacy client's manifest under its advertised
+    // level-0 params, boundary-for-boundary what the legacy chunker
+    // produces.
+    use drivolution::core::{ChunkingParams, DEFAULT_CDC_AVG, DEFAULT_CDC_MAX, DEFAULT_CDC_MIN};
+    let rig = rig();
+    let legacy = ChunkingParams::cdc(DEFAULT_CDC_MIN, DEFAULT_CDC_AVG, DEFAULT_CDC_MAX);
+    let normalized = ChunkingParams::default();
+    assert_ne!(legacy, normalized, "default no longer normalizes");
+
+    let mut fleet = Vec::new();
+    for (name, params) in [("legacy", legacy), ("normalized", normalized)] {
+        let depot = DriverDepot::with_params(params);
+        let boot = Bootloader::new(
+            &rig.net,
+            Addr::new(format!("app-{name}"), 1),
+            BootloaderConfig::same_host()
+                .trusting(rig.srv.certificate())
+                .with_depot(depot.clone()),
+        );
+        connect(&rig, &boot);
+        assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
+        fleet.push((name, params, depot, boot));
+    }
+
+    rig.srv
+        .install_driver(&padded_record(2, DriverVersion::new(2, 0, 10)))
+        .unwrap();
+    rig.srv.add_rule(&upgrade_rule()).unwrap();
+    rig.net.clock().advance_ms(4_000_000);
+
+    for (name, params, depot, boot) in &fleet {
+        let mark = rig.net.stats().for_addr(&rig.server_addr).bytes_out;
+        assert!(
+            matches!(boot.poll(), PollOutcome::Upgraded { .. }),
+            "{name} client failed to upgrade"
+        );
+        let moved = rig.net.stats().for_addr(&rig.server_addr).bytes_out - mark;
+        assert_eq!(
+            boot.stats().delta_downloads,
+            1,
+            "{name} client did not travel as a delta"
+        );
+        assert!(
+            moved < DRIVER_PADDING as u64 / 4,
+            "{name} delta moved {moved} bytes"
+        );
+        // The depot's assembled v2 verifies against a manifest derived
+        // locally under this client's own params — digests and
+        // boundaries agree with what the server served.
+        let have = depot.have_summary("orders").unwrap();
+        assert_eq!(have.params, *params, "{name} depot advertises its params");
+        let v2 = rig.srv.store().record(DriverId(2)).unwrap().binary.clone();
+        drivolution::core::ChunkManifest::of_with(&v2, params)
+            .verify(&depot.lookup(drivolution::core::fnv1a64(&v2)).unwrap())
+            .unwrap_or_else(|e| panic!("{name} assembled image fails verification: {e}"));
+    }
+    assert!(rig.srv.stats().delta_offers >= 2);
+}
+
+#[test]
 fn depotless_clients_are_unaffected_by_the_depot_rollout() {
     let rig = rig();
     let boot = Bootloader::new(

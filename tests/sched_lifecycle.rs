@@ -144,10 +144,14 @@ fn lease_timer_renews_and_upgrades_without_manual_polls() {
     assert_eq!(boot.active_version(), Some(DriverVersion::new(1, 0, 0)));
     let renew_at = boot.lease_task().unwrap().next_due_ms().unwrap();
     let granted_at = rig.net.clock().now_ms();
-    assert_eq!(
-        renew_at,
-        granted_at + 3_600_000 - 360_000,
-        "armed at the renew-due point, inside the lease — not at expiry"
+    // The timer arms inside the renewal window: at the renew-due point
+    // plus a seed-reproducible spread strictly under the margin, so the
+    // renewal always lands inside the lease, never at or past expiry.
+    let renew_due = granted_at + 3_600_000 - 360_000;
+    let expiry = granted_at + 3_600_000;
+    assert!(
+        (renew_due..expiry).contains(&renew_at),
+        "armed at {renew_at}, outside the renewal window [{renew_due}, {expiry})"
     );
 
     rig.srv
