@@ -62,6 +62,11 @@ pub struct BootStats {
     /// Maintenance passes executed (manual [`Bootloader::poll`] calls
     /// plus scheduler-task firings).
     pub polls: u64,
+    /// `ACTIVATION_REPORT`s sent after upgrades (when enabled).
+    pub activation_reports: u64,
+    /// Reports that carried a failure verdict (failed self-check or
+    /// failed install).
+    pub activation_failures: u64,
 }
 
 /// Per-source chunk-fetch statistics a bootloader keeps about each
@@ -354,6 +359,11 @@ impl Bootloader {
     /// measure the renewal burst the spread jitter is meant to flatten.
     pub fn take_renewal_times(&self) -> Vec<u64> {
         std::mem::take(&mut *self.renewal_times.lock())
+    }
+
+    /// The client's own network address.
+    pub fn local_addr(&self) -> &Addr {
+        &self.local
     }
 
     /// The zone this client's machine is placed in, if any.
@@ -971,10 +981,22 @@ impl Bootloader {
                         );
                         self.maybe_unload(ns.id);
                         self.stats.lock().upgrades += 1;
+                        if self.config.report_activation {
+                            let verdict = self.run_activation_check(new_ns);
+                            self.send_activation_report(&url, &offer, Some(to), verdict);
+                        }
                         PollOutcome::Upgraded { from, to }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         self.stats.lock().failed_renewals += 1;
+                        if self.config.report_activation {
+                            self.send_activation_report(
+                                &url,
+                                &offer,
+                                None,
+                                Err(format!("driver install failed: {e}")),
+                            );
+                        }
                         PollOutcome::KeptAfterFailure
                     }
                 }
@@ -991,6 +1013,50 @@ impl Bootloader {
                 PollOutcome::KeptAfterFailure
             }
         }
+    }
+
+    /// Runs the configured post-activation self-check against the
+    /// freshly activated namespace.
+    fn run_activation_check(&self, ns_id: NamespaceId) -> Result<(), String> {
+        let Some(check) = &self.config.activation_check else {
+            return Ok(());
+        };
+        match self.registry.get(ns_id) {
+            Some(ns) => check.run(&ns.image),
+            None => Err("no active driver after upgrade".to_string()),
+        }
+    }
+
+    /// Best-effort `ACTIVATION_REPORT`: tells the server how the upgrade
+    /// went so staged-rollout health gates have real signal. Transport
+    /// failures are swallowed — the report is advisory, never part of
+    /// the lease state machine.
+    fn send_activation_report(
+        &self,
+        url: &DbUrl,
+        offer: &DrvOffer,
+        version: Option<DriverVersion>,
+        verdict: Result<(), String>,
+    ) {
+        let (ok, detail) = match verdict {
+            Ok(()) => (true, String::new()),
+            Err(detail) => (false, detail),
+        };
+        {
+            let mut st = self.stats.lock();
+            st.activation_reports += 1;
+            if !ok {
+                st.activation_failures += 1;
+            }
+        }
+        let msg = DrvMsg::ActivationReport {
+            database: url.database().to_string(),
+            driver: offer.driver_id,
+            version,
+            ok,
+            detail,
+        };
+        let _ = self.exchange(url, msg);
     }
 
     fn apply_revoke(&self, ns: &Namespace) {

@@ -6,10 +6,41 @@ use std::time::Duration;
 use netsim::Addr;
 
 use drivolution_core::{
-    ApiVersion, BinaryFormat, ChannelTrust, DriverVersion, TransferMethod, TrustStore,
+    ApiVersion, BinaryFormat, ChannelTrust, DriverImage, DriverVersion, TransferMethod, TrustStore,
     DRIVOLUTION_PORT,
 };
 use drivolution_depot::DriverDepot;
+
+/// The function shape behind an [`ActivationCheck`].
+type CheckFn = dyn Fn(&DriverImage) -> Result<(), String> + Send + Sync;
+
+/// Post-activation self-check run after a driver upgrade: receives the
+/// freshly activated image and returns `Err(detail)` when the driver
+/// fails it. Harnesses inject activation regressions through this hook;
+/// real deployments could wire a connectivity probe.
+#[derive(Clone)]
+pub struct ActivationCheck(Arc<CheckFn>);
+
+impl ActivationCheck {
+    /// Wraps a check function.
+    pub fn new<F>(check: F) -> Self
+    where
+        F: Fn(&DriverImage) -> Result<(), String> + Send + Sync + 'static,
+    {
+        ActivationCheck(Arc::new(check))
+    }
+
+    /// Runs the check against an activated image.
+    pub fn run(&self, image: &DriverImage) -> Result<(), String> {
+        (self.0)(image)
+    }
+}
+
+impl std::fmt::Debug for ActivationCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ActivationCheck(..)")
+    }
+}
 
 /// How the bootloader finds a Drivolution server.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,6 +173,15 @@ pub struct BootloaderConfig {
     /// Scheduler-driven lifecycle tasks (upgrade polling, lease
     /// auto-renewal).
     pub lifecycle: LifecyclePolicy,
+    /// Send a best-effort `ACTIVATION_REPORT` to the server after each
+    /// driver upgrade (success or failure), feeding staged-rollout
+    /// health gates. Off by default: reports cost one extra message per
+    /// upgrade.
+    pub report_activation: bool,
+    /// Post-activation self-check; its verdict becomes the report's
+    /// `ok`/`detail`. `None` means upgrades that install and activate
+    /// count as successful.
+    pub activation_check: Option<ActivationCheck>,
 }
 
 impl BootloaderConfig {
@@ -192,6 +232,8 @@ impl BootloaderConfig {
             lazy_extension_fetch: false,
             depot: None,
             lifecycle: LifecyclePolicy::default(),
+            report_activation: false,
+            activation_check: None,
         }
     }
 
@@ -242,6 +284,21 @@ impl BootloaderConfig {
     /// Sets the lifecycle-task policy.
     pub fn with_lifecycle(mut self, lifecycle: LifecyclePolicy) -> Self {
         self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Enables best-effort activation reports after driver upgrades.
+    pub fn with_activation_reports(mut self) -> Self {
+        self.report_activation = true;
+        self
+    }
+
+    /// Installs a post-activation self-check (see [`ActivationCheck`]).
+    pub fn with_activation_check<F>(mut self, check: F) -> Self
+    where
+        F: Fn(&DriverImage) -> Result<(), String> + Send + Sync + 'static,
+    {
+        self.activation_check = Some(ActivationCheck::new(check));
         self
     }
 

@@ -28,6 +28,6 @@ mod managed;
 mod tracker;
 
 pub use bootloader::{BootStats, Bootloader, MirrorFetchStats, PollOutcome};
-pub use config::{BootloaderConfig, LifecyclePolicy, ServerLocator};
+pub use config::{ActivationCheck, BootloaderConfig, LifecyclePolicy, ServerLocator};
 pub use managed::ManagedConnection;
 pub use tracker::ConnectionTracker;

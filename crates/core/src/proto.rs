@@ -484,6 +484,24 @@ pub enum DrvMsg {
         /// was evicted or the server restarted): re-announce.
         known: bool,
     },
+    /// `ACTIVATION_REPORT` — a bootloader's best-effort report that it
+    /// activated (or failed to activate) a freshly offered driver. Rollout
+    /// health gates aggregate these per wave; servers without an active
+    /// rollout just count them.
+    ActivationReport {
+        /// Database the driver serves.
+        database: String,
+        /// The driver the client tried to activate.
+        driver: DriverId,
+        /// Version of that driver, if the client knows it.
+        version: Option<DriverVersion>,
+        /// `true` when the driver loaded and activated cleanly.
+        ok: bool,
+        /// Plain-text failure detail (empty on success).
+        detail: String,
+    },
+    /// `ACTIVATION_ACK` — the server's answer to an activation report.
+    ActivationAck,
 }
 
 fn put_req(b: &mut BytesMut, r: &DrvRequest) {
@@ -771,6 +789,21 @@ impl DrvMsg {
                 b.put_u8(12);
                 b.put_u8(u8::from(*known));
             }
+            DrvMsg::ActivationReport {
+                database,
+                driver,
+                version,
+                ok,
+                detail,
+            } => {
+                b.put_u8(13);
+                put_str(&mut b, database);
+                b.put_i64_le(driver.0);
+                put_opt_str(&mut b, version.map(|v| v.to_string()).as_deref());
+                b.put_u8(u8::from(*ok));
+                put_str(&mut b, detail);
+            }
+            DrvMsg::ActivationAck => b.put_u8(14),
         }
         b.freeze()
     }
@@ -863,6 +896,16 @@ impl DrvMsg {
             12 => Ok(DrvMsg::MirrorAck {
                 known: get_u8(&mut buf, "mirror ack")? != 0,
             }),
+            13 => Ok(DrvMsg::ActivationReport {
+                database: get_str(&mut buf, "activation database")?,
+                driver: DriverId(get_i64(&mut buf, "activation driver")?),
+                version: get_opt_str(&mut buf, "activation version")?
+                    .map(|s| s.parse::<DriverVersion>())
+                    .transpose()?,
+                ok: get_u8(&mut buf, "activation ok")? != 0,
+                detail: get_str(&mut buf, "activation detail")?,
+            }),
+            14 => Ok(DrvMsg::ActivationAck),
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
     }
@@ -1089,6 +1132,21 @@ mod tests {
             },
             DrvMsg::MirrorAck { known: true },
             DrvMsg::MirrorAck { known: false },
+            DrvMsg::ActivationReport {
+                database: "orders".into(),
+                driver: DriverId(2),
+                version: Some(DriverVersion::new(2, 0, 0)),
+                ok: true,
+                detail: String::new(),
+            },
+            DrvMsg::ActivationReport {
+                database: "orders".into(),
+                driver: DriverId(2),
+                version: None,
+                ok: false,
+                detail: "load failed: bad symbol".into(),
+            },
+            DrvMsg::ActivationAck,
         ];
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");

@@ -29,6 +29,13 @@ pub struct ContentIndex {
     /// chunk maps (and burn a re-chunk per request) without limit.
     derived_params: Mutex<std::collections::HashSet<ChunkingParams>>,
     chunks: Mutex<HashMap<u64, Bytes>>,
+    /// Memoized delta plans keyed by (target digest, digest of the
+    /// client's advertised chunk set, params). A fleet wave of clients
+    /// upgrading from the same prior version advertises byte-identical
+    /// `HAVE` chunk lists, so the whole wave shares one plan computation.
+    plans: Mutex<HashMap<(u64, u64, ChunkingParams), DeltaPlan>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 /// Cap on distinct chunking params an index derives manifests for. Real
@@ -36,6 +43,34 @@ pub struct ContentIndex {
 /// client generation); beyond the cap, foreign params fall back to a
 /// full-file transfer instead of growing server state.
 const MAX_DERIVED_PARAMS: usize = 8;
+
+/// Cap on memoized delta plans. Like [`MAX_DERIVED_PARAMS`], the key is
+/// client-influenced (the `HAVE` chunk set), so a hostile client cycling
+/// fabricated summaries must not grow server state without bound. Past
+/// the cap, new plans are computed per request but not stored — the
+/// attacker burns only its own round-trips.
+const MAX_DELTA_PLANS: usize = 64;
+
+/// A memoized chunked-delta plan: the manifest of the target image under
+/// the client's params, and the chunk digests a client holding the keyed
+/// `HAVE` set still needs.
+#[derive(Clone, Debug)]
+pub struct DeltaPlan {
+    /// Manifest of the target image under the requesting params.
+    pub manifest: ChunkManifest,
+    /// Digests the client must fetch.
+    pub missing: Vec<u64>,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn digest_of_set(chunks: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(chunks.len() * 8);
+    for d in chunks {
+        bytes.extend_from_slice(&d.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
 
 impl ContentIndex {
     /// Creates an empty index.
@@ -112,6 +147,44 @@ impl ContentIndex {
             .lock()
             .insert((digest, *params), manifest.clone());
         Some(manifest)
+    }
+
+    /// Memoized chunked-delta plan for upgrading a client that holds
+    /// `have_chunks` to the image at `digest`, under the client's
+    /// `params`. The first request from a given `(target, base, params)`
+    /// computes the plan (deriving the manifest if needed); every later
+    /// request with the same key — the common case inside one rollout
+    /// wave — is a cache hit. Returns the plan and whether it was served
+    /// from cache; `None` where [`manifest_for`](Self::manifest_for)
+    /// would return `None`.
+    pub fn delta_plan(
+        &self,
+        digest: u64,
+        params: &ChunkingParams,
+        have_chunks: &[u64],
+    ) -> Option<(DeltaPlan, bool)> {
+        let key = (digest, digest_of_set(have_chunks), *params);
+        if let Some(plan) = self.plans.lock().get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((plan.clone(), true));
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let manifest = self.manifest_for(digest, params)?;
+        let missing = manifest.missing_given(have_chunks);
+        let plan = DeltaPlan { manifest, missing };
+        let mut plans = self.plans.lock();
+        if plans.len() < MAX_DELTA_PLANS || plans.contains_key(&key) {
+            plans.insert(key, plan.clone());
+        }
+        Some((plan, false))
+    }
+
+    /// (hits, misses) of the delta-plan memo since creation.
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Chunk bytes by chunk digest.
@@ -232,6 +305,49 @@ mod tests {
         // ...while already-derived params keep being served from cache.
         assert!(idx.manifest_for(d, &ChunkingParams::fixed(512)).is_some());
         assert!(idx.manifest_for(d, &ChunkingParams::default()).is_some());
+    }
+
+    #[test]
+    fn delta_plans_are_memoized_per_base_and_bounded() {
+        let idx = ContentIndex::new();
+        let params = ChunkingParams::fixed(1024);
+        let v1 = image(8192, 5);
+        let mut v2_bytes = v1.to_vec();
+        v2_bytes[0] ^= 0xff;
+        let v2 = Bytes::from(v2_bytes);
+        let d1 = idx.insert(v1, &params);
+        let d2 = idx.insert(v2, &params);
+        let base = idx.manifest(d1).unwrap().chunks;
+
+        // A wave of clients on the same base: one miss, then hits.
+        let (plan, hit) = idx.delta_plan(d2, &params, &base).unwrap();
+        assert!(!hit);
+        assert_eq!(plan.missing.len(), 1);
+        for _ in 0..9 {
+            let (again, hit) = idx.delta_plan(d2, &params, &base).unwrap();
+            assert!(hit);
+            assert_eq!(again.missing, plan.missing);
+        }
+        assert_eq!(idx.plan_counters(), (9, 1));
+
+        // A different base is a distinct plan (fresh miss).
+        let (cold, hit) = idx.delta_plan(d2, &params, &base[..2]).unwrap();
+        assert!(!hit);
+        // v2 differs from v1 only in chunk 0: of its 8 chunks, only
+        // base[1] is already held.
+        assert_eq!(cold.missing.len(), 7);
+
+        // A hostile client cycling fabricated HAVE sets cannot grow the
+        // memo past its cap — extra plans are computed but not stored.
+        for i in 0..(MAX_DELTA_PLANS as u64 + 50) {
+            let fake = vec![0xbad0_0000 + i];
+            let (p, hit) = idx.delta_plan(d2, &params, &fake).unwrap();
+            assert!(!hit);
+            assert_eq!(p.missing.len(), 8);
+        }
+        assert!(idx.plans.lock().len() <= MAX_DELTA_PLANS);
+        // Unknown digests yield no plan (and no stored entry).
+        assert!(idx.delta_plan(d2 ^ 1, &params, &base).is_none());
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod index;
 mod mirror;
 
 pub use depot::{DepotStats, DriverDepot};
-pub use index::ContentIndex;
+pub use index::{ContentIndex, DeltaPlan};
 pub use mirror::{MirrorDepot, MirrorStats, MirrorTiming};
 
 /// Parses a `host:port` mirror location (as carried in

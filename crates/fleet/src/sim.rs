@@ -12,7 +12,7 @@
 //! read straight off the task error counters
 //! ([`FleetSim::mirror_heartbeat_failures`]) instead of being swallowed.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use netsim::{Addr, Network};
@@ -24,7 +24,10 @@ use drivolution_core::{
     PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
 };
 use drivolution_depot::{DriverDepot, MirrorDepot};
-use drivolution_server::{attach_in_database, DrivolutionServer, ServerConfig};
+use drivolution_server::{
+    attach_in_database, DrivolutionServer, RolloutConfig, RolloutOrchestrator, RolloutPlan,
+    ServerConfig,
+};
 use minidb::wire::DbServer;
 use minidb::MiniDb;
 
@@ -58,6 +61,11 @@ pub struct FleetSim {
     mirrors: Vec<Arc<MirrorDepot>>,
     url: DbUrl,
     lease_ms: u64,
+    /// When set, activation-checking clients fail their post-activation
+    /// self-check for exactly this driver version (the injected
+    /// regression of the rollout benchmarks). Only clients built by
+    /// [`FleetSim::build_rollout`] wire the check.
+    faulty_version: Arc<Mutex<Option<DriverVersion>>>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -165,7 +173,39 @@ impl FleetSim {
             mirrors: Vec::new(),
             url: DbUrl::direct(Addr::new("db1", 5432), "fleetdb"),
             lease_ms,
+            faulty_version: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Builds a fleet wired for staged rollouts: every client carries a
+    /// depot (so rollbacks revalidate with zero transfer), sends
+    /// activation reports after upgrades (so health gates have signal),
+    /// and runs a post-activation self-check that fails whenever the
+    /// activated version matches the injected
+    /// [`FleetSim::inject_activation_fault`] target.
+    pub fn build_rollout(n_clients: usize, lease_ms: u64, driver_padding: usize) -> Self {
+        let mut sim = Self::build_with_driver_size(0, lease_ms, false, driver_padding);
+        for i in 0..n_clients {
+            let faulty = sim.faulty_version.clone();
+            let config = BootloaderConfig::same_host()
+                .with_lifecycle(LifecyclePolicy::driven(DEFAULT_POLL_EVERY))
+                .with_depot(DriverDepot::in_memory())
+                .with_activation_reports()
+                .with_activation_check(move |image| {
+                    match *faulty.lock().expect("fault switch poisoned") {
+                        Some(v) if image.version == v => {
+                            Err("injected activation regression".to_string())
+                        }
+                        _ => Ok(()),
+                    }
+                });
+            sim.clients.push(Bootloader::new(
+                &sim.net,
+                Addr::new(format!("app{i:04}"), 1),
+                config,
+            ));
+        }
+        sim
     }
 
     /// Builds a CDN-style multi-zone fleet: the database (and primary
@@ -297,6 +337,55 @@ impl FleetSim {
         }
     }
 
+    /// Injects (or clears) the activation regression: rollout-built
+    /// clients fail their post-activation self-check for `version` from
+    /// now on. Clients that already activated it are unaffected — the
+    /// regression surfaces through the *next* wave's reports, exactly
+    /// like a latent driver bug.
+    pub fn inject_activation_fault(&self, version: Option<DriverVersion>) {
+        *self.faulty_version.lock().expect("fault switch poisoned") = version;
+    }
+
+    /// Publishes driver `id` at `version` *alongside* the previous
+    /// driver: both stay permitted (the new one under
+    /// [`RenewPolicy::Upgrade`]), which is the precondition for a staged
+    /// rollout — held-back and rolled-back clients must still be able to
+    /// renew (and re-download) the prior version.
+    pub fn publish_staged(&self, id: i64, version: DriverVersion, driver_padding: usize) {
+        self.server
+            .install_driver(&record(id, id as u16, version, driver_padding))
+            .unwrap();
+        self.server
+            .add_rule(
+                &PermissionRule::any(DriverId(id))
+                    .with_lease_ms(self.lease_ms as i64)
+                    .with_transfer(TransferMethod::Any)
+                    .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
+            )
+            .unwrap();
+    }
+
+    /// Partitions the fleet per `plan`, launches a
+    /// [`RolloutOrchestrator`] driving `from → to` on the network's
+    /// scheduler, and attaches it to the server so offers become
+    /// version-targeted per wave membership.
+    pub fn start_rollout(
+        &self,
+        from: DriverId,
+        to: DriverId,
+        plan: &RolloutPlan,
+        config: RolloutConfig,
+    ) -> Arc<RolloutOrchestrator> {
+        let hosts: Vec<String> = self
+            .clients
+            .iter()
+            .map(|c| c.local_addr().host().to_string())
+            .collect();
+        let ro = RolloutOrchestrator::launch(&self.net, "fleetdb", from, to, &hosts, plan, config);
+        self.server.attach_rollout(ro.clone());
+        ro
+    }
+
     /// Publishes driver v2 and routes the fleet to it. With `push`, also
     /// notifies dedicated channels.
     pub fn publish_upgrade(&self, push: bool) {
@@ -330,12 +419,15 @@ impl FleetSim {
 
     /// Fraction of clients running `version`.
     pub fn fraction_on(&self, version: DriverVersion) -> f64 {
-        let n = self
-            .clients
+        self.count_on(version) as f64 / self.clients.len().max(1) as f64
+    }
+
+    /// Number of clients running `version`.
+    pub fn count_on(&self, version: DriverVersion) -> usize {
+        self.clients
             .iter()
             .filter(|c| c.active_version() == Some(version))
-            .count();
-        n as f64 / self.clients.len().max(1) as f64
+            .count()
     }
 
     /// Pumps the scheduler in `step_ms` increments — client poll tasks,
@@ -344,11 +436,22 @@ impl FleetSim {
     /// elapses. No manual poll or heartbeat call anywhere: the fleet's
     /// entire lifecycle is scheduler ticks.
     pub fn run_until_upgraded(&self, step_ms: u64, max_ms: u64) -> PropagationResult {
+        self.run_until_on(DriverVersion::new(2, 0, 0), step_ms, max_ms)
+    }
+
+    /// As [`FleetSim::run_until_upgraded`] for an arbitrary target
+    /// version — staged rollouts also converge *backwards* (onto the
+    /// prior version after a halt), which this measures the same way.
+    pub fn run_until_on(
+        &self,
+        target: DriverVersion,
+        step_ms: u64,
+        max_ms: u64,
+    ) -> PropagationResult {
         let start = self.net.clock().now_ms();
         let base_stats = self.net.stats().for_addr(&self.drv_addr);
         let base_polls = self.total_polls();
         let base_failures = self.total_mirror_failures();
-        let target = DriverVersion::new(2, 0, 0);
         while self.fraction_on(target) < 1.0 {
             let now = self.net.clock().now_ms();
             if now - start >= max_ms {
@@ -483,6 +586,85 @@ mod tests {
         // And the failure is identifiable, not just countable.
         let task = sim.mirrors()[0].heartbeat_task().unwrap();
         assert!(task.last_error().is_some());
+    }
+
+    #[test]
+    fn staged_rollout_completes_wave_by_wave() {
+        use drivolution_server::RolloutPhase;
+        let sim = FleetSim::build_rollout(10, 5 * MINUTE, 0);
+        sim.bootstrap_all();
+        sim.publish_staged(2, DriverVersion::new(2, 0, 0), 0);
+        let ro = sim.start_rollout(
+            DriverId(1),
+            DriverId(2),
+            &RolloutPlan {
+                canary: 1,
+                wave_pcts: vec![20, 30],
+            },
+            RolloutConfig {
+                evaluate_every: Duration::from_secs(30),
+                observe: Duration::from_secs(8 * 60),
+                min_reports: 1,
+                ..RolloutConfig::default()
+            },
+        );
+        let r = sim.run_until_on(DriverVersion::new(2, 0, 0), MINUTE, 4 * 60 * MINUTE);
+        assert_eq!(sim.count_on(DriverVersion::new(2, 0, 0)), 10);
+        // The last wave still has to sit out its observation window
+        // before its gate can pass.
+        sim.run_steady_state(MINUTE, 10 * MINUTE);
+        let st = ro.status();
+        assert_eq!(st.phase, RolloutPhase::Complete);
+        // Waves opened strictly in order, one observation window apart.
+        let opens: Vec<u64> = st.waves.iter().map(|w| w.opened_at_ms.unwrap()).collect();
+        assert!(opens.windows(2).all(|w| w[0] < w[1]), "{opens:?}");
+        assert!(r.time_to_full_upgrade_ms > 0);
+        // Every wave's members reported successful activation.
+        assert_eq!(st.waves.iter().map(|w| w.ok).sum::<usize>(), 10);
+        assert_eq!(st.waves.iter().map(|w| w.err).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn injected_regression_halts_and_rolls_the_fleet_back() {
+        use drivolution_server::RolloutPhase;
+        let sim = FleetSim::build_rollout(10, 5 * MINUTE, 0);
+        sim.bootstrap_all();
+        sim.publish_staged(2, DriverVersion::new(2, 0, 0), 0);
+        // The regression is live from the start: the canary is the blast
+        // radius.
+        sim.inject_activation_fault(Some(DriverVersion::new(2, 0, 0)));
+        let ro = sim.start_rollout(
+            DriverId(1),
+            DriverId(2),
+            &RolloutPlan {
+                canary: 1,
+                wave_pcts: vec![20, 30],
+            },
+            RolloutConfig {
+                evaluate_every: Duration::from_secs(30),
+                observe: Duration::from_secs(8 * 60),
+                min_reports: 1,
+                ..RolloutConfig::default()
+            },
+        );
+        // Pump: the canary upgrades at its next renewal, fails its
+        // self-check, the gate trips, and the canary rolls back at the
+        // renewal after that.
+        sim.run_steady_state(MINUTE, 30 * MINUTE);
+        let st = ro.status();
+        assert!(
+            matches!(st.phase, RolloutPhase::RolledBack { failed_wave: 0 }),
+            "{st:?}"
+        );
+        assert_eq!(
+            sim.count_on(DriverVersion::new(1, 0, 0)),
+            10,
+            "no stranded clients"
+        );
+        assert_eq!(sim.count_on(DriverVersion::new(2, 0, 0)), 0);
+        // Only the canary ever activated the bad driver.
+        assert_eq!(st.waves[0].err, 1);
+        assert_eq!(st.waves.iter().map(|w| w.ok + w.err).sum::<usize>(), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! address. The `lease_tradeoff` benchmark reads these counters.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -33,6 +34,8 @@ pub struct AddrStats {
 #[derive(Debug, Default)]
 pub struct NetStats {
     inner: Mutex<HashMap<Addr, AddrStats>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl NetStats {
@@ -67,6 +70,27 @@ impl NetStats {
         m.entry(to.clone()).or_default().bytes_saved += saved as u64;
     }
 
+    /// Records a delta-plan cache hit on a server's memoized plan table.
+    /// Like [`record_saved`](Self::record_saved), this is reported by the
+    /// distribution subsystem, not the network core.
+    pub fn record_plan_hit(&self) {
+        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delta-plan cache miss (a plan computed from scratch).
+    pub fn record_plan_miss(&self) {
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// (hits, misses) of server delta-plan memoization since creation
+    /// (or the last [`reset`](Self::reset)).
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Counters for one destination address (zeroes if never contacted).
     pub fn for_addr(&self, addr: &Addr) -> AddrStats {
         self.inner.lock().get(addr).cloned().unwrap_or_default()
@@ -89,6 +113,8 @@ impl NetStats {
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.plan_hits.store(0, Ordering::Relaxed);
+        self.plan_misses.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot of every per-address counter, sorted by address.
@@ -135,8 +161,12 @@ mod tests {
     fn reset_clears() {
         let s = NetStats::new();
         s.record_request(&Addr::new("a", 1), 1);
+        s.record_plan_hit();
+        s.record_plan_miss();
+        assert_eq!(s.plan_counters(), (1, 1));
         s.reset();
         assert_eq!(s.totals(), AddrStats::default());
+        assert_eq!(s.plan_counters(), (0, 0));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod assemble;
 pub mod directory;
 pub mod license;
 pub mod notify;
+pub mod rollout;
 pub mod server;
 pub mod store;
 pub mod variants;
@@ -30,6 +31,10 @@ pub use assemble::Assembler;
 pub use directory::{DirectoryConfig, MirrorDirectory, MirrorEntry, MirrorHealth};
 pub use license::LicenseManager;
 pub use notify::NotifyHub;
+pub use rollout::{
+    partition, RolloutConfig, RolloutOrchestrator, RolloutPhase, RolloutPlan, RolloutStatus,
+    WaveStatus,
+};
 pub use server::{AdminEvent, DrivolutionServer, MatchPath, ServerConfig, ServerStats};
 pub use store::{DriverStore, EmbeddedExec, RemoteExec, SqlExec};
 pub use variants::{attach_in_database, launch_external, launch_standalone};

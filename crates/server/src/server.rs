@@ -9,7 +9,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use netsim::{Addr, Clock, NetError, Pipe, Service};
+use netsim::{Addr, Clock, NetError, Network, Pipe, Service};
 
 use drivolution_core::chunk::ChunkSet;
 use drivolution_core::matching::{self, MatchMode};
@@ -21,12 +21,13 @@ use drivolution_core::{
     DrvError, DrvNotice, DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey,
     TransferMethod,
 };
-use drivolution_depot::ContentIndex;
+use drivolution_depot::{ContentIndex, DeltaPlan};
 
 use crate::assemble::Assembler;
 use crate::directory::{DirectoryConfig, MirrorDirectory};
 use crate::license::LicenseManager;
 use crate::notify::NotifyHub;
+use crate::rollout::RolloutOrchestrator;
 use crate::store::DriverStore;
 
 /// Which matchmaking implementation the server uses.
@@ -125,6 +126,14 @@ pub struct ServerStats {
     pub mirror_announces: u64,
     /// `MIRROR_HEARTBEAT`s handled.
     pub mirror_heartbeats: u64,
+    /// `ACTIVATION_REPORT`s handled.
+    pub activation_reports: u64,
+    /// Failed activations among the reports.
+    pub activation_failures: u64,
+    /// Delta offers answered from the memoized plan cache.
+    pub plan_hits: u64,
+    /// Delta plans computed from scratch (cache misses).
+    pub plan_misses: u64,
 }
 
 #[derive(Debug)]
@@ -166,6 +175,10 @@ pub struct DrivolutionServer {
     depot: ContentIndex,
     directory: MirrorDirectory,
     stats: Mutex<ServerStats>,
+    rollout: Mutex<Option<Arc<RolloutOrchestrator>>>,
+    /// Network handle for forwarding plan-cache counters into
+    /// [`netsim::NetStats`]; attached by the deployment variants.
+    net: Mutex<Option<Network>>,
     hooks: Mutex<Vec<EventHook>>,
     /// When true, admin operations skip event hooks (used while applying
     /// replicated events to avoid loops).
@@ -212,6 +225,8 @@ impl DrivolutionServer {
             depot: ContentIndex::new(),
             directory,
             stats: Mutex::new(ServerStats::default()),
+            rollout: Mutex::new(None),
+            net: Mutex::new(None),
             hooks: Mutex::new(Vec::new()),
             applying_replica: std::sync::atomic::AtomicBool::new(false),
         }
@@ -277,6 +292,32 @@ impl DrivolutionServer {
     /// `MIRROR_ANNOUNCE` instead and get the full health lifecycle.
     pub fn register_mirror(&self, location: impl Into<String>) {
         self.directory.announce(&location.into(), None, true);
+    }
+
+    /// Attaches a staged-rollout orchestrator. While attached, every
+    /// request touching one of its two managed drivers is resolved
+    /// through [`RolloutOrchestrator::resolve`], so offers are
+    /// version-targeted per wave membership and a halted rollout rolls
+    /// clients back on their next renewal.
+    pub fn attach_rollout(&self, rollout: Arc<RolloutOrchestrator>) {
+        *self.rollout.lock() = Some(rollout);
+    }
+
+    /// Detaches the current rollout orchestrator, if any.
+    pub fn detach_rollout(&self) -> Option<Arc<RolloutOrchestrator>> {
+        self.rollout.lock().take()
+    }
+
+    /// The attached rollout orchestrator, if any.
+    pub fn rollout(&self) -> Option<Arc<RolloutOrchestrator>> {
+        self.rollout.lock().clone()
+    }
+
+    /// Attaches the network whose [`netsim::NetStats`] should mirror the
+    /// server's delta-plan cache counters. The deployment variants call
+    /// this automatically.
+    pub fn attach_network(&self, net: Network) {
+        *self.net.lock() = Some(net);
     }
 
     /// Subscribes to admin events (replication hook).
@@ -556,8 +597,30 @@ impl DrivolutionServer {
                     && have.params.delta_safe()
                     && !have.chunks.is_empty()
                 {
-                    if let Some(manifest) = self.depot.manifest_for(content_digest, &have.params) {
-                        let missing = manifest.missing_given(&have.chunks);
+                    // The plan (manifest derivation + missing-chunk set) is
+                    // memoized in the content index, so a fleet-wide wave
+                    // of clients on the same prior version computes it
+                    // once instead of per client.
+                    if let Some((plan, hit)) =
+                        self.depot
+                            .delta_plan(content_digest, &have.params, &have.chunks)
+                    {
+                        {
+                            let mut st = self.stats.lock();
+                            if hit {
+                                st.plan_hits += 1;
+                            } else {
+                                st.plan_misses += 1;
+                            }
+                        }
+                        if let Some(net) = self.net.lock().as_ref() {
+                            if hit {
+                                net.stats().record_plan_hit();
+                            } else {
+                                net.stats().record_plan_miss();
+                            }
+                        }
+                        let DeltaPlan { manifest, missing } = plan;
                         if missing.len() < manifest.chunk_count() {
                             // Candidates are ranked for *this* delta:
                             // mirrors already holding the missing chunks
@@ -662,6 +725,32 @@ impl DrivolutionServer {
 
         let (mut record, mut rule) = self.find_match(&q)?;
 
+        // Staged rollout: when an orchestrator governs this database and
+        // the matched driver is one of its two managed versions, the
+        // orchestrator decides which version this host should run right
+        // now. Swapping the matched record *before* the renewal logic
+        // means wave-gated upgrades and post-halt rollbacks both fall out
+        // of the ordinary Table-4 path below.
+        let mut rollout_managed = false;
+        if let Some(ro) = self.rollout.lock().clone() {
+            if ro.database() == req.database && ro.manages(record.id) {
+                rollout_managed = true;
+                let target = ro.resolve(from.host());
+                if target != record.id {
+                    if let Ok(target_rec) = self.store.record(target) {
+                        let target_rule = self
+                            .store
+                            .permitted_driver_ids(&q.identity)?
+                            .into_iter()
+                            .find(|(id, _)| *id == target)
+                            .map(|(_, r)| r);
+                        record = target_rec;
+                        rule = target_rule.or(rule);
+                    }
+                }
+            }
+        }
+
         // Renewal logic (Table 4).
         let same_driver = match &req.kind {
             RequestKind::Renewal { current } => {
@@ -680,6 +769,13 @@ impl DrivolutionServer {
                     RenewPolicy::Renew => {
                         if record.id == *current {
                             true
+                        } else if rollout_managed {
+                            // The rollout control plane is authoritative
+                            // for its managed drivers: a keep-current
+                            // RENEW rule must not pin a client to a
+                            // version the orchestrator rolled forward or
+                            // back.
+                            false
                         } else if let Some((cur_rec, cur_rule)) =
                             self.current_still_granted(&q, *current)?
                         {
@@ -812,6 +908,27 @@ impl DrivolutionServer {
                     coverage,
                 );
                 Ok(DrvMsg::MirrorAck { known })
+            }
+            DrvMsg::ActivationReport {
+                database,
+                driver,
+                version: _,
+                ok,
+                detail: _,
+            } => {
+                {
+                    let mut st = self.stats.lock();
+                    st.activation_reports += 1;
+                    if !ok {
+                        st.activation_failures += 1;
+                    }
+                }
+                if let Some(ro) = self.rollout.lock().clone() {
+                    if ro.database() == *database {
+                        ro.report_activation(from.host(), *driver, *ok);
+                    }
+                }
+                Ok(DrvMsg::ActivationAck)
             }
             other => Err(DrvError::Codec(format!(
                 "unexpected client message {other:?}"
@@ -1440,6 +1557,69 @@ mod tests {
             assert_eq!(plan.mirrors[0].location, want_first, "zone {zone}");
             assert_eq!(plan.mirrors.len(), 2);
         }
+    }
+
+    #[test]
+    fn rollout_orchestrator_targets_offers_per_wave_and_takes_reports() {
+        use crate::rollout::{RolloutConfig, RolloutOrchestrator, RolloutPlan};
+
+        let (srv, clock) = server_with(ServerConfig {
+            default_renew: RenewPolicy::Upgrade,
+            ..ServerConfig::default()
+        });
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))
+            .unwrap();
+        let hosts: Vec<String> = (0..4).map(|i| format!("host{i}")).collect();
+        let ro = Arc::new(RolloutOrchestrator::new(
+            clock.clone(),
+            "orders",
+            DriverId(1),
+            DriverId(2),
+            &hosts,
+            &RolloutPlan {
+                canary: 1,
+                wave_pcts: vec![50],
+            },
+            RolloutConfig::default(),
+        ));
+        srv.attach_rollout(ro.clone());
+
+        // Only the canary's renewal upgrades; the rest keep driver 1 even
+        // though driver 2 matches first.
+        let renew = |host: &str| {
+            let mut req = bootstrap_req();
+            req.kind = RequestKind::Renewal {
+                current: DriverId(1),
+            };
+            expect_offer(srv.handle(&Addr::new(host, 9), DrvMsg::Request(req)))
+        };
+        let canary_offer = renew("host0");
+        assert_eq!(canary_offer.driver_id, DriverId(2));
+        assert!(!canary_offer.same_driver);
+        let held_offer = renew("host3");
+        assert_eq!(held_offer.driver_id, DriverId(1));
+        assert!(held_offer.same_driver, "held-back host renews in place");
+
+        // The canary's activation report lands in the orchestrator and
+        // the counters.
+        let ack = srv.handle(
+            &Addr::new("host0", 9),
+            DrvMsg::ActivationReport {
+                database: "orders".into(),
+                driver: DriverId(2),
+                version: Some(DriverVersion::new(2, 0, 0)),
+                ok: true,
+                detail: String::new(),
+            },
+        );
+        assert_eq!(ack, DrvMsg::ActivationAck);
+        assert_eq!(ro.status().waves[0].ok, 1);
+        let st = srv.stats();
+        assert_eq!(st.activation_reports, 1);
+        assert_eq!(st.activation_failures, 0);
+        srv.detach_rollout();
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub fn attach_in_database(
         net.clock().clone(),
         config,
     ));
+    srv.attach_network(net.clone());
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)
@@ -76,6 +77,7 @@ pub fn launch_external(
         net.clock().clone(),
         config,
     ));
+    srv.attach_network(net.clone());
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)
@@ -105,6 +107,7 @@ pub fn launch_standalone(
         net.clock().clone(),
         config,
     ));
+    srv.attach_network(net.clone());
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)

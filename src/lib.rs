@@ -80,7 +80,8 @@ pub mod prelude {
     };
     pub use drivolution_depot::{DriverDepot, MirrorDepot, MirrorTiming};
     pub use drivolution_server::{
-        attach_in_database, launch_external, launch_standalone, DrivolutionServer, ServerConfig,
+        attach_in_database, launch_external, launch_standalone, DrivolutionServer, RolloutConfig,
+        RolloutOrchestrator, RolloutPhase, RolloutPlan, ServerConfig,
     };
     pub use minidb::{wire::DbServer, MiniDb, Value};
     pub use netsim::{Addr, Clock, Network, Scheduler, TaskControl, TaskHandle};

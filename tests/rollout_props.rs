@@ -1,0 +1,79 @@
+//! Property tests for staged-rollout wave partitioning: whatever the
+//! fleet and whatever the wave schedule, every client lands in exactly
+//! one wave — no host skipped (stranded on the old version forever) and
+//! no host double-counted (polluting two waves' health gates).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use drivolution::server::{partition, RolloutPlan};
+
+fn arb_hosts() -> impl Strategy<Value = Vec<String>> {
+    // Duplicates on purpose: a fleet census can list a host twice
+    // (reconnects, multiple leases) and partitioning must dedupe.
+    prop::collection::vec("h[0-9]{1,3}", 0..120)
+}
+
+fn arb_plan() -> impl Strategy<Value = RolloutPlan> {
+    (0..5usize, prop::collection::vec(0..150u32, 0..6))
+        .prop_map(|(canary, wave_pcts)| RolloutPlan { canary, wave_pcts })
+}
+
+proptest! {
+    #[test]
+    fn every_host_lands_in_exactly_one_wave(hosts in arb_hosts(), plan in arb_plan()) {
+        let unique: HashSet<&String> = hosts.iter().collect();
+        let waves = partition(&hosts, &plan);
+
+        let mut seen: HashSet<&String> = HashSet::new();
+        for wave in &waves {
+            prop_assert!(!wave.is_empty(), "empty waves must be dropped");
+            for host in wave {
+                prop_assert!(
+                    seen.insert(host),
+                    "host {host} appears in more than one wave"
+                );
+            }
+        }
+        prop_assert_eq!(
+            seen.len(),
+            unique.len(),
+            "partition covered {} of {} unique hosts",
+            seen.len(),
+            unique.len()
+        );
+        for host in &unique {
+            prop_assert!(seen.contains(*host), "host {host} was stranded out of every wave");
+        }
+    }
+
+    #[test]
+    fn canary_wave_respects_the_plan(hosts in arb_hosts(), plan in arb_plan()) {
+        let unique = hosts.iter().collect::<HashSet<_>>().len();
+        let waves = partition(&hosts, &plan);
+        if unique == 0 {
+            prop_assert!(waves.is_empty());
+        } else {
+            // The first wave is the canary: at least one host, never
+            // more than the plan asks for (clamped to the fleet).
+            prop_assert!(!waves.is_empty());
+            let canary = waves[0].len();
+            prop_assert!(canary >= 1);
+            prop_assert!(canary <= plan.canary.clamp(1, unique));
+        }
+    }
+
+    #[test]
+    fn waves_preserve_the_sorted_host_order(hosts in arb_hosts(), plan in arb_plan()) {
+        // Waves slice a sorted census: concatenating them reproduces it
+        // exactly, so wave membership is deterministic for a given
+        // fleet and schedule.
+        let waves = partition(&hosts, &plan);
+        let flat: Vec<String> = waves.into_iter().flatten().collect();
+        let mut expected: Vec<String> = hosts.clone();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(flat, expected);
+    }
+}
