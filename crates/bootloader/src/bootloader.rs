@@ -778,6 +778,8 @@ impl Bootloader {
                 fell_back = !plan.mirrors.is_empty();
                 source_zone = Some(self.net.zone_of(server.host()));
             }
+            // drvlint: allow(map-iter) — summation is commutative; order
+            // cannot reach the result.
             fetched_bytes = fetched.values().map(|b| b.len() as u64).sum();
             let same_zone = match (client_zone.as_deref(), source_zone.flatten().as_deref()) {
                 (Some(a), Some(b)) => a == b,

@@ -586,12 +586,12 @@ impl ChunkManifest {
     /// Digests in this manifest that are absent from `have` (preserving
     /// manifest order, deduplicated).
     pub fn missing_given(&self, have: &[u64]) -> Vec<u64> {
-        let have: std::collections::HashSet<u64> = have.iter().copied().collect();
+        let have_set: std::collections::HashSet<u64> = have.iter().copied().collect();
         let mut seen = std::collections::HashSet::new();
         self.chunks
             .iter()
             .copied()
-            .filter(|d| !have.contains(d) && seen.insert(*d))
+            .filter(|d| !have_set.contains(d) && seen.insert(*d))
             .collect()
     }
 
@@ -766,7 +766,7 @@ pub struct DeltaCost {
 /// Panics when `params` is structurally invalid.
 pub fn delta_cost(v1: &[u8], v2: &[u8], params: &ChunkingParams) -> DeltaCost {
     let m1 = ChunkManifest::of_with(v1, params);
-    let have: std::collections::HashSet<u64> = m1.chunks.iter().copied().collect();
+    let v1_chunks: std::collections::HashSet<u64> = m1.chunks.iter().copied().collect();
     // One pass over v2: boundary, digest, and missing-set accounting per
     // chunk as it is cut — no second traversal for sizes.
     let mut bytes = 0u64;
@@ -775,7 +775,7 @@ pub fn delta_cost(v1: &[u8], v2: &[u8], params: &ChunkingParams) -> DeltaCost {
     for_each_chunk(v2, params, |start, end| {
         total += 1;
         let digest = fnv1a64(&v2[start..end]);
-        if !have.contains(&digest) && missing.insert(digest) {
+        if !v1_chunks.contains(&digest) && missing.insert(digest) {
             bytes += (end - start) as u64;
         }
     });

@@ -702,25 +702,59 @@ fn get_offer(buf: &mut Bytes) -> DrvResult<DrvOffer> {
     })
 }
 
+/// Frame tags: the first byte of every [`DrvMsg`] wire frame. One
+/// constant per variant, used by both `encode` and `decode` so the two
+/// sides cannot drift apart (drvlint's protocol-conformance pass checks
+/// uniqueness and encode/decode symmetry of every `TAG_*`).
+const TAG_REQUEST: u8 = 0;
+/// `DRIVOLUTION_DISCOVER` frame tag.
+const TAG_DISCOVER: u8 = 1;
+/// `DRIVOLUTION_OFFER` frame tag.
+const TAG_OFFER: u8 = 2;
+/// `DRIVOLUTION_ERROR` frame tag.
+const TAG_ERROR: u8 = 3;
+/// `FILE_REQUEST` frame tag.
+const TAG_FILE_REQUEST: u8 = 4;
+/// `FILE_DATA` frame tag.
+const TAG_FILE_DATA: u8 = 5;
+/// Lease-release frame tag.
+const TAG_RELEASE: u8 = 6;
+/// Release-acknowledgement frame tag.
+const TAG_RELEASE_OK: u8 = 7;
+/// `CHUNK_REQUEST` frame tag.
+const TAG_CHUNK_REQUEST: u8 = 8;
+/// `CHUNK_DATA` frame tag.
+const TAG_CHUNK_DATA: u8 = 9;
+/// `MIRROR_ANNOUNCE` frame tag.
+const TAG_MIRROR_ANNOUNCE: u8 = 10;
+/// `MIRROR_HEARTBEAT` frame tag.
+const TAG_MIRROR_HEARTBEAT: u8 = 11;
+/// `MIRROR_ACK` frame tag.
+const TAG_MIRROR_ACK: u8 = 12;
+/// Activation-report frame tag.
+const TAG_ACTIVATION_REPORT: u8 = 13;
+/// Activation-acknowledgement frame tag.
+const TAG_ACTIVATION_ACK: u8 = 14;
+
 impl DrvMsg {
     /// Serializes the message.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::new();
         match self {
             DrvMsg::Request(r) => {
-                b.put_u8(0);
+                b.put_u8(TAG_REQUEST);
                 put_req(&mut b, r);
             }
             DrvMsg::Discover(r) => {
-                b.put_u8(1);
+                b.put_u8(TAG_DISCOVER);
                 put_req(&mut b, r);
             }
             DrvMsg::Offer(o) => {
-                b.put_u8(2);
+                b.put_u8(TAG_OFFER);
                 put_offer(&mut b, o);
             }
             DrvMsg::Error { code, message } => {
-                b.put_u8(3);
+                b.put_u8(TAG_ERROR);
                 b.put_u16_le(code.code());
                 put_str(&mut b, message);
             }
@@ -728,12 +762,12 @@ impl DrvMsg {
                 location,
                 transfer_method,
             } => {
-                b.put_u8(4);
+                b.put_u8(TAG_FILE_REQUEST);
                 put_str(&mut b, location);
                 b.put_i8(transfer_method.code() as i8);
             }
             DrvMsg::FileData { payload } => {
-                b.put_u8(5);
+                b.put_u8(TAG_FILE_DATA);
                 put_bytes(&mut b, payload);
             }
             DrvMsg::Release {
@@ -741,17 +775,17 @@ impl DrvMsg {
                 user,
                 driver,
             } => {
-                b.put_u8(6);
+                b.put_u8(TAG_RELEASE);
                 put_str(&mut b, database);
                 put_str(&mut b, user);
                 b.put_i64_le(driver.0);
             }
-            DrvMsg::ReleaseOk => b.put_u8(7),
+            DrvMsg::ReleaseOk => b.put_u8(TAG_RELEASE_OK),
             DrvMsg::ChunkRequest {
                 digests,
                 transfer_method,
             } => {
-                b.put_u8(8);
+                b.put_u8(TAG_CHUNK_REQUEST);
                 b.put_u32_le(digests.len() as u32);
                 for d in digests {
                     b.put_u64_le(*d);
@@ -759,11 +793,11 @@ impl DrvMsg {
                 b.put_i8(transfer_method.code() as i8);
             }
             DrvMsg::ChunkData { payload } => {
-                b.put_u8(9);
+                b.put_u8(TAG_CHUNK_DATA);
                 put_bytes(&mut b, payload);
             }
             DrvMsg::MirrorAnnounce { location, zone } => {
-                b.put_u8(10);
+                b.put_u8(TAG_MIRROR_ANNOUNCE);
                 put_str(&mut b, location);
                 put_opt_str(&mut b, zone.as_deref());
             }
@@ -774,7 +808,7 @@ impl DrvMsg {
                 load,
                 coverage,
             } => {
-                b.put_u8(11);
+                b.put_u8(TAG_MIRROR_HEARTBEAT);
                 put_str(&mut b, location);
                 b.put_u64_le(*chunk_count);
                 b.put_u64_le(*served_bytes);
@@ -786,7 +820,7 @@ impl DrvMsg {
                 }
             }
             DrvMsg::MirrorAck { known } => {
-                b.put_u8(12);
+                b.put_u8(TAG_MIRROR_ACK);
                 b.put_u8(u8::from(*known));
             }
             DrvMsg::ActivationReport {
@@ -796,14 +830,14 @@ impl DrvMsg {
                 ok,
                 detail,
             } => {
-                b.put_u8(13);
+                b.put_u8(TAG_ACTIVATION_REPORT);
                 put_str(&mut b, database);
                 b.put_i64_le(driver.0);
                 put_opt_str(&mut b, version.map(|v| v.to_string()).as_deref());
                 b.put_u8(u8::from(*ok));
                 put_str(&mut b, detail);
             }
-            DrvMsg::ActivationAck => b.put_u8(14),
+            DrvMsg::ActivationAck => b.put_u8(TAG_ACTIVATION_ACK),
         }
         b.freeze()
     }
@@ -815,29 +849,29 @@ impl DrvMsg {
     /// [`DrvError::Codec`] on malformed frames.
     pub fn decode(mut buf: Bytes) -> DrvResult<Self> {
         match get_u8(&mut buf, "drv msg tag")? {
-            0 => Ok(DrvMsg::Request(get_req(&mut buf)?)),
-            1 => Ok(DrvMsg::Discover(get_req(&mut buf)?)),
-            2 => Ok(DrvMsg::Offer(get_offer(&mut buf)?)),
-            3 => Ok(DrvMsg::Error {
+            TAG_REQUEST => Ok(DrvMsg::Request(get_req(&mut buf)?)),
+            TAG_DISCOVER => Ok(DrvMsg::Discover(get_req(&mut buf)?)),
+            TAG_OFFER => Ok(DrvMsg::Offer(get_offer(&mut buf)?)),
+            TAG_ERROR => Ok(DrvMsg::Error {
                 code: DrvErrCode::from_code(get_u16(&mut buf, "error code")?),
                 message: get_str(&mut buf, "error message")?,
             }),
-            4 => Ok(DrvMsg::FileRequest {
+            TAG_FILE_REQUEST => Ok(DrvMsg::FileRequest {
                 location: get_str(&mut buf, "location")?,
                 transfer_method: TransferMethod::from_code(i32::from(
                     get_u8(&mut buf, "transfer")? as i8,
                 ))?,
             }),
-            5 => Ok(DrvMsg::FileData {
+            TAG_FILE_DATA => Ok(DrvMsg::FileData {
                 payload: get_bytes(&mut buf, "file payload")?,
             }),
-            6 => Ok(DrvMsg::Release {
+            TAG_RELEASE => Ok(DrvMsg::Release {
                 database: get_str(&mut buf, "database")?,
                 user: get_str(&mut buf, "user")?,
                 driver: DriverId(get_i64(&mut buf, "driver")?),
             }),
-            7 => Ok(DrvMsg::ReleaseOk),
-            8 => {
+            TAG_RELEASE_OK => Ok(DrvMsg::ReleaseOk),
+            TAG_CHUNK_REQUEST => {
                 let n = get_u32(&mut buf, "chunk request count")?;
                 if u64::from(n) * 8 > buf.len() as u64 {
                     return Err(DrvError::Codec(format!(
@@ -856,14 +890,14 @@ impl DrvMsg {
                         as i8))?,
                 })
             }
-            9 => Ok(DrvMsg::ChunkData {
+            TAG_CHUNK_DATA => Ok(DrvMsg::ChunkData {
                 payload: get_bytes(&mut buf, "chunk payload")?,
             }),
-            10 => Ok(DrvMsg::MirrorAnnounce {
+            TAG_MIRROR_ANNOUNCE => Ok(DrvMsg::MirrorAnnounce {
                 location: get_str(&mut buf, "mirror location")?,
                 zone: get_opt_str(&mut buf, "mirror zone")?,
             }),
-            11 => {
+            TAG_MIRROR_HEARTBEAT => {
                 let location = get_str(&mut buf, "mirror location")?;
                 let chunk_count = get_u64(&mut buf, "mirror chunk count")?;
                 let served_bytes = get_u64(&mut buf, "mirror served bytes")?;
@@ -893,10 +927,10 @@ impl DrvMsg {
                     coverage,
                 })
             }
-            12 => Ok(DrvMsg::MirrorAck {
+            TAG_MIRROR_ACK => Ok(DrvMsg::MirrorAck {
                 known: get_u8(&mut buf, "mirror ack")? != 0,
             }),
-            13 => Ok(DrvMsg::ActivationReport {
+            TAG_ACTIVATION_REPORT => Ok(DrvMsg::ActivationReport {
                 database: get_str(&mut buf, "activation database")?,
                 driver: DriverId(get_i64(&mut buf, "activation driver")?),
                 version: get_opt_str(&mut buf, "activation version")?
@@ -905,7 +939,7 @@ impl DrvMsg {
                 ok: get_u8(&mut buf, "activation ok")? != 0,
                 detail: get_str(&mut buf, "activation detail")?,
             }),
-            14 => Ok(DrvMsg::ActivationAck),
+            TAG_ACTIVATION_ACK => Ok(DrvMsg::ActivationAck),
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
     }

@@ -1,6 +1,6 @@
 //! The client-side persistent driver depot.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -147,7 +147,7 @@ fn decode_meta(text: &str) -> Option<ChunkingParams> {
 pub struct DriverDepot {
     index: ContentIndex,
     /// database name → content digest of the image last used for it.
-    latest: Mutex<HashMap<String, u64>>,
+    latest: Mutex<BTreeMap<String, u64>>,
     params: ChunkingParams,
     dir: Option<PathBuf>,
     stats: Mutex<DepotStats>,
@@ -185,7 +185,7 @@ impl DriverDepot {
         params.validate().expect("invalid chunking params");
         Arc::new(DriverDepot {
             index: ContentIndex::new(),
-            latest: Mutex::new(HashMap::new()),
+            latest: Mutex::new(BTreeMap::new()),
             params,
             dir: None,
             stats: Mutex::new(DepotStats::default()),
@@ -236,7 +236,7 @@ impl DriverDepot {
             .map_err(|e| DrvError::Internal(format!("depot meta: {e}")))?;
         let depot = DriverDepot {
             index: ContentIndex::new(),
-            latest: Mutex::new(HashMap::new()),
+            latest: Mutex::new(BTreeMap::new()),
             params,
             dir: Some(dir.clone()),
             stats: Mutex::new(DepotStats::default()),
@@ -379,6 +379,8 @@ impl DriverDepot {
             }
         }
         let bytes = drivolution_core::chunk::assemble(manifest, &available)?;
+        // drvlint: allow(map-iter) — summation is commutative; order cannot
+        // reach the result.
         let fetched_bytes: u64 = fetched.values().map(|b| b.len() as u64).sum();
         {
             let mut st = self.stats.lock();
@@ -404,11 +406,10 @@ impl DriverDepot {
         }
         // Snapshot under the lock, write after dropping it: shared depots
         // must not stall `have_summary` behind filesystem I/O.
-        let mut entries: Vec<(String, u64)> = {
+        let entries: Vec<(String, u64)> = {
             let latest = self.latest.lock();
             latest.iter().map(|(db, d)| (db.clone(), *d)).collect()
         };
-        entries.sort();
         let mut out = String::new();
         for (db, d) in entries {
             out.push_str(&format!("{d:016x} {}\n", escape_key(&db)));

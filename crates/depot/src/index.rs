@@ -1,7 +1,7 @@
 //! The content-addressed index shared by server, mirror, and client
 //! depots.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -21,14 +21,14 @@ use drivolution_core::fnv1a64;
 /// chunks differently): see [`manifest_for`](Self::manifest_for).
 #[derive(Debug, Default)]
 pub struct ContentIndex {
-    images: Mutex<HashMap<u64, (Bytes, ChunkingParams)>>,
+    images: Mutex<BTreeMap<u64, (Bytes, ChunkingParams)>>,
     manifests: Mutex<HashMap<(u64, ChunkingParams), ChunkManifest>>,
     /// Distinct params manifests have been derived under. Bounded by
     /// [`MAX_DERIVED_PARAMS`]: params are client-supplied over the wire,
     /// and an unbounded set would let one client grow the manifest and
     /// chunk maps (and burn a re-chunk per request) without limit.
     derived_params: Mutex<std::collections::HashSet<ChunkingParams>>,
-    chunks: Mutex<HashMap<u64, Bytes>>,
+    chunks: Mutex<BTreeMap<u64, Bytes>>,
     /// Memoized delta plans keyed by (target digest, digest of the
     /// client's advertised chunk set, params). A fleet wave of clients
     /// upgrading from the same prior version advertises byte-identical
@@ -64,9 +64,9 @@ pub struct DeltaPlan {
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-fn digest_of_set(chunks: &[u64]) -> u64 {
-    let mut bytes = Vec::with_capacity(chunks.len() * 8);
-    for d in chunks {
+fn digest_of_set(digests: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(digests.len() * 8);
+    for d in digests {
         bytes.extend_from_slice(&d.to_le_bytes());
     }
     fnv1a64(&bytes)
@@ -217,12 +217,12 @@ impl ContentIndex {
         self.chunks.lock().len()
     }
 
-    /// All chunk digests currently indexed, unordered.
+    /// All chunk digests currently indexed, sorted.
     pub fn chunk_digests(&self) -> Vec<u64> {
         self.chunks.lock().keys().copied().collect()
     }
 
-    /// All image digests currently indexed, unordered.
+    /// All image digests currently indexed, sorted.
     pub fn image_digests(&self) -> Vec<u64> {
         self.images.lock().keys().copied().collect()
     }

@@ -1,0 +1,394 @@
+//! Protocol-conformance lint over `crates/core/src/proto.rs`.
+//!
+//! The wire protocol grew by accretion: 15 frame tags, codec-versioned
+//! fields, and legacy dialects that every codec must keep decoding. The
+//! compiler cannot see that discipline — a new `TAG_*` constant with an
+//! encode arm but no decode arm builds cleanly and strands every peer.
+//! This pass extracts the frame-tag constants and codec-version markers
+//! and verifies, purely statically:
+//!
+//! * `tag-duplicate` — every `const TAG_*: u8` value is unique;
+//! * `tag-unencoded` / `tag-undecoded` — every tag is referenced from
+//!   both an encode body and a decode body;
+//! * `version-asymmetric` — every versioned-field marker
+//!   (`const *_V<n>: u8`, n ≥ 2) is referenced from both sides;
+//! * `version-no-legacy` — the decode `match` that handles a versioned
+//!   marker also carries at least one literal arm for the legacy
+//!   dialect(s), so old frames keep decoding.
+
+use crate::scan::{Finding, ScannedFile};
+
+/// Every rule this pass can emit.
+pub const RULES: &[&str] = &[
+    "tag-duplicate",
+    "tag-unencoded",
+    "tag-undecoded",
+    "version-asymmetric",
+    "version-no-legacy",
+    "proto-structure",
+];
+
+/// A `(start, end)` 0-based inclusive line range of one function body.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    start: usize,
+    end: usize,
+}
+
+/// Brace-matched body regions of functions whose name is in `names`.
+fn fn_regions(file: &ScannedFile, names: &[&str]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for (idx, line) in file.masked_lines.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        if !names
+            .iter()
+            .any(|n| line.contains(&format!("fn {n}(")) || line.contains(&format!("fn {n}<")))
+        {
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = idx;
+        while j < file.masked_lines.len() {
+            for ch in file.masked_lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        regions.push(Region { start: idx, end: j });
+    }
+    regions
+}
+
+fn appears_in(file: &ScannedFile, regions: &[Region], word: &str, skip_line: usize) -> bool {
+    regions.iter().any(|r| {
+        (r.start..=r.end.min(file.masked_lines.len() - 1)).any(|i| {
+            i != skip_line && !ScannedFile::word_positions(&file.masked_lines[i], word).is_empty()
+        })
+    })
+}
+
+/// Whether the decode `match` containing `marker`'s arm also has a
+/// literal (legacy-dialect) arm. Walks up from the arm line to the
+/// nearest `match`, then scans that brace-matched block.
+fn has_legacy_arm(file: &ScannedFile, regions: &[Region], marker: &str) -> bool {
+    for r in regions {
+        for i in r.start..=r.end.min(file.masked_lines.len() - 1) {
+            let line = &file.masked_lines[i];
+            let is_arm = ScannedFile::word_positions(line, marker)
+                .iter()
+                .any(|&at| line[at + marker.len()..].trim_start().starts_with("=>"));
+            if !is_arm {
+                continue;
+            }
+            // Nearest enclosing `match` header above the arm.
+            let Some(m) = (r.start..=i)
+                .rev()
+                .find(|&j| file.masked_lines[j].contains("match "))
+            else {
+                continue;
+            };
+            // Scan the match block for a literal arm.
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            for j in m..=r.end.min(file.masked_lines.len() - 1) {
+                let l = &file.masked_lines[j];
+                let t = l.trim_start();
+                let lit_len = t.chars().take_while(|c| c.is_ascii_digit()).count();
+                if lit_len > 0 && t[lit_len..].trim_start().starts_with("=>") && opened {
+                    return true;
+                }
+                for ch in l.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Parses `const NAME: u8 = N;` declarations (optionally `pub`) whose
+/// name matches `filter`, returning `(name, value, 0-based line)`.
+fn u8_consts(file: &ScannedFile, filter: impl Fn(&str) -> bool) -> Vec<(String, u8, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in file.masked_lines.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let Some(at) = line.find("const ") else {
+            continue;
+        };
+        let rest = &line[at + "const ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+            .collect();
+        if name.is_empty() || !filter(&name) {
+            continue;
+        }
+        let Some(tail) = rest[name.len()..]
+            .trim_start()
+            .strip_prefix(':')
+            .map(str::trim_start)
+        else {
+            continue;
+        };
+        let Some(assign) = tail.strip_prefix("u8").map(str::trim_start) else {
+            continue;
+        };
+        let Some(value_str) = assign.strip_prefix('=').map(str::trim_start) else {
+            continue;
+        };
+        let digits: String = value_str
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<u8>() {
+            out.push((name, v, idx));
+        }
+    }
+    out
+}
+
+/// Trailing `_V<n>` version of a constant name, if it has one.
+fn version_suffix(name: &str) -> Option<u32> {
+    let at = name.rfind("_V")?;
+    let digits = &name[at + 2..];
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Runs the conformance rules over the protocol source file.
+pub fn check(file: &ScannedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let push = |line: usize, rule: &str, message: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            file: file.rel_path.clone(),
+            line: line + 1,
+            rule: rule.to_string(),
+            message,
+        });
+    };
+
+    let tags = u8_consts(file, |n| n.starts_with("TAG_"));
+    if tags.is_empty() {
+        push(
+            0,
+            "proto-structure",
+            "no `const TAG_*: u8` frame-tag constants found; the conformance \
+             pass has nothing to verify"
+                .to_string(),
+            &mut findings,
+        );
+        return findings;
+    }
+
+    // Tag values must be unique.
+    for (i, (name, value, line)) in tags.iter().enumerate() {
+        if let Some((other, _, _)) = tags[..i].iter().find(|(_, v, _)| v == value) {
+            push(
+                *line,
+                "tag-duplicate",
+                format!("frame tag {name} reuses wire value {value} of {other}"),
+                &mut findings,
+            );
+        }
+    }
+
+    let encode_regions = fn_regions(file, &["encode", "encode_into"]);
+    let decode_regions = fn_regions(file, &["decode"]);
+    if encode_regions.is_empty() || decode_regions.is_empty() {
+        push(
+            0,
+            "proto-structure",
+            "could not locate encode/decode function bodies".to_string(),
+            &mut findings,
+        );
+        return findings;
+    }
+
+    for (name, _, line) in &tags {
+        if !appears_in(file, &encode_regions, name, *line) {
+            push(
+                *line,
+                "tag-unencoded",
+                format!("frame tag {name} is never written by an encode path"),
+                &mut findings,
+            );
+        }
+        if !appears_in(file, &decode_regions, name, *line) {
+            push(
+                *line,
+                "tag-undecoded",
+                format!("frame tag {name} has no decode match arm"),
+                &mut findings,
+            );
+        }
+    }
+
+    // Codec-version markers: symmetric use plus a legacy-decode branch.
+    let markers = u8_consts(file, |n| version_suffix(n).is_some_and(|v| v >= 2));
+    for (name, _, line) in &markers {
+        let enc = appears_in(file, &encode_regions, name, *line);
+        let dec = appears_in(file, &decode_regions, name, *line);
+        if !enc || !dec {
+            push(
+                *line,
+                "version-asymmetric",
+                format!(
+                    "versioned-field marker {name} is referenced by {} only",
+                    if enc {
+                        "the encode path"
+                    } else {
+                        "the decode path"
+                    }
+                ),
+                &mut findings,
+            );
+            continue;
+        }
+        if !has_legacy_arm(file, &decode_regions, name) {
+            push(
+                *line,
+                "version-no-legacy",
+                format!(
+                    "versioned-field marker {name} decodes without a literal legacy-dialect \
+                     arm; old frames would stop decoding"
+                ),
+                &mut findings,
+            );
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::new("core", "crates/core/src/proto.rs", src)
+    }
+
+    const GOOD: &str = "\
+const TAG_REQUEST: u8 = 0;
+const TAG_OFFER: u8 = 1;
+const PLAN_MIRRORS_V2: u8 = 2;
+impl Msg {
+    pub fn encode(&self) -> Bytes {
+        b.put_u8(TAG_REQUEST);
+        b.put_u8(TAG_OFFER);
+        b.put_u8(PLAN_MIRRORS_V2);
+    }
+    pub fn decode(buf: Bytes) -> Result<Self> {
+        match get_u8(&mut buf)? {
+            TAG_REQUEST => req(),
+            TAG_OFFER => offer(),
+            t => err(t),
+        }
+    }
+}
+fn decode_plan(buf: &mut Bytes) -> Result<Plan> {
+    fn decode(buf: &mut Bytes) -> Result<Plan> {
+        match get_u8(buf)? {
+            0 => legacy_none(),
+            1 => legacy_one(),
+            PLAN_MIRRORS_V2 => current(),
+            v => err(v),
+        }
+    }
+    decode(buf)
+}
+";
+
+    #[test]
+    fn clean_protocol_passes() {
+        let f = check(&scan(GOOD));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn duplicate_tag_values_are_flagged() {
+        let src = GOOD.replace("const TAG_OFFER: u8 = 1;", "const TAG_OFFER: u8 = 0;");
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-duplicate");
+    }
+
+    #[test]
+    fn tag_without_decode_arm_is_flagged() {
+        let src = GOOD.replace("TAG_OFFER => offer(),", "");
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-undecoded");
+        assert!(f[0].message.contains("TAG_OFFER"));
+    }
+
+    #[test]
+    fn tag_without_encode_site_is_flagged() {
+        let src = GOOD.replace("b.put_u8(TAG_OFFER);", "");
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-unencoded");
+    }
+
+    #[test]
+    fn versioned_marker_needs_both_sides() {
+        let src = GOOD.replace("PLAN_MIRRORS_V2 => current(),", "");
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "version-asymmetric");
+    }
+
+    #[test]
+    fn versioned_marker_needs_a_legacy_arm() {
+        let src = GOOD
+            .replace("0 => legacy_none(),", "")
+            .replace("1 => legacy_one(),", "");
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "version-no-legacy");
+    }
+
+    #[test]
+    fn missing_tag_constants_fail_structurally() {
+        let f = check(&scan("fn encode() {} fn decode() {}"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "proto-structure");
+    }
+
+    #[test]
+    fn commented_out_arms_do_not_count() {
+        let src = GOOD.replace(
+            "TAG_OFFER => offer(),",
+            "// TAG_OFFER => offer(), (disabled)",
+        );
+        let f = check(&scan(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "tag-undecoded");
+    }
+}

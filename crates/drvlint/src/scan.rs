@@ -1,0 +1,454 @@
+//! Comment- and string-aware source scanning.
+//!
+//! Every drvlint pass works on a [`ScannedFile`]: the raw source plus a
+//! *masked* copy in which comment and string-literal contents are
+//! replaced by spaces (newlines preserved), per-line `#[cfg(test)]`
+//! region marks, and parsed `// drvlint: allow(<rule>) — <reason>`
+//! escape hatches. Working on the mask means `"Instant::now()"` inside
+//! a string literal or a doc comment can never trip a lint, while
+//! brace-tracking stays reliable because braces inside strings are
+//! gone.
+
+/// One rule finding at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`wallclock`, `map-iter`, `panic-ratchet`, ...).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed allow escape hatch: which rules it suppresses and whether a
+/// reason followed the rule list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allow {
+    /// Rules named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether non-empty justification text followed the rule list.
+    pub has_reason: bool,
+}
+
+/// A workspace source file prepared for linting.
+#[derive(Clone, Debug)]
+pub struct ScannedFile {
+    /// Directory name of the owning crate under `crates/` (e.g. `core`).
+    pub crate_dir: String,
+    /// Workspace-relative path (e.g. `crates/core/src/proto.rs`).
+    pub rel_path: String,
+    /// Original source lines.
+    pub raw_lines: Vec<String>,
+    /// Masked source lines: comments and string contents blanked.
+    pub masked_lines: Vec<String>,
+    /// Per line: inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Per line: rules allowed on that line (resolved from same-line
+    /// trailing comments and whole-line comments above).
+    pub allows: Vec<Vec<String>>,
+    /// Malformed allow comments: `(line, problem)`.
+    pub bad_allows: Vec<(usize, String)>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Masks comments and string/char literals with spaces, preserving line
+/// structure, and returns the comment text captured per line.
+fn mask(source: &str) -> (Vec<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut masked = String::with_capacity(source.len());
+    let mut comments: Vec<String> = Vec::new();
+    let mut cur_comment = String::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut prev_code: char = '\n';
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            masked.push('\n');
+            comments.push(std::mem::take(&mut cur_comment));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == '/' => {
+                    state = State::LineComment;
+                    masked.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == '*' => {
+                    state = State::BlockComment(1);
+                    masked.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    // Raw and byte-string prefixes are part of the
+                    // preceding identifier characters (`r`, `b`, `br`),
+                    // already emitted; only the hash count matters.
+                    state = State::Str;
+                    masked.push(' ');
+                    i += 1;
+                }
+                '#' if (prev_code == 'r') && (next == '"' || next == '#') => {
+                    // r#"..."# / r##"..."## raw string opener.
+                    let mut hashes = 0u32;
+                    while chars.get(i).copied() == Some('#') {
+                        hashes += 1;
+                        masked.push(' ');
+                        i += 1;
+                    }
+                    if chars.get(i).copied() == Some('"') {
+                        masked.push(' ');
+                        i += 1;
+                        state = State::RawStr(hashes);
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                    let after = chars.get(i + 2).copied().unwrap_or('\0');
+                    if next == '\\' || after == '\'' {
+                        state = State::Char;
+                        masked.push(' ');
+                        i += 1;
+                    } else {
+                        masked.push('\'');
+                        prev_code = '\'';
+                        i += 1;
+                    }
+                }
+                _ => {
+                    masked.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur_comment.push(c);
+                masked.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    masked.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == '*' {
+                    masked.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    cur_comment.push(c);
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                    // A escaped newline keeps line structure.
+                    if next == '\n' {
+                        masked.pop();
+                        masked.pop();
+                        masked.push('\n');
+                        comments.push(std::mem::take(&mut cur_comment));
+                    }
+                } else if c == '"' {
+                    masked.push(' ');
+                    i += 1;
+                    state = State::Code;
+                    prev_code = ' ';
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    // Closing quote must be followed by `hashes` hashes.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize).copied() != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            masked.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        prev_code = ' ';
+                        continue;
+                    }
+                }
+                masked.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    masked.push(' ');
+                    i += 1;
+                    state = State::Code;
+                    prev_code = ' ';
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    comments.push(std::mem::take(&mut cur_comment));
+    let masked_lines: Vec<String> = masked.split('\n').map(str::to_string).collect();
+    comments.truncate(masked_lines.len());
+    while comments.len() < masked_lines.len() {
+        comments.push(String::new());
+    }
+    (masked_lines, comments)
+}
+
+/// Parses a `drvlint: allow(rule, ...)` escape hatch out of comment
+/// text, if present. The marker must open the comment (modulo leading
+/// whitespace), so prose *mentioning* the syntax — like this doc
+/// comment — never parses as an allow.
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let marker = "drvlint: allow(";
+    let rest = comment.trim_start().strip_prefix(marker)?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let has_reason = rest[close + 1..].chars().any(|c| c.is_alphanumeric());
+    Some(Allow { rules, has_reason })
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute lines
+/// included) by brace-tracking the masked source.
+fn mark_test_regions(masked: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    let mut i = 0;
+    while i < masked.len() {
+        if !masked[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < masked.len() {
+            in_test[j] = true;
+            for ch in masked[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && masked[j].trim_end().ends_with(';') {
+                // `#[cfg(test)] mod tests;` — out-of-line test module.
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+impl ScannedFile {
+    /// Scans one source file.
+    pub fn new(crate_dir: &str, rel_path: &str, source: &str) -> ScannedFile {
+        let raw_lines: Vec<String> = source.split('\n').map(str::to_string).collect();
+        let (masked_lines, comments) = mask(source);
+        let in_test = mark_test_regions(&masked_lines);
+        let mut allows: Vec<Vec<String>> = vec![Vec::new(); masked_lines.len()];
+        let mut bad_allows = Vec::new();
+        for (idx, comment) in comments.iter().enumerate() {
+            let Some(allow) = parse_allow(comment) else {
+                continue;
+            };
+            if allow.rules.is_empty() {
+                bad_allows.push((idx + 1, "allow comment names no rules".to_string()));
+                continue;
+            }
+            if !allow.has_reason {
+                bad_allows.push((
+                    idx + 1,
+                    format!(
+                        "allow({}) needs a justification after the rule list",
+                        allow.rules.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            // A comment-only line covers the next code line; a trailing
+            // comment covers its own line.
+            allows[idx].extend(allow.rules.iter().cloned());
+            if masked_lines[idx].trim().is_empty() {
+                let mut j = idx + 1;
+                while j < masked_lines.len() && masked_lines[j].trim().is_empty() {
+                    j += 1;
+                }
+                if j < masked_lines.len() {
+                    allows[j].extend(allow.rules.iter().cloned());
+                }
+            }
+        }
+        ScannedFile {
+            crate_dir: crate_dir.to_string(),
+            rel_path: rel_path.to_string(),
+            raw_lines,
+            masked_lines,
+            in_test,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Whether `rule` is allowed on 0-based line `idx`.
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        self.allows
+            .get(idx)
+            .is_some_and(|a| a.iter().any(|r| r == rule))
+    }
+
+    /// Occurrences of `word` (whole-word) in the masked line, as byte
+    /// offsets.
+    pub fn word_positions(line: &str, word: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        let bytes = line.as_bytes();
+        let mut from = 0;
+        while let Some(at) = line[from..].find(word) {
+            let start = from + at;
+            let end = start + word.len();
+            let before_ok = start == 0 || !is_ident(bytes[start - 1] as char);
+            let after_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+            if before_ok && after_ok {
+                out.push(start);
+            }
+            from = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let src = r#"
+fn f() {
+    let s = "Instant::now() inside a string";
+    // Instant::now() inside a comment
+    let c = 'x';
+    let t = other();
+}
+"#;
+        let f = ScannedFile::new("demo", "demo.rs", src);
+        for l in &f.masked_lines {
+            assert!(!l.contains("Instant::now"), "leaked: {l}");
+        }
+        assert!(f.masked_lines[4].contains("let c ="));
+        assert!(f.masked_lines[5].contains("other()"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"panic!(\"}\")\"#; let b = b\"bytes\"; }";
+        let f = ScannedFile::new("demo", "demo.rs", src);
+        let m = &f.masked_lines[0];
+        assert!(m.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.contains("panic!"));
+        // The brace inside the raw string must not unbalance the line.
+        let open = m.matches('{').count();
+        let close = m.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = ScannedFile::new("demo", "demo.rs", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn allow_comments_cover_their_line_and_the_next() {
+        let src = "\
+// drvlint: allow(wallclock) — the one legitimate site
+let a = now();
+let b = now(); // drvlint: allow(map-iter, wallclock) — both fine
+let c = now();
+";
+        let f = ScannedFile::new("demo", "demo.rs", src);
+        assert!(f.allowed(1, "wallclock"));
+        assert!(f.allowed(2, "map-iter") && f.allowed(2, "wallclock"));
+        assert!(!f.allowed(3, "wallclock"));
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let src = "let a = now(); // drvlint: allow(wallclock)\n";
+        let f = ScannedFile::new("demo", "demo.rs", src);
+        assert_eq!(f.bad_allows.len(), 1);
+        assert!(!f.allowed(0, "wallclock"), "malformed allow must not apply");
+    }
+
+    #[test]
+    fn word_positions_respect_boundaries() {
+        assert_eq!(ScannedFile::word_positions("map.iter()", "map"), vec![0]);
+        assert!(ScannedFile::word_positions("bitmap.iter()", "map").is_empty());
+        assert!(ScannedFile::word_positions("map_x.iter()", "map").is_empty());
+    }
+}

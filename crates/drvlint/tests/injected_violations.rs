@@ -1,0 +1,157 @@
+//! Acceptance tests against the real workspace: the check passes on
+//! the current tree, and injecting each class of violation into the
+//! scanned sources (in memory — the tree itself is never modified)
+//! makes it fail with the right rule.
+
+use std::path::{Path, PathBuf};
+
+use drvlint::{collect_workspace, run_passes, Finding, ScannedFile, BASELINE_FILE, PROTO_FILE};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/drvlint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn scanned_tree() -> (Vec<ScannedFile>, String) {
+    let root = repo_root();
+    let files = collect_workspace(&root).expect("scan workspace");
+    let baseline =
+        std::fs::read_to_string(root.join(BASELINE_FILE)).expect("read drvlint-baseline.toml");
+    (files, baseline)
+}
+
+/// Re-scans one file after applying `edit` to its raw source, leaving
+/// every other file untouched.
+fn with_edit(
+    files: &[ScannedFile],
+    rel_path: &str,
+    edit: impl Fn(&str) -> String,
+) -> Vec<ScannedFile> {
+    let mut edited = false;
+    let out: Vec<ScannedFile> = files
+        .iter()
+        .map(|f| {
+            if f.rel_path == rel_path {
+                edited = true;
+                let src = f.raw_lines.join("\n");
+                let new_src = edit(&src);
+                assert_ne!(src, new_src, "edit to {rel_path} was a no-op");
+                ScannedFile::new(&f.crate_dir, &f.rel_path, &new_src)
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    assert!(edited, "{rel_path} not found in the scanned tree");
+    out
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<(&str, &str)> {
+    findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.file.as_str()))
+        .collect()
+}
+
+#[test]
+fn current_tree_is_clean() {
+    let (files, baseline) = scanned_tree();
+    let report = run_passes(&files, &baseline).expect("run passes");
+    assert!(
+        report.is_clean(),
+        "drvlint must pass on the committed tree:\n{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn fresh_wallclock_read_in_netsim_fails() {
+    let (files, baseline) = scanned_tree();
+    let files = with_edit(&files, "crates/netsim/src/net.rs", |src| {
+        format!(
+            "{src}\nfn injected_probe() -> u64 {{\n    \
+             let t0 = std::time::Instant::now();\n    \
+             t0.elapsed().as_millis() as u64\n}}\n"
+        )
+    });
+    let report = run_passes(&files, &baseline).expect("run passes");
+    let hits = rules_of(&report.findings);
+    assert!(
+        hits.contains(&("wallclock", "crates/netsim/src/net.rs")),
+        "expected a wallclock finding in net.rs, got {hits:?}"
+    );
+}
+
+#[test]
+fn frame_tag_without_decode_arm_fails() {
+    let (files, baseline) = scanned_tree();
+    let files = with_edit(&files, PROTO_FILE, |src| {
+        // Drop the decode arm for one real tag; encode keeps writing it.
+        src.replace("TAG_ACTIVATION_ACK => Ok(DrvMsg::ActivationAck),", "")
+    });
+    let report = run_passes(&files, &baseline).expect("run passes");
+    let undecoded: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "tag-undecoded")
+        .collect();
+    assert_eq!(undecoded.len(), 1, "{:#?}", report.findings);
+    assert!(undecoded[0].message.contains("TAG_ACTIVATION_ACK"));
+}
+
+#[test]
+fn unwrap_count_above_baseline_fails() {
+    let (files, baseline) = scanned_tree();
+    let files = with_edit(&files, "crates/core/src/chunk.rs", |src| {
+        format!("{src}\nfn injected_unwrap(v: Option<u8>) -> u8 {{\n    v.unwrap()\n}}\n")
+    });
+    let report = run_passes(&files, &baseline).expect("run passes");
+    let ratchet: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-ratchet")
+        .collect();
+    assert_eq!(ratchet.len(), 1, "{:#?}", report.findings);
+    assert!(
+        ratchet[0].message.contains("unwrap count rose"),
+        "{}",
+        ratchet[0].message
+    );
+}
+
+#[test]
+fn allow_without_reason_fails() {
+    let (files, baseline) = scanned_tree();
+    let files = with_edit(&files, "crates/netsim/src/net.rs", |src| {
+        format!("{src}\n// drvlint: allow(wallclock)\n")
+    });
+    let report = run_passes(&files, &baseline).expect("run passes");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "bad-allow" && f.message.contains("justification")),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn allow_naming_unknown_rule_fails() {
+    let (files, baseline) = scanned_tree();
+    let files = with_edit(&files, "crates/netsim/src/net.rs", |src| {
+        format!("{src}\n// drvlint: allow(no-such-rule) — because reasons\n")
+    });
+    let report = run_passes(&files, &baseline).expect("run passes");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "bad-allow" && f.message.contains("no-such-rule")),
+        "{:#?}",
+        report.findings
+    );
+}

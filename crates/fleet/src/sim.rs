@@ -128,10 +128,11 @@ impl FleetSim {
         let db = Arc::new(MiniDb::with_clock("fleetdb", net.clock().clone()));
         {
             let mut s = db.admin_session();
-            db.exec(&mut s, "CREATE TABLE load (id INTEGER)").unwrap();
+            db.exec(&mut s, "CREATE TABLE load (id INTEGER)")
+                .expect("create load table on a fresh db");
         }
         net.bind_arc(Addr::new("db1", 5432), Arc::new(DbServer::new(db.clone())))
-            .unwrap();
+            .expect("db1:5432 is unbound on a fresh network");
         let server = attach_in_database(
             &net,
             db,
@@ -141,10 +142,10 @@ impl FleetSim {
                 ..ServerConfig::default()
             },
         )
-        .unwrap();
+        .expect("attach server on a fresh network");
         server
             .install_driver(&record(1, 1, DriverVersion::new(1, 0, 0), driver_padding))
-            .unwrap();
+            .expect("install driver v1");
         server
             .add_rule(
                 &PermissionRule::any(DriverId(1))
@@ -152,7 +153,7 @@ impl FleetSim {
                     .with_transfer(TransferMethod::Any)
                     .with_policies(RenewPolicy::Renew, ExpirationPolicy::AfterCommit),
             )
-            .unwrap();
+            .expect("add permission rule for driver v1");
         let mut clients = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
             let mut config = BootloaderConfig::same_host().with_lifecycle(lifecycle);
@@ -354,7 +355,7 @@ impl FleetSim {
     pub fn publish_staged(&self, id: i64, version: DriverVersion, driver_padding: usize) {
         self.server
             .install_driver(&record(id, id as u16, version, driver_padding))
-            .unwrap();
+            .expect("install staged driver");
         self.server
             .add_rule(
                 &PermissionRule::any(DriverId(id))
@@ -362,7 +363,7 @@ impl FleetSim {
                     .with_transfer(TransferMethod::Any)
                     .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
             )
-            .unwrap();
+            .expect("add staged permission rule");
     }
 
     /// Partitions the fleet per `plan`, launches a
@@ -399,11 +400,11 @@ impl FleetSim {
     pub fn publish(&self, id: i64, version: DriverVersion, driver_padding: usize, push: bool) {
         self.server
             .install_driver(&record(id, id as u16, version, driver_padding))
-            .unwrap();
+            .expect("install published driver");
         self.server
             .store()
             .remove_permissions(DriverId(id - 1))
-            .unwrap();
+            .expect("revoke previous driver permissions");
         self.server
             .add_rule(
                 &PermissionRule::any(DriverId(id))
@@ -411,7 +412,7 @@ impl FleetSim {
                     .with_transfer(TransferMethod::Any)
                     .with_policies(RenewPolicy::Upgrade, ExpirationPolicy::AfterCommit),
             )
-            .unwrap();
+            .expect("add permission rule for published driver");
         if push {
             self.server.notify_upgrade("fleetdb");
         }

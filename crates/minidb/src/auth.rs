@@ -12,7 +12,7 @@
 //! The hashes here are **simulations** (FNV-1a), standing in for real
 //! cryptography; they model the handshake shapes, not security.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use crate::error::{DbError, DbResult};
 use crate::sql::ast::Privilege;
@@ -74,7 +74,7 @@ struct UserEntry {
 pub struct AuthStore {
     users: HashMap<String, UserEntry>,
     grants: HashMap<(String, String), HashSet<Privilege>>,
-    accepted: HashSet<AuthMethod>,
+    accepted: BTreeSet<AuthMethod>,
     realm_secret: String,
 }
 
@@ -111,9 +111,7 @@ impl AuthStore {
 
     /// Accepted methods, sorted.
     pub fn accepted_methods(&self) -> Vec<AuthMethod> {
-        let mut v: Vec<AuthMethod> = self.accepted.iter().copied().collect();
-        v.sort();
-        v
+        self.accepted.iter().copied().collect()
     }
 
     /// Whether `method` is accepted.

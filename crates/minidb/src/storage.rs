@@ -1,6 +1,6 @@
 //! Row storage, catalog, and transaction undo log.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::error::{DbError, DbResult};
 use crate::schema::TableSchema;
@@ -169,7 +169,7 @@ pub enum UndoRecord {
 /// The set of tables in one database.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: BTreeMap<String, Table>,
 }
 
 impl Catalog {
@@ -236,9 +236,7 @@ impl Catalog {
 
     /// Sorted list of table names (canonical lowercase form).
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.keys().cloned().collect();
-        v.sort();
-        v
+        self.tables.keys().cloned().collect()
     }
 
     /// Applies one undo record, reversing a mutation.

@@ -53,6 +53,8 @@ impl Clock {
     /// zero just like the simulated clock.
     pub fn system() -> Self {
         Clock {
+            // drvlint: allow(wallclock) — the explicit real-time constructor;
+            // every other path gets time from a simulated Clock.
             inner: ClockInner::System(Instant::now()),
         }
     }

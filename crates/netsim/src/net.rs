@@ -1,7 +1,7 @@
 //! The simulated network: service registry, request/response delivery,
 //! broadcast, dedicated pipes, and fault application.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -95,7 +95,7 @@ where
 }
 
 struct NetworkInner {
-    services: RwLock<HashMap<Addr, Arc<dyn Service>>>,
+    services: RwLock<BTreeMap<Addr, Arc<dyn Service>>>,
     faults: Mutex<FaultPlan>,
     topology: RwLock<Topology>,
     stats: NetStats,
@@ -136,7 +136,7 @@ impl Network {
     pub fn with_clock(clock: Clock) -> Self {
         Network {
             inner: Arc::new(NetworkInner {
-                services: RwLock::new(HashMap::new()),
+                services: RwLock::new(BTreeMap::new()),
                 faults: Mutex::new(FaultPlan::new()),
                 topology: RwLock::new(Topology::new()),
                 stats: NetStats::new(),
@@ -234,9 +234,7 @@ impl Network {
 
     /// Lists every bound address, sorted.
     pub fn bound_addrs(&self) -> Vec<Addr> {
-        let mut v: Vec<Addr> = self.inner.services.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.inner.services.read().keys().cloned().collect()
     }
 
     fn check_path(&self, from: &Addr, to: &Addr) -> Result<(), NetError> {

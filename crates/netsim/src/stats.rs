@@ -5,7 +5,7 @@
 //! reproduced by counting real protocol messages and bytes per destination
 //! address. The `lease_tradeoff` benchmark reads these counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -33,7 +33,7 @@ pub struct AddrStats {
 /// Shared traffic statistics for a [`crate::Network`].
 #[derive(Debug, Default)]
 pub struct NetStats {
-    inner: Mutex<HashMap<Addr, AddrStats>>,
+    inner: Mutex<BTreeMap<Addr, AddrStats>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
 }
@@ -120,9 +120,7 @@ impl NetStats {
     /// Snapshot of every per-address counter, sorted by address.
     pub fn snapshot(&self) -> Vec<(Addr, AddrStats)> {
         let m = self.inner.lock();
-        let mut v: Vec<_> = m.iter().map(|(a, s)| (a.clone(), s.clone())).collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+        m.iter().map(|(a, s)| (a.clone(), s.clone())).collect()
     }
 }
 

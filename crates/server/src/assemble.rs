@@ -2,7 +2,7 @@
 //! with exactly the feature set it needs, generated dynamically by
 //! aggregating packages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 
@@ -14,7 +14,7 @@ use drivolution_core::{DriverImage, DrvError, DrvResult};
 /// libraries of the paper).
 #[derive(Debug, Default)]
 pub struct Assembler {
-    packages: RwLock<HashMap<String, Extension>>,
+    packages: RwLock<BTreeMap<String, Extension>>,
 }
 
 impl Assembler {
@@ -30,9 +30,7 @@ impl Assembler {
 
     /// Registered package names, sorted.
     pub fn package_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.packages.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.packages.read().keys().cloned().collect()
     }
 
     /// Looks up a package.

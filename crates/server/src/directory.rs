@@ -20,7 +20,7 @@
 //! exempt from heartbeat expiry, matching the hand-configured tier that
 //! predates the announce protocol.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -57,7 +57,7 @@ pub struct MirrorEntry {
     pub chunk_count: u64,
     /// Chunk digests the mirror reported holding in its last heartbeat
     /// (capped at the protocol's coverage limit by the sender).
-    pub coverage: HashSet<u64>,
+    pub coverage: BTreeSet<u64>,
     /// Cumulative served bytes from the last heartbeat.
     pub served_bytes: u64,
     /// Requests served between the last two heartbeats (ranking load).
@@ -106,7 +106,7 @@ fn ms(d: Duration) -> u64 {
 pub struct MirrorDirectory {
     clock: Clock,
     config: DirectoryConfig,
-    entries: Mutex<HashMap<String, MirrorEntry>>,
+    entries: Mutex<BTreeMap<String, MirrorEntry>>,
     rotation: AtomicU64,
 }
 
@@ -116,7 +116,7 @@ impl MirrorDirectory {
         MirrorDirectory {
             clock,
             config,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
             rotation: AtomicU64::new(0),
         }
     }
@@ -144,7 +144,7 @@ impl MirrorDirectory {
                         zone,
                         last_seen_ms: now,
                         chunk_count: 0,
-                        coverage: HashSet::new(),
+                        coverage: BTreeSet::new(),
                         served_bytes: 0,
                         load: 0,
                         pinned,
@@ -275,9 +275,7 @@ impl MirrorDirectory {
     /// Snapshot of every entry, sorted by location.
     pub fn snapshot(&self) -> Vec<MirrorEntry> {
         self.sweep();
-        let mut v: Vec<MirrorEntry> = self.entries.lock().values().cloned().collect();
-        v.sort_by(|a, b| a.location.cmp(&b.location));
-        v
+        self.entries.lock().values().cloned().collect()
     }
 }
 

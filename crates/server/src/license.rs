@@ -6,7 +6,7 @@
 //! lease back), on lease expiry (server-side pruning), or when the
 //! client's dedicated channel breaks (failure detection).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -27,8 +27,8 @@ pub struct LicenseManager {
 
 #[derive(Debug, Default)]
 struct Inner {
-    limits: HashMap<DriverId, usize>,
-    held: HashMap<DriverId, Vec<Holder>>,
+    limits: BTreeMap<DriverId, usize>,
+    held: BTreeMap<DriverId, Vec<Holder>>,
 }
 
 impl LicenseManager {

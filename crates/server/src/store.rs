@@ -71,6 +71,12 @@ pub struct EmbeddedExec {
     db: Arc<MiniDb>,
 }
 
+impl std::fmt::Debug for EmbeddedExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddedExec").finish_non_exhaustive()
+    }
+}
+
 impl EmbeddedExec {
     /// Wraps an embedded database.
     pub fn new(db: Arc<MiniDb>) -> Self {
@@ -91,6 +97,12 @@ impl SqlExec for EmbeddedExec {
 /// server path (Figure 2).
 pub struct RemoteExec {
     conn: Mutex<Box<dyn Connection>>,
+}
+
+impl std::fmt::Debug for RemoteExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteExec").finish_non_exhaustive()
+    }
 }
 
 impl RemoteExec {

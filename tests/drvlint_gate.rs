@@ -1,0 +1,18 @@
+//! Tier-1 gate: the drvlint static-analysis pass must be clean on the
+//! committed tree. This is the same check CI runs via
+//! `cargo run -p drvlint -- check`, wired into `cargo test` so the
+//! gate cannot be skipped locally.
+
+use std::path::Path;
+
+#[test]
+fn drvlint_workspace_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = drvlint::run_check(root).expect("drvlint run");
+    assert!(
+        report.is_clean(),
+        "drvlint found {} violation(s):\n{:#?}",
+        report.findings.len(),
+        report.findings
+    );
+}

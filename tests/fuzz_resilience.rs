@@ -130,3 +130,109 @@ proptest! {
         }
     }
 }
+
+/// Every frame tag's decode path must fail *typed* on truncation: each
+/// strict prefix of a valid frame either errors with `DrvError::Codec`
+/// or — only where the protocol keeps a legacy dialect that is a true
+/// prefix (heartbeats without coverage, offers without newer fields) —
+/// decodes to some message. Nothing panics, and the typed error carries
+/// through for the empty and unknown-tag frames.
+#[test]
+fn every_frame_tag_truncation_errors_are_typed() {
+    use drivolution::core::proto::{DrvErrCode, DrvOffer, DrvRequest, RequestKind};
+    use drivolution::core::{DriverId, DrvError, ExpirationPolicy, RenewPolicy, TransferMethod};
+
+    let msgs = vec![
+        DrvMsg::Request(DrvRequest::bootstrap(
+            "orders",
+            "alice",
+            "RDBC",
+            "linux-x86_64",
+        )),
+        DrvMsg::Discover(DrvRequest {
+            kind: RequestKind::Renewal {
+                current: DriverId(7),
+            },
+            ..DrvRequest::bootstrap("orders", "alice", "RDBC", "linux-x86_64")
+        }),
+        DrvMsg::Offer(DrvOffer {
+            driver_id: DriverId(1),
+            driver_version: Some(DriverVersion::new(2, 0, 1)),
+            same_driver: false,
+            lease_ms: 60_000,
+            renew_policy: RenewPolicy::Renew,
+            expiration_policy: ExpirationPolicy::AfterCommit,
+            format: BinaryFormat::Djar,
+            location: "drivers/1".into(),
+            size: 4096,
+            transfer_method: TransferMethod::Sealed,
+            options: vec![("fetch_size".into(), "100".into())],
+            signature: None,
+            content_digest: Some(0xdead_beef),
+            chunked: None,
+        }),
+        DrvMsg::Error {
+            code: DrvErrCode::PermissionDenied,
+            message: "no".into(),
+        },
+        DrvMsg::FileRequest {
+            location: "loc-1".into(),
+            transfer_method: TransferMethod::Checksum,
+        },
+        DrvMsg::FileData {
+            payload: Bytes::from_static(b"abcdef"),
+        },
+        DrvMsg::Release {
+            database: "orders".into(),
+            user: "alice".into(),
+            driver: DriverId(1),
+        },
+        DrvMsg::ReleaseOk,
+        DrvMsg::ChunkRequest {
+            digests: vec![1, 2, 3],
+            transfer_method: TransferMethod::Plain,
+        },
+        DrvMsg::ChunkData {
+            payload: Bytes::from_static(b"chunks"),
+        },
+        DrvMsg::MirrorAnnounce {
+            location: "m1:1071".into(),
+            zone: Some("east".into()),
+        },
+        DrvMsg::MirrorHeartbeat {
+            location: "m1:1071".into(),
+            chunk_count: 3,
+            served_bytes: 1024,
+            load: 2,
+            coverage: vec![10, 20, 30],
+        },
+        DrvMsg::MirrorAck { known: true },
+        DrvMsg::ActivationReport {
+            database: "orders".into(),
+            driver: DriverId(2),
+            version: None,
+            ok: true,
+            detail: String::new(),
+        },
+        DrvMsg::ActivationAck,
+    ];
+    for msg in msgs {
+        let frame = msg.encode();
+        for cut in 0..frame.len() {
+            match DrvMsg::decode(frame.slice(0..cut)) {
+                Ok(_) => {} // legacy-prefix dialects decode shorter frames
+                Err(DrvError::Codec(_)) => {}
+                Err(other) => panic!("truncated {msg:?} at {cut}: untyped error {other:?}"),
+            }
+        }
+    }
+    // Empty frames and unknown tags are typed codec errors too.
+    assert!(matches!(
+        DrvMsg::decode(Bytes::new()),
+        Err(DrvError::Codec(_))
+    ));
+    assert!(matches!(
+        DrvMsg::decode(Bytes::from_static(&[200u8])),
+        Err(DrvError::Codec(_))
+    ));
+}

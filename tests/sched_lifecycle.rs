@@ -256,12 +256,12 @@ fn jittered_schedules_replay_identically_under_one_seed() {
 /// pulling a mutex type into every test line.
 mod parking_lot_times {
     #[derive(Default)]
-    pub struct Times(std::sync::Mutex<Vec<u64>>);
+    pub(crate) struct Times(std::sync::Mutex<Vec<u64>>);
     impl Times {
-        pub fn push(&self, t: u64) {
+        pub(crate) fn push(&self, t: u64) {
             self.0.lock().unwrap().push(t);
         }
-        pub fn snapshot(&self) -> Vec<u64> {
+        pub(crate) fn snapshot(&self) -> Vec<u64> {
             self.0.lock().unwrap().clone()
         }
     }
