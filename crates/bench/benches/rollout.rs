@@ -77,12 +77,17 @@ struct HealthyOutcome {
     plan_misses: u64,
     upgraded: usize,
     complete: bool,
+    batch_frames: u64,
+    batched_renewals: u64,
+    shared_image_reuses: u64,
 }
 
 /// Pumps the network until the orchestrator settles, sampling real time
-/// whenever a new wave opens.
+/// whenever a new wave opens. The fleet runs the batched shape: sharded
+/// license table on the server, one `RENEW_BATCH` frame per aggregator
+/// tick instead of one request per client.
 fn run_healthy(clients: usize) -> HealthyOutcome {
-    let sim = FleetSim::build_rollout(clients, LEASE_MS, DRIVER_PADDING);
+    let sim = FleetSim::build_rollout_batched(clients, LEASE_MS, DRIVER_PADDING);
     sim.bootstrap_all();
     sim.publish_staged(2, v2(), DRIVER_PADDING);
     sim.net().stats().reset();
@@ -133,6 +138,7 @@ fn run_healthy(clients: usize) -> HealthyOutcome {
         });
     }
     let (plan_hits, plan_misses) = sim.net().stats().plan_counters();
+    let srv = sim.server().stats();
     HealthyOutcome {
         waves,
         virtual_ms: sim.net().clock().now_ms() - started_virtual,
@@ -141,6 +147,13 @@ fn run_healthy(clients: usize) -> HealthyOutcome {
         plan_misses,
         upgraded: sim.count_on(v2()),
         complete: st.phase == RolloutPhase::Complete,
+        batch_frames: srv.batch_frames,
+        batched_renewals: srv.batched_renewals,
+        shared_image_reuses: sim
+            .clients()
+            .iter()
+            .map(|c| c.stats().shared_image_reuses)
+            .sum(),
     }
 }
 
@@ -159,7 +172,7 @@ struct RollbackOutcome {
 /// Lets the canary pass, injects an activation fault mid-percentage-wave,
 /// and measures the halt plus auto-rollback.
 fn run_regression(clients: usize) -> RollbackOutcome {
-    let sim = FleetSim::build_rollout(clients, LEASE_MS, DRIVER_PADDING);
+    let sim = FleetSim::build_rollout_batched(clients, LEASE_MS, DRIVER_PADDING);
     sim.bootstrap_all();
     sim.publish_staged(2, v2(), DRIVER_PADDING);
     let ro = sim.start_rollout(DriverId(1), DriverId(2), &plan(), config());
@@ -261,7 +274,14 @@ fn main() {
         "    delta plans: {} computed, {} served from memo",
         healthy.plan_misses, healthy.plan_hits
     );
-
+    println!(
+        "    batching: {} renewals coalesced into {} RENEW_BATCH frames",
+        healthy.batched_renewals, healthy.batch_frames
+    );
+    println!(
+        "    image sharing: {} upgrades adopted a peer's assembled image",
+        healthy.shared_image_reuses
+    );
     let rb = run_regression(clients);
     println!("  mid-rollout regression:");
     println!(
@@ -313,6 +333,17 @@ fn main() {
     let _ = writeln!(json, "  \"upgrade_wall_ms\": {},", healthy.wall.as_millis());
     let _ = writeln!(json, "  \"delta_plans_computed\": {},", healthy.plan_misses);
     let _ = writeln!(json, "  \"delta_plans_memoized\": {},", healthy.plan_hits);
+    let _ = writeln!(json, "  \"batch_frames\": {},", healthy.batch_frames);
+    let _ = writeln!(
+        json,
+        "  \"batched_renewals\": {},",
+        healthy.batched_renewals
+    );
+    let _ = writeln!(
+        json,
+        "  \"shared_image_reuses\": {},",
+        healthy.shared_image_reuses
+    );
     let _ = writeln!(
         json,
         "  \"regression_upgraded_at_fault\": {},",

@@ -1,0 +1,208 @@
+//! Sharded license table and batched lease traffic.
+//!
+//! Two measurements behind the 10k-client fast path:
+//!
+//! 1. **Seat-shard scaling** — a renewal storm (every host of a fully
+//!    seated fleet renews, repeatedly) against [`LicenseManager`]
+//!    instances with 1, 4 and 16 shards. Renewals that fit their
+//!    shard's sub-quota take one shard lock and one shard-local
+//!    `BTreeMap` probe, so per-renewal cost must not grow with fleet
+//!    size the way a single global table's did. Wall-clock throughput
+//!    is reported per shard count; correctness (every renewal grants,
+//!    zero denials at full occupancy) is gated.
+//! 2. **Frame reduction** — the same fleet run unbatched (one
+//!    `DRIVOLUTION_REQUEST` frame per client per renewal) and batched
+//!    (per-zone aggregator coalescing same-tick renewals into
+//!    `RENEW_BATCH` frames) over identical virtual steady-state
+//!    windows. The server must see at least 10× fewer frames on the
+//!    batched shape; this count is deterministic, so it is a hard gate.
+//!
+//! This target uses `harness = false`: it emits `BENCH_shard.json` at
+//! the workspace root and exits nonzero when a gate fails (CI runs it
+//! in smoke mode via `SHARD_BENCH_SMOKE=1`).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench shard`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use drivolution_core::DriverId;
+use drivolution_server::LicenseManager;
+use fleet::FleetSim;
+
+const MINUTE: u64 = 60_000;
+const LEASE_MS: u64 = 10 * MINUTE;
+const DRIVER_PADDING: usize = 16 * 1024;
+
+struct ShardTrace {
+    shards: usize,
+    renewals: u64,
+    denials: u64,
+    wall_ms: u128,
+    renewals_per_sec: u64,
+}
+
+/// Fully seats a fleet of `hosts` clients, then drives `rounds` renewal
+/// storms (every host renews its own seat, lease half-expired) with a
+/// maintenance prune between rounds — the server's steady-state shape.
+fn run_license_storm(shards: usize, hosts: usize, rounds: usize) -> ShardTrace {
+    const D: DriverId = DriverId(1);
+    let lm = LicenseManager::with_shards(shards);
+    lm.set_limit(D, hosts);
+    for h in 0..hosts {
+        lm.acquire(D, "app", &format!("host-{h:05}"), LEASE_MS, 0)
+            .expect("initial checkout within the limit");
+    }
+
+    let mut denials = 0u64;
+    let started = Instant::now();
+    for r in 1..=rounds {
+        let now = r as u64 * (LEASE_MS / 2);
+        for h in 0..hosts {
+            if lm
+                .acquire(D, "app", &format!("host-{h:05}"), LEASE_MS, now)
+                .is_err()
+            {
+                denials += 1;
+            }
+        }
+        // Maintenance runs between storms, never inside one — mirroring
+        // the server's scheduled prune task.
+        lm.prune_expired(now);
+    }
+    let wall = started.elapsed();
+    let renewals = (hosts * rounds) as u64 - denials;
+    ShardTrace {
+        shards,
+        renewals,
+        denials,
+        wall_ms: wall.as_millis(),
+        renewals_per_sec: (renewals as f64 / wall.as_secs_f64().max(1e-9)) as u64,
+    }
+}
+
+struct FrameTrace {
+    frames: u64,
+    renewals: u64,
+    batch_frames: u64,
+}
+
+/// Runs `cycles` lease windows of steady-state maintenance and reports
+/// the frames the Drivolution server actually received.
+fn run_fleet(batched: bool, clients: usize, cycles: u64) -> FrameTrace {
+    let sim = if batched {
+        FleetSim::build_rollout_batched(clients, LEASE_MS, DRIVER_PADDING)
+    } else {
+        FleetSim::build_rollout(clients, LEASE_MS, DRIVER_PADDING)
+    };
+    sim.bootstrap_all();
+    let before = sim.server().stats();
+    let steady = sim.run_steady_state(MINUTE, cycles * LEASE_MS);
+    let after = sim.server().stats();
+    FrameTrace {
+        frames: steady.server_requests,
+        renewals: after.renewals - before.renewals,
+        batch_frames: after.batch_frames - before.batch_frames,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("SHARD_BENCH_SMOKE").is_ok();
+    let (hosts, rounds) = if smoke { (1_000, 5) } else { (10_000, 20) };
+    let fleet_clients = if smoke { 120 } else { 400 };
+    let cycles = 3u64;
+
+    println!("\nsharded license table — {hosts} hosts × {rounds} renewal storms");
+    let traces: Vec<ShardTrace> = [1usize, 4, 16]
+        .iter()
+        .map(|&s| run_license_storm(s, hosts, rounds))
+        .collect();
+    for t in &traces {
+        println!(
+            "  {:>2} shards: {:>8} renewals in {:>5} ms ({} renewals/sec), {} denials",
+            t.shards, t.renewals, t.wall_ms, t.renewals_per_sec, t.denials
+        );
+    }
+
+    println!("lease traffic — {fleet_clients} clients over {cycles} lease windows");
+    let unbatched = run_fleet(false, fleet_clients, cycles);
+    let batched = run_fleet(true, fleet_clients, cycles);
+    println!(
+        "  unbatched: {} frames to the server ({} renewals)",
+        unbatched.frames, unbatched.renewals
+    );
+    println!(
+        "  batched:   {} frames to the server ({} renewals in {} RENEW_BATCH frames)",
+        batched.frames, batched.renewals, batched.batch_frames
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"shard\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"hosts\": {hosts},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    json.push_str("  \"license_storm\": [\n");
+    for (i, t) in traces.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"renewals\": {}, \"denials\": {}, \"wall_ms\": {}, \"renewals_per_sec\": {}}}{}",
+            t.shards,
+            t.renewals,
+            t.denials,
+            t.wall_ms,
+            t.renewals_per_sec,
+            if i + 1 == traces.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"fleet_clients\": {fleet_clients},");
+    let _ = writeln!(json, "  \"lease_cycles\": {cycles},");
+    let _ = writeln!(json, "  \"unbatched_frames\": {},", unbatched.frames);
+    let _ = writeln!(json, "  \"unbatched_renewals\": {},", unbatched.renewals);
+    let _ = writeln!(json, "  \"batched_frames\": {},", batched.frames);
+    let _ = writeln!(json, "  \"batched_renewals\": {},", batched.renewals);
+    let _ = writeln!(json, "  \"batch_frames\": {}", batched.batch_frames);
+    json.push_str("}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Gates. Wall-clock throughput is reported but not gated (shared CI
+    // boxes are too noisy); every deterministic count is.
+    let mut bad = false;
+    for t in &traces {
+        if t.denials != 0 {
+            eprintln!(
+                "REGRESSION: {} renewals denied at {} shards — renewal-in-place broke",
+                t.denials, t.shards
+            );
+            bad = true;
+        }
+        if t.renewals != (hosts * rounds) as u64 {
+            eprintln!(
+                "REGRESSION: expected {} renewals at {} shards, granted {}",
+                hosts * rounds,
+                t.shards,
+                t.renewals
+            );
+            bad = true;
+        }
+    }
+    if batched.renewals == 0 || batched.batch_frames == 0 {
+        eprintln!("REGRESSION: batched fleet produced no RENEW_BATCH traffic");
+        bad = true;
+    }
+    if batched.frames * 10 > unbatched.frames {
+        eprintln!(
+            "REGRESSION: batching only cut server frames from {} to {} (need ≥10×)",
+            unbatched.frames, batched.frames
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,7 @@ use driverkit::{
 };
 
 use drivolution_core::chunk::ChunkSet;
-use drivolution_core::proto::{ChunkPlan, DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution_core::proto::{ChunkPlan, DrvErrCode, DrvMsg, DrvOffer, DrvRequest, RequestKind};
 use drivolution_core::{
     transfer, DriverImage, DriverVersion, DrvError, DrvNotice, Lease, LeaseState,
 };
@@ -54,6 +54,9 @@ pub struct BootStats {
     pub mirror_fallbacks: u64,
     /// Delta chunk sets successfully fetched from a mirror replica.
     pub mirror_chunk_fetches: u64,
+    /// Upgrades that adopted a zone peer's already-assembled image
+    /// (re-verified, zero fetch, zero assembly).
+    pub shared_image_reuses: u64,
     /// Delta chunk payload bytes fetched from a source in the client's
     /// own zone (or in an unzoned topology).
     pub same_zone_chunk_bytes: u64,
@@ -723,7 +726,37 @@ impl Bootloader {
         plan: &ChunkPlan,
         depot: &Arc<DriverDepot>,
     ) -> DkResult<(DriverImage, Arc<dyn Driver>)> {
-        let (_, need) = depot.partition_chunks(&plan.manifest);
+        // A zone peer may already have assembled exactly this image:
+        // adopt its refcounted bytes instead of re-fetching and
+        // re-materializing an identical copy. The adopted bytes are
+        // re-verified against the manifest digest and the chunk map is
+        // digest-verified during depot insertion, so a bad cache entry
+        // fails like a corrupt download instead of being trusted.
+        if let Some(cache) = &self.config.image_cache {
+            if let Some((bytes, chunk_map)) = cache.get(plan.manifest.content_digest) {
+                if bytes.len() as u64 == plan.manifest.total_size
+                    && drivolution_core::fnv1a64(&bytes) == plan.manifest.content_digest
+                {
+                    let loaded = self.verify_and_load(offer, bytes.clone())?;
+                    depot.insert_assembled(
+                        &self.context_database(),
+                        bytes,
+                        &plan.manifest,
+                        &chunk_map,
+                    );
+                    self.net
+                        .stats()
+                        .record_saved(server, plan.manifest.total_size as usize);
+                    {
+                        let mut st = self.stats.lock();
+                        st.shared_image_reuses += 1;
+                        st.bytes_saved += plan.manifest.total_size;
+                    }
+                    return Ok(loaded);
+                }
+            }
+        }
+        let (have, need) = depot.partition_chunks(&plan.manifest);
         let mut fetched: std::collections::HashMap<u64, Bytes> = std::collections::HashMap::new();
         let mut fetched_bytes: u64 = 0;
         let mut fell_back = false;
@@ -799,7 +832,24 @@ impl Bootloader {
             .assemble(&plan.manifest, &fetched)
             .map_err(DkError::Drv)?;
         let loaded = self.verify_and_load(offer, bytes.clone())?;
-        depot.insert(&self.context_database(), bytes);
+        depot.insert_assembled(
+            &self.context_database(),
+            bytes.clone(),
+            &plan.manifest,
+            &fetched,
+        );
+        if let Some(cache) = &self.config.image_cache {
+            // Publish for zone peers: the verified image plus the chunk
+            // bytes it was assembled from (fetched entries and local
+            // reuses alike), all as refcounted handles.
+            let mut chunk_map = fetched.clone();
+            for d in &have {
+                if let Some(c) = depot.chunk(*d) {
+                    chunk_map.insert(*d, c);
+                }
+            }
+            cache.put(plan.manifest.content_digest, bytes, Arc::new(chunk_map));
+        }
         let saved = plan.manifest.total_size.saturating_sub(fetched_bytes);
         self.net.stats().record_saved(server, saved as usize);
         {
@@ -895,28 +945,44 @@ impl Bootloader {
         outcome
     }
 
-    fn maintenance(self: &Arc<Self>) -> PollOutcome {
+    /// Drains pushed notices off the dedicated channel; returns whether
+    /// any of them concerned our database (forcing a renewal).
+    fn drain_notices(&self) -> bool {
         let mut force_renew = false;
-        {
-            let mut st = self.state.lock();
-            if let Some(pipe) = &st.pipe {
-                while let Ok(Some(raw)) = pipe.try_recv() {
-                    if let Ok(notice) = DrvNotice::decode(raw) {
-                        let ours = st
-                            .last_url
-                            .as_ref()
-                            .map(|u| u.database() == notice_database(&notice))
-                            .unwrap_or(false);
-                        if ours {
-                            force_renew = true;
-                        }
+        let mut st = self.state.lock();
+        if let Some(pipe) = &st.pipe {
+            while let Ok(Some(raw)) = pipe.try_recv() {
+                if let Ok(notice) = DrvNotice::decode(raw) {
+                    let ours = st
+                        .last_url
+                        .as_ref()
+                        .map(|u| u.database() == notice_database(&notice))
+                        .unwrap_or(false);
+                    if ours {
+                        force_renew = true;
                     }
                 }
-                if !pipe.is_open() {
-                    st.pipe = None;
-                }
+            }
+            if !pipe.is_open() {
+                st.pipe = None;
             }
         }
+        force_renew
+    }
+
+    /// Records a renewal attempt timestamp, bounded: an undrained
+    /// long-lived bootloader keeps only the most recent attempts instead
+    /// of growing forever.
+    fn record_renewal_time(&self) {
+        let mut times = self.renewal_times.lock();
+        if times.len() >= MAX_RENEWAL_TIMES {
+            times.drain(..MAX_RENEWAL_TIMES / 2);
+        }
+        times.push(self.clock.now_ms());
+    }
+
+    fn maintenance(self: &Arc<Self>) -> PollOutcome {
+        let force_renew = self.drain_notices();
         let Some(ns) = self.registry.active() else {
             return PollOutcome::Idle;
         };
@@ -942,67 +1008,9 @@ impl Bootloader {
             &url,
             &props,
         );
-        {
-            // Bounded: an undrained long-lived bootloader keeps only the
-            // most recent attempts instead of growing forever.
-            let mut times = self.renewal_times.lock();
-            if times.len() >= MAX_RENEWAL_TIMES {
-                times.drain(..MAX_RENEWAL_TIMES / 2);
-            }
-            times.push(self.clock.now_ms());
-        }
+        self.record_renewal_time();
         match self.exchange(&url, DrvMsg::Request(req)) {
-            Ok((server, DrvMsg::Offer(offer))) if offer.same_driver => {
-                // RENEW: keep the driver, restart the lease window.
-                if let Ok(lease) = self.lease_of(&offer) {
-                    let _ = self.registry.set_lease(ns.id, lease);
-                }
-                self.state.lock().server = Some(server);
-                self.stats.lock().renewals += 1;
-                PollOutcome::Renewed
-            }
-            Ok((server, DrvMsg::Offer(offer))) => {
-                // UPGRADE: download, switch new connects, transition old
-                // connections per the offer's expiration policy, unload.
-                let from = ns.image.version;
-                match self.install_offer(&server, &offer) {
-                    Ok(new_ns) => {
-                        let to = self
-                            .registry
-                            .get(new_ns)
-                            .map(|n| n.image.version)
-                            .unwrap_or_default();
-                        if self.registry.activate(new_ns).is_err() {
-                            return PollOutcome::KeptAfterFailure;
-                        }
-                        self.state.lock().server = Some(server);
-                        self.tracker.apply_policy(
-                            ns.id,
-                            offer.expiration_policy,
-                            "driver upgraded by drivolution server",
-                        );
-                        self.maybe_unload(ns.id);
-                        self.stats.lock().upgrades += 1;
-                        if self.config.report_activation {
-                            let verdict = self.run_activation_check(new_ns);
-                            self.send_activation_report(&url, &offer, Some(to), verdict);
-                        }
-                        PollOutcome::Upgraded { from, to }
-                    }
-                    Err(e) => {
-                        self.stats.lock().failed_renewals += 1;
-                        if self.config.report_activation {
-                            self.send_activation_report(
-                                &url,
-                                &offer,
-                                None,
-                                Err(format!("driver install failed: {e}")),
-                            );
-                        }
-                        PollOutcome::KeptAfterFailure
-                    }
-                }
-            }
+            Ok((server, DrvMsg::Offer(offer))) => self.apply_renewal_offer(ns, &url, server, offer),
             Ok((_server, DrvMsg::Error { .. })) => {
                 // REVOKE (or no driver anymore): block new connections and
                 // transition existing ones per the *current* lease policy.
@@ -1015,6 +1023,127 @@ impl Bootloader {
                 PollOutcome::KeptAfterFailure
             }
         }
+    }
+
+    /// Applies a renewal-shaped offer, whether it arrived as an
+    /// individual reply or inside an `OFFER_BATCH`.
+    fn apply_renewal_offer(
+        self: &Arc<Self>,
+        ns: &Namespace,
+        url: &DbUrl,
+        server: Addr,
+        offer: DrvOffer,
+    ) -> PollOutcome {
+        if offer.same_driver {
+            // RENEW: keep the driver, restart the lease window.
+            if let Ok(lease) = self.lease_of(&offer) {
+                let _ = self.registry.set_lease(ns.id, lease);
+            }
+            self.state.lock().server = Some(server);
+            self.stats.lock().renewals += 1;
+            return PollOutcome::Renewed;
+        }
+        // UPGRADE: download, switch new connects, transition old
+        // connections per the offer's expiration policy, unload.
+        let from = ns.image.version;
+        match self.install_offer(&server, &offer) {
+            Ok(new_ns) => {
+                let to = self
+                    .registry
+                    .get(new_ns)
+                    .map(|n| n.image.version)
+                    .unwrap_or_default();
+                if self.registry.activate(new_ns).is_err() {
+                    return PollOutcome::KeptAfterFailure;
+                }
+                self.state.lock().server = Some(server);
+                self.tracker.apply_policy(
+                    ns.id,
+                    offer.expiration_policy,
+                    "driver upgraded by drivolution server",
+                );
+                self.maybe_unload(ns.id);
+                self.stats.lock().upgrades += 1;
+                if self.config.report_activation {
+                    let verdict = self.run_activation_check(new_ns);
+                    self.send_activation_report(url, &offer, Some(to), verdict);
+                }
+                PollOutcome::Upgraded { from, to }
+            }
+            Err(e) => {
+                self.stats.lock().failed_renewals += 1;
+                if self.config.report_activation {
+                    self.send_activation_report(
+                        url,
+                        &offer,
+                        None,
+                        Err(format!("driver install failed: {e}")),
+                    );
+                }
+                PollOutcome::KeptAfterFailure
+            }
+        }
+    }
+
+    // --- batched renewals (aggregator interface) ------------------------
+
+    /// The renewal request this bootloader would send right now, or
+    /// `None` when no renewal is due (no active driver, or the lease is
+    /// still valid and no pushed notice forced a renewal). A fleet-side
+    /// aggregator collects these from every client in a zone and
+    /// coalesces them into one `RENEW_BATCH` frame; replies come back
+    /// through [`apply_batch_offer`](Self::apply_batch_offer). The entry
+    /// carries this bootloader's host so the server attributes the
+    /// license seat to the client, not the aggregator.
+    pub fn batch_renewal_entry(self: &Arc<Self>) -> Option<(String, DrvRequest)> {
+        let force_renew = self.drain_notices();
+        let ns = self.registry.active()?;
+        let lease_state = ns.lease.state(self.clock.now_ms());
+        if !force_renew && lease_state == LeaseState::Valid {
+            return None;
+        }
+        let (url, props) = {
+            let st = self.state.lock();
+            match (st.last_url.clone(), st.last_props.clone()) {
+                (Some(u), Some(p)) => (u, p),
+                _ => return None,
+            }
+        };
+        let req = self.build_request(
+            RequestKind::Renewal {
+                current: ns.driver_id,
+            },
+            &url,
+            &props,
+        );
+        self.record_renewal_time();
+        Some((self.local.host().to_string(), req))
+    }
+
+    /// Applies one reply from an `OFFER_BATCH` to this bootloader,
+    /// mirroring exactly what an individually exchanged renewal would
+    /// have done: same-driver offers renew the lease, other offers
+    /// upgrade, and error replies revoke. Re-arms the lease timer.
+    pub fn apply_batch_offer(
+        self: &Arc<Self>,
+        server: &Addr,
+        reply: Result<DrvOffer, (DrvErrCode, String)>,
+    ) -> PollOutcome {
+        let Some(ns) = self.registry.active() else {
+            return PollOutcome::Idle;
+        };
+        let Some(url) = self.state.lock().last_url.clone() else {
+            return PollOutcome::Idle;
+        };
+        let outcome = match reply {
+            Ok(offer) => self.apply_renewal_offer(&ns, &url, server.clone(), offer),
+            Err(_) => {
+                self.apply_revoke(&ns);
+                PollOutcome::Revoked
+            }
+        };
+        self.sync_lease_timer();
+        outcome
     }
 
     /// Runs the configured post-activation self-check against the

@@ -9,7 +9,7 @@ use drivolution_core::{
     ApiVersion, BinaryFormat, ChannelTrust, DriverImage, DriverVersion, TransferMethod, TrustStore,
     DRIVOLUTION_PORT,
 };
-use drivolution_depot::DriverDepot;
+use drivolution_depot::{DriverDepot, SharedImageCache};
 
 /// The function shape behind an [`ActivationCheck`].
 type CheckFn = dyn Fn(&DriverImage) -> Result<(), String> + Send + Sync;
@@ -170,6 +170,12 @@ pub struct BootloaderConfig {
     /// summary and the bootloader resolves zero-transfer revalidations
     /// and chunked delta upgrades against it.
     pub depot: Option<Arc<DriverDepot>>,
+    /// Zone-level cache of assembled upgrade images, shared with the
+    /// other clients behind the same renewal aggregator. A rollout wave
+    /// assembles each target image once instead of once per client; the
+    /// adopted bytes are re-verified against the offer's digest, so the
+    /// cache can accelerate but never corrupt an install.
+    pub image_cache: Option<Arc<SharedImageCache>>,
     /// Scheduler-driven lifecycle tasks (upgrade polling, lease
     /// auto-renewal).
     pub lifecycle: LifecyclePolicy,
@@ -231,6 +237,7 @@ impl BootloaderConfig {
             open_notify_channel: false,
             lazy_extension_fetch: false,
             depot: None,
+            image_cache: None,
             lifecycle: LifecyclePolicy::default(),
             report_activation: false,
             activation_check: None,
@@ -278,6 +285,14 @@ impl BootloaderConfig {
     /// persistent depot.
     pub fn with_depot(mut self, depot: Arc<DriverDepot>) -> Self {
         self.depot = Some(depot);
+        self
+    }
+
+    /// Shares a zone-level assembled-image cache with this bootloader
+    /// (see [`SharedImageCache`]). Typically one per renewal-aggregator
+    /// zone.
+    pub fn with_image_cache(mut self, cache: Arc<SharedImageCache>) -> Self {
+        self.image_cache = Some(cache);
         self
     }
 

@@ -502,6 +502,25 @@ pub enum DrvMsg {
     },
     /// `ACTIVATION_ACK` — the server's answer to an activation report.
     ActivationAck,
+    /// `RENEW_BATCH` — a renewal aggregator's coalesced frame: one entry
+    /// per client due in the same scheduler tick, carrying the
+    /// originating client host (licensing, lease logging, and rollout
+    /// wave membership key on the client, never the aggregator) plus
+    /// that client's renewal request. The server answers with one
+    /// [`DrvMsg::OfferBatch`] whose entries pair up by position. The
+    /// single-frame `Request`/`Offer` dialect remains fully supported
+    /// for unbatched clients.
+    RenewBatch {
+        /// Per-client entries: `(client_host, request)`.
+        entries: Vec<(String, DrvRequest)>,
+    },
+    /// `OFFER_BATCH` — the server's positional reply to a
+    /// [`DrvMsg::RenewBatch`]: per entry, either a full offer or the
+    /// typed error that client's individual request would have produced.
+    OfferBatch {
+        /// Positional replies, one per batch entry.
+        replies: Vec<Result<DrvOffer, (DrvErrCode, String)>>,
+    },
 }
 
 fn put_req(b: &mut BytesMut, r: &DrvRequest) {
@@ -735,6 +754,15 @@ const TAG_MIRROR_ACK: u8 = 12;
 const TAG_ACTIVATION_REPORT: u8 = 13;
 /// Activation-acknowledgement frame tag.
 const TAG_ACTIVATION_ACK: u8 = 14;
+/// `RENEW_BATCH` frame tag.
+const TAG_RENEW_BATCH: u8 = 15;
+/// `OFFER_BATCH` frame tag.
+const TAG_OFFER_BATCH: u8 = 16;
+
+/// Batch frame format version, written right after the tag byte of both
+/// batch frames so their layout can evolve without burning new tags.
+/// Decoders reject unknown formats instead of guessing.
+const BATCH_FORMAT: u8 = 1;
 
 impl DrvMsg {
     /// Serializes the message.
@@ -838,6 +866,33 @@ impl DrvMsg {
                 put_str(&mut b, detail);
             }
             DrvMsg::ActivationAck => b.put_u8(TAG_ACTIVATION_ACK),
+            DrvMsg::RenewBatch { entries } => {
+                b.put_u8(TAG_RENEW_BATCH);
+                b.put_u8(BATCH_FORMAT);
+                b.put_u32_le(entries.len() as u32);
+                for (host, req) in entries {
+                    put_str(&mut b, host);
+                    put_req(&mut b, req);
+                }
+            }
+            DrvMsg::OfferBatch { replies } => {
+                b.put_u8(TAG_OFFER_BATCH);
+                b.put_u8(BATCH_FORMAT);
+                b.put_u32_le(replies.len() as u32);
+                for reply in replies {
+                    match reply {
+                        Ok(offer) => {
+                            b.put_u8(0);
+                            put_offer(&mut b, offer);
+                        }
+                        Err((code, message)) => {
+                            b.put_u8(1);
+                            b.put_u16_le(code.code());
+                            put_str(&mut b, message);
+                        }
+                    }
+                }
+            }
         }
         b.freeze()
     }
@@ -940,6 +995,52 @@ impl DrvMsg {
                 detail: get_str(&mut buf, "activation detail")?,
             }),
             TAG_ACTIVATION_ACK => Ok(DrvMsg::ActivationAck),
+            TAG_RENEW_BATCH => {
+                let v = get_u8(&mut buf, "renew batch format")?;
+                if v != BATCH_FORMAT {
+                    return Err(DrvError::Codec(format!("unknown renew batch format {v}")));
+                }
+                let n = get_u32(&mut buf, "renew batch count")?;
+                // Every entry costs at least a host length prefix; a
+                // hostile count cannot reserve more than the frame holds.
+                if u64::from(n) * 4 > buf.len() as u64 {
+                    return Err(DrvError::Codec(format!(
+                        "renew batch count {n} exceeds frame"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let host = get_str(&mut buf, "batch client host")?;
+                    entries.push((host, get_req(&mut buf)?));
+                }
+                Ok(DrvMsg::RenewBatch { entries })
+            }
+            TAG_OFFER_BATCH => {
+                let v = get_u8(&mut buf, "offer batch format")?;
+                if v != BATCH_FORMAT {
+                    return Err(DrvError::Codec(format!("unknown offer batch format {v}")));
+                }
+                let n = get_u32(&mut buf, "offer batch count")?;
+                if u64::from(n) * 3 > buf.len() as u64 {
+                    return Err(DrvError::Codec(format!(
+                        "offer batch count {n} exceeds frame"
+                    )));
+                }
+                let mut replies = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    match get_u8(&mut buf, "offer batch entry kind")? {
+                        0 => replies.push(Ok(get_offer(&mut buf)?)),
+                        1 => replies.push(Err((
+                            DrvErrCode::from_code(get_u16(&mut buf, "offer batch error code")?),
+                            get_str(&mut buf, "offer batch error message")?,
+                        ))),
+                        t => {
+                            return Err(DrvError::Codec(format!("bad offer batch entry kind {t}")))
+                        }
+                    }
+                }
+                Ok(DrvMsg::OfferBatch { replies })
+            }
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
     }
@@ -1181,9 +1282,64 @@ mod tests {
                 detail: "load failed: bad symbol".into(),
             },
             DrvMsg::ActivationAck,
+            DrvMsg::RenewBatch {
+                entries: vec![
+                    (
+                        "app0001".into(),
+                        DrvRequest {
+                            kind: RequestKind::Renewal {
+                                current: DriverId(3),
+                            },
+                            ..request()
+                        },
+                    ),
+                    ("app0002".into(), request()),
+                ],
+            },
+            DrvMsg::RenewBatch {
+                entries: Vec::new(),
+            },
+            DrvMsg::OfferBatch {
+                replies: vec![
+                    Ok(offer()),
+                    Err((DrvErrCode::PermissionDenied, "no license available".into())),
+                    Ok(DrvOffer {
+                        same_driver: true,
+                        chunked: Some(chunk_plan()),
+                        ..offer()
+                    }),
+                ],
+            },
+            DrvMsg::OfferBatch {
+                replies: Vec::new(),
+            },
         ];
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_batch_counts_are_rejected() {
+        // A hostile count cannot reserve more entries than the frame
+        // could possibly hold, for either batch frame.
+        for tag in [15u8, 16u8] {
+            let mut b = BytesMut::new();
+            b.put_u8(tag);
+            b.put_u8(1); // format
+            b.put_u32_le(u32::MAX);
+            assert!(DrvMsg::decode(b.freeze()).is_err(), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn unknown_batch_format_is_rejected() {
+        for tag in [15u8, 16u8] {
+            let mut b = BytesMut::new();
+            b.put_u8(tag);
+            b.put_u8(9); // format from the future
+            b.put_u32_le(0);
+            assert!(DrvMsg::decode(b.freeze()).is_err(), "tag {tag}");
         }
     }
 

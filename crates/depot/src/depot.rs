@@ -307,6 +307,12 @@ impl DriverDepot {
         self.index.image(digest)
     }
 
+    /// Chunk bytes by chunk digest — a refcounted handle onto the
+    /// indexed allocation.
+    pub fn chunk(&self, digest: u64) -> Option<Bytes> {
+        self.index.chunk(digest)
+    }
+
     /// Records a zero-transfer revalidation hit.
     pub fn note_revalidation(&self, database: &str, digest: u64) {
         self.latest.lock().insert(database.to_string(), digest);
@@ -354,10 +360,19 @@ impl DriverDepot {
     }
 
     /// Assembles a full image from the manifest, local chunks, and
-    /// freshly `fetched` chunks, verifying every chunk and the whole
-    /// image. The result is *not* stored — callers [`insert`](Self::insert)
-    /// it once any further checks (e.g. code signatures) have passed, so
-    /// unverifiable images never enter the cache.
+    /// freshly `fetched` chunks. The result is *not* stored — callers
+    /// [`insert_assembled`](Self::insert_assembled) it once any further
+    /// checks (e.g. code signatures) have passed, so unverifiable images
+    /// never enter the cache.
+    ///
+    /// Verification is two-level, sized to what is actually untrusted:
+    /// each *fetched* chunk is digest-checked (the network supplied it),
+    /// locally reused chunks are not (the content index only stores
+    /// digest-verified bytes), and one whole-image digest seals ordering,
+    /// count, and content. A boundary re-scan of the assembled bytes
+    /// would re-prove what the image digest already proves — at 10k
+    /// clients per rollout wave that redundant per-byte pass dominated
+    /// upgrade wall time.
     ///
     /// # Errors
     ///
@@ -368,17 +383,41 @@ impl DriverDepot {
         manifest: &ChunkManifest,
         fetched: &HashMap<u64, Bytes>,
     ) -> DrvResult<Bytes> {
-        let mut available = fetched.clone();
+        let mut out = Vec::with_capacity(manifest.total_size as usize);
         let mut reused: u64 = 0;
-        for d in &manifest.chunks {
-            if !available.contains_key(d) {
-                if let Some(chunk) = self.index.chunk(*d) {
-                    reused += chunk.len() as u64;
-                    available.insert(*d, chunk);
+        let mut seen = std::collections::HashSet::new();
+        for (i, d) in manifest.chunks.iter().enumerate() {
+            if let Some(chunk) = fetched.get(d) {
+                if seen.insert(*d) && fnv1a64(chunk) != *d {
+                    return Err(DrvError::BadPackage(format!(
+                        "chunk {i} ({d:016x}) digest mismatch"
+                    )));
                 }
+                out.extend_from_slice(chunk);
+            } else if let Some(chunk) = self.index.chunk(*d) {
+                if seen.insert(*d) {
+                    reused += chunk.len() as u64;
+                }
+                out.extend_from_slice(&chunk);
+            } else {
+                return Err(DrvError::BadPackage(format!(
+                    "chunk {i} ({d:016x}) unavailable for assembly"
+                )));
             }
         }
-        let bytes = drivolution_core::chunk::assemble(manifest, &available)?;
+        let bytes = Bytes::from(out);
+        if bytes.len() as u64 != manifest.total_size {
+            return Err(DrvError::BadPackage(format!(
+                "image size {} does not match manifest size {}",
+                bytes.len(),
+                manifest.total_size
+            )));
+        }
+        if fnv1a64(&bytes) != manifest.content_digest {
+            return Err(DrvError::BadPackage(
+                "assembled image digest does not match manifest".into(),
+            ));
+        }
         // drvlint: allow(map-iter) — summation is commutative; order cannot
         // reach the result.
         let fetched_bytes: u64 = fetched.values().map(|b| b.len() as u64).sum();
@@ -389,6 +428,30 @@ impl DriverDepot {
             st.bytes_fetched += fetched_bytes;
         }
         Ok(bytes)
+    }
+
+    /// Inserts an image just produced by [`assemble`](Self::assemble),
+    /// reusing its manifest and fetched chunks so the depot does not
+    /// re-derive chunk boundaries it already holds. Falls back to a
+    /// plain [`insert`](Self::insert) whenever the fast path cannot be
+    /// proven safe (foreign params, digest mismatch, missing chunks), so
+    /// callers never trade correctness for the saved scan.
+    pub fn insert_assembled(
+        &self,
+        database: &str,
+        bytes: Bytes,
+        manifest: &ChunkManifest,
+        fetched: &HashMap<u64, Bytes>,
+    ) -> u64 {
+        let digest = if manifest.params == self.params {
+            self.index
+                .insert_prechunked(bytes.clone(), manifest, fetched)
+        } else {
+            self.index.insert(bytes.clone(), &self.params)
+        };
+        self.latest.lock().insert(database.to_string(), digest);
+        self.persist(digest, &bytes);
+        digest
     }
 
     /// Records a full-file insert (cold download path).

@@ -99,6 +99,61 @@ impl ContentIndex {
         digest
     }
 
+    /// Indexes `bytes` whose chunking is already known: `manifest` names
+    /// the chunk sequence and `provided` holds any chunk bytes not yet in
+    /// the index (typically the fetched half of a delta). Skips the
+    /// boundary re-scan a plain [`insert`](Self::insert) would pay — for
+    /// a rollout wave of identical upgrades that scan is pure overhead.
+    ///
+    /// The content-addressed invariant is preserved, not assumed: the
+    /// image digest is recomputed against the manifest, provided chunks
+    /// are digest-verified before entering the chunk map, and any gap
+    /// (foreign digest, missing chunk) falls back to the scanning
+    /// `insert`, which derives everything from the verified bytes.
+    pub fn insert_prechunked(
+        &self,
+        bytes: Bytes,
+        manifest: &ChunkManifest,
+        provided: &HashMap<u64, Bytes>,
+    ) -> u64 {
+        let digest = fnv1a64(&bytes);
+        if digest != manifest.content_digest || bytes.len() as u64 != manifest.total_size {
+            return self.insert(bytes, &manifest.params);
+        }
+        if self.images.lock().contains_key(&digest) {
+            return digest;
+        }
+        let mut pairs: Vec<(u64, Bytes)> = Vec::new();
+        let complete = {
+            let chunks = self.chunks.lock();
+            let mut seen = std::collections::HashSet::new();
+            let mut ok = true;
+            for d in &manifest.chunks {
+                if !seen.insert(*d) || chunks.contains_key(d) {
+                    continue;
+                }
+                match provided.get(d) {
+                    Some(b) if fnv1a64(b) == *d => pairs.push((*d, b.clone())),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            ok
+        };
+        if !complete {
+            return self.insert(bytes, &manifest.params);
+        }
+        self.index_chunks(pairs);
+        self.derived_params.lock().insert(manifest.params);
+        self.manifests
+            .lock()
+            .insert((digest, manifest.params), manifest.clone());
+        self.images.lock().insert(digest, (bytes, manifest.params));
+        digest
+    }
+
     fn index_chunks(&self, pairs: Vec<(u64, Bytes)>) {
         let mut chunks = self.chunks.lock();
         for (d, part) in pairs {

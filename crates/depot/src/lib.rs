@@ -43,10 +43,12 @@
 mod depot;
 mod index;
 mod mirror;
+mod shared;
 
 pub use depot::{DepotStats, DriverDepot};
 pub use index::{ContentIndex, DeltaPlan};
 pub use mirror::{MirrorDepot, MirrorStats, MirrorTiming};
+pub use shared::SharedImageCache;
 
 /// Parses a `host:port` mirror location (as carried in
 /// [`drivolution_core::ChunkPlan::mirror`]) into a network address.

@@ -1,0 +1,118 @@
+//! Zone-level sharing of assembled upgrade images.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Cap on cached images. A rollout involves one or two live target
+/// versions per zone; the cap only matters when something cycles
+/// through many digests, and then the whole cache is flushed at once —
+/// wholesale clearing keeps behavior independent of insertion order
+/// (no recency bookkeeping), like the statement cache in minidb.
+const MAX_SHARED_IMAGES: usize = 8;
+
+/// A zone-level cache of fully assembled driver images, shared by the
+/// clients behind one renewal aggregator.
+///
+/// During a rollout wave every client in a zone assembles the *same*
+/// target image from the same delta plan. Without sharing, a 10k-client
+/// fleet materializes 10k identical copies onto freshly faulted pages —
+/// measured as the dominant cost of upgrade wall time, far ahead of the
+/// request traffic itself. The first client to assemble an image
+/// publishes its refcounted bytes (plus the chunk map the assembly was
+/// built from); every later client adopts the shared allocation, so the
+/// per-wave memory and page-fault cost collapses from
+/// O(clients × image) to O(image).
+///
+/// Trust: the cache is advisory, never authoritative. Consumers
+/// re-verify the adopted bytes against their own offer's content digest
+/// before loading, and depot insertion digest-verifies every provided
+/// chunk, so a poisoned or stale entry is rejected exactly like a
+/// corrupt download — it can never be loaded or cached downstream.
+#[derive(Debug, Default)]
+pub struct SharedImageCache {
+    entries: Mutex<HashMap<u64, SharedImage>>,
+}
+
+#[derive(Clone, Debug)]
+struct SharedImage {
+    bytes: Bytes,
+    chunks: Arc<HashMap<u64, Bytes>>,
+}
+
+impl SharedImageCache {
+    /// Creates an empty cache, ready to hand to every bootloader of a
+    /// zone via
+    /// `BootloaderConfig::with_image_cache`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedImageCache::default())
+    }
+
+    /// The shared image under `digest`, if a peer already assembled it:
+    /// the full image bytes and the digest-keyed chunk bytes it was
+    /// assembled from (for pre-chunked depot insertion). Both are
+    /// refcounted handles onto the publisher's allocations.
+    pub fn get(&self, digest: u64) -> Option<(Bytes, Arc<HashMap<u64, Bytes>>)> {
+        self.entries
+            .lock()
+            .get(&digest)
+            .map(|e| (e.bytes.clone(), e.chunks.clone()))
+    }
+
+    /// Publishes an assembled image for peers. The caller must have
+    /// verified `bytes` against `digest` already (consumers re-verify,
+    /// so a bad publish wastes work but cannot propagate).
+    pub fn put(&self, digest: u64, bytes: Bytes, chunks: Arc<HashMap<u64, Bytes>>) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= MAX_SHARED_IMAGES && !entries.contains_key(&digest) {
+            entries.clear();
+        }
+        entries.insert(digest, SharedImage { bytes, chunks });
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_shares_allocations() {
+        let cache = SharedImageCache::new();
+        let img = Bytes::from(vec![7u8; 4096]);
+        let chunks: HashMap<u64, Bytes> = [(1u64, img.slice(0..1024))].into_iter().collect();
+        assert!(cache.get(42).is_none());
+        cache.put(42, img.clone(), Arc::new(chunks));
+        let (got, got_chunks) = cache.get(42).unwrap();
+        assert_eq!(got, img);
+        assert_eq!(got_chunks.len(), 1);
+    }
+
+    #[test]
+    fn cache_clears_wholesale_at_cap() {
+        let cache = SharedImageCache::new();
+        for d in 0..MAX_SHARED_IMAGES as u64 {
+            cache.put(d, Bytes::from(vec![d as u8]), Arc::new(HashMap::new()));
+        }
+        assert_eq!(cache.len(), MAX_SHARED_IMAGES);
+        // Re-publishing a present digest does not flush...
+        cache.put(0, Bytes::from(vec![0]), Arc::new(HashMap::new()));
+        assert_eq!(cache.len(), MAX_SHARED_IMAGES);
+        // ...a new one does, and then occupies the fresh table alone.
+        cache.put(99, Bytes::from(vec![9]), Arc::new(HashMap::new()));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(99).is_some());
+        assert!(cache.get(0).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Fleet-side renewal aggregation: instead of every client renewing its
+//! lease with its own request (one frame per client per beat — the
+//! per-request loop that dominated the 10k-client rollout bench), a
+//! per-zone aggregator collects the renewals due in the same scheduler
+//! tick and sends the server one `RENEW_BATCH` frame. The server answers
+//! with one `OFFER_BATCH`, and each reply is applied to its contributing
+//! bootloader exactly as an individually exchanged renewal would have
+//! been. Entries carry each client's own host, so license seats, rollout
+//! wave targeting, and lease logging still attribute to the client, not
+//! the aggregator.
+
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use netsim::{Addr, Network, TaskControl, TaskHandle};
+
+use drivolution_bootloader::Bootloader;
+use drivolution_core::proto::DrvMsg;
+
+/// Counters exposed for the batching benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Scheduler ticks executed.
+    pub ticks: u64,
+    /// `RENEW_BATCH` frames sent (ticks with at least one due renewal).
+    pub batch_frames: u64,
+    /// Renewal entries coalesced into those frames.
+    pub coalesced_renewals: u64,
+    /// Ticks where no client had a renewal due (no frame sent).
+    pub empty_ticks: u64,
+    /// Batch exchanges that failed at the network level or came back
+    /// malformed (every contributor keeps its driver, like an
+    /// individually failed renewal).
+    pub failed_batches: u64,
+}
+
+/// Coalesces same-tick lease renewals from a set of bootloaders into one
+/// `RENEW_BATCH` frame against one server. Build one per zone with
+/// [`RenewalAggregator::launch`]; clients under an aggregator run
+/// [`drivolution_bootloader::LifecyclePolicy::manual`] so the aggregator
+/// tick is their only renewal driver.
+pub struct RenewalAggregator {
+    net: Network,
+    local: Addr,
+    server: Addr,
+    clients: Mutex<Vec<Weak<Bootloader>>>,
+    stats: Mutex<AggregatorStats>,
+    task: Mutex<Option<TaskHandle>>,
+}
+
+impl std::fmt::Debug for RenewalAggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RenewalAggregator")
+            .field("local", &self.local)
+            .field("server", &self.server)
+            .finish()
+    }
+}
+
+impl RenewalAggregator {
+    /// Creates an aggregator speaking from `local` to the Drivolution
+    /// server at `server` and registers its tick on the network's
+    /// scheduler at `every`. The task holds only a weak reference and
+    /// retires itself once the aggregator is dropped.
+    pub fn launch(
+        net: &Network,
+        local: Addr,
+        server: Addr,
+        clients: &[Arc<Bootloader>],
+        every: Duration,
+    ) -> Arc<Self> {
+        let agg = Arc::new(RenewalAggregator {
+            net: net.clone(),
+            local: local.clone(),
+            server,
+            clients: Mutex::new(clients.iter().map(Arc::downgrade).collect()),
+            stats: Mutex::new(AggregatorStats::default()),
+            task: Mutex::new(None),
+        });
+        let me = Arc::downgrade(&agg);
+        let handle = net.scheduler().every(
+            every,
+            Duration::ZERO,
+            format!("renew-aggregator:{}", local.host()),
+            move || {
+                let Some(agg) = me.upgrade() else {
+                    return Ok(TaskControl::Done);
+                };
+                agg.tick();
+                Ok(TaskControl::Continue)
+            },
+        );
+        *agg.task.lock() = Some(handle);
+        agg
+    }
+
+    /// Adds a client to this aggregator's pool.
+    pub fn add_client(&self, client: &Arc<Bootloader>) {
+        self.clients.lock().push(Arc::downgrade(client));
+    }
+
+    /// Snapshot of the aggregator's counters.
+    pub fn stats(&self) -> AggregatorStats {
+        *self.stats.lock()
+    }
+
+    /// The aggregator's scheduler task, for cadence introspection.
+    pub fn task(&self) -> Option<TaskHandle> {
+        self.task.lock().clone()
+    }
+
+    /// One coalescing pass: asks every live client for its due renewal,
+    /// sends the collected entries as a single `RENEW_BATCH`, and applies
+    /// the server's `OFFER_BATCH` replies back to the contributors in
+    /// order. Returns the number of renewals carried.
+    pub fn tick(&self) -> usize {
+        self.stats.lock().ticks += 1;
+        let mut contributors: Vec<Arc<Bootloader>> = Vec::new();
+        let mut entries = Vec::new();
+        {
+            let mut clients = self.clients.lock();
+            clients.retain(|w| {
+                let Some(c) = w.upgrade() else { return false };
+                if let Some(entry) = c.batch_renewal_entry() {
+                    entries.push(entry);
+                    contributors.push(c);
+                }
+                true
+            });
+        }
+        if entries.is_empty() {
+            self.stats.lock().empty_ticks += 1;
+            return 0;
+        }
+        let n = entries.len();
+        {
+            let mut st = self.stats.lock();
+            st.batch_frames += 1;
+            st.coalesced_renewals += n as u64;
+        }
+        let frame = DrvMsg::RenewBatch { entries }.encode();
+        let replies = match self.net.request(&self.local, &self.server, frame) {
+            Ok(raw) => match DrvMsg::decode(raw) {
+                Ok(DrvMsg::OfferBatch { replies }) if replies.len() == n => replies,
+                _ => {
+                    self.stats.lock().failed_batches += 1;
+                    return n;
+                }
+            },
+            Err(_) => {
+                // Network failure: like an individually failed renewal,
+                // every contributor keeps its current driver.
+                self.stats.lock().failed_batches += 1;
+                return n;
+            }
+        };
+        for (client, reply) in contributors.iter().zip(replies) {
+            client.apply_batch_offer(&self.server, reply);
+        }
+        n
+    }
+}

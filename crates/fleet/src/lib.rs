@@ -18,12 +18,14 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregator;
 pub mod model;
 pub mod ops;
 pub mod report;
 pub mod sim;
 pub mod workload;
 
+pub use aggregator::{AggregatorStats, RenewalAggregator};
 pub use model::{AppSpec, FleetSpec};
 pub use ops::{OpStep, Procedure};
 pub use report::{

@@ -12,7 +12,9 @@
 //! read straight off the task error counters
 //! ([`FleetSim::mirror_heartbeat_failures`]) instead of being swallowed.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::time::Duration;
 
 use netsim::{Addr, Network};
@@ -30,6 +32,8 @@ use drivolution_server::{
 };
 use minidb::wire::DbServer;
 use minidb::MiniDb;
+
+use crate::aggregator::RenewalAggregator;
 
 /// Default cadence of each client's upgrade-poll task (one virtual
 /// minute, as the original hand-cranked sweeps used).
@@ -59,6 +63,7 @@ pub struct FleetSim {
     drv_addr: Addr,
     clients: Vec<Arc<Bootloader>>,
     mirrors: Vec<Arc<MirrorDepot>>,
+    aggregators: Vec<Arc<RenewalAggregator>>,
     url: DbUrl,
     lease_ms: u64,
     /// When set, activation-checking clients fail their post-activation
@@ -172,6 +177,7 @@ impl FleetSim {
             drv_addr: Addr::new("db1", DRIVOLUTION_PORT),
             clients,
             mirrors: Vec::new(),
+            aggregators: Vec::new(),
             url: DbUrl::direct(Addr::new("db1", 5432), "fleetdb"),
             lease_ms,
             faulty_version: Arc::new(Mutex::new(None)),
@@ -192,13 +198,11 @@ impl FleetSim {
                 .with_lifecycle(LifecyclePolicy::driven(DEFAULT_POLL_EVERY))
                 .with_depot(DriverDepot::in_memory())
                 .with_activation_reports()
-                .with_activation_check(move |image| {
-                    match *faulty.lock().expect("fault switch poisoned") {
-                        Some(v) if image.version == v => {
-                            Err("injected activation regression".to_string())
-                        }
-                        _ => Ok(()),
+                .with_activation_check(move |image| match *faulty.lock() {
+                    Some(v) if image.version == v => {
+                        Err("injected activation regression".to_string())
                     }
+                    _ => Ok(()),
                 });
             sim.clients.push(Bootloader::new(
                 &sim.net,
@@ -207,6 +211,73 @@ impl FleetSim {
             ));
         }
         sim
+    }
+
+    /// As [`FleetSim::build_rollout`], but with batched lease traffic:
+    /// clients run [`LifecyclePolicy::manual`] and a per-zone
+    /// [`RenewalAggregator`] coalesces their same-tick renewals into one
+    /// `RENEW_BATCH` frame (one aggregator total here, since the plain
+    /// rollout fleet is unzoned). This is the shape the 10k-client
+    /// rollout bench runs: same lease windows and wave targeting, a tiny
+    /// fraction of the frames.
+    pub fn build_rollout_batched(n_clients: usize, lease_ms: u64, driver_padding: usize) -> Self {
+        let mut sim = Self::build_with_driver_size(0, lease_ms, false, driver_padding);
+        // One shared assembled-image cache for the (unzoned) fleet: a
+        // rollout wave materializes each target image once, and every
+        // other client adopts the refcounted bytes after re-verifying.
+        let image_cache = drivolution_depot::SharedImageCache::new();
+        for i in 0..n_clients {
+            let faulty = sim.faulty_version.clone();
+            let config = BootloaderConfig::same_host()
+                .with_lifecycle(LifecyclePolicy::manual())
+                .with_depot(DriverDepot::in_memory())
+                .with_image_cache(image_cache.clone())
+                .with_activation_reports()
+                .with_activation_check(move |image| match *faulty.lock() {
+                    Some(v) if image.version == v => {
+                        Err("injected activation regression".to_string())
+                    }
+                    _ => Ok(()),
+                });
+            sim.clients.push(Bootloader::new(
+                &sim.net,
+                Addr::new(format!("app{i:04}"), 1),
+                config,
+            ));
+        }
+        sim.attach_aggregators(DEFAULT_POLL_EVERY);
+        sim
+    }
+
+    /// Groups the fleet's clients by zone and launches one
+    /// [`RenewalAggregator`] per zone (`agg-<zone>:1`, unzoned clients
+    /// under `agg-default:1`) ticking at `every`. Clients under an
+    /// aggregator should run [`LifecyclePolicy::manual`]; the aggregator
+    /// tick is then their only renewal driver.
+    pub fn attach_aggregators(&mut self, every: Duration) {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<String, Vec<Arc<Bootloader>>> = BTreeMap::new();
+        for c in &self.clients {
+            let zone = self
+                .net
+                .zone_of(c.local_addr().host())
+                .unwrap_or_else(|| "default".to_string());
+            groups.entry(zone).or_default().push(c.clone());
+        }
+        for (zone, members) in groups {
+            self.aggregators.push(RenewalAggregator::launch(
+                &self.net,
+                Addr::new(format!("agg-{zone}"), 1),
+                self.drv_addr.clone(),
+                &members,
+                every,
+            ));
+        }
+    }
+
+    /// The per-zone renewal aggregators (empty on unbatched fleets).
+    pub fn aggregators(&self) -> &[Arc<RenewalAggregator>] {
+        &self.aggregators
     }
 
     /// Builds a CDN-style multi-zone fleet: the database (and primary
@@ -344,7 +415,7 @@ impl FleetSim {
     /// regression surfaces through the *next* wave's reports, exactly
     /// like a latent driver bug.
     pub fn inject_activation_fault(&self, version: Option<DriverVersion>) {
-        *self.faulty_version.lock().expect("fault switch poisoned") = version;
+        *self.faulty_version.lock() = version;
     }
 
     /// Publishes driver `id` at `version` *alongside* the previous
@@ -623,6 +694,46 @@ mod tests {
         // Every wave's members reported successful activation.
         assert_eq!(st.waves.iter().map(|w| w.ok).sum::<usize>(), 10);
         assert_eq!(st.waves.iter().map(|w| w.err).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn batched_rollout_converges_with_a_fraction_of_the_frames() {
+        use drivolution_server::RolloutPhase;
+        let sim = FleetSim::build_rollout_batched(10, 5 * MINUTE, 0);
+        assert_eq!(sim.aggregators().len(), 1, "unzoned fleet, one batcher");
+        sim.bootstrap_all();
+        sim.publish_staged(2, DriverVersion::new(2, 0, 0), 0);
+        let ro = sim.start_rollout(
+            DriverId(1),
+            DriverId(2),
+            &RolloutPlan {
+                canary: 1,
+                wave_pcts: vec![20, 30],
+            },
+            RolloutConfig {
+                evaluate_every: Duration::from_secs(30),
+                observe: Duration::from_secs(8 * 60),
+                min_reports: 1,
+                ..RolloutConfig::default()
+            },
+        );
+        sim.run_until_on(DriverVersion::new(2, 0, 0), MINUTE, 4 * 60 * MINUTE);
+        assert_eq!(sim.count_on(DriverVersion::new(2, 0, 0)), 10);
+        sim.run_steady_state(MINUTE, 10 * MINUTE);
+        assert_eq!(ro.status().phase, RolloutPhase::Complete);
+
+        // The renewals travelled as coalesced batch frames, not
+        // per-client requests.
+        let agg = sim.aggregators()[0].stats();
+        assert!(agg.batch_frames > 0, "{agg:?}");
+        assert!(
+            agg.coalesced_renewals > agg.batch_frames,
+            "coalescing happened: {agg:?}"
+        );
+        let srv = sim.server().stats();
+        assert_eq!(srv.batch_frames, agg.batch_frames);
+        assert_eq!(srv.batched_renewals, agg.coalesced_renewals);
+        assert_eq!(agg.failed_batches, 0);
     }
 
     #[test]

@@ -53,6 +53,13 @@ struct DbInner {
     enforce_grants: bool,
 }
 
+/// Upper bound on cached parsed statements. The Drivolution workload
+/// issues a small fixed set of parameterized statements per request, so
+/// the cache stays tiny; the bound only guards against unbounded growth
+/// under ad-hoc SQL (flushed wholesale when hit — no recency tracking to
+/// keep behavior deterministic).
+const STMT_CACHE_CAP: usize = 256;
+
 /// An embedded single-database engine instance.
 ///
 /// One `MiniDb` models one DBMS instance of the paper (a MySQL or
@@ -76,6 +83,10 @@ pub struct MiniDb {
     name: String,
     clock: Clock,
     inner: Mutex<DbInner>,
+    // Parse cache: statement text → parsed AST. Parsing is pure (params
+    // bind at execution), so entries never go stale. Kept outside `inner`
+    // so a cache probe never contends with executing statements.
+    stmts: Mutex<std::collections::HashMap<String, std::sync::Arc<Statement>>>,
 }
 
 impl std::fmt::Debug for MiniDb {
@@ -101,6 +112,7 @@ impl MiniDb {
                 auth: AuthStore::new("admin", "admin"),
                 enforce_grants: false,
             }),
+            stmts: Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -163,7 +175,19 @@ impl MiniDb {
         sql: &str,
         params: &Params,
     ) -> DbResult<QueryResult> {
-        let stmt = parse(sql)?;
+        let cached = self.stmts.lock().get(sql).cloned();
+        let stmt = match cached {
+            Some(stmt) => stmt,
+            None => {
+                let stmt = std::sync::Arc::new(parse(sql)?);
+                let mut cache = self.stmts.lock();
+                if cache.len() >= STMT_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.insert(sql.to_string(), stmt.clone());
+                stmt
+            }
+        };
         self.execute_stmt(session, &stmt, params)
     }
 

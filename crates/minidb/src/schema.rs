@@ -237,7 +237,11 @@ mod tests {
     fn validate_row_enforces_not_null_and_types() {
         let s = drivers_schema();
         assert!(s
-            .validate_row(vec![Value::Integer(1), Value::Null, Value::Blob(vec![])])
+            .validate_row(vec![
+                Value::Integer(1),
+                Value::Null,
+                Value::Blob(vec![].into())
+            ])
             .is_err());
         assert!(s
             .validate_row(vec![Value::Integer(1), Value::str("JDBC")])
@@ -246,14 +250,14 @@ mod tests {
             .validate_row(vec![
                 Value::str("x"),
                 Value::str("JDBC"),
-                Value::Blob(vec![])
+                Value::Blob(vec![].into())
             ])
             .is_err());
         let ok = s
             .validate_row(vec![
                 Value::BigInt(1),
                 Value::str("JDBC"),
-                Value::Blob(vec![1]),
+                Value::Blob(vec![1].into()),
             ])
             .unwrap();
         // BigInt literal is coerced to the INTEGER storage class.

@@ -592,7 +592,7 @@ impl Parser {
         match self.next()? {
             Token::Number(n) => Ok(Expr::Literal(Value::BigInt(n))),
             Token::StringLit(s) => Ok(Expr::Literal(Value::Varchar(s))),
-            Token::BlobLit(b) => Ok(Expr::Literal(Value::Blob(b))),
+            Token::BlobLit(b) => Ok(Expr::Literal(Value::Blob(b.into()))),
             Token::Param(p) => Ok(Expr::Param(p)),
             Token::Positional(i) => Ok(Expr::Param(i.to_string())),
             Token::LParen => {
@@ -738,7 +738,7 @@ mod tests {
         };
         assert_eq!(rows.len(), 2);
         assert_eq!(columns.unwrap().len(), 2);
-        assert_eq!(rows[0][1], Expr::Literal(Value::Blob(vec![0, 0xff])));
+        assert_eq!(rows[0][1], Expr::Literal(Value::Blob(vec![0, 0xff].into())));
         assert_eq!(rows[1][1], Expr::Param("code".into()));
     }
 

@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use bytes::Bytes;
+
 use crate::error::{DbError, DbResult};
 
 /// Column data types, following the subset of ANSI SQL 2003 used by the
@@ -67,8 +69,11 @@ pub enum Value {
     BigInt(i64),
     /// VARCHAR value.
     Varchar(String),
-    /// BLOB value.
-    Blob(Vec<u8>),
+    /// BLOB value. Backed by [`Bytes`] so row clones (scans, undo logs,
+    /// result sets) share the allocation instead of copying it — driver
+    /// binaries are the dominant blob payload and get re-read on every
+    /// lease renewal.
+    Blob(Bytes),
     /// TIMESTAMP value (milliseconds).
     Timestamp(i64),
     /// BOOLEAN value.
@@ -105,7 +110,15 @@ impl Value {
     /// Blob view over BLOB.
     pub fn as_blob(&self) -> Option<&[u8]> {
         match self {
-            Value::Blob(b) => Some(b),
+            Value::Blob(b) => Some(b.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Shared handle over BLOB — clones the refcount, not the payload.
+    pub fn as_blob_shared(&self) -> Option<Bytes> {
+        match self {
+            Value::Blob(b) => Some(b.clone()),
             _ => None,
         }
     }
@@ -272,6 +285,12 @@ impl From<String> for Value {
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
+        Value::Blob(Bytes::from(v))
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(v: Bytes) -> Self {
         Value::Blob(v)
     }
 }
@@ -356,7 +375,7 @@ mod tests {
         assert!(Value::Integer(1).conforms_to(DataType::BigInt));
         assert!(Value::Timestamp(1).conforms_to(DataType::BigInt));
         assert!(!Value::str("x").conforms_to(DataType::Integer));
-        assert!(!Value::Blob(vec![]).conforms_to(DataType::Varchar));
+        assert!(!Value::Blob(vec![].into()).conforms_to(DataType::Varchar));
     }
 
     #[test]

@@ -221,7 +221,7 @@ pub fn get_value(buf: &mut Bytes) -> Result<Value, CodecError> {
         1 => Ok(Value::Integer(get_i64(buf, "integer")?)),
         2 => Ok(Value::BigInt(get_i64(buf, "bigint")?)),
         3 => Ok(Value::Varchar(get_str(buf, "varchar")?)),
-        4 => Ok(Value::Blob(get_bytes(buf, "blob")?.to_vec())),
+        4 => Ok(Value::Blob(get_bytes(buf, "blob")?.to_vec().into())),
         5 => Ok(Value::Timestamp(get_i64(buf, "timestamp")?)),
         6 => Ok(Value::Boolean(get_u8(buf, "boolean")? != 0)),
         t => Err(CodecError::new(format!("unknown value tag {t}"))),
@@ -492,7 +492,7 @@ mod tests {
                 sql: "SELECT $a".into(),
                 params: vec![
                     ("a".into(), Value::BigInt(1)),
-                    ("b".into(), Value::Blob(vec![1, 2])),
+                    ("b".into(), Value::Blob(vec![1, 2].into())),
                     ("c".into(), Value::Null),
                 ],
             },

@@ -9,23 +9,23 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use netsim::{Addr, Clock, NetError, Network, Pipe, Service};
+use netsim::{Addr, Clock, NetError, Network, Pipe, Service, TaskControl};
 
 use drivolution_core::chunk::ChunkSet;
 use drivolution_core::matching::{self, MatchMode};
 use drivolution_core::pack::{pack_driver, unpack_driver};
-use drivolution_core::proto::{ChunkPlan, DrvMsg, DrvOffer, DrvRequest, RequestKind};
+use drivolution_core::proto::{ChunkPlan, DrvErrCode, DrvMsg, DrvOffer, DrvRequest, RequestKind};
 use drivolution_core::transfer;
 use drivolution_core::{
     fnv1a64, Certificate, ChunkingParams, ClientIdentity, DriverId, DriverQuery, DriverRecord,
-    DrvError, DrvNotice, DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, SigningKey,
-    TransferMethod,
+    DrvError, DrvNotice, DrvResult, ExpirationPolicy, PermissionRule, RenewPolicy, Signature,
+    SigningKey, TransferMethod,
 };
 use drivolution_depot::{ContentIndex, DeltaPlan};
 
 use crate::assemble::Assembler;
 use crate::directory::{DirectoryConfig, MirrorDirectory};
-use crate::license::LicenseManager;
+use crate::license::{LicenseManager, DEFAULT_LICENSE_SHARDS};
 use crate::notify::NotifyHub;
 use crate::rollout::RolloutOrchestrator;
 use crate::store::DriverStore;
@@ -77,6 +77,16 @@ pub struct ServerConfig {
     /// Mirror-directory timing and ranking knobs (heartbeat cadence,
     /// quarantine/eviction thresholds, candidates per plan).
     pub directory: DirectoryConfig,
+    /// License-table shard count. Requests hash to a shard by
+    /// `client_host` (stable FNV), so replay stays seed-reproducible;
+    /// more shards means less lock contention under fleet-scale renewal
+    /// storms. Clamped to at least 1.
+    pub license_shards: usize,
+    /// Cadence of the background maintenance task registered by
+    /// [`DrivolutionServer::register_maintenance`]: expired-seat pruning
+    /// and broken-channel reaping run at this interval instead of on the
+    /// request path.
+    pub maintenance_every_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +105,8 @@ impl Default for ServerConfig {
             depot_chunking: ChunkingParams::default(),
             delta_offers: true,
             directory: DirectoryConfig::default(),
+            license_shards: DEFAULT_LICENSE_SHARDS,
+            maintenance_every_ms: 30_000,
         }
     }
 }
@@ -134,12 +146,25 @@ pub struct ServerStats {
     pub plan_hits: u64,
     /// Delta plans computed from scratch (cache misses).
     pub plan_misses: u64,
+    /// `RENEW_BATCH` frames handled.
+    pub batch_frames: u64,
+    /// Renewal entries carried inside those batch frames (coalesced
+    /// requests that did not cost an individual network round trip).
+    pub batched_renewals: u64,
 }
 
 #[derive(Debug)]
 struct Staged {
     bytes: Bytes,
     method: TransferMethod,
+}
+
+// Memoized offer metadata for one driver row; usable only while `bytes`
+// still equals the served binary.
+struct OfferMeta {
+    bytes: Bytes,
+    digest: u64,
+    signature: Option<Signature>,
 }
 
 /// Events emitted by administrative operations — the replication hook the
@@ -176,6 +201,12 @@ pub struct DrivolutionServer {
     directory: MirrorDirectory,
     stats: Mutex<ServerStats>,
     rollout: Mutex<Option<Arc<RolloutOrchestrator>>>,
+    /// Memoized per-driver offer metadata (content digest + signature),
+    /// keyed by the served bytes themselves so direct SQL writes to the
+    /// drivers table can never serve a stale digest: a hit requires the
+    /// cached [`Bytes`] to match the record's, checked by pointer first
+    /// and by content on reallocation.
+    offer_meta: Mutex<HashMap<DriverId, OfferMeta>>,
     /// Network handle for forwarding plan-cache counters into
     /// [`netsim::NetStats`]; attached by the deployment variants.
     net: Mutex<Option<Network>>,
@@ -211,13 +242,14 @@ impl DrivolutionServer {
         let name = name.into();
         let cert = Certificate::issue(name.clone(), 1);
         let directory = MirrorDirectory::new(clock.clone(), config.directory);
+        let license_shards = config.license_shards.max(1);
         DrivolutionServer {
             name,
             store,
             config,
             clock,
             cert,
-            licenses: LicenseManager::new(),
+            licenses: LicenseManager::with_shards(license_shards),
             assembler: Assembler::new(),
             hub: NotifyHub::new(),
             staged: Mutex::new(HashMap::new()),
@@ -226,6 +258,7 @@ impl DrivolutionServer {
             directory,
             stats: Mutex::new(ServerStats::default()),
             rollout: Mutex::new(None),
+            offer_meta: Mutex::new(HashMap::new()),
             net: Mutex::new(None),
             hooks: Mutex::new(Vec::new()),
             applying_replica: std::sync::atomic::AtomicBool::new(false),
@@ -425,6 +458,10 @@ impl DrivolutionServer {
 
     /// Reaps broken dedicated channels and frees their license seats.
     /// Returns the number of freed seats.
+    ///
+    /// Runs on the maintenance cadence registered by
+    /// [`register_maintenance`](Self::register_maintenance), never on the
+    /// request path: `handle()` does zero ambient channel scans.
     pub fn detect_failures(&self) -> usize {
         let dead = self.hub.reap_closed();
         let mut freed = 0;
@@ -434,6 +471,31 @@ impl DrivolutionServer {
             }
         }
         freed
+    }
+
+    /// Registers the server's background maintenance on the network's
+    /// scheduler: expired license seats are pruned and broken dedicated
+    /// channels reaped every [`ServerConfig::maintenance_every_ms`],
+    /// instead of on every request. The deployment variants call this
+    /// automatically. The task holds only a weak reference and retires
+    /// itself once the server is dropped.
+    pub fn register_maintenance(self: &Arc<Self>, net: &Network) {
+        let me = Arc::downgrade(self);
+        net.scheduler().every(
+            std::time::Duration::from_millis(self.config.maintenance_every_ms.max(1)),
+            std::time::Duration::ZERO,
+            format!("server-maintenance:{}", self.name),
+            move || {
+                let Some(srv) = me.upgrade() else {
+                    return Ok(TaskControl::Done);
+                };
+                srv.licenses.prune_expired(srv.clock.now_ms());
+                if srv.config.release_licenses_on_disconnect {
+                    srv.detect_failures();
+                }
+                Ok(TaskControl::Continue)
+            },
+        );
     }
 
     // --- request handling ----------------------------------------------
@@ -539,6 +601,35 @@ impl DrivolutionServer {
         location
     }
 
+    /// Content digest and signature for the bytes served in an offer,
+    /// memoized per driver. Correctness never depends on invalidation: a
+    /// cached entry is used only when its bytes equal the record's —
+    /// same allocation in the common read-through case (blobs are shared
+    /// [`Bytes`] all the way from storage), equal content after the
+    /// drivers row was rewritten in place.
+    fn offer_meta_for(&self, id: DriverId, bytes: &Bytes) -> (u64, Option<Signature>) {
+        {
+            let cache = self.offer_meta.lock();
+            if let Some(m) = cache.get(&id) {
+                let same_alloc = m.bytes.as_ptr() == bytes.as_ptr() && m.bytes.len() == bytes.len();
+                if same_alloc || m.bytes == *bytes {
+                    return (m.digest, m.signature);
+                }
+            }
+        }
+        let digest = fnv1a64(bytes);
+        let signature = self.config.signing.as_ref().map(|k| k.sign(bytes));
+        self.offer_meta.lock().insert(
+            id,
+            OfferMeta {
+                bytes: bytes.clone(),
+                digest,
+                signature,
+            },
+        );
+        (digest, signature)
+    }
+
     fn offer_for(
         &self,
         record: &DriverRecord,
@@ -564,15 +655,26 @@ impl DrivolutionServer {
 
         // Assemble the bytes to serve: possibly a customized image.
         let mut bytes = record.binary.clone();
+        let mut customized = false;
         if self.config.customize && !req.options.is_empty() && !same_driver {
             let image = unpack_driver(record.format, bytes.clone())?;
             let custom = self.assembler.customize(&image, &req.options)?;
             bytes = pack_driver(record.format, &custom);
+            customized = true;
         }
 
-        let signature = self.config.signing.as_ref().map(|k| k.sign(&bytes));
+        // Digest + signature are O(bytes): memoize them per driver so a
+        // fleet of same-tick renewals hashes the binary once, not once
+        // per client. Per-client customized images bypass the cache.
+        let (content_digest, signature) = if customized {
+            (
+                fnv1a64(&bytes),
+                self.config.signing.as_ref().map(|k| k.sign(&bytes)),
+            )
+        } else {
+            self.offer_meta_for(record.id, &bytes)
+        };
         let size = bytes.len() as u64;
-        let content_digest = fnv1a64(&bytes);
 
         // Depot-aware delivery (clients advertising a HAVE summary):
         // exact cached content revalidates with zero transfer; content
@@ -859,9 +961,6 @@ impl DrivolutionServer {
     /// Handles one decoded protocol message (exposed for in-process
     /// embedding; the network path goes through [`Service::call`]).
     pub fn handle(&self, from: &Addr, msg: DrvMsg) -> DrvMsg {
-        if self.config.release_licenses_on_disconnect {
-            self.detect_failures();
-        }
         let result = match &msg {
             DrvMsg::Request(req) => {
                 self.stats.lock().requests += 1;
@@ -870,6 +969,43 @@ impl DrivolutionServer {
             DrvMsg::Discover(req) => {
                 self.stats.lock().requests += 1;
                 self.handle_request(from, req, true)
+            }
+            DrvMsg::RenewBatch { entries } => {
+                {
+                    let mut st = self.stats.lock();
+                    st.batch_frames += 1;
+                    st.batched_renewals += entries.len() as u64;
+                    st.requests += entries.len() as u64;
+                }
+                let mut replies = Vec::with_capacity(entries.len());
+                for (host, req) in entries {
+                    // License seats belong to the originating client, not
+                    // the aggregator that forwarded the frame.
+                    let origin = Addr::new(host.clone(), from.port());
+                    match self.handle_request(&origin, req, false) {
+                        Ok(DrvMsg::Offer(offer)) => {
+                            let mut st = self.stats.lock();
+                            st.offers += 1;
+                            if offer.same_driver {
+                                st.renewals += 1;
+                            }
+                            drop(st);
+                            replies.push(Ok(offer));
+                        }
+                        Ok(other) => {
+                            self.stats.lock().errors += 1;
+                            let e = DrvError::Internal(format!(
+                                "non-offer reply to batched renewal: {other:?}"
+                            ));
+                            replies.push(Err((DrvErrCode::classify(&e), e.to_string())));
+                        }
+                        Err(e) => {
+                            self.stats.lock().errors += 1;
+                            replies.push(Err((DrvErrCode::classify(&e), e.to_string())));
+                        }
+                    }
+                }
+                Ok(DrvMsg::OfferBatch { replies })
             }
             DrvMsg::FileRequest {
                 location,
@@ -1620,6 +1756,92 @@ mod tests {
         assert_eq!(st.activation_reports, 1);
         assert_eq!(st.activation_failures, 0);
         srv.detach_rollout();
+    }
+
+    #[test]
+    fn plain_renewal_never_touches_channel_state() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.licenses().set_limit(DriverId(1), 4);
+        // A dedicated channel whose peer has gone away, still holding a
+        // license seat.
+        let (client_end, server_end) =
+            Pipe::pair(Addr::new("crashed-host", 1), Addr::new("drv1", 1070));
+        srv.hub.register(Addr::new("crashed-host", 1), server_end);
+        expect_offer(srv.handle(
+            &Addr::new("crashed-host", 1),
+            DrvMsg::Request(bootstrap_req()),
+        ));
+        drop(client_end);
+
+        // A plain renewal is matchmaking + licensing only: the broken
+        // channel stays registered and its seat stays held, because
+        // failure detection belongs to the maintenance task, not the
+        // request path.
+        let mut req = bootstrap_req();
+        req.kind = RequestKind::Renewal {
+            current: DriverId(1),
+        };
+        let offer = expect_offer(srv.handle(&client(), DrvMsg::Request(req)));
+        assert!(offer.same_driver);
+        assert_eq!(srv.hub.len(), 1, "handle() must not reap channels");
+        assert_eq!(srv.licenses().available(DriverId(1), 0), Some(2));
+
+        // The maintenance path reaps the channel and frees its seat.
+        assert_eq!(srv.detect_failures(), 1);
+        assert_eq!(srv.hub.len(), 0);
+        assert_eq!(srv.licenses().available(DriverId(1), 0), Some(3));
+    }
+
+    #[test]
+    fn renew_batch_grants_seats_to_entry_hosts_not_the_aggregator() {
+        let (srv, _c) = server_with(ServerConfig::default());
+        srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
+            .unwrap();
+        srv.licenses().set_limit(DriverId(1), 2);
+        let renew_req = || {
+            let mut req = bootstrap_req();
+            req.kind = RequestKind::Renewal {
+                current: DriverId(1),
+            };
+            req
+        };
+        let entries = vec![
+            ("app0".to_string(), renew_req()),
+            ("app1".to_string(), renew_req()),
+            ("app2".to_string(), renew_req()),
+        ];
+        let reply = srv.handle(&Addr::new("aggregator", 7), DrvMsg::RenewBatch { entries });
+        let DrvMsg::OfferBatch { replies } = reply else {
+            panic!("expected offer batch, got {reply:?}")
+        };
+        assert_eq!(replies.len(), 3);
+        for r in &replies[0..2] {
+            let Ok(o) = r else {
+                panic!("expected offer, got {r:?}")
+            };
+            assert!(o.same_driver);
+        }
+        let Err((code, _)) = &replies[2] else {
+            panic!("third entry should exhaust the 2 seats")
+        };
+        assert_eq!(*code, DrvErrCode::PermissionDenied);
+        // Seats belong to the per-entry client hosts, not the forwarding
+        // aggregator's address.
+        assert_eq!(
+            srv.licenses().holders(DriverId(1)),
+            vec![
+                ("app".to_string(), "app0".to_string()),
+                ("app".to_string(), "app1".to_string()),
+            ]
+        );
+        let st = srv.stats();
+        assert_eq!((st.batch_frames, st.batched_renewals), (1, 3));
+        assert_eq!(
+            (st.requests, st.offers, st.renewals, st.errors),
+            (3, 2, 2, 1)
+        );
     }
 
     #[test]

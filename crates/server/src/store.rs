@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use bytes::Bytes;
 use driverkit::Connection;
 use drivolution_core::{
     ApiName, ApiVersion, BinaryFormat, ClientIdentity, DriverId, DriverQuery, DriverRecord,
@@ -189,7 +188,7 @@ impl DriverStore {
         p.insert("dmaj".into(), Value::from(rec.version.map(|v| v.major)));
         p.insert("dmin".into(), Value::from(rec.version.map(|v| v.minor)));
         p.insert("dmic".into(), Value::from(rec.version.map(|v| v.micro)));
-        p.insert("code".into(), Value::Blob(rec.binary.to_vec()));
+        p.insert("code".into(), Value::Blob(rec.binary.clone()));
         p.insert("fmt".into(), Value::str(rec.format.as_str()));
         self.exec.exec(
             "INSERT INTO information_schema.drivers VALUES \
@@ -320,7 +319,9 @@ impl DriverStore {
             platform: opt_str(&row[4]),
             version,
             format: BinaryFormat::parse(row[9].as_str().unwrap_or_default())?,
-            binary: Bytes::from(row[8].as_blob().unwrap_or_default().to_vec()),
+            // Shared handle onto the stored blob: every renewal re-reads
+            // the driver row, so this must not copy the binary.
+            binary: row[8].as_blob_shared().unwrap_or_default(),
         })
     }
 
@@ -540,6 +541,7 @@ impl DriverStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use drivolution_core::matching::{self, MatchMode};
     use netsim::Clock;
 

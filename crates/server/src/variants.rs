@@ -41,6 +41,7 @@ pub fn attach_in_database(
         config,
     ));
     srv.attach_network(net.clone());
+    srv.register_maintenance(net);
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)
@@ -78,6 +79,7 @@ pub fn launch_external(
         config,
     ));
     srv.attach_network(net.clone());
+    srv.register_maintenance(net);
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)
@@ -108,6 +110,7 @@ pub fn launch_standalone(
         config,
     ));
     srv.attach_network(net.clone());
+    srv.register_maintenance(net);
     net.bind_arc(drv_addr, srv.clone())
         .map_err(DrvError::from)?;
     Ok(srv)
@@ -134,9 +137,13 @@ mod tests {
     }
 
     fn request_via_net(net: &Network, to: &Addr, db: &str) -> DrvMsg {
+        request_via_net_from(net, "client", to, db)
+    }
+
+    fn request_via_net_from(net: &Network, host: &str, to: &Addr, db: &str) -> DrvMsg {
         let req = DrvRequest::bootstrap(db, "app", "RDBC", "linux-x86_64");
         let reply = net
-            .request(&Addr::new("client", 1), to, DrvMsg::Request(req).encode())
+            .request(&Addr::new(host, 1), to, DrvMsg::Request(req).encode())
             .unwrap();
         DrvMsg::decode(reply).unwrap()
     }
@@ -191,6 +198,33 @@ mod tests {
             request_via_net(&net, &drv_addr, "legacydb"),
             DrvMsg::Offer(_)
         ));
+    }
+
+    #[test]
+    fn maintenance_task_reaps_broken_channels_on_schedule() {
+        let net = Network::new();
+        let drv_addr = Addr::new("drv", DRIVOLUTION_PORT);
+        let srv = launch_standalone(&net, drv_addr.clone(), ServerConfig::default()).unwrap();
+        srv.install_driver(&driver_record(1)).unwrap();
+        srv.licenses().set_limit(DriverId(1), 1);
+        // A client opens a dedicated channel, takes the only seat, then
+        // crashes (its pipe end drops).
+        let pipe = net.connect_pipe(&Addr::new("c1", 1), &drv_addr).unwrap();
+        assert!(matches!(
+            request_via_net_from(&net, "c1", &drv_addr, "orders"),
+            DrvMsg::Offer(_)
+        ));
+        let now = net.clock().now_ms();
+        assert_eq!(srv.licenses().available(DriverId(1), now), Some(0));
+        drop(pipe);
+
+        // Nothing on the request path frees the seat; the registered
+        // maintenance task does, on its 30s cadence.
+        net.run_until(now + 31_000);
+        assert_eq!(
+            srv.licenses().available(DriverId(1), net.clock().now_ms()),
+            Some(1)
+        );
     }
 
     #[test]

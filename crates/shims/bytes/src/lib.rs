@@ -12,10 +12,15 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable slice of bytes.
 ///
 /// Clones share the underlying allocation; [`Bytes::slice`] and
-/// [`Bytes::split_to`] are O(1).
+/// [`Bytes::split_to`] are O(1). The buffer is held as `Arc<Vec<u8>>`
+/// rather than `Arc<[u8]>` so `From<Vec<u8>>` (and therefore
+/// [`BytesMut::freeze`]) adopts the vector's allocation instead of
+/// copying it — every frame encode and image assembly in the workspace
+/// goes through that conversion, and at fleet scale the extra copy onto
+/// freshly faulted pages dominated upgrade wall time.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -122,10 +127,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }

@@ -215,6 +215,44 @@ fn every_frame_tag_truncation_errors_are_typed() {
             detail: String::new(),
         },
         DrvMsg::ActivationAck,
+        DrvMsg::RenewBatch {
+            entries: vec![
+                (
+                    "app0001".into(),
+                    DrvRequest {
+                        kind: RequestKind::Renewal {
+                            current: DriverId(3),
+                        },
+                        ..DrvRequest::bootstrap("orders", "alice", "RDBC", "linux-x86_64")
+                    },
+                ),
+                (
+                    "app0002".into(),
+                    DrvRequest::bootstrap("orders", "bob", "RDBC", "linux-x86_64"),
+                ),
+            ],
+        },
+        DrvMsg::OfferBatch {
+            replies: vec![
+                Ok(DrvOffer {
+                    driver_id: DriverId(3),
+                    driver_version: Some(DriverVersion::new(3, 1, 0)),
+                    same_driver: true,
+                    lease_ms: 60_000,
+                    renew_policy: RenewPolicy::Renew,
+                    expiration_policy: ExpirationPolicy::AfterCommit,
+                    format: BinaryFormat::Djar,
+                    location: "drivers/3".into(),
+                    size: 2048,
+                    transfer_method: TransferMethod::Plain,
+                    options: vec![],
+                    signature: None,
+                    content_digest: Some(0xfeed_f00d),
+                    chunked: None,
+                }),
+                Err((DrvErrCode::PermissionDenied, "no seats".into())),
+            ],
+        },
     ];
     for msg in msgs {
         let frame = msg.encode();

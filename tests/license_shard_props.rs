@@ -1,0 +1,189 @@
+//! Property tests pinning the license-table sharding invariant: a
+//! [`LicenseManager`] with any shard count is observationally
+//! equivalent to the single-table reference (`with_shards(1)`) for any
+//! op sequence — same grants, same denials, same seat counts, same
+//! holder sets. Sharding is a locking strategy, never a semantics
+//! change (see the sub-quota discussion in the `license` module docs).
+//!
+//! Mid-sequence, the only tolerated divergence is *pruning debt*:
+//! acquire's fast path opportunistically prunes just the requesting
+//! shard, so expired-but-unpruned seats sit in different shards at
+//! different times depending on the layout. Debt is invisible to
+//! everything a client observes — acquire outcomes and `available`
+//! are compared exactly at every step — but it does skew raw removal
+//! counts, so release outcomes are compared after a synchronized
+//! `prune_expired` and maintenance passes are checked by the holder
+//! sets they leave behind, not by how much debt each happened to
+//! collect.
+
+use proptest::prelude::*;
+
+use drivolution::core::DriverId;
+use drivolution::server::LicenseManager;
+
+/// Shard counts under test: the reference, a small split, the default.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Cap `driver` at `seats` concurrent holders.
+    SetLimit { driver: u8, seats: usize },
+    /// `(user, host)` checks out / renews a seat on `driver`.
+    Acquire {
+        driver: u8,
+        user: u8,
+        host: u8,
+        lease_ms: u64,
+    },
+    /// Explicit seat give-back.
+    Release { driver: u8, user: u8, host: u8 },
+    /// Dedicated-channel failure detector: free every seat of `host`.
+    ReleaseHost { host: u8 },
+    /// Scheduled maintenance pass at the current clock.
+    Prune,
+    /// Let time pass (leases expire without any table mutation).
+    Advance { dt_ms: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3u8, 0..12usize).prop_map(|(driver, seats)| Op::SetLimit { driver, seats }),
+        (0..3u8, 0..4u8, 0..10u8, 1..500u64).prop_map(|(driver, user, host, lease_ms)| {
+            Op::Acquire {
+                driver,
+                user,
+                host,
+                lease_ms,
+            }
+        }),
+        (0..3u8, 0..4u8, 0..10u8).prop_map(|(driver, user, host)| Op::Release {
+            driver,
+            user,
+            host
+        }),
+        (0..10u8).prop_map(|host| Op::ReleaseHost { host }),
+        Just(Op::Prune),
+        (0..400u64).prop_map(|dt_ms| Op::Advance { dt_ms }),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(arb_op(), 0..60)
+}
+
+fn user(u: u8) -> String {
+    format!("user-{u}")
+}
+
+fn host(h: u8) -> String {
+    format!("host-{h}")
+}
+
+proptest! {
+    #[test]
+    fn sharded_tables_are_observationally_equivalent(ops in arb_ops()) {
+        let tables: Vec<LicenseManager> =
+            SHARD_COUNTS.iter().map(|&n| LicenseManager::with_shards(n)).collect();
+        let mut now_ms = 0u64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::SetLimit { driver, seats } => {
+                    for t in &tables {
+                        t.set_limit(DriverId(*driver as i64), *seats);
+                    }
+                }
+                Op::Acquire { driver, user: u, host: h, lease_ms } => {
+                    let outcomes: Vec<bool> = tables
+                        .iter()
+                        .map(|t| {
+                            t.acquire(DriverId(*driver as i64), &user(*u), &host(*h), *lease_ms, now_ms)
+                                .is_ok()
+                        })
+                        .collect();
+                    prop_assert!(
+                        outcomes.windows(2).all(|w| w[0] == w[1]),
+                        "step {step}: acquire {op:?} granted {outcomes:?} across shard counts {SHARD_COUNTS:?}"
+                    );
+                }
+                Op::Release { driver, user: u, host: h } => {
+                    // Synchronize pruning debt first: whether a *live*
+                    // seat exists to give back must not depend on which
+                    // shards earlier acquires happened to sweep.
+                    let outcomes: Vec<bool> = tables
+                        .iter()
+                        .map(|t| {
+                            t.prune_expired(now_ms);
+                            t.release(DriverId(*driver as i64), &user(*u), &host(*h))
+                        })
+                        .collect();
+                    prop_assert!(
+                        outcomes.windows(2).all(|w| w[0] == w[1]),
+                        "step {step}: release {op:?} returned {outcomes:?} across shard counts {SHARD_COUNTS:?}"
+                    );
+                }
+                Op::ReleaseHost { host: h } => {
+                    let freed: Vec<usize> = tables
+                        .iter()
+                        .map(|t| {
+                            t.prune_expired(now_ms);
+                            t.release_host(&host(*h))
+                        })
+                        .collect();
+                    prop_assert!(
+                        freed.windows(2).all(|w| w[0] == w[1]),
+                        "step {step}: release_host({h}) freed {freed:?} across shard counts {SHARD_COUNTS:?}"
+                    );
+                }
+                Op::Prune => {
+                    // Freed counts are pruning debt (layout-dependent);
+                    // the state a maintenance pass leaves behind is not.
+                    for t in &tables {
+                        t.prune_expired(now_ms);
+                    }
+                    for d in 0..3u8 {
+                        let holders: Vec<Vec<(String, String)>> = tables
+                            .iter()
+                            .map(|t| t.holders(DriverId(d as i64)))
+                            .collect();
+                        prop_assert!(
+                            holders.windows(2).all(|w| w[0] == w[1]),
+                            "step {step}: post-prune holders({d}) diverged across shard counts {SHARD_COUNTS:?}: {holders:?}"
+                        );
+                    }
+                }
+                Op::Advance { dt_ms } => now_ms += dt_ms,
+            }
+
+            // `available` is a protocol-visible read (seat counts in
+            // offers): it must agree at every step, pruning debt and
+            // all, because it counts unexpired holders only.
+            for d in 0..3u8 {
+                let avail: Vec<Option<usize>> = tables
+                    .iter()
+                    .map(|t| t.available(DriverId(d as i64), now_ms))
+                    .collect();
+                prop_assert!(
+                    avail.windows(2).all(|w| w[0] == w[1]),
+                    "step {step}: available({d}) at t={now_ms} was {avail:?} across shard counts {SHARD_COUNTS:?}"
+                );
+            }
+        }
+
+        // After a synchronized maintenance pass the tables must hold
+        // bit-identical seat sets — pruning debt was the only slack.
+        for t in &tables {
+            t.prune_expired(now_ms);
+        }
+        for d in 0..3u8 {
+            let holders: Vec<Vec<(String, String)>> = tables
+                .iter()
+                .map(|t| t.holders(DriverId(d as i64)))
+                .collect();
+            prop_assert!(
+                holders.windows(2).all(|w| w[0] == w[1]),
+                "post-prune holders({d}) diverged across shard counts {SHARD_COUNTS:?}: {holders:?}"
+            );
+        }
+    }
+}

@@ -280,7 +280,7 @@ proptest! {
     fn values_conform_to_their_types(n in any::<i64>(), s in "[a-z]{0,10}", b in prop::collection::vec(any::<u8>(), 0..32)) {
         prop_assert!(Value::BigInt(n).conforms_to(DataType::BigInt));
         prop_assert!(Value::Varchar(s).conforms_to(DataType::Varchar));
-        prop_assert!(Value::Blob(b).conforms_to(DataType::Blob));
+        prop_assert!(Value::Blob(b.into()).conforms_to(DataType::Blob));
         prop_assert!(Value::Null.conforms_to(DataType::Integer));
     }
 

@@ -128,7 +128,7 @@ fn drivers_install_with_plain_inserts_and_sample_code_1_finds_them() {
     // Only driver 1 (NULL platform) matches a linux client.
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::str("djar"));
-    assert_eq!(rs.rows[0][1], Value::Blob(vec![0, 1, 2, 3]));
+    assert_eq!(rs.rows[0][1], Value::Blob(vec![0, 1, 2, 3].into()));
 }
 
 #[test]
