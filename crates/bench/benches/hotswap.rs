@@ -1,0 +1,405 @@
+//! Zero-downtime hot swap under steady OLTP load.
+//!
+//! Three scenarios over a 50-client fleet (smoke mode shrinks it), each
+//! under a scheduler-driven steady workload where every client holds one
+//! long-lived managed connection and every third client keeps a
+//! transaction open across firings:
+//!
+//! 1. **Hot-swap upgrade** — v1 → v2 with a coexistence window: new
+//!    sessions ride the new driver immediately, old sessions keep
+//!    executing on v1 and migrate at their next transaction boundary.
+//!    The application-visible ledger must stay clean: zero dropped
+//!    queries, zero severed transactions, zero forced reconnects.
+//! 2. **Baseline (no coexistence window)** — the identical fleet and
+//!    workload upgrading the pre-swap way (expiration policy applied at
+//!    activation). The ledger must show drops — proving the instrument
+//!    measures what the hot swap eliminates.
+//! 3. **Mid-rollout auto-rollback** — a staged rollout whose driver
+//!    regresses after the canary wave; the health gate halts it and
+//!    every upgraded client swaps back to the depot-held prior version
+//!    (zero-transfer revalidation), draining symmetrically. The ledger
+//!    must stay clean through *both* direction changes.
+//!
+//! Scenario 1 then re-runs under the same scheduler seed and must
+//! reproduce every counter exactly (virtual time determinism).
+//!
+//! This target uses `harness = false`: it is a report generator emitting
+//! `BENCH_hotswap.json` at the workspace root, and exits nonzero when
+//! the zero-downtime claims regress (CI runs it in smoke mode via
+//! `HOTSWAP_BENCH_SMOKE=1`).
+//!
+//! Run with: `cargo bench -p drivolution-bench --bench hotswap`
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use drivolution_bootloader::{SwapConfig, SwapStats};
+use drivolution_core::{DriverId, DriverVersion};
+use drivolution_server::{RolloutConfig, RolloutPhase, RolloutPlan};
+use fleet::{FleetSim, LoadStats, SteadyLoad};
+
+const MINUTE: u64 = 60_000;
+const LEASE_MS: u64 = 5 * MINUTE;
+const STEP_MS: u64 = 10_000;
+/// Steady-load cadence: each client fires one work unit every 5 s.
+const LOAD_EVERY: Duration = Duration::from_secs(5);
+/// Every third client spreads its transaction over three firings, so
+/// sessions are mid-transaction whenever an upgrade lands.
+const HOLD_EVERY: usize = 3;
+const WARMUP_MS: u64 = 2 * MINUTE;
+const SETTLE_MS: u64 = 2 * MINUTE;
+
+fn v1() -> DriverVersion {
+    DriverVersion::new(1, 0, 0)
+}
+
+fn v2() -> DriverVersion {
+    DriverVersion::new(2, 0, 0)
+}
+
+#[derive(PartialEq, Eq)]
+struct SwapOutcome {
+    load: LoadStats,
+    swap: SwapStats,
+    upgraded: usize,
+    virtual_ms: u64,
+}
+
+/// Warm the workload, publish v2, pump until the whole fleet runs it,
+/// then let every coexistence window settle. `hot_swap: None` is the
+/// baseline shape (expiration policy applied at activation).
+fn run_upgrade(clients: usize, hot_swap: Option<SwapConfig>) -> (SwapOutcome, Duration) {
+    let started_wall = Instant::now();
+    let sim = FleetSim::build_hotswap(clients, LEASE_MS, hot_swap);
+    let load = SteadyLoad::launch(sim.net(), sim.clients(), sim.url(), LOAD_EVERY, HOLD_EVERY);
+    load.open_all().expect("steady load opens on a fresh fleet");
+    sim.run_steady_state(STEP_MS, WARMUP_MS);
+    let started_virtual = sim.net().clock().now_ms();
+    sim.publish_upgrade(false);
+    sim.run_until_on(v2(), STEP_MS, 30 * MINUTE);
+    sim.run_steady_state(STEP_MS, SETTLE_MS);
+    (
+        SwapOutcome {
+            load: load.stats(),
+            swap: sim.total_swap_stats(),
+            upgraded: sim.count_on(v2()),
+            virtual_ms: sim.net().clock().now_ms() - started_virtual,
+        },
+        started_wall.elapsed(),
+    )
+}
+
+struct RollbackOutcome {
+    load: LoadStats,
+    swap: SwapStats,
+    upgraded_at_fault: usize,
+    rolled_back: bool,
+    on_prior: usize,
+    stranded: usize,
+    virtual_ms_to_recover: u64,
+    redownloads: u64,
+    wall: Duration,
+}
+
+/// Staged rollout under steady load with hot swap on: the canary wave
+/// passes, an activation fault is injected mid-percentage-wave, the
+/// gate halts the rollout, and every upgraded client swaps back to the
+/// depot-held v1 — all while the ledger stays clean.
+fn run_rollback(clients: usize) -> RollbackOutcome {
+    let started_wall = Instant::now();
+    let sim = FleetSim::build_hotswap(clients, LEASE_MS, Some(SwapConfig::default()));
+    let load = SteadyLoad::launch(sim.net(), sim.clients(), sim.url(), LOAD_EVERY, HOLD_EVERY);
+    load.open_all().expect("steady load opens on a fresh fleet");
+    sim.run_steady_state(STEP_MS, WARMUP_MS);
+    sim.publish_staged(2, v2(), 0);
+    let plan = RolloutPlan {
+        canary: (clients / 10).max(1),
+        wave_pcts: vec![30],
+    };
+    let canary = plan.canary;
+    let ro = sim.start_rollout(
+        DriverId(1),
+        DriverId(2),
+        &plan,
+        RolloutConfig {
+            evaluate_every: Duration::from_secs(60),
+            observe: Duration::from_millis(LEASE_MS + 2 * MINUTE),
+            min_reports: 1,
+            ..RolloutConfig::default()
+        },
+    );
+
+    // Pump until the first percentage wave is visibly upgrading.
+    let deadline = sim.net().clock().now_ms() + 20 * (LEASE_MS + 5 * MINUTE);
+    while sim.count_on(v2()) <= canary {
+        let now = sim.net().clock().now_ms();
+        assert!(now < deadline, "rollout never progressed past the canary");
+        sim.net().run_until(now + STEP_MS);
+    }
+    let upgraded_at_fault = sim.count_on(v2());
+    sim.inject_activation_fault(Some(v2()));
+    let fetches_before: u64 = sim
+        .clients()
+        .iter()
+        .map(|c| {
+            let s = c.stats();
+            s.downloads + s.delta_downloads
+        })
+        .sum();
+    let reval_before: u64 = sim.clients().iter().map(|c| c.stats().revalidations).sum();
+    let fault_at = sim.net().clock().now_ms();
+
+    loop {
+        let now = sim.net().clock().now_ms();
+        if now >= deadline {
+            break;
+        }
+        let st = ro.status();
+        if matches!(st.phase, RolloutPhase::RolledBack { .. }) && sim.count_on(v1()) == clients {
+            break;
+        }
+        sim.net().run_until(now + STEP_MS);
+    }
+    let recovered_at = sim.net().clock().now_ms();
+    // Let the downgrade coexistence windows settle too.
+    sim.run_steady_state(STEP_MS, SETTLE_MS);
+
+    let fetches_after: u64 = sim
+        .clients()
+        .iter()
+        .map(|c| {
+            let s = c.stats();
+            s.downloads + s.delta_downloads
+        })
+        .sum();
+    let reval_after: u64 = sim.clients().iter().map(|c| c.stats().revalidations).sum();
+    let late_upgrades = reval_after - reval_before;
+    RollbackOutcome {
+        load: load.stats(),
+        swap: sim.total_swap_stats(),
+        upgraded_at_fault,
+        rolled_back: matches!(ro.status().phase, RolloutPhase::RolledBack { .. }),
+        on_prior: sim.count_on(v1()),
+        stranded: clients - sim.count_on(v1()),
+        virtual_ms_to_recover: recovered_at - fault_at,
+        redownloads: (fetches_after - fetches_before).saturating_sub(late_upgrades),
+        wall: started_wall.elapsed(),
+    }
+}
+
+fn print_ledger(tag: &str, l: &LoadStats) {
+    println!(
+        "    {tag}: {} attempted, {} committed, {} dropped, {} severed, {} reconnects",
+        l.attempted, l.committed, l.dropped_queries, l.severed_transactions, l.reconnects
+    );
+}
+
+fn print_swap(s: &SwapStats) {
+    println!(
+        "    swap: {} windows opened / {} completed, {} migrated, {} drained, {} forced, {} severed, {} blackout ticks, {} downgrades",
+        s.windows_opened,
+        s.windows_completed,
+        s.sessions_migrated,
+        s.sessions_drained,
+        s.sessions_forced,
+        s.transactions_severed,
+        s.blackout_ticks,
+        s.downgrades
+    );
+}
+
+fn write_ledger(json: &mut String, prefix: &str, l: &LoadStats) {
+    let _ = writeln!(json, "  \"{prefix}_attempted\": {},", l.attempted);
+    let _ = writeln!(json, "  \"{prefix}_committed\": {},", l.committed);
+    let _ = writeln!(
+        json,
+        "  \"{prefix}_dropped_queries\": {},",
+        l.dropped_queries
+    );
+    let _ = writeln!(
+        json,
+        "  \"{prefix}_severed_transactions\": {},",
+        l.severed_transactions
+    );
+    let _ = writeln!(json, "  \"{prefix}_reconnects\": {},", l.reconnects);
+}
+
+fn main() {
+    let smoke = std::env::var("HOTSWAP_BENCH_SMOKE").is_ok();
+    let clients = if smoke { 12 } else { 50 };
+
+    println!("\nhot swap under steady load — {clients}-client fleet, one txn per client per 5 s");
+
+    let (swapped, swap_wall) = run_upgrade(clients, Some(SwapConfig::default()));
+    println!("  hot-swap upgrade ({} virtual ms):", swapped.virtual_ms);
+    print_ledger("ledger", &swapped.load);
+    print_swap(&swapped.swap);
+
+    let (baseline, _) = run_upgrade(clients, None);
+    println!("  baseline upgrade (no coexistence window):");
+    print_ledger("ledger", &baseline.load);
+
+    let (replay, _) = run_upgrade(clients, Some(SwapConfig::default()));
+    let deterministic = replay == swapped;
+    println!("  same-seed replay reproduces every counter: {deterministic}");
+
+    let rb = run_rollback(clients);
+    println!("  mid-rollout auto-rollback:");
+    println!(
+        "    fault landed with {} clients upgraded; rolled back: {} ({} on prior, {} stranded) in {} virtual ms",
+        rb.upgraded_at_fault, rb.rolled_back, rb.on_prior, rb.stranded, rb.virtual_ms_to_recover
+    );
+    print_ledger("ledger", &rb.load);
+    print_swap(&rb.swap);
+    println!("    rollback re-downloads: {}", rb.redownloads);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"hotswap\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"lease_ms\": {LEASE_MS},");
+    let _ = writeln!(json, "  \"load_every_ms\": {},", LOAD_EVERY.as_millis());
+    let _ = writeln!(json, "  \"hold_every\": {HOLD_EVERY},");
+    write_ledger(&mut json, "swap", &swapped.load);
+    let _ = writeln!(json, "  \"swap_upgraded_clients\": {},", swapped.upgraded);
+    let _ = writeln!(json, "  \"swap_virtual_ms\": {},", swapped.virtual_ms);
+    let _ = writeln!(json, "  \"swap_wall_ms\": {},", swap_wall.as_millis());
+    let _ = writeln!(
+        json,
+        "  \"swap_windows_opened\": {},",
+        swapped.swap.windows_opened
+    );
+    let _ = writeln!(
+        json,
+        "  \"swap_windows_completed\": {},",
+        swapped.swap.windows_completed
+    );
+    let _ = writeln!(
+        json,
+        "  \"swap_sessions_migrated\": {},",
+        swapped.swap.sessions_migrated
+    );
+    let _ = writeln!(
+        json,
+        "  \"swap_sessions_drained\": {},",
+        swapped.swap.sessions_drained
+    );
+    let _ = writeln!(
+        json,
+        "  \"swap_sessions_forced\": {},",
+        swapped.swap.sessions_forced
+    );
+    let _ = writeln!(
+        json,
+        "  \"swap_blackout_ticks\": {},",
+        swapped.swap.blackout_ticks
+    );
+    write_ledger(&mut json, "baseline", &baseline.load);
+    let _ = writeln!(json, "  \"replay_deterministic\": {deterministic},");
+    write_ledger(&mut json, "rollback", &rb.load);
+    let _ = writeln!(
+        json,
+        "  \"rollback_upgraded_at_fault\": {},",
+        rb.upgraded_at_fault
+    );
+    let _ = writeln!(json, "  \"rollback_rolled_back\": {},", rb.rolled_back);
+    let _ = writeln!(json, "  \"rollback_stranded\": {},", rb.stranded);
+    let _ = writeln!(
+        json,
+        "  \"rollback_recovery_virtual_ms\": {},",
+        rb.virtual_ms_to_recover
+    );
+    let _ = writeln!(json, "  \"rollback_downgrades\": {},", rb.swap.downgrades);
+    let _ = writeln!(json, "  \"rollback_redownloads\": {},", rb.redownloads);
+    let _ = writeln!(json, "  \"rollback_wall_ms\": {}", rb.wall.as_millis());
+    json.push_str("}\n");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotswap.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", out.display()),
+    }
+
+    // Regression gates (CI runs this in smoke mode).
+    let mut bad = false;
+    if swapped.upgraded != clients {
+        eprintln!(
+            "REGRESSION: hot-swap upgrade left {} of {clients} clients behind",
+            clients - swapped.upgraded
+        );
+        bad = true;
+    }
+    if swapped.load.dropped_queries != 0
+        || swapped.load.severed_transactions != 0
+        || swapped.load.reconnects != 0
+    {
+        eprintln!(
+            "REGRESSION: hot-swap upgrade was visible to the application: {:?}",
+            swapped.load
+        );
+        bad = true;
+    }
+    if swapped.load.committed == 0 {
+        eprintln!("REGRESSION: steady load committed nothing — the instrument is dead");
+        bad = true;
+    }
+    if swapped.swap.windows_opened != swapped.swap.windows_completed
+        || swapped.swap.windows_opened == 0
+    {
+        eprintln!(
+            "REGRESSION: coexistence windows did not settle: {:?}",
+            swapped.swap
+        );
+        bad = true;
+    }
+    if swapped.swap.sessions_migrated == 0 {
+        eprintln!("REGRESSION: no session boundary-migrated during the hot swap");
+        bad = true;
+    }
+    if swapped.swap.sessions_forced != 0 || swapped.swap.transactions_severed != 0 {
+        eprintln!(
+            "REGRESSION: drain escalated to forced closes on a healthy fleet: {:?}",
+            swapped.swap
+        );
+        bad = true;
+    }
+    if baseline.load.dropped_queries == 0 {
+        eprintln!(
+            "REGRESSION: baseline upgrade showed no drops — the contrast (and the instrument) is broken"
+        );
+        bad = true;
+    }
+    if !deterministic {
+        eprintln!("REGRESSION: same-seed replay diverged");
+        bad = true;
+    }
+    if !rb.rolled_back || rb.stranded != 0 {
+        eprintln!(
+            "REGRESSION: rollback failed (rolled_back={}, stranded={})",
+            rb.rolled_back, rb.stranded
+        );
+        bad = true;
+    }
+    if rb.load.dropped_queries != 0 || rb.load.severed_transactions != 0 {
+        eprintln!(
+            "REGRESSION: mid-rollout rollback was visible to the application: {:?}",
+            rb.load
+        );
+        bad = true;
+    }
+    if rb.swap.downgrades == 0 {
+        eprintln!("REGRESSION: rollback opened no downgrade coexistence window");
+        bad = true;
+    }
+    if rb.redownloads != 0 {
+        eprintln!(
+            "REGRESSION: rollback re-transferred {} fetches the depot already held",
+            rb.redownloads
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    println!("hot-swap gates passed");
+}

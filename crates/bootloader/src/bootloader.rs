@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -24,6 +25,7 @@ use drivolution_depot::{parse_mirror_addr, DriverDepot};
 
 use crate::config::{BootloaderConfig, ServerLocator};
 use crate::managed::ManagedConnection;
+use crate::swap::{SwapCoordinator, SwapStats};
 use crate::tracker::ConnectionTracker;
 
 /// Counters exposed for tests and benchmarks.
@@ -70,6 +72,10 @@ pub struct BootStats {
     /// Reports that carried a failure verdict (failed self-check or
     /// failed install).
     pub activation_failures: u64,
+    /// Hot-swap coexistence-window counters (sessions drained / forced /
+    /// migrated, blackout ticks, downgrades). All zero unless a
+    /// [`crate::SwapConfig`] is installed.
+    pub swap: SwapStats,
 }
 
 /// Per-source chunk-fetch statistics a bootloader keeps about each
@@ -125,19 +131,20 @@ struct BootState {
 /// The client-side bootloader. One per application; create with
 /// [`Bootloader::new`] and keep behind the returned [`Arc`].
 pub struct Bootloader {
-    net: Network,
-    local: Addr,
-    config: BootloaderConfig,
+    pub(crate) net: Network,
+    pub(crate) local: Addr,
+    pub(crate) config: BootloaderConfig,
     vm: DriverVm,
-    registry: DriverRegistry,
-    tracker: ConnectionTracker,
-    clock: Clock,
+    pub(crate) registry: DriverRegistry,
+    pub(crate) tracker: ConnectionTracker,
+    pub(crate) clock: Clock,
     state: Mutex<BootState>,
-    stats: Mutex<BootStats>,
+    pub(crate) stats: Mutex<BootStats>,
     mirror_fetch: Mutex<HashMap<String, MirrorFetchStats>>,
     fetch_latencies: Mutex<Vec<u64>>,
     renewal_times: Mutex<Vec<u64>>,
     lifecycle: Mutex<LifecycleTasks>,
+    pub(crate) swap: SwapCoordinator,
 }
 
 #[derive(Default)]
@@ -146,6 +153,9 @@ struct LifecycleTasks {
     poll: Option<TaskHandle>,
     /// One-shot lease auto-renewal timer, re-armed at every lease grant.
     lease: Option<TaskHandle>,
+    /// Periodic session-maintenance sweep (tracker prune + zombie reap),
+    /// registered for self-driving and swap-enabled bootloaders.
+    maintenance: Option<TaskHandle>,
     /// Renew-due instant the lease timer is currently armed for. The
     /// spread jitter is sampled once per lease grant; re-running
     /// maintenance against the same lease must not re-sample it (the
@@ -184,6 +194,10 @@ impl Drop for Bootloader {
         if let Some(t) = &tasks.lease {
             t.cancel();
         }
+        if let Some(t) = &tasks.maintenance {
+            t.cancel();
+        }
+        self.swap.cancel_task();
     }
 }
 
@@ -213,6 +227,7 @@ impl Bootloader {
             fetch_latencies: Mutex::new(Vec::new()),
             renewal_times: Mutex::new(Vec::new()),
             lifecycle: Mutex::new(LifecycleTasks::default()),
+            swap: SwapCoordinator::default(),
         });
         boot.register_lifecycle();
         boot
@@ -242,6 +257,30 @@ impl Bootloader {
                 }),
             );
         }
+        // Session maintenance (tracker prune + zombie reap) rides the
+        // same cadence idea as the server's failure detection: registered
+        // for every self-driving or swap-enabled bootloader, so closed
+        // sessions leave the tracking table without anybody having to
+        // remember to call `prune`.
+        if policy.poll_every.is_some() || self.config.swap.is_some() {
+            let me = Arc::downgrade(self);
+            tasks.maintenance = Some(sched.every(
+                policy.maintain_every.max(Duration::from_millis(1)),
+                Duration::ZERO,
+                format!("session-maintenance {}", self.local),
+                move || match Weak::upgrade(&me) {
+                    Some(b) => {
+                        b.tracker.sweep();
+                        Ok(TaskControl::Continue)
+                    }
+                    None => Ok(TaskControl::Done),
+                },
+            ));
+        }
+        drop(tasks);
+        if self.config.swap.is_some() {
+            self.register_swap_task();
+        }
     }
 
     /// One scheduler-driven maintenance pass. Renewal failures surface
@@ -267,6 +306,17 @@ impl Bootloader {
     /// enabled. Dormant until the first lease is granted.
     pub fn lease_task(&self) -> Option<TaskHandle> {
         self.lifecycle.lock().lease.clone()
+    }
+
+    /// Handle to the periodic session-maintenance sweep, if registered
+    /// (self-driving or swap-enabled bootloaders).
+    pub fn maintenance_task(&self) -> Option<TaskHandle> {
+        self.lifecycle.lock().maintenance.clone()
+    }
+
+    /// Current virtual-clock instant.
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
     }
 
     /// Re-arms the auto-renewal timer against the active lease: spread
@@ -424,7 +474,7 @@ impl Bootloader {
         };
         let merged = self.merge_props(&ns, props);
         let inner = ns.driver.connect(url, &merged)?;
-        let state = self.tracker.register(inner, ns.id);
+        let state = self.tracker.register(inner, ns.id, self.clock.now_ms());
         Ok(ManagedConnection::new(state, Arc::clone(self)))
     }
 
@@ -1057,12 +1107,20 @@ impl Bootloader {
                     return PollOutcome::KeptAfterFailure;
                 }
                 self.state.lock().server = Some(server);
-                self.tracker.apply_policy(
-                    ns.id,
-                    offer.expiration_policy,
-                    "driver upgraded by drivolution server",
-                );
-                self.maybe_unload(ns.id);
+                if self.swap_enabled() {
+                    // Coexistence window: old sessions keep executing on
+                    // the prior driver and migrate at their next
+                    // transaction boundary; the policy is enforced only
+                    // on stragglers after the drain grace.
+                    self.swap_begin(ns.id, from, to, offer.expiration_policy);
+                } else {
+                    self.tracker.apply_policy(
+                        ns.id,
+                        offer.expiration_policy,
+                        "driver upgraded by drivolution server",
+                    );
+                    self.maybe_unload(ns.id);
+                }
                 self.stats.lock().upgrades += 1;
                 if self.config.report_activation {
                     let verdict = self.run_activation_check(new_ns);

@@ -11,6 +11,8 @@ use drivolution_core::{
 };
 use drivolution_depot::{DriverDepot, SharedImageCache};
 
+use crate::swap::SwapConfig;
+
 /// The function shape behind an [`ActivationCheck`].
 type CheckFn = dyn Fn(&DriverImage) -> Result<(), String> + Send + Sync;
 
@@ -92,6 +94,10 @@ pub struct LifecyclePolicy {
     /// Retry backoff after a failed renewal ("the bootloader keeps its
     /// current implementation", §4.1.3 — but keeps trying).
     pub renew_retry: Duration,
+    /// Cadence of the session-maintenance sweep (tracker prune + zombie
+    /// reap), registered for self-driving and swap-enabled bootloaders —
+    /// the client-side analog of the server's failure-detection cadence.
+    pub maintain_every: Duration,
 }
 
 impl Default for LifecyclePolicy {
@@ -104,6 +110,7 @@ impl Default for LifecyclePolicy {
             poll_jitter: Duration::ZERO,
             auto_renew: true,
             renew_retry: Duration::from_secs(30),
+            maintain_every: Duration::from_secs(30),
         }
     }
 }
@@ -117,6 +124,7 @@ impl LifecyclePolicy {
             poll_jitter: Duration::ZERO,
             auto_renew: false,
             renew_retry: Duration::from_secs(30),
+            maintain_every: Duration::from_secs(30),
         }
     }
 
@@ -188,6 +196,10 @@ pub struct BootloaderConfig {
     /// `ok`/`detail`. `None` means upgrades that install and activate
     /// count as successful.
     pub activation_check: Option<ActivationCheck>,
+    /// Hot-swap coexistence windows (see [`SwapConfig`]). When set,
+    /// upgrades and rollbacks drain old sessions through transparent
+    /// boundary migration instead of expiring them on the spot.
+    pub swap: Option<SwapConfig>,
 }
 
 impl BootloaderConfig {
@@ -241,6 +253,7 @@ impl BootloaderConfig {
             lifecycle: LifecyclePolicy::default(),
             report_activation: false,
             activation_check: None,
+            swap: None,
         }
     }
 
@@ -305,6 +318,14 @@ impl BootloaderConfig {
     /// Enables best-effort activation reports after driver upgrades.
     pub fn with_activation_reports(mut self) -> Self {
         self.report_activation = true;
+        self
+    }
+
+    /// Enables zero-downtime hot swap: driver upgrades (and rollbacks)
+    /// open a bounded coexistence window instead of expiring old
+    /// sessions immediately (see [`SwapConfig`]).
+    pub fn with_hot_swap(mut self, swap: SwapConfig) -> Self {
+        self.swap = Some(swap);
         self
     }
 

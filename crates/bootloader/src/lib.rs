@@ -25,9 +25,11 @@
 mod bootloader;
 mod config;
 mod managed;
+mod swap;
 mod tracker;
 
 pub use bootloader::{BootStats, Bootloader, MirrorFetchStats, PollOutcome};
 pub use config::{ActivationCheck, BootloaderConfig, LifecyclePolicy, ServerLocator};
 pub use managed::ManagedConnection;
-pub use tracker::ConnectionTracker;
+pub use swap::{SwapConfig, SwapStats};
+pub use tracker::{ConnectionTracker, EscalationOutcome};

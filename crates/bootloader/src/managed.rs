@@ -1,13 +1,16 @@
 //! Managed connections: what the application receives from
 //! [`Bootloader::connect`]. The application uses them exactly like any
 //! RDBC connection; the bootloader retains enough control to enforce
-//! expiration policies and to fetch missing extensions lazily.
+//! expiration policies, to fetch missing extensions lazily, and — when a
+//! hot-swap coexistence window is open — to migrate the session onto the
+//! new driver at its next transaction boundary, invisibly to the
+//! application.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use driverkit::{Connection, DkError, DkResult};
+use driverkit::{Connection, DkError, DkResult, NamespaceId};
 use minidb::{Params, QueryResult};
 
 use crate::bootloader::Bootloader;
@@ -50,24 +53,122 @@ impl ManagedConnection {
         }
     }
 
+    /// Runs one statement: boundary-migrates first if a swap window is
+    /// draining this session, then executes and records the statement in
+    /// the session meta.
+    fn run_statement<R>(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Connection>) -> DkResult<R>,
+    ) -> DkResult<R> {
+        self.maybe_migrate();
+        let now = self.bootloader.now_ms();
+        let mut st = self.state.lock();
+        let TrackedConn {
+            inner,
+            meta,
+            revoked_reason,
+            ..
+        } = &mut *st;
+        match inner.as_mut() {
+            Some(c) => {
+                meta.note_statement(now);
+                f(c)
+            }
+            None => Err(Self::closed_err(revoked_reason)),
+        }
+    }
+
+    /// Migrates this session onto the active namespace if it is flagged
+    /// for boundary migration and sits at a transaction boundary. A
+    /// failed reconnect keeps the session on its current driver — the
+    /// query about to run must not be dropped; migration retries at the
+    /// next boundary.
+    fn maybe_migrate(&mut self) {
+        let (pending, in_txn, ns) = {
+            let st = self.state.lock();
+            match st.inner.as_ref() {
+                Some(c) => (st.migrate_at_boundary, c.in_transaction(), st.ns),
+                None => return,
+            }
+        };
+        if pending && !in_txn {
+            self.migrate_now(ns);
+        }
+    }
+
+    /// Reconnects onto the active namespace (the same transparent
+    /// reconnect lazy extension fetch uses) and retires the old inner
+    /// connection. No-op when the session's namespace is still active.
+    fn migrate_now(&mut self, old_ns: NamespaceId) {
+        let target_is_new = self
+            .bootloader
+            .registry()
+            .active()
+            .map(|ns| ns.id != old_ns)
+            .unwrap_or(false);
+        if !target_is_new {
+            // Nothing newer to move to (blackout or the flag is stale):
+            // keep executing where we are.
+            self.state.lock().migrate_at_boundary = false;
+            return;
+        }
+        match self.bootloader.reconnect() {
+            Ok((new_inner, new_ns)) => {
+                let now = self.bootloader.now_ms();
+                {
+                    let mut st = self.state.lock();
+                    if let Some(mut old) = st.inner.replace(new_inner) {
+                        let _ = old.close();
+                    }
+                    st.ns = new_ns;
+                    st.migrate_at_boundary = false;
+                    st.close_after_commit = false;
+                    st.meta.note_migrated(new_ns, now);
+                }
+                self.bootloader.note_session_migrated();
+                self.bootloader.maybe_unload(old_ns);
+            }
+            Err(_) => {
+                // Server unreachable: stay on the old driver, retry at
+                // the next boundary. Zero dropped queries beats a punctual
+                // migration.
+            }
+        }
+    }
+
     fn finish_txn(
         &mut self,
         f: impl FnOnce(&mut Box<dyn Connection>) -> DkResult<()>,
     ) -> DkResult<()> {
-        let (result, close_now, ns) = {
+        let now = self.bootloader.now_ms();
+        let (result, close_now, migrate, ns) = {
             let mut st = self.state.lock();
-            let Some(c) = st.inner.as_mut() else {
-                return Err(Self::closed_err(&st.revoked_reason));
+            let TrackedConn {
+                inner,
+                meta,
+                revoked_reason,
+                ..
+            } = &mut *st;
+            let Some(c) = inner.as_mut() else {
+                return Err(Self::closed_err(revoked_reason));
             };
             let r = f(c);
+            if r.is_ok() {
+                meta.note_txn_end(now);
+            }
             let close_now = r.is_ok() && st.close_after_commit;
             if close_now {
                 st.force_close("driver upgraded; connection closed after commit (AFTER_COMMIT)");
             }
-            (r, close_now, st.ns)
+            let migrate = r.is_ok() && !close_now && st.migrate_at_boundary;
+            (r, close_now, migrate, st.ns)
         };
         if close_now {
             self.bootloader.maybe_unload(ns);
+        } else if migrate {
+            // The transaction just ended: this is exactly the boundary a
+            // draining session migrates at.
+            self.migrate_now(ns);
         }
         result
     }
@@ -75,20 +176,39 @@ impl ManagedConnection {
 
 impl Connection for ManagedConnection {
     fn execute(&mut self, sql: &str) -> DkResult<QueryResult> {
-        self.with_inner(|c| c.execute(sql))
+        self.run_statement(|c| c.execute(sql))
     }
 
     fn execute_params(&mut self, sql: &str, params: &Params) -> DkResult<QueryResult> {
-        self.with_inner(|c| c.execute_params(sql, params))
+        self.run_statement(|c| c.execute_params(sql, params))
     }
 
     fn begin(&mut self) -> DkResult<()> {
-        self.with_inner(|c| c.begin())
+        self.maybe_migrate();
+        let now = self.bootloader.now_ms();
+        let mut st = self.state.lock();
+        let TrackedConn {
+            inner,
+            meta,
+            revoked_reason,
+            ..
+        } = &mut *st;
+        match inner.as_mut() {
+            Some(c) => {
+                let r = c.begin();
+                if r.is_ok() {
+                    meta.note_begin(now);
+                }
+                r
+            }
+            None => Err(Self::closed_err(revoked_reason)),
+        }
     }
 
     /// Commits; if an `AFTER_COMMIT` upgrade is pending, the connection is
     /// closed right after the commit succeeds (Table 4:
-    /// `close_active_connections_after_commit`).
+    /// `close_active_connections_after_commit`); if a coexistence window
+    /// is draining this session, it migrates onto the new driver instead.
     fn commit(&mut self) -> DkResult<()> {
         self.finish_txn(|c| c.commit())
     }
@@ -132,7 +252,7 @@ impl Connection for ManagedConnection {
     /// (§5.4.1), this connection transparently reconnects on the enriched
     /// driver, and the query is retried once.
     fn geo_query(&mut self, wkt: &str) -> DkResult<QueryResult> {
-        let first = self.with_inner(|c| c.geo_query(wkt));
+        let first = self.run_statement(|c| c.geo_query(wkt));
         match first {
             Err(DkError::ExtensionMissing(name)) if self.bootloader.lazy_extensions() => {
                 self.bootloader.fetch_extension(&name)?;

@@ -1,0 +1,289 @@
+//! Zero-downtime hot swap: bounded dual-version coexistence with
+//! connection draining.
+//!
+//! Without this module an upgrade is "swap the image between polls":
+//! [`crate::tracker::ConnectionTracker::apply_policy`] expires old
+//! sessions the instant the new driver activates, so a steady workload
+//! sees its next query fail. With a [`SwapConfig`] installed, the
+//! upgrade instead opens a **coexistence window**:
+//!
+//! 1. the new namespace activates — all *new* sessions open on it;
+//! 2. every old-namespace session is flagged as draining; each one
+//!    migrates transparently onto the new driver at its next
+//!    transaction boundary (idle sessions at their next statement,
+//!    in-transaction sessions right after COMMIT/ROLLBACK);
+//! 3. adopted [`ConnectionPool`]s are generation-invalidated so idle
+//!    pool connections drain eagerly and new checkouts open on the new
+//!    driver;
+//! 4. a deterministic `netsim::sched` task ticks the window; when the
+//!    drain grace expires, remaining sessions are escalated through the
+//!    offer's [`ExpirationPolicy`] — `AFTER_COMMIT` waits for the
+//!    transaction boundary (never severing a live transaction),
+//!    `IMMEDIATE` is the last resort, `AFTER_CLOSE` never forces;
+//! 5. the old namespace is unloaded only when
+//!    [`crate::tracker::ConnectionTracker::drained`] reports true.
+//!
+//! Downgrade is the same machinery run in the other direction: a
+//! rollback offer re-activates the depot-held prior image (a
+//! zero-transfer revalidation) and the failed version drains
+//! symmetrically — only [`SwapStats::downgrades`] tells them apart.
+
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use driverkit::{ConnectionPool, NamespaceId, SessionCensus};
+use drivolution_core::{DriverVersion, ExpirationPolicy};
+use netsim::{TaskControl, TaskHandle};
+
+use crate::bootloader::Bootloader;
+
+/// Reason attached to connections closed by the drain-deadline ladder.
+const ESCALATION_REASON: &str =
+    "coexistence window expired; expiration policy enforced by swap coordinator";
+
+/// Tuning for the coexistence window a driver swap opens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwapConfig {
+    /// How long old sessions may keep executing on the retired driver
+    /// before the offer's expiration policy is enforced on the
+    /// stragglers.
+    pub drain_grace: Duration,
+    /// Coordinator tick cadence while at least one window is open.
+    pub tick_every: Duration,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            drain_grace: Duration::from_secs(30),
+            tick_every: Duration::from_secs(1),
+        }
+    }
+}
+
+impl SwapConfig {
+    /// A window with the given drain grace and tick cadence.
+    pub fn new(drain_grace: Duration, tick_every: Duration) -> Self {
+        SwapConfig {
+            drain_grace,
+            tick_every: tick_every.max(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Hot-swap counters, surfaced through
+/// [`BootStats::swap`](crate::BootStats::swap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Coexistence windows opened (one per applied upgrade/downgrade).
+    pub windows_opened: u64,
+    /// Windows fully drained and retired.
+    pub windows_completed: u64,
+    /// Sessions that migrated transparently onto the new driver at a
+    /// transaction boundary.
+    pub sessions_migrated: u64,
+    /// Sessions that left the old namespace without being forced
+    /// (migration or voluntary close).
+    pub sessions_drained: u64,
+    /// Sessions claimed by the drain-deadline escalation ladder
+    /// (closed on the spot, or marked close-after-commit).
+    pub sessions_forced: u64,
+    /// Live transactions severed by an `IMMEDIATE` escalation — the
+    /// metric the zero-downtime headline demands stays 0.
+    pub transactions_severed: u64,
+    /// Coordinator ticks that observed *no* active namespace while a
+    /// window was open — the blackout metric (§4.2's downtime, which
+    /// the swap design keeps at zero).
+    pub blackout_ticks: u64,
+    /// Windows opened by a version downgrade (rollback path).
+    pub downgrades: u64,
+}
+
+/// One namespace being drained inside a coexistence window.
+#[derive(Clone, Copy, Debug)]
+struct DrainWindow {
+    ns: NamespaceId,
+    policy: ExpirationPolicy,
+    deadline_ms: u64,
+    initial_sessions: usize,
+    forced: usize,
+    escalated: bool,
+}
+
+/// Bootloader-internal swap state: open windows, the (dormant until a
+/// swap begins) coordinator task, and adopted application pools.
+#[derive(Default)]
+pub(crate) struct SwapCoordinator {
+    windows: Mutex<Vec<DrainWindow>>,
+    task: Mutex<Option<TaskHandle>>,
+    pools: Mutex<Vec<Weak<ConnectionPool>>>,
+}
+
+impl SwapCoordinator {
+    pub(crate) fn cancel_task(&self) {
+        if let Some(t) = &*self.task.lock() {
+            t.cancel();
+        }
+    }
+}
+
+impl Bootloader {
+    /// Whether hot-swap coexistence windows are configured.
+    pub fn swap_enabled(&self) -> bool {
+        self.config.swap.is_some()
+    }
+
+    /// Namespaces currently inside a coexistence window, oldest first.
+    pub fn draining_namespaces(&self) -> Vec<NamespaceId> {
+        self.swap.windows.lock().iter().map(|w| w.ns).collect()
+    }
+
+    /// Census of one draining namespace's sessions (diagnostics). The
+    /// long-running threshold is the configured drain grace.
+    pub fn drain_census(&self, ns: NamespaceId) -> SessionCensus {
+        let grace = self
+            .config
+            .swap
+            .map(|s| s.drain_grace.as_millis() as u64)
+            .unwrap_or(u64::MAX);
+        self.tracker.census(ns, self.clock.now_ms(), grace)
+    }
+
+    /// Adopts an application-side connection pool: every swap
+    /// generation-invalidates it (idle connections drain eagerly, new
+    /// checkouts open on the new driver). Weakly held — dropping the
+    /// pool un-adopts it.
+    pub fn adopt_pool(&self, pool: &Arc<ConnectionPool>) {
+        self.swap.pools.lock().push(Arc::downgrade(pool));
+    }
+
+    /// Registers the (dormant) swap-coordinator task; called from the
+    /// lifecycle registration when a [`SwapConfig`] is present.
+    pub(crate) fn register_swap_task(self: &Arc<Self>) {
+        let me = Arc::downgrade(self);
+        let handle = self
+            .net
+            .scheduler()
+            .dormant(
+                format!("hot-swap {}", self.local),
+                move || match Weak::upgrade(&me) {
+                    Some(b) => {
+                        b.swap_tick();
+                        Ok(TaskControl::Continue)
+                    }
+                    None => Ok(TaskControl::Done),
+                },
+            );
+        *self.swap.task.lock() = Some(handle);
+    }
+
+    /// Opens a coexistence window for `old_ns` after a different
+    /// namespace became active. Old sessions keep executing on their
+    /// driver and migrate at transaction boundaries; the window is
+    /// ticked by the swap-coordinator task until drained.
+    pub(crate) fn swap_begin(
+        &self,
+        old_ns: NamespaceId,
+        from: DriverVersion,
+        to: DriverVersion,
+        policy: ExpirationPolicy,
+    ) {
+        let Some(cfg) = self.config.swap else {
+            return;
+        };
+        let now = self.clock.now_ms();
+        let marked = self.tracker.mark_draining(old_ns);
+
+        // Eagerly drain adopted pools onto the newly active driver.
+        let new_driver = self.registry.active().map(|ns| ns.driver.clone());
+        {
+            let mut pools = self.swap.pools.lock();
+            pools.retain(|w| w.strong_count() > 0);
+            for weak in pools.iter() {
+                if let Some(pool) = weak.upgrade() {
+                    match &new_driver {
+                        Some(driver) => pool.swap_driver(driver.clone()),
+                        None => pool.invalidate(),
+                    }
+                }
+            }
+        }
+
+        {
+            let mut st = self.stats.lock();
+            st.swap.windows_opened += 1;
+            if to < from {
+                st.swap.downgrades += 1;
+            }
+        }
+        self.swap.windows.lock().push(DrainWindow {
+            ns: old_ns,
+            policy,
+            deadline_ms: now + cfg.drain_grace.as_millis() as u64,
+            initial_sessions: marked,
+            forced: 0,
+            escalated: false,
+        });
+        // Settle instantly-drained windows (no old sessions) and arm the
+        // coordinator for the rest.
+        self.swap_tick();
+    }
+
+    /// One coordinator tick: complete drained windows, escalate overdue
+    /// ones through the policy ladder, and re-arm while any remain.
+    pub(crate) fn swap_tick(&self) {
+        let Some(cfg) = self.config.swap else {
+            return;
+        };
+        let now = self.clock.now_ms();
+        let windows = std::mem::take(&mut *self.swap.windows.lock());
+        if windows.is_empty() {
+            return;
+        }
+        if self.registry.active().is_none() {
+            // A window is open yet nobody serves new sessions: blackout.
+            self.stats.lock().swap.blackout_ticks += 1;
+        }
+        let mut remaining = Vec::new();
+        for mut w in windows {
+            if !self.tracker.drained(w.ns) && !w.escalated && now >= w.deadline_ms {
+                let out = self.tracker.escalate(w.ns, w.policy, ESCALATION_REASON);
+                w.forced += out.closed_now + out.close_at_commit;
+                w.escalated = true;
+                let mut st = self.stats.lock();
+                st.swap.sessions_forced += (out.closed_now + out.close_at_commit) as u64;
+                st.swap.transactions_severed += out.severed as u64;
+            }
+            if self.tracker.drained(w.ns) {
+                // Retire + unload (activate() already retired it; this
+                // prunes and drops the namespace).
+                self.maybe_unload(w.ns);
+                let mut st = self.stats.lock();
+                st.swap.windows_completed += 1;
+                st.swap.sessions_drained += w.initial_sessions.saturating_sub(w.forced) as u64;
+            } else {
+                remaining.push(w);
+            }
+        }
+        let rearm = !remaining.is_empty();
+        {
+            let mut ws = self.swap.windows.lock();
+            // Windows opened re-entrantly during this tick stay queued.
+            remaining.append(&mut ws);
+            *ws = remaining;
+        }
+        if rearm {
+            if let Some(t) = &*self.swap.task.lock() {
+                t.reschedule_at(now + cfg.tick_every.as_millis() as u64);
+            }
+        }
+    }
+
+    /// Counts one transparent boundary migration (called by the managed
+    /// wrapper after it reconnects a session onto the active driver).
+    pub(crate) fn note_session_migrated(&self) {
+        self.stats.lock().swap.sessions_migrated += 1;
+    }
+}

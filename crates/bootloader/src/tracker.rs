@@ -8,12 +8,18 @@
 //! * `AFTER_COMMIT` — idle connections close immediately, in-transaction
 //!   connections close right after their COMMIT/ROLLBACK;
 //! * `IMMEDIATE` — all connections are terminated at once.
+//!
+//! Each tracked connection carries a [`SessionMeta`]: the tracker is the
+//! session-aware substrate the hot-swap coordinator (`crate::swap`)
+//! drives — it marks a namespace's sessions as draining, derives
+//! [`SessionCensus`] aggregates, and escalates overdue sessions through
+//! the policy ladder without ever severing an `AFTER_COMMIT` transaction.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use driverkit::{Connection, NamespaceId};
+use driverkit::{Connection, NamespaceId, SessionCensus, SessionIdGen, SessionMeta};
 use drivolution_core::ExpirationPolicy;
 
 /// Shared state of one managed connection.
@@ -21,7 +27,12 @@ pub(crate) struct TrackedConn {
     pub inner: Option<Box<dyn Connection>>,
     pub ns: NamespaceId,
     pub close_after_commit: bool,
+    /// Set while the connection's namespace is inside a coexistence
+    /// window: the managed wrapper reconnects onto the active namespace
+    /// at the next transaction boundary.
+    pub migrate_at_boundary: bool,
     pub revoked_reason: Option<String>,
+    pub meta: SessionMeta,
 }
 
 impl TrackedConn {
@@ -35,10 +46,24 @@ impl TrackedConn {
     }
 }
 
+/// What a drain-deadline escalation did to a namespace's sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EscalationOutcome {
+    /// Sessions force-closed on the spot.
+    pub closed_now: usize,
+    /// In-transaction sessions marked to close right after their COMMIT
+    /// or ROLLBACK (`AFTER_COMMIT`: the transaction is never severed).
+    pub close_at_commit: usize,
+    /// Live transactions severed by a forced close (`IMMEDIATE` only —
+    /// the last resort).
+    pub severed: usize,
+}
+
 /// Registry of live managed connections, grouped by driver namespace.
 #[derive(Default)]
 pub struct ConnectionTracker {
     conns: Mutex<Vec<Arc<Mutex<TrackedConn>>>>,
+    ids: SessionIdGen,
 }
 
 impl std::fmt::Debug for ConnectionTracker {
@@ -59,12 +84,16 @@ impl ConnectionTracker {
         &self,
         inner: Box<dyn Connection>,
         ns: NamespaceId,
+        now_ms: u64,
     ) -> Arc<Mutex<TrackedConn>> {
+        let id = self.ids.allocate();
         let state = Arc::new(Mutex::new(TrackedConn {
             inner: Some(inner),
             ns,
             close_after_commit: false,
+            migrate_at_boundary: false,
             revoked_reason: None,
+            meta: SessionMeta::open(id, ns, now_ms),
         }));
         self.conns.lock().push(state.clone());
         state
@@ -107,6 +136,108 @@ impl ConnectionTracker {
         closed
     }
 
+    /// Flags every live session of `ns` as draining: the managed wrapper
+    /// migrates each one to the active namespace at its next transaction
+    /// boundary. Returns how many sessions were flagged — the coexistence
+    /// window's starting population.
+    pub fn mark_draining(&self, ns: NamespaceId) -> usize {
+        let conns = self.conns.lock().clone();
+        let mut marked = 0;
+        for state in conns {
+            let mut st = state.lock();
+            if st.ns != ns || st.inner.is_none() {
+                continue;
+            }
+            st.migrate_at_boundary = true;
+            st.meta.draining = true;
+            marked += 1;
+        }
+        marked
+    }
+
+    /// Enforces `policy` on the sessions of `ns` that outlived their
+    /// drain window. Unlike [`apply_policy`](Self::apply_policy) this is
+    /// drain-aware and reports *what* it did, and it leaves dead entries
+    /// in the table for the scheduled maintenance sweep to collect.
+    ///
+    /// * `AFTER_CLOSE` — never forces anything; the window stays open.
+    /// * `AFTER_COMMIT` — idle sessions close now; in-transaction
+    ///   sessions are marked close-after-commit. No transaction is ever
+    ///   severed.
+    /// * `IMMEDIATE` — everything closes now, severing live transactions
+    ///   (the last resort).
+    pub fn escalate(
+        &self,
+        ns: NamespaceId,
+        policy: ExpirationPolicy,
+        reason: &str,
+    ) -> EscalationOutcome {
+        let conns = self.conns.lock().clone();
+        let mut out = EscalationOutcome::default();
+        for state in conns {
+            let mut st = state.lock();
+            if st.ns != ns || st.inner.is_none() {
+                continue;
+            }
+            let in_txn = st
+                .inner
+                .as_ref()
+                .map(|c| c.in_transaction())
+                .unwrap_or(false);
+            match policy {
+                ExpirationPolicy::AfterClose => {}
+                ExpirationPolicy::AfterCommit => {
+                    if in_txn {
+                        if !st.close_after_commit {
+                            st.close_after_commit = true;
+                            out.close_at_commit += 1;
+                        }
+                    } else {
+                        st.force_close(reason);
+                        out.closed_now += 1;
+                    }
+                }
+                ExpirationPolicy::Immediate => {
+                    st.force_close(reason);
+                    out.closed_now += 1;
+                    if in_txn {
+                        out.severed += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Census of `ns`'s live sessions. A session whose transaction has
+    /// been open for at least `long_running_ms` counts as long-running.
+    pub fn census(&self, ns: NamespaceId, now_ms: u64, long_running_ms: u64) -> SessionCensus {
+        let mut census = SessionCensus::default();
+        for state in self.conns.lock().iter() {
+            let st = state.lock();
+            if st.ns != ns {
+                continue;
+            }
+            let Some(c) = st.inner.as_ref() else {
+                continue;
+            };
+            census.live += 1;
+            if st.meta.draining {
+                census.draining += 1;
+            }
+            if c.in_transaction() {
+                census.in_transaction += 1;
+                let started = st.meta.txn_started_at_ms.unwrap_or(now_ms);
+                if now_ms.saturating_sub(started) >= long_running_ms {
+                    census.long_running += 1;
+                }
+            } else {
+                census.idle += 1;
+            }
+        }
+        census
+    }
+
     /// Number of live connections on `ns`.
     pub fn live_count(&self, ns: NamespaceId) -> usize {
         self.conns
@@ -128,6 +259,13 @@ impl ConnectionTracker {
             .count()
     }
 
+    /// Entries in the tracking table, including closed sessions not yet
+    /// pruned. The scheduled maintenance sweep keeps this converging to
+    /// [`total_live`](Self::total_live).
+    pub fn tracked_len(&self) -> usize {
+        self.conns.lock().len()
+    }
+
     /// Whether `ns` has no live connections left (safe to unload).
     pub fn drained(&self, ns: NamespaceId) -> bool {
         self.live_count(ns) == 0
@@ -136,6 +274,26 @@ impl ConnectionTracker {
     /// Drops tracking entries for closed connections.
     pub fn prune(&self) {
         self.conns.lock().retain(|s| s.lock().inner.is_some());
+    }
+
+    /// Scheduled maintenance: reaps sessions whose physical connection
+    /// died underneath the tracker (server-side close, reaped peer) so a
+    /// zombie entry can never hold a namespace's drain open, then prunes
+    /// the table. Returns how many entries were dropped.
+    pub fn sweep(&self) -> usize {
+        let before = {
+            let conns = self.conns.lock().clone();
+            for state in &conns {
+                let mut st = state.lock();
+                let dead = st.inner.as_ref().map(|c| !c.is_open()).unwrap_or(false);
+                if dead {
+                    st.force_close("session closed by peer; reaped by maintenance sweep");
+                }
+            }
+            conns.len()
+        };
+        self.prune();
+        before - self.conns.lock().len()
     }
 }
 
@@ -198,9 +356,9 @@ mod tests {
     #[test]
     fn immediate_closes_everything_on_the_namespace() {
         let t = ConnectionTracker::new();
-        t.register(conn(false), NS1);
-        t.register(conn(true), NS1);
-        t.register(conn(false), NS2);
+        t.register(conn(false), NS1, 0);
+        t.register(conn(true), NS1, 0);
+        t.register(conn(false), NS2, 0);
         let closed = t.apply_policy(NS1, ExpirationPolicy::Immediate, "upgrade");
         assert_eq!(closed, 2);
         assert!(t.drained(NS1));
@@ -210,8 +368,8 @@ mod tests {
     #[test]
     fn after_commit_spares_open_transactions() {
         let t = ConnectionTracker::new();
-        let idle = t.register(conn(false), NS1);
-        let busy = t.register(conn(true), NS1);
+        let idle = t.register(conn(false), NS1, 0);
+        let busy = t.register(conn(true), NS1, 0);
         let closed = t.apply_policy(NS1, ExpirationPolicy::AfterCommit, "upgrade");
         assert_eq!(closed, 1);
         assert!(idle.lock().inner.is_none());
@@ -225,8 +383,8 @@ mod tests {
     #[test]
     fn after_close_touches_nothing() {
         let t = ConnectionTracker::new();
-        t.register(conn(false), NS1);
-        t.register(conn(true), NS1);
+        t.register(conn(false), NS1, 0);
+        t.register(conn(true), NS1, 0);
         let closed = t.apply_policy(NS1, ExpirationPolicy::AfterClose, "upgrade");
         assert_eq!(closed, 0);
         assert_eq!(t.live_count(NS1), 2);
@@ -235,7 +393,7 @@ mod tests {
     #[test]
     fn prune_drops_closed_entries() {
         let t = ConnectionTracker::new();
-        let a = t.register(conn(false), NS1);
+        let a = t.register(conn(false), NS1, 0);
         a.lock().force_close("test");
         t.prune();
         assert_eq!(t.total_live(), 0);
@@ -245,9 +403,95 @@ mod tests {
     #[test]
     fn force_close_keeps_first_reason() {
         let t = ConnectionTracker::new();
-        let a = t.register(conn(false), NS1);
+        let a = t.register(conn(false), NS1, 0);
         a.lock().force_close("first");
         a.lock().force_close("second");
         assert_eq!(a.lock().revoked_reason.as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn sessions_get_unique_ids_and_census_counts_phases() {
+        let t = ConnectionTracker::new();
+        let a = t.register(conn(false), NS1, 100);
+        let b = t.register(conn(true), NS1, 100);
+        assert_ne!(a.lock().meta.id, b.lock().meta.id);
+        b.lock().meta.note_begin(100);
+        let census = t.census(NS1, 200, 1_000);
+        assert_eq!(census.live, 2);
+        assert_eq!(census.idle, 1);
+        assert_eq!(census.in_transaction, 1);
+        assert_eq!(census.long_running, 0);
+        // After the threshold passes, the open transaction is long-running.
+        let census = t.census(NS1, 1_200, 1_000);
+        assert_eq!(census.long_running, 1);
+    }
+
+    #[test]
+    fn mark_draining_flags_only_the_namespace() {
+        let t = ConnectionTracker::new();
+        let a = t.register(conn(false), NS1, 0);
+        let other = t.register(conn(false), NS2, 0);
+        assert_eq!(t.mark_draining(NS1), 1);
+        assert!(a.lock().migrate_at_boundary);
+        assert!(a.lock().meta.draining);
+        assert!(!other.lock().migrate_at_boundary);
+        assert_eq!(t.census(NS1, 0, 0).draining, 1);
+    }
+
+    #[test]
+    fn escalate_after_commit_never_severs() {
+        let t = ConnectionTracker::new();
+        let idle = t.register(conn(false), NS1, 0);
+        let busy = t.register(conn(true), NS1, 0);
+        let out = t.escalate(NS1, ExpirationPolicy::AfterCommit, "deadline");
+        assert_eq!(
+            out,
+            EscalationOutcome {
+                closed_now: 1,
+                close_at_commit: 1,
+                severed: 0
+            }
+        );
+        assert!(idle.lock().inner.is_none());
+        assert!(busy.lock().inner.is_some());
+        // Re-escalating is idempotent: the marked session isn't recounted.
+        let again = t.escalate(NS1, ExpirationPolicy::AfterCommit, "deadline");
+        assert_eq!(again, EscalationOutcome::default());
+    }
+
+    #[test]
+    fn escalate_immediate_counts_severed_transactions() {
+        let t = ConnectionTracker::new();
+        t.register(conn(false), NS1, 0);
+        t.register(conn(true), NS1, 0);
+        let out = t.escalate(NS1, ExpirationPolicy::Immediate, "deadline");
+        assert_eq!(out.closed_now, 2);
+        assert_eq!(out.severed, 1);
+        assert!(t.drained(NS1));
+    }
+
+    #[test]
+    fn escalate_after_close_is_a_no_op() {
+        let t = ConnectionTracker::new();
+        t.register(conn(true), NS1, 0);
+        let out = t.escalate(NS1, ExpirationPolicy::AfterClose, "deadline");
+        assert_eq!(out, EscalationOutcome::default());
+        assert_eq!(t.live_count(NS1), 1);
+    }
+
+    #[test]
+    fn sweep_reaps_dead_connections_and_prunes() {
+        let t = ConnectionTracker::new();
+        let a = t.register(conn(false), NS1, 0);
+        let _b = t.register(conn(false), NS1, 0);
+        // Kill the physical connection underneath the tracker: the entry
+        // still holds `inner` but the session is gone.
+        if let Some(c) = a.lock().inner.as_mut() {
+            let _ = c.close();
+        }
+        assert_eq!(t.total_live(), 2, "zombie counted as live before sweep");
+        assert_eq!(t.sweep(), 1);
+        assert_eq!(t.total_live(), 1);
+        assert_eq!(t.tracked_len(), 1);
     }
 }

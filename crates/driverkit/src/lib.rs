@@ -14,8 +14,12 @@
 //!   per-flavor factories (the cluster middleware registers its own);
 //! * [`registry`] — classloader-style namespaces: multiple driver
 //!   versions loaded side by side, one active for new connects;
-//! * [`pool`] — a connection pool, needed to reproduce the paper's
-//!   `AFTER_CLOSE`-starvation caveat;
+//! * [`pool`] — a generation-stamped connection pool, needed to
+//!   reproduce the paper's `AFTER_CLOSE`-starvation caveat and to drain
+//!   idle connections eagerly during hot swaps;
+//! * [`session`] — per-session accounting (phases, transaction
+//!   boundaries, drain flags) behind the bootloader's coexistence
+//!   windows;
 //! * [`url`] — `rdbc:minidb://…` and `rdbc:cluster://…` URLs.
 //!
 //! [`DriverImage`]: drivolution_core::DriverImage
@@ -28,6 +32,7 @@ pub mod interpreted;
 pub mod legacy;
 pub mod pool;
 pub mod registry;
+pub mod session;
 pub mod url;
 pub mod vm;
 
@@ -37,5 +42,6 @@ pub use interpreted::{interpret_direct, InterpretedDriver};
 pub use legacy::{legacy_driver, legacy_image};
 pub use pool::{ConnectionPool, PoolStats, PooledConnection};
 pub use registry::{DriverRegistry, Namespace, NamespaceId};
+pub use session::{SessionCensus, SessionId, SessionIdGen, SessionMeta, SessionPhase};
 pub use url::{DbUrl, UrlScheme};
 pub use vm::{DriverFactory, DriverVm};

@@ -1,0 +1,194 @@
+//! Session accounting for the RDBC layer.
+//!
+//! A *session* is the lifetime of one application-visible connection.
+//! During a hot swap the bootloader must know, per driver namespace, how
+//! many sessions are still executing, which of them sit at a transaction
+//! boundary (and can migrate to the new driver transparently), and which
+//! are long-running enough that only the expiration policy can end the
+//! coexistence window. This module holds the bookkeeping types; the
+//! bootloader's connection tracker embeds a [`SessionMeta`] in every
+//! tracked connection and derives [`SessionCensus`] aggregates from them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::registry::NamespaceId;
+
+/// Identifier of one application session (a managed connection's
+/// lifetime). Ids are unique per allocator, monotonically increasing,
+/// and never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess#{}", self.0)
+    }
+}
+
+/// Allocates monotonically increasing [`SessionId`]s.
+#[derive(Debug, Default)]
+pub struct SessionIdGen(AtomicU64);
+
+impl SessionIdGen {
+    /// Creates a generator starting at `sess#1`.
+    pub fn new() -> Self {
+        SessionIdGen::default()
+    }
+
+    /// Allocates the next id.
+    pub fn allocate(&self) -> SessionId {
+        SessionId(self.0.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+}
+
+/// What a session is doing right now, as far as swaps care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// At a transaction boundary: safe to migrate between driver
+    /// versions or to close without losing work.
+    Idle,
+    /// Inside an explicit transaction: severing it loses work.
+    InTransaction,
+}
+
+/// Per-session accounting carried by every tracked connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Session id.
+    pub id: SessionId,
+    /// Namespace currently executing the session's statements.
+    pub ns: NamespaceId,
+    /// Virtual-clock instant the session opened.
+    pub opened_at_ms: u64,
+    /// Instant of the most recent statement.
+    pub last_activity_ms: u64,
+    /// When the current explicit transaction began, if one is open.
+    pub txn_started_at_ms: Option<u64>,
+    /// Statements executed over the session's lifetime.
+    pub statements: u64,
+    /// Explicit transactions completed (COMMIT or ROLLBACK).
+    pub transactions: u64,
+    /// Times the session migrated to a different namespace at a
+    /// transaction boundary.
+    pub migrations: u64,
+    /// Set while the session's namespace is inside a coexistence window
+    /// and the session is expected to leave it.
+    pub draining: bool,
+}
+
+impl SessionMeta {
+    /// Opens a session on `ns` at `now`.
+    pub fn open(id: SessionId, ns: NamespaceId, now_ms: u64) -> Self {
+        SessionMeta {
+            id,
+            ns,
+            opened_at_ms: now_ms,
+            last_activity_ms: now_ms,
+            txn_started_at_ms: None,
+            statements: 0,
+            transactions: 0,
+            migrations: 0,
+            draining: false,
+        }
+    }
+
+    /// Records one statement execution.
+    pub fn note_statement(&mut self, now_ms: u64) {
+        self.statements += 1;
+        self.last_activity_ms = now_ms;
+    }
+
+    /// Records entering an explicit transaction.
+    pub fn note_begin(&mut self, now_ms: u64) {
+        self.txn_started_at_ms = Some(now_ms);
+        self.last_activity_ms = now_ms;
+    }
+
+    /// Records leaving an explicit transaction (COMMIT or ROLLBACK).
+    pub fn note_txn_end(&mut self, now_ms: u64) {
+        if self.txn_started_at_ms.take().is_some() {
+            self.transactions += 1;
+        }
+        self.last_activity_ms = now_ms;
+    }
+
+    /// Records a transparent migration onto `ns`.
+    pub fn note_migrated(&mut self, ns: NamespaceId, now_ms: u64) {
+        self.ns = ns;
+        self.migrations += 1;
+        self.last_activity_ms = now_ms;
+        self.draining = false;
+    }
+
+    /// The session's phase given whether the underlying connection
+    /// reports an open transaction.
+    pub fn phase(&self, in_transaction: bool) -> SessionPhase {
+        if in_transaction {
+            SessionPhase::InTransaction
+        } else {
+            SessionPhase::Idle
+        }
+    }
+}
+
+/// Aggregate census of one namespace's live sessions, as derived by the
+/// bootloader's connection tracker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCensus {
+    /// Live sessions on the namespace.
+    pub live: usize,
+    /// Sessions at a transaction boundary.
+    pub idle: usize,
+    /// Sessions inside an explicit transaction.
+    pub in_transaction: usize,
+    /// Sessions flagged as draining (namespace inside a coexistence
+    /// window).
+    pub draining: usize,
+    /// In-transaction sessions whose transaction has been open longer
+    /// than the census threshold — the ones only an expiration policy
+    /// can end.
+    pub long_running: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NS: NamespaceId = NamespaceId(7);
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let g = SessionIdGen::new();
+        let a = g.allocate();
+        let b = g.allocate();
+        assert!(b > a);
+        assert_eq!(a, SessionId(1));
+    }
+
+    #[test]
+    fn meta_tracks_boundaries() {
+        let mut m = SessionMeta::open(SessionId(1), NS, 10);
+        assert_eq!(m.phase(false), SessionPhase::Idle);
+        m.note_statement(20);
+        m.note_begin(30);
+        assert_eq!(m.txn_started_at_ms, Some(30));
+        m.note_txn_end(40);
+        assert_eq!(m.txn_started_at_ms, None);
+        assert_eq!(m.transactions, 1);
+        assert_eq!(m.statements, 1);
+        // A txn end without a begin (autocommit rollback) counts nothing.
+        m.note_txn_end(50);
+        assert_eq!(m.transactions, 1);
+    }
+
+    #[test]
+    fn migration_moves_namespace_and_clears_draining() {
+        let mut m = SessionMeta::open(SessionId(2), NS, 0);
+        m.draining = true;
+        m.note_migrated(NamespaceId(8), 100);
+        assert_eq!(m.ns, NamespaceId(8));
+        assert_eq!(m.migrations, 1);
+        assert!(!m.draining);
+    }
+}

@@ -14,11 +14,15 @@
 //!   Drivolution server under virtual time, measuring upgrade propagation
 //!   and server traffic versus lease length (§3.2's tradeoff);
 //! * [`workload`] — an OLTP-ish workload to demonstrate zero-downtime
-//!   upgrades under load.
+//!   upgrades under load;
+//! * [`load`] — a scheduler-driven steady-load harness whose
+//!   dropped/severed ledger proves (or disproves) that an upgrade was
+//!   invisible to the application.
 
 #![warn(missing_docs)]
 
 pub mod aggregator;
+pub mod load;
 pub mod model;
 pub mod ops;
 pub mod report;
@@ -26,6 +30,7 @@ pub mod sim;
 pub mod workload;
 
 pub use aggregator::{AggregatorStats, RenewalAggregator};
+pub use load::{LoadStats, SteadyLoad};
 pub use model::{AppSpec, FleetSpec};
 pub use ops::{OpStep, Procedure};
 pub use report::{

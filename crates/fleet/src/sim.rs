@@ -20,7 +20,9 @@ use std::time::Duration;
 use netsim::{Addr, Network};
 
 use driverkit::{ConnectProps, DbUrl};
-use drivolution_bootloader::{Bootloader, BootloaderConfig, LifecyclePolicy};
+use drivolution_bootloader::{
+    Bootloader, BootloaderConfig, LifecyclePolicy, SwapConfig, SwapStats,
+};
 use drivolution_core::{
     ApiName, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion, ExpirationPolicy,
     PermissionRule, RenewPolicy, TransferMethod, DRIVOLUTION_PORT,
@@ -213,6 +215,60 @@ impl FleetSim {
         sim
     }
 
+    /// Builds a fleet wired for zero-downtime hot swaps: every client
+    /// carries a depot (rollbacks revalidate with zero transfer), sends
+    /// activation reports, runs the injectable self-check of
+    /// [`FleetSim::build_rollout`], and — when `hot_swap` is set — opens
+    /// a bounded coexistence window on upgrade instead of expiring old
+    /// sessions immediately. `hot_swap: None` builds the *baseline*
+    /// fleet for the same scenario: identical clients that apply the
+    /// expiration policy the moment the new driver activates, which is
+    /// exactly the configuration whose dropped-query ledger the hot-swap
+    /// benches contrast against.
+    pub fn build_hotswap(n_clients: usize, lease_ms: u64, hot_swap: Option<SwapConfig>) -> Self {
+        let mut sim = Self::build_with_driver_size(0, lease_ms, false, 0);
+        for i in 0..n_clients {
+            let faulty = sim.faulty_version.clone();
+            let mut config = BootloaderConfig::same_host()
+                .with_lifecycle(LifecyclePolicy::driven(DEFAULT_POLL_EVERY))
+                .with_depot(DriverDepot::in_memory())
+                .with_activation_reports()
+                .with_activation_check(move |image| match *faulty.lock() {
+                    Some(v) if image.version == v => {
+                        Err("injected activation regression".to_string())
+                    }
+                    _ => Ok(()),
+                });
+            if let Some(swap) = hot_swap {
+                config = config.with_hot_swap(swap);
+            }
+            sim.clients.push(Bootloader::new(
+                &sim.net,
+                Addr::new(format!("app{i:04}"), 1),
+                config,
+            ));
+        }
+        sim
+    }
+
+    /// Fleet-wide hot-swap counters, summed over every client's
+    /// [`drivolution_bootloader::BootStats::swap`].
+    pub fn total_swap_stats(&self) -> SwapStats {
+        let mut total = SwapStats::default();
+        for c in &self.clients {
+            let s = c.stats().swap;
+            total.windows_opened += s.windows_opened;
+            total.windows_completed += s.windows_completed;
+            total.sessions_migrated += s.sessions_migrated;
+            total.sessions_drained += s.sessions_drained;
+            total.sessions_forced += s.sessions_forced;
+            total.transactions_severed += s.transactions_severed;
+            total.blackout_ticks += s.blackout_ticks;
+            total.downgrades += s.downgrades;
+        }
+        total
+    }
+
     /// As [`FleetSim::build_rollout`], but with batched lease traffic:
     /// clients run [`LifecyclePolicy::manual`] and a per-zone
     /// [`RenewalAggregator`] coalesces their same-tick renewals into one
@@ -355,6 +411,11 @@ impl FleetSim {
     /// The simulated network (clock, stats, faults).
     pub fn net(&self) -> &Network {
         &self.net
+    }
+
+    /// The database URL the fleet's clients connect to.
+    pub fn url(&self) -> &DbUrl {
+        &self.url
     }
 
     /// The Drivolution server.
@@ -777,6 +838,60 @@ mod tests {
         // Only the canary ever activated the bad driver.
         assert_eq!(st.waves[0].err, 1);
         assert_eq!(st.waves.iter().map(|w| w.ok + w.err).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn hot_swap_upgrade_is_invisible_to_steady_load() {
+        let sim = FleetSim::build_hotswap(6, 5 * MINUTE, Some(SwapConfig::default()));
+        let load = crate::load::SteadyLoad::launch(
+            sim.net(),
+            sim.clients(),
+            sim.url(),
+            Duration::from_secs(5),
+            3,
+        );
+        load.open_all().unwrap();
+        sim.run_steady_state(10_000, 2 * MINUTE);
+        sim.publish_upgrade(false);
+        sim.run_until_on(DriverVersion::new(2, 0, 0), 10_000, 30 * MINUTE);
+        assert_eq!(sim.count_on(DriverVersion::new(2, 0, 0)), 6);
+        // Let every coexistence window settle.
+        sim.run_steady_state(10_000, 2 * MINUTE);
+        let st = load.stats();
+        assert!(st.committed > 0, "{st:?}");
+        assert_eq!(st.dropped_queries, 0, "{st:?}");
+        assert_eq!(st.severed_transactions, 0, "{st:?}");
+        assert_eq!(st.reconnects, 0, "{st:?}");
+        let swap = sim.total_swap_stats();
+        assert_eq!(swap.windows_opened, 6, "{swap:?}");
+        assert_eq!(swap.windows_completed, 6, "{swap:?}");
+        assert!(swap.sessions_migrated >= 6, "{swap:?}");
+        assert_eq!(swap.sessions_forced, 0, "{swap:?}");
+        assert_eq!(swap.transactions_severed, 0, "{swap:?}");
+    }
+
+    #[test]
+    fn baseline_upgrade_without_hot_swap_drops_queries() {
+        let sim = FleetSim::build_hotswap(6, 5 * MINUTE, None);
+        let load = crate::load::SteadyLoad::launch(
+            sim.net(),
+            sim.clients(),
+            sim.url(),
+            Duration::from_secs(5),
+            3,
+        );
+        load.open_all().unwrap();
+        sim.run_steady_state(10_000, 2 * MINUTE);
+        sim.publish_upgrade(false);
+        sim.run_until_on(DriverVersion::new(2, 0, 0), 10_000, 30 * MINUTE);
+        assert_eq!(sim.count_on(DriverVersion::new(2, 0, 0)), 6);
+        sim.run_steady_state(10_000, 2 * MINUTE);
+        let st = load.stats();
+        // AFTER_COMMIT without a coexistence window force-closes idle
+        // sessions at activation: the application sees it.
+        assert!(st.dropped_queries > 0, "{st:?}");
+        assert!(st.reconnects > 0, "{st:?}");
+        assert_eq!(sim.total_swap_stats(), SwapStats::default());
     }
 
     #[test]

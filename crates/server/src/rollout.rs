@@ -184,6 +184,10 @@ struct RolloutState {
     halt_reason: Option<String>,
 }
 
+/// Function invoked (with the rollout's database) exactly once when a
+/// health gate trips and the rollout rolls back.
+type HaltHook = Box<dyn Fn(&str) + Send + Sync>;
+
 /// Orchestrates one staged rollout from a prior driver to a new one
 /// over a fixed registered fleet. Attach it to a
 /// [`DrivolutionServer`](crate::DrivolutionServer) with
@@ -199,6 +203,7 @@ pub struct RolloutOrchestrator {
     clock: Clock,
     state: Mutex<RolloutState>,
     task: Mutex<Option<TaskHandle>>,
+    halt_hook: Mutex<Option<HaltHook>>,
 }
 
 impl std::fmt::Debug for RolloutOrchestrator {
@@ -266,6 +271,7 @@ impl RolloutOrchestrator {
             clock,
             state: Mutex::new(state),
             task: Mutex::new(None),
+            halt_hook: Mutex::new(None),
         }
     }
 
@@ -375,6 +381,26 @@ impl RolloutOrchestrator {
         }
     }
 
+    /// Installs the rollback hook, replacing any previous one. It fires
+    /// exactly once, outside the state lock, when a health gate trips —
+    /// [`attach_rollout`](crate::DrivolutionServer::attach_rollout) wires
+    /// it to an upgrade notice so clients with dedicated channels
+    /// re-renew (and drain the failed version) immediately instead of at
+    /// their next lease expiry.
+    pub fn on_rollback<F>(&self, hook: F)
+    where
+        F: Fn(&str) + Send + Sync + 'static,
+    {
+        *self.halt_hook.lock() = Some(Box::new(hook));
+    }
+
+    fn fire_halt_hook(&self) {
+        let hook = self.halt_hook.lock();
+        if let Some(h) = &*hook {
+            h(&self.database);
+        }
+    }
+
     /// Whether the rollout reached a terminal phase.
     pub fn is_settled(&self) -> bool {
         !matches!(self.state.lock().phase, RolloutPhase::Wave(_))
@@ -409,6 +435,8 @@ impl RolloutOrchestrator {
                 "activation error rate {err_total}/{reports} exceeded {:.2}% in wave {open}",
                 self.config.max_error_rate * 100.0
             ));
+            drop(st);
+            self.fire_halt_hook();
             return;
         }
 
@@ -610,6 +638,41 @@ mod tests {
             assert_eq!(ro.resolve(&h), DriverId(1));
         }
         assert!(ro.is_settled());
+    }
+
+    #[test]
+    fn halt_hook_fires_exactly_once_on_gate_trip() {
+        let config = RolloutConfig {
+            observe: Duration::from_secs(10),
+            min_reports: 3,
+            max_error_rate: 0.2,
+            ..RolloutConfig::default()
+        };
+        let (ro, clock) = rig(10, config);
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let fired = fired.clone();
+            let seen = seen.clone();
+            ro.on_rollback(move |db| {
+                fired.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                seen.lock().push(db.to_string());
+            });
+        }
+        report_wave_ok(&ro, 0);
+        clock.advance_ms(11_000);
+        ro.evaluate();
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 0);
+        ro.report_activation("app0001", DriverId(2), true);
+        ro.report_activation("app0002", DriverId(2), false);
+        ro.evaluate();
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(seen.lock().as_slice(), ["fleetdb"]);
+        // Further evaluations after the rollback must not re-fire.
+        ro.evaluate();
+        clock.advance_ms(11_000);
+        ro.evaluate();
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 
     #[test]

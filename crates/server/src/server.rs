@@ -331,8 +331,17 @@ impl DrivolutionServer {
     /// request touching one of its two managed drivers is resolved
     /// through [`RolloutOrchestrator::resolve`], so offers are
     /// version-targeted per wave membership and a halted rollout rolls
-    /// clients back on their next renewal.
-    pub fn attach_rollout(&self, rollout: Arc<RolloutOrchestrator>) {
+    /// clients back on their next renewal. The orchestrator's rollback
+    /// hook is wired to an upgrade notice: a tripped health gate pushes
+    /// `DRIVER_AVAILABLE` down every dedicated channel so clients
+    /// re-renew (and start draining the failed version) immediately.
+    pub fn attach_rollout(self: &Arc<Self>, rollout: Arc<RolloutOrchestrator>) {
+        let weak = Arc::downgrade(self);
+        rollout.on_rollback(move |database| {
+            if let Some(srv) = weak.upgrade() {
+                srv.notify_upgrade(database);
+            }
+        });
         *self.rollout.lock() = Some(rollout);
     }
 
@@ -1703,6 +1712,7 @@ mod tests {
             default_renew: RenewPolicy::Upgrade,
             ..ServerConfig::default()
         });
+        let srv = Arc::new(srv);
         srv.install_driver(&record(1, 1, DriverVersion::new(1, 0, 0)))
             .unwrap();
         srv.install_driver(&record(2, 2, DriverVersion::new(2, 0, 0)))

@@ -72,7 +72,8 @@ pub mod prelude {
         legacy_driver, ConnectProps, Connection, DbUrl, DkError, Driver, DriverVm,
     };
     pub use drivolution_bootloader::{
-        Bootloader, BootloaderConfig, LifecyclePolicy, PollOutcome, ServerLocator,
+        Bootloader, BootloaderConfig, LifecyclePolicy, PollOutcome, ServerLocator, SwapConfig,
+        SwapStats,
     };
     pub use drivolution_core::{
         ApiName, ApiVersion, BinaryFormat, DriverId, DriverImage, DriverRecord, DriverVersion,

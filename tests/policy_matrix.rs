@@ -211,6 +211,136 @@ fn revoke_immediate_terminates_everything() {
     assert!(r.boot.connect(&r.url, &props()).is_err());
 }
 
+// --- hot-swap drain-window matrix ------------------------------------------
+//
+// With a coexistence window, the expiration policy stops being "what
+// happens at activation" and becomes "what happens to stragglers when
+// the drain grace expires". Each policy is exercised against an idle
+// session, a well-behaved in-transaction session, and a long-running
+// transaction that never reaches a boundary inside the window.
+
+use std::time::Duration;
+
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+fn swap_rig(expiration: ExpirationPolicy) -> Rig {
+    let mut r = rig(RenewPolicy::Upgrade, expiration);
+    let boot = Bootloader::new(
+        &r.net,
+        Addr::new("swap-app", 1),
+        BootloaderConfig::same_host()
+            .trusting(r.srv.certificate())
+            .with_hot_swap(SwapConfig::new(DRAIN_GRACE, Duration::from_secs(1))),
+    );
+    r.boot = boot;
+    r
+}
+
+/// Opens idle + in-transaction + long-running sessions and swaps to v2.
+/// Returns the three connections; on return the coexistence window is
+/// open and nothing has been disturbed yet.
+fn open_trio_and_swap(
+    r: &Rig,
+    expiration: ExpirationPolicy,
+) -> (ManagedConnection, ManagedConnection, ManagedConnection) {
+    let idle = r.boot.connect(&r.url, &props()).unwrap();
+    let mut busy = r.boot.connect(&r.url, &props()).unwrap();
+    busy.begin().unwrap();
+    busy.execute("INSERT INTO t VALUES (1)").unwrap();
+    let mut long = r.boot.connect(&r.url, &props()).unwrap();
+    long.begin().unwrap();
+    long.execute("INSERT INTO t VALUES (2)").unwrap();
+    publish_v2(r, expiration);
+    r.net.clock().advance_ms(LEASE_MS);
+    assert!(matches!(r.boot.poll(), PollOutcome::Upgraded { .. }));
+    // The coexistence window is open: both namespaces are loaded and
+    // every old session keeps executing.
+    assert_eq!(r.boot.registry().len(), 2, "dual-version coexistence");
+    (idle, busy, long)
+}
+
+fn pump_past_deadline(r: &Rig) {
+    let now = r.net.clock().now_ms();
+    r.net
+        .run_until(now + DRAIN_GRACE.as_millis() as u64 + 3_000);
+}
+
+#[test]
+fn drain_window_after_close_never_forces_stragglers() {
+    let r = swap_rig(ExpirationPolicy::AfterClose);
+    let (mut idle, mut busy, mut long) = open_trio_and_swap(&r, ExpirationPolicy::AfterClose);
+    // Idle migrates at its next statement; busy right after commit.
+    idle.execute("SELECT 1").unwrap();
+    busy.execute("SELECT 1").unwrap();
+    busy.commit().unwrap();
+    busy.execute("SELECT 1").unwrap();
+    pump_past_deadline(&r);
+    // The long-running transaction outlived the grace — AFTER_CLOSE
+    // still never forces it.
+    long.execute("SELECT 1").unwrap();
+    assert!(long.in_transaction());
+    let swap = r.boot.stats().swap;
+    assert_eq!(swap.sessions_forced, 0, "{swap:?}");
+    assert_eq!(swap.transactions_severed, 0, "{swap:?}");
+    assert!(swap.sessions_migrated >= 2, "{swap:?}");
+    // Only the application closing the straggler retires the window.
+    assert_eq!(r.boot.registry().len(), 2);
+    long.commit().unwrap();
+    long.close().unwrap();
+    pump_past_deadline(&r);
+    assert_eq!(r.boot.registry().len(), 1, "old namespace unloaded");
+    assert_eq!(r.boot.stats().swap.windows_completed, 1);
+}
+
+#[test]
+fn drain_window_after_commit_forces_at_boundary_and_never_severs() {
+    let r = swap_rig(ExpirationPolicy::AfterCommit);
+    let (mut idle, mut busy, mut long) = open_trio_and_swap(&r, ExpirationPolicy::AfterCommit);
+    // Inside the window nothing is closed — unlike the no-window
+    // AFTER_COMMIT upgrade, the idle session keeps working (it simply
+    // migrates).
+    idle.execute("SELECT 1").unwrap();
+    busy.commit().unwrap();
+    busy.execute("SELECT 1").unwrap();
+    pump_past_deadline(&r);
+    // The straggler was escalated, but AFTER_COMMIT never severs a live
+    // transaction: it still executes and commits...
+    long.execute("SELECT 1").unwrap();
+    long.commit().unwrap();
+    // ...and only *then* is it closed.
+    assert!(long.execute("SELECT 1").is_err(), "closed after commit");
+    pump_past_deadline(&r);
+    let swap = r.boot.stats().swap;
+    assert_eq!(swap.sessions_forced, 1, "{swap:?}");
+    assert_eq!(swap.transactions_severed, 0, "AFTER_COMMIT severed a txn");
+    assert!(swap.sessions_migrated >= 2, "{swap:?}");
+    assert_eq!(swap.windows_completed, 1, "{swap:?}");
+    assert_eq!(r.boot.registry().len(), 1);
+}
+
+#[test]
+fn drain_window_immediate_severs_stragglers_at_deadline_only() {
+    let r = swap_rig(ExpirationPolicy::Immediate);
+    let (mut idle, mut busy, mut long) = open_trio_and_swap(&r, ExpirationPolicy::Immediate);
+    // Even IMMEDIATE waits out the window: sessions at a boundary
+    // migrate instead of dying.
+    idle.execute("SELECT 1").unwrap();
+    busy.commit().unwrap();
+    busy.execute("SELECT 1").unwrap();
+    pump_past_deadline(&r);
+    // Only the straggler that never reached a boundary is severed.
+    assert!(long.execute("SELECT 1").is_err(), "severed at deadline");
+    let swap = r.boot.stats().swap;
+    assert_eq!(swap.sessions_forced, 1, "{swap:?}");
+    assert_eq!(swap.transactions_severed, 1, "{swap:?}");
+    assert!(swap.sessions_migrated >= 2, "{swap:?}");
+    assert_eq!(swap.windows_completed, 1, "{swap:?}");
+    assert_eq!(r.boot.registry().len(), 1);
+    // Idle and busy were untouched throughout.
+    idle.execute("SELECT 1").unwrap();
+    busy.execute("SELECT 1").unwrap();
+}
+
 // --- the connection-pool caveat of §3.4.2 ---------------------------------
 
 #[test]

@@ -117,6 +117,45 @@ fn paused_lifecycle_quarantines_then_resume_recovers() {
     );
 }
 
+/// Closed sessions must leave the tracker without anybody calling
+/// `prune` by hand: the session-maintenance task (registered for every
+/// self-driving bootloader, on the same 30s cadence idea as the
+/// server's failure detection) sweeps the tracking table on schedule.
+#[test]
+fn scheduled_maintenance_prunes_closed_sessions_from_the_tracker() {
+    let rig = rig();
+    let boot = Bootloader::new(
+        &rig.net,
+        Addr::new("app", 1),
+        BootloaderConfig::same_host()
+            .trusting(rig.srv.certificate())
+            .with_lifecycle(LifecyclePolicy::driven(Duration::from_secs(60))),
+    );
+    let task = boot.maintenance_task().expect("maintenance registered");
+    assert!(task.is_scheduled());
+
+    let props = ConnectProps::user("admin", "admin");
+    let keep = boot.connect(&rig.url, &props).unwrap();
+    let mut gone_a = boot.connect(&rig.url, &props).unwrap();
+    let mut gone_b = boot.connect(&rig.url, &props).unwrap();
+    assert_eq!(boot.tracker().tracked_len(), 3);
+    gone_a.close().unwrap();
+    gone_b.close().unwrap();
+    // Closed sessions leave the live set immediately…
+    assert_eq!(boot.tracker().total_live(), 1);
+
+    // …and the sweep fires on its own 30s cadence (the same cadence
+    // idea as the server's failure detection), keeping the table
+    // converged onto the live set with no manual prune() anywhere.
+    let now = rig.net.clock().now_ms();
+    rig.net.run_until(now + 90_001);
+    assert_eq!(boot.tracker().tracked_len(), 1);
+    assert_eq!(boot.tracker().total_live(), 1);
+    assert_eq!(task.stats().runs, 3, "30s cadence over 90s of virtual time");
+    assert_eq!(task.stats().errors, 0);
+    drop(keep);
+}
+
 /// A self-driving bootloader bootstraps once and then upgrades with no
 /// manual poll() anywhere: its lease auto-renewal timer fires at the
 /// exact tick the lease enters RenewDue (expiry minus the 10% margin,
