@@ -67,6 +67,9 @@ pub struct BootStats {
     /// Maintenance passes executed (manual [`Bootloader::poll`] calls
     /// plus scheduler-task firings).
     pub polls: u64,
+    /// `MIRROR_COMPLAINT`s filed after a mirror served bytes that failed
+    /// digest/checksum verification.
+    pub mirror_complaints: u64,
     /// `ACTIVATION_REPORT`s sent after upgrades (when enabled).
     pub activation_reports: u64,
     /// Reports that carried a failure verdict (failed self-check or
@@ -427,6 +430,13 @@ impl Bootloader {
     /// Version of the driver serving new connections, if any.
     pub fn active_version(&self) -> Option<DriverVersion> {
         self.registry.active().map(|ns| ns.image.version)
+    }
+
+    /// Content digest of the active driver's image, if any. Chaos
+    /// harnesses compare this against the published image to prove no
+    /// corrupted bytes were ever installed.
+    pub fn active_image_digest(&self) -> Option<u64> {
+        self.registry.active().map(|ns| ns.image.digest())
     }
 
     /// Whether the driver was revoked (new connections are refused).
@@ -845,6 +855,25 @@ impl Bootloader {
                         // rest of this mirror's retry budget; an
                         // application refusal is authoritative.
                         Err(DkError::Drv(DrvError::Net(_))) => {}
+                        // Corruption-shaped failures: the mirror
+                        // answered, but its bytes failed digest,
+                        // checksum, frame, or signature verification.
+                        // File a best-effort complaint so the directory
+                        // can demote a byzantine mirror, then move on.
+                        Err(DkError::Drv(
+                            DrvError::BadPackage(detail)
+                            | DrvError::TransferFailed(detail)
+                            | DrvError::Codec(detail)
+                            | DrvError::SignatureInvalid(detail),
+                        )) => {
+                            self.send_mirror_complaint(
+                                server,
+                                &c.location,
+                                plan.manifest.content_digest,
+                                &detail,
+                            );
+                            continue 'candidates;
+                        }
                         Err(_) => continue 'candidates,
                     }
                 }
@@ -1214,6 +1243,21 @@ impl Bootloader {
             Some(ns) => check.run(&ns.image),
             None => Err("no active driver after upgrade".to_string()),
         }
+    }
+
+    /// Best-effort `MIRROR_COMPLAINT`: tells the server that `location`
+    /// served bytes that failed local verification. Transport failures
+    /// are swallowed — the complaint is advisory evidence for the
+    /// directory's strike ledger, never part of the fetch path's own
+    /// control flow.
+    fn send_mirror_complaint(&self, server: &Addr, location: &str, digest: u64, detail: &str) {
+        self.stats.lock().mirror_complaints += 1;
+        let msg = DrvMsg::MirrorComplaint {
+            location: location.to_string(),
+            digest,
+            detail: detail.to_string(),
+        };
+        let _ = self.net.request(&self.local, server, msg.encode());
     }
 
     /// Best-effort `ACTIVATION_REPORT`: tells the server how the upgrade

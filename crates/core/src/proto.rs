@@ -521,6 +521,20 @@ pub enum DrvMsg {
         /// Positional replies, one per batch entry.
         replies: Vec<Result<DrvOffer, (DrvErrCode, String)>>,
     },
+    /// `MIRROR_COMPLAINT` — a bootloader's best-effort report that a
+    /// mirror served bytes failing digest/checksum verification. The
+    /// directory keeps a corroborated strike ledger per mirror and
+    /// demotes repeat offenders (distinct from silence-quarantine); the
+    /// server answers with [`DrvMsg::MirrorAck`].
+    MirrorComplaint {
+        /// The offending mirror's registered location (`host:port`).
+        location: String,
+        /// The chunk or payload digest the client expected and did not
+        /// receive (zero when the frame itself failed to decode).
+        digest: u64,
+        /// Plain-text detail of what failed verification.
+        detail: String,
+    },
 }
 
 fn put_req(b: &mut BytesMut, r: &DrvRequest) {
@@ -758,11 +772,18 @@ const TAG_ACTIVATION_ACK: u8 = 14;
 const TAG_RENEW_BATCH: u8 = 15;
 /// `OFFER_BATCH` frame tag.
 const TAG_OFFER_BATCH: u8 = 16;
+/// `MIRROR_COMPLAINT` frame tag.
+const TAG_MIRROR_COMPLAINT: u8 = 17;
 
 /// Batch frame format version, written right after the tag byte of both
 /// batch frames so their layout can evolve without burning new tags.
 /// Decoders reject unknown formats instead of guessing.
 const BATCH_FORMAT: u8 = 1;
+
+/// Mirror-complaint frame format version, written right after the tag
+/// byte so the strike ledger's evidence can grow fields without burning
+/// a new tag. Decoders reject unknown formats instead of guessing.
+const COMPLAINT_FORMAT: u8 = 1;
 
 impl DrvMsg {
     /// Serializes the message.
@@ -892,6 +913,17 @@ impl DrvMsg {
                         }
                     }
                 }
+            }
+            DrvMsg::MirrorComplaint {
+                location,
+                digest,
+                detail,
+            } => {
+                b.put_u8(TAG_MIRROR_COMPLAINT);
+                b.put_u8(COMPLAINT_FORMAT);
+                put_str(&mut b, location);
+                b.put_u64_le(*digest);
+                put_str(&mut b, detail);
             }
         }
         b.freeze()
@@ -1040,6 +1072,19 @@ impl DrvMsg {
                     }
                 }
                 Ok(DrvMsg::OfferBatch { replies })
+            }
+            TAG_MIRROR_COMPLAINT => {
+                let v = get_u8(&mut buf, "mirror complaint format")?;
+                if v != COMPLAINT_FORMAT {
+                    return Err(DrvError::Codec(format!(
+                        "unknown mirror complaint format {v}"
+                    )));
+                }
+                Ok(DrvMsg::MirrorComplaint {
+                    location: get_str(&mut buf, "complaint location")?,
+                    digest: get_u64(&mut buf, "complaint digest")?,
+                    detail: get_str(&mut buf, "complaint detail")?,
+                })
             }
             t => Err(DrvError::Codec(format!("unknown drv msg tag {t}"))),
         }
@@ -1313,10 +1358,31 @@ mod tests {
             DrvMsg::OfferBatch {
                 replies: Vec::new(),
             },
+            DrvMsg::MirrorComplaint {
+                location: "mirror-b:1071".into(),
+                digest: 0xdead_beef_cafe_f00d,
+                detail: "chunk payload does not match its digest".into(),
+            },
+            DrvMsg::MirrorComplaint {
+                location: "mirror-c:1071".into(),
+                digest: 0,
+                detail: String::new(),
+            },
         ];
         for m in msgs {
             assert_eq!(DrvMsg::decode(m.encode()).unwrap(), m, "roundtrip of {m:?}");
         }
+    }
+
+    #[test]
+    fn unknown_complaint_format_is_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(17);
+        b.put_u8(9); // format from the future
+        put_str(&mut b, "mirror-b:1071");
+        b.put_u64_le(0);
+        put_str(&mut b, "");
+        assert!(DrvMsg::decode(b.freeze()).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use std::time::Duration;
 
-use netsim::{Addr, Network};
+use netsim::{Addr, ChaosSchedule, Network};
 
 use driverkit::{ConnectProps, DbUrl};
 use drivolution_bootloader::{
@@ -457,6 +457,33 @@ impl FleetSim {
 
     fn total_polls(&self) -> u64 {
         self.clients.iter().map(|c| c.stats().polls).sum()
+    }
+
+    /// Installs every event of `schedule` as one-shot tasks on the
+    /// fleet's scheduler, so faults flip on the same deterministic
+    /// timeline as heartbeats and renewals. Returns the number of
+    /// events installed.
+    pub fn install_chaos(&self, schedule: &ChaosSchedule) -> usize {
+        schedule.install(&self.net)
+    }
+
+    /// Total `MIRROR_COMPLAINT`s the fleet's clients have filed.
+    pub fn total_mirror_complaints(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|c| c.stats().mirror_complaints)
+            .sum()
+    }
+
+    /// Distinct active-image digests across clients currently running
+    /// `version`. A chaos run proves "zero wrong-byte installs" by
+    /// asserting this collapses to exactly one digest at convergence.
+    pub fn image_digests_on(&self, version: DriverVersion) -> std::collections::BTreeSet<u64> {
+        self.clients
+            .iter()
+            .filter(|c| c.active_version() == Some(version))
+            .filter_map(|c| c.active_image_digest())
+            .collect()
     }
 
     /// Bootstraps every client (each downloads v1 once).

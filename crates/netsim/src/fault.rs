@@ -1,23 +1,50 @@
-//! Fault injection: host failures, network partitions, message loss.
+//! Fault injection: host failures, network partitions, message loss,
+//! byzantine corruption, and latency storms.
 //!
 //! The Drivolution paper repeatedly reasons about failure behaviour — a
 //! Drivolution server outage "only impacts new driver requests or driver
 //! renewal requests" (§3.2), replicated servers remove the single point of
 //! failure (§5.3.2). This module lets tests and benchmarks create exactly
-//! those situations.
+//! those situations, and — via [`crate::ChaosSchedule`] — compose them
+//! into seed-reproducible timelines.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// Mutable description of the currently injected faults.
 ///
 /// A symmetric partition between hosts `a` and `b` blocks traffic in both
-/// directions. A down host refuses everything. `drop_prob` models lossy
-/// links: each request independently vanishes with this probability.
-#[derive(Clone, Debug, Default)]
+/// directions; zone partitions do the same for every host pair straddling
+/// two zones. A down host refuses everything. `drop_prob` models globally
+/// lossy links, per-link loss models a single flapping path (directional:
+/// `a → b` may be lossy while `b → a` is clean). A byzantine host has a
+/// fraction of the responses it serves corrupted in flight, and the
+/// latency factor multiplies every topology link latency for the duration
+/// of a storm.
+#[derive(Clone, Debug)]
 pub struct FaultPlan {
     partitions: HashSet<(String, String)>,
+    zone_partitions: HashSet<(String, String)>,
     down_hosts: HashSet<String>,
     drop_prob: f64,
+    /// Directional `(from, to)` host-pair loss probabilities.
+    link_loss: BTreeMap<(String, String), f64>,
+    /// Hosts whose served responses are corrupted with this probability.
+    corrupt_hosts: BTreeMap<String, f64>,
+    latency_factor: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            partitions: HashSet::new(),
+            zone_partitions: HashSet::new(),
+            down_hosts: HashSet::new(),
+            drop_prob: 0.0,
+            link_loss: BTreeMap::new(),
+            corrupt_hosts: BTreeMap::new(),
+            latency_factor: 1,
+        }
+    }
 }
 
 impl FaultPlan {
@@ -44,14 +71,34 @@ impl FaultPlan {
         self.partitions.remove(&Self::key(a, b));
     }
 
-    /// Removes every partition.
+    /// Removes every host and zone partition.
     pub fn heal_all(&mut self) {
         self.partitions.clear();
+        self.zone_partitions.clear();
     }
 
-    /// Returns `true` when traffic between the two hosts is blocked.
+    /// Returns `true` when traffic between the two hosts is blocked by a
+    /// host-pair partition.
     pub fn is_partitioned(&self, a: &str, b: &str) -> bool {
         self.partitions.contains(&Self::key(a, b))
+    }
+
+    /// Installs a symmetric partition between two *zones*: every message
+    /// whose endpoints are placed in `a` and `b` is blocked until
+    /// [`heal_zones`](Self::heal_zones). Hosts outside either zone are
+    /// unaffected.
+    pub fn partition_zones(&mut self, a: &str, b: &str) {
+        self.zone_partitions.insert(Self::key(a, b));
+    }
+
+    /// Removes the partition between two zones, if any.
+    pub fn heal_zones(&mut self, a: &str, b: &str) {
+        self.zone_partitions.remove(&Self::key(a, b));
+    }
+
+    /// Returns `true` when traffic between the two zones is blocked.
+    pub fn zones_partitioned(&self, a: &str, b: &str) -> bool {
+        self.zone_partitions.contains(&Self::key(a, b))
     }
 
     /// Marks a host as crashed: all its services become unreachable.
@@ -79,6 +126,60 @@ impl FaultPlan {
     pub fn drop_prob(&self) -> f64 {
         self.drop_prob
     }
+
+    /// Sets a *directional* loss probability on the `from → to` host
+    /// link (clamped to `[0, 1]`; zero clears the entry). The reverse
+    /// direction keeps its own, independent probability — an asymmetric
+    /// link drops requests one way while replies flow clean the other.
+    pub fn set_link_loss(&mut self, from: &str, to: &str, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        let key = (from.to_string(), to.to_string());
+        if p == 0.0 {
+            self.link_loss.remove(&key);
+        } else {
+            self.link_loss.insert(key, p);
+        }
+    }
+
+    /// Directional loss probability on the `from → to` host link (zero
+    /// when unconfigured).
+    pub fn link_loss(&self, from: &str, to: &str) -> f64 {
+        self.link_loss
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Marks `host` as byzantine: each response it serves is corrupted
+    /// in flight with probability `p` (clamped to `[0, 1]`; zero clears
+    /// the flag). Corruption flips payload bytes, so digest- and
+    /// checksum-verifying clients detect it — the point is exercising
+    /// their *reaction*, not smuggling bad bytes past them.
+    pub fn corrupt_serves(&mut self, host: &str, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            self.corrupt_hosts.remove(host);
+        } else {
+            self.corrupt_hosts.insert(host.to_string(), p);
+        }
+    }
+
+    /// Probability that a response served by `host` is corrupted (zero
+    /// for honest hosts).
+    pub fn corrupt_prob(&self, host: &str) -> f64 {
+        self.corrupt_hosts.get(host).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the latency-storm multiplier applied to every topology link
+    /// latency (clamped to at least 1, the calm default).
+    pub fn set_latency_factor(&mut self, factor: u64) {
+        self.latency_factor = factor.max(1);
+    }
+
+    /// Current latency multiplier (1 outside a storm).
+    pub fn latency_factor(&self) -> u64 {
+        self.latency_factor
+    }
 }
 
 #[cfg(test)]
@@ -100,9 +201,22 @@ mod tests {
         let mut p = FaultPlan::new();
         p.partition("a", "b");
         p.partition("c", "d");
+        p.partition_zones("east", "west");
         p.heal_all();
         assert!(!p.is_partitioned("a", "b"));
         assert!(!p.is_partitioned("c", "d"));
+        assert!(!p.zones_partitioned("east", "west"));
+    }
+
+    #[test]
+    fn zone_partitions_are_symmetric_and_heal() {
+        let mut p = FaultPlan::new();
+        p.partition_zones("east", "west");
+        assert!(p.zones_partitioned("east", "west"));
+        assert!(p.zones_partitioned("west", "east"));
+        assert!(!p.zones_partitioned("east", "south"));
+        p.heal_zones("west", "east");
+        assert!(!p.zones_partitioned("east", "west"));
     }
 
     #[test]
@@ -121,5 +235,35 @@ mod tests {
         assert_eq!(p.drop_prob(), 1.0);
         p.set_drop_prob(-1.0);
         assert_eq!(p.drop_prob(), 0.0);
+    }
+
+    #[test]
+    fn link_loss_is_directional() {
+        let mut p = FaultPlan::new();
+        p.set_link_loss("a", "b", 0.4);
+        assert_eq!(p.link_loss("a", "b"), 0.4);
+        assert_eq!(p.link_loss("b", "a"), 0.0, "reverse direction is clean");
+        p.set_link_loss("a", "b", 0.0);
+        assert_eq!(p.link_loss("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn corrupt_hosts_toggle_and_clamp() {
+        let mut p = FaultPlan::new();
+        p.corrupt_serves("evil", 2.0);
+        assert_eq!(p.corrupt_prob("evil"), 1.0);
+        assert_eq!(p.corrupt_prob("honest"), 0.0);
+        p.corrupt_serves("evil", 0.0);
+        assert_eq!(p.corrupt_prob("evil"), 0.0);
+    }
+
+    #[test]
+    fn latency_factor_defaults_calm_and_never_zero() {
+        let mut p = FaultPlan::new();
+        assert_eq!(p.latency_factor(), 1);
+        p.set_latency_factor(8);
+        assert_eq!(p.latency_factor(), 8);
+        p.set_latency_factor(0);
+        assert_eq!(p.latency_factor(), 1);
     }
 }

@@ -13,8 +13,11 @@
 //!   (mirror heartbeats, lease auto-renewal, upgrade polling) on that
 //!   clock, pumped by [`Network::run_until`] so timers and message
 //!   latency interleave on one timeline;
-//! * [`FaultPlan`] — host crashes, symmetric partitions, and probabilistic
-//!   message loss;
+//! * [`FaultPlan`] — host crashes, host/zone partitions, global and
+//!   per-link directional message loss, byzantine response corruption,
+//!   and latency storms;
+//! * [`ChaosSchedule`] — a declarative, seed-reproducible timeline of
+//!   fault events installed as scheduler tasks;
 //! * [`NetStats`] — per-destination message/byte accounting used by the
 //!   paper's lease-time-versus-server-traffic tradeoff experiments.
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+mod chaos;
 mod clock;
 pub mod codec;
 mod error;
@@ -56,11 +60,12 @@ mod stats;
 mod topology;
 
 pub use addr::Addr;
+pub use chaos::{ChaosAction, ChaosSchedule};
 pub use clock::Clock;
 pub use error::NetError;
 pub use fault::FaultPlan;
 pub use net::{FnService, Network, Service};
 pub use pipe::Pipe;
 pub use sched::{Scheduler, TaskControl, TaskHandle, TaskResult, TaskStats};
-pub use stats::{AddrStats, NetStats};
+pub use stats::{AddrStats, FailureKind, NetStats};
 pub use topology::Topology;

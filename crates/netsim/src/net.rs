@@ -15,9 +15,19 @@ use crate::error::NetError;
 use crate::fault::FaultPlan;
 use crate::pipe::Pipe;
 use crate::sched::Scheduler;
-use crate::stats::NetStats;
+use crate::stats::{FailureKind, NetStats};
 use crate::topology::Topology;
 use crate::{Addr, Clock};
+
+/// The typed-ledger classification of one path or service error.
+fn failure_kind(e: &NetError) -> FailureKind {
+    match e {
+        NetError::Timeout(_) => FailureKind::Dropped,
+        NetError::Partitioned(_) => FailureKind::Partitioned,
+        NetError::Unreachable(_) => FailureKind::Unreachable,
+        _ => FailureKind::Refused,
+    }
+}
 
 /// A network service bound at an [`Addr`].
 ///
@@ -234,12 +244,24 @@ impl Network {
     }
 
     /// One-way link latency between two addresses under the current
-    /// topology (zero when either host is unplaced).
+    /// topology (zero when either host is unplaced). Does not include
+    /// any active latency storm; delivery applies the fault plan's
+    /// multiplier on top of this base figure.
     pub fn latency_between(&self, from: &Addr, to: &Addr) -> u64 {
         self.inner
             .topology
             .read()
             .latency_ms(from.host(), to.host())
+    }
+
+    /// One-way delivery latency between two addresses: the topology
+    /// base times the fault plan's latency-storm multiplier.
+    fn effective_latency(&self, from: &Addr, to: &Addr) -> u64 {
+        let base = self.latency_between(from, to);
+        if base == 0 {
+            return 0;
+        }
+        base * self.inner.faults.lock().latency_factor()
     }
 
     /// Reseeds the RNG used for probabilistic message loss, for
@@ -296,11 +318,49 @@ impl Network {
                 to.host()
             )));
         }
+        // Zone-level partitions: blocked only when both endpoints are
+        // placed and their zones are separated.
+        {
+            let topo = self.inner.topology.read();
+            if let (Some(za), Some(zb)) = (topo.zone_of(from.host()), topo.zone_of(to.host())) {
+                if faults.zones_partitioned(za, zb) {
+                    return Err(NetError::Partitioned(format!("zone {za} <-> zone {zb}")));
+                }
+            }
+        }
         let p = faults.drop_prob();
         if p > 0.0 && self.inner.rng.lock().gen_bool(p) {
             return Err(NetError::Timeout(format!("message to {to} lost")));
         }
+        // Directional per-link loss: drawn after the global probability
+        // so a flapping link composes with background loss.
+        let p = faults.link_loss(from.host(), to.host());
+        if p > 0.0 && self.inner.rng.lock().gen_bool(p) {
+            return Err(NetError::Timeout(format!(
+                "message on link {} -> {} lost",
+                from.host(),
+                to.host()
+            )));
+        }
         Ok(())
+    }
+
+    /// Applies byzantine corruption to a response served by `to`: with
+    /// the fault plan's per-host probability, one payload byte is
+    /// flipped. Digest- and checksum-verifying clients detect the
+    /// damage; the ledger records the corrupted serve against the
+    /// byzantine address either way.
+    fn maybe_corrupt(&self, to: &Addr, resp: Bytes) -> Bytes {
+        let p = self.inner.faults.lock().corrupt_prob(to.host());
+        if p == 0.0 || resp.is_empty() || !self.inner.rng.lock().gen_bool(p) {
+            return resp;
+        }
+        self.inner.stats.record_failure(to, FailureKind::Corrupted);
+        let mut bytes = resp.to_vec();
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x5a;
+        }
+        Bytes::from(bytes)
     }
 
     /// Sends `request` from `from` to the service bound at `to` and returns
@@ -330,7 +390,7 @@ impl Network {
 
     fn request_inner(&self, from: &Addr, to: &Addr, request: Bytes) -> Result<Bytes, NetError> {
         if let Err(e) = self.check_path(from, to) {
-            self.inner.stats.record_failure(to);
+            self.inner.stats.record_failure(to, failure_kind(&e));
             return Err(e);
         }
         let service = {
@@ -338,12 +398,15 @@ impl Network {
             services.get(to).cloned()
         };
         let Some(service) = service else {
-            self.inner.stats.record_failure(to);
+            self.inner
+                .stats
+                .record_failure(to, FailureKind::Unreachable);
             return Err(NetError::Unreachable(to.to_string()));
         };
         // Charge the one-way link latency on each leg against the shared
-        // clock, so locality is observable wherever time is.
-        let latency = self.latency_between(from, to);
+        // clock (multiplied during a latency storm), so locality is
+        // observable wherever time is.
+        let latency = self.effective_latency(from, to);
         if latency > 0 {
             self.inner.clock.advance_ms(latency);
         }
@@ -355,10 +418,10 @@ impl Network {
         match result {
             Ok(resp) => {
                 self.inner.stats.record_response(to, resp.len());
-                Ok(resp)
+                Ok(self.maybe_corrupt(to, resp))
             }
             Err(e) => {
-                self.inner.stats.record_failure(to);
+                self.inner.stats.record_failure(to, failure_kind(&e));
                 Err(e)
             }
         }
@@ -405,7 +468,7 @@ impl Network {
         let Some(service) = service else {
             return Err(NetError::Unreachable(to.to_string()));
         };
-        let latency = self.latency_between(from, to);
+        let latency = self.effective_latency(from, to);
         if latency > 0 {
             self.inner.clock.advance_ms(latency);
         }

@@ -3,7 +3,10 @@
 //! The paper's lease-time tradeoff (§3.2: "Shorter lease times allow faster
 //! reaction to upgrades but higher traffic to the Drivolution Server") is
 //! reproduced by counting real protocol messages and bytes per destination
-//! address. The `lease_tradeoff` benchmark reads these counters.
+//! address. The `lease_tradeoff` benchmark reads these counters. Failures
+//! are recorded as a *typed* ledger (dropped / unreachable / partitioned /
+//! refused, plus corrupted serves) so chaos runs can assert on failure
+//! kinds, not totals.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,6 +14,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::Addr;
+
+/// The kind of one recorded request failure (or byzantine corruption).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The message was lost in flight (global or per-link loss).
+    Dropped,
+    /// The destination host was down or nothing was bound there.
+    Unreachable,
+    /// A host or zone partition separated the endpoints.
+    Partitioned,
+    /// The service handled the request and refused it (application
+    /// error).
+    Refused,
+    /// The response was delivered but its payload was corrupted in
+    /// flight (byzantine host). Counted separately from `failures`: the
+    /// network delivered it; the *content* was wrong.
+    Corrupted,
+}
 
 /// Per-destination traffic counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -21,8 +42,21 @@ pub struct AddrStats {
     pub bytes_in: u64,
     /// Total response payload bytes produced by this address.
     pub bytes_out: u64,
-    /// Number of requests that failed (fault injection, unbound, refused).
+    /// Number of requests that failed, any kind except `Corrupted` (the
+    /// sum of `dropped + unreachable + partitioned + refused`).
     pub failures: u64,
+    /// Failures where the message was lost in flight.
+    pub dropped: u64,
+    /// Failures where the host was down or nothing was bound.
+    pub unreachable: u64,
+    /// Failures where a partition separated the endpoints.
+    pub partitioned: u64,
+    /// Failures where the service refused the request.
+    pub refused: u64,
+    /// Responses this address served that were corrupted in flight
+    /// (byzantine fault injection). Not counted in `failures` — the
+    /// exchange completed; the bytes were wrong.
+    pub corrupted: u64,
     /// Logical payload bytes that did *not* travel to this address because
     /// the requester reused content-addressed local data (depot
     /// revalidations and chunk deltas). Reported by upper layers via
@@ -56,9 +90,28 @@ impl NetStats {
         m.entry(to.clone()).or_default().bytes_out += resp_bytes as u64;
     }
 
-    pub(crate) fn record_failure(&self, to: &Addr) {
+    pub(crate) fn record_failure(&self, to: &Addr, kind: FailureKind) {
         let mut m = self.inner.lock();
-        m.entry(to.clone()).or_default().failures += 1;
+        let e = m.entry(to.clone()).or_default();
+        match kind {
+            FailureKind::Dropped => {
+                e.failures += 1;
+                e.dropped += 1;
+            }
+            FailureKind::Unreachable => {
+                e.failures += 1;
+                e.unreachable += 1;
+            }
+            FailureKind::Partitioned => {
+                e.failures += 1;
+                e.partitioned += 1;
+            }
+            FailureKind::Refused => {
+                e.failures += 1;
+                e.refused += 1;
+            }
+            FailureKind::Corrupted => e.corrupted += 1,
+        }
     }
 
     /// Records `saved` logical payload bytes that a depot-equipped client
@@ -105,6 +158,11 @@ impl NetStats {
             t.bytes_in += s.bytes_in;
             t.bytes_out += s.bytes_out;
             t.failures += s.failures;
+            t.dropped += s.dropped;
+            t.unreachable += s.unreachable;
+            t.partitioned += s.partitioned;
+            t.refused += s.refused;
+            t.corrupted += s.corrupted;
             t.bytes_saved += s.bytes_saved;
         }
         t
@@ -135,14 +193,38 @@ mod tests {
         s.record_request(&a, 10);
         s.record_request(&a, 20);
         s.record_response(&a, 5);
-        s.record_failure(&a);
+        s.record_failure(&a, FailureKind::Refused);
         s.record_saved(&a, 7);
         let st = s.for_addr(&a);
         assert_eq!(st.requests, 2);
         assert_eq!(st.bytes_in, 30);
         assert_eq!(st.bytes_out, 5);
         assert_eq!(st.failures, 1);
+        assert_eq!(st.refused, 1);
         assert_eq!(st.bytes_saved, 7);
+    }
+
+    #[test]
+    fn failure_kinds_land_in_their_own_ledger_entries() {
+        let s = NetStats::new();
+        let a = Addr::new("srv", 1);
+        s.record_failure(&a, FailureKind::Dropped);
+        s.record_failure(&a, FailureKind::Dropped);
+        s.record_failure(&a, FailureKind::Unreachable);
+        s.record_failure(&a, FailureKind::Partitioned);
+        s.record_failure(&a, FailureKind::Refused);
+        s.record_failure(&a, FailureKind::Corrupted);
+        let st = s.for_addr(&a);
+        assert_eq!(st.dropped, 2);
+        assert_eq!(st.unreachable, 1);
+        assert_eq!(st.partitioned, 1);
+        assert_eq!(st.refused, 1);
+        assert_eq!(st.corrupted, 1);
+        assert_eq!(
+            st.failures,
+            st.dropped + st.unreachable + st.partitioned + st.refused,
+            "failures is the sum of the non-corruption kinds"
+        );
     }
 
     #[test]
@@ -150,9 +232,14 @@ mod tests {
         let s = NetStats::new();
         s.record_request(&Addr::new("a", 1), 1);
         s.record_request(&Addr::new("b", 2), 2);
+        s.record_failure(&Addr::new("a", 1), FailureKind::Dropped);
+        s.record_failure(&Addr::new("b", 2), FailureKind::Corrupted);
         let t = s.totals();
         assert_eq!(t.requests, 2);
         assert_eq!(t.bytes_in, 3);
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.corrupted, 1);
+        assert_eq!(t.failures, 1);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! quarantined (dropped from plans) and, after a longer silence, evicted
 //! entirely.
 //!
+//! Silence is not the only failure mode: a *byzantine* mirror answers
+//! promptly with wrong bytes. Clients detect that locally (digest and
+//! checksum verification) and file `MIRROR_COMPLAINT` frames; the
+//! directory keeps a sticky per-mirror strike ledger and demotes a
+//! mirror once corroborated complaints cross the configured thresholds.
+//! Demotion is permanent — unlike quarantine it survives re-announce,
+//! heartbeats, and sweeps.
+//!
 //! Heartbeats normally arrive from the mirror's own scheduler task
 //! (registered at [`drivolution_depot::MirrorDepot::launch`] on the
 //! network's [`netsim::Scheduler`]); the directory only ever *observes*
@@ -66,6 +74,17 @@ pub struct MirrorEntry {
     pub pinned: bool,
     /// Current health classification (refreshed by every sweep).
     pub health: MirrorHealth,
+    /// Corruption complaints recorded against this mirror
+    /// (`MIRROR_COMPLAINT` frames). Sticky: never cleared by announce,
+    /// heartbeat, or sweep.
+    pub strikes: u32,
+    /// Distinct client hosts that filed those strikes — demotion needs
+    /// corroboration, so one confused client can't take a mirror down.
+    pub complainants: BTreeSet<String>,
+    /// `true` once the strike ledger crossed both demotion thresholds.
+    /// Demoted mirrors are dropped from every plan and cannot re-enter
+    /// by re-announcing; distinct from silence-quarantine, which heals.
+    pub demoted: bool,
 }
 
 /// Directory timing and ranking knobs. The timing side is the server
@@ -84,6 +103,12 @@ pub struct DirectoryConfig {
     pub evict_after: Duration,
     /// Maximum candidates ranked into one chunk plan.
     pub max_candidates: usize,
+    /// Corruption strikes required before a mirror is demoted.
+    pub demote_strikes: u32,
+    /// Distinct complaining client hosts required before a mirror is
+    /// demoted (corroboration — a single client's complaints never
+    /// demote on their own).
+    pub demote_reporters: u32,
 }
 
 impl Default for DirectoryConfig {
@@ -93,8 +118,22 @@ impl Default for DirectoryConfig {
             quarantine_after: Duration::from_secs(15),
             evict_after: Duration::from_secs(120),
             max_candidates: 3,
+            demote_strikes: 2,
+            demote_reporters: 2,
         }
     }
+}
+
+/// What [`MirrorDirectory::complaint`] did with one complaint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComplaintOutcome {
+    /// The complaint named a location the directory has never seen.
+    Unknown,
+    /// The strike was recorded; the mirror stays in rotation (below
+    /// threshold, or already demoted).
+    Recorded,
+    /// This strike crossed both thresholds: the mirror was demoted now.
+    Demoted,
 }
 
 fn ms(d: Duration) -> u64 {
@@ -122,9 +161,11 @@ impl MirrorDirectory {
     }
 
     /// Registers (or refreshes) a mirror from an announce. Announcing an
-    /// already-known location updates its zone and clears quarantine —
-    /// duplicates never create a second entry. Returns `true` when the
-    /// location was new.
+    /// already-known location updates its zone and clears *silence*
+    /// quarantine — duplicates never create a second entry. The
+    /// corruption strike ledger (and a demotion) is sticky: a byzantine
+    /// mirror cannot launder its record by re-announcing. Returns `true`
+    /// when the location was new.
     pub fn announce(&self, location: &str, zone: Option<String>, pinned: bool) -> bool {
         let now = self.clock.now_ms();
         let mut entries = self.entries.lock();
@@ -133,6 +174,8 @@ impl MirrorDirectory {
                 e.zone = zone;
                 e.last_seen_ms = now;
                 e.pinned = e.pinned || pinned;
+                // Silence heals; strikes and demotion deliberately do
+                // not — only the ledger's own thresholds govern them.
                 e.health = MirrorHealth::Healthy;
                 false
             }
@@ -149,10 +192,38 @@ impl MirrorDirectory {
                         load: 0,
                         pinned,
                         health: MirrorHealth::Healthy,
+                        strikes: 0,
+                        complainants: BTreeSet::new(),
+                        demoted: false,
                     },
                 );
                 true
             }
+        }
+    }
+
+    /// Records a `MIRROR_COMPLAINT` from `reporter` (the complaining
+    /// client's host) against `location`. The mirror is demoted — struck
+    /// from every future plan, immune to re-announce — once it has
+    /// accumulated at least `demote_strikes` strikes from at least
+    /// `demote_reporters` *distinct* reporters. Complaints against
+    /// locations the directory has never seen are ignored (a client
+    /// cannot pre-poison a mirror that has not announced).
+    pub fn complaint(&self, location: &str, reporter: &str) -> ComplaintOutcome {
+        let mut entries = self.entries.lock();
+        let Some(e) = entries.get_mut(location) else {
+            return ComplaintOutcome::Unknown;
+        };
+        e.strikes = e.strikes.saturating_add(1);
+        e.complainants.insert(reporter.to_string());
+        if !e.demoted
+            && e.strikes >= self.config.demote_strikes
+            && e.complainants.len() >= self.config.demote_reporters as usize
+        {
+            e.demoted = true;
+            ComplaintOutcome::Demoted
+        } else {
+            ComplaintOutcome::Recorded
         }
     }
 
@@ -200,7 +271,9 @@ impl MirrorDirectory {
             } else {
                 MirrorHealth::Healthy
             };
-            silence <= ms(self.config.evict_after)
+            // Demoted entries are retained forever: evicting one would
+            // let the offender re-announce with a clean strike ledger.
+            e.demoted || silence <= ms(self.config.evict_after)
         });
     }
 
@@ -210,7 +283,8 @@ impl MirrorDirectory {
     /// mirror already holding the release's chunks serves them without a
     /// read-through storm on the primary), lightly loaded before busy;
     /// ties rotate per call so equal mirrors share traffic. Quarantined
-    /// mirrors are excluded. At most `max_candidates` are returned.
+    /// and demoted mirrors are excluded. At most `max_candidates` are
+    /// returned.
     ///
     /// Mirrors that never reported coverage (pinned entries, legacy
     /// heartbeats) count as missing everything in `wanted`, which ranks
@@ -221,7 +295,7 @@ impl MirrorDirectory {
         let entries = self.entries.lock();
         let mut live: Vec<&MirrorEntry> = entries
             .values()
-            .filter(|e| e.health != MirrorHealth::Quarantined)
+            .filter(|e| e.health != MirrorHealth::Quarantined && !e.demoted)
             .collect();
         // Deterministic base order, then a per-call rotation so clients
         // with identical rank keys don't all pile onto one mirror.
@@ -411,6 +485,70 @@ mod tests {
             .map(|_| dir.candidates(None, &[])[0].location.clone())
             .collect();
         assert_ne!(first[0], first[1], "rotation must spread equal mirrors");
+    }
+
+    #[test]
+    fn corroborated_complaints_demote_and_drop_from_plans() {
+        let (dir, _c) = directory();
+        dir.announce("evil:1071", None, false);
+        dir.announce("honest:1071", None, false);
+        // One reporter, even striking twice, is not corroboration.
+        assert_eq!(dir.complaint("evil:1071", "app1"), ComplaintOutcome::Recorded);
+        assert_eq!(dir.complaint("evil:1071", "app1"), ComplaintOutcome::Recorded);
+        assert!(!dir.entry("evil:1071").unwrap().demoted);
+        assert_eq!(dir.candidates(None, &[]).len(), 2);
+        // A second distinct reporter crosses both thresholds.
+        assert_eq!(dir.complaint("evil:1071", "app2"), ComplaintOutcome::Demoted);
+        let e = dir.entry("evil:1071").unwrap();
+        assert!(e.demoted);
+        assert_eq!(e.strikes, 3);
+        let c = dir.candidates(None, &[]);
+        assert_eq!(c.len(), 1, "demoted mirror leaves the plan");
+        assert_eq!(c[0].location, "honest:1071");
+        // Further strikes just accumulate.
+        assert_eq!(dir.complaint("evil:1071", "app3"), ComplaintOutcome::Recorded);
+        // Unseen locations cannot be pre-poisoned.
+        assert_eq!(dir.complaint("ghost:1071", "app1"), ComplaintOutcome::Unknown);
+    }
+
+    #[test]
+    fn strikes_and_demotion_are_sticky_across_reannounce() {
+        // Regression: a byzantine mirror must not launder its strike
+        // ledger (or escape demotion) by re-announcing — announce only
+        // ever heals *silence* quarantine.
+        let (dir, _c) = directory();
+        dir.announce("evil:1071", Some("east".into()), false);
+        dir.complaint("evil:1071", "app1");
+        assert!(!dir.announce("evil:1071", Some("east".into()), false));
+        assert_eq!(dir.entry("evil:1071").unwrap().strikes, 1, "strike survived");
+        dir.complaint("evil:1071", "app2");
+        assert!(dir.entry("evil:1071").unwrap().demoted);
+        assert!(!dir.announce("evil:1071", Some("west".into()), false));
+        let e = dir.entry("evil:1071").unwrap();
+        assert!(e.demoted, "demotion survives re-announce");
+        assert!(dir.candidates(Some("west"), &[]).is_empty());
+        // Heartbeats don't launder it either.
+        assert!(dir.heartbeat("evil:1071", 9, 9, 0, &[]));
+        assert!(dir.entry("evil:1071").unwrap().demoted);
+    }
+
+    #[test]
+    fn demoted_entries_survive_eviction_sweeps() {
+        // Eviction would let the offender re-announce as a brand-new
+        // entry with a clean ledger; demoted entries are retained.
+        let (dir, clock) = directory();
+        dir.announce("evil:1071", None, false);
+        dir.complaint("evil:1071", "app1");
+        dir.complaint("evil:1071", "app2");
+        assert!(dir.entry("evil:1071").unwrap().demoted);
+        clock.advance_ms(1_000_000); // far past evict_after
+        dir.sweep();
+        let e = dir.entry("evil:1071").expect("retained");
+        assert!(e.demoted);
+        assert_eq!(e.strikes, 2);
+        // And re-announcing still lands on the demoted entry.
+        assert!(!dir.announce("evil:1071", None, false));
+        assert!(dir.entry("evil:1071").unwrap().demoted);
     }
 
     #[test]

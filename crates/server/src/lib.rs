@@ -28,7 +28,9 @@ pub mod store;
 pub mod variants;
 
 pub use assemble::Assembler;
-pub use directory::{DirectoryConfig, MirrorDirectory, MirrorEntry, MirrorHealth};
+pub use directory::{
+    ComplaintOutcome, DirectoryConfig, MirrorDirectory, MirrorEntry, MirrorHealth,
+};
 pub use license::LicenseManager;
 pub use notify::NotifyHub;
 pub use rollout::{

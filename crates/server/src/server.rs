@@ -24,7 +24,7 @@ use drivolution_core::{
 use drivolution_depot::{ContentIndex, DeltaPlan};
 
 use crate::assemble::Assembler;
-use crate::directory::{DirectoryConfig, MirrorDirectory};
+use crate::directory::{ComplaintOutcome, DirectoryConfig, MirrorDirectory};
 use crate::license::{LicenseManager, DEFAULT_LICENSE_SHARDS};
 use crate::notify::NotifyHub;
 use crate::rollout::RolloutOrchestrator;
@@ -138,6 +138,10 @@ pub struct ServerStats {
     pub mirror_announces: u64,
     /// `MIRROR_HEARTBEAT`s handled.
     pub mirror_heartbeats: u64,
+    /// `MIRROR_COMPLAINT`s handled (corruption strikes recorded).
+    pub mirror_complaints: u64,
+    /// Mirrors demoted by corroborated complaint strikes.
+    pub mirror_demotions: u64,
     /// `ACTIVATION_REPORT`s handled.
     pub activation_reports: u64,
     /// Failed activations among the reports.
@@ -1053,6 +1057,23 @@ impl DrivolutionServer {
                     coverage,
                 );
                 Ok(DrvMsg::MirrorAck { known })
+            }
+            DrvMsg::MirrorComplaint {
+                location,
+                digest: _,
+                detail: _,
+            } => {
+                let outcome = self.directory.complaint(location, from.host());
+                {
+                    let mut st = self.stats.lock();
+                    st.mirror_complaints += 1;
+                    if outcome == ComplaintOutcome::Demoted {
+                        st.mirror_demotions += 1;
+                    }
+                }
+                Ok(DrvMsg::MirrorAck {
+                    known: outcome != ComplaintOutcome::Unknown,
+                })
             }
             DrvMsg::ActivationReport {
                 database,

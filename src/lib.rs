@@ -85,5 +85,8 @@ pub mod prelude {
         RolloutOrchestrator, RolloutPhase, RolloutPlan, ServerConfig,
     };
     pub use minidb::{wire::DbServer, MiniDb, Value};
-    pub use netsim::{Addr, Clock, Network, Scheduler, TaskControl, TaskHandle};
+    pub use netsim::{
+        Addr, ChaosAction, ChaosSchedule, Clock, FailureKind, Network, Scheduler, TaskControl,
+        TaskHandle,
+    };
 }

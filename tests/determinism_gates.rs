@@ -5,8 +5,9 @@
 
 use std::time::Duration;
 
+use drivolution::core::DriverVersion;
 use drivolution::fleet::FleetSim;
-use drivolution::netsim::{Addr, AddrStats, Clock, Network};
+use drivolution::netsim::{Addr, AddrStats, ChaosSchedule, Clock, Network};
 
 const MINUTE: u64 = 60_000;
 
@@ -51,6 +52,52 @@ fn same_seed_replays_identical_fleet_traffic() {
         a.iter().any(|(_, s)| s.requests > 0),
         "scenario produced no traffic; the replay assertion is vacuous"
     );
+}
+
+/// A chaos run doubles the nondeterminism surface: corruption draws,
+/// per-link loss draws, and fault flips all pull from seeded state. Two
+/// same-seed runs of a fleet upgrade under a byzantine mirror, a healing
+/// zone partition, a loss window, and a latency storm must reproduce
+/// *every* counter in the full `NetStats` snapshot — including the typed
+/// failure ledger (dropped / partitioned / corrupted).
+#[test]
+fn same_seed_chaos_schedule_reproduces_every_counter() {
+    let run = |seed: u64| -> Vec<(Addr, AddrStats)> {
+        let zones = ["east", "west"];
+        let sim = FleetSim::build_cdn(6, 10 * MINUTE, &zones, 32 * 1024, 1, 25);
+        sim.net().scheduler().reseed(seed);
+        sim.net().reseed(seed);
+        sim.bootstrap_all();
+        let t0 = sim.net().clock().now_ms();
+        sim.install_chaos(
+            &ChaosSchedule::new()
+                .byzantine_mirror("mirror-west", 0.4, t0, t0 + 120 * MINUTE)
+                .zone_partition("east", "west", t0 + 2 * MINUTE, t0 + 6 * MINUTE)
+                .loss_window(0.1, t0 + 4 * MINUTE, t0 + 12 * MINUTE)
+                .latency_storm(4, t0 + 5 * MINUTE, t0 + 9 * MINUTE),
+        );
+        // Padded v2 so the offer carries a chunked plan — the mirrors
+        // (including the byzantine one) only serve on the delta path.
+        sim.publish(2, DriverVersion::new(2, 0, 0), 32 * 1024, false);
+        sim.run_until_upgraded(MINUTE, 90 * MINUTE);
+        sim.net().stats().snapshot()
+    };
+    let a = run(23);
+    let b = run(23);
+    assert_eq!(a, b, "same seed must reproduce every chaos counter");
+    let totals = |snap: &[(Addr, AddrStats)]| {
+        snap.iter().fold((0u64, 0u64, 0u64), |acc, (_, s)| {
+            (
+                acc.0 + s.dropped,
+                acc.1 + s.partitioned,
+                acc.2 + s.corrupted,
+            )
+        })
+    };
+    let (dropped, partitioned, corrupted) = totals(&a);
+    assert!(dropped > 0, "loss window never dropped a message");
+    assert!(partitioned > 0, "zone partition never blocked a message");
+    assert!(corrupted > 0, "byzantine mirror never corrupted a serve");
 }
 
 /// The same replay guarantee with the opt-in auto-pump enabled and the

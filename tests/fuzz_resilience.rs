@@ -253,6 +253,11 @@ fn every_frame_tag_truncation_errors_are_typed() {
                 Err((DrvErrCode::PermissionDenied, "no seats".into())),
             ],
         },
+        DrvMsg::MirrorComplaint {
+            location: "mirror-west:1071".into(),
+            digest: 0xbad_c0de,
+            detail: "chunk payload does not match its digest".into(),
+        },
     ];
     for msg in msgs {
         let frame = msg.encode();
